@@ -1,0 +1,174 @@
+//! Ablation benchmarks for the design choices DESIGN.md §5 calls out:
+//!
+//! 1. **Mechanism ablation** — how much of HFTA's simulated speedup comes
+//!    from gap amortization vs bigger-kernel occupancy (run the V100
+//!    PointNet sweep with each mechanism disabled).
+//! 2. **Loss scaling ablation** — gradient magnitude with and without the
+//!    §3.2 xB scale.
+//! 3. **End-to-end training-step timing** — real CPU time per model of a
+//!    serial step vs a fused step as B grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hfta_core::format::stack_conv;
+use hfta_core::loss::{fused_cross_entropy, Reduction};
+use hfta_core::ops::FusedModule;
+use hfta_core::optim::{FusedOptimizer, FusedSgd, PerModel};
+use hfta_models::{AlexNet, AlexNetCfg, FusedAlexNet, Workload};
+use hfta_nn::{Module, Optimizer, Sgd, Tape};
+use hfta_sim::{DeviceSpec, GpuSim, SharingPolicy};
+use hfta_tensor::{Rng, Tensor};
+use std::hint::black_box;
+
+/// Mechanism ablation: report (and time) HFTA-over-serial with each
+/// simulator mechanism switched off. Printed once so `cargo bench` output
+/// records the ablation table.
+fn ablation_mechanisms(c: &mut Criterion) {
+    let w = Workload::pointnet_cls();
+    let b = 8;
+    type JobPair = (hfta_sim::TrainingJob, hfta_sim::TrainingJob);
+    #[allow(clippy::type_complexity)]
+    let variants: [(&str, Box<dyn Fn() -> JobPair>); 3] = [
+        (
+            "full-model",
+            Box::new(move || (w_cls().serial_job(), w_cls().fused_job(b))),
+        ),
+        (
+            "no-gap-amortization",
+            Box::new(move || {
+                // Gaps removed from both: isolates pure kernel-shape gains.
+                let mut s = w_cls().serial_job();
+                let mut f = w_cls().fused_job(b);
+                s.sync_us_per_kernel = 0.0;
+                f.sync_us_per_kernel = 0.0;
+                s.host_us = 0.0;
+                f.host_us = 0.0;
+                (s, f)
+            }),
+        ),
+        (
+            "no-kernel-growth",
+            Box::new(move || {
+                // Fused kernels keep per-model tile counts: isolates pure
+                // gap amortization.
+                let s = w_cls().serial_job();
+                let mut f = w_cls().fused_job(b);
+                for (kf, ks) in f.kernels.iter_mut().zip(&s.kernels) {
+                    kf.tiles = ks.tiles;
+                }
+                (s, f)
+            }),
+        ),
+    ];
+    fn w_cls() -> Workload {
+        Workload::pointnet_cls()
+    }
+    println!("\n## Ablation: where does HFTA's simulated speedup come from? (V100, B = {b})");
+    let sim = GpuSim::new(DeviceSpec::v100(), false);
+    for (name, build) in &variants {
+        let (serial, fused) = build();
+        let s = sim.simulate(SharingPolicy::Serial, &serial, 1);
+        let h = sim.simulate(SharingPolicy::Hfta, &fused, 1);
+        println!(
+            "  {name:<22} HFTA/serial = {:.2}",
+            h.throughput_eps / s.throughput_eps
+        );
+    }
+    let _ = &w;
+    c.bench_function("ablation_mechanisms_sweep", |bch| {
+        bch.iter(|| {
+            for (_, build) in &variants {
+                let (serial, fused) = build();
+                black_box(sim.simulate(SharingPolicy::Serial, &serial, 1));
+                black_box(sim.simulate(SharingPolicy::Hfta, &fused, 1));
+            }
+        })
+    });
+}
+
+/// Loss-scaling ablation: the unscaled fused loss shrinks every gradient
+/// by 1/B (silently dividing all learning rates by B).
+fn ablation_loss_scaling(c: &mut Criterion) {
+    let b = 4;
+    let mut rng = Rng::seed_from(0);
+    let w = hfta_nn::Parameter::new(rng.randn([b, 6, 3]), "w");
+    let x = rng.randn([b, 5, 6]);
+    let t: Vec<usize> = (0..b * 5).map(|_| rng.below(3)).collect();
+    let grad_norm = |scaled: bool| -> f32 {
+        w.zero_grad();
+        let tape = Tape::new();
+        let logits = tape.leaf(x.clone()).bmm(&tape.param(&w));
+        if scaled {
+            fused_cross_entropy(&logits, &t, Reduction::Mean).backward();
+        } else {
+            logits.reshape(&[b * 5, 3]).cross_entropy(&t).backward();
+        }
+        w.grad_cloned().abs().max_value()
+    };
+    let with = grad_norm(true);
+    let without = grad_norm(false);
+    println!("\n## Ablation: fused-loss scaling (paper §3.2)");
+    println!("  max |grad| with xB scale:    {with:.5}");
+    println!("  max |grad| without:          {without:.5}");
+    println!("  ratio (must be B = {b}):     {:.2}", with / without);
+    c.bench_function("ablation_loss_scaling", |bch| {
+        bch.iter(|| black_box(grad_norm(true)))
+    });
+}
+
+/// Real CPU wall time per training step: serial loop over B models vs one
+/// fused step, at growing array widths.
+fn ablation_step_time(c: &mut Criterion) {
+    let mut group = c.benchmark_group("train_step_serial_vs_fused");
+    let cfg = AlexNetCfg::mini(4);
+    for b in [2usize, 4] {
+        let mut rng = Rng::seed_from(5);
+        let serial: Vec<AlexNet> = (0..b)
+            .map(|_| {
+                let m = AlexNet::new(cfg, &mut rng.split());
+                m.set_training(false);
+                m
+            })
+            .collect();
+        let fused = FusedAlexNet::new(b, cfg, &mut rng);
+        fused.set_training(false);
+        let mut opts: Vec<Sgd> = serial
+            .iter()
+            .map(|m| Sgd::new(m.parameters(), 0.01, 0.9))
+            .collect();
+        let mut fopt =
+            FusedSgd::new(fused.fused_parameters(), PerModel::uniform(b, 0.01), 0.9).unwrap();
+        let x = rng.randn([4, 3, 16, 16]);
+        let y: Vec<usize> = (0..4).map(|i| i % 4).collect();
+        group.bench_with_input(BenchmarkId::new("serial", b), &b, |bench, _| {
+            bench.iter(|| {
+                for (m, opt) in serial.iter().zip(&mut opts) {
+                    opt.zero_grad();
+                    let tape = Tape::new();
+                    let loss = m.forward(&tape.leaf(x.clone())).cross_entropy(&y);
+                    loss.backward();
+                    opt.step();
+                }
+            })
+        });
+        let copies: Vec<Tensor> = (0..b).map(|_| x.clone()).collect();
+        let fx = stack_conv(&copies).unwrap();
+        let ty: Vec<usize> = (0..b).flat_map(|_| y.iter().copied()).collect();
+        group.bench_with_input(BenchmarkId::new("hfta", b), &b, |bench, _| {
+            bench.iter(|| {
+                fopt.zero_grad();
+                let tape = Tape::new();
+                let logits = fused.forward(&tape.leaf(fx.clone()));
+                fused_cross_entropy(&logits, &ty, Reduction::Mean).backward();
+                fopt.step();
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).warm_up_time(std::time::Duration::from_millis(500)).measurement_time(std::time::Duration::from_secs(2));
+    targets = ablation_mechanisms, ablation_loss_scaling, ablation_step_time
+}
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Criterion wrappers over the figure/table pipelines: `cargo bench`
+//! exercises every experiment harness end-to-end and times it.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hfta_bench::convergence::resnet_convergence;
+use hfta_bench::sweep::{gpu_panel, tpu_curve};
+use hfta_cluster::{classify, trace};
+use hfta_models::Workload;
+use hfta_sim::DeviceSpec;
+use std::hint::black_box;
+
+fn bench_fig4_panel(c: &mut Criterion) {
+    c.bench_function("fig4_panel_v100_pointnet_cls", |b| {
+        b.iter(|| black_box(gpu_panel(&DeviceSpec::v100(), &Workload::pointnet_cls())))
+    });
+    c.bench_function("fig4_panel_a100_dcgan", |b| {
+        b.iter(|| black_box(gpu_panel(&DeviceSpec::a100(), &Workload::dcgan())))
+    });
+}
+
+fn bench_fig5(c: &mut Criterion) {
+    c.bench_function("fig5_resnet_v100", |b| {
+        b.iter(|| black_box(gpu_panel(&DeviceSpec::v100(), &Workload::resnet18())))
+    });
+}
+
+fn bench_fig6_tpu(c: &mut Criterion) {
+    c.bench_function("fig6_tpu_sweep", |b| {
+        b.iter(|| {
+            for w in Workload::paper_benchmarks() {
+                black_box(tpu_curve(&w));
+            }
+        })
+    });
+}
+
+fn bench_fig3_convergence(c: &mut Criterion) {
+    c.bench_function("fig3_convergence_3lrs", |b| {
+        b.iter(|| black_box(resnet_convergence(&[0.1, 0.05, 0.01], 3, 42)))
+    });
+}
+
+fn bench_table1_cluster(c: &mut Criterion) {
+    c.bench_function("table1_trace_and_classify", |b| {
+        b.iter(|| {
+            let jobs = trace::generate(&trace::TraceCfg::small(), 2020);
+            let cats = classify::classify(&jobs, &classify::ClassifyCfg::default());
+            black_box(classify::Breakdown::from_assignments(&jobs, &cats))
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).warm_up_time(std::time::Duration::from_millis(500)).measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_fig4_panel, bench_fig5, bench_fig6_tpu, bench_fig3_convergence, bench_table1_cluster
+}
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Reproduces **Figure 11**: the nvidia-smi-defined "GPU utilization" for
+//! PointNet-cls on A100 — noisy and decoupled from real utilization (a
+//! weak indicator, contrary to popular belief).
+
+use hfta_bench::sweep::{gpu_panel, policies_for};
+use hfta_models::Workload;
+use hfta_sim::DeviceSpec;
+
+fn main() {
+    println!("# Figure 11 — nvidia-smi \"GPU utilization\" (PointNet-cls, A100, AMP)");
+    let device = DeviceSpec::a100();
+    let panel = gpu_panel(&device, &Workload::pointnet_cls());
+    for policy in policies_for(&device) {
+        let Some(curve) = panel.curve(policy, true) else { continue };
+        let series: Vec<String> = curve
+            .points
+            .iter()
+            .map(|p| format!("({}, {:.0}%)", p.models, p.result.counters.smi_util * 100.0))
+            .collect();
+        println!("{:<11} {}", policy.name(), series.join(" "));
+    }
+    println!("\nnote: compare with fig8 — smi_util saturates and jitters while");
+    println!("sm_active/tensor_active keep discriminating the schemes.");
+}

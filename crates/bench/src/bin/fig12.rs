@@ -1,0 +1,50 @@
+//! Reproduces **Figure 12**: V100 hardware counters for PointNet-cls
+//! (serial utilization is higher on V100 than on A100 — newer GPUs suffer
+//! more from under-utilization).
+
+use hfta_bench::sweep::{gpu_panel, policies_for};
+use hfta_models::Workload;
+use hfta_sim::DeviceSpec;
+
+fn main() {
+    println!("# Figure 12 — V100 counters vs models (PointNet-cls, AMP)");
+    let w = Workload::pointnet_cls();
+    let v100 = gpu_panel(&DeviceSpec::v100(), &w);
+    for (title, pick) in [
+        ("sm_active", 0usize),
+        ("sm_occupancy", 1),
+        ("tensor_active", 2),
+    ] {
+        println!("\n## {title}");
+        for policy in policies_for(&DeviceSpec::v100()) {
+            let Some(curve) = v100.curve(policy, true) else { continue };
+            let series: Vec<String> = curve
+                .points
+                .iter()
+                .map(|p| {
+                    let c = &p.result.counters;
+                    let v = match pick {
+                        0 => c.sm_active,
+                        1 => c.sm_occupancy,
+                        _ => c.tensor_active,
+                    };
+                    format!("({}, {:.2})", p.models, v)
+                })
+                .collect();
+            println!("{:<11} {}", policy.name(), series.join(" "));
+        }
+    }
+    // The cross-generation observation.
+    let a100 = gpu_panel(&DeviceSpec::a100(), &w);
+    let v_serial = v100.curve(hfta_sim::SharingPolicy::Serial, true).unwrap().points[0]
+        .result
+        .counters
+        .sm_active;
+    let a_serial = a100.curve(hfta_sim::SharingPolicy::Serial, true).unwrap().points[0]
+        .result
+        .counters
+        .sm_active;
+    println!(
+        "\nserial sm_active: V100 {v_serial:.2} vs A100 {a_serial:.2} (paper: lower on A100)"
+    );
+}

@@ -1,0 +1,32 @@
+//! Reproduces **Figure 4 (a–i)**: normalized training throughput as the
+//! number of models sharing one GPU grows, for every workload x GPU x
+//! sharing policy x precision.
+
+use hfta_bench::sweep::{gpu_panel, policies_for};
+use hfta_models::Workload;
+use hfta_sim::DeviceSpec;
+
+fn main() {
+    println!("# Figure 4 — normalized throughput vs models per GPU");
+    for device in DeviceSpec::evaluation_gpus() {
+        for workload in Workload::paper_benchmarks() {
+            let panel = gpu_panel(&device, &workload);
+            println!(
+                "\n## {} / {} (normalized by FP32 serial = {:.0} examples/s)",
+                panel.device, panel.workload, panel.serial_fp32_eps
+            );
+            for amp in [false, true] {
+                let precision = if amp { "AMP" } else { "FP32" };
+                for policy in policies_for(&device) {
+                    let Some(curve) = panel.curve(policy, amp) else { continue };
+                    let series: Vec<String> = curve
+                        .points
+                        .iter()
+                        .map(|p| format!("({}, {:.2})", p.models, p.normalized))
+                        .collect();
+                    println!("{precision:<5} {:<11} {}", policy.name(), series.join(" "));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,42 @@
+//! Reproduces **Figure 5**: normalized ResNet-18 training throughput on
+//! V100 (paper peaks: HFTA 8.16x serial, 4.21x concurrent, 4.18x MPS).
+
+use hfta_bench::sweep::{gpu_panel, policies_for};
+use hfta_models::Workload;
+use hfta_sim::{DeviceSpec, SharingPolicy};
+
+fn main() {
+    let device = DeviceSpec::v100();
+    let panel = gpu_panel(&device, &Workload::resnet18());
+    println!("# Figure 5 — ResNet-18 (CIFAR-10, batch 1000) on V100");
+    println!("normalization: FP32 serial = {:.0} examples/s\n", panel.serial_fp32_eps);
+    for amp in [false, true] {
+        for policy in policies_for(&device) {
+            let Some(curve) = panel.curve(policy, amp) else { continue };
+            let series: Vec<String> = curve
+                .points
+                .iter()
+                .map(|p| format!("({}, {:.2})", p.models, p.normalized))
+                .collect();
+            println!(
+                "{:<5} {:<11} {}",
+                if amp { "AMP" } else { "FP32" },
+                policy.name(),
+                series.join(" ")
+            );
+        }
+    }
+    println!("\npeak speedups (best precision):");
+    for base in [SharingPolicy::Serial, SharingPolicy::Concurrent, SharingPolicy::Mps] {
+        println!(
+            "  HFTA / {:<11} = {:.2} (paper: {})",
+            base.name(),
+            panel.peak_speedup_over(base),
+            match base {
+                SharingPolicy::Serial => "8.16",
+                SharingPolicy::Concurrent => "4.21",
+                _ => "4.18",
+            }
+        );
+    }
+}

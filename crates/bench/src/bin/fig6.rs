@@ -1,0 +1,24 @@
+//! Reproduces **Figure 6**: TPU v3 per-core normalized throughput, serial
+//! vs HFTA (paper peaks: PointNet-cls 4.93x, DCGAN 15.13x; PointNet-seg
+//! only 1.20x).
+
+use hfta_bench::sweep::tpu_curve;
+use hfta_models::Workload;
+
+fn main() {
+    println!("# Figure 6 — TPU v3 serial vs HFTA");
+    for (workload, paper) in [
+        (Workload::pointnet_cls(), "4.93"),
+        (Workload::dcgan(), "15.13"),
+        (Workload::pointnet_seg(), "1.20"),
+    ] {
+        let curve = tpu_curve(&workload);
+        let series: Vec<String> = curve
+            .iter()
+            .map(|p| format!("({}, {:.2})", p.models, p.normalized))
+            .collect();
+        let peak = curve.iter().map(|p| p.normalized).fold(0.0, f64::max);
+        println!("\n{}: {}", workload.name, series.join(" "));
+        println!("  peak HFTA/serial = {peak:.2} (paper: {paper})");
+    }
+}

@@ -1,0 +1,47 @@
+//! Reproduces **Figure 7**: GPU memory footprint of MPS vs HFTA for
+//! PointNet-cls on V100, with the linear regressions whose HFTA
+//! intercepts recover the framework overhead (paper: 1.52 GB FP32,
+//! 2.12 GB AMP).
+
+use hfta_bench::sweep::linear_regression;
+use hfta_models::Workload;
+use hfta_sim::{DeviceSpec, GpuSim, SharingPolicy};
+
+fn main() {
+    println!("# Figure 7 — memory footprint vs models (PointNet-cls, V100)");
+    let w = Workload::pointnet_cls();
+    for amp in [false, true] {
+        let sim = GpuSim::new(DeviceSpec::v100(), amp);
+        let precision = if amp { "AMP" } else { "FP32" };
+        for policy in [SharingPolicy::Mps, SharingPolicy::Hfta] {
+            let mut pts = Vec::new();
+            for j in 1..=24 {
+                let r = match policy {
+                    SharingPolicy::Hfta => sim.simulate(policy, &w.fused_job(j), 1),
+                    _ => sim.simulate(policy, &w.serial_job(), j),
+                };
+                if !r.fits {
+                    break;
+                }
+                pts.push((j as f64, r.memory_gib));
+            }
+            let (slope, intercept) = linear_regression(&pts);
+            let series: Vec<String> = pts
+                .iter()
+                .map(|(x, y)| format!("({x:.0}, {y:.2})"))
+                .collect();
+            println!("\n{precision} {:<5} {}", policy.name(), series.join(" "));
+            println!(
+                "  regression: {slope:.2} GiB/model + {intercept:.2} GiB intercept{}",
+                if policy == SharingPolicy::Hfta {
+                    format!(
+                        " (paper intercept: {} GB)",
+                        if amp { "2.12" } else { "1.52" }
+                    )
+                } else {
+                    " (paper: passes through origin)".into()
+                }
+            );
+        }
+    }
+}

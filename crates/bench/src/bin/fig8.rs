@@ -1,0 +1,37 @@
+//! Reproduces **Figure 8**: hardware performance counters for PointNet-cls
+//! on A100 as models are added (HFTA keeps scaling; MPS/MIG plateau;
+//! concurrent matches serial).
+
+use hfta_bench::sweep::{gpu_panel, policies_for};
+use hfta_models::Workload;
+use hfta_sim::DeviceSpec;
+
+fn main() {
+    println!("# Figure 8 — A100 counters vs models (PointNet-cls, AMP)");
+    let device = DeviceSpec::a100();
+    let panel = gpu_panel(&device, &Workload::pointnet_cls());
+    for (title, pick) in [
+        ("sm_active", 0usize),
+        ("sm_occupancy", 1),
+        ("tensor_active", 2),
+    ] {
+        println!("\n## {title}");
+        for policy in policies_for(&device) {
+            let Some(curve) = panel.curve(policy, true) else { continue };
+            let series: Vec<String> = curve
+                .points
+                .iter()
+                .map(|p| {
+                    let c = &p.result.counters;
+                    let v = match pick {
+                        0 => c.sm_active,
+                        1 => c.sm_occupancy,
+                        _ => c.tensor_active,
+                    };
+                    format!("({}, {:.2})", p.models, v)
+                })
+                .collect();
+            println!("{:<11} {}", policy.name(), series.join(" "));
+        }
+    }
+}

@@ -1,0 +1,49 @@
+//! Reproduces **Tables 2–4**: accelerator and platform specifications.
+
+use hfta_bench::sweep::print_table;
+use hfta_sim::DeviceSpec;
+
+fn main() {
+    println!("# Tables 2-4 — accelerator specifications (simulator presets)");
+    let tpu = DeviceSpec::tpu_v3();
+    print_table(
+        "Table 2 — Cloud TPU core",
+        &["TPU", "MXUs", "Memory (HBM)"],
+        &[vec!["v3 (2018)".into(), tpu.sm_count.to_string(), format!("{} GB", tpu.hbm_gib)]],
+    );
+    let rows: Vec<Vec<String>> = DeviceSpec::evaluation_gpus()
+        .iter()
+        .map(|d| {
+            vec![
+                format!("{} ({})", d.name, d.year),
+                d.sm_count.to_string(),
+                format!("{} GB", d.hbm_gib),
+                format!("{:.0} GB/s", d.hbm_bw_gibs),
+                if d.tensor_tflops > 200.0 { "TF32 & FP16".into() } else { "FP16".to_string() },
+            ]
+        })
+        .collect();
+    print_table(
+        "Table 3 — NVIDIA data center GPUs",
+        &["GPU", "SMs", "HBM", "HBM Bandwidth", "TC Types"],
+        &rows,
+    );
+    let rows4: Vec<Vec<String>> = DeviceSpec::evaluation_gpus()
+        .iter()
+        .chain(std::iter::once(&tpu))
+        .map(|d| {
+            vec![
+                d.name.clone(),
+                format!("{} GiB", d.hbm_gib),
+                format!("{:.1} FP32 TFLOPS", d.fp32_tflops),
+                format!("{:.1} tensor TFLOPS", d.tensor_tflops),
+                format!("{:.2} GiB fw overhead (FP32)", d.framework_overhead_fp32_gib),
+            ]
+        })
+        .collect();
+    print_table(
+        "Table 4 — experiment platforms (cost-model view)",
+        &["Accelerator", "Dev. Mem.", "FP32 peak", "Tensor peak", "Framework overhead"],
+        &rows4,
+    );
+}

@@ -1,0 +1,56 @@
+//! Reproduces **Table 5**: peak training-throughput speedups of HFTA over
+//! each baseline (best of FP32/AMP on both sides).
+
+use hfta_bench::sweep::{gpu_panel, print_table};
+use hfta_models::Workload;
+use hfta_sim::{DeviceSpec, SharingPolicy};
+
+/// The paper's Table 5 values, row order (gpu, baseline) x (cls, seg, dcgan).
+const PAPER: [(&str, &str, [f64; 3]); 10] = [
+    ("V100", "serial", [5.02, 4.29, 4.59]),
+    ("V100", "concurrent", [4.87, 4.24, 2.01]),
+    ("V100", "MPS", [4.50, 3.03, 2.03]),
+    ("RTX6000", "serial", [4.36, 3.63, 6.29]),
+    ("RTX6000", "concurrent", [4.26, 3.54, 1.72]),
+    ("RTX6000", "MPS", [3.79, 2.54, 1.82]),
+    ("A100", "serial", [11.50, 9.48, 4.41]),
+    ("A100", "concurrent", [12.98, 10.26, 1.29]),
+    ("A100", "MPS", [4.72, 2.93, 1.33]),
+    ("A100", "MIG", [4.88, 3.02, 1.33]),
+];
+
+fn main() {
+    println!("# Table 5 — peak HFTA speedups over the baselines (best precision)");
+    let mut rows = Vec::new();
+    for device in DeviceSpec::evaluation_gpus() {
+        let panels: Vec<_> = Workload::paper_benchmarks()
+            .iter()
+            .map(|w| gpu_panel(&device, w))
+            .collect();
+        let mut baselines = vec![
+            SharingPolicy::Serial,
+            SharingPolicy::Concurrent,
+            SharingPolicy::Mps,
+        ];
+        if device.supports_mig() {
+            baselines.push(SharingPolicy::Mig);
+        }
+        for base in baselines {
+            let paper = PAPER
+                .iter()
+                .find(|(d, b, _)| *d == device.name && *b == base.name())
+                .map(|(_, _, v)| *v)
+                .unwrap_or([f64::NAN; 3]);
+            let mut row = vec![device.name.clone(), base.name().to_string()];
+            for (i, p) in panels.iter().enumerate() {
+                row.push(format!("{:.2} (paper {:.2})", p.peak_speedup_over(base), paper[i]));
+            }
+            rows.push(row);
+        }
+    }
+    print_table(
+        "peak speedups",
+        &["GPU", "baseline", "PointNet-cls", "PointNet-seg", "DCGAN"],
+        &rows,
+    );
+}

@@ -1,0 +1,23 @@
+//! Reproduces **Table 6**: the horizontal fusion rules HFTA supports.
+
+use hfta_bench::sweep::print_table;
+use hfta_core::rules::rule_table;
+
+fn main() {
+    println!("# Table 6 — HFTA operator fusion rules");
+    let rows: Vec<Vec<String>> = rule_table()
+        .iter()
+        .map(|r| {
+            vec![
+                r.original.to_string(),
+                r.fused.to_string(),
+                r.kind.fusion_mechanism().to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        "12 supported operators",
+        &["PyTorch operator", "HFTA horizontally fused operator", "mechanism"],
+        &rows,
+    );
+}

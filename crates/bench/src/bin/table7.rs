@@ -1,0 +1,13 @@
+//! Reproduces **Table 7**: the DCGM performance-counter field identifiers.
+
+use hfta_bench::sweep::print_table;
+use hfta_sim::counters::dcgm;
+
+fn main() {
+    println!("# Table 7 — DCGM metrics");
+    let rows: Vec<Vec<String>> = dcgm::table7()
+        .iter()
+        .map(|(name, mac, id)| vec![name.to_string(), mac.to_string(), id.to_string()])
+        .collect();
+    print_table("field identifiers", &["Name", "Field Identifier Macro", "ID"], &rows);
+}

@@ -1,0 +1,42 @@
+//! Reproduces **Table 8**: peak HFTA speedups split by precision.
+
+use hfta_bench::sweep::{gpu_panel, print_table};
+use hfta_models::Workload;
+use hfta_sim::{DeviceSpec, SharingPolicy};
+
+fn main() {
+    println!("# Table 8 — peak HFTA speedups, FP32 vs AMP");
+    let mut rows = Vec::new();
+    for device in DeviceSpec::evaluation_gpus() {
+        let panels: Vec<_> = Workload::paper_benchmarks()
+            .iter()
+            .map(|w| gpu_panel(&device, w))
+            .collect();
+        for amp in [false, true] {
+            let mut baselines = vec![
+                SharingPolicy::Serial,
+                SharingPolicy::Concurrent,
+                SharingPolicy::Mps,
+            ];
+            if device.supports_mig() {
+                baselines.push(SharingPolicy::Mig);
+            }
+            for base in baselines {
+                let mut row = vec![
+                    device.name.clone(),
+                    if amp { "AMP" } else { "FP32" }.to_string(),
+                    base.name().to_string(),
+                ];
+                for p in &panels {
+                    row.push(format!("{:.2}", p.peak_speedup_at(base, amp)));
+                }
+                rows.push(row);
+            }
+        }
+    }
+    print_table(
+        "peak speedups by precision",
+        &["GPU", "precision", "baseline", "PointNet-cls", "PointNet-seg", "DCGAN"],
+        &rows,
+    );
+}

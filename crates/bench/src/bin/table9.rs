@@ -1,0 +1,40 @@
+//! Reproduces **Table 9**: maximum HFTA speedup over each baseline given
+//! the *same* number of models sharing the GPU (isolates compute-
+//! utilization benefits from memory-capacity benefits).
+
+use hfta_bench::sweep::{gpu_panel, print_table};
+use hfta_models::Workload;
+use hfta_sim::{DeviceSpec, SharingPolicy};
+
+fn main() {
+    println!("# Table 9 — max HFTA speedup at equal model counts");
+    let mut rows = Vec::new();
+    for device in DeviceSpec::evaluation_gpus() {
+        let panels: Vec<_> = Workload::paper_benchmarks()
+            .iter()
+            .map(|w| gpu_panel(&device, w))
+            .collect();
+        for amp in [false, true] {
+            let mut baselines = vec![SharingPolicy::Concurrent, SharingPolicy::Mps];
+            if device.supports_mig() {
+                baselines.push(SharingPolicy::Mig);
+            }
+            for base in baselines {
+                let mut row = vec![
+                    device.name.clone(),
+                    if amp { "AMP" } else { "FP32" }.to_string(),
+                    base.name().to_string(),
+                ];
+                for p in &panels {
+                    row.push(format!("{:.2}", p.same_count_speedup(base, amp)));
+                }
+                rows.push(row);
+            }
+        }
+    }
+    print_table(
+        "same-model-count speedups",
+        &["GPU", "precision", "baseline", "PointNet-cls", "PointNet-seg", "DCGAN"],
+        &rows,
+    );
+}

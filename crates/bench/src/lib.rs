@@ -1,0 +1,11 @@
+//! # hfta-bench
+//!
+//! Harnesses that regenerate every table and figure of the HFTA paper's
+//! evaluation. Each `src/bin/` binary prints one artifact
+//! (`cargo run -p hfta-bench --bin fig4`); `repro_all` runs everything and
+//! emits the EXPERIMENTS.md paper-vs-measured report. The `benches/`
+//! directory holds criterion micro-benchmarks of the *real* CPU execution
+//! of fused vs serial operators.
+
+pub mod convergence;
+pub mod sweep;

@@ -1,0 +1,305 @@
+//! The Appendix-A job classifier and GPU-hour aggregation (Table 1 /
+//! Figure 9), plus the Figure-10 utilization sampling.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::levenshtein::similarity;
+use crate::trace::{Job, JobCategory};
+
+/// Appendix-A classification parameters.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct ClassifyCfg {
+    /// Burst window: jobs from the same user within this many seconds are
+    /// candidate members of one automated submission (paper: 60 s).
+    pub burst_window_s: u64,
+    /// Minimum normalized Levenshtein similarity between job names inside
+    /// a burst (paper: 0.9).
+    pub name_similarity: f64,
+    /// Minimum burst size to call a group "repetitive".
+    pub min_burst: usize,
+}
+
+impl Default for ClassifyCfg {
+    fn default() -> Self {
+        ClassifyCfg {
+            burst_window_s: 60,
+            name_similarity: 0.9,
+            min_burst: 3,
+        }
+    }
+}
+
+/// Classifies every job per the paper's Appendix-A methodology:
+///
+/// 1. multi-GPU or node-pinned jobs → *distributed*;
+/// 2. single-GPU jobs submitted by the same user within the burst window,
+///    with pairwise job-name similarity ≥ the threshold → *repetitive*;
+/// 3. remaining single-GPU jobs with recognizable names → *isolated*;
+/// 4. everything else → *other*.
+pub fn classify(jobs: &[Job], cfg: &ClassifyCfg) -> Vec<JobCategory> {
+    let mut out = vec![JobCategory::Other; jobs.len()];
+    // Group indices per user, in submit order (jobs are pre-sorted).
+    let mut per_user: HashMap<&str, Vec<usize>> = HashMap::new();
+    for (i, j) in jobs.iter().enumerate() {
+        per_user.entry(j.user.as_str()).or_default().push(i);
+    }
+    let mut assigned = vec![false; jobs.len()];
+    for indices in per_user.values() {
+        for (pos, &i) in indices.iter().enumerate() {
+            if assigned[i] {
+                continue;
+            }
+            let ji = &jobs[i];
+            if ji.gpus > 1 || ji.pinned_node {
+                out[i] = JobCategory::Distributed;
+                assigned[i] = true;
+                continue;
+            }
+            // Collect the burst: subsequent single-GPU jobs of this user
+            // inside the window with similar names.
+            let mut burst = vec![i];
+            for &k in &indices[pos + 1..] {
+                let jk = &jobs[k];
+                if jk.submit_s.saturating_sub(ji.submit_s) > cfg.burst_window_s {
+                    break;
+                }
+                if !assigned[k]
+                    && jk.gpus == 1
+                    && !jk.pinned_node
+                    && similarity(&ji.name, &jk.name) >= cfg.name_similarity
+                {
+                    burst.push(k);
+                }
+            }
+            if burst.len() >= cfg.min_burst {
+                for &b in &burst {
+                    out[b] = JobCategory::RepetitiveSingleGpu;
+                    assigned[b] = true;
+                }
+            } else {
+                if is_recognizable(&ji.name) {
+                    out[i] = JobCategory::IsolatedSingleGpu;
+                }
+                assigned[i] = true;
+            }
+        }
+    }
+    out
+}
+
+/// Whether a job name looks like an identifiable training run (vs. the
+/// paper's "others" bucket of unidentifiable jobs).
+fn is_recognizable(name: &str) -> bool {
+    !name.starts_with("misc") && name.contains('_')
+}
+
+/// GPU-hour usage breakdown (the paper's Table 1 / Figure 9).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Breakdown {
+    /// GPU hours per category, Table 1 column order.
+    pub gpu_hours: [f64; 4],
+    /// Total GPU hours.
+    pub total: f64,
+}
+
+impl Breakdown {
+    /// Aggregates GPU hours by assigned category.
+    pub fn from_assignments(jobs: &[Job], categories: &[JobCategory]) -> Self {
+        let mut gpu_hours = [0.0f64; 4];
+        for (j, c) in jobs.iter().zip(categories) {
+            gpu_hours[Self::slot(*c)] += j.gpu_hours();
+        }
+        Breakdown {
+            gpu_hours,
+            total: gpu_hours.iter().sum(),
+        }
+    }
+
+    fn slot(c: JobCategory) -> usize {
+        match c {
+            JobCategory::RepetitiveSingleGpu => 0,
+            JobCategory::IsolatedSingleGpu => 1,
+            JobCategory::Distributed => 2,
+            JobCategory::Other => 3,
+        }
+    }
+
+    /// Percentage share of a category.
+    pub fn share(&self, c: JobCategory) -> f64 {
+        if self.total == 0.0 {
+            0.0
+        } else {
+            self.gpu_hours[Self::slot(c)] / self.total * 100.0
+        }
+    }
+
+    /// Table 1 rows: `(category name, GPU hours, percent)`.
+    pub fn rows(&self) -> Vec<(&'static str, f64, f64)> {
+        [
+            JobCategory::RepetitiveSingleGpu,
+            JobCategory::IsolatedSingleGpu,
+            JobCategory::Distributed,
+            JobCategory::Other,
+        ]
+        .into_iter()
+        .map(|c| (c.name(), self.gpu_hours[Self::slot(c)], self.share(c)))
+        .collect()
+    }
+}
+
+/// Classifier accuracy against the generator's ground truth (for
+/// validating the pipeline, not part of the paper's methodology).
+pub fn accuracy(jobs: &[Job], categories: &[JobCategory]) -> f64 {
+    let hits = jobs
+        .iter()
+        .zip(categories)
+        .filter(|(j, c)| j.truth == **c)
+        .count();
+    hits as f64 / jobs.len().max(1) as f64
+}
+
+/// A sampled utilization profile of one repetitive job (Figure 10): the
+/// paper manually profiled 13 such jobs and found `sm_active <= 24%` and
+/// `sm_occupancy <= 14%`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct UtilizationSample {
+    /// Job id the sample came from.
+    pub job_id: u64,
+    /// DCGM `sm_active` (0..=1).
+    pub sm_active: f64,
+    /// DCGM `sm_occupancy` (0..=1).
+    pub sm_occupancy: f64,
+}
+
+/// Samples utilization profiles for `count` repetitive jobs, mirroring the
+/// empirical distribution of Figure 10 (most jobs well under 20% active,
+/// occupancy roughly half of that). Deterministic per job id.
+pub fn sample_utilization(
+    jobs: &[Job],
+    categories: &[JobCategory],
+    count: usize,
+) -> Vec<UtilizationSample> {
+    jobs.iter()
+        .zip(categories)
+        .filter(|(_, c)| **c == JobCategory::RepetitiveSingleGpu)
+        .take(count)
+        .map(|(j, _)| {
+            // Deterministic pseudo-random in [0, 1) from the job id.
+            let mut h = j.id.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0xDEAD_BEEF;
+            h ^= h >> 31;
+            h = h.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+            h ^= h >> 33;
+            let u = (h % 10_000) as f64 / 10_000.0;
+            // Right-skewed: most mass near 5-15%, max ~24%.
+            let sm_active = 0.03 + 0.21 * u * u;
+            let sm_occupancy = sm_active * (0.4 + 0.2 * u);
+            UtilizationSample {
+                job_id: j.id,
+                sm_active,
+                sm_occupancy,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{generate, TraceCfg};
+
+    fn classified() -> (Vec<Job>, Vec<JobCategory>) {
+        let jobs = generate(&TraceCfg::small(), 11);
+        let cats = classify(&jobs, &ClassifyCfg::default());
+        (jobs, cats)
+    }
+
+    #[test]
+    fn classifier_recovers_ground_truth_well() {
+        let (jobs, cats) = classified();
+        let acc = accuracy(&jobs, &cats);
+        assert!(acc > 0.85, "accuracy {acc}");
+    }
+
+    #[test]
+    fn repetitive_dominates_like_table1() {
+        let (jobs, cats) = classified();
+        let b = Breakdown::from_assignments(&jobs, &cats);
+        let rep = b.share(JobCategory::RepetitiveSingleGpu);
+        let iso = b.share(JobCategory::IsolatedSingleGpu);
+        let dist = b.share(JobCategory::Distributed);
+        assert!((30.0..65.0).contains(&rep), "repetitive {rep}%");
+        assert!(iso < 12.0, "isolated {iso}%");
+        assert!(rep > dist, "repetitive {rep}% vs distributed {dist}%");
+        // Shares sum to 100.
+        let total: f64 = b.rows().iter().map(|r| r.2).sum();
+        assert!((total - 100.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn distributed_detected_by_gpu_count() {
+        let (jobs, cats) = classified();
+        for (j, c) in jobs.iter().zip(&cats) {
+            if j.gpus > 1 {
+                assert_eq!(*c, JobCategory::Distributed);
+            }
+        }
+    }
+
+    #[test]
+    fn bursts_require_similar_names() {
+        // Two same-user jobs at the same time with dissimilar names must
+        // not be merged into a repetitive group.
+        let mk = |id, name: &str| Job {
+            id,
+            user: "u".into(),
+            name: name.into(),
+            submit_s: 0,
+            duration_s: 3600,
+            gpus: 1,
+            partition: "V2".into(),
+            pinned_node: false,
+            truth: JobCategory::IsolatedSingleGpu,
+        };
+        let jobs = vec![
+            mk(0, "pointnet_train_a"),
+            mk(1, "totally-different-zzz"),
+            mk(2, "gan_eval_b"),
+        ];
+        let cats = classify(&jobs, &ClassifyCfg::default());
+        assert!(cats.iter().all(|c| *c != JobCategory::RepetitiveSingleGpu));
+    }
+
+    #[test]
+    fn burst_of_similar_names_detected() {
+        let mk = |id, name: String, t| Job {
+            id,
+            user: "u".into(),
+            name,
+            submit_s: t,
+            duration_s: 3600,
+            gpus: 1,
+            partition: "V2".into(),
+            pinned_node: false,
+            truth: JobCategory::RepetitiveSingleGpu,
+        };
+        let jobs: Vec<Job> = (0..5)
+            .map(|k| mk(k, format!("sweep_lr_0.{k:03}"), k))
+            .collect();
+        let cats = classify(&jobs, &ClassifyCfg::default());
+        assert!(cats.iter().all(|c| *c == JobCategory::RepetitiveSingleGpu));
+    }
+
+    #[test]
+    fn figure10_samples_match_paper_bounds() {
+        let (jobs, cats) = classified();
+        let samples = sample_utilization(&jobs, &cats, 13);
+        assert_eq!(samples.len(), 13);
+        for s in &samples {
+            assert!(s.sm_active <= 0.24 + 1e-9, "sm_active {}", s.sm_active);
+            assert!(s.sm_occupancy <= 0.15, "sm_occupancy {}", s.sm_occupancy);
+            assert!(s.sm_occupancy < s.sm_active);
+        }
+    }
+}

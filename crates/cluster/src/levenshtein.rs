@@ -1,0 +1,107 @@
+//! Levenshtein edit distance and the normalized job-name similarity used
+//! by the paper's Appendix-A classifier.
+
+/// Levenshtein edit distance between two strings (unit costs).
+///
+/// # Example
+///
+/// ```
+/// use hfta_cluster::levenshtein::distance;
+/// assert_eq!(distance("kitten", "sitting"), 3);
+/// assert_eq!(distance("", "abc"), 3);
+/// assert_eq!(distance("same", "same"), 0);
+/// ```
+pub fn distance(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    if a.is_empty() {
+        return b.len();
+    }
+    if b.is_empty() {
+        return a.len();
+    }
+    // Single-row dynamic program.
+    let mut row: Vec<usize> = (0..=b.len()).collect();
+    for (i, &ca) in a.iter().enumerate() {
+        let mut prev = row[0];
+        row[0] = i + 1;
+        for (j, &cb) in b.iter().enumerate() {
+            let substitute = prev + usize::from(ca != cb);
+            prev = row[j + 1];
+            row[j + 1] = substitute.min(prev + 1).min(row[j] + 1);
+        }
+    }
+    row[b.len()]
+}
+
+/// Normalized similarity in `[0, 1]`: 1 means identical, 0 totally
+/// different (the paper's Appendix-A convention; threshold 0.9).
+///
+/// # Example
+///
+/// ```
+/// use hfta_cluster::levenshtein::similarity;
+/// assert_eq!(similarity("run-lr0.1", "run-lr0.1"), 1.0);
+/// assert!(similarity("sweep-lr-0.1", "sweep-lr-0.01") > 0.9);
+/// assert!(similarity("alpha", "omega") < 0.5);
+/// ```
+pub fn similarity(a: &str, b: &str) -> f64 {
+    let max_len = a.chars().count().max(b.chars().count());
+    if max_len == 0 {
+        return 1.0;
+    }
+    1.0 - distance(a, b) as f64 / max_len as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classic_cases() {
+        assert_eq!(distance("kitten", "sitting"), 3);
+        assert_eq!(distance("flaw", "lawn"), 2);
+        assert_eq!(distance("abc", "abc"), 0);
+        assert_eq!(distance("abc", ""), 3);
+    }
+
+    #[test]
+    fn distance_is_symmetric() {
+        let pairs = [("abc", "axbyc"), ("hyper", "hypo"), ("", "x")];
+        for (a, b) in pairs {
+            assert_eq!(distance(a, b), distance(b, a));
+        }
+    }
+
+    #[test]
+    fn triangle_inequality_spot_checks() {
+        let (a, b, c) = ("train-lr01", "train-lr02", "eval-lr02");
+        assert!(distance(a, c) <= distance(a, b) + distance(b, c));
+    }
+
+    #[test]
+    fn similarity_bounds() {
+        assert_eq!(similarity("", ""), 1.0);
+        assert_eq!(similarity("abcd", "abcd"), 1.0);
+        assert_eq!(similarity("aaaa", "bbbb"), 0.0);
+        let s = similarity("job-seed-41", "job-seed-42");
+        assert!((0.0..=1.0).contains(&s));
+        assert!(s > 0.9);
+    }
+
+    #[test]
+    fn hyperparameter_suffixes_clear_the_paper_threshold() {
+        // The Appendix-A observation: sweep jobs differ only in small
+        // suffixes and clear the 0.9 threshold.
+        assert!(similarity("resnet_cifar_lr0.100_wd1e-4", "resnet_cifar_lr0.010_wd1e-4") >= 0.9);
+        assert!(similarity("pointnet-train-seed-1", "pointnet-train-seed-2") >= 0.9);
+        // Unrelated jobs do not.
+        assert!(similarity("bert_pretrain_phase2", "gan-superres-eval") < 0.9);
+    }
+
+    #[test]
+    fn unicode_names() {
+        assert_eq!(distance("héllo", "hello"), 1);
+        assert!(similarity("héllo", "hello") > 0.7);
+    }
+}

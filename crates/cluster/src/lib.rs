@@ -1,0 +1,29 @@
+//! # hfta-cluster
+//!
+//! GPU-cluster job-trace generation and analysis, reproducing the paper's
+//! motivation study (Appendix A, Table 1, Figures 9–10): synthetic
+//! two-month traces with the Vector-Institute workload mix, the
+//! burst/Levenshtein classifier that identifies repetitive single-GPU
+//! training jobs, GPU-hour aggregation, and the low-utilization sampling
+//! of repetitive jobs.
+//!
+//! # Example
+//!
+//! ```
+//! use hfta_cluster::{classify, trace};
+//!
+//! let jobs = trace::generate(&trace::TraceCfg::small(), 42);
+//! let cats = classify::classify(&jobs, &classify::ClassifyCfg::default());
+//! let breakdown = classify::Breakdown::from_assignments(&jobs, &cats);
+//! // Repetitive single-GPU jobs dominate, as in the paper's Table 1.
+//! assert!(breakdown.share(trace::JobCategory::RepetitiveSingleGpu) > 30.0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod classify;
+pub mod levenshtein;
+pub mod trace;
+
+pub use classify::{classify, Breakdown, ClassifyCfg, UtilizationSample};
+pub use trace::{generate, partition_hours, Job, JobCategory, TraceCfg};

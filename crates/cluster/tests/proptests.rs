@@ -1,0 +1,73 @@
+//! Property-based tests of the Levenshtein metric and the classifier.
+
+use hfta_cluster::levenshtein::{distance, similarity};
+use hfta_cluster::{classify, trace};
+use proptest::prelude::*;
+
+fn name() -> impl Strategy<Value = String> {
+    "[a-z0-9_.]{0,20}"
+}
+
+proptest! {
+    #[test]
+    fn distance_identity(a in name()) {
+        prop_assert_eq!(distance(&a, &a), 0);
+        prop_assert!((similarity(&a, &a) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn distance_symmetry(a in name(), b in name()) {
+        prop_assert_eq!(distance(&a, &b), distance(&b, &a));
+    }
+
+    #[test]
+    fn distance_triangle_inequality(a in name(), b in name(), c in name()) {
+        prop_assert!(distance(&a, &c) <= distance(&a, &b) + distance(&b, &c));
+    }
+
+    #[test]
+    fn distance_bounded_by_longer_string(a in name(), b in name()) {
+        let d = distance(&a, &b);
+        let max_len = a.chars().count().max(b.chars().count());
+        prop_assert!(d <= max_len);
+        let s = similarity(&a, &b);
+        prop_assert!((0.0..=1.0).contains(&s));
+    }
+
+    #[test]
+    fn single_edit_costs_one(a in "[a-z]{1,15}", pos_frac in 0.0f64..1.0) {
+        let chars: Vec<char> = a.chars().collect();
+        let pos = ((chars.len() as f64 - 1.0) * pos_frac) as usize;
+        let mut mutated = chars.clone();
+        mutated[pos] = if mutated[pos] == 'z' { 'a' } else { 'z' };
+        let b: String = mutated.into_iter().collect();
+        let expected = usize::from(b != a);
+        prop_assert_eq!(distance(&a, &b), expected);
+    }
+
+    #[test]
+    fn classifier_is_deterministic_and_total(seed in 0u64..64) {
+        let cfg = trace::TraceCfg { users: 10, days: 3, jobs: 200, ..trace::TraceCfg::small() };
+        let jobs = trace::generate(&cfg, seed);
+        let c1 = classify::classify(&jobs, &classify::ClassifyCfg::default());
+        let c2 = classify::classify(&jobs, &classify::ClassifyCfg::default());
+        prop_assert_eq!(&c1, &c2);
+        prop_assert_eq!(c1.len(), jobs.len());
+        // Breakdown shares always sum to 100%.
+        let b = classify::Breakdown::from_assignments(&jobs, &c1);
+        let total: f64 = b.rows().iter().map(|r| r.2).sum();
+        prop_assert!((total - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn multi_gpu_jobs_never_classified_repetitive(seed in 0u64..64) {
+        let cfg = trace::TraceCfg { users: 10, days: 3, jobs: 200, ..trace::TraceCfg::small() };
+        let jobs = trace::generate(&cfg, seed);
+        let cats = classify::classify(&jobs, &classify::ClassifyCfg::default());
+        for (j, c) in jobs.iter().zip(&cats) {
+            if j.gpus > 1 {
+                prop_assert_ne!(*c, trace::JobCategory::RepetitiveSingleGpu);
+            }
+        }
+    }
+}

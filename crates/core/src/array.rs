@@ -1,0 +1,213 @@
+//! The [`ModelArray`] convenience wrapper and hyper-parameter sweep
+//! helpers.
+
+use hfta_nn::{Parameter, Tape, Var};
+use hfta_tensor::Tensor;
+
+use crate::error::Result;
+use crate::format::{stack_array, stack_conv};
+use crate::ops::{FusedModule, FusedParameter};
+use crate::optim::PerModel;
+
+/// Ties a fused module to its array width and input-stacking conventions —
+/// the user-facing entry point for "train these `B` jobs together".
+///
+/// # Example
+///
+/// ```
+/// use hfta_core::{array::ModelArray, ops::{FusedLinear, FusedModule}};
+/// use hfta_nn::layers::LinearCfg;
+/// use hfta_tensor::{Rng, Tensor};
+///
+/// let mut rng = Rng::seed_from(0);
+/// let array = ModelArray::new(FusedLinear::new(3, LinearCfg::new(4, 2), &mut rng));
+/// let inputs: Vec<Tensor> = (0..3).map(|_| rng.randn([8, 4])).collect();
+/// let (tape, out) = array.forward_array(&inputs).unwrap();
+/// assert_eq!(out.dims(), vec![3, 8, 2]);
+/// # let _ = tape;
+/// ```
+#[derive(Debug)]
+pub struct ModelArray<M> {
+    module: M,
+}
+
+impl<M: FusedModule> ModelArray<M> {
+    /// Wraps a fused module.
+    pub fn new(module: M) -> Self {
+        ModelArray { module }
+    }
+
+    /// The array width.
+    pub fn b(&self) -> usize {
+        self.module.b()
+    }
+
+    /// The wrapped fused module.
+    pub fn module(&self) -> &M {
+        &self.module
+    }
+
+    /// Mutable access to the wrapped module.
+    pub fn module_mut(&mut self) -> &mut M {
+        &mut self.module
+    }
+
+    /// Consumes the wrapper, returning the module.
+    pub fn into_module(self) -> M {
+        self.module
+    }
+
+    /// All trainable parameters.
+    pub fn parameters(&self) -> Vec<Parameter> {
+        self.module.parameters()
+    }
+
+    /// Parameters with fusion metadata, ready for a fused optimizer.
+    pub fn fused_parameters(&self) -> Vec<FusedParameter> {
+        self.module.fused_parameters()
+    }
+
+    /// Switches training/eval mode.
+    pub fn set_training(&self, training: bool) {
+        self.module.set_training(training);
+    }
+
+    /// Stacks per-model conv-format inputs `[N, C, ...]` and runs the
+    /// fused forward pass; returns the tape for a subsequent backward.
+    ///
+    /// # Errors
+    ///
+    /// Returns a fusion error if input shapes differ across models.
+    pub fn forward_conv(&self, inputs: &[Tensor]) -> Result<(Tape, Var)> {
+        let fused = stack_conv(inputs)?;
+        let tape = Tape::new();
+        let x = tape.leaf(fused);
+        let y = self.module.forward(&x);
+        Ok((tape, y))
+    }
+
+    /// Stacks per-model array-format inputs `[N, F]` and runs the fused
+    /// forward pass.
+    ///
+    /// # Errors
+    ///
+    /// Returns a fusion error if input shapes differ across models.
+    pub fn forward_array(&self, inputs: &[Tensor]) -> Result<(Tape, Var)> {
+        let fused = stack_array(inputs)?;
+        let tape = Tape::new();
+        let x = tape.leaf(fused);
+        let y = self.module.forward(&x);
+        Ok((tape, y))
+    }
+
+    /// Runs the fused forward on an already-stacked input.
+    pub fn forward(&self, x: &Var) -> Var {
+        self.module.forward(x)
+    }
+}
+
+/// Copies model `index`'s weights out of a fused parameter set into a
+/// per-model parameter set (matching order and per-model shapes) — the
+/// glue for checkpointing one array member or for initializing a serial
+/// replica that must match a fused array bit-for-bit (the §3.3
+/// convergence-equivalence experiments).
+///
+/// # Panics
+///
+/// Panics if the parameter counts differ, `index` is out of range, or a
+/// slice's element count differs from its destination.
+pub fn copy_model_weights(fused: &[FusedParameter], index: usize, dest: &[Parameter]) {
+    assert_eq!(
+        fused.len(),
+        dest.len(),
+        "fused/serial parameter count mismatch"
+    );
+    for (fp, d) in fused.iter().zip(dest) {
+        let slice = fp.model_slice(index);
+        let dest_dims = d.value().dims().to_vec();
+        assert_eq!(
+            slice.numel(),
+            dest_dims.iter().product::<usize>(),
+            "parameter {} size mismatch",
+            d.name()
+        );
+        d.set_value(slice.reshape(&dest_dims));
+    }
+}
+
+/// Expands lists of candidate hyper-parameter values into the per-model
+/// vectors of a grid sweep — the repetitive-job launcher HFTA replaces.
+///
+/// # Example
+///
+/// ```
+/// use hfta_core::array::grid_sweep;
+/// let (b, grid) = grid_sweep(&[vec![0.1, 0.01], vec![0.9, 0.95, 0.99]]);
+/// assert_eq!(b, 6);
+/// assert_eq!(grid[0].values(), &[0.1, 0.1, 0.1, 0.01, 0.01, 0.01]);
+/// assert_eq!(grid[1].values(), &[0.9, 0.95, 0.99, 0.9, 0.95, 0.99]);
+/// ```
+pub fn grid_sweep(axes: &[Vec<f32>]) -> (usize, Vec<PerModel>) {
+    let b: usize = axes.iter().map(|a| a.len().max(1)).product();
+    let mut out = Vec::with_capacity(axes.len());
+    let mut repeat_inner = b;
+    for axis in axes {
+        let len = axis.len().max(1);
+        repeat_inner /= len;
+        let repeat_outer = b / (len * repeat_inner);
+        let mut values = Vec::with_capacity(b);
+        for _ in 0..repeat_outer {
+            for v in axis {
+                for _ in 0..repeat_inner {
+                    values.push(*v);
+                }
+            }
+        }
+        out.push(PerModel::new(values));
+        // Keep shrinking the inner repeat for the next (faster-varying) axis.
+    }
+    (b, out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::FusedLinear;
+    use hfta_nn::layers::LinearCfg;
+    use hfta_tensor::Rng;
+
+    #[test]
+    fn model_array_forward_and_params() {
+        let mut rng = Rng::seed_from(0);
+        let array = ModelArray::new(FusedLinear::new(2, LinearCfg::new(3, 4), &mut rng));
+        assert_eq!(array.b(), 2);
+        assert_eq!(array.parameters().len(), 2);
+        assert_eq!(array.fused_parameters()[0].b, 2);
+        let inputs: Vec<Tensor> = (0..2).map(|_| rng.randn([5, 3])).collect();
+        let (_tape, y) = array.forward_array(&inputs).unwrap();
+        assert_eq!(y.dims(), vec![2, 5, 4]);
+    }
+
+    #[test]
+    fn forward_array_rejects_mismatched_inputs() {
+        let mut rng = Rng::seed_from(1);
+        let array = ModelArray::new(FusedLinear::new(2, LinearCfg::new(3, 4), &mut rng));
+        let bad = vec![rng.randn([5, 3]), rng.randn([4, 3])];
+        assert!(array.forward_array(&bad).is_err());
+    }
+
+    #[test]
+    fn grid_sweep_cartesian() {
+        let (b, grid) = grid_sweep(&[vec![1.0, 2.0], vec![10.0, 20.0]]);
+        assert_eq!(b, 4);
+        assert_eq!(grid[0].values(), &[1.0, 1.0, 2.0, 2.0]);
+        assert_eq!(grid[1].values(), &[10.0, 20.0, 10.0, 20.0]);
+    }
+
+    #[test]
+    fn grid_sweep_single_axis() {
+        let (b, grid) = grid_sweep(&[vec![0.1, 0.2, 0.3]]);
+        assert_eq!(b, 3);
+        assert_eq!(grid[0].values(), &[0.1, 0.2, 0.3]);
+    }
+}

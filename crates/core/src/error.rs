@@ -1,0 +1,103 @@
+//! Errors produced when horizontal fusion is not applicable.
+
+use std::fmt;
+
+/// Why a set of operators (or models) could not be horizontally fused.
+///
+/// HFTA's applicability condition (paper §3, observation 1) is that the
+/// operators across jobs have the *same types* with the *same shapes*;
+/// these variants report which part of the condition failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FusionError {
+    /// No operators were supplied.
+    Empty,
+    /// Two operators had different kinds (e.g. `Conv2d` vs `Linear`).
+    KindMismatch {
+        /// Kind of the first operator.
+        expected: String,
+        /// Kind of the mismatched operator.
+        found: String,
+        /// Index of the mismatched operator.
+        index: usize,
+    },
+    /// Two operators of the same kind had different shapes or
+    /// hyper-parameters (kernel, stride, groups, ...).
+    ShapeMismatch {
+        /// Kind of the operators.
+        kind: String,
+        /// Index of the mismatched operator.
+        index: usize,
+        /// Human-readable detail of the differing attribute.
+        detail: String,
+    },
+    /// Models had different parameter counts or layer structures.
+    StructureMismatch {
+        /// Human-readable detail.
+        detail: String,
+    },
+    /// An array width of zero was requested.
+    InvalidWidth,
+    /// A per-model hyper-parameter vector had the wrong length.
+    HyperParamLength {
+        /// Expected length (the array width `B`).
+        expected: usize,
+        /// Actual length.
+        found: usize,
+    },
+}
+
+impl fmt::Display for FusionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FusionError::Empty => write!(f, "cannot fuse an empty set of operators"),
+            FusionError::KindMismatch {
+                expected,
+                found,
+                index,
+            } => write!(
+                f,
+                "operator {index} has kind {found}, expected {expected}"
+            ),
+            FusionError::ShapeMismatch {
+                kind,
+                index,
+                detail,
+            } => write!(f, "{kind} operator {index} differs in shape: {detail}"),
+            FusionError::StructureMismatch { detail } => {
+                write!(f, "model structures differ: {detail}")
+            }
+            FusionError::InvalidWidth => write!(f, "array width must be positive"),
+            FusionError::HyperParamLength { expected, found } => write!(
+                f,
+                "per-model hyper-parameter vector has length {found}, expected {expected}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for FusionError {}
+
+/// Convenience alias for fusion results.
+pub type Result<T> = std::result::Result<T, FusionError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_informative() {
+        let e = FusionError::KindMismatch {
+            expected: "Conv2d".into(),
+            found: "Linear".into(),
+            index: 3,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("Conv2d") && msg.contains("Linear") && msg.contains('3'));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<FusionError>();
+    }
+}

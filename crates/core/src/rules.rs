@@ -1,0 +1,1018 @@
+//! The horizontal operator fusion rules of HFTA — **Table 6** of the paper
+//! as typed, checkable data.
+//!
+//! An [`OpSpec`] describes one operator invocation at concrete shapes. The
+//! two key observations of the paper become code here:
+//!
+//! 1. *same type + same shape*: [`fuse`] verifies a batch of specs is
+//!    fusable and rejects mismatches with a precise [`FusionError`];
+//! 2. *mathematical equivalence*: [`OpSpec::fused`] produces the spec of
+//!    the already-well-optimized operator that realizes the fusion
+//!    (grouped convolution, `baddbmm`, widened batch-norm, ...).
+//!
+//! The same specs carry FLOP/byte accounting used by the `hfta-sim`
+//! cost model, so the fusion rules and the performance model cannot drift
+//! apart.
+
+use crate::error::{FusionError, Result};
+
+/// The operator types HFTA currently supports (paper Appendix B).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpKind {
+    /// 2-D convolution.
+    Conv2d,
+    /// 1-D convolution.
+    Conv1d,
+    /// 2-D transposed convolution.
+    ConvTranspose2d,
+    /// Fully connected layer.
+    Linear,
+    /// Batch norm over `[N, C]` / `[N, C, L]`.
+    BatchNorm1d,
+    /// Batch norm over `[N, C, H, W]`.
+    BatchNorm2d,
+    /// 2-D max pooling.
+    MaxPool2d,
+    /// Channel dropout.
+    Dropout2d,
+    /// Elementwise dropout.
+    Dropout,
+    /// Leaky rectified linear unit.
+    LeakyRelu,
+    /// Rectified linear unit.
+    Relu,
+    /// Hyperbolic tangent.
+    Tanh,
+}
+
+impl OpKind {
+    /// All supported kinds, in Table 6 order.
+    pub const ALL: [OpKind; 12] = [
+        OpKind::Conv2d,
+        OpKind::Conv1d,
+        OpKind::ConvTranspose2d,
+        OpKind::Linear,
+        OpKind::BatchNorm1d,
+        OpKind::BatchNorm2d,
+        OpKind::MaxPool2d,
+        OpKind::Dropout2d,
+        OpKind::Dropout,
+        OpKind::LeakyRelu,
+        OpKind::Relu,
+        OpKind::Tanh,
+    ];
+
+    /// Short human-readable name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            OpKind::Conv2d => "Conv2d",
+            OpKind::Conv1d => "Conv1d",
+            OpKind::ConvTranspose2d => "ConvTranspose2d",
+            OpKind::Linear => "Linear",
+            OpKind::BatchNorm1d => "BatchNorm1d",
+            OpKind::BatchNorm2d => "BatchNorm2d",
+            OpKind::MaxPool2d => "MaxPool2d",
+            OpKind::Dropout2d => "Dropout2d",
+            OpKind::Dropout => "Dropout",
+            OpKind::LeakyRelu => "LeakyReLU",
+            OpKind::Relu => "ReLU",
+            OpKind::Tanh => "Tanh",
+        }
+    }
+
+    /// How the fused operator is realized (Table 6, right column).
+    pub fn fusion_mechanism(&self) -> &'static str {
+        match self {
+            OpKind::Conv2d => "grouped Conv2d with G = B x g",
+            OpKind::Conv1d => "grouped Conv1d with G = B x g",
+            OpKind::ConvTranspose2d => "grouped ConvTranspose2d with G = B x g",
+            OpKind::Linear => "baddbmm over [B, N, F] operands",
+            OpKind::BatchNorm1d => "BatchNorm1d widened to B x C channels",
+            OpKind::BatchNorm2d => "BatchNorm2d widened to B x C channels",
+            OpKind::MaxPool2d => "MaxPool2d over B x C channels (stateless)",
+            OpKind::Dropout2d => "Dropout2d over B x C channels (stateless)",
+            OpKind::Dropout => "Dropout over the widened tensor (stateless)",
+            OpKind::LeakyRelu => "LeakyReLU over the widened tensor (stateless)",
+            OpKind::Relu => "ReLU over the widened tensor (stateless)",
+            OpKind::Tanh => "Tanh over the widened tensor (stateless)",
+        }
+    }
+
+    /// Whether the operator carries trainable state (weights).
+    pub fn is_stateful(&self) -> bool {
+        matches!(
+            self,
+            OpKind::Conv2d
+                | OpKind::Conv1d
+                | OpKind::ConvTranspose2d
+                | OpKind::Linear
+                | OpKind::BatchNorm1d
+                | OpKind::BatchNorm2d
+        )
+    }
+}
+
+impl std::fmt::Display for OpKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One operator invocation at concrete shapes.
+///
+/// Spatial sizes refer to the operator's *input*; batch size `n` is the
+/// per-model minibatch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpSpec {
+    /// 2-D convolution.
+    Conv2d {
+        /// Minibatch size.
+        n: usize,
+        /// Input channels.
+        c_in: usize,
+        /// Output channels.
+        c_out: usize,
+        /// Input height.
+        h: usize,
+        /// Input width.
+        w: usize,
+        /// Square kernel size.
+        kernel: usize,
+        /// Stride.
+        stride: usize,
+        /// Padding.
+        padding: usize,
+        /// Groups.
+        groups: usize,
+    },
+    /// 1-D convolution.
+    Conv1d {
+        /// Minibatch size.
+        n: usize,
+        /// Input channels.
+        c_in: usize,
+        /// Output channels.
+        c_out: usize,
+        /// Input length.
+        l: usize,
+        /// Kernel size.
+        kernel: usize,
+        /// Stride.
+        stride: usize,
+        /// Padding.
+        padding: usize,
+        /// Groups.
+        groups: usize,
+    },
+    /// 2-D transposed convolution.
+    ConvTranspose2d {
+        /// Minibatch size.
+        n: usize,
+        /// Input channels.
+        c_in: usize,
+        /// Output channels.
+        c_out: usize,
+        /// Input height.
+        h: usize,
+        /// Input width.
+        w: usize,
+        /// Square kernel size.
+        kernel: usize,
+        /// Stride.
+        stride: usize,
+        /// Padding.
+        padding: usize,
+        /// Groups.
+        groups: usize,
+    },
+    /// Fully connected layer over `[N, F_in]` — or, when `arrays > 1`,
+    /// the horizontally fused `baddbmm` over `[arrays, N, F_in]`
+    /// (Table 6 row 4).
+    Linear {
+        /// Minibatch size (rows) per model.
+        n: usize,
+        /// Input features.
+        f_in: usize,
+        /// Output features.
+        f_out: usize,
+        /// Number of fused weight copies (1 for a plain linear layer).
+        arrays: usize,
+    },
+    /// Batch norm over `[N, C, L]` (`l = 1` for the `[N, C]` form).
+    BatchNorm1d {
+        /// Minibatch size.
+        n: usize,
+        /// Channels.
+        c: usize,
+        /// Signal length.
+        l: usize,
+    },
+    /// Batch norm over `[N, C, H, W]`.
+    BatchNorm2d {
+        /// Minibatch size.
+        n: usize,
+        /// Channels.
+        c: usize,
+        /// Input height.
+        h: usize,
+        /// Input width.
+        w: usize,
+    },
+    /// 2-D max pooling.
+    MaxPool2d {
+        /// Minibatch size.
+        n: usize,
+        /// Channels.
+        c: usize,
+        /// Input height.
+        h: usize,
+        /// Input width.
+        w: usize,
+        /// Window size.
+        kernel: usize,
+        /// Stride.
+        stride: usize,
+    },
+    /// Channel dropout over `[N, C, H, W]`.
+    Dropout2d {
+        /// Minibatch size.
+        n: usize,
+        /// Channels.
+        c: usize,
+        /// Input height.
+        h: usize,
+        /// Input width.
+        w: usize,
+    },
+    /// Elementwise dropout over any shape.
+    Dropout {
+        /// Total element count.
+        numel: usize,
+    },
+    /// Leaky ReLU over any shape.
+    LeakyRelu {
+        /// Total element count.
+        numel: usize,
+    },
+    /// ReLU over any shape.
+    Relu {
+        /// Total element count.
+        numel: usize,
+    },
+    /// Tanh over any shape.
+    Tanh {
+        /// Total element count.
+        numel: usize,
+    },
+}
+
+impl OpSpec {
+    /// The operator's kind.
+    pub fn kind(&self) -> OpKind {
+        match self {
+            OpSpec::Conv2d { .. } => OpKind::Conv2d,
+            OpSpec::Conv1d { .. } => OpKind::Conv1d,
+            OpSpec::ConvTranspose2d { .. } => OpKind::ConvTranspose2d,
+            OpSpec::Linear { .. } => OpKind::Linear,
+            OpSpec::BatchNorm1d { .. } => OpKind::BatchNorm1d,
+            OpSpec::BatchNorm2d { .. } => OpKind::BatchNorm2d,
+            OpSpec::MaxPool2d { .. } => OpKind::MaxPool2d,
+            OpSpec::Dropout2d { .. } => OpKind::Dropout2d,
+            OpSpec::Dropout { .. } => OpKind::Dropout,
+            OpSpec::LeakyRelu { .. } => OpKind::LeakyRelu,
+            OpSpec::Relu { .. } => OpKind::Relu,
+            OpSpec::Tanh { .. } => OpKind::Tanh,
+        }
+    }
+
+    /// The Table 6 transform: the spec of the single operator that computes
+    /// `b` horizontally fused copies of this one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b == 0`.
+    pub fn fused(&self, b: usize) -> OpSpec {
+        assert!(b > 0, "fusion width must be positive");
+        match *self {
+            OpSpec::Conv2d {
+                n,
+                c_in,
+                c_out,
+                h,
+                w,
+                kernel,
+                stride,
+                padding,
+                groups,
+            } => OpSpec::Conv2d {
+                n,
+                c_in: b * c_in,
+                c_out: b * c_out,
+                h,
+                w,
+                kernel,
+                stride,
+                padding,
+                groups: b * groups,
+            },
+            OpSpec::Conv1d {
+                n,
+                c_in,
+                c_out,
+                l,
+                kernel,
+                stride,
+                padding,
+                groups,
+            } => OpSpec::Conv1d {
+                n,
+                c_in: b * c_in,
+                c_out: b * c_out,
+                l,
+                kernel,
+                stride,
+                padding,
+                groups: b * groups,
+            },
+            OpSpec::ConvTranspose2d {
+                n,
+                c_in,
+                c_out,
+                h,
+                w,
+                kernel,
+                stride,
+                padding,
+                groups,
+            } => OpSpec::ConvTranspose2d {
+                n,
+                c_in: b * c_in,
+                c_out: b * c_out,
+                h,
+                w,
+                kernel,
+                stride,
+                padding,
+                groups: b * groups,
+            },
+            // Linear fuses to a baddbmm over [B * arrays, N, F] operands.
+            OpSpec::Linear {
+                n,
+                f_in,
+                f_out,
+                arrays,
+            } => OpSpec::Linear {
+                n,
+                f_in,
+                f_out,
+                arrays: b * arrays,
+            },
+            OpSpec::BatchNorm1d { n, c, l } => OpSpec::BatchNorm1d { n, c: b * c, l },
+            OpSpec::BatchNorm2d { n, c, h, w } => OpSpec::BatchNorm2d { n, c: b * c, h, w },
+            OpSpec::MaxPool2d {
+                n,
+                c,
+                h,
+                w,
+                kernel,
+                stride,
+            } => OpSpec::MaxPool2d {
+                n,
+                c: b * c,
+                h,
+                w,
+                kernel,
+                stride,
+            },
+            OpSpec::Dropout2d { n, c, h, w } => OpSpec::Dropout2d { n, c: b * c, h, w },
+            OpSpec::Dropout { numel } => OpSpec::Dropout { numel: b * numel },
+            OpSpec::LeakyRelu { numel } => OpSpec::LeakyRelu { numel: b * numel },
+            OpSpec::Relu { numel } => OpSpec::Relu { numel: b * numel },
+            OpSpec::Tanh { numel } => OpSpec::Tanh { numel: b * numel },
+        }
+    }
+
+    /// Forward-pass floating point operations (multiply-accumulate = 2).
+    pub fn flops(&self) -> u64 {
+        let conv_out = |sz: usize, k: usize, s: usize, p: usize| (sz + 2 * p - k) / s + 1;
+        match *self {
+            OpSpec::Conv2d {
+                n,
+                c_in,
+                c_out,
+                h,
+                w,
+                kernel,
+                stride,
+                padding,
+                groups,
+            } => {
+                let ho = conv_out(h, kernel, stride, padding);
+                let wo = conv_out(w, kernel, stride, padding);
+                2 * (n * c_out * ho * wo * (c_in / groups) * kernel * kernel) as u64
+            }
+            OpSpec::Conv1d {
+                n,
+                c_in,
+                c_out,
+                l,
+                kernel,
+                stride,
+                padding,
+                groups,
+            } => {
+                let lo = conv_out(l, kernel, stride, padding);
+                2 * (n * c_out * lo * (c_in / groups) * kernel) as u64
+            }
+            OpSpec::ConvTranspose2d {
+                n,
+                c_in,
+                c_out,
+                h,
+                w,
+                kernel,
+                groups,
+                ..
+            } => 2 * (n * c_in * h * w * (c_out / groups) * kernel * kernel) as u64,
+            OpSpec::Linear {
+                n,
+                f_in,
+                f_out,
+                arrays,
+            } => 2 * (arrays * n * f_in * f_out) as u64,
+            OpSpec::BatchNorm1d { n, c, l } => 8 * (n * c * l) as u64,
+            OpSpec::BatchNorm2d { n, c, h, w } => 8 * (n * c * h * w) as u64,
+            OpSpec::MaxPool2d {
+                n,
+                c,
+                h,
+                w,
+                kernel,
+                stride,
+            } => {
+                let ho = (h - kernel) / stride + 1;
+                let wo = (w - kernel) / stride + 1;
+                (n * c * ho * wo * kernel * kernel) as u64
+            }
+            OpSpec::Dropout2d { n, c, h, w } => (n * c * h * w) as u64,
+            OpSpec::Dropout { numel }
+            | OpSpec::LeakyRelu { numel }
+            | OpSpec::Relu { numel } => numel as u64,
+            OpSpec::Tanh { numel } => 4 * numel as u64,
+        }
+    }
+
+    /// Forward-pass bytes moved (inputs + outputs + weights, fp32).
+    pub fn bytes(&self) -> u64 {
+        let conv_out = |sz: usize, k: usize, s: usize, p: usize| (sz + 2 * p - k) / s + 1;
+        let f = 4u64; // fp32
+        match *self {
+            OpSpec::Conv2d {
+                n,
+                c_in,
+                c_out,
+                h,
+                w,
+                kernel,
+                stride,
+                padding,
+                groups,
+            } => {
+                let ho = conv_out(h, kernel, stride, padding);
+                let wo = conv_out(w, kernel, stride, padding);
+                f * (n * c_in * h * w
+                    + n * c_out * ho * wo
+                    + c_out * (c_in / groups) * kernel * kernel) as u64
+            }
+            OpSpec::Conv1d {
+                n,
+                c_in,
+                c_out,
+                l,
+                kernel,
+                stride,
+                padding,
+                groups,
+            } => {
+                let lo = conv_out(l, kernel, stride, padding);
+                f * (n * c_in * l + n * c_out * lo + c_out * (c_in / groups) * kernel) as u64
+            }
+            OpSpec::ConvTranspose2d {
+                n,
+                c_in,
+                c_out,
+                h,
+                w,
+                kernel,
+                stride,
+                padding,
+                groups,
+            } => {
+                let ho = (h - 1) * stride + kernel - 2 * padding;
+                let wo = (w - 1) * stride + kernel - 2 * padding;
+                f * (n * c_in * h * w
+                    + n * c_out * ho * wo
+                    + c_in * (c_out / groups) * kernel * kernel) as u64
+            }
+            OpSpec::Linear {
+                n,
+                f_in,
+                f_out,
+                arrays,
+            } => f * (arrays * (n * f_in + n * f_out + f_in * f_out)) as u64,
+            OpSpec::BatchNorm1d { n, c, l } => f * (2 * n * c * l + 4 * c) as u64,
+            OpSpec::BatchNorm2d { n, c, h, w } => f * (2 * n * c * h * w + 4 * c) as u64,
+            OpSpec::MaxPool2d {
+                n,
+                c,
+                h,
+                w,
+                kernel,
+                stride,
+            } => {
+                let ho = (h - kernel) / stride + 1;
+                let wo = (w - kernel) / stride + 1;
+                f * (n * c * h * w + n * c * ho * wo) as u64
+            }
+            OpSpec::Dropout2d { n, c, h, w } => 2 * f * (n * c * h * w) as u64,
+            OpSpec::Dropout { numel }
+            | OpSpec::LeakyRelu { numel }
+            | OpSpec::Relu { numel }
+            | OpSpec::Tanh { numel } => 2 * f * numel as u64,
+        }
+    }
+
+    /// Whether the fused/serial kernel maps to a GEMM (tensor-core
+    /// eligible under AMP, systolic-array friendly on TPUs).
+    pub fn is_gemm(&self) -> bool {
+        matches!(
+            self.kind(),
+            OpKind::Conv2d | OpKind::Conv1d | OpKind::ConvTranspose2d | OpKind::Linear
+        )
+    }
+
+    /// Number of independent thread blocks / tiles the kernel decomposes
+    /// into — the occupancy driver of the simulator's cost model. GEMM-like
+    /// kernels tile their output; elementwise kernels tile flat.
+    pub fn parallel_tiles(&self) -> u64 {
+        // 128x128 output tiles for GEMMs, 16K-element tiles otherwise —
+        // roughly cuBLAS/cuDNN tiling granularity.
+        const GEMM_TILE: usize = 128 * 128;
+        const ELT_TILE: usize = 16 * 1024;
+        let conv_out = |sz: usize, k: usize, s: usize, p: usize| (sz + 2 * p - k) / s + 1;
+        let out_elems = match *self {
+            OpSpec::Conv2d {
+                n,
+                c_out,
+                h,
+                w,
+                kernel,
+                stride,
+                padding,
+                ..
+            } => {
+                let ho = conv_out(h, kernel, stride, padding);
+                let wo = conv_out(w, kernel, stride, padding);
+                n * c_out * ho * wo
+            }
+            OpSpec::Conv1d {
+                n,
+                c_out,
+                l,
+                kernel,
+                stride,
+                padding,
+                ..
+            } => n * c_out * conv_out(l, kernel, stride, padding),
+            OpSpec::ConvTranspose2d {
+                n,
+                c_out,
+                h,
+                w,
+                kernel,
+                stride,
+                padding,
+                ..
+            } => {
+                let ho = (h - 1) * stride + kernel - 2 * padding;
+                let wo = (w - 1) * stride + kernel - 2 * padding;
+                n * c_out * ho * wo
+            }
+            OpSpec::Linear { n, f_out, arrays, .. } => arrays * n * f_out,
+            OpSpec::BatchNorm1d { n, c, l } => n * c * l,
+            OpSpec::BatchNorm2d { n, c, h, w } => n * c * h * w,
+            OpSpec::MaxPool2d {
+                n,
+                c,
+                h,
+                w,
+                kernel,
+                stride,
+            } => {
+                let ho = (h - kernel) / stride + 1;
+                let wo = (w - kernel) / stride + 1;
+                n * c * ho * wo
+            }
+            OpSpec::Dropout2d { n, c, h, w } => n * c * h * w,
+            OpSpec::Dropout { numel }
+            | OpSpec::LeakyRelu { numel }
+            | OpSpec::Relu { numel }
+            | OpSpec::Tanh { numel } => numel,
+        };
+        let tile = if self.is_gemm() { GEMM_TILE } else { ELT_TILE };
+        (out_elems.div_ceil(tile)) as u64
+    }
+
+    /// Trainable parameter count (0 for stateless ops).
+    pub fn param_count(&self) -> usize {
+        match *self {
+            OpSpec::Conv2d {
+                c_in,
+                c_out,
+                kernel,
+                groups,
+                ..
+            } => c_out * (c_in / groups) * kernel * kernel + c_out,
+            OpSpec::Conv1d {
+                c_in,
+                c_out,
+                kernel,
+                groups,
+                ..
+            } => c_out * (c_in / groups) * kernel + c_out,
+            OpSpec::ConvTranspose2d {
+                c_in,
+                c_out,
+                kernel,
+                groups,
+                ..
+            } => c_in * (c_out / groups) * kernel * kernel + c_out,
+            OpSpec::Linear {
+                f_in,
+                f_out,
+                arrays,
+                ..
+            } => arrays * (f_in * f_out + f_out),
+            OpSpec::BatchNorm1d { c, .. } | OpSpec::BatchNorm2d { c, .. } => 2 * c,
+            _ => 0,
+        }
+    }
+
+    /// Output activation element count (for the memory model).
+    pub fn activation_elems(&self) -> usize {
+        let conv_out = |sz: usize, k: usize, s: usize, p: usize| (sz + 2 * p - k) / s + 1;
+        match *self {
+            OpSpec::Conv2d {
+                n,
+                c_out,
+                h,
+                w,
+                kernel,
+                stride,
+                padding,
+                ..
+            } => {
+                n * c_out
+                    * conv_out(h, kernel, stride, padding)
+                    * conv_out(w, kernel, stride, padding)
+            }
+            OpSpec::Conv1d {
+                n,
+                c_out,
+                l,
+                kernel,
+                stride,
+                padding,
+                ..
+            } => n * c_out * conv_out(l, kernel, stride, padding),
+            OpSpec::ConvTranspose2d {
+                n,
+                c_out,
+                h,
+                w,
+                kernel,
+                stride,
+                padding,
+                ..
+            } => {
+                let ho = (h - 1) * stride + kernel - 2 * padding;
+                let wo = (w - 1) * stride + kernel - 2 * padding;
+                n * c_out * ho * wo
+            }
+            OpSpec::Linear { n, f_out, arrays, .. } => arrays * n * f_out,
+            OpSpec::BatchNorm1d { n, c, l } => n * c * l,
+            OpSpec::BatchNorm2d { n, c, h, w } => n * c * h * w,
+            OpSpec::MaxPool2d {
+                n,
+                c,
+                h,
+                w,
+                kernel,
+                stride,
+            } => n * c * ((h - kernel) / stride + 1) * ((w - kernel) / stride + 1),
+            OpSpec::Dropout2d { n, c, h, w } => n * c * h * w,
+            OpSpec::Dropout { numel }
+            | OpSpec::LeakyRelu { numel }
+            | OpSpec::Relu { numel }
+            | OpSpec::Tanh { numel } => numel,
+        }
+    }
+}
+
+/// Verifies that `specs` (one operator per job) are horizontally fusable —
+/// the paper's "same types, same shapes" condition — and returns the fused
+/// operator's spec.
+///
+/// # Errors
+///
+/// [`FusionError::Empty`] on an empty slice; [`FusionError::KindMismatch`]
+/// or [`FusionError::ShapeMismatch`] when the condition fails.
+///
+/// # Example
+///
+/// ```
+/// use hfta_core::rules::{fuse, OpSpec};
+/// let conv = OpSpec::Conv2d {
+///     n: 32, c_in: 3, c_out: 64, h: 32, w: 32,
+///     kernel: 3, stride: 1, padding: 1, groups: 1,
+/// };
+/// let fused = fuse(&[conv, conv, conv]).unwrap();
+/// assert_eq!(fused, conv.fused(3));
+/// ```
+pub fn fuse(specs: &[OpSpec]) -> Result<OpSpec> {
+    let first = specs.first().ok_or(FusionError::Empty)?;
+    for (i, s) in specs.iter().enumerate().skip(1) {
+        if s.kind() != first.kind() {
+            return Err(FusionError::KindMismatch {
+                expected: first.kind().name().into(),
+                found: s.kind().name().into(),
+                index: i,
+            });
+        }
+        if s != first {
+            return Err(FusionError::ShapeMismatch {
+                kind: first.kind().name().into(),
+                index: i,
+                detail: format!("{s:?} vs {first:?}"),
+            });
+        }
+    }
+    Ok(first.fused(specs.len()))
+}
+
+/// One row of Table 6, rendered for documentation and the `table6` harness.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FusionRule {
+    /// The original operator kind.
+    pub kind: OpKind,
+    /// Left column: the original operator's symbolic signature.
+    pub original: &'static str,
+    /// Right column: the fused operator's symbolic signature.
+    pub fused: &'static str,
+}
+
+/// The complete rule table (paper Table 6).
+pub fn rule_table() -> Vec<FusionRule> {
+    vec![
+        FusionRule {
+            kind: OpKind::Conv2d,
+            original: "Conv2d(x: [N, Cx, Hx, Wx], w: [Cy, Cx/G, Hw, Ww], b: [Cy], G = g)",
+            fused: "Conv2d(x: [N, B*Cx, Hx, Wx], w: [B*Cy, Cx/G, Hw, Ww], b: [B*Cy], G = B*g)",
+        },
+        FusionRule {
+            kind: OpKind::Conv1d,
+            original: "Conv1d(x: [N, Cx, Lx], w: [Cy, Cx/G, Lw], b: [Cy], G = g)",
+            fused: "Conv1d(x: [N, B*Cx, Lx], w: [B*Cy, Cx/G, Lw], b: [B*Cy], G = B*g)",
+        },
+        FusionRule {
+            kind: OpKind::ConvTranspose2d,
+            original: "ConvT2d(x: [N, Cx, Hx, Wx], w: [Cx, Cy/G, Hw, Ww], b: [Cy], G = g)",
+            fused: "ConvT2d(x: [N, B*Cx, Hx, Wx], w: [B*Cx, Cy/G, Hw, Ww], b: [B*Cy], G = B*g)",
+        },
+        FusionRule {
+            kind: OpKind::Linear,
+            original: "Linear(x: [N, Fx], w: [Fx, Fy], b: [Fy])",
+            fused: "baddbmm(b: [B, 1, Fy], x: [B, N, Fx], w: [B, Fx, Fy])",
+        },
+        FusionRule {
+            kind: OpKind::BatchNorm1d,
+            original: "BatchNorm1d(x: [N, Cx] or [N, Cx, Lx], w: [Cx], b: [Cx])",
+            fused: "BatchNorm1d(x: [B*N, Cx] or [N, B*Cx, Lx], w: [B*Cx], b: [B*Cx])",
+        },
+        FusionRule {
+            kind: OpKind::BatchNorm2d,
+            original: "BatchNorm2d(x: [N, Cx, Hx, Wx], w: [Cx], b: [Cx])",
+            fused: "BatchNorm2d(x: [N, B*Cx, Hx, Wx], w: [B*Cx], b: [B*Cx])",
+        },
+        FusionRule {
+            kind: OpKind::MaxPool2d,
+            original: "MaxPool2d(x: [N, Cx, Hx, Wx])",
+            fused: "MaxPool2d(x: [N, B*Cx, Hx, Wx])",
+        },
+        FusionRule {
+            kind: OpKind::Dropout2d,
+            original: "Dropout2d(x: [N, Cx, Hx, Wx])",
+            fused: "Dropout2d(x: [N, B*Cx, Hx, Wx])",
+        },
+        FusionRule {
+            kind: OpKind::Dropout,
+            original: "Dropout(x: [*])",
+            fused: "Dropout(x: [*, B, *])",
+        },
+        FusionRule {
+            kind: OpKind::LeakyRelu,
+            original: "LeakyReLU(x: [*])",
+            fused: "LeakyReLU(x: [*, B, *])",
+        },
+        FusionRule {
+            kind: OpKind::Relu,
+            original: "ReLU(x: [*])",
+            fused: "ReLU(x: [*, B, *])",
+        },
+        FusionRule {
+            kind: OpKind::Tanh,
+            original: "Tanh(x: [*])",
+            fused: "Tanh(x: [*, B, *])",
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn conv() -> OpSpec {
+        OpSpec::Conv2d {
+            n: 8,
+            c_in: 16,
+            c_out: 32,
+            h: 14,
+            w: 14,
+            kernel: 3,
+            stride: 1,
+            padding: 1,
+            groups: 1,
+        }
+    }
+
+    #[test]
+    fn fuse_accepts_identical_specs() {
+        let fused = fuse(&[conv(); 4]).unwrap();
+        match fused {
+            OpSpec::Conv2d {
+                c_in,
+                c_out,
+                groups,
+                ..
+            } => {
+                assert_eq!(c_in, 64);
+                assert_eq!(c_out, 128);
+                assert_eq!(groups, 4);
+            }
+            other => panic!("wrong fused spec {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fuse_rejects_kind_mismatch() {
+        let lin = OpSpec::Linear {
+            n: 8,
+            f_in: 16,
+            f_out: 32,
+            arrays: 1,
+        };
+        let err = fuse(&[conv(), lin]).unwrap_err();
+        assert!(matches!(err, FusionError::KindMismatch { index: 1, .. }));
+    }
+
+    #[test]
+    fn fuse_rejects_shape_mismatch() {
+        let mut other = conv();
+        if let OpSpec::Conv2d { kernel, .. } = &mut other {
+            *kernel = 5;
+        }
+        let err = fuse(&[conv(), other]).unwrap_err();
+        assert!(matches!(err, FusionError::ShapeMismatch { index: 1, .. }));
+    }
+
+    #[test]
+    fn fuse_rejects_empty() {
+        assert_eq!(fuse(&[]).unwrap_err(), FusionError::Empty);
+    }
+
+    #[test]
+    fn fused_flops_scale_linearly_for_convs() {
+        // Grouped fusion multiplies work by exactly B (the mathematical
+        // equivalence does not add FLOPs).
+        let s = conv();
+        for b in [1, 2, 4, 9] {
+            assert_eq!(s.fused(b).flops(), s.flops() * b as u64);
+        }
+    }
+
+    #[test]
+    fn fused_flops_scale_linearly_for_all_kinds() {
+        let specs = [
+            conv(),
+            OpSpec::Conv1d {
+                n: 4,
+                c_in: 3,
+                c_out: 8,
+                l: 100,
+                kernel: 3,
+                stride: 1,
+                padding: 1,
+                groups: 1,
+            },
+            OpSpec::ConvTranspose2d {
+                n: 2,
+                c_in: 8,
+                c_out: 4,
+                h: 4,
+                w: 4,
+                kernel: 4,
+                stride: 2,
+                padding: 1,
+                groups: 1,
+            },
+            OpSpec::Linear {
+                n: 32,
+                f_in: 128,
+                f_out: 64,
+                arrays: 1,
+            },
+            OpSpec::BatchNorm2d {
+                n: 4,
+                c: 8,
+                h: 7,
+                w: 7,
+            },
+            OpSpec::MaxPool2d {
+                n: 4,
+                c: 8,
+                h: 8,
+                w: 8,
+                kernel: 2,
+                stride: 2,
+            },
+            OpSpec::Relu { numel: 1000 },
+            OpSpec::Tanh { numel: 1000 },
+        ];
+        for s in specs {
+            assert_eq!(s.fused(3).flops(), 3 * s.flops(), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn fused_tiles_grow_with_b() {
+        // The core utilization claim: one fused kernel exposes ~B times the
+        // parallelism of one per-model kernel.
+        let s = conv();
+        assert!(s.fused(8).parallel_tiles() >= 4 * s.parallel_tiles());
+    }
+
+    #[test]
+    fn gemm_classification() {
+        assert!(conv().is_gemm());
+        assert!(OpSpec::Linear { n: 1, f_in: 2, f_out: 3, arrays: 1 }.is_gemm());
+        assert!(!OpSpec::Relu { numel: 10 }.is_gemm());
+        assert!(!OpSpec::MaxPool2d { n: 1, c: 1, h: 4, w: 4, kernel: 2, stride: 2 }.is_gemm());
+    }
+
+    #[test]
+    fn rule_table_covers_all_kinds_once() {
+        let table = rule_table();
+        assert_eq!(table.len(), 12);
+        for kind in OpKind::ALL {
+            assert_eq!(
+                table.iter().filter(|r| r.kind == kind).count(),
+                1,
+                "{kind} missing or duplicated"
+            );
+        }
+        // Every fused form mentions B.
+        for rule in &table {
+            assert!(rule.fused.contains('B'), "{:?}", rule.kind);
+        }
+    }
+
+    #[test]
+    fn stateful_classification_matches_hivemind_discussion() {
+        // The paper contrasts HFTA with HiveMind, which only fuses
+        // non-stateful ops (or stateful with shared weights).
+        assert!(OpKind::Conv2d.is_stateful());
+        assert!(OpKind::Linear.is_stateful());
+        assert!(!OpKind::Relu.is_stateful());
+        assert!(!OpKind::MaxPool2d.is_stateful());
+    }
+
+    #[test]
+    fn param_counts() {
+        assert_eq!(
+            OpSpec::Linear { n: 1, f_in: 10, f_out: 5, arrays: 1 }.param_count(),
+            55
+        );
+        assert_eq!(conv().param_count(), 32 * 16 * 9 + 32);
+        assert_eq!(OpSpec::Relu { numel: 100 }.param_count(), 0);
+    }
+}

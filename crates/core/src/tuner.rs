@@ -1,0 +1,209 @@
+//! A hyper-parameter tuning driver built on HFTA arrays — the paper's
+//! stated integration target ("integrating HFTA into existing
+//! hyper-parameter tuning and model architecture search frameworks", §6).
+//!
+//! The tuner owns the part such frameworks usually leave to the cluster
+//! scheduler: it takes the candidate configurations of a sweep, partitions
+//! them into *fusable groups* (only same-architecture candidates fuse —
+//! the paper's Observation 1), packs each group into arrays of at most
+//! `array_width` models, and hands each array to a user-supplied trainer.
+
+use crate::error::{FusionError, Result};
+use hfta_tensor::Rng;
+
+/// One evaluated trial.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Trial<C> {
+    /// The candidate configuration.
+    pub config: C,
+    /// The score the trainer reported (higher is better).
+    pub score: f32,
+}
+
+/// Outcome of a sweep: every trial, plus bookkeeping on how the work was
+/// packed.
+#[derive(Debug, Clone)]
+pub struct SweepReport<C> {
+    /// All trials, sorted best-first.
+    pub trials: Vec<Trial<C>>,
+    /// Number of fused arrays that were trained.
+    pub arrays_trained: usize,
+    /// Number of accelerator "slots" a serial launcher would have used
+    /// (one per candidate) — `candidates / arrays_trained` is the device
+    /// saving.
+    pub serial_jobs_replaced: usize,
+}
+
+impl<C> SweepReport<C> {
+    /// The winning trial.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sweep was empty.
+    pub fn best(&self) -> &Trial<C> {
+        self.trials.first().expect("non-empty sweep")
+    }
+}
+
+/// Runs a sweep: packs `candidates` into arrays of at most `array_width`
+/// and calls `train_array` once per array. The trainer receives the
+/// configs of one array and must return one score per config (higher is
+/// better) — typically negative validation loss.
+///
+/// # Errors
+///
+/// Returns [`FusionError`] if `array_width == 0`, `candidates` is empty,
+/// or the trainer returns the wrong number of scores.
+pub fn sweep<C: Clone>(
+    candidates: Vec<C>,
+    array_width: usize,
+    mut train_array: impl FnMut(&[C]) -> Vec<f32>,
+) -> Result<SweepReport<C>> {
+    if array_width == 0 {
+        return Err(FusionError::InvalidWidth);
+    }
+    if candidates.is_empty() {
+        return Err(FusionError::Empty);
+    }
+    let mut trials = Vec::with_capacity(candidates.len());
+    let mut arrays = 0;
+    let total = candidates.len();
+    for chunk in candidates.chunks(array_width) {
+        let scores = train_array(chunk);
+        if scores.len() != chunk.len() {
+            return Err(FusionError::HyperParamLength {
+                expected: chunk.len(),
+                found: scores.len(),
+            });
+        }
+        arrays += 1;
+        for (config, score) in chunk.iter().cloned().zip(scores) {
+            trials.push(Trial { config, score });
+        }
+    }
+    trials.sort_by(|a, b| b.score.total_cmp(&a.score));
+    Ok(SweepReport {
+        trials,
+        arrays_trained: arrays,
+        serial_jobs_replaced: total,
+    })
+}
+
+/// Partitions candidates into fusable groups by an architecture key: two
+/// candidates fuse only if their models have the same operator types and
+/// shapes (paper Observation 1), which the caller encodes in `shape_key`
+/// (e.g. the layer-width choice of an architecture search).
+pub fn partition_fusable<C, K: Eq + std::hash::Hash>(
+    candidates: Vec<C>,
+    mut shape_key: impl FnMut(&C) -> K,
+) -> Vec<Vec<C>> {
+    let mut groups: Vec<(K, Vec<C>)> = Vec::new();
+    for c in candidates {
+        let k = shape_key(&c);
+        match groups.iter_mut().find(|(gk, _)| *gk == k) {
+            Some((_, g)) => g.push(c),
+            None => groups.push((k, vec![c])),
+        }
+    }
+    groups.into_iter().map(|(_, g)| g).collect()
+}
+
+/// Samples `n` random configurations by drawing each axis log-uniformly
+/// from its `(low, high)` range — the random-search baseline of
+/// Bergstra & Bengio (2012), which the paper cites as the standard tuning
+/// practice.
+///
+/// # Panics
+///
+/// Panics if any range is empty or non-positive (log-uniform domain).
+pub fn random_search(axes: &[(&str, f32, f32)], n: usize, seed: u64) -> Vec<Vec<(String, f32)>> {
+    let mut rng = Rng::seed_from(seed);
+    for (name, lo, hi) in axes {
+        assert!(
+            *lo > 0.0 && hi > lo,
+            "axis {name} needs a positive, non-empty range for log-uniform sampling"
+        );
+    }
+    (0..n)
+        .map(|_| {
+            axes.iter()
+                .map(|(name, lo, hi)| {
+                    let u = rng.uniform(lo.ln(), hi.ln());
+                    (name.to_string(), u.exp())
+                })
+                .collect()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_packs_and_ranks() {
+        // Score = -(lr - 0.3)^2: the candidate nearest 0.3 must win.
+        let lrs = vec![0.1f32, 0.2, 0.31, 0.5, 0.9];
+        let report = sweep(lrs.clone(), 2, |chunk| {
+            chunk.iter().map(|lr| -(lr - 0.3) * (lr - 0.3)).collect()
+        })
+        .unwrap();
+        assert_eq!(report.trials.len(), 5);
+        assert_eq!(report.arrays_trained, 3); // ceil(5 / 2)
+        assert_eq!(report.serial_jobs_replaced, 5);
+        assert!((report.best().config - 0.31).abs() < 1e-6);
+        // Sorted best-first.
+        assert!(report.trials.windows(2).all(|w| w[0].score >= w[1].score));
+    }
+
+    #[test]
+    fn sweep_validates_inputs() {
+        assert!(matches!(
+            sweep(Vec::<f32>::new(), 2, |_| vec![]),
+            Err(FusionError::Empty)
+        ));
+        assert!(matches!(
+            sweep(vec![1.0f32], 0, |_| vec![0.0]),
+            Err(FusionError::InvalidWidth)
+        ));
+        assert!(matches!(
+            sweep(vec![1.0f32, 2.0], 4, |_| vec![0.0]),
+            Err(FusionError::HyperParamLength { .. })
+        ));
+    }
+
+    #[test]
+    fn partition_groups_same_architectures() {
+        // (width, lr) candidates: only same-width models fuse.
+        let cands = vec![(64, 0.1f32), (128, 0.1), (64, 0.01), (128, 0.01), (64, 0.001)];
+        let groups = partition_fusable(cands, |c| c.0);
+        assert_eq!(groups.len(), 2);
+        let g64 = groups.iter().find(|g| g[0].0 == 64).unwrap();
+        assert_eq!(g64.len(), 3);
+        let g128 = groups.iter().find(|g| g[0].0 == 128).unwrap();
+        assert_eq!(g128.len(), 2);
+    }
+
+    #[test]
+    fn random_search_respects_ranges_and_is_deterministic() {
+        let axes = [("lr", 1e-4f32, 1e-1), ("wd", 1e-6f32, 1e-3)];
+        let a = random_search(&axes, 16, 7);
+        let b = random_search(&axes, 16, 7);
+        assert_eq!(a, b);
+        for cfg in &a {
+            assert_eq!(cfg.len(), 2);
+            let lr = cfg[0].1;
+            assert!((1e-4..=1e-1).contains(&lr), "lr {lr}");
+        }
+        // Log-uniform: a decent share of samples lands below the geometric
+        // midpoint (~3e-3), which linear sampling would almost never do.
+        let low = a.iter().filter(|c| c[0].1 < 3.2e-3).count();
+        assert!(low >= 4, "only {low} low samples");
+    }
+
+    #[test]
+    #[should_panic(expected = "log-uniform")]
+    fn random_search_rejects_bad_ranges() {
+        let _ = random_search(&[("lr", 0.0, 1.0)], 1, 0);
+    }
+}

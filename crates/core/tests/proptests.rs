@@ -1,0 +1,230 @@
+//! Property-based tests of the HFTA fusion invariants: every Table 6 rule
+//! is a mathematical identity over random shapes, weights and inputs;
+//! fuse → unfuse round-trips; the loss-scaling rule reconstructs serial
+//! gradients; fused optimizers match serial ones.
+
+use hfta_core::format::{stack_array, stack_conv, unstack_array, unstack_conv};
+use hfta_core::loss::{fused_cross_entropy, Reduction};
+use hfta_core::ops::{
+    FusedBatchNorm, FusedConv1d, FusedConv2d, FusedLinear, FusedParameter,
+};
+use hfta_core::optim::{FusedAdam, FusedOptimizer, PerModel};
+use hfta_core::rules::{fuse, OpSpec};
+use hfta_nn::layers::{BatchNorm, Conv1d, Conv2d, Conv2dCfg, Linear, LinearCfg};
+use hfta_nn::{Adam, Module, Optimizer, Parameter, Tape};
+use hfta_tensor::{Rng, Tensor};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn fused_conv2d_identity(
+        seed in 0u64..1000,
+        b in 1usize..4,
+        cin in 1usize..3,
+        cout in 1usize..4,
+        kernel in 1usize..4,
+    ) {
+        let mut rng = Rng::seed_from(seed);
+        let cfg = Conv2dCfg::new(cin, cout, kernel).padding(kernel / 2);
+        let models: Vec<Conv2d> = (0..b).map(|_| Conv2d::new(cfg, &mut rng.split())).collect();
+        let fused = FusedConv2d::from_models(&models).unwrap();
+        let inputs: Vec<Tensor> = (0..b).map(|_| rng.randn([2, cin, 5, 5])).collect();
+        let tape = Tape::new();
+        let fx = tape.leaf(stack_conv(&inputs).unwrap());
+        let outs = unstack_conv(&fused.forward(&fx).value(), b);
+        for (i, m) in models.iter().enumerate() {
+            let tape = Tape::new();
+            let y = m.forward(&tape.leaf(inputs[i].clone())).value();
+            prop_assert!(outs[i].allclose(&y, 1e-3), "model {i}");
+        }
+    }
+
+    #[test]
+    fn fused_conv1d_identity(seed in 0u64..1000, b in 1usize..5, cout in 1usize..5) {
+        let mut rng = Rng::seed_from(seed);
+        let models: Vec<Conv1d> = (0..b)
+            .map(|_| Conv1d::new(3, cout, 1, 1, 0, 1, &mut rng.split()))
+            .collect();
+        let fused = FusedConv1d::from_models(&models).unwrap();
+        let inputs: Vec<Tensor> = (0..b).map(|_| rng.randn([2, 3, 10])).collect();
+        let tape = Tape::new();
+        let fx = tape.leaf(stack_conv(&inputs).unwrap());
+        let outs = unstack_conv(&fused.forward(&fx).value(), b);
+        for (i, m) in models.iter().enumerate() {
+            let tape = Tape::new();
+            let y = m.forward(&tape.leaf(inputs[i].clone())).value();
+            prop_assert!(outs[i].allclose(&y, 1e-3));
+        }
+    }
+
+    #[test]
+    fn fused_linear_identity(seed in 0u64..1000, b in 1usize..5, fin in 1usize..6, fout in 1usize..6) {
+        let mut rng = Rng::seed_from(seed);
+        let models: Vec<Linear> = (0..b)
+            .map(|_| Linear::new(LinearCfg::new(fin, fout), &mut rng.split()))
+            .collect();
+        let fused = FusedLinear::from_models(&models).unwrap();
+        let inputs: Vec<Tensor> = (0..b).map(|_| rng.randn([3, fin])).collect();
+        let tape = Tape::new();
+        let fx = tape.leaf(stack_array(&inputs).unwrap());
+        let outs = unstack_array(&fused.forward(&fx).value(), b);
+        for (i, m) in models.iter().enumerate() {
+            let tape = Tape::new();
+            let y = m.forward(&tape.leaf(inputs[i].clone())).value();
+            prop_assert!(outs[i].allclose(&y, 1e-3));
+        }
+    }
+
+    #[test]
+    fn fused_batchnorm_identity(seed in 0u64..1000, b in 1usize..4, c in 1usize..4) {
+        let mut rng = Rng::seed_from(seed);
+        let models: Vec<BatchNorm> = (0..b).map(|_| BatchNorm::new(c)).collect();
+        let fused = FusedBatchNorm::from_models(&models).unwrap();
+        let inputs: Vec<Tensor> = (0..b).map(|_| rng.randn([4, c, 3])).collect();
+        let tape = Tape::new();
+        let fx = tape.leaf(stack_conv(&inputs).unwrap());
+        let outs = unstack_conv(&fused.forward(&fx).value(), b);
+        for (i, m) in models.iter().enumerate() {
+            let tape = Tape::new();
+            let y = m.forward(&tape.leaf(inputs[i].clone())).value();
+            prop_assert!(outs[i].allclose(&y, 1e-3));
+        }
+    }
+
+    #[test]
+    fn unfuse_round_trips_weights(seed in 0u64..1000, b in 1usize..5) {
+        let mut rng = Rng::seed_from(seed);
+        let cfg = Conv2dCfg::new(2, 4, 3);
+        let models: Vec<Conv2d> = (0..b).map(|_| Conv2d::new(cfg, &mut rng.split())).collect();
+        let fused = FusedConv2d::from_models(&models).unwrap();
+        for (m, u) in models.iter().zip(fused.unfuse()) {
+            prop_assert_eq!(m.weight.value_cloned(), u.weight.value_cloned());
+        }
+        let linears: Vec<Linear> = (0..b)
+            .map(|_| Linear::new(LinearCfg::new(3, 2), &mut rng.split()))
+            .collect();
+        let flin = FusedLinear::from_models(&linears).unwrap();
+        for (m, u) in linears.iter().zip(flin.unfuse()) {
+            prop_assert_eq!(m.weight.value_cloned(), u.weight.value_cloned());
+        }
+    }
+
+    #[test]
+    fn loss_scaling_reconstructs_serial_gradients(
+        seed in 0u64..1000,
+        b in 1usize..5,
+        n in 1usize..5,
+        c in 2usize..5,
+    ) {
+        let mut rng = Rng::seed_from(seed);
+        let weights: Vec<Parameter> = (0..b)
+            .map(|i| Parameter::new(rng.randn([4, c]), format!("w{i}")))
+            .collect();
+        let xs: Vec<Tensor> = (0..b).map(|_| rng.randn([n, 4])).collect();
+        let ys: Vec<Vec<usize>> = (0..b)
+            .map(|_| (0..n).map(|_| rng.below(c)).collect())
+            .collect();
+        // Serial gradients.
+        let mut serial = Vec::new();
+        for ((w, x), y) in weights.iter().zip(&xs).zip(&ys) {
+            w.zero_grad();
+            let tape = Tape::new();
+            tape.leaf(x.clone())
+                .matmul(&tape.param(w))
+                .cross_entropy(y)
+                .backward();
+            serial.push(w.grad_cloned());
+        }
+        // Fused gradients via the scaled loss.
+        let stacked = {
+            let vs: Vec<_> = weights.iter().map(|w| w.value_cloned().unsqueeze(0)).collect();
+            Parameter::new(Tensor::concat(&vs.iter().collect::<Vec<_>>(), 0), "wf")
+        };
+        let tape = Tape::new();
+        let fx = tape.leaf(stack_array(&xs).unwrap());
+        let logits = fx.bmm(&tape.param(&stacked));
+        let targets: Vec<usize> = ys.iter().flatten().copied().collect();
+        fused_cross_entropy(&logits, &targets, Reduction::Mean).backward();
+        let fused = stacked.grad_cloned();
+        for (i, expected) in serial.iter().enumerate() {
+            let gi = fused.narrow(0, i, 1).squeeze(0);
+            prop_assert!(
+                gi.allclose(expected, 1e-4),
+                "model {i} grad diff {}",
+                gi.max_abs_diff(expected)
+            );
+        }
+    }
+
+    #[test]
+    fn fused_adam_matches_serial_over_random_steps(
+        seed in 0u64..1000,
+        b in 1usize..4,
+        steps in 1usize..6,
+    ) {
+        let mut rng = Rng::seed_from(seed);
+        let serial: Vec<Parameter> = (0..b)
+            .map(|i| Parameter::new(rng.randn([3]), format!("w{i}")))
+            .collect();
+        let lrs: Vec<f32> = (0..b).map(|i| 0.1 / (i + 1) as f32).collect();
+        let stacked = {
+            let vs: Vec<_> = serial.iter().map(|p| p.value_cloned()).collect();
+            FusedParameter {
+                param: Parameter::new(Tensor::concat(&vs.iter().collect::<Vec<_>>(), 0), "wf"),
+                b,
+            }
+        };
+        let mut serial_opts: Vec<Adam> = serial
+            .iter()
+            .zip(&lrs)
+            .map(|(p, &lr)| Adam::new(vec![p.clone()], lr))
+            .collect();
+        let mut fused_opt =
+            FusedAdam::new(vec![stacked.clone()], PerModel::new(lrs.clone())).unwrap();
+        for _ in 0..steps {
+            let grads: Vec<Tensor> = (0..b).map(|_| rng.randn([3])).collect();
+            for (p, g) in serial.iter().zip(&grads) {
+                p.zero_grad();
+                p.accumulate_grad(g);
+            }
+            stacked.param.zero_grad();
+            stacked
+                .param
+                .accumulate_grad(&Tensor::concat(&grads.iter().collect::<Vec<_>>(), 0));
+            for o in &mut serial_opts {
+                o.step();
+            }
+            fused_opt.step();
+        }
+        for (i, p) in serial.iter().enumerate() {
+            let slice = stacked.model_slice(i);
+            prop_assert!(slice.allclose(&p.value_cloned(), 1e-5), "model {i}");
+        }
+    }
+
+    #[test]
+    fn op_spec_fusion_is_associative_in_width(b1 in 1usize..4, b2 in 1usize..4) {
+        // Fusing b1 then b2 equals fusing b1 * b2 at once.
+        let spec = OpSpec::Conv2d {
+            n: 4, c_in: 3, c_out: 8, h: 8, w: 8, kernel: 3, stride: 1, padding: 1, groups: 1,
+        };
+        prop_assert_eq!(spec.fused(b1).fused(b2), spec.fused(b1 * b2));
+    }
+
+    #[test]
+    fn fuse_checker_accepts_replicas_rejects_mutants(copies in 1usize..6, mutate in 0usize..3) {
+        let base = OpSpec::Linear { n: 8, f_in: 16, f_out: 4, arrays: 1 };
+        let mut specs = vec![base; copies];
+        prop_assert!(fuse(&specs).is_ok());
+        if copies > 1 {
+            specs[copies - 1] = match mutate {
+                0 => OpSpec::Linear { n: 9, f_in: 16, f_out: 4, arrays: 1 },
+                1 => OpSpec::Linear { n: 8, f_in: 17, f_out: 4, arrays: 1 },
+                _ => OpSpec::Relu { numel: 10 },
+            };
+            prop_assert!(fuse(&specs).is_err());
+        }
+    }
+}

@@ -1,0 +1,19 @@
+//! # hfta-data
+//!
+//! Deterministic synthetic stand-ins for the datasets of the HFTA paper's
+//! evaluation: ShapeNet-part point clouds (PointNet classification and
+//! segmentation), LSUN bedroom images (DCGAN) and CIFAR-10 (ResNet-18).
+//!
+//! The real datasets are unavailable offline; these generators produce
+//! learnable distributions with the same tensor shapes and statistics, so
+//! every training code path (data loading, batching, loss computation,
+//! convergence comparisons) is exercised identically. DESIGN.md §4 records
+//! the substitution.
+
+#![warn(missing_docs)]
+
+pub mod images;
+pub mod points;
+
+pub use images::{GanImages, LabeledImages};
+pub use points::{PartLabeledClouds, PointClouds, SHAPE_CLASSES};

@@ -1,0 +1,228 @@
+//! AlexNet (Krizhevsky et al., 2012) — the paper's Figure 2 example of
+//! "how to enable HFTA": the model definition is identical between the
+//! serial and fused variants; only the operator classes change.
+
+use hfta_core::format::conv_to_array;
+use hfta_core::ops::{FusedConv2d, FusedLinear, FusedModule};
+use hfta_nn::layers::{Conv2d, Conv2dCfg, Dropout, Linear, LinearCfg, MaxPool2d};
+use hfta_nn::{Module, Parameter, Var};
+use hfta_tensor::Rng;
+
+/// AlexNet configuration (CIFAR-scale mini by default).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AlexNetCfg {
+    /// Base width (64 in the original).
+    pub width: usize,
+    /// Output classes.
+    pub classes: usize,
+    /// Input image side (must be divisible by 8).
+    pub image: usize,
+}
+
+impl AlexNetCfg {
+    /// CPU-friendly mini configuration for 16x16 inputs.
+    pub fn mini(classes: usize) -> Self {
+        AlexNetCfg {
+            width: 8,
+            classes,
+            image: 16,
+        }
+    }
+
+    fn spatial_out(&self) -> usize {
+        self.image / 8 // three stride-2 max pools
+    }
+}
+
+/// Serial AlexNet (CIFAR-style kernel sizes).
+#[derive(Debug)]
+pub struct AlexNet {
+    convs: Vec<Conv2d>,
+    pool: MaxPool2d,
+    drop1: Dropout,
+    fc1: Linear,
+    drop2: Dropout,
+    fc2: Linear,
+    fc3: Linear,
+}
+
+impl AlexNet {
+    /// Builds the network.
+    pub fn new(cfg: AlexNetCfg, rng: &mut Rng) -> Self {
+        let w = cfg.width;
+        let convs = vec![
+            Conv2d::new(Conv2dCfg::new(3, w, 3).padding(1), rng),
+            Conv2d::new(Conv2dCfg::new(w, 2 * w, 3).padding(1), rng),
+            Conv2d::new(Conv2dCfg::new(2 * w, 4 * w, 3).padding(1), rng),
+            Conv2d::new(Conv2dCfg::new(4 * w, 4 * w, 3).padding(1), rng),
+            Conv2d::new(Conv2dCfg::new(4 * w, 2 * w, 3).padding(1), rng),
+        ];
+        let s = cfg.spatial_out();
+        let flat = 2 * w * s * s;
+        AlexNet {
+            convs,
+            pool: MaxPool2d::new(2),
+            drop1: Dropout::new(0.5, rng.split().below(u32::MAX as usize) as u64),
+            fc1: Linear::new(LinearCfg::new(flat, 4 * w), rng),
+            drop2: Dropout::new(0.5, rng.split().below(u32::MAX as usize) as u64),
+            fc2: Linear::new(LinearCfg::new(4 * w, 4 * w), rng),
+            fc3: Linear::new(LinearCfg::new(4 * w, cfg.classes), rng),
+        }
+    }
+}
+
+impl Module for AlexNet {
+    /// `x [N, 3, S, S]` → logits `[N, classes]`.
+    fn forward(&self, x: &Var) -> Var {
+        let mut h = x.clone();
+        for (i, conv) in self.convs.iter().enumerate() {
+            h = conv.forward(&h).relu();
+            // Pools after conv 0, 1 and 4 (the classic 3-pool layout).
+            if i == 0 || i == 1 || i == 4 {
+                h = self.pool.forward(&h);
+            }
+        }
+        let h = h.flatten_from(1);
+        let h = self.fc1.forward(&self.drop1.forward(&h)).relu();
+        let h = self.fc2.forward(&self.drop2.forward(&h)).relu();
+        self.fc3.forward(&h)
+    }
+
+    fn parameters(&self) -> Vec<Parameter> {
+        let mut ps: Vec<Parameter> = self.convs.iter().flat_map(|c| c.parameters()).collect();
+        ps.extend(self.fc1.parameters());
+        ps.extend(self.fc2.parameters());
+        ps.extend(self.fc3.parameters());
+        ps
+    }
+
+    fn set_training(&self, t: bool) {
+        self.drop1.set_training(t);
+        self.drop2.set_training(t);
+    }
+}
+
+/// HFTA-fused AlexNet array — per the paper's Figure 2, the definition
+/// mirrors [`AlexNet`] with the operator classes swapped for their fused
+/// counterparts.
+#[derive(Debug)]
+pub struct FusedAlexNet {
+    convs: Vec<FusedConv2d>,
+    pool: MaxPool2d,
+    drop1: Dropout,
+    fc1: FusedLinear,
+    drop2: Dropout,
+    fc2: FusedLinear,
+    fc3: FusedLinear,
+    b: usize,
+}
+
+impl FusedAlexNet {
+    /// Builds a `b`-wide fused array.
+    pub fn new(b: usize, cfg: AlexNetCfg, rng: &mut Rng) -> Self {
+        let w = cfg.width;
+        let convs = vec![
+            FusedConv2d::new(b, Conv2dCfg::new(3, w, 3).padding(1), rng),
+            FusedConv2d::new(b, Conv2dCfg::new(w, 2 * w, 3).padding(1), rng),
+            FusedConv2d::new(b, Conv2dCfg::new(2 * w, 4 * w, 3).padding(1), rng),
+            FusedConv2d::new(b, Conv2dCfg::new(4 * w, 4 * w, 3).padding(1), rng),
+            FusedConv2d::new(b, Conv2dCfg::new(4 * w, 2 * w, 3).padding(1), rng),
+        ];
+        let s = cfg.spatial_out();
+        let flat = 2 * w * s * s;
+        FusedAlexNet {
+            convs,
+            pool: MaxPool2d::new(2),
+            drop1: Dropout::new(0.5, rng.split().below(u32::MAX as usize) as u64),
+            fc1: FusedLinear::new(b, LinearCfg::new(flat, 4 * w), rng),
+            drop2: Dropout::new(0.5, rng.split().below(u32::MAX as usize) as u64),
+            fc2: FusedLinear::new(b, LinearCfg::new(4 * w, 4 * w), rng),
+            fc3: FusedLinear::new(b, LinearCfg::new(4 * w, cfg.classes), rng),
+            b,
+        }
+    }
+}
+
+impl Module for FusedAlexNet {
+    /// Conv format `[N, B*3, S, S]` → array format `[B, N, classes]`.
+    fn forward(&self, x: &Var) -> Var {
+        let mut h = x.clone();
+        for (i, conv) in self.convs.iter().enumerate() {
+            h = conv.forward(&h).relu();
+            if i == 0 || i == 1 || i == 4 {
+                h = self.pool.forward(&h);
+            }
+        }
+        // [N, B*C, s, s]: flatten each model's block, then to array format.
+        let dims = h.dims();
+        let (n, bc, s1, s2) = (dims[0], dims[1], dims[2], dims[3]);
+        let c = bc / self.b;
+        let flat = h
+            .reshape(&[n, self.b, c * s1 * s2])
+            .reshape(&[n, self.b * c * s1 * s2]);
+        let arr = conv_to_array(&flat, self.b);
+        let h = self.fc1.forward(&self.drop1.forward(&arr)).relu();
+        let h = self.fc2.forward(&self.drop2.forward(&h)).relu();
+        self.fc3.forward(&h)
+    }
+
+    fn parameters(&self) -> Vec<Parameter> {
+        let mut ps: Vec<Parameter> = self.convs.iter().flat_map(|c| c.parameters()).collect();
+        ps.extend(self.fc1.parameters());
+        ps.extend(self.fc2.parameters());
+        ps.extend(self.fc3.parameters());
+        ps
+    }
+
+    fn set_training(&self, t: bool) {
+        self.drop1.set_training(t);
+        self.drop2.set_training(t);
+    }
+}
+
+impl FusedModule for FusedAlexNet {
+    fn b(&self) -> usize {
+        self.b
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hfta_nn::Tape;
+
+    #[test]
+    fn serial_forward_shapes() {
+        let mut rng = Rng::seed_from(0);
+        let m = AlexNet::new(AlexNetCfg::mini(10), &mut rng);
+        let tape = Tape::new();
+        let y = m.forward(&tape.leaf(rng.randn([2, 3, 16, 16])));
+        assert_eq!(y.dims(), vec![2, 10]);
+    }
+
+    #[test]
+    fn fused_forward_shapes() {
+        let mut rng = Rng::seed_from(1);
+        let m = FusedAlexNet::new(4, AlexNetCfg::mini(10), &mut rng);
+        let tape = Tape::new();
+        let y = m.forward(&tape.leaf(rng.randn([2, 12, 16, 16])));
+        assert_eq!(y.dims(), vec![4, 2, 10]);
+    }
+
+    #[test]
+    fn param_scaling() {
+        let mut rng = Rng::seed_from(2);
+        let cfg = AlexNetCfg::mini(10);
+        let serial: usize = AlexNet::new(cfg, &mut rng)
+            .parameters()
+            .iter()
+            .map(|p| p.numel())
+            .sum();
+        let fused: usize = FusedAlexNet::new(3, cfg, &mut rng)
+            .parameters()
+            .iter()
+            .map(|p| p.numel())
+            .sum();
+        assert_eq!(fused, 3 * serial);
+    }
+}

@@ -1,0 +1,31 @@
+//! # hfta-models
+//!
+//! The HFTA paper's benchmark models in three forms:
+//!
+//! 1. **Executable serial models** on `hfta-nn` (PointNet classification
+//!    and segmentation, DCGAN, ResNet-18, AlexNet) at CPU-tractable mini
+//!    scales — used for the convergence-equivalence experiments (paper
+//!    §3.3 / Figure 3);
+//! 2. **Executable fused arrays** on `hfta-core` — the same architectures
+//!    with every operator swapped for its horizontally fused counterpart
+//!    (the paper's Figure 2 recipe);
+//! 3. **Full-size operator traces** at the paper's batch sizes, lowered to
+//!    `hfta-sim` kernels for the throughput experiments (Figures 4–8).
+
+#![warn(missing_docs)]
+
+pub mod alexnet;
+pub mod dcgan;
+pub mod lower;
+pub mod pointnet;
+pub mod resnet;
+pub mod traces;
+pub mod workloads;
+
+pub use alexnet::{AlexNet, AlexNetCfg, FusedAlexNet};
+pub use dcgan::{DcganCfg, Discriminator, FusedDiscriminator, FusedGenerator, Generator};
+pub use pointnet::{
+    FusedPointNetCls, FusedPointNetSeg, FusedStn3d, PointNetCfg, PointNetCls, PointNetSeg, Stn3d,
+};
+pub use resnet::{FusedResNet, ResNet, ResNetCfg};
+pub use workloads::Workload;

@@ -1,0 +1,295 @@
+//! Lowering operator traces to simulator kernels.
+//!
+//! Each forward [`OpSpec`] becomes one GPU kernel; stateful GEMM ops add
+//! two backward kernels (data-gradient and weight-gradient GEMMs, the
+//! standard 3x-forward-cost rule of thumb), other ops add one. One
+//! optimizer kernel per ~4M parameters closes the iteration. The same
+//! lowering annotates TPU information (GEMM dims for systolic padding,
+//! channel widths for XLA layout padding).
+
+use hfta_core::rules::OpSpec;
+use hfta_sim::{GemmDims, JobMemory, Kernel, TrainingJob};
+
+/// Output-tile granularity of GEMM-backed kernels.
+const GEMM_TILE_ELEMS: u64 = 128 * 128;
+/// Flat-tile granularity of elementwise kernels.
+const ELT_TILE_ELEMS: u64 = 16 * 1024;
+
+fn conv_out(sz: usize, k: usize, s: usize, p: usize) -> usize {
+    (sz + 2 * p - k) / s + 1
+}
+
+/// GEMM view of a spec, when it has one.
+fn gemm_dims(spec: &OpSpec) -> Option<GemmDims> {
+    match *spec {
+        OpSpec::Conv2d {
+            n,
+            c_in,
+            c_out,
+            h,
+            w,
+            kernel,
+            stride,
+            padding,
+            groups,
+        } => Some(GemmDims {
+            m: (n * conv_out(h, kernel, stride, padding) * conv_out(w, kernel, stride, padding))
+                as u64,
+            n: c_out as u64,
+            k: ((c_in / groups) * kernel * kernel) as u64,
+            batch: 1,
+        }),
+        OpSpec::Conv1d {
+            n,
+            c_in,
+            c_out,
+            l,
+            kernel,
+            stride,
+            padding,
+            groups,
+        } => Some(GemmDims {
+            m: (n * conv_out(l, kernel, stride, padding)) as u64,
+            n: c_out as u64,
+            k: ((c_in / groups) * kernel) as u64,
+            batch: 1,
+        }),
+        OpSpec::ConvTranspose2d {
+            n,
+            c_in,
+            c_out,
+            h,
+            w,
+            kernel,
+            stride,
+            padding,
+            groups,
+        } => {
+            let ho = (h - 1) * stride + kernel - 2 * padding;
+            let wo = (w - 1) * stride + kernel - 2 * padding;
+            Some(GemmDims {
+                m: (n * ho * wo) as u64,
+                n: c_out as u64,
+                k: ((c_in / groups) * kernel * kernel) as u64,
+                batch: 1,
+            })
+        }
+        OpSpec::Linear {
+            n,
+            f_in,
+            f_out,
+            arrays,
+        } => Some(GemmDims {
+            m: n as u64,
+            n: f_out as u64,
+            k: f_in as u64,
+            batch: arrays as u64,
+        }),
+        _ => None,
+    }
+}
+
+/// The channel-like axis XLA pads on TPUs.
+fn pad_dim(spec: &OpSpec) -> Option<u64> {
+    match *spec {
+        OpSpec::Conv2d { c_out, .. }
+        | OpSpec::Conv1d { c_out, .. }
+        | OpSpec::ConvTranspose2d { c_out, .. } => Some(c_out as u64),
+        OpSpec::Linear { f_out, .. } => Some(f_out as u64),
+        OpSpec::BatchNorm1d { c, .. } | OpSpec::BatchNorm2d { c, .. } => Some(c as u64),
+        OpSpec::MaxPool2d { c, .. } | OpSpec::Dropout2d { c, .. } => Some(c as u64),
+        _ => None,
+    }
+}
+
+/// Lowers one forward spec to a kernel.
+pub fn forward_kernel(spec: &OpSpec) -> Kernel {
+    let gemm = gemm_dims(spec);
+    let tiles = match gemm {
+        Some(g) => (g.m.div_ceil(128) * g.n.div_ceil(128) * g.batch).max(1),
+        None => (spec.activation_elems() as u64).div_ceil(ELT_TILE_ELEMS),
+    }
+    .max(1);
+    let _ = GEMM_TILE_ELEMS;
+    Kernel {
+        flops: spec.flops(),
+        bytes: spec.bytes(),
+        tiles,
+        gemm,
+        pad_dim: pad_dim(spec),
+        // cuDNN of the paper's era lacked tensor-core kernels for
+        // transposed convolutions (the paper's §5.1 DCGAN AMP anomaly).
+        tc_eligible: !matches!(spec, OpSpec::ConvTranspose2d { .. }),
+    }
+}
+
+/// Lowers a forward trace into the full iteration kernel stream
+/// (forward + backward + optimizer).
+pub fn iteration_kernels(trace: &[OpSpec]) -> Vec<Kernel> {
+    let mut kernels = Vec::new();
+    for spec in trace {
+        kernels.push(forward_kernel(spec));
+    }
+    // Backward, in reverse order.
+    for spec in trace.iter().rev() {
+        let fwd = forward_kernel(spec);
+        if spec.is_gemm() {
+            // Data-grad and weight-grad GEMMs.
+            kernels.push(fwd);
+            kernels.push(fwd);
+        } else {
+            kernels.push(fwd);
+        }
+    }
+    // Optimizer: one elementwise kernel per parameter-holding op.
+    let params: usize = trace.iter().map(|s| s.param_count()).sum();
+    if params > 0 {
+        let holders = trace.iter().filter(|s| s.param_count() > 0).count() as u64;
+        let per = (params as u64 / holders.max(1)).max(1);
+        for _ in 0..holders {
+            // Adam reads/writes weight, grad, m, v: ~8 values per param.
+            kernels.push(Kernel {
+                flops: 8 * per,
+                bytes: 32 * per,
+                tiles: per.div_ceil(ELT_TILE_ELEMS).max(1),
+                gemm: None,
+                pad_dim: None,
+                tc_eligible: false,
+            });
+        }
+    }
+    kernels
+}
+
+/// Device memory model for one job running `trace` (per model, GiB):
+/// weights + Adam state, saved activations + their gradients, and a
+/// cuDNN-style workspace.
+pub fn job_memory(trace: &[OpSpec]) -> JobMemory {
+    let params: usize = trace.iter().map(|s| s.param_count()).sum();
+    // Only outputs that must be *saved* for the backward pass count:
+    // stateful ops and pooling. Activation-function and dropout outputs
+    // are recomputed-from/folded-into their producer in practice.
+    let activations: usize = trace
+        .iter()
+        .filter(|s| s.param_count() > 0 || matches!(s, OpSpec::MaxPool2d { .. }))
+        .map(|s| s.activation_elems())
+        .sum();
+    const GIB: f64 = 1024.0 * 1024.0 * 1024.0;
+    JobMemory {
+        // value + grad + Adam m + v = 4 copies.
+        weights_gib: (params * 4 * 4) as f64 / GIB,
+        // saved forward activations (gradient buffers are transient).
+        activations_gib: (activations * 4) as f64 / GIB,
+        workspace_gib: 0.15,
+    }
+}
+
+/// Builds a complete simulator job from a forward trace.
+///
+/// `models` is 1 for serial jobs or `B` for a fused trace (i.e. a trace
+/// already mapped through [`OpSpec::fused`]); `examples` is the per-model
+/// minibatch size, `host_us` the per-iteration host data-pipeline time and
+/// `sync_us` the per-kernel framework gap (see
+/// [`TrainingJob::sync_us_per_kernel`]).
+pub fn build_job(
+    name: impl Into<String>,
+    trace: &[OpSpec],
+    models: usize,
+    examples: usize,
+    host_us: f64,
+    sync_us: f64,
+    cpu_gap_fraction: f64,
+) -> TrainingJob {
+    TrainingJob {
+        name: name.into(),
+        kernels: iteration_kernels(trace),
+        host_us,
+        sync_us_per_kernel: sync_us,
+        cpu_gap_fraction,
+        memory: job_memory(trace),
+        models_per_job: models,
+        examples_per_iteration: examples,
+    }
+}
+
+/// Maps a per-model trace through the Table 6 fusion transform.
+pub fn fused_trace(trace: &[OpSpec], b: usize) -> Vec<OpSpec> {
+    trace.iter().map(|s| s.fused(b)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traces;
+
+    #[test]
+    fn forward_kernel_carries_gemm_info() {
+        let spec = OpSpec::Conv2d {
+            n: 8,
+            c_in: 3,
+            c_out: 64,
+            h: 32,
+            w: 32,
+            kernel: 3,
+            stride: 1,
+            padding: 1,
+            groups: 1,
+        };
+        let k = forward_kernel(&spec);
+        assert!(k.is_gemm());
+        assert_eq!(k.gemm.unwrap().n, 64);
+        assert_eq!(k.pad_dim, Some(64));
+        assert!(k.tiles > 1);
+    }
+
+    #[test]
+    fn backward_roughly_doubles_kernels() {
+        let trace = traces::pointnet_cls();
+        let kernels = iteration_kernels(&trace);
+        assert!(kernels.len() > 2 * trace.len());
+        // GEMM flops in one iteration are ~3x forward GEMM flops.
+        let fwd_gemm: u64 = trace.iter().filter(|s| s.is_gemm()).map(|s| s.flops()).sum();
+        let all_gemm: u64 = kernels.iter().filter(|k| k.is_gemm()).map(|k| k.flops).sum();
+        assert_eq!(all_gemm, 3 * fwd_gemm);
+    }
+
+    #[test]
+    fn fused_trace_multiplies_work_linearly() {
+        let trace = traces::dcgan_iteration();
+        let fused = fused_trace(&trace, 4);
+        let f1: u64 = trace.iter().map(|s| s.flops()).sum();
+        let f4: u64 = fused.iter().map(|s| s.flops()).sum();
+        assert_eq!(f4, 4 * f1);
+        // Same kernel count — that is the whole point of fusion.
+        assert_eq!(fused.len(), trace.len());
+    }
+
+    #[test]
+    fn memory_grows_with_fusion_width() {
+        let trace = traces::pointnet_cls();
+        let m1 = job_memory(&trace);
+        let m4 = job_memory(&fused_trace(&trace, 4));
+        assert!(m4.weights_gib > 3.9 * m1.weights_gib);
+        assert!(m4.activations_gib > 3.9 * m1.activations_gib);
+        // Workspace is shared, not duplicated.
+        assert_eq!(m4.workspace_gib, m1.workspace_gib);
+    }
+
+    #[test]
+    fn pointnet_memory_magnitude_is_plausible() {
+        // The paper fits ~5-9 PointNet-cls models on a 16 GiB V100; the
+        // per-model footprint must land in the ~0.5-2.5 GiB range.
+        let m = job_memory(&traces::pointnet_cls());
+        let total = m.total_gib();
+        assert!((0.3..3.0).contains(&total), "footprint {total} GiB");
+    }
+
+    #[test]
+    fn build_job_wires_fields() {
+        let trace = traces::resnet18();
+        let job = build_job("resnet18", &trace, 1, traces::RESNET_BATCH, 5_000.0, 100.0, 0.3);
+        assert_eq!(job.models_per_job, 1);
+        assert_eq!(job.examples_per_iteration, 1000);
+        assert!(job.kernel_count() > 40);
+    }
+}

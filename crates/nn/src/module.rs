@@ -1,0 +1,108 @@
+//! The [`Module`] abstraction and [`Sequential`] container.
+
+use crate::parameter::Parameter;
+use crate::tape::Var;
+
+/// A neural-network building block: maps an input variable to an output
+/// variable and exposes its trainable parameters.
+///
+/// Modules use interior mutability for mode switches ([`Module::set_training`])
+/// and running statistics, so `forward` takes `&self` and modules compose
+/// freely inside [`Sequential`].
+pub trait Module {
+    /// Applies the module to `x`, recording onto `x`'s tape.
+    fn forward(&self, x: &Var) -> Var;
+
+    /// All trainable parameters, in a stable order.
+    fn parameters(&self) -> Vec<Parameter>;
+
+    /// Switches between training and evaluation behaviour (dropout,
+    /// batch-norm statistics). Default: no-op.
+    fn set_training(&self, _training: bool) {}
+}
+
+impl<M: Module + ?Sized> Module for Box<M> {
+    fn forward(&self, x: &Var) -> Var {
+        (**self).forward(x)
+    }
+
+    fn parameters(&self) -> Vec<Parameter> {
+        (**self).parameters()
+    }
+
+    fn set_training(&self, training: bool) {
+        (**self).set_training(training)
+    }
+}
+
+/// A module chaining submodules in order.
+///
+/// # Example
+///
+/// ```
+/// use hfta_nn::{layers::{Linear, LinearCfg, Relu}, Module, Sequential, Tape};
+/// use hfta_tensor::{Rng, Tensor};
+///
+/// let mut rng = Rng::seed_from(0);
+/// let net = Sequential::new(vec![
+///     Box::new(Linear::new(LinearCfg::new(4, 8), &mut rng)),
+///     Box::new(Relu),
+///     Box::new(Linear::new(LinearCfg::new(8, 2), &mut rng)),
+/// ]);
+/// let tape = Tape::new();
+/// let y = net.forward(&tape.leaf(Tensor::zeros([3, 4])));
+/// assert_eq!(y.dims(), vec![3, 2]);
+/// ```
+#[derive(Default)]
+pub struct Sequential {
+    layers: Vec<Box<dyn Module>>,
+}
+
+impl Sequential {
+    /// Creates a sequential container from boxed layers.
+    pub fn new(layers: Vec<Box<dyn Module>>) -> Self {
+        Sequential { layers }
+    }
+
+    /// Appends a layer.
+    pub fn push(&mut self, layer: Box<dyn Module>) -> &mut Self {
+        self.layers.push(layer);
+        self
+    }
+
+    /// Number of layers.
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Whether the container is empty.
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+}
+
+impl Module for Sequential {
+    fn forward(&self, x: &Var) -> Var {
+        let mut cur = x.clone();
+        for layer in &self.layers {
+            cur = layer.forward(&cur);
+        }
+        cur
+    }
+
+    fn parameters(&self) -> Vec<Parameter> {
+        self.layers.iter().flat_map(|l| l.parameters()).collect()
+    }
+
+    fn set_training(&self, training: bool) {
+        for layer in &self.layers {
+            layer.set_training(training);
+        }
+    }
+}
+
+impl std::fmt::Debug for Sequential {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Sequential({} layers)", self.layers.len())
+    }
+}

@@ -1,0 +1,322 @@
+//! Tape-based reverse-mode automatic differentiation.
+//!
+//! A [`Tape`] records the forward computation as a topologically ordered
+//! list of nodes; [`Var::backward`] sweeps it in reverse, accumulating
+//! gradients into [`Parameter`] slots. The tape is rebuilt every training
+//! iteration while parameters persist outside it — the same lifecycle as
+//! PyTorch's dynamic graph.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use hfta_tensor::Tensor;
+
+use crate::parameter::Parameter;
+
+/// Gradients flowing to each parent: `(parent_node_id, gradient)` pairs.
+pub(crate) type ParentGrads = Vec<(usize, Tensor)>;
+
+/// A backward function: maps the node's output gradient to parent gradients.
+pub(crate) type BackwardFn = Box<dyn Fn(&Tensor) -> ParentGrads>;
+
+pub(crate) struct Node {
+    pub(crate) value: Tensor,
+    pub(crate) backward: Option<BackwardFn>,
+    pub(crate) param: Option<Parameter>,
+}
+
+#[derive(Default)]
+pub(crate) struct TapeInner {
+    pub(crate) nodes: RefCell<Vec<Node>>,
+}
+
+/// A recording of a forward computation.
+///
+/// Create variables with [`Tape::leaf`] (constants) and [`Tape::param`]
+/// (trainable leaves), combine them with the methods on [`Var`], and call
+/// [`Var::backward`] on a scalar loss.
+///
+/// # Example
+///
+/// ```
+/// use hfta_nn::{Parameter, Tape};
+/// use hfta_tensor::Tensor;
+///
+/// let w = Parameter::new(Tensor::from_vec(vec![3.0], [1]), "w");
+/// let tape = Tape::new();
+/// let x = tape.leaf(Tensor::from_vec(vec![2.0], [1]));
+/// let loss = tape.param(&w).mul(&x).sum();
+/// loss.backward();
+/// assert_eq!(w.grad_cloned().to_vec(), vec![2.0]); // d(w*x)/dw = x
+/// ```
+#[derive(Clone, Default)]
+pub struct Tape {
+    pub(crate) inner: Rc<TapeInner>,
+}
+
+impl Tape {
+    /// Creates an empty tape.
+    pub fn new() -> Self {
+        Tape::default()
+    }
+
+    /// Number of recorded nodes.
+    pub fn len(&self) -> usize {
+        self.inner.nodes.borrow().len()
+    }
+
+    /// Whether the tape has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Records a constant leaf (no gradient tracking).
+    pub fn leaf(&self, value: Tensor) -> Var {
+        self.push(value, None, None)
+    }
+
+    /// Records a trainable leaf bound to `param`; gradients reaching it
+    /// accumulate into the parameter's grad slot.
+    pub fn param(&self, param: &Parameter) -> Var {
+        self.push(param.value_cloned(), None, Some(param.clone()))
+    }
+
+    pub(crate) fn push(
+        &self,
+        value: Tensor,
+        backward: Option<BackwardFn>,
+        param: Option<Parameter>,
+    ) -> Var {
+        let mut nodes = self.inner.nodes.borrow_mut();
+        nodes.push(Node {
+            value,
+            backward,
+            param,
+        });
+        Var {
+            tape: self.clone(),
+            id: nodes.len() - 1,
+        }
+    }
+}
+
+impl std::fmt::Debug for Tape {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Tape({} nodes)", self.len())
+    }
+}
+
+/// A node in the computation graph: a value plus how to propagate
+/// gradients to its inputs.
+///
+/// `Var` is a lightweight handle (tape reference + node id); cloning it
+/// does not copy the value.
+#[derive(Clone)]
+pub struct Var {
+    pub(crate) tape: Tape,
+    pub(crate) id: usize,
+}
+
+impl Var {
+    /// Clone of the node's value.
+    pub fn value(&self) -> Tensor {
+        self.tape.inner.nodes.borrow()[self.id].value.clone()
+    }
+
+    /// Dimension sizes of the node's value.
+    pub fn dims(&self) -> Vec<usize> {
+        self.tape.inner.nodes.borrow()[self.id]
+            .value
+            .dims()
+            .to_vec()
+    }
+
+    /// Size of dimension `axis`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `axis` is out of range.
+    pub fn dim(&self, axis: usize) -> usize {
+        self.tape.inner.nodes.borrow()[self.id].value.dim(axis)
+    }
+
+    /// Number of elements of the node's value.
+    pub fn numel(&self) -> usize {
+        self.tape.inner.nodes.borrow()[self.id].value.numel()
+    }
+
+    /// The scalar value (for loss nodes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value has more than one element.
+    pub fn item(&self) -> f32 {
+        self.tape.inner.nodes.borrow()[self.id].value.item()
+    }
+
+    /// The tape this variable lives on.
+    pub fn tape(&self) -> &Tape {
+        &self.tape
+    }
+
+    /// Runs reverse-mode differentiation from this (scalar) node,
+    /// accumulating gradients into every reachable [`Parameter`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is not a single element.
+    pub fn backward(&self) {
+        let ones = {
+            let nodes = self.tape.inner.nodes.borrow();
+            assert_eq!(
+                nodes[self.id].value.numel(),
+                1,
+                "backward() requires a scalar loss"
+            );
+            nodes[self.id].value.ones_like()
+        };
+        self.backward_with(ones);
+    }
+
+    /// Reverse sweep seeded with an explicit output gradient (same shape as
+    /// this node's value). Useful for Jacobian-vector products in tests.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seed`'s shape differs from the node's value shape.
+    pub fn backward_with(&self, seed: Tensor) {
+        let nodes = self.tape.inner.nodes.borrow();
+        assert_eq!(
+            seed.shape(),
+            nodes[self.id].value.shape(),
+            "backward seed shape mismatch"
+        );
+        let mut grads: Vec<Option<Tensor>> = vec![None; self.id + 1];
+        grads[self.id] = Some(seed);
+        for id in (0..=self.id).rev() {
+            let Some(g) = grads[id].take() else { continue };
+            let node = &nodes[id];
+            if let Some(backward) = &node.backward {
+                for (pid, pg) in backward(&g) {
+                    debug_assert!(pid < id, "tape must be topologically ordered");
+                    match &mut grads[pid] {
+                        Some(existing) => existing.add_assign_scaled(&pg, 1.0),
+                        slot @ None => *slot = Some(pg),
+                    }
+                }
+            }
+            if let Some(param) = &node.param {
+                param.accumulate_grad(&g);
+            }
+        }
+    }
+
+    /// Records a unary op: `value = f(self.value)`, with `backward`
+    /// mapping the output gradient to this node's gradient.
+    pub(crate) fn unary(
+        &self,
+        value: Tensor,
+        backward: impl Fn(&Tensor) -> Tensor + 'static,
+    ) -> Var {
+        let id = self.id;
+        self.tape.push(
+            value,
+            Some(Box::new(move |g| vec![(id, backward(g))])),
+            None,
+        )
+    }
+
+    /// Records a binary op with gradients for both operands.
+    pub(crate) fn binary(
+        &self,
+        other: &Var,
+        value: Tensor,
+        backward: impl Fn(&Tensor) -> (Tensor, Tensor) + 'static,
+    ) -> Var {
+        assert!(
+            Rc::ptr_eq(&self.tape.inner, &other.tape.inner),
+            "operands must share a tape"
+        );
+        let (a, b) = (self.id, other.id);
+        self.tape.push(
+            value,
+            Some(Box::new(move |g| {
+                let (ga, gb) = backward(g);
+                vec![(a, ga), (b, gb)]
+            })),
+            None,
+        )
+    }
+}
+
+impl std::fmt::Debug for Var {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let nodes = self.tape.inner.nodes.borrow();
+        write!(f, "Var(#{}, shape {})", self.id, nodes[self.id].value.shape())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn leaf_holds_value() {
+        let tape = Tape::new();
+        let x = tape.leaf(Tensor::from_vec(vec![1.0, 2.0], [2]));
+        assert_eq!(x.value().to_vec(), vec![1.0, 2.0]);
+        assert_eq!(x.dims(), vec![2]);
+        assert_eq!(tape.len(), 1);
+    }
+
+    #[test]
+    fn param_grad_accumulates_across_backwards() {
+        let w = Parameter::new(Tensor::from_vec(vec![2.0], [1]), "w");
+        for _ in 0..2 {
+            let tape = Tape::new();
+            let loss = tape.param(&w).sum();
+            loss.backward();
+        }
+        // d(sum(w))/dw = 1 per pass, accumulated twice.
+        assert_eq!(w.grad_cloned().to_vec(), vec![2.0]);
+    }
+
+    #[test]
+    fn diamond_graph_accumulates() {
+        // loss = sum(x * x + x * x) with both products sharing x.
+        let w = Parameter::new(Tensor::from_vec(vec![3.0], [1]), "w");
+        let tape = Tape::new();
+        let x = tape.param(&w);
+        let y = x.mul(&x).add(&x.mul(&x)).sum();
+        y.backward();
+        // d(2x^2)/dx = 4x = 12.
+        assert_eq!(w.grad_cloned().to_vec(), vec![12.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "scalar loss")]
+    fn backward_requires_scalar() {
+        let tape = Tape::new();
+        let x = tape.leaf(Tensor::zeros([2]));
+        x.backward();
+    }
+
+    #[test]
+    fn backward_with_seed() {
+        let w = Parameter::new(Tensor::from_vec(vec![1.0, 2.0], [2]), "w");
+        let tape = Tape::new();
+        let y = tape.param(&w).mul_scalar(3.0);
+        y.backward_with(Tensor::from_vec(vec![1.0, 10.0], [2]));
+        assert_eq!(w.grad_cloned().to_vec(), vec![3.0, 30.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "share a tape")]
+    fn cross_tape_ops_rejected() {
+        let t1 = Tape::new();
+        let t2 = Tape::new();
+        let a = t1.leaf(Tensor::ones([1]));
+        let b = t2.leaf(Tensor::ones([1]));
+        let _ = a.add(&b);
+    }
+}

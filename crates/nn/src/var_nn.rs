@@ -1,0 +1,555 @@
+//! Differentiable neural-network ops on [`Var`]: convolutions, pooling,
+//! batch norm, softmax and loss primitives.
+
+use hfta_tensor::activation::{log_softmax_backward, softmax_backward};
+use hfta_tensor::conv::{
+    conv1d_backward, conv2d, conv2d_grad_bias, conv2d_grad_input, conv2d_grad_weight,
+    conv_transpose2d, conv_transpose2d_grad_input, conv_transpose2d_grad_weight, ConvCfg,
+};
+use hfta_tensor::norm::{batch_norm_backward, batch_norm_eval, batch_norm_train};
+use hfta_tensor::pool::{max_pool2d, max_pool2d_backward};
+use hfta_tensor::Tensor;
+
+use crate::tape::Var;
+
+/// Per-channel batch statistics `(mean, variance)` returned by
+/// training-mode batch norm.
+pub type BatchStats = (Vec<f32>, Vec<f32>);
+
+impl Var {
+    /// 2-D convolution (`x [N, Cin, H, W]`, `w [Cout, Cin/g, kh, kw]`,
+    /// optional bias `[Cout]`).
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape/group inconsistencies.
+    pub fn conv2d(&self, weight: &Var, bias: Option<&Var>, cfg: ConvCfg) -> Var {
+        let x = self.value();
+        let w = weight.value();
+        let b = bias.map(|b| b.value());
+        let y = conv2d(&x, &w, b.as_ref(), cfg);
+        let (xc, wc) = (x.clone(), w.clone());
+        let input_hw = (x.dim(2), x.dim(3));
+        let cin = x.dim(1);
+        let kernel_hw = (w.dim(2), w.dim(3));
+        let ids: Vec<usize> = match bias {
+            Some(b) => vec![self.id, weight.id, b.id],
+            None => vec![self.id, weight.id],
+        };
+        let has_bias = bias.is_some();
+        self.tape.push(
+            y,
+            Some(Box::new(move |g| {
+                let gx = conv2d_grad_input(&wc, g, input_hw, cin, cfg);
+                let gw = conv2d_grad_weight(&xc, g, kernel_hw, cfg);
+                let mut out = vec![(ids[0], gx), (ids[1], gw)];
+                if has_bias {
+                    out.push((ids[2], conv2d_grad_bias(g)));
+                }
+                out
+            })),
+            None,
+        )
+    }
+
+    /// 1-D convolution (`x [N, Cin, L]`, `w [Cout, Cin/g, k]`).
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape/group inconsistencies.
+    pub fn conv1d(
+        &self,
+        weight: &Var,
+        bias: Option<&Var>,
+        stride: usize,
+        padding: usize,
+        groups: usize,
+    ) -> Var {
+        let x = self.value();
+        let w = weight.value();
+        let b = bias.map(|b| b.value());
+        let y = hfta_tensor::conv::conv1d(&x, &w, b.as_ref(), stride, padding, groups);
+        let (xc, wc) = (x.clone(), w.clone());
+        let ids: Vec<usize> = match bias {
+            Some(b) => vec![self.id, weight.id, b.id],
+            None => vec![self.id, weight.id],
+        };
+        let has_bias = bias.is_some();
+        self.tape.push(
+            y,
+            Some(Box::new(move |g| {
+                let (gx, gw, gb) = conv1d_backward(&xc, &wc, g, stride, padding, groups);
+                let mut out = vec![(ids[0], gx), (ids[1], gw)];
+                if has_bias {
+                    out.push((ids[2], gb));
+                }
+                out
+            })),
+            None,
+        )
+    }
+
+    /// 2-D transposed convolution (`x [N, Cin, H, W]`,
+    /// `w [Cin, Cout/g, kh, kw]`).
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape/group inconsistencies.
+    pub fn conv_transpose2d(&self, weight: &Var, bias: Option<&Var>, cfg: ConvCfg) -> Var {
+        let x = self.value();
+        let w = weight.value();
+        let b = bias.map(|b| b.value());
+        let y = conv_transpose2d(&x, &w, b.as_ref(), cfg);
+        let (xc, wc) = (x.clone(), w.clone());
+        let kernel_hw = (w.dim(2), w.dim(3));
+        let ids: Vec<usize> = match bias {
+            Some(b) => vec![self.id, weight.id, b.id],
+            None => vec![self.id, weight.id],
+        };
+        let has_bias = bias.is_some();
+        self.tape.push(
+            y,
+            Some(Box::new(move |g| {
+                let gx = conv_transpose2d_grad_input(&wc, g, cfg);
+                let gw = conv_transpose2d_grad_weight(&xc, g, kernel_hw, cfg);
+                let mut out = vec![(ids[0], gx), (ids[1], gw)];
+                if has_bias {
+                    out.push((ids[2], conv2d_grad_bias(g)));
+                }
+                out
+            })),
+            None,
+        )
+    }
+
+    /// 2-D max pooling.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input is not 4-D.
+    pub fn max_pool2d(&self, kernel: (usize, usize), stride: (usize, usize)) -> Var {
+        let x = self.value();
+        let in_dims = x.dims().to_vec();
+        let r = max_pool2d(&x, kernel, stride);
+        let indices = r.indices;
+        self.unary(r.output, move |g| {
+            max_pool2d_backward(g, &indices, &in_dims)
+        })
+    }
+
+    /// Batch normalization.
+    ///
+    /// In training mode (`running_stats = None` or with stats provided for
+    /// update bookkeeping by the caller), uses batch statistics; in eval
+    /// mode, pass `Some((running_mean, running_var))`. Returns the output
+    /// plus, in training mode, the `(batch_mean, batch_var)` the module
+    /// layer uses to update its running averages.
+    ///
+    /// # Panics
+    ///
+    /// Panics on rank/shape inconsistencies.
+    pub fn batch_norm(
+        &self,
+        gamma: &Var,
+        beta: &Var,
+        eps: f32,
+        running_stats: Option<(&[f32], &[f32])>,
+    ) -> (Var, Option<BatchStats>) {
+        let x = self.value();
+        let gv = gamma.value();
+        let bv = beta.value();
+        match running_stats {
+            None => {
+                let ctx = batch_norm_train(&x, &gv, &bv, eps);
+                let stats = (ctx.mean.clone(), ctx.var.clone());
+                let out_value = ctx.output.clone();
+                let gvc = gv.clone();
+                let ids = (self.id, gamma.id, beta.id);
+                let var = self.tape.push(
+                    out_value,
+                    Some(Box::new(move |g| {
+                        let (gx, ggamma, gbeta) = batch_norm_backward(g, &ctx, &gvc);
+                        vec![(ids.0, gx), (ids.1, ggamma), (ids.2, gbeta)]
+                    })),
+                    None,
+                );
+                (var, Some(stats))
+            }
+            Some((rm, rvar)) => {
+                let y = batch_norm_eval(&x, &gv, &bv, rm, rvar, eps);
+                // Eval-mode backward: y = gamma * (x - rm) * inv_std + beta.
+                let c = gv.numel();
+                let inv_std: Vec<f32> = rvar.iter().map(|v| 1.0 / (v + eps).sqrt()).collect();
+                let xhat = {
+                    // (x - rm) * inv_std, per channel.
+                    let mut xh = x.clone();
+                    let n = x.dim(0);
+                    let spatial = x.numel() / (n * c);
+                    let data = xh.as_mut_slice();
+                    for ni in 0..n {
+                        for ci in 0..c {
+                            let base = (ni * c + ci) * spatial;
+                            for i in 0..spatial {
+                                data[base + i] = (data[base + i] - rm[ci]) * inv_std[ci];
+                            }
+                        }
+                    }
+                    xh
+                };
+                let gvc = gv.clone();
+                let ids = (self.id, gamma.id, beta.id);
+                let var = self.tape.push(
+                    y,
+                    Some(Box::new(move |g| {
+                        let n = g.dim(0);
+                        let spatial = g.numel() / (n * c);
+                        let gd = g.as_slice();
+                        let xh = xhat.as_slice();
+                        let gvd = gvc.as_slice();
+                        let mut gx = vec![0.0f32; gd.len()];
+                        let mut ggamma = vec![0.0f32; c];
+                        let mut gbeta = vec![0.0f32; c];
+                        for ni in 0..n {
+                            for ci in 0..c {
+                                let base = (ni * c + ci) * spatial;
+                                for i in 0..spatial {
+                                    gx[base + i] = gd[base + i] * gvd[ci] * inv_std[ci];
+                                    ggamma[ci] += gd[base + i] * xh[base + i];
+                                    gbeta[ci] += gd[base + i];
+                                }
+                            }
+                        }
+                        vec![
+                            (ids.0, Tensor::from_vec(gx, g.dims().to_vec())),
+                            (ids.1, Tensor::from_vec(ggamma, [c])),
+                            (ids.2, Tensor::from_vec(gbeta, [c])),
+                        ]
+                    })),
+                    None,
+                );
+                (var, None)
+            }
+        }
+    }
+
+    /// Log-softmax along `axis`.
+    pub fn log_softmax(&self, axis: usize) -> Var {
+        let y = self.value().log_softmax(axis);
+        let yc = y.clone();
+        self.unary(y, move |g| log_softmax_backward(g, &yc, axis))
+    }
+
+    /// Softmax along `axis`.
+    pub fn softmax(&self, axis: usize) -> Var {
+        let y = self.value().softmax(axis);
+        let yc = y.clone();
+        self.unary(y, move |g| softmax_backward(g, &yc, axis))
+    }
+
+    /// Negative log-likelihood of integer targets given log-probabilities
+    /// `[N, C]` (or `[N, C, D]` with per-position targets of length `N*D`),
+    /// mean-reduced.
+    ///
+    /// # Panics
+    ///
+    /// Panics if target length or class indices are inconsistent.
+    pub fn nll_loss(&self, targets: &[usize]) -> Var {
+        let lp = self.value();
+        assert!(lp.rank() == 2 || lp.rank() == 3, "nll_loss expects [N, C] or [N, C, D]");
+        let n = lp.dim(0);
+        let c = lp.dim(1);
+        let d = if lp.rank() == 3 { lp.dim(2) } else { 1 };
+        assert_eq!(targets.len(), n * d, "target length mismatch");
+        let data = lp.as_slice();
+        let mut total = 0.0f32;
+        for ni in 0..n {
+            for di in 0..d {
+                let t = targets[ni * d + di];
+                assert!(t < c, "target class {t} out of range (C = {c})");
+                total -= data[(ni * c + t) * d + di];
+            }
+        }
+        let count = (n * d) as f32;
+        let dims = lp.dims().to_vec();
+        let targets = targets.to_vec();
+        self.unary(Tensor::scalar(total / count), move |g| {
+            let scale = -g.item() / count;
+            let mut gx = vec![0.0f32; dims.iter().product()];
+            for ni in 0..n {
+                for di in 0..d {
+                    let t = targets[ni * d + di];
+                    gx[(ni * c + t) * d + di] = scale;
+                }
+            }
+            Tensor::from_vec(gx, dims.clone())
+        })
+    }
+
+    /// Cross-entropy of logits against integer targets:
+    /// `nll_loss(log_softmax(x, 1), targets)`, mean-reduced.
+    pub fn cross_entropy(&self, targets: &[usize]) -> Var {
+        self.log_softmax(1).nll_loss(targets)
+    }
+
+    /// Numerically stable binary cross-entropy *with logits*, mean-reduced:
+    /// `mean(max(x, 0) - x * y + ln(1 + exp(-|x|)))`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `targets`'s shape differs from the logits'.
+    pub fn bce_with_logits(&self, targets: &Tensor) -> Var {
+        let x = self.value();
+        assert_eq!(x.shape(), targets.shape(), "bce target shape mismatch");
+        let n = x.numel() as f32;
+        let xd = x.as_slice();
+        let td = targets.as_slice();
+        let total: f32 = xd
+            .iter()
+            .zip(td)
+            .map(|(&xi, &yi)| xi.max(0.0) - xi * yi + (1.0 + (-xi.abs()).exp()).ln())
+            .sum();
+        let xc = x.clone();
+        let tc = targets.clone();
+        self.unary(Tensor::scalar(total / n), move |g| {
+            // d/dx = sigmoid(x) - y.
+            xc.sigmoid().sub(&tc).mul_scalar(g.item() / n)
+        })
+    }
+
+    /// Mean-squared error against a constant target, mean-reduced.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn mse_loss(&self, target: &Tensor) -> Var {
+        let x = self.value();
+        assert_eq!(x.shape(), target.shape(), "mse target shape mismatch");
+        let n = x.numel() as f32;
+        let diff = x.sub(target);
+        let loss = diff.square().sum().item() / n;
+        self.unary(Tensor::scalar(loss), move |g| {
+            diff.mul_scalar(2.0 * g.item() / n)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gradcheck::check_gradients;
+    use crate::parameter::Parameter;
+    use crate::tape::Tape;
+    use hfta_tensor::Rng;
+
+    #[test]
+    fn conv2d_gradcheck() {
+        let mut rng = Rng::seed_from(10);
+        let x = Parameter::new(rng.randn([1, 2, 5, 5]), "x");
+        let w = Parameter::new(rng.randn([3, 2, 3, 3]).mul_scalar(0.5), "w");
+        let b = Parameter::new(rng.randn([3]), "b");
+        check_gradients(
+            &[x.clone(), w.clone(), b.clone()],
+            |tape| {
+                tape.param(&x)
+                    .conv2d(&tape.param(&w), Some(&tape.param(&b)), ConvCfg::square(1, 1, 1))
+                    .square()
+                    .sum()
+            },
+            2e-1,
+        );
+    }
+
+    #[test]
+    fn grouped_conv2d_gradcheck() {
+        let mut rng = Rng::seed_from(11);
+        let x = Parameter::new(rng.randn([1, 4, 4, 4]), "x");
+        let w = Parameter::new(rng.randn([4, 2, 3, 3]).mul_scalar(0.5), "w");
+        check_gradients(
+            &[x.clone(), w.clone()],
+            |tape| {
+                tape.param(&x)
+                    .conv2d(&tape.param(&w), None, ConvCfg::square(1, 1, 2))
+                    .square()
+                    .sum()
+            },
+            2e-1,
+        );
+    }
+
+    #[test]
+    fn conv1d_gradcheck() {
+        let mut rng = Rng::seed_from(12);
+        let x = Parameter::new(rng.randn([2, 3, 6]), "x");
+        let w = Parameter::new(rng.randn([4, 3, 3]).mul_scalar(0.5), "w");
+        let b = Parameter::new(rng.randn([4]), "b");
+        check_gradients(
+            &[x.clone(), w.clone(), b.clone()],
+            |tape| {
+                tape.param(&x)
+                    .conv1d(&tape.param(&w), Some(&tape.param(&b)), 1, 1, 1)
+                    .square()
+                    .sum()
+            },
+            2e-1,
+        );
+    }
+
+    #[test]
+    fn conv_transpose2d_gradcheck() {
+        let mut rng = Rng::seed_from(13);
+        let x = Parameter::new(rng.randn([1, 4, 3, 3]), "x");
+        let w = Parameter::new(rng.randn([4, 2, 4, 4]).mul_scalar(0.3), "w");
+        let b = Parameter::new(rng.randn([2]), "b");
+        check_gradients(
+            &[x.clone(), w.clone(), b.clone()],
+            |tape| {
+                tape.param(&x)
+                    .conv_transpose2d(
+                        &tape.param(&w),
+                        Some(&tape.param(&b)),
+                        ConvCfg::square(2, 1, 1),
+                    )
+                    .square()
+                    .sum()
+            },
+            2e-1,
+        );
+    }
+
+    #[test]
+    fn max_pool_gradcheck() {
+        let mut rng = Rng::seed_from(14);
+        let x = Parameter::new(rng.randn([1, 2, 4, 4]), "x");
+        check_gradients(
+            std::slice::from_ref(&x),
+            |tape| {
+                tape.param(&x)
+                    .max_pool2d((2, 2), (2, 2))
+                    .square()
+                    .sum()
+            },
+            2e-1,
+        );
+    }
+
+    #[test]
+    fn batch_norm_train_gradcheck() {
+        let mut rng = Rng::seed_from(15);
+        let x = Parameter::new(rng.randn([4, 3]), "x");
+        let g = Parameter::new(rng.rand([3], 0.5, 1.5), "gamma");
+        let b = Parameter::new(rng.randn([3]), "beta");
+        let w = rng.randn([4, 3]);
+        check_gradients(
+            &[x.clone(), g.clone(), b.clone()],
+            |tape| {
+                let (y, _) =
+                    tape.param(&x)
+                        .batch_norm(&tape.param(&g), &tape.param(&b), 1e-5, None);
+                y.mul_const(&w).sum()
+            },
+            3e-1,
+        );
+    }
+
+    #[test]
+    fn batch_norm_eval_gradcheck() {
+        let mut rng = Rng::seed_from(16);
+        let x = Parameter::new(rng.randn([4, 3]), "x");
+        let g = Parameter::new(rng.rand([3], 0.5, 1.5), "gamma");
+        let b = Parameter::new(rng.randn([3]), "beta");
+        let rm = vec![0.1, -0.2, 0.3];
+        let rv = vec![1.0, 2.0, 0.5];
+        check_gradients(
+            &[x.clone(), g.clone(), b.clone()],
+            |tape| {
+                let (y, stats) = tape.param(&x).batch_norm(
+                    &tape.param(&g),
+                    &tape.param(&b),
+                    1e-5,
+                    Some((&rm, &rv)),
+                );
+                assert!(stats.is_none());
+                y.square().sum()
+            },
+            2e-1,
+        );
+    }
+
+    #[test]
+    fn log_softmax_and_nll_gradcheck() {
+        let mut rng = Rng::seed_from(17);
+        let x = Parameter::new(rng.randn([3, 4]), "x");
+        check_gradients(
+            std::slice::from_ref(&x),
+            |tape| tape.param(&x).cross_entropy(&[1, 0, 3]),
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn nll_loss_3d_segmentation_form() {
+        // [N, C, D] log-probs with per-position targets.
+        let mut rng = Rng::seed_from(18);
+        let x = Parameter::new(rng.randn([2, 3, 4]), "x");
+        check_gradients(
+            std::slice::from_ref(&x),
+            |tape| {
+                tape.param(&x)
+                    .log_softmax(1)
+                    .nll_loss(&[0, 1, 2, 0, 2, 2, 1, 0])
+            },
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn bce_with_logits_gradcheck() {
+        let mut rng = Rng::seed_from(19);
+        let x = Parameter::new(rng.randn([6]), "x");
+        let y = Tensor::from_vec(vec![1.0, 0.0, 1.0, 1.0, 0.0, 0.0], [6]);
+        check_gradients(
+            std::slice::from_ref(&x),
+            |tape| tape.param(&x).bce_with_logits(&y),
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn bce_matches_manual_value() {
+        let tape = Tape::new();
+        let x = tape.leaf(Tensor::from_vec(vec![0.0], [1]));
+        let y = Tensor::from_vec(vec![1.0], [1]);
+        let loss = x.bce_with_logits(&y);
+        // -ln(sigmoid(0)) = ln 2.
+        assert!((loss.item() - std::f32::consts::LN_2).abs() < 1e-6);
+    }
+
+    #[test]
+    fn mse_gradcheck() {
+        let mut rng = Rng::seed_from(20);
+        let x = Parameter::new(rng.randn([5]), "x");
+        let t = rng.randn([5]);
+        check_gradients(std::slice::from_ref(&x), |tape| tape.param(&x).mse_loss(&t), 1e-2);
+    }
+
+    #[test]
+    fn cross_entropy_uniform_logits() {
+        let tape = Tape::new();
+        let x = tape.leaf(Tensor::zeros([2, 4]));
+        let loss = x.cross_entropy(&[0, 3]);
+        assert!((loss.item() - (4.0f32).ln()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn batch_norm_updates_stats_in_train_only() {
+        let tape = Tape::new();
+        let x = tape.leaf(Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], [2, 2]));
+        let g = tape.leaf(Tensor::ones([2]));
+        let b = tape.leaf(Tensor::zeros([2]));
+        let (_, stats) = x.batch_norm(&g, &b, 1e-5, None);
+        let (mean, var) = stats.expect("training mode returns stats");
+        assert!((mean[0] - 2.0).abs() < 1e-6);
+        assert!((mean[1] - 3.0).abs() < 1e-6);
+        assert!((var[0] - 1.0).abs() < 1e-5);
+    }
+}

@@ -1,0 +1,485 @@
+//! Differentiable arithmetic, layout and reduction ops on [`Var`].
+
+use hfta_tensor::Tensor;
+
+use crate::tape::Var;
+
+impl Var {
+    // ------------------------------------------------------------------
+    // Broadcasting arithmetic
+    // ------------------------------------------------------------------
+
+    /// Elementwise addition with broadcasting.
+    pub fn add(&self, other: &Var) -> Var {
+        let (av, bv) = (self.value(), other.value());
+        let (sa, sb) = (av.shape().clone(), bv.shape().clone());
+        self.binary(other, av.add(&bv), move |g| {
+            (g.sum_to(&sa), g.sum_to(&sb))
+        })
+    }
+
+    /// Elementwise subtraction with broadcasting.
+    pub fn sub(&self, other: &Var) -> Var {
+        let (av, bv) = (self.value(), other.value());
+        let (sa, sb) = (av.shape().clone(), bv.shape().clone());
+        self.binary(other, av.sub(&bv), move |g| {
+            (g.sum_to(&sa), g.neg().sum_to(&sb))
+        })
+    }
+
+    /// Elementwise multiplication with broadcasting.
+    pub fn mul(&self, other: &Var) -> Var {
+        let (av, bv) = (self.value(), other.value());
+        let (sa, sb) = (av.shape().clone(), bv.shape().clone());
+        let (ac, bc) = (av.clone(), bv.clone());
+        self.binary(other, av.mul(&bv), move |g| {
+            (g.mul(&bc).sum_to(&sa), g.mul(&ac).sum_to(&sb))
+        })
+    }
+
+    /// Elementwise division with broadcasting.
+    pub fn div(&self, other: &Var) -> Var {
+        let (av, bv) = (self.value(), other.value());
+        let (sa, sb) = (av.shape().clone(), bv.shape().clone());
+        let (ac, bc) = (av.clone(), bv.clone());
+        self.binary(other, av.div(&bv), move |g| {
+            let ga = g.div(&bc).sum_to(&sa);
+            let gb = g.mul(&ac).neg().div(&bc.square()).sum_to(&sb);
+            (ga, gb)
+        })
+    }
+
+    /// Adds a scalar.
+    pub fn add_scalar(&self, s: f32) -> Var {
+        self.unary(self.value().add_scalar(s), |g| g.clone())
+    }
+
+    /// Multiplies by a scalar.
+    pub fn mul_scalar(&self, s: f32) -> Var {
+        self.unary(self.value().mul_scalar(s), move |g| g.mul_scalar(s))
+    }
+
+    /// Negation.
+    pub fn neg(&self) -> Var {
+        self.unary(self.value().neg(), |g| g.neg())
+    }
+
+    // ------------------------------------------------------------------
+    // Nonlinearities
+    // ------------------------------------------------------------------
+
+    /// Rectified linear unit.
+    pub fn relu(&self) -> Var {
+        let mask = self.value().gt_mask(&Tensor::scalar(0.0));
+        self.unary(self.value().relu(), move |g| g.mul(&mask))
+    }
+
+    /// Leaky ReLU with the given negative slope.
+    pub fn leaky_relu(&self, slope: f32) -> Var {
+        let v = self.value();
+        let dmask = v.map(|x| if x >= 0.0 { 1.0 } else { slope });
+        self.unary(v.leaky_relu(slope), move |g| g.mul(&dmask))
+    }
+
+    /// Hyperbolic tangent.
+    pub fn tanh(&self) -> Var {
+        let y = self.value().tanh();
+        let yc = y.clone();
+        self.unary(y, move |g| g.mul(&yc.square().neg().add_scalar(1.0)))
+    }
+
+    /// Logistic sigmoid.
+    pub fn sigmoid(&self) -> Var {
+        let y = self.value().sigmoid();
+        let yc = y.clone();
+        self.unary(y, move |g| {
+            g.mul(&yc).mul(&yc.neg().add_scalar(1.0))
+        })
+    }
+
+    /// Natural exponential.
+    pub fn exp(&self) -> Var {
+        let y = self.value().exp();
+        let yc = y.clone();
+        self.unary(y, move |g| g.mul(&yc))
+    }
+
+    /// Natural logarithm.
+    pub fn ln(&self) -> Var {
+        let x = self.value();
+        let xc = x.clone();
+        self.unary(x.ln(), move |g| g.div(&xc))
+    }
+
+    /// Elementwise square.
+    pub fn square(&self) -> Var {
+        let x = self.value();
+        let xc = x.clone();
+        self.unary(x.square(), move |g| g.mul(&xc).mul_scalar(2.0))
+    }
+
+    /// Multiplies elementwise by a *constant* tensor (no gradient into the
+    /// constant) — dropout masks, attention masks, per-model LR vectors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes do not broadcast.
+    pub fn mul_const(&self, c: &Tensor) -> Var {
+        let shape = self.value().shape().clone();
+        let cc = c.clone();
+        self.unary(self.value().mul(c), move |g| g.mul(&cc).sum_to(&shape))
+    }
+
+    /// Adds a *constant* tensor (no gradient into the constant).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes do not broadcast.
+    pub fn add_const(&self, c: &Tensor) -> Var {
+        let shape = self.value().shape().clone();
+        self.unary(self.value().add(c), move |g| g.sum_to(&shape))
+    }
+
+    // ------------------------------------------------------------------
+    // Reductions
+    // ------------------------------------------------------------------
+
+    /// Sum of all elements (scalar output).
+    pub fn sum(&self) -> Var {
+        let shape = self.value().shape().clone();
+        self.unary(self.value().sum(), move |g| {
+            Tensor::full(shape.clone(), g.item())
+        })
+    }
+
+    /// Mean of all elements (scalar output).
+    pub fn mean(&self) -> Var {
+        let shape = self.value().shape().clone();
+        let n = shape.numel() as f32;
+        self.unary(self.value().mean(), move |g| {
+            Tensor::full(shape.clone(), g.item() / n)
+        })
+    }
+
+    /// Sum along `axis`, keeping it as size 1.
+    pub fn sum_axis_keep(&self, axis: usize) -> Var {
+        let shape = self.value().shape().clone();
+        self.unary(self.value().sum_axis(axis, true), move |g| {
+            // Broadcast the reduced gradient back across the axis.
+            Tensor::zeros(shape.clone()).add(g)
+        })
+    }
+
+    /// Mean along `axis`, keeping it as size 1.
+    pub fn mean_axis_keep(&self, axis: usize) -> Var {
+        let n = self.value().dim(axis) as f32;
+        self.sum_axis_keep(axis).mul_scalar(1.0 / n)
+    }
+
+    /// Maximum along `axis` (axis removed); gradient routes to the argmax.
+    pub fn max_axis(&self, axis: usize) -> Var {
+        let v = self.value();
+        let (out, indices) = v.max_axis_with_indices(axis);
+        let in_dims = v.dims().to_vec();
+        let n = v.dim(axis);
+        let (outer, inner) = {
+            let outer: usize = in_dims[..axis].iter().product();
+            let inner: usize = in_dims[axis + 1..].iter().product();
+            (outer, inner)
+        };
+        self.unary(out, move |g| {
+            let gd = g.as_slice();
+            let mut gx = vec![0.0f32; outer * n * inner];
+            for o in 0..outer {
+                for i in 0..inner {
+                    let k = indices[o * inner + i];
+                    gx[(o * n + k) * inner + i] += gd[o * inner + i];
+                }
+            }
+            Tensor::from_vec(gx, in_dims.clone())
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // Layout
+    // ------------------------------------------------------------------
+
+    /// Reshape (element count preserved).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the element counts differ.
+    pub fn reshape(&self, dims: &[usize]) -> Var {
+        let old = self.value().dims().to_vec();
+        self.unary(self.value().reshape(dims), move |g| g.reshape(&old))
+    }
+
+    /// Flattens all dimensions from `start_axis` onward.
+    pub fn flatten_from(&self, start_axis: usize) -> Var {
+        let old = self.value().dims().to_vec();
+        self.unary(self.value().flatten_from(start_axis), move |g| {
+            g.reshape(&old)
+        })
+    }
+
+    /// Permutes axes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `order` is not a permutation of the rank.
+    pub fn permute(&self, order: &[usize]) -> Var {
+        let order = order.to_vec();
+        let mut inverse = vec![0usize; order.len()];
+        for (i, &a) in order.iter().enumerate() {
+            inverse[a] = i;
+        }
+        self.unary(self.value().permute(&order), move |g| g.permute(&inverse))
+    }
+
+    /// Swaps two axes.
+    pub fn transpose(&self, a: usize, b: usize) -> Var {
+        let mut order: Vec<usize> = (0..self.value().rank()).collect();
+        order.swap(a, b);
+        self.permute(&order)
+    }
+
+    /// Slice of `len` elements from `start` along `axis`.
+    pub fn narrow(&self, axis: usize, start: usize, len: usize) -> Var {
+        let dims = self.value().dims().to_vec();
+        self.unary(self.value().narrow(axis, start, len), move |g| {
+            let mut gx = Tensor::zeros(dims.clone());
+            gx.narrow_assign(axis, start, g);
+            gx
+        })
+    }
+
+    /// Concatenates variables along `axis`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vars` is empty or shapes are incompatible.
+    pub fn concat(vars: &[&Var], axis: usize) -> Var {
+        assert!(!vars.is_empty(), "concat of zero vars");
+        let tape = vars[0].tape.clone();
+        let values: Vec<Tensor> = vars.iter().map(|v| v.value()).collect();
+        let value = Tensor::concat(&values.iter().collect::<Vec<_>>(), axis);
+        let ids: Vec<usize> = vars.iter().map(|v| v.id).collect();
+        let sizes: Vec<usize> = values.iter().map(|v| v.dim(axis)).collect();
+        tape.push(
+            value,
+            Some(Box::new(move |g| {
+                let mut out = Vec::with_capacity(ids.len());
+                let mut off = 0;
+                for (i, &id) in ids.iter().enumerate() {
+                    out.push((id, g.narrow(axis, off, sizes[i])));
+                    off += sizes[i];
+                }
+                out
+            })),
+            None,
+        )
+    }
+
+    // ------------------------------------------------------------------
+    // Linear algebra
+    // ------------------------------------------------------------------
+
+    /// 2-D matrix product.
+    pub fn matmul(&self, other: &Var) -> Var {
+        let (a, b) = (self.value(), other.value());
+        let (ac, bc) = (a.clone(), b.clone());
+        self.binary(other, a.matmul(&b), move |g| {
+            (g.matmul(&bc.t()), ac.t().matmul(g))
+        })
+    }
+
+    /// Batched matrix product `[B, m, k] x [B, k, n]`.
+    pub fn bmm(&self, other: &Var) -> Var {
+        let (a, b) = (self.value(), other.value());
+        let (ac, bc) = (a.clone(), b.clone());
+        self.binary(other, a.bmm(&b), move |g| {
+            (g.bmm_nt(&bc), ac.bmm_tn(g))
+        })
+    }
+
+    /// Batched `bias + self @ other` with broadcastable bias — the fused
+    /// linear layer primitive (HFTA Table 6).
+    pub fn baddbmm(&self, other: &Var, bias: &Var) -> Var {
+        self.bmm(other).add(bias)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gradcheck::check_gradients;
+    use crate::parameter::Parameter;
+    use crate::tape::Tape;
+    use hfta_tensor::Rng;
+
+    fn param(rng: &mut Rng, shape: &[usize], name: &str) -> Parameter {
+        Parameter::new(rng.randn(shape.to_vec()), name)
+    }
+
+    #[test]
+    fn add_mul_grads() {
+        let w = Parameter::new(Tensor::from_vec(vec![2.0, 3.0], [2]), "w");
+        let tape = Tape::new();
+        let x = tape.param(&w);
+        let y = x.mul(&x).add(&x).sum(); // y = x^2 + x, dy/dx = 2x + 1
+        y.backward();
+        assert_eq!(w.grad_cloned().to_vec(), vec![5.0, 7.0]);
+    }
+
+    #[test]
+    fn broadcast_grad_sums() {
+        // row [3] broadcast over [2,3]: grad of row = column-sum of g.
+        let row = Parameter::new(Tensor::zeros([3]), "row");
+        let tape = Tape::new();
+        let m = tape.leaf(Tensor::ones([2, 3]));
+        let y = m.add(&tape.param(&row)).sum();
+        y.backward();
+        assert_eq!(row.grad_cloned().to_vec(), vec![2.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn matmul_gradcheck() {
+        let mut rng = Rng::seed_from(1);
+        let a = param(&mut rng, &[3, 4], "a");
+        let b = param(&mut rng, &[4, 2], "b");
+        check_gradients(
+            &[a.clone(), b.clone()],
+            |tape| tape.param(&a).matmul(&tape.param(&b)).sum(),
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn bmm_gradcheck() {
+        let mut rng = Rng::seed_from(2);
+        let a = param(&mut rng, &[2, 3, 4], "a");
+        let b = param(&mut rng, &[2, 4, 2], "b");
+        check_gradients(
+            &[a.clone(), b.clone()],
+            |tape| tape.param(&a).bmm(&tape.param(&b)).square().sum(),
+            1e-1,
+        );
+    }
+
+    #[test]
+    fn baddbmm_gradcheck() {
+        let mut rng = Rng::seed_from(3);
+        let x = param(&mut rng, &[2, 3, 4], "x");
+        let w = param(&mut rng, &[2, 4, 5], "w");
+        let bias = param(&mut rng, &[2, 1, 5], "b");
+        check_gradients(
+            &[x.clone(), w.clone(), bias.clone()],
+            |tape| {
+                tape.param(&x)
+                    .baddbmm(&tape.param(&w), &tape.param(&bias))
+                    .sum()
+            },
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn nonlinearity_gradchecks() {
+        let mut rng = Rng::seed_from(4);
+        let x = param(&mut rng, &[3, 3], "x");
+        for f in [
+            (|v: &Var| v.relu().sum()) as fn(&Var) -> Var,
+            |v| v.leaky_relu(0.2).sum(),
+            |v| v.tanh().sum(),
+            |v| v.sigmoid().sum(),
+            |v| v.exp().sum(),
+            |v| v.square().sum(),
+        ] {
+            check_gradients(std::slice::from_ref(&x), |tape| f(&tape.param(&x)), 1e-2);
+        }
+    }
+
+    #[test]
+    fn ln_gradcheck_positive_domain() {
+        let x = Parameter::new(
+            Tensor::from_vec(vec![0.5, 1.0, 2.0, 3.0], [4]),
+            "x",
+        );
+        check_gradients(std::slice::from_ref(&x), |tape| tape.param(&x).ln().sum(), 1e-2);
+    }
+
+    #[test]
+    fn div_gradcheck() {
+        let a = Parameter::new(Tensor::from_vec(vec![1.0, -2.0], [2]), "a");
+        let b = Parameter::new(Tensor::from_vec(vec![2.0, 4.0], [2]), "b");
+        check_gradients(
+            &[a.clone(), b.clone()],
+            |tape| tape.param(&a).div(&tape.param(&b)).sum(),
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn max_axis_routes_gradient() {
+        let w = Parameter::new(
+            Tensor::from_vec(vec![1.0, 5.0, 3.0, 2.0, 0.0, 4.0], [2, 3]),
+            "w",
+        );
+        let tape = Tape::new();
+        let y = tape.param(&w).max_axis(1).sum();
+        y.backward();
+        assert_eq!(
+            w.grad_cloned().to_vec(),
+            vec![0.0, 1.0, 0.0, 0.0, 0.0, 1.0]
+        );
+    }
+
+    #[test]
+    fn narrow_concat_round_trip_grads() {
+        let w = Parameter::new(Tensor::arange(6).reshape(&[2, 3]), "w");
+        let tape = Tape::new();
+        let x = tape.param(&w);
+        let a = x.narrow(1, 0, 1);
+        let b = x.narrow(1, 1, 2);
+        let y = Var::concat(&[&a, &b], 1).mul_scalar(2.0).sum();
+        y.backward();
+        assert_eq!(w.grad_cloned().to_vec(), vec![2.0; 6]);
+    }
+
+    #[test]
+    fn permute_gradcheck() {
+        let mut rng = Rng::seed_from(6);
+        let x = param(&mut rng, &[2, 3, 4], "x");
+        check_gradients(
+            std::slice::from_ref(&x),
+            |tape| tape.param(&x).permute(&[2, 0, 1]).square().sum(),
+            1e-1,
+        );
+    }
+
+    #[test]
+    fn reductions_grads() {
+        let w = Parameter::new(Tensor::ones([2, 3]), "w");
+        let tape = Tape::new();
+        let y = tape.param(&w).mean();
+        y.backward();
+        assert!(w
+            .grad_cloned()
+            .allclose(&Tensor::full([2, 3], 1.0 / 6.0), 1e-6));
+        let w2 = Parameter::new(Tensor::ones([2, 3]), "w2");
+        let tape2 = Tape::new();
+        let y2 = tape2.param(&w2).sum_axis_keep(0).sum();
+        y2.backward();
+        assert_eq!(w2.grad_cloned().to_vec(), vec![1.0; 6]);
+    }
+
+    #[test]
+    fn mul_const_does_not_track_constant() {
+        let w = Parameter::new(Tensor::ones([2]), "w");
+        let tape = Tape::new();
+        let mask = Tensor::from_vec(vec![0.0, 2.0], [2]);
+        let y = tape.param(&w).mul_const(&mask).sum();
+        y.backward();
+        assert_eq!(w.grad_cloned().to_vec(), vec![0.0, 2.0]);
+    }
+}

@@ -1,0 +1,109 @@
+//! Property-based tests of the autograd engine: analytic gradients agree
+//! with central differences for randomly composed expressions, and
+//! algebraic gradient identities hold.
+
+use hfta_nn::{check_gradients, Parameter, Tape};
+use hfta_tensor::{Rng, Tensor};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn random_elementwise_chains_gradcheck(seed in 0u64..10_000, ops in prop::collection::vec(0u8..6, 1..5)) {
+        let mut rng = Rng::seed_from(seed);
+        // Keep values in a safe domain for ln/div.
+        let w = Parameter::new(rng.rand([6], 0.2, 2.0), "w");
+        let ops2 = ops.clone();
+        // The closure needs its own handle; Parameter clones share storage.
+        let w_in_loss = w.clone();
+        check_gradients(
+            std::slice::from_ref(&w),
+            move |tape| {
+                let mut v = tape.param(&w_in_loss);
+                for op in &ops2 {
+                    v = match op {
+                        0 => v.relu(),
+                        1 => v.tanh(),
+                        2 => v.sigmoid(),
+                        3 => v.square().add_scalar(0.1),
+                        4 => v.mul_scalar(0.7).add_scalar(0.3),
+                        _ => v.add_scalar(0.5).ln().exp(),
+                    };
+                }
+                v.sum()
+            },
+            5e-2,
+        );
+    }
+
+    #[test]
+    fn linear_chain_gradcheck(seed in 0u64..10_000, depth in 1usize..4) {
+        let mut rng = Rng::seed_from(seed);
+        let params: Vec<Parameter> = (0..depth)
+            .map(|i| Parameter::new(rng.randn([3, 3]).mul_scalar(0.5), format!("w{i}")))
+            .collect();
+        let x = rng.randn([2, 3]);
+        let ps = params.clone();
+        check_gradients(
+            &params,
+            move |tape| {
+                let mut h = tape.leaf(x.clone());
+                for p in &ps {
+                    h = h.matmul(&tape.param(p)).tanh();
+                }
+                h.square().sum()
+            },
+            1e-1,
+        );
+    }
+
+    #[test]
+    fn sum_of_parts_equals_whole_gradient(seed in 0u64..10_000, n in 2usize..6) {
+        // d(sum(x))/dx via narrow+concat must equal the direct gradient.
+        let mut rng = Rng::seed_from(seed);
+        let w = Parameter::new(rng.randn([n, 4]), "w");
+        w.zero_grad();
+        let tape = Tape::new();
+        let x = tape.param(&w);
+        let parts: Vec<_> = (0..n).map(|i| x.narrow(0, i, 1)).collect();
+        let refs: Vec<&hfta_nn::Var> = parts.iter().collect();
+        hfta_nn::Var::concat(&refs, 0).sum().backward();
+        let via_parts = w.grad_cloned();
+        w.zero_grad();
+        let tape = Tape::new();
+        tape.param(&w).sum().backward();
+        prop_assert_eq!(via_parts, w.grad_cloned());
+    }
+
+    #[test]
+    fn grad_of_constant_wrt_unused_param_is_zero(seed in 0u64..10_000) {
+        let mut rng = Rng::seed_from(seed);
+        let used = Parameter::new(rng.randn([2]), "used");
+        let unused = Parameter::new(rng.randn([2]), "unused");
+        used.zero_grad();
+        unused.zero_grad();
+        let tape = Tape::new();
+        let _ = tape.param(&unused); // registered but not in the loss
+        tape.param(&used).square().sum().backward();
+        prop_assert_eq!(unused.grad_cloned(), Tensor::zeros([2]));
+        prop_assert!(used.grad_cloned().abs().max_value() >= 0.0);
+    }
+
+    #[test]
+    fn backward_is_linear_in_seed(seed in 0u64..10_000, alpha in 0.1f32..4.0) {
+        // backward(alpha * g) == alpha * backward(g).
+        let mut rng = Rng::seed_from(seed);
+        let w = Parameter::new(rng.randn([3]), "w");
+        let run = |scale: f32| -> Tensor {
+            w.zero_grad();
+            let tape = Tape::new();
+            let y = tape.param(&w).tanh();
+            y.backward_with(Tensor::full([3], scale));
+            w.grad_cloned()
+        };
+        let g1 = run(1.0);
+        let ga = run(alpha);
+        prop_assert!(ga.allclose(&g1.mul_scalar(alpha), 1e-4));
+    }
+}

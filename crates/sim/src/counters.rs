@@ -1,0 +1,112 @@
+//! DCGM-style hardware performance counters (paper Table 7, §4 metrics).
+
+use serde::{Deserialize, Serialize};
+
+/// DCGM field identifiers used by the paper (Table 7).
+pub mod dcgm {
+    /// `DCGM_FI_PROF_SM_ACTIVE` — SM temporal utilization.
+    pub const SM_ACTIVE: u32 = 1002;
+    /// `DCGM_FI_PROF_SM_OCCUPANCY` — SM spatial utilization.
+    pub const SM_OCCUPANCY: u32 = 1003;
+    /// `DCGM_FI_PROF_PIPE_TENSOR_ACTIVE` — tensor-core pipe utilization.
+    pub const PIPE_TENSOR_ACTIVE: u32 = 1004;
+    /// `DCGM_FI_DEV_GPU_UTIL` — the coarse nvidia-smi "GPU utilization".
+    pub const GPU_UTIL: u32 = 203;
+
+    /// `(name, macro, id)` rows of Table 7.
+    pub fn table7() -> [(&'static str, &'static str, u32); 4] {
+        [
+            ("sm_active", "DCGM_FI_PROF_SM_ACTIVE", SM_ACTIVE),
+            ("sm_occupancy", "DCGM_FI_PROF_SM_OCCUPANCY", SM_OCCUPANCY),
+            (
+                "tensor_active",
+                "DCGM_FI_PROF_PIPE_TENSOR_ACTIVE",
+                PIPE_TENSOR_ACTIVE,
+            ),
+            ("GPU Utilization", "DCGM_FI_DEV_GPU_UTIL", GPU_UTIL),
+        ]
+    }
+}
+
+/// Steady-state counter values over one simulated round (all 0..=1).
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Counters {
+    /// Fraction of time at least one warp is resident on an SM
+    /// (temporal utilization).
+    pub sm_active: f64,
+    /// Average fraction of resident-warp slots in use (spatial
+    /// utilization).
+    pub sm_occupancy: f64,
+    /// Fraction of time the tensor-core pipes are busy.
+    pub tensor_active: f64,
+    /// The nvidia-smi "GPU utilization" — a coarse, noisy signal the paper
+    /// shows is a weak indicator (Figure 11).
+    pub smi_util: f64,
+}
+
+impl Counters {
+    /// All-zero counters (idle device / OOM configurations).
+    pub fn idle() -> Self {
+        Counters::default()
+    }
+
+    /// Models nvidia-smi's "GPU utilization": it reports the fraction of
+    /// sample intervals in which *any* kernel was resident, so it saturates
+    /// far below real utilization and jitters with sampling alignment.
+    /// The jitter here is a deterministic hash of the configuration so
+    /// figures are reproducible.
+    pub fn smi_from_active(sm_active: f64, config_seed: usize) -> f64 {
+        // Any activity at all pushes smi high.
+        let base = (sm_active * 3.0).clamp(0.0, 0.95);
+        // Deterministic "sampling noise" in [-0.15, 0.15].
+        let mut h = config_seed as u64 ^ 0x9E37_79B9_7F4A_7C15;
+        h ^= h >> 33;
+        h = h.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+        h ^= h >> 33;
+        let noise = ((h % 1000) as f64 / 1000.0 - 0.5) * 0.3;
+        (base + noise).clamp(0.05, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table7_ids_match_paper() {
+        let t = dcgm::table7();
+        assert_eq!(t[0].2, 1002);
+        assert_eq!(t[1].2, 1003);
+        assert_eq!(t[2].2, 1004);
+        assert_eq!(t[3].2, 203);
+    }
+
+    #[test]
+    fn smi_is_noisy_but_bounded() {
+        for seed in 0..50 {
+            let v = Counters::smi_from_active(0.2, seed);
+            assert!((0.05..=1.0).contains(&v));
+        }
+        // Deterministic per seed.
+        assert_eq!(
+            Counters::smi_from_active(0.3, 7),
+            Counters::smi_from_active(0.3, 7)
+        );
+    }
+
+    #[test]
+    fn smi_saturates_and_decouples_from_true_utilization() {
+        // Doubling true utilization barely moves smi once saturated —
+        // the Figure 11 "weak indicator" property.
+        let low = Counters::smi_from_active(0.35, 1);
+        let high = Counters::smi_from_active(0.7, 1);
+        assert!((high - low).abs() < 0.35);
+    }
+
+    #[test]
+    fn idle_counters_zero() {
+        let c = Counters::idle();
+        assert_eq!(c.sm_active, 0.0);
+        assert_eq!(c.tensor_active, 0.0);
+    }
+}

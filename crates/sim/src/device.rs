@@ -1,0 +1,226 @@
+//! Accelerator device models: the V100, RTX6000 and A100 GPUs and the
+//! TPU v3 core used in the paper's evaluation (Tables 2–4).
+//!
+//! These are calibrated *cost-model* descriptions, not cycle-accurate
+//! models. Peak numbers come from vendor datasheets; the overhead
+//! constants (kernel launch, GEMM setup, framework memory reservation)
+//! come from the sources the paper itself cites: ~5–10 µs launch latency
+//! (Lustig & Martonosi), GEMM setup/teardown (NVIDIA GEMM guide), and the
+//! 1.52 GB FP32 / 2.12 GB AMP framework reservation that the paper's
+//! Figure 7 regression measures directly.
+
+use serde::{Deserialize, Serialize};
+
+/// Whether the device is a GPU (SIMT, kernel launches) or a TPU core
+/// (systolic MXUs driven by an XLA program).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DeviceKind {
+    /// CUDA-style GPU.
+    Gpu,
+    /// Cloud TPU core.
+    Tpu,
+}
+
+/// A device cost-model specification.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeviceSpec {
+    /// Marketing name, e.g. `"V100"`.
+    pub name: String,
+    /// GPU or TPU.
+    pub kind: DeviceKind,
+    /// Streaming multiprocessors (GPU) or MXUs (TPU).
+    pub sm_count: usize,
+    /// Concurrently resident thread blocks per SM at full occupancy.
+    pub max_blocks_per_sm: usize,
+    /// Peak FP32 (CUDA-core / vector-unit) throughput in TFLOP/s.
+    pub fp32_tflops: f64,
+    /// Peak tensor-core (FP16/TF32) or MXU throughput in TFLOP/s.
+    /// Zero when the device has no matrix units usable for training.
+    pub tensor_tflops: f64,
+    /// Device memory capacity in GiB.
+    pub hbm_gib: f64,
+    /// Device memory bandwidth in GiB/s.
+    pub hbm_bw_gibs: f64,
+    /// Per-kernel launch latency in microseconds (CPU→GPU dispatch).
+    pub kernel_launch_us: f64,
+    /// Per-GEMM setup/teardown overhead in microseconds.
+    pub gemm_setup_us: f64,
+    /// Framework + context memory reserved per *process*, FP32 path (GiB).
+    pub framework_overhead_fp32_gib: f64,
+    /// Framework + context memory reserved per process, AMP path (GiB).
+    pub framework_overhead_amp_gib: f64,
+    /// Maximum MIG instances (0 = MIG unsupported).
+    pub mig_max_instances: usize,
+    /// Fraction of per-kernel framework/driver gap time that serializes
+    /// across processes under MPS/MIG (1.0 = fully serialized). Ampere's
+    /// scheduling overlaps inter-process gaps substantially better than
+    /// Volta/Turing — calibrated so MPS reaches ~1.1x serial on V100 but
+    /// ~2.4x on A100, as the paper measures (Tables 5/8).
+    pub mps_gap_serial_fraction: f64,
+    /// Release year (for the Tables 2–3 printer).
+    pub year: u32,
+}
+
+impl DeviceSpec {
+    /// NVIDIA V100 (Volta, 2018): 80 SMs, FP16 tensor cores, 16 GiB HBM2.
+    pub fn v100() -> Self {
+        DeviceSpec {
+            name: "V100".into(),
+            kind: DeviceKind::Gpu,
+            sm_count: 80,
+            max_blocks_per_sm: 4,
+            fp32_tflops: 15.7,
+            tensor_tflops: 125.0,
+            hbm_gib: 16.0,
+            hbm_bw_gibs: 900.0,
+            kernel_launch_us: 8.0,
+            gemm_setup_us: 4.0,
+            framework_overhead_fp32_gib: 1.52,
+            framework_overhead_amp_gib: 2.12,
+            mig_max_instances: 0,
+            mps_gap_serial_fraction: 1.0,
+            year: 2018,
+        }
+    }
+
+    /// NVIDIA Quadro RTX6000 (Turing): 72 SMs, 24 GiB GDDR6.
+    pub fn rtx6000() -> Self {
+        DeviceSpec {
+            name: "RTX6000".into(),
+            kind: DeviceKind::Gpu,
+            sm_count: 72,
+            max_blocks_per_sm: 4,
+            fp32_tflops: 16.3,
+            tensor_tflops: 130.5,
+            hbm_gib: 24.0,
+            hbm_bw_gibs: 672.0,
+            kernel_launch_us: 8.0,
+            gemm_setup_us: 4.0,
+            framework_overhead_fp32_gib: 1.52,
+            framework_overhead_amp_gib: 2.12,
+            mig_max_instances: 0,
+            mps_gap_serial_fraction: 1.0,
+            year: 2018,
+        }
+    }
+
+    /// NVIDIA A100 (Ampere, 2020): 108 SMs, TF32+FP16 tensor cores,
+    /// 40 GiB HBM2e, MIG up to 7 instances.
+    pub fn a100() -> Self {
+        DeviceSpec {
+            name: "A100".into(),
+            kind: DeviceKind::Gpu,
+            sm_count: 108,
+            max_blocks_per_sm: 4,
+            fp32_tflops: 19.5,
+            tensor_tflops: 312.0,
+            hbm_gib: 40.0,
+            hbm_bw_gibs: 1555.0,
+            kernel_launch_us: 8.0,
+            gemm_setup_us: 4.0,
+            framework_overhead_fp32_gib: 1.52,
+            framework_overhead_amp_gib: 2.12,
+            mig_max_instances: 7,
+            mps_gap_serial_fraction: 0.5,
+            year: 2020,
+        }
+    }
+
+    /// Google Cloud TPU v3 core (2018): 2 MXUs, 16 GiB HBM. The
+    /// "launch" overhead models XLA dispatch, which is far cheaper than a
+    /// CUDA launch but still per-op.
+    pub fn tpu_v3() -> Self {
+        DeviceSpec {
+            name: "TPUv3".into(),
+            kind: DeviceKind::Tpu,
+            sm_count: 2, // MXUs
+            max_blocks_per_sm: 1,
+            fp32_tflops: 2.0, // scalar/vector units
+            tensor_tflops: 61.5,
+            hbm_gib: 16.0,
+            hbm_bw_gibs: 450.0,
+            kernel_launch_us: 2.0,
+            gemm_setup_us: 1.0,
+            framework_overhead_fp32_gib: 0.6,
+            framework_overhead_amp_gib: 0.6,
+            mig_max_instances: 0,
+            mps_gap_serial_fraction: 1.0,
+            year: 2018,
+        }
+    }
+
+    /// The three evaluation GPUs, in paper order.
+    pub fn evaluation_gpus() -> Vec<DeviceSpec> {
+        vec![Self::v100(), Self::rtx6000(), Self::a100()]
+    }
+
+    /// Whether the device supports MIG partitioning.
+    pub fn supports_mig(&self) -> bool {
+        self.mig_max_instances > 0
+    }
+
+    /// Framework memory reservation per process for a precision mode.
+    pub fn framework_overhead_gib(&self, amp: bool) -> f64 {
+        if amp {
+            self.framework_overhead_amp_gib
+        } else {
+            self.framework_overhead_fp32_gib
+        }
+    }
+
+    /// Thread-block slots at full occupancy (`SMs * blocks/SM`).
+    pub fn block_slots(&self) -> u64 {
+        (self.sm_count * self.max_blocks_per_sm) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_match_table3() {
+        let v100 = DeviceSpec::v100();
+        assert_eq!(v100.sm_count, 80);
+        assert_eq!(v100.hbm_gib, 16.0);
+        let a100 = DeviceSpec::a100();
+        assert_eq!(a100.sm_count, 108);
+        assert_eq!(a100.hbm_gib, 40.0);
+        assert!(a100.supports_mig());
+        assert!(!v100.supports_mig());
+    }
+
+    #[test]
+    fn newer_gpus_have_more_compute() {
+        // The paper's Table 3 trend: capability grows by generation, which
+        // is what makes under-utilization worse.
+        let v100 = DeviceSpec::v100();
+        let a100 = DeviceSpec::a100();
+        assert!(a100.fp32_tflops > v100.fp32_tflops);
+        assert!(a100.tensor_tflops > v100.tensor_tflops);
+        assert!(a100.hbm_bw_gibs > v100.hbm_bw_gibs);
+        assert!(a100.block_slots() > v100.block_slots());
+    }
+
+    #[test]
+    fn framework_overhead_matches_figure7_intercepts() {
+        let v100 = DeviceSpec::v100();
+        assert_eq!(v100.framework_overhead_gib(false), 1.52);
+        assert_eq!(v100.framework_overhead_gib(true), 2.12);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let spec = DeviceSpec::a100();
+        let json = serde_json::to_string(&spec).unwrap();
+        let back: DeviceSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(spec, back);
+    }
+
+    #[test]
+    fn tpu_has_no_gpu_sharing() {
+        let tpu = DeviceSpec::tpu_v3();
+        assert_eq!(tpu.kind, DeviceKind::Tpu);
+        assert!(!tpu.supports_mig());
+    }
+}

@@ -1,0 +1,649 @@
+//! GPU execution and sharing-mode simulation.
+//!
+//! The model captures the three mechanisms the paper's analysis rests on:
+//!
+//! 1. **Occupancy-limited roofline** — a kernel only approaches peak
+//!    FLOP/s or bandwidth if it exposes enough thread blocks to fill the
+//!    device; repetitive single-model jobs launch small kernels that
+//!    cannot fill modern GPUs (paper §2.1, Appendix A).
+//! 2. **Per-kernel overheads** — every launch pays CPU dispatch latency
+//!    and every GEMM pays setup/teardown; `concurrent`, `MPS` and `MIG`
+//!    duplicate these per job while HFTA pays them once per fused kernel
+//!    (paper §2.2).
+//! 3. **Per-process memory** — each process reserves a framework context;
+//!    HFTA shares one (paper Figure 7).
+
+use serde::{Deserialize, Serialize};
+
+use crate::counters::Counters;
+use crate::device::DeviceSpec;
+use crate::kernel::{Kernel, TrainingJob};
+
+/// Fraction of datasheet peak a well-tuned kernel actually sustains.
+const KERNEL_EFFICIENCY: f64 = 0.55;
+/// Memory bandwidth saturates with roughly a quarter of the block slots.
+const MEM_SATURATION_DIVISOR: f64 = 4.0;
+/// Host-side data-pipeline worker slots (CPU cores available for loaders).
+const HOST_SLOTS: f64 = 4.0;
+/// Super-linear host contention once loaders exceed the host slots.
+const HOST_CONTENTION: f64 = 0.05;
+/// Serialized driver time per kernel launch when many processes share the
+/// GPU (MPS/concurrent), µs.
+const DRIVER_SERIAL_US: f64 = 1.5;
+/// Warp-occupancy ceiling: even fully tiled kernels rarely exceed this
+/// occupancy on real hardware.
+const OCCUPANCY_CEILING: f64 = 0.6;
+/// Wave ramp constant: a kernel with `t` tiles sustains
+/// `t / (t + WAVE_RAMP)` of its steady-state rate (tail/ramp losses).
+const WAVE_RAMP: f64 = 8.0;
+/// Split-k granularity: GEMM libraries slice the reduction dimension into
+/// ~256-element chunks to expose extra parallelism when output tiles are
+/// scarce.
+const SPLITK_CHUNK: f64 = 256.0;
+/// Maximum split-k fan-out.
+const SPLITK_MAX: f64 = 32.0;
+
+/// The sharing policies compared in the paper's evaluation (§4 baselines).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SharingPolicy {
+    /// One job per GPU (the common practice the paper's `serial` baseline).
+    Serial,
+    /// J processes time-multiplexed without MPS.
+    Concurrent,
+    /// J processes sharing via CUDA MPS (Hyper-Q spatial overlap).
+    Mps,
+    /// J processes on static MIG instances (A100 only, up to 7).
+    Mig,
+    /// One process training a B-wide fused model array (this work).
+    Hfta,
+}
+
+impl SharingPolicy {
+    /// Display name matching the paper's figures.
+    pub fn name(&self) -> &'static str {
+        match self {
+            SharingPolicy::Serial => "serial",
+            SharingPolicy::Concurrent => "concurrent",
+            SharingPolicy::Mps => "MPS",
+            SharingPolicy::Mig => "MIG",
+            SharingPolicy::Hfta => "HFTA",
+        }
+    }
+}
+
+/// Outcome of simulating one configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimResult {
+    /// Whether the configuration fits in device memory.
+    pub fits: bool,
+    /// Total models co-trained on the device.
+    pub models: usize,
+    /// Aggregate training throughput in examples/second (all models).
+    pub throughput_eps: f64,
+    /// Wall time of one "round" (every model advances one iteration), µs.
+    pub round_us: f64,
+    /// Device memory in use, GiB.
+    pub memory_gib: f64,
+    /// Steady-state hardware counters.
+    pub counters: Counters,
+}
+
+impl SimResult {
+    fn oom(models: usize, memory_gib: f64) -> Self {
+        SimResult {
+            fits: false,
+            models,
+            throughput_eps: 0.0,
+            round_us: f64::INFINITY,
+            memory_gib,
+            counters: Counters::idle(),
+        }
+    }
+}
+
+/// Per-kernel timing decomposition at a given SM share.
+#[derive(Debug, Clone, Copy)]
+struct KernelTiming {
+    /// Execution (resident) time, µs.
+    exec_us: f64,
+    /// Launch + setup overhead, µs.
+    overhead_us: f64,
+    /// SM temporal activity while resident (0..=1, whole-GPU scale).
+    active: f64,
+    /// SM spatial occupancy while resident (0..=1).
+    occupancy: f64,
+    /// Tensor-core pipe activity while resident (0..=1).
+    tensor: f64,
+}
+
+/// GPU simulator for one device and precision mode.
+#[derive(Debug, Clone)]
+pub struct GpuSim {
+    device: DeviceSpec,
+    amp: bool,
+}
+
+impl GpuSim {
+    /// Creates a simulator for `device`; `amp` selects mixed-precision
+    /// training (tensor-core eligible GEMMs, halved GEMM traffic).
+    pub fn new(device: DeviceSpec, amp: bool) -> Self {
+        GpuSim { device, amp }
+    }
+
+    /// The device being simulated.
+    pub fn device(&self) -> &DeviceSpec {
+        &self.device
+    }
+
+    /// Whether AMP is enabled.
+    pub fn amp(&self) -> bool {
+        self.amp
+    }
+
+    /// Times one kernel given the fraction of the device it may use.
+    ///
+    /// The three modeled effects:
+    /// * **fill** — the kernel can only use `min(tiles, share * slots)` of
+    ///   the device's block slots;
+    /// * **wave ramp** — kernels with few tiles lose a fixed ramp-up/-down
+    ///   fraction (`tiles / (tiles + WAVE_RAMP)`), which is the
+    ///   granularity advantage fused B-wide kernels have over B small
+    ///   kernels at the *same* aggregate fill;
+    /// * **tensor-core feeding** — TC peak is only approached as the
+    ///   device fills; tiny GEMMs run at CUDA-core speed even under AMP
+    ///   (the paper's Table 10: serial AMP gain ~1.0x).
+    fn kernel_timing(&self, k: &Kernel, sm_fraction: f64) -> KernelTiming {
+        let dev = &self.device;
+        let total_slots = dev.block_slots() as f64;
+        let share_slots = (total_slots * sm_fraction).max(1.0);
+        let tiles = k.tiles.max(1) as f64;
+
+        // Fraction of the whole device the kernel actually occupies.
+        // GEMM libraries rescue tile-starved kernels by splitting the
+        // reduction dimension (split-k), multiplying the schedulable
+        // tiles when k is deep.
+        let parallel_tiles = match k.gemm {
+            Some(g) => {
+                let splitk = (g.k as f64 / SPLITK_CHUNK).clamp(1.0, SPLITK_MAX);
+                tiles * splitk
+            }
+            None => tiles,
+        };
+        let used_fraction = parallel_tiles.min(share_slots) / total_slots;
+        let wave = tiles / (tiles + WAVE_RAMP);
+        let use_tc = self.amp && k.is_gemm() && k.tc_eligible && dev.tensor_tflops > 0.0;
+        let peak_tflops = if use_tc {
+            // TCs only approach peak once the device is fed.
+            dev.fp32_tflops + (dev.tensor_tflops - dev.fp32_tflops) * used_fraction
+        } else {
+            dev.fp32_tflops
+        };
+        let eff_flops = peak_tflops * 1e12 * KERNEL_EFFICIENCY * used_fraction * wave;
+        let compute_us = k.flops as f64 / eff_flops * 1e6;
+
+        let bytes = if use_tc { k.bytes / 2 } else { k.bytes };
+        // Bandwidth saturates with fewer blocks than compute does.
+        let mem_fraction =
+            (tiles * MEM_SATURATION_DIVISOR).min(share_slots) / total_slots;
+        let eff_bw = dev.hbm_bw_gibs * 1024f64.powi(3) * mem_fraction.min(1.0) * wave;
+        let mem_us = bytes as f64 / eff_bw * 1e6;
+
+        let exec_us = compute_us.max(mem_us);
+        let overhead_us = dev.kernel_launch_us + if k.is_gemm() { dev.gemm_setup_us } else { 0.0 };
+
+        let active = (tiles / dev.sm_count as f64).min(sm_fraction.min(1.0));
+        let occupancy = used_fraction.min(sm_fraction.min(1.0)) * OCCUPANCY_CEILING;
+        let tensor = if use_tc {
+            (compute_us / exec_us) * used_fraction.min(sm_fraction.min(1.0))
+        } else {
+            0.0
+        };
+        KernelTiming {
+            exec_us,
+            overhead_us,
+            active,
+            occupancy,
+            tensor,
+        }
+    }
+
+    /// Sums a job's kernel stream at an SM share: total stream time plus
+    /// the time-weighted counter integrals.
+    fn stream(&self, job: &TrainingJob, sm_fraction: f64) -> StreamSummary {
+        let mut total_us = 0.0;
+        let mut active_us = 0.0;
+        let mut occupancy_us = 0.0;
+        let mut tensor_us = 0.0;
+        let mut exec_us = 0.0;
+        for k in &job.kernels {
+            let t = self.kernel_timing(k, sm_fraction);
+            total_us += t.exec_us + t.overhead_us;
+            exec_us += t.exec_us;
+            active_us += t.exec_us * t.active;
+            occupancy_us += t.exec_us * t.occupancy;
+            tensor_us += t.exec_us * t.tensor;
+        }
+        StreamSummary {
+            total_us,
+            exec_us,
+            active_us,
+            occupancy_us,
+            tensor_us,
+        }
+    }
+
+    /// Host data-pipeline wall time when `processes` loader stacks share
+    /// the host, µs per round.
+    fn host_wall_us(&self, host_us_per_job: f64, processes: usize) -> f64 {
+        let j = processes as f64;
+        let base = j * host_us_per_job / HOST_SLOTS;
+        let contention = 1.0 + HOST_CONTENTION * (j - HOST_SLOTS).max(0.0);
+        base * contention
+    }
+
+    /// Device memory used by `processes` processes each holding
+    /// `per_process_gib` of model state.
+    fn memory_gib(&self, per_process_gib: f64, processes: usize) -> f64 {
+        processes as f64 * (self.device.framework_overhead_gib(self.amp) + per_process_gib)
+    }
+
+    fn job_mem_gib(&self, job: &TrainingJob) -> f64 {
+        let m = job.memory;
+        // AMP halves activation storage for TC-eligible tensors but keeps
+        // fp32 master copies and workspaces; net saving is modest.
+        let act = if self.amp {
+            m.activations_gib * 0.9
+        } else {
+            m.activations_gib
+        };
+        m.weights_gib + act + m.workspace_gib
+    }
+
+    /// Simulates `j` identical jobs under `policy`. For
+    /// [`SharingPolicy::Hfta`], pass the *fused* job (whose kernels carry
+    /// `B` models of work and whose `models_per_job == B`) and `j = 1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j == 0`, if `policy == Mig` on a device without MIG, or
+    /// if `j` exceeds the MIG instance limit.
+    pub fn simulate(&self, policy: SharingPolicy, job: &TrainingJob, j: usize) -> SimResult {
+        assert!(j > 0, "job count must be positive");
+        let dev = &self.device;
+        let job_mem = self.job_mem_gib(job);
+        let n_kernels = job.kernel_count() as f64;
+        let models = j * job.models_per_job;
+
+        // Per-iteration framework gap time of one job's kernel stream,
+        // split into per-process CPU work (overlappable across processes)
+        // and driver critical-section time (serializes across processes).
+        let gaps = n_kernels * (job.sync_us_per_kernel + DRIVER_SERIAL_US);
+        let gaps_cpu = gaps * job.cpu_gap_fraction;
+        let gaps_driver = gaps - gaps_cpu;
+
+        let (round_us, counters, memory_gib) = match policy {
+            SharingPolicy::Serial | SharingPolicy::Hfta => {
+                assert!(
+                    policy != SharingPolicy::Serial || job.models_per_job == 1,
+                    "serial jobs train one model"
+                );
+                let memory = self.memory_gib(job_mem, j);
+                if memory > dev.hbm_gib {
+                    return SimResult::oom(models, memory);
+                }
+                let s = self.stream(job, 1.0);
+                let round = if policy == SharingPolicy::Hfta {
+                    // HFTA is the optimized library path: its single shared
+                    // input pipeline prefetches and overlaps with device
+                    // execution.
+                    (s.total_us + gaps).max(job.host_us)
+                } else {
+                    // The serial baseline is the paper's unoptimized
+                    // researcher loop: host work, framework gaps and
+                    // kernels alternate sequentially.
+                    s.total_us + gaps + job.host_us
+                };
+                (round, self.counters_from(&s, round, 1.0), memory)
+            }
+            SharingPolicy::Concurrent => {
+                let memory = self.memory_gib(job_mem, j);
+                if memory > dev.hbm_gib {
+                    return SimResult::oom(models, memory);
+                }
+                let s = self.stream(job, 1.0);
+                // Time-multiplexed: execution and driver gaps serialize on
+                // the device; per-process CPU gaps overlap across jobs
+                // (bounded by host cores).
+                let gpu_round = j as f64 * (s.total_us + gaps_driver);
+                let cpu_round = gaps_cpu * (j as f64 / HOST_SLOTS).max(1.0);
+                let round = gpu_round
+                    .max(cpu_round)
+                    .max(self.host_wall_us(job.host_us, j));
+                let c = Counters {
+                    sm_active: (j as f64 * s.active_us / round).min(1.0),
+                    sm_occupancy: (j as f64 * s.occupancy_us / round).min(1.0),
+                    tensor_active: (j as f64 * s.tensor_us / round).min(1.0),
+                    smi_util: 0.0,
+                };
+                (round, c, memory)
+            }
+            SharingPolicy::Mps | SharingPolicy::Mig => {
+                if policy == SharingPolicy::Mig {
+                    assert!(dev.supports_mig(), "{} does not support MIG", dev.name);
+                    assert!(
+                        j <= dev.mig_max_instances,
+                        "MIG supports at most {} instances",
+                        dev.mig_max_instances
+                    );
+                }
+                let memory = self.memory_gib(job_mem, j);
+                let fits = if policy == SharingPolicy::Mig {
+                    let per_gi = dev.hbm_gib / dev.mig_max_instances as f64;
+                    self.memory_gib(job_mem, 1) <= per_gi
+                } else {
+                    memory <= dev.hbm_gib
+                };
+                if !fits {
+                    return SimResult::oom(models, memory);
+                }
+                // Kernels overlap spatially, but the per-kernel
+                // framework/driver gaps serialize across processes
+                // (paper §2.2: overhead duplication).
+                let share = if policy == SharingPolicy::Mig {
+                    1.0 / dev.mig_max_instances as f64
+                } else {
+                    1.0 / j as f64
+                };
+                let s = self.stream(job, share);
+                // Each process still runs its own sequential loop (host,
+                // gaps, kernels); sharing only overlaps *different*
+                // processes' phases. The slowest job's chain, the
+                // serialized driver gaps, the host pool and the overlapped
+                // device streams each bound the round.
+                let per_job_chain = job.host_us + gaps + s.total_us;
+                let round = per_job_chain
+                    .max(j as f64 * gaps_driver * dev.mps_gap_serial_fraction)
+                    .max(gaps_cpu * (j as f64 / HOST_SLOTS).max(1.0))
+                    .max(self.host_wall_us(job.host_us, j));
+                let c = Counters {
+                    sm_active: (j as f64 * s.active_us / round).min(1.0),
+                    sm_occupancy: (j as f64 * s.occupancy_us / round).min(1.0),
+                    tensor_active: (j as f64 * s.tensor_us / round).min(1.0),
+                    smi_util: 0.0,
+                };
+                (round, c, memory)
+            }
+        };
+
+        let throughput_eps =
+            (models * job.examples_per_iteration) as f64 / (round_us * 1e-6);
+        let mut counters = counters;
+        counters.smi_util = Counters::smi_from_active(counters.sm_active, models);
+        SimResult {
+            fits: true,
+            models,
+            throughput_eps,
+            round_us,
+            memory_gib,
+            counters,
+        }
+    }
+
+    fn counters_from(&self, s: &StreamSummary, round_us: f64, scale: f64) -> Counters {
+        Counters {
+            sm_active: (scale * s.active_us / round_us).min(1.0),
+            sm_occupancy: (scale * s.occupancy_us / round_us).min(1.0),
+            tensor_active: (scale * s.tensor_us / round_us).min(1.0),
+            smi_util: 0.0,
+        }
+    }
+
+    /// Largest `j` (or `B`) that fits in device memory under `policy`,
+    /// probing with `job_for(j)` (which should return the fused job for
+    /// HFTA). Returns 0 if even one job does not fit.
+    pub fn max_jobs(
+        &self,
+        policy: SharingPolicy,
+        limit: usize,
+        mut job_for: impl FnMut(usize) -> TrainingJob,
+    ) -> usize {
+        let mut best = 0;
+        for j in 1..=limit {
+            if policy == SharingPolicy::Mig && j > self.device.mig_max_instances {
+                break;
+            }
+            let job = job_for(j);
+            let (mem, cap) = match policy {
+                SharingPolicy::Hfta => (self.memory_gib(self.job_mem_gib(&job), 1), self.device.hbm_gib),
+                SharingPolicy::Mig => (
+                    self.memory_gib(self.job_mem_gib(&job), 1),
+                    self.device.hbm_gib / self.device.mig_max_instances as f64,
+                ),
+                _ => (self.memory_gib(self.job_mem_gib(&job), j), self.device.hbm_gib),
+            };
+            if mem <= cap {
+                best = j;
+            } else {
+                break;
+            }
+        }
+        best
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct StreamSummary {
+    total_us: f64,
+    #[allow(dead_code)]
+    exec_us: f64,
+    active_us: f64,
+    occupancy_us: f64,
+    tensor_us: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::{GemmDims, JobMemory, Kernel};
+
+    /// A small per-model workload: a few modest GEMMs plus elementwise ops —
+    /// the shape of an unoptimized research model.
+    fn small_job() -> TrainingJob {
+        let gemm = Kernel {
+            flops: 200_000_000,
+            bytes: 6_000_000,
+            tiles: 8,
+            gemm: Some(GemmDims {
+                m: 1024,
+                n: 64,
+                k: 512,
+                batch: 1,
+            }),
+            pad_dim: None,
+            tc_eligible: true,
+        };
+        let elt = Kernel::elementwise(500_000);
+        TrainingJob {
+            name: "small".into(),
+            kernels: vec![gemm; 30]
+                .into_iter()
+                .chain(vec![elt; 30])
+                .collect(),
+            host_us: 300.0,
+            sync_us_per_kernel: 0.0,
+            cpu_gap_fraction: 0.0,
+            memory: JobMemory {
+                weights_gib: 0.05,
+                activations_gib: 0.4,
+                workspace_gib: 0.05,
+            },
+            models_per_job: 1,
+            examples_per_iteration: 32,
+        }
+    }
+
+    /// The HFTA-fused version: kernels carry B models of work.
+    fn fused_job(b: usize) -> TrainingJob {
+        let base = small_job();
+        let kernels = base
+            .kernels
+            .iter()
+            .map(|k| Kernel {
+                flops: k.flops * b as u64,
+                bytes: k.bytes * b as u64,
+                tiles: k.tiles * b as u64,
+                gemm: k.gemm.map(|g| GemmDims {
+                    n: g.n * b as u64,
+                    ..g
+                }),
+                pad_dim: k.pad_dim.map(|d| d * b as u64),
+                tc_eligible: k.tc_eligible,
+            })
+            .collect();
+        TrainingJob {
+            kernels,
+            memory: JobMemory {
+                weights_gib: base.memory.weights_gib * b as f64,
+                activations_gib: base.memory.activations_gib * b as f64,
+                workspace_gib: base.memory.workspace_gib,
+            },
+            models_per_job: b,
+            ..base
+        }
+    }
+
+    fn sim() -> GpuSim {
+        GpuSim::new(DeviceSpec::v100(), false)
+    }
+
+    #[test]
+    fn hfta_beats_serial_substantially() {
+        let s = sim();
+        let serial = s.simulate(SharingPolicy::Serial, &small_job(), 1);
+        let hfta = s.simulate(SharingPolicy::Hfta, &fused_job(8), 1);
+        let speedup = hfta.throughput_eps / serial.throughput_eps;
+        assert!(
+            speedup > 3.0 && speedup < 16.0,
+            "HFTA speedup {speedup} outside the plausible 3-16x band"
+        );
+    }
+
+    #[test]
+    fn hfta_beats_mps_at_same_model_count() {
+        let s = sim();
+        let j = 6;
+        let mps = s.simulate(SharingPolicy::Mps, &small_job(), j);
+        let hfta = s.simulate(SharingPolicy::Hfta, &fused_job(j), 1);
+        assert!(
+            hfta.throughput_eps > mps.throughput_eps,
+            "HFTA {} <= MPS {}",
+            hfta.throughput_eps,
+            mps.throughput_eps
+        );
+    }
+
+    #[test]
+    fn mps_beats_concurrent_beats_nothing() {
+        let s = sim();
+        let j = 4;
+        let serial = s.simulate(SharingPolicy::Serial, &small_job(), 1);
+        let conc = s.simulate(SharingPolicy::Concurrent, &small_job(), j);
+        let mps = s.simulate(SharingPolicy::Mps, &small_job(), j);
+        // Concurrent aggregates roughly serial throughput (time-multiplexed).
+        assert!(conc.throughput_eps <= serial.throughput_eps * 1.05);
+        // MPS overlaps and so beats concurrent.
+        assert!(mps.throughput_eps > conc.throughput_eps);
+    }
+
+    #[test]
+    fn hfta_throughput_scales_with_b() {
+        let s = sim();
+        let t2 = s.simulate(SharingPolicy::Hfta, &fused_job(2), 1).throughput_eps;
+        let t8 = s.simulate(SharingPolicy::Hfta, &fused_job(8), 1).throughput_eps;
+        assert!(t8 > 2.0 * t2, "fused scaling too weak: {t2} -> {t8}");
+    }
+
+    #[test]
+    fn memory_bounds_model_counts() {
+        let s = sim();
+        let max_mps = s.max_jobs(SharingPolicy::Mps, 64, |_| small_job());
+        let max_hfta = s.max_jobs(SharingPolicy::Hfta, 64, fused_job);
+        assert!(max_mps >= 1 && max_hfta > max_mps,
+            "HFTA must fit more models: MPS {max_mps} vs HFTA {max_hfta}");
+    }
+
+    #[test]
+    fn oom_reported_not_panicked() {
+        let s = sim();
+        let r = s.simulate(SharingPolicy::Mps, &small_job(), 60);
+        assert!(!r.fits);
+        assert_eq!(r.throughput_eps, 0.0);
+    }
+
+    #[test]
+    fn mig_limited_to_seven() {
+        let s = GpuSim::new(DeviceSpec::a100(), false);
+        let r = s.simulate(SharingPolicy::Mig, &small_job(), 7);
+        assert!(r.fits);
+    }
+
+    #[test]
+    #[should_panic(expected = "at most 7")]
+    fn mig_rejects_more_than_seven() {
+        let s = GpuSim::new(DeviceSpec::a100(), false);
+        let _ = s.simulate(SharingPolicy::Mig, &small_job(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not support MIG")]
+    fn mig_rejects_v100() {
+        let _ = sim().simulate(SharingPolicy::Mig, &small_job(), 2);
+    }
+
+    #[test]
+    fn amp_helps_hfta_more_than_serial() {
+        // Table 10's key claim: AMP over FP32 is ~1.0x for serial but
+        // substantial for HFTA (bigger GEMMs engage the tensor cores).
+        let b = 8;
+        let fp32 = GpuSim::new(DeviceSpec::v100(), false);
+        let amp = GpuSim::new(DeviceSpec::v100(), true);
+        let serial_gain = amp.simulate(SharingPolicy::Serial, &small_job(), 1).throughput_eps
+            / fp32.simulate(SharingPolicy::Serial, &small_job(), 1).throughput_eps;
+        let hfta_gain = amp.simulate(SharingPolicy::Hfta, &fused_job(b), 1).throughput_eps
+            / fp32.simulate(SharingPolicy::Hfta, &fused_job(b), 1).throughput_eps;
+        assert!(serial_gain < 1.5, "serial AMP gain {serial_gain} too high");
+        assert!(hfta_gain > serial_gain, "HFTA must benefit more from AMP");
+    }
+
+    #[test]
+    fn counters_scale_for_hfta_and_plateau_for_mps() {
+        let s = sim();
+        let mps4 = s.simulate(SharingPolicy::Mps, &small_job(), 4).counters;
+        let mps8 = s.simulate(SharingPolicy::Mps, &small_job(), 8).counters;
+        let hfta4 = s.simulate(SharingPolicy::Hfta, &fused_job(4), 1).counters;
+        let hfta8 = s.simulate(SharingPolicy::Hfta, &fused_job(8), 1).counters;
+        assert!(hfta8.sm_active > hfta4.sm_active);
+        // MPS gains flatten: going 4 -> 8 jobs helps it less than HFTA.
+        let mps_gain = mps8.sm_active / mps4.sm_active.max(1e-9);
+        let hfta_gain = hfta8.sm_active / hfta4.sm_active.max(1e-9);
+        assert!(hfta_gain >= mps_gain * 0.95);
+        assert!(hfta8.sm_active > mps8.sm_active);
+    }
+
+    #[test]
+    fn concurrent_counters_match_serial() {
+        // Figure 8 observation (3): concurrent's utilization equals serial.
+        let s = sim();
+        let serial = s.simulate(SharingPolicy::Serial, &small_job(), 1).counters;
+        let conc = s.simulate(SharingPolicy::Concurrent, &small_job(), 4).counters;
+        assert!((serial.sm_active - conc.sm_active).abs() < 0.1);
+    }
+
+    #[test]
+    fn round_trip_throughput_consistency() {
+        let s = sim();
+        let r = s.simulate(SharingPolicy::Serial, &small_job(), 1);
+        let expect = 32.0 / (r.round_us * 1e-6);
+        assert!((r.throughput_eps - expect).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,260 @@
+//! Kernel and training-job descriptions consumed by the simulator.
+//!
+//! A [`Kernel`] is a shape-level record of one accelerator kernel: how much
+//! arithmetic and memory traffic it performs, how many independent tiles
+//! (thread blocks) it decomposes into, and — if it is a GEMM — its matrix
+//! dimensions (used for tensor-core eligibility on GPUs and systolic-array
+//! padding efficiency on TPUs).
+
+use serde::{Deserialize, Serialize};
+
+/// Matrix dimensions of a GEMM-backed kernel (`batch` independent
+/// `[m, k] x [k, n]` products).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct GemmDims {
+    /// Rows of the output.
+    pub m: u64,
+    /// Columns of the output.
+    pub n: u64,
+    /// Contraction dimension.
+    pub k: u64,
+    /// Number of independent GEMMs in the batch.
+    pub batch: u64,
+}
+
+impl GemmDims {
+    /// Fraction of a 128x128-tiled systolic array doing useful work for
+    /// this GEMM — the XLA padding efficiency the paper blames for weak
+    /// serial TPU baselines (§5.2).
+    pub fn systolic_efficiency(&self) -> f64 {
+        fn axis_eff(d: u64) -> f64 {
+            let padded = d.div_ceil(128) * 128;
+            d as f64 / padded as f64
+        }
+        axis_eff(self.m) * axis_eff(self.n)
+    }
+}
+
+/// One accelerator kernel at shape level.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Kernel {
+    /// Floating-point operations.
+    pub flops: u64,
+    /// Bytes moved to/from device memory (fp32 accounting).
+    pub bytes: u64,
+    /// Independent thread blocks / tiles the kernel decomposes into.
+    pub tiles: u64,
+    /// GEMM dimensions when the kernel is matrix-multiply backed.
+    pub gemm: Option<GemmDims>,
+    /// The channel-like axis size XLA lays out padded-to-128 on TPUs
+    /// (`None` when the op has no narrow padded axis). Drives the
+    /// serial-baseline padding waste of paper §5.2; GPUs ignore it.
+    pub pad_dim: Option<u64>,
+    /// Whether AMP can route this GEMM to the tensor cores. cuDNN of the
+    /// paper's era lacked TC kernels for several (de)convolution cases —
+    /// the source of the paper's A100 DCGAN AMP anomaly (§5.1) and of
+    /// DCGAN's near-1.0x AMP gains (Table 10) — so the lowering marks
+    /// transposed convolutions ineligible.
+    pub tc_eligible: bool,
+}
+
+impl Kernel {
+    /// An elementwise (non-GEMM) kernel over `elems` elements.
+    pub fn elementwise(elems: u64) -> Self {
+        Kernel {
+            flops: elems,
+            bytes: 8 * elems,
+            tiles: elems.div_ceil(16 * 1024),
+            gemm: None,
+            pad_dim: None,
+            tc_eligible: false,
+        }
+    }
+
+    /// Whether the kernel is GEMM-backed (tensor-core / MXU eligible).
+    pub fn is_gemm(&self) -> bool {
+        self.gemm.is_some()
+    }
+
+    /// XLA layout-padding waste multiplier for this kernel's tensors:
+    /// `ceil(pad_dim / 128) * 128 / pad_dim` (1.0 when no padded axis).
+    pub fn xla_pad_factor(&self) -> f64 {
+        match self.pad_dim {
+            Some(d) if d > 0 => (d.div_ceil(128) * 128) as f64 / d as f64,
+            _ => 1.0,
+        }
+    }
+
+    /// Extra slowdown XLA exhibits on kernels with *extremely* narrow
+    /// padded axes (e.g. DCGAN's 3- and 1-channel heads). Pure pad-to-128
+    /// accounting makes padded traffic independent of the axis width, which
+    /// would bound HFTA's TPU speedup at exactly `B`; the paper's §5.2
+    /// "super-linear" observation implies the serial baseline is worse than
+    /// padding alone explains ("the tensor padding added in the serial
+    /// baseline by the XLA compiler, making this baseline weaker than it
+    /// should be otherwise"). We model that pathology as a square-root
+    /// penalty once padding waste exceeds 8x.
+    pub fn xla_pathology_factor(&self) -> f64 {
+        (self.xla_pad_factor() / 8.0).max(1.0).sqrt()
+    }
+}
+
+/// Device memory footprint of one training job (per model; GiB).
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct JobMemory {
+    /// Model weights + gradients + optimizer state.
+    pub weights_gib: f64,
+    /// Activations kept for the backward pass.
+    pub activations_gib: f64,
+    /// Scratch workspace (cuDNN algorithms, im2col buffers, ...).
+    pub workspace_gib: f64,
+}
+
+impl JobMemory {
+    /// Total per-model footprint, excluding the per-process framework
+    /// reservation (which belongs to the sharing policy, not the model).
+    pub fn total_gib(&self) -> f64 {
+        self.weights_gib + self.activations_gib + self.workspace_gib
+    }
+}
+
+/// A training job as the simulator sees it: the kernel stream of one
+/// iteration plus host-side work and memory footprint.
+///
+/// For an HFTA array, construct the job from the *fused* operator trace
+/// (each kernel already carries `B` models' work) and set
+/// [`TrainingJob::models_per_job`] to `B`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrainingJob {
+    /// Human-readable workload name.
+    pub name: String,
+    /// Kernels of one training iteration (forward + backward + optimizer).
+    pub kernels: Vec<Kernel>,
+    /// Host-side time per iteration (data loading, preprocessing), µs.
+    pub host_us: f64,
+    /// Per-kernel framework/driver critical-section time, µs — the
+    /// eager-mode dispatch, synchronization and bookkeeping gap between
+    /// kernels of *unoptimized research training loops*, calibrated
+    /// against the paper's measured serial `sm_active` of ~0.1–0.2
+    /// (Figures 8/12 and Appendix A). It serializes across processes
+    /// sharing a GPU (driver critical path), which is why MPS/MIG cannot
+    /// remove it, while HFTA pays it once per *fused* kernel.
+    pub sync_us_per_kernel: f64,
+    /// Fraction of the per-kernel gap that is *per-process CPU* work
+    /// (Python, data transforms) rather than driver critical section.
+    /// CPU-side gaps overlap across processes (up to the host cores), so
+    /// `concurrent`/`MPS` can hide them — the paper's DCGAN baselines beat
+    /// serial ~2.3x this way — while driver-side gaps serialize.
+    pub cpu_gap_fraction: f64,
+    /// Per-model device memory footprint.
+    pub memory: JobMemory,
+    /// Number of models this job trains simultaneously (1 for the serial
+    /// baselines, `B` for HFTA).
+    pub models_per_job: usize,
+    /// Training examples processed per model per iteration.
+    pub examples_per_iteration: usize,
+}
+
+impl TrainingJob {
+    /// Total FLOPs of one iteration.
+    pub fn total_flops(&self) -> u64 {
+        self.kernels.iter().map(|k| k.flops).sum()
+    }
+
+    /// Total bytes of one iteration.
+    pub fn total_bytes(&self) -> u64 {
+        self.kernels.iter().map(|k| k.bytes).sum()
+    }
+
+    /// Number of kernel launches per iteration.
+    pub fn kernel_count(&self) -> usize {
+        self.kernels.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn systolic_efficiency_penalizes_small_dims() {
+        let tiny = GemmDims {
+            m: 4096,
+            n: 3,
+            k: 512,
+            batch: 1,
+        };
+        let wide = GemmDims {
+            m: 4096,
+            n: 96,
+            k: 512,
+            batch: 1,
+        };
+        assert!(tiny.systolic_efficiency() < 0.03);
+        assert!(wide.systolic_efficiency() > 0.7);
+        // Exact multiples of 128 waste nothing.
+        let aligned = GemmDims {
+            m: 256,
+            n: 128,
+            k: 64,
+            batch: 1,
+        };
+        assert_eq!(aligned.systolic_efficiency(), 1.0);
+    }
+
+    #[test]
+    fn widening_n_improves_efficiency_monotonically_to_alignment() {
+        let eff = |n| GemmDims { m: 1024, n, k: 64, batch: 1 }.systolic_efficiency();
+        assert!(eff(3) < eff(6));
+        assert!(eff(6) < eff(48));
+        assert!(eff(48) < eff(128));
+    }
+
+    #[test]
+    fn elementwise_kernel_tiles() {
+        let k = Kernel::elementwise(1024 * 1024);
+        assert_eq!(k.tiles, 64);
+        assert!(!k.is_gemm());
+        assert_eq!(k.xla_pad_factor(), 1.0);
+    }
+
+    #[test]
+    fn pad_factor_penalizes_narrow_channels() {
+        let k = Kernel {
+            pad_dim: Some(3),
+            ..Kernel::elementwise(100)
+        };
+        assert!((k.xla_pad_factor() - 128.0 / 3.0).abs() < 1e-9);
+        let aligned = Kernel {
+            pad_dim: Some(256),
+            ..Kernel::elementwise(100)
+        };
+        assert_eq!(aligned.xla_pad_factor(), 1.0);
+    }
+
+    #[test]
+    fn job_totals() {
+        let job = TrainingJob {
+            name: "t".into(),
+            kernels: vec![Kernel::elementwise(100), Kernel::elementwise(200)],
+            host_us: 10.0,
+            sync_us_per_kernel: 0.0,
+            cpu_gap_fraction: 0.0,
+            memory: JobMemory::default(),
+            models_per_job: 1,
+            examples_per_iteration: 32,
+        };
+        assert_eq!(job.total_flops(), 300);
+        assert_eq!(job.kernel_count(), 2);
+    }
+
+    #[test]
+    fn memory_total() {
+        let m = JobMemory {
+            weights_gib: 0.1,
+            activations_gib: 0.5,
+            workspace_gib: 0.2,
+        };
+        assert!((m.total_gib() - 0.8).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,121 @@
+//! Property-based tests of simulator invariants.
+
+use hfta_sim::{
+    DeviceSpec, GemmDims, GpuSim, JobMemory, Kernel, SharingPolicy, TrainingJob, TpuSim,
+};
+use proptest::prelude::*;
+
+fn job(kernel_flops: u64, tiles: u64, kernels: usize, mem: f64) -> TrainingJob {
+    TrainingJob {
+        name: "prop".into(),
+        kernels: vec![
+            Kernel {
+                flops: kernel_flops,
+                bytes: kernel_flops / 8,
+                tiles,
+                gemm: Some(GemmDims {
+                    m: 512,
+                    n: 64,
+                    k: 128,
+                    batch: 1,
+                }),
+                pad_dim: Some(64),
+                tc_eligible: true,
+            };
+            kernels
+        ],
+        host_us: 100.0,
+        sync_us_per_kernel: 50.0,
+        cpu_gap_fraction: 0.2,
+        memory: JobMemory {
+            weights_gib: mem * 0.1,
+            activations_gib: mem * 0.9,
+            workspace_gib: 0.05,
+        },
+        models_per_job: 1,
+        examples_per_iteration: 32,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn throughput_positive_when_fits(flops in 1_000_000u64..1_000_000_000, tiles in 1u64..1000) {
+        let sim = GpuSim::new(DeviceSpec::v100(), false);
+        let r = sim.simulate(SharingPolicy::Serial, &job(flops, tiles, 20, 0.2), 1);
+        prop_assert!(r.fits);
+        prop_assert!(r.throughput_eps > 0.0);
+        prop_assert!(r.round_us.is_finite());
+    }
+
+    #[test]
+    fn more_work_is_never_faster(flops in 1_000_000u64..100_000_000, tiles in 1u64..200) {
+        let sim = GpuSim::new(DeviceSpec::v100(), false);
+        let small = sim.simulate(SharingPolicy::Serial, &job(flops, tiles, 20, 0.2), 1);
+        let big = sim.simulate(SharingPolicy::Serial, &job(flops * 2, tiles, 20, 0.2), 1);
+        prop_assert!(big.round_us >= small.round_us);
+    }
+
+    #[test]
+    fn memory_grows_linearly_with_processes(j in 1usize..8) {
+        let sim = GpuSim::new(DeviceSpec::a100(), false);
+        let one = sim.simulate(SharingPolicy::Mps, &job(1_000_000, 8, 10, 0.1), 1);
+        let many = sim.simulate(SharingPolicy::Mps, &job(1_000_000, 8, 10, 0.1), j);
+        prop_assert!(many.fits);
+        prop_assert!((many.memory_gib - j as f64 * one.memory_gib).abs() < 1e-9);
+    }
+
+    #[test]
+    fn counters_are_probabilities(
+        flops in 1_000_000u64..500_000_000,
+        tiles in 1u64..2000,
+        j in 1usize..6,
+        amp in any::<bool>(),
+    ) {
+        let sim = GpuSim::new(DeviceSpec::a100(), amp);
+        for policy in [SharingPolicy::Concurrent, SharingPolicy::Mps, SharingPolicy::Mig] {
+            let r = sim.simulate(policy, &job(flops, tiles, 15, 0.1), j.min(7));
+            if r.fits {
+                let c = r.counters;
+                for v in [c.sm_active, c.sm_occupancy, c.tensor_active, c.smi_util] {
+                    prop_assert!((0.0..=1.0).contains(&v), "{policy:?}: {v}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn oom_is_monotone_in_job_count(mem in 0.5f64..4.0) {
+        let sim = GpuSim::new(DeviceSpec::v100(), false);
+        let mut seen_oom = false;
+        for j in 1..=20 {
+            let r = sim.simulate(SharingPolicy::Mps, &job(1_000_000, 8, 10, mem), j);
+            if seen_oom {
+                prop_assert!(!r.fits, "fits again at {j} after OOM");
+            }
+            seen_oom = !r.fits;
+        }
+    }
+
+    #[test]
+    fn tpu_throughput_scales_with_examples(examples in 1usize..256) {
+        let sim = TpuSim::new(DeviceSpec::tpu_v3());
+        let mut j = job(10_000_000, 16, 10, 0.1);
+        j.examples_per_iteration = examples;
+        let r = sim.simulate(&j);
+        prop_assert!(r.fits);
+        let per_example = r.throughput_eps / examples as f64;
+        let mut j1 = job(10_000_000, 16, 10, 0.1);
+        j1.examples_per_iteration = 1;
+        let r1 = sim.simulate(&j1);
+        prop_assert!((per_example - r1.throughput_eps).abs() < 1e-6);
+    }
+
+    #[test]
+    fn systolic_efficiency_in_unit_interval(m in 1u64..10_000, n in 1u64..10_000, k in 1u64..10_000) {
+        let g = GemmDims { m, n, k, batch: 1 };
+        let e = g.systolic_efficiency();
+        prop_assert!((0.0..=1.0).contains(&e));
+    }
+}

@@ -1,0 +1,756 @@
+//! Convolution kernels with **group support** and their gradients.
+//!
+//! Grouped convolution is the cornerstone of HFTA: the horizontal fusion of
+//! `B` convolutions with `G = g` groups is one convolution with `G = B * g`
+//! groups over channel-concatenated inputs (Table 6 of the paper). Both the
+//! serial and fused paths in this workspace execute through these kernels.
+//!
+//! Implementation is classic im2col/col2im + per-group GEMM, with the
+//! transposed convolution expressed through the same adjoint kernels.
+
+use crate::tensor::Tensor;
+
+/// Configuration for 2-D (de)convolutions: `(height, width)` stride and
+/// zero-padding, plus channel groups.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ConvCfg {
+    /// Stride as `(stride_h, stride_w)`.
+    pub stride: (usize, usize),
+    /// Zero-padding as `(pad_h, pad_w)` applied to both sides.
+    pub padding: (usize, usize),
+    /// Number of channel groups.
+    pub groups: usize,
+}
+
+impl ConvCfg {
+    /// Symmetric configuration: equal stride and padding on both axes.
+    pub fn square(stride: usize, padding: usize, groups: usize) -> Self {
+        ConvCfg {
+            stride: (stride, stride),
+            padding: (padding, padding),
+            groups,
+        }
+    }
+
+    /// Unit stride, no padding, a single group.
+    pub fn unit() -> Self {
+        Self::square(1, 0, 1)
+    }
+
+    /// Returns a copy with the group count multiplied by `b` — the HFTA
+    /// horizontal-fusion transform of the configuration.
+    pub fn fused(self, b: usize) -> Self {
+        ConvCfg {
+            groups: self.groups * b,
+            ..self
+        }
+    }
+
+    /// Output spatial size for an input of `(h, w)` under kernel `(kh, kw)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is inconsistent (kernel larger than padded
+    /// input).
+    pub fn out_hw(&self, (h, w): (usize, usize), (kh, kw): (usize, usize)) -> (usize, usize) {
+        let hp = h + 2 * self.padding.0;
+        let wp = w + 2 * self.padding.1;
+        assert!(
+            hp >= kh && wp >= kw,
+            "kernel ({kh}, {kw}) larger than padded input ({hp}, {wp})"
+        );
+        ((hp - kh) / self.stride.0 + 1, (wp - kw) / self.stride.1 + 1)
+    }
+
+    /// Output spatial size of the *transposed* convolution.
+    pub fn transpose_out_hw(
+        &self,
+        (h, w): (usize, usize),
+        (kh, kw): (usize, usize),
+    ) -> (usize, usize) {
+        (
+            (h - 1) * self.stride.0 + kh - 2 * self.padding.0,
+            (w - 1) * self.stride.1 + kw - 2 * self.padding.1,
+        )
+    }
+}
+
+impl Default for ConvCfg {
+    fn default() -> Self {
+        Self::unit()
+    }
+}
+
+/// Lowers one padded image `[c, hp, wp]` to columns `[c*kh*kw, ho*wo]`.
+fn im2col(
+    img: &[f32],
+    c: usize,
+    (hp, wp): (usize, usize),
+    (kh, kw): (usize, usize),
+    (sh, sw): (usize, usize),
+    (ho, wo): (usize, usize),
+) -> Vec<f32> {
+    let mut cols = vec![0.0f32; c * kh * kw * ho * wo];
+    let col_w = ho * wo;
+    for ci in 0..c {
+        for u in 0..kh {
+            for v in 0..kw {
+                let row = ((ci * kh + u) * kw + v) * col_w;
+                for p in 0..ho {
+                    let src_row = (ci * hp + p * sh + u) * wp + v;
+                    let dst = row + p * wo;
+                    for q in 0..wo {
+                        cols[dst + q] = img[src_row + q * sw];
+                    }
+                }
+            }
+        }
+    }
+    cols
+}
+
+/// Adjoint of [`im2col`]: accumulates columns back into the padded image.
+fn col2im(
+    cols: &[f32],
+    img: &mut [f32],
+    c: usize,
+    (hp, wp): (usize, usize),
+    (kh, kw): (usize, usize),
+    (sh, sw): (usize, usize),
+    (ho, wo): (usize, usize),
+) {
+    let col_w = ho * wo;
+    for ci in 0..c {
+        for u in 0..kh {
+            for v in 0..kw {
+                let row = ((ci * kh + u) * kw + v) * col_w;
+                for p in 0..ho {
+                    let dst_row = (ci * hp + p * sh + u) * wp + v;
+                    let src = row + p * wo;
+                    for q in 0..wo {
+                        img[dst_row + q * sw] += cols[src + q];
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// `out[m,n] += a[m,k] b[k,n]` on raw slices.
+fn gemm_acc(out: &mut [f32], a: &[f32], b: &[f32], m: usize, k: usize, n: usize) {
+    for i in 0..m {
+        let arow = &a[i * k..(i + 1) * k];
+        let orow = &mut out[i * n..(i + 1) * n];
+        for (p, &av) in arow.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let brow = &b[p * n..(p + 1) * n];
+            for (ov, &bv) in orow.iter_mut().zip(brow) {
+                *ov += av * bv;
+            }
+        }
+    }
+}
+
+/// `out[m,n] += a[k,m]^T b[k,n]` on raw slices.
+fn gemm_tn_acc(out: &mut [f32], a: &[f32], b: &[f32], k: usize, m: usize, n: usize) {
+    for p in 0..k {
+        let arow = &a[p * m..(p + 1) * m];
+        let brow = &b[p * n..(p + 1) * n];
+        for (r, &av) in arow.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let orow = &mut out[r * n..(r + 1) * n];
+            for (ov, &bv) in orow.iter_mut().zip(brow) {
+                *ov += av * bv;
+            }
+        }
+    }
+}
+
+/// `out[m,n] += a[m,k] b[n,k]^T` on raw slices.
+fn gemm_nt_acc(out: &mut [f32], a: &[f32], b: &[f32], m: usize, k: usize, n: usize) {
+    for i in 0..m {
+        let arow = &a[i * k..(i + 1) * k];
+        let orow = &mut out[i * n..(i + 1) * n];
+        for (c, ov) in orow.iter_mut().enumerate() {
+            let brow = &b[c * k..(c + 1) * k];
+            let mut acc = 0.0f32;
+            for p in 0..k {
+                acc += arow[p] * brow[p];
+            }
+            *ov += acc;
+        }
+    }
+}
+
+/// Worker threads for data-parallel kernels (conservative: half the
+/// available parallelism, capped at 4, so tests and benches stay stable).
+fn available_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| (n.get() / 2).clamp(1, 4))
+        .unwrap_or(1)
+}
+
+fn check_conv_args(x: &Tensor, w: &Tensor, cfg: &ConvCfg) {
+    assert_eq!(x.rank(), 4, "conv2d input must be [N, C, H, W]");
+    assert_eq!(w.rank(), 4, "conv2d weight must be [Cout, Cin/g, kh, kw]");
+    let cin = x.dim(1);
+    let cout = w.dim(0);
+    assert_eq!(
+        cin % cfg.groups,
+        0,
+        "input channels {cin} not divisible by groups {}",
+        cfg.groups
+    );
+    assert_eq!(
+        cout % cfg.groups,
+        0,
+        "output channels {cout} not divisible by groups {}",
+        cfg.groups
+    );
+    assert_eq!(
+        w.dim(1),
+        cin / cfg.groups,
+        "weight in-channels {} != Cin/groups {}",
+        w.dim(1),
+        cin / cfg.groups
+    );
+}
+
+/// 2-D convolution: `x [N, Cin, H, W]`, `w [Cout, Cin/g, kh, kw]`,
+/// optional `b [Cout]` → `[N, Cout, Ho, Wo]`.
+///
+/// # Panics
+///
+/// Panics on inconsistent shapes or group counts.
+///
+/// # Example
+///
+/// ```
+/// use hfta_tensor::{conv::{conv2d, ConvCfg}, Tensor};
+/// let x = Tensor::ones([1, 1, 3, 3]);
+/// let w = Tensor::ones([1, 1, 2, 2]);
+/// let y = conv2d(&x, &w, None, ConvCfg::unit());
+/// assert_eq!(y.dims(), &[1, 1, 2, 2]);
+/// assert_eq!(y.to_vec(), vec![4.0; 4]);
+/// ```
+pub fn conv2d(x: &Tensor, w: &Tensor, b: Option<&Tensor>, cfg: ConvCfg) -> Tensor {
+    check_conv_args(x, w, &cfg);
+    let (n, cin, h, wdt) = (x.dim(0), x.dim(1), x.dim(2), x.dim(3));
+    let (cout, _, kh, kw) = (w.dim(0), w.dim(1), w.dim(2), w.dim(3));
+    if let Some(bias) = b {
+        assert_eq!(bias.dims(), &[cout], "bias must be [Cout]");
+    }
+    let g = cfg.groups;
+    let (cing, coutg) = (cin / g, cout / g);
+    let (ho, wo) = cfg.out_hw((h, wdt), (kh, kw));
+    let xp = x.pad2d(cfg.padding.0, cfg.padding.1);
+    let (hp, wp) = (xp.dim(2), xp.dim(3));
+    let xp_data = xp.as_slice();
+    let w_data = w.as_slice();
+    let krows = cing * kh * kw;
+    let spatial = ho * wo;
+    let mut out = vec![0.0f32; n * cout * spatial];
+    // Each (sample, group) pair writes one contiguous, disjoint output
+    // block, so the blocks parallelize trivially across threads — the CPU
+    // analogue of the bigger-fused-kernel effect HFTA exploits (a fused
+    // conv with B x g groups exposes B x more independent blocks).
+    let block = coutg * spatial;
+    let work = |(idx, out_block): (usize, &mut [f32])| {
+        let (ni, gi) = (idx / g, idx % g);
+        let img =
+            &xp_data[(ni * cin + gi * cing) * hp * wp..(ni * cin + (gi + 1) * cing) * hp * wp];
+        let cols = im2col(img, cing, (hp, wp), (kh, kw), cfg.stride, (ho, wo));
+        let wmat = &w_data[gi * coutg * krows..(gi + 1) * coutg * krows];
+        gemm_acc(out_block, wmat, &cols, coutg, krows, spatial);
+    };
+    let threads = available_threads();
+    // Only fan out when there is enough work to amortize thread startup.
+    if threads > 1 && n * g >= 2 && (n * cout * spatial * krows) > (1 << 20) {
+        let mut blocks: Vec<(usize, &mut [f32])> = out.chunks_mut(block).enumerate().collect();
+        let per = blocks.len().div_ceil(threads);
+        let work = &work;
+        std::thread::scope(|s| {
+            while !blocks.is_empty() {
+                let take = per.min(blocks.len());
+                let batch: Vec<_> = blocks.drain(..take).collect();
+                s.spawn(move || {
+                    for item in batch {
+                        work(item);
+                    }
+                });
+            }
+        });
+    } else {
+        for item in out.chunks_mut(block).enumerate() {
+            work(item);
+        }
+    }
+    if let Some(bias) = b {
+        let bd = bias.as_slice();
+        for ni in 0..n {
+            #[allow(clippy::needless_range_loop)]
+            for co in 0..cout {
+                let base = (ni * cout + co) * spatial;
+                let bv = bd[co];
+                for v in &mut out[base..base + spatial] {
+                    *v += bv;
+                }
+            }
+        }
+    }
+    Tensor::from_vec(out, [n, cout, ho, wo])
+}
+
+/// Gradient of [`conv2d`] with respect to its input.
+///
+/// `w` is the forward weight, `gy` the output gradient, `(h, w)` the
+/// original input spatial size.
+///
+/// # Panics
+///
+/// Panics on inconsistent shapes.
+pub fn conv2d_grad_input(
+    w: &Tensor,
+    gy: &Tensor,
+    input_hw: (usize, usize),
+    cin: usize,
+    cfg: ConvCfg,
+) -> Tensor {
+    assert_eq!(gy.rank(), 4, "grad output must be [N, Cout, Ho, Wo]");
+    let (n, cout, ho, wo) = (gy.dim(0), gy.dim(1), gy.dim(2), gy.dim(3));
+    let (kh, kw) = (w.dim(2), w.dim(3));
+    let g = cfg.groups;
+    let (cing, coutg) = (cin / g, cout / g);
+    assert_eq!(w.dim(0), cout, "weight Cout mismatch");
+    assert_eq!(w.dim(1), cing, "weight Cin/g mismatch");
+    let (hp, wp) = (
+        input_hw.0 + 2 * cfg.padding.0,
+        input_hw.1 + 2 * cfg.padding.1,
+    );
+    let krows = cing * kh * kw;
+    let spatial = ho * wo;
+    let gy_data = gy.as_slice();
+    let w_data = w.as_slice();
+    let mut gx_pad = vec![0.0f32; n * cin * hp * wp];
+    for ni in 0..n {
+        for gi in 0..g {
+            let wmat = &w_data[gi * coutg * krows..(gi + 1) * coutg * krows];
+            let gybase = (ni * cout + gi * coutg) * spatial;
+            let gymat = &gy_data[gybase..gybase + coutg * spatial];
+            // cols = w^T @ gy : [krows, spatial]
+            let mut cols = vec![0.0f32; krows * spatial];
+            gemm_tn_acc(&mut cols, wmat, gymat, coutg, krows, spatial);
+            let img = &mut gx_pad
+                [(ni * cin + gi * cing) * hp * wp..(ni * cin + (gi + 1) * cing) * hp * wp];
+            col2im(&cols, img, cing, (hp, wp), (kh, kw), cfg.stride, (ho, wo));
+        }
+    }
+    Tensor::from_vec(gx_pad, [n, cin, hp, wp]).unpad2d(cfg.padding.0, cfg.padding.1)
+}
+
+/// Gradient of [`conv2d`] with respect to its weight.
+///
+/// # Panics
+///
+/// Panics on inconsistent shapes.
+pub fn conv2d_grad_weight(
+    x: &Tensor,
+    gy: &Tensor,
+    kernel_hw: (usize, usize),
+    cfg: ConvCfg,
+) -> Tensor {
+    let (n, cin, h, wdt) = (x.dim(0), x.dim(1), x.dim(2), x.dim(3));
+    let (n2, cout, ho, wo) = (gy.dim(0), gy.dim(1), gy.dim(2), gy.dim(3));
+    assert_eq!(n, n2, "batch mismatch between input and grad output");
+    let (kh, kw) = kernel_hw;
+    let g = cfg.groups;
+    let (cing, coutg) = (cin / g, cout / g);
+    debug_assert_eq!(cfg.out_hw((h, wdt), (kh, kw)), (ho, wo));
+    let xp = x.pad2d(cfg.padding.0, cfg.padding.1);
+    let (hp, wp) = (xp.dim(2), xp.dim(3));
+    let xp_data = xp.as_slice();
+    let gy_data = gy.as_slice();
+    let krows = cing * kh * kw;
+    let spatial = ho * wo;
+    let mut gw = vec![0.0f32; cout * krows];
+    for ni in 0..n {
+        for gi in 0..g {
+            let img = &xp_data[(ni * cin + gi * cing) * hp * wp..(ni * cin + (gi + 1) * cing) * hp * wp];
+            let cols = im2col(img, cing, (hp, wp), (kh, kw), cfg.stride, (ho, wo));
+            let gybase = (ni * cout + gi * coutg) * spatial;
+            let gymat = &gy_data[gybase..gybase + coutg * spatial];
+            // gw_g += gy [coutg, spatial] @ cols^T [spatial, krows]
+            gemm_nt_acc(
+                &mut gw[gi * coutg * krows..(gi + 1) * coutg * krows],
+                gymat,
+                &cols,
+                coutg,
+                spatial,
+                krows,
+            );
+        }
+    }
+    Tensor::from_vec(gw, [cout, cing, kh, kw])
+}
+
+/// Gradient of [`conv2d`] with respect to its bias: `gy` summed over batch
+/// and spatial axes.
+pub fn conv2d_grad_bias(gy: &Tensor) -> Tensor {
+    gy.sum_axis(3, false).sum_axis(2, false).sum_axis(0, false)
+}
+
+/// 2-D transposed convolution ("deconvolution"): `x [N, Cin, H, W]`,
+/// `w [Cin, Cout/g, kh, kw]`, optional `b [Cout]` → `[N, Cout, Ho, Wo]`
+/// with `Ho = (H-1)*stride - 2*pad + kh`.
+///
+/// Implemented as the adjoint of [`conv2d`]: the forward pass is
+/// [`conv2d_grad_input`] with the channel roles swapped.
+///
+/// # Panics
+///
+/// Panics on inconsistent shapes or group counts.
+pub fn conv_transpose2d(x: &Tensor, w: &Tensor, b: Option<&Tensor>, cfg: ConvCfg) -> Tensor {
+    assert_eq!(x.rank(), 4, "conv_transpose2d input must be [N, Cin, H, W]");
+    assert_eq!(w.rank(), 4, "conv_transpose2d weight must be [Cin, Cout/g, kh, kw]");
+    let (_, cin, h, wdt) = (x.dim(0), x.dim(1), x.dim(2), x.dim(3));
+    assert_eq!(w.dim(0), cin, "weight Cin mismatch");
+    let g = cfg.groups;
+    let coutg = w.dim(1);
+    let cout = coutg * g;
+    let (kh, kw) = (w.dim(2), w.dim(3));
+    let (ho, wo) = cfg.transpose_out_hw((h, wdt), (kh, kw));
+    // Viewed as a conv mapping [N, cout, ho, wo] -> [N, cin, h, w], the
+    // weight already has conv layout [Cout_conv=cin, Cin_conv/g=coutg, ...].
+    let mut y = conv2d_grad_input(w, x, (ho, wo), cout, cfg);
+    if let Some(bias) = b {
+        assert_eq!(bias.dims(), &[cout], "bias must be [Cout]");
+        let spatial = ho * wo;
+        let n = y.dim(0);
+        let bd = bias.to_vec();
+        let yd = y.as_mut_slice();
+        for ni in 0..n {
+            #[allow(clippy::needless_range_loop)]
+            for co in 0..cout {
+                let base = (ni * cout + co) * spatial;
+                for v in &mut yd[base..base + spatial] {
+                    *v += bd[co];
+                }
+            }
+        }
+    }
+    y
+}
+
+/// Gradient of [`conv_transpose2d`] with respect to its input: a plain
+/// [`conv2d`] of the output gradient with the same weight.
+pub fn conv_transpose2d_grad_input(w: &Tensor, gy: &Tensor, cfg: ConvCfg) -> Tensor {
+    conv2d(gy, w, None, cfg)
+}
+
+/// Gradient of [`conv_transpose2d`] with respect to its weight.
+pub fn conv_transpose2d_grad_weight(x: &Tensor, gy: &Tensor, kernel_hw: (usize, usize), cfg: ConvCfg) -> Tensor {
+    // In the adjoint view, `gy` plays the conv input and `x` the conv
+    // output-gradient.
+    conv2d_grad_weight(gy, x, kernel_hw, cfg)
+}
+
+/// 1-D convolution: `x [N, Cin, L]`, `w [Cout, Cin/g, k]` → `[N, Cout, Lo]`.
+///
+/// Delegates to [`conv2d`] with a unit height axis.
+///
+/// # Panics
+///
+/// Panics on inconsistent shapes.
+pub fn conv1d(
+    x: &Tensor,
+    w: &Tensor,
+    b: Option<&Tensor>,
+    stride: usize,
+    padding: usize,
+    groups: usize,
+) -> Tensor {
+    assert_eq!(x.rank(), 3, "conv1d input must be [N, C, L]");
+    assert_eq!(w.rank(), 3, "conv1d weight must be [Cout, Cin/g, k]");
+    let x4 = x.reshape(&[x.dim(0), x.dim(1), 1, x.dim(2)]);
+    let w4 = w.reshape(&[w.dim(0), w.dim(1), 1, w.dim(2)]);
+    let cfg = ConvCfg {
+        stride: (1, stride),
+        padding: (0, padding),
+        groups,
+    };
+    let y = conv2d(&x4, &w4, b, cfg);
+    y.reshape(&[y.dim(0), y.dim(1), y.dim(3)])
+}
+
+/// Gradients of [`conv1d`]: `(grad_input, grad_weight, grad_bias)`.
+pub fn conv1d_backward(
+    x: &Tensor,
+    w: &Tensor,
+    gy: &Tensor,
+    stride: usize,
+    padding: usize,
+    groups: usize,
+) -> (Tensor, Tensor, Tensor) {
+    let x4 = x.reshape(&[x.dim(0), x.dim(1), 1, x.dim(2)]);
+    let w4 = w.reshape(&[w.dim(0), w.dim(1), 1, w.dim(2)]);
+    let gy4 = gy.reshape(&[gy.dim(0), gy.dim(1), 1, gy.dim(2)]);
+    let cfg = ConvCfg {
+        stride: (1, stride),
+        padding: (0, padding),
+        groups,
+    };
+    let gx = conv2d_grad_input(&w4, &gy4, (1, x.dim(2)), x.dim(1), cfg);
+    let gw = conv2d_grad_weight(&x4, &gy4, (1, w.dim(2)), cfg);
+    let gb = conv2d_grad_bias(&gy4);
+    (
+        gx.reshape(&[x.dim(0), x.dim(1), x.dim(2)]),
+        gw.reshape(&[w.dim(0), w.dim(1), w.dim(2)]),
+        gb,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Naive direct convolution reference (groups supported).
+    fn conv2d_naive(x: &Tensor, w: &Tensor, b: Option<&Tensor>, cfg: ConvCfg) -> Tensor {
+        let (n, cin, h, wdt) = (x.dim(0), x.dim(1), x.dim(2), x.dim(3));
+        let (cout, _, kh, kw) = (w.dim(0), w.dim(1), w.dim(2), w.dim(3));
+        let g = cfg.groups;
+        let (cing, coutg) = (cin / g, cout / g);
+        let (ho, wo) = cfg.out_hw((h, wdt), (kh, kw));
+        let mut out = Tensor::zeros([n, cout, ho, wo]);
+        for ni in 0..n {
+            for co in 0..cout {
+                let gi = co / coutg;
+                for p in 0..ho {
+                    for q in 0..wo {
+                        let mut acc = b.map_or(0.0, |bias| bias.at(&[co]));
+                        for ci in 0..cing {
+                            for u in 0..kh {
+                                for v in 0..kw {
+                                    let yy = (p * cfg.stride.0 + u) as isize - cfg.padding.0 as isize;
+                                    let xx = (q * cfg.stride.1 + v) as isize - cfg.padding.1 as isize;
+                                    if yy >= 0 && xx >= 0 && (yy as usize) < h && (xx as usize) < wdt {
+                                        acc += x.at(&[ni, gi * cing + ci, yy as usize, xx as usize])
+                                            * w.at(&[co, ci, u, v]);
+                                    }
+                                }
+                            }
+                        }
+                        out.set(&[ni, co, p, q], acc);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    fn randn(shape: &[usize], seed: u64) -> Tensor {
+        // Small deterministic pseudo-random fill.
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+        let n: usize = shape.iter().product();
+        let data: Vec<f32> = (0..n)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                ((state as f64 / u64::MAX as f64) as f32 - 0.5) * 2.0
+            })
+            .collect();
+        Tensor::from_vec(data, shape.to_vec())
+    }
+
+    #[test]
+    fn conv2d_matches_naive_basic() {
+        let x = randn(&[2, 3, 5, 5], 1);
+        let w = randn(&[4, 3, 3, 3], 2);
+        let b = randn(&[4], 3);
+        for cfg in [
+            ConvCfg::unit(),
+            ConvCfg::square(1, 1, 1),
+            ConvCfg::square(2, 1, 1),
+        ] {
+            let fast = conv2d(&x, &w, Some(&b), cfg);
+            let slow = conv2d_naive(&x, &w, Some(&b), cfg);
+            assert!(fast.allclose(&slow, 1e-4), "cfg {cfg:?}");
+        }
+    }
+
+    #[test]
+    fn grouped_conv_matches_naive() {
+        let x = randn(&[2, 4, 6, 6], 4);
+        let w = randn(&[6, 2, 3, 3], 5); // groups=2: Cin/g = 2
+        let cfg = ConvCfg::square(1, 1, 2);
+        let fast = conv2d(&x, &w, None, cfg);
+        let slow = conv2d_naive(&x, &w, None, cfg);
+        assert!(fast.allclose(&slow, 1e-4));
+    }
+
+    #[test]
+    fn grouped_conv_equals_concat_of_independent_convs() {
+        // The HFTA identity: B independent convs == one grouped conv on
+        // channel-concatenated input with block-diagonal (stacked) weights.
+        let b = 3;
+        let cfg = ConvCfg::square(1, 1, 1);
+        let xs: Vec<Tensor> = (0..b).map(|i| randn(&[2, 3, 5, 5], 10 + i as u64)).collect();
+        let ws: Vec<Tensor> = (0..b).map(|i| randn(&[4, 3, 3, 3], 20 + i as u64)).collect();
+        let bs: Vec<Tensor> = (0..b).map(|i| randn(&[4], 30 + i as u64)).collect();
+        let per_model: Vec<Tensor> = (0..b)
+            .map(|i| conv2d(&xs[i], &ws[i], Some(&bs[i]), cfg))
+            .collect();
+        let x_fused = Tensor::concat(&xs.iter().collect::<Vec<_>>(), 1);
+        let w_fused = Tensor::concat(&ws.iter().collect::<Vec<_>>(), 0);
+        let b_fused = Tensor::concat(&bs.iter().collect::<Vec<_>>(), 0);
+        let fused = conv2d(&x_fused, &w_fused, Some(&b_fused), cfg.fused(b));
+        let expect = Tensor::concat(&per_model.iter().collect::<Vec<_>>(), 1);
+        assert!(fused.allclose(&expect, 1e-4));
+    }
+
+    #[test]
+    fn conv_adjoint_identity_input() {
+        // <conv(x), y> == <x, conv_grad_input(y)> proves the adjoint pair.
+        let cfg = ConvCfg::square(2, 1, 1);
+        let x = randn(&[1, 2, 6, 6], 7);
+        let w = randn(&[3, 2, 3, 3], 8);
+        let y = conv2d(&x, &w, None, cfg);
+        let gy = randn(y.dims(), 9);
+        let gx = conv2d_grad_input(&w, &gy, (6, 6), 2, cfg);
+        let lhs = y.flatten().dot(&gy.flatten());
+        let rhs = x.flatten().dot(&gx.flatten());
+        assert!((lhs - rhs).abs() < 1e-3 * lhs.abs().max(1.0), "{lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn conv_adjoint_identity_weight() {
+        let cfg = ConvCfg::square(1, 1, 2);
+        let x = randn(&[2, 4, 5, 5], 11);
+        let w = randn(&[4, 2, 3, 3], 12);
+        let y = conv2d(&x, &w, None, cfg);
+        let gy = randn(y.dims(), 13);
+        let gw = conv2d_grad_weight(&x, &gy, (3, 3), cfg);
+        assert_eq!(gw.dims(), w.dims());
+        let lhs = y.flatten().dot(&gy.flatten());
+        // d<conv(x;w), gy>/dw . w == <gw, w> because conv is linear in w.
+        let rhs = gw.flatten().dot(&w.flatten());
+        assert!((lhs - rhs).abs() < 1e-3 * lhs.abs().max(1.0), "{lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn grad_bias_sums_spatial_and_batch() {
+        let gy = Tensor::ones([2, 3, 4, 4]);
+        let gb = conv2d_grad_bias(&gy);
+        assert_eq!(gb.dims(), &[3]);
+        assert_eq!(gb.to_vec(), vec![32.0; 3]);
+    }
+
+    #[test]
+    fn conv_transpose_shape_and_upsampling() {
+        // DCGAN-style: stride-2 convtranspose doubles spatial size.
+        let x = randn(&[1, 8, 4, 4], 21);
+        let w = randn(&[8, 4, 4, 4], 22);
+        let cfg = ConvCfg::square(2, 1, 1);
+        let y = conv_transpose2d(&x, &w, None, cfg);
+        assert_eq!(y.dims(), &[1, 4, 8, 8]);
+    }
+
+    #[test]
+    fn conv_transpose_is_adjoint_of_conv() {
+        // <convT(x), z> == <x, conv(z)> for weight-shared pair.
+        let cfg = ConvCfg::square(2, 1, 1);
+        let x = randn(&[1, 6, 4, 4], 31);
+        let w = randn(&[6, 3, 4, 4], 32);
+        let y = conv_transpose2d(&x, &w, None, cfg);
+        let z = randn(y.dims(), 33);
+        let back = conv2d(&z, &w, None, cfg);
+        let lhs = y.flatten().dot(&z.flatten());
+        let rhs = x.flatten().dot(&back.flatten());
+        assert!((lhs - rhs).abs() < 1e-2 * lhs.abs().max(1.0), "{lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn conv_transpose_grouped_equals_concat() {
+        let b = 2;
+        let cfg = ConvCfg::square(2, 1, 1);
+        let xs: Vec<Tensor> = (0..b).map(|i| randn(&[1, 4, 3, 3], 40 + i as u64)).collect();
+        let ws: Vec<Tensor> = (0..b).map(|i| randn(&[4, 2, 4, 4], 50 + i as u64)).collect();
+        let bs: Vec<Tensor> = (0..b).map(|i| randn(&[2], 60 + i as u64)).collect();
+        let per: Vec<Tensor> = (0..b)
+            .map(|i| conv_transpose2d(&xs[i], &ws[i], Some(&bs[i]), cfg))
+            .collect();
+        let xf = Tensor::concat(&xs.iter().collect::<Vec<_>>(), 1);
+        let wf = Tensor::concat(&ws.iter().collect::<Vec<_>>(), 0);
+        let bf = Tensor::concat(&bs.iter().collect::<Vec<_>>(), 0);
+        let fused = conv_transpose2d(&xf, &wf, Some(&bf), cfg.fused(b));
+        let expect = Tensor::concat(&per.iter().collect::<Vec<_>>(), 1);
+        assert!(fused.allclose(&expect, 1e-4));
+    }
+
+    #[test]
+    fn conv_transpose_backward_adjoints() {
+        let cfg = ConvCfg::square(2, 1, 1);
+        let x = randn(&[2, 4, 3, 3], 71);
+        let w = randn(&[4, 2, 4, 4], 72);
+        let y = conv_transpose2d(&x, &w, None, cfg);
+        let gy = randn(y.dims(), 73);
+        let gx = conv_transpose2d_grad_input(&w, &gy, cfg);
+        assert_eq!(gx.dims(), x.dims());
+        let gw = conv_transpose2d_grad_weight(&x, &gy, (4, 4), cfg);
+        assert_eq!(gw.dims(), w.dims());
+        // Linearity adjoint checks.
+        let lhs = y.flatten().dot(&gy.flatten());
+        assert!((lhs - x.flatten().dot(&gx.flatten())).abs() < 1e-2 * lhs.abs().max(1.0));
+        assert!((lhs - w.flatten().dot(&gw.flatten())).abs() < 1e-2 * lhs.abs().max(1.0));
+    }
+
+    #[test]
+    fn conv1d_matches_manual() {
+        // x = [1,2,3], kernel = [1,1] -> [3, 5]
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0], [1, 1, 3]);
+        let w = Tensor::from_vec(vec![1.0, 1.0], [1, 1, 2]);
+        let y = conv1d(&x, &w, None, 1, 0, 1);
+        assert_eq!(y.dims(), &[1, 1, 2]);
+        assert_eq!(y.to_vec(), vec![3.0, 5.0]);
+    }
+
+    #[test]
+    fn conv1d_backward_shapes() {
+        let x = randn(&[2, 3, 10], 81);
+        let w = randn(&[4, 3, 3], 82);
+        let y = conv1d(&x, &w, None, 1, 1, 1);
+        assert_eq!(y.dims(), &[2, 4, 10]);
+        let gy = randn(y.dims(), 83);
+        let (gx, gw, gb) = conv1d_backward(&x, &w, &gy, 1, 1, 1);
+        assert_eq!(gx.dims(), x.dims());
+        assert_eq!(gw.dims(), w.dims());
+        assert_eq!(gb.dims(), &[4]);
+    }
+
+    #[test]
+    fn parallel_conv_matches_sequential_path() {
+        // A shape big enough to cross the multithreading threshold must
+        // produce exactly the same output as the naive reference.
+        let x = randn(&[8, 8, 16, 16], 91);
+        let w = randn(&[16, 8, 3, 3], 92);
+        let cfg = ConvCfg::square(1, 1, 1);
+        let fast = conv2d(&x, &w, None, cfg);
+        let slow = conv2d_naive(&x, &w, None, cfg);
+        assert!(fast.allclose(&slow, 1e-3));
+    }
+
+    #[test]
+    fn out_hw_math() {
+        let cfg = ConvCfg::square(2, 1, 1);
+        assert_eq!(cfg.out_hw((5, 5), (3, 3)), (3, 3));
+        assert_eq!(cfg.transpose_out_hw((3, 3), (3, 3)), (5, 5));
+        // Transposed conv inverts conv's spatial map for exact geometries.
+        let cfg2 = ConvCfg::square(2, 1, 1);
+        let (ho, wo) = cfg2.out_hw((8, 8), (4, 4));
+        assert_eq!(cfg2.transpose_out_hw((ho, wo), (4, 4)), (8, 8));
+    }
+}

@@ -1,0 +1,106 @@
+//! Error types for tensor operations.
+
+use std::fmt;
+
+/// Errors produced by fallible tensor operations.
+///
+/// Most arithmetic entry points in this crate panic on shape mismatches
+/// (mirroring the ergonomics of mainstream DL frameworks, where shape bugs
+/// are programming errors), but conversion and validation APIs return
+/// `Result<_, TensorError>` so callers can recover.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// Two shapes that were required to match (or broadcast) did not.
+    ShapeMismatch {
+        /// Shape of the left-hand operand.
+        lhs: Vec<usize>,
+        /// Shape of the right-hand operand.
+        rhs: Vec<usize>,
+        /// The operation that was attempted.
+        op: &'static str,
+    },
+    /// A reshape was requested to a shape with a different element count.
+    InvalidReshape {
+        /// Element count of the source tensor.
+        from: usize,
+        /// Requested target shape.
+        to: Vec<usize>,
+    },
+    /// An axis argument was out of range for the tensor's rank.
+    AxisOutOfRange {
+        /// The offending axis.
+        axis: usize,
+        /// The tensor's rank.
+        rank: usize,
+    },
+    /// A dimension did not satisfy a divisibility requirement
+    /// (e.g. grouped convolution channel counts).
+    NotDivisible {
+        /// The quantity that had to be divisible.
+        value: usize,
+        /// The required divisor.
+        by: usize,
+        /// Human-readable context.
+        what: &'static str,
+    },
+    /// An argument had an invalid value (zero-size dim, empty input, ...).
+    InvalidArgument(String),
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::ShapeMismatch { lhs, rhs, op } => {
+                write!(f, "shape mismatch in {op}: {lhs:?} vs {rhs:?}")
+            }
+            TensorError::InvalidReshape { from, to } => {
+                write!(f, "cannot reshape {from} elements into {to:?}")
+            }
+            TensorError::AxisOutOfRange { axis, rank } => {
+                write!(f, "axis {axis} out of range for rank {rank}")
+            }
+            TensorError::NotDivisible { value, by, what } => {
+                write!(f, "{what} ({value}) is not divisible by {by}")
+            }
+            TensorError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TensorError {}
+
+/// Convenience alias for tensor results.
+pub type Result<T> = std::result::Result<T, TensorError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let err = TensorError::ShapeMismatch {
+            lhs: vec![2, 3],
+            rhs: vec![4],
+            op: "add",
+        };
+        let msg = err.to_string();
+        assert!(msg.contains("add"));
+        assert!(msg.contains("[2, 3]"));
+        assert!(msg.starts_with(char::is_lowercase));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TensorError>();
+    }
+
+    #[test]
+    fn invalid_reshape_display() {
+        let err = TensorError::InvalidReshape {
+            from: 6,
+            to: vec![4],
+        };
+        assert_eq!(err.to_string(), "cannot reshape 6 elements into [4]");
+    }
+}

@@ -1,0 +1,447 @@
+//! Layout transforms: reshape, permute, concatenation, slicing, padding.
+//!
+//! All transforms materialize new contiguous storage.
+
+use crate::tensor::Tensor;
+
+impl Tensor {
+    /// Reinterprets the tensor with a new shape of equal element count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the element counts differ.
+    pub fn reshape(&self, dims: &[usize]) -> Tensor {
+        let numel: usize = dims.iter().product();
+        assert_eq!(
+            numel,
+            self.numel(),
+            "cannot reshape {} elements into {:?}",
+            self.numel(),
+            dims
+        );
+        Tensor::from_vec(self.to_vec(), dims.to_vec())
+    }
+
+    /// Flattens into a 1-D tensor.
+    pub fn flatten(&self) -> Tensor {
+        self.reshape(&[self.numel()])
+    }
+
+    /// Flattens all dimensions from `start_axis` onward into one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start_axis >= rank`.
+    pub fn flatten_from(&self, start_axis: usize) -> Tensor {
+        assert!(start_axis < self.rank(), "flatten_from axis out of range");
+        let mut dims: Vec<usize> = self.dims()[..start_axis].to_vec();
+        dims.push(self.dims()[start_axis..].iter().product());
+        self.reshape(&dims)
+    }
+
+    /// Inserts a size-1 axis at `axis`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `axis > rank`.
+    pub fn unsqueeze(&self, axis: usize) -> Tensor {
+        assert!(axis <= self.rank(), "unsqueeze axis out of range");
+        let mut dims = self.dims().to_vec();
+        dims.insert(axis, 1);
+        self.reshape(&dims)
+    }
+
+    /// Removes a size-1 axis at `axis`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the axis is out of range or not of size 1.
+    pub fn squeeze(&self, axis: usize) -> Tensor {
+        assert!(axis < self.rank(), "squeeze axis out of range");
+        assert_eq!(self.dim(axis), 1, "squeeze axis must have size 1");
+        let mut dims = self.dims().to_vec();
+        dims.remove(axis);
+        self.reshape(&dims)
+    }
+
+    /// Permutes axes into the given order, materializing the result.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `order` is not a permutation of `0..rank`.
+    pub fn permute(&self, order: &[usize]) -> Tensor {
+        assert_eq!(order.len(), self.rank(), "permute rank mismatch");
+        let mut seen = vec![false; self.rank()];
+        for &a in order {
+            assert!(a < self.rank() && !seen[a], "permute order invalid");
+            seen[a] = true;
+        }
+        let src_dims = self.dims();
+        let new_dims: Vec<usize> = order.iter().map(|&a| src_dims[a]).collect();
+        let src_strides = self.shape().strides();
+        // stride of output axis i in the source layout
+        let walk_strides: Vec<usize> = order.iter().map(|&a| src_strides[a]).collect();
+        let mut out = vec![0.0f32; self.numel()];
+        let src = self.as_slice();
+        let rank = new_dims.len();
+        let mut idx = vec![0usize; rank];
+        let mut src_off = 0usize;
+        for slot in out.iter_mut() {
+            *slot = src[src_off];
+            for axis in (0..rank).rev() {
+                idx[axis] += 1;
+                src_off += walk_strides[axis];
+                if idx[axis] < new_dims[axis] {
+                    break;
+                }
+                idx[axis] = 0;
+                src_off -= walk_strides[axis] * new_dims[axis];
+            }
+        }
+        Tensor::from_vec(out, new_dims)
+    }
+
+    /// Swaps two axes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either axis is out of range.
+    pub fn transpose(&self, a: usize, b: usize) -> Tensor {
+        let mut order: Vec<usize> = (0..self.rank()).collect();
+        order.swap(a, b);
+        self.permute(&order)
+    }
+
+    /// Matrix transpose of a 2-D tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not 2-D.
+    pub fn t(&self) -> Tensor {
+        assert_eq!(self.rank(), 2, "t() requires a 2-D tensor");
+        self.transpose(0, 1)
+    }
+
+    /// Concatenates tensors along `axis`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tensors` is empty, ranks differ, or non-`axis` dims differ.
+    pub fn concat(tensors: &[&Tensor], axis: usize) -> Tensor {
+        assert!(!tensors.is_empty(), "concat of zero tensors");
+        let first = tensors[0];
+        assert!(axis < first.rank(), "concat axis out of range");
+        for t in tensors {
+            assert_eq!(t.rank(), first.rank(), "concat rank mismatch");
+            for d in 0..first.rank() {
+                if d != axis {
+                    assert_eq!(t.dim(d), first.dim(d), "concat dim {d} mismatch");
+                }
+            }
+        }
+        let (outer, inner) = first.split_at_axis(axis);
+        let total_axis: usize = tensors.iter().map(|t| t.dim(axis)).sum();
+        let mut out = vec![0.0f32; outer * total_axis * inner];
+        let mut axis_off = 0usize;
+        for t in tensors {
+            let n = t.dim(axis);
+            let src = t.as_slice();
+            for o in 0..outer {
+                let dst_base = (o * total_axis + axis_off) * inner;
+                let src_base = o * n * inner;
+                out[dst_base..dst_base + n * inner]
+                    .copy_from_slice(&src[src_base..src_base + n * inner]);
+            }
+            axis_off += n;
+        }
+        let mut dims = first.dims().to_vec();
+        dims[axis] = total_axis;
+        Tensor::from_vec(out, dims)
+    }
+
+    /// Splits into `chunks` equal parts along `axis`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the axis size is not divisible by `chunks`.
+    pub fn chunk(&self, chunks: usize, axis: usize) -> Vec<Tensor> {
+        assert!(chunks > 0, "chunk count must be positive");
+        let n = self.dim(axis);
+        assert_eq!(n % chunks, 0, "axis {axis} size {n} not divisible by {chunks}");
+        let each = n / chunks;
+        (0..chunks)
+            .map(|c| self.narrow(axis, c * each, each))
+            .collect()
+    }
+
+    /// Slice of `len` elements starting at `start` along `axis`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window exceeds the axis bounds.
+    pub fn narrow(&self, axis: usize, start: usize, len: usize) -> Tensor {
+        assert!(axis < self.rank(), "narrow axis out of range");
+        let n = self.dim(axis);
+        assert!(start + len <= n, "narrow window [{start}, {start}+{len}) out of bounds for axis size {n}");
+        let (outer, inner) = self.split_at_axis(axis);
+        let src = self.as_slice();
+        let mut out = vec![0.0f32; outer * len * inner];
+        for o in 0..outer {
+            let src_base = (o * n + start) * inner;
+            let dst_base = o * len * inner;
+            out[dst_base..dst_base + len * inner]
+                .copy_from_slice(&src[src_base..src_base + len * inner]);
+        }
+        let mut dims = self.dims().to_vec();
+        dims[axis] = len;
+        Tensor::from_vec(out, dims)
+    }
+
+    /// Writes `src` into the window of `len = src.dim(axis)` elements
+    /// starting at `start` along `axis` — the scatter counterpart of
+    /// [`Tensor::narrow`], used when unfusing gradients back to models.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes are incompatible or the window is out of bounds.
+    pub fn narrow_assign(&mut self, axis: usize, start: usize, src: &Tensor) {
+        assert!(axis < self.rank(), "narrow_assign axis out of range");
+        assert_eq!(src.rank(), self.rank(), "narrow_assign rank mismatch");
+        let len = src.dim(axis);
+        let n = self.dim(axis);
+        assert!(start + len <= n, "narrow_assign window out of bounds");
+        for d in 0..self.rank() {
+            if d != axis {
+                assert_eq!(self.dim(d), src.dim(d), "narrow_assign dim {d} mismatch");
+            }
+        }
+        let (outer, inner) = self.split_at_axis(axis);
+        let s = src.as_slice();
+        let dst = self.as_mut_slice();
+        for o in 0..outer {
+            let dst_base = (o * n + start) * inner;
+            let src_base = o * len * inner;
+            dst[dst_base..dst_base + len * inner]
+                .copy_from_slice(&s[src_base..src_base + len * inner]);
+        }
+    }
+
+    /// Selects rows along `axis` by index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of range.
+    pub fn index_select(&self, axis: usize, indices: &[usize]) -> Tensor {
+        assert!(axis < self.rank(), "index_select axis out of range");
+        let n = self.dim(axis);
+        let (outer, inner) = self.split_at_axis(axis);
+        let src = self.as_slice();
+        let mut out = vec![0.0f32; outer * indices.len() * inner];
+        for o in 0..outer {
+            for (j, &ix) in indices.iter().enumerate() {
+                assert!(ix < n, "index {ix} out of range for axis size {n}");
+                let src_base = (o * n + ix) * inner;
+                let dst_base = (o * indices.len() + j) * inner;
+                out[dst_base..dst_base + inner].copy_from_slice(&src[src_base..src_base + inner]);
+            }
+        }
+        let mut dims = self.dims().to_vec();
+        dims[axis] = indices.len();
+        Tensor::from_vec(out, dims)
+    }
+
+    /// Repeats each element along `axis` `repeats` times
+    /// (`torch.repeat_interleave` semantics).
+    ///
+    /// Used to broadcast per-model optimizer hyper-parameters over fused
+    /// parameter tensors of shape `[B * C, ...]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `axis` is out of range or `repeats == 0`.
+    pub fn repeat_interleave(&self, repeats: usize, axis: usize) -> Tensor {
+        assert!(axis < self.rank(), "repeat_interleave axis out of range");
+        assert!(repeats > 0, "repeats must be positive");
+        let indices: Vec<usize> = (0..self.dim(axis))
+            .flat_map(|i| std::iter::repeat_n(i, repeats))
+            .collect();
+        self.index_select(axis, &indices)
+    }
+
+    /// Tiles the whole tensor `repeats` times along `axis`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `axis` is out of range or `repeats == 0`.
+    pub fn tile(&self, repeats: usize, axis: usize) -> Tensor {
+        assert!(repeats > 0, "repeats must be positive");
+        let copies: Vec<&Tensor> = std::iter::repeat_n(self, repeats).collect();
+        Tensor::concat(&copies, axis)
+    }
+
+    /// Zero-pads the last two axes by `(pad_h, pad_w)` on each side.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor has rank < 2.
+    pub fn pad2d(&self, pad_h: usize, pad_w: usize) -> Tensor {
+        assert!(self.rank() >= 2, "pad2d requires rank >= 2");
+        if pad_h == 0 && pad_w == 0 {
+            return self.clone();
+        }
+        let rank = self.rank();
+        let h = self.dim(rank - 2);
+        let w = self.dim(rank - 1);
+        let outer: usize = self.dims()[..rank - 2].iter().product();
+        let nh = h + 2 * pad_h;
+        let nw = w + 2 * pad_w;
+        let src = self.as_slice();
+        let mut out = vec![0.0f32; outer * nh * nw];
+        for o in 0..outer {
+            for y in 0..h {
+                let src_base = (o * h + y) * w;
+                let dst_base = (o * nh + y + pad_h) * nw + pad_w;
+                out[dst_base..dst_base + w].copy_from_slice(&src[src_base..src_base + w]);
+            }
+        }
+        let mut dims = self.dims().to_vec();
+        dims[rank - 2] = nh;
+        dims[rank - 1] = nw;
+        Tensor::from_vec(out, dims)
+    }
+
+    /// Removes `(pad_h, pad_w)` from each side of the last two axes —
+    /// the adjoint of [`Tensor::pad2d`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the padding exceeds the axis sizes.
+    pub fn unpad2d(&self, pad_h: usize, pad_w: usize) -> Tensor {
+        if pad_h == 0 && pad_w == 0 {
+            return self.clone();
+        }
+        let rank = self.rank();
+        let h = self.dim(rank - 2);
+        let w = self.dim(rank - 1);
+        assert!(h > 2 * pad_h && w > 2 * pad_w, "unpad2d exceeds dims");
+        self.narrow(rank - 2, pad_h, h - 2 * pad_h)
+            .narrow(rank - 1, pad_w, w - 2 * pad_w)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reshape_and_flatten() {
+        let t = Tensor::arange(6).reshape(&[2, 3]);
+        assert_eq!(t.dims(), &[2, 3]);
+        assert_eq!(t.flatten().dims(), &[6]);
+        assert_eq!(t.flatten_from(1).dims(), &[2, 3]);
+        let t4 = Tensor::arange(24).reshape(&[2, 3, 2, 2]);
+        assert_eq!(t4.flatten_from(1).dims(), &[2, 12]);
+    }
+
+    #[test]
+    fn squeeze_unsqueeze_round_trip() {
+        let t = Tensor::arange(6).reshape(&[2, 3]);
+        let u = t.unsqueeze(1);
+        assert_eq!(u.dims(), &[2, 1, 3]);
+        assert_eq!(u.squeeze(1).dims(), &[2, 3]);
+    }
+
+    #[test]
+    fn transpose_2d() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], [2, 3]);
+        let tt = t.t();
+        assert_eq!(tt.dims(), &[3, 2]);
+        assert_eq!(tt.to_vec(), vec![1.0, 4.0, 2.0, 5.0, 3.0, 6.0]);
+        // Involution.
+        assert_eq!(tt.t(), t);
+    }
+
+    #[test]
+    fn permute_3d() {
+        let t = Tensor::arange(24).reshape(&[2, 3, 4]);
+        let p = t.permute(&[2, 0, 1]);
+        assert_eq!(p.dims(), &[4, 2, 3]);
+        for a in 0..2 {
+            for b in 0..3 {
+                for c in 0..4 {
+                    assert_eq!(p.at(&[c, a, b]), t.at(&[a, b, c]));
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "permute order invalid")]
+    fn permute_rejects_duplicates() {
+        Tensor::zeros([2, 2]).permute(&[0, 0]);
+    }
+
+    #[test]
+    fn concat_axis0_and_1() {
+        let a = Tensor::from_vec(vec![1.0, 2.0], [1, 2]);
+        let b = Tensor::from_vec(vec![3.0, 4.0], [1, 2]);
+        let c0 = Tensor::concat(&[&a, &b], 0);
+        assert_eq!(c0.dims(), &[2, 2]);
+        assert_eq!(c0.to_vec(), vec![1.0, 2.0, 3.0, 4.0]);
+        let c1 = Tensor::concat(&[&a, &b], 1);
+        assert_eq!(c1.dims(), &[1, 4]);
+        assert_eq!(c1.to_vec(), vec![1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn chunk_then_concat_round_trip() {
+        let t = Tensor::arange(12).reshape(&[2, 6]);
+        let parts = t.chunk(3, 1);
+        assert_eq!(parts.len(), 3);
+        assert_eq!(parts[0].dims(), &[2, 2]);
+        let refs: Vec<&Tensor> = parts.iter().collect();
+        assert_eq!(Tensor::concat(&refs, 1), t);
+    }
+
+    #[test]
+    fn narrow_middle_axis() {
+        let t = Tensor::arange(24).reshape(&[2, 3, 4]);
+        let n = t.narrow(1, 1, 2);
+        assert_eq!(n.dims(), &[2, 2, 4]);
+        assert_eq!(n.at(&[0, 0, 0]), t.at(&[0, 1, 0]));
+        assert_eq!(n.at(&[1, 1, 3]), t.at(&[1, 2, 3]));
+    }
+
+    #[test]
+    fn narrow_assign_is_inverse_of_narrow() {
+        let t = Tensor::arange(12).reshape(&[3, 4]);
+        let mut z = Tensor::zeros([3, 4]);
+        z.narrow_assign(0, 1, &t.narrow(0, 1, 1));
+        assert_eq!(z.at(&[1, 2]), t.at(&[1, 2]));
+        assert_eq!(z.at(&[0, 0]), 0.0);
+    }
+
+    #[test]
+    fn index_select_rows() {
+        let t = Tensor::arange(6).reshape(&[3, 2]);
+        let s = t.index_select(0, &[2, 0]);
+        assert_eq!(s.to_vec(), vec![4.0, 5.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn repeat_interleave_vs_tile() {
+        let t = Tensor::from_vec(vec![1.0, 2.0], [2]);
+        assert_eq!(t.repeat_interleave(3, 0).to_vec(), vec![1.0, 1.0, 1.0, 2.0, 2.0, 2.0]);
+        assert_eq!(t.tile(3, 0).to_vec(), vec![1.0, 2.0, 1.0, 2.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn pad_unpad_round_trip() {
+        let t = Tensor::arange(4).reshape(&[1, 1, 2, 2]);
+        let p = t.pad2d(1, 2);
+        assert_eq!(p.dims(), &[1, 1, 4, 6]);
+        assert_eq!(p.at(&[0, 0, 0, 0]), 0.0);
+        assert_eq!(p.at(&[0, 0, 1, 2]), t.at(&[0, 0, 0, 0]));
+        assert_eq!(p.unpad2d(1, 2), t);
+    }
+}

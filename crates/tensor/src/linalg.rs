@@ -1,0 +1,267 @@
+//! Dense linear algebra: `matmul`, batched `bmm`, and `baddbmm`.
+//!
+//! `baddbmm` is load-bearing for HFTA: the horizontal fusion of `B` linear
+//! layers `y_b = x_b W_b + bias_b` is exactly one
+//! `baddbmm(bias[B,1,F_y], x[B,N,F_x], w[B,F_x,F_y])` (Table 6 of the paper).
+
+use crate::tensor::Tensor;
+
+/// `out[m,n] += a[m,k] * b[k,n]` over raw slices, ikj loop order for
+/// cache-friendly row-major access.
+fn gemm_accumulate(out: &mut [f32], a: &[f32], b: &[f32], m: usize, k: usize, n: usize) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(out.len(), m * n);
+    for i in 0..m {
+        let arow = &a[i * k..(i + 1) * k];
+        let orow = &mut out[i * n..(i + 1) * n];
+        for (p, &av) in arow.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let brow = &b[p * n..(p + 1) * n];
+            for (ov, &bv) in orow.iter_mut().zip(brow) {
+                *ov += av * bv;
+            }
+        }
+    }
+}
+
+impl Tensor {
+    /// 2-D matrix multiplication: `[m, k] x [k, n] -> [m, n]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless both tensors are 2-D with matching inner dimensions.
+    pub fn matmul(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.rank(), 2, "matmul lhs must be 2-D");
+        assert_eq!(other.rank(), 2, "matmul rhs must be 2-D");
+        let (m, k) = (self.dim(0), self.dim(1));
+        let (k2, n) = (other.dim(0), other.dim(1));
+        assert_eq!(
+            k, k2,
+            "matmul inner dims mismatch: [{m}, {k}] x [{k2}, {n}]"
+        );
+        let mut out = vec![0.0f32; m * n];
+        gemm_accumulate(&mut out, self.as_slice(), other.as_slice(), m, k, n);
+        Tensor::from_vec(out, [m, n])
+    }
+
+    /// Batched matrix multiplication: `[B, m, k] x [B, k, n] -> [B, m, n]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless both tensors are 3-D with matching batch and inner
+    /// dimensions.
+    pub fn bmm(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.rank(), 3, "bmm lhs must be 3-D");
+        assert_eq!(other.rank(), 3, "bmm rhs must be 3-D");
+        let (b, m, k) = (self.dim(0), self.dim(1), self.dim(2));
+        let (b2, k2, n) = (other.dim(0), other.dim(1), other.dim(2));
+        assert_eq!(b, b2, "bmm batch dims mismatch: {b} vs {b2}");
+        assert_eq!(k, k2, "bmm inner dims mismatch: {k} vs {k2}");
+        let mut out = vec![0.0f32; b * m * n];
+        let da = self.as_slice();
+        let db = other.as_slice();
+        for i in 0..b {
+            gemm_accumulate(
+                &mut out[i * m * n..(i + 1) * m * n],
+                &da[i * m * k..(i + 1) * m * k],
+                &db[i * k * n..(i + 1) * k * n],
+                m,
+                k,
+                n,
+            );
+        }
+        Tensor::from_vec(out, [b, m, n])
+    }
+
+    /// Batched `beta * bias + alpha * (self @ other)` with a broadcastable
+    /// bias (`torch.baddbmm` semantics with `beta = alpha = 1`).
+    ///
+    /// `bias` must broadcast to `[B, m, n]` (typically `[B, 1, n]`).
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatches.
+    pub fn baddbmm(&self, other: &Tensor, bias: &Tensor) -> Tensor {
+        let prod = self.bmm(other);
+        bias.add(&prod)
+    }
+
+    /// `self @ other` where `other` is transposed on its last two axes:
+    /// `[B, m, k] x [B, n, k] -> [B, m, n]`. Avoids materializing the
+    /// transpose in backward passes.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless both tensors are 3-D with matching dims.
+    pub fn bmm_nt(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.rank(), 3, "bmm_nt lhs must be 3-D");
+        assert_eq!(other.rank(), 3, "bmm_nt rhs must be 3-D");
+        let (b, m, k) = (self.dim(0), self.dim(1), self.dim(2));
+        let (b2, n, k2) = (other.dim(0), other.dim(1), other.dim(2));
+        assert_eq!(b, b2, "bmm_nt batch dims mismatch");
+        assert_eq!(k, k2, "bmm_nt inner dims mismatch");
+        let da = self.as_slice();
+        let db = other.as_slice();
+        let mut out = vec![0.0f32; b * m * n];
+        for i in 0..b {
+            let ab = &da[i * m * k..(i + 1) * m * k];
+            let bb = &db[i * n * k..(i + 1) * n * k];
+            let ob = &mut out[i * m * n..(i + 1) * m * n];
+            for r in 0..m {
+                let arow = &ab[r * k..(r + 1) * k];
+                for c in 0..n {
+                    let brow = &bb[c * k..(c + 1) * k];
+                    let mut acc = 0.0f32;
+                    for p in 0..k {
+                        acc += arow[p] * brow[p];
+                    }
+                    ob[r * n + c] = acc;
+                }
+            }
+        }
+        Tensor::from_vec(out, [b, m, n])
+    }
+
+    /// `self^T @ other` batched: `[B, k, m] x [B, k, n] -> [B, m, n]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless both tensors are 3-D with matching dims.
+    pub fn bmm_tn(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.rank(), 3, "bmm_tn lhs must be 3-D");
+        assert_eq!(other.rank(), 3, "bmm_tn rhs must be 3-D");
+        let (b, k, m) = (self.dim(0), self.dim(1), self.dim(2));
+        let (b2, k2, n) = (other.dim(0), other.dim(1), other.dim(2));
+        assert_eq!(b, b2, "bmm_tn batch dims mismatch");
+        assert_eq!(k, k2, "bmm_tn inner dims mismatch");
+        let da = self.as_slice();
+        let db = other.as_slice();
+        let mut out = vec![0.0f32; b * m * n];
+        for i in 0..b {
+            let ab = &da[i * k * m..(i + 1) * k * m];
+            let bb = &db[i * k * n..(i + 1) * k * n];
+            let ob = &mut out[i * m * n..(i + 1) * m * n];
+            // out[r, c] = sum_p a[p, r] * b[p, c] — walk p outermost so both
+            // reads stay sequential.
+            for p in 0..k {
+                let arow = &ab[p * m..(p + 1) * m];
+                let brow = &bb[p * n..(p + 1) * n];
+                for (r, &av) in arow.iter().enumerate() {
+                    if av == 0.0 {
+                        continue;
+                    }
+                    let orow = &mut ob[r * n..(r + 1) * n];
+                    for (ov, &bv) in orow.iter_mut().zip(brow) {
+                        *ov += av * bv;
+                    }
+                }
+            }
+        }
+        Tensor::from_vec(out, [b, m, n])
+    }
+
+    /// Dot product of two 1-D tensors.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless both are 1-D with equal length.
+    pub fn dot(&self, other: &Tensor) -> f32 {
+        assert_eq!(self.rank(), 1, "dot lhs must be 1-D");
+        assert_eq!(other.rank(), 1, "dot rhs must be 1-D");
+        assert_eq!(self.numel(), other.numel(), "dot length mismatch");
+        self.as_slice()
+            .iter()
+            .zip(other.as_slice())
+            .map(|(a, b)| a * b)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_small() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], [2, 2]);
+        let b = Tensor::from_vec(vec![5.0, 6.0, 7.0, 8.0], [2, 2]);
+        assert_eq!(a.matmul(&b).to_vec(), vec![19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let a = Tensor::arange(6).reshape(&[2, 3]);
+        assert_eq!(a.matmul(&Tensor::eye(3)), a);
+        assert_eq!(Tensor::eye(2).matmul(&a), a);
+    }
+
+    #[test]
+    fn matmul_rectangular() {
+        let a = Tensor::arange(6).reshape(&[3, 2]); // [[0,1],[2,3],[4,5]]
+        let b = Tensor::arange(2).reshape(&[2, 1]); // [[0],[1]]
+        assert_eq!(a.matmul(&b).to_vec(), vec![1.0, 3.0, 5.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dims mismatch")]
+    fn matmul_dim_check() {
+        let _ = Tensor::zeros([2, 3]).matmul(&Tensor::zeros([2, 3]));
+    }
+
+    #[test]
+    fn bmm_matches_per_batch_matmul() {
+        let a = Tensor::arange(12).reshape(&[2, 2, 3]);
+        let b = Tensor::arange(18).reshape(&[2, 3, 3]);
+        let c = a.bmm(&b);
+        for i in 0..2 {
+            let ai = a.narrow(0, i, 1).reshape(&[2, 3]);
+            let bi = b.narrow(0, i, 1).reshape(&[3, 3]);
+            let ci = c.narrow(0, i, 1).reshape(&[2, 3]);
+            assert_eq!(ai.matmul(&bi), ci);
+        }
+    }
+
+    #[test]
+    fn baddbmm_broadcasts_bias() {
+        let x = Tensor::ones([2, 3, 4]);
+        let w = Tensor::ones([2, 4, 5]);
+        let bias = Tensor::from_vec(
+            (0..10).map(|i| i as f32).collect(),
+            [2, 1, 5],
+        );
+        let y = x.baddbmm(&w, &bias);
+        assert_eq!(y.dims(), &[2, 3, 5]);
+        // Each product element is 4 (sum of ones over k=4) plus the bias.
+        assert_eq!(y.at(&[0, 0, 0]), 4.0);
+        assert_eq!(y.at(&[0, 2, 3]), 7.0);
+        assert_eq!(y.at(&[1, 1, 4]), 13.0);
+    }
+
+    #[test]
+    fn bmm_nt_equals_bmm_of_transpose() {
+        let a = Tensor::arange(12).reshape(&[2, 2, 3]);
+        let b = Tensor::arange(24).reshape(&[2, 4, 3]);
+        let direct = a.bmm_nt(&b);
+        let via_transpose = a.bmm(&b.transpose(1, 2));
+        assert!(direct.allclose(&via_transpose, 1e-6));
+    }
+
+    #[test]
+    fn bmm_tn_equals_transpose_bmm() {
+        let a = Tensor::arange(12).reshape(&[2, 3, 2]);
+        let b = Tensor::arange(18).reshape(&[2, 3, 3]);
+        let direct = a.bmm_tn(&b);
+        let via_transpose = a.transpose(1, 2).bmm(&b);
+        assert!(direct.allclose(&via_transpose, 1e-6));
+    }
+
+    #[test]
+    fn dot_product() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0], [3]);
+        let b = Tensor::from_vec(vec![4.0, 5.0, 6.0], [3]);
+        assert_eq!(a.dot(&b), 32.0);
+    }
+}

@@ -1,0 +1,290 @@
+//! Batch normalization forward/backward kernels.
+//!
+//! Normalizes over all axes except the channel axis (axis 1), covering the
+//! `BatchNorm1d` (`[N, C]` / `[N, C, L]`) and `BatchNorm2d` (`[N, C, H, W]`)
+//! cases. The HFTA fusion of `B` batch-norms simply widens the channel axis
+//! to `B * C` — these kernels are oblivious to the fusion.
+
+use crate::tensor::Tensor;
+
+/// Saved context from a batch-norm forward pass, consumed by
+/// [`batch_norm_backward`].
+#[derive(Debug, Clone)]
+pub struct BatchNormOutput {
+    /// Normalized, scaled and shifted output (same shape as the input).
+    pub output: Tensor,
+    /// The normalized activations `(x - mean) / sqrt(var + eps)`.
+    pub xhat: Tensor,
+    /// Per-channel `1 / sqrt(var + eps)`.
+    pub inv_std: Vec<f32>,
+    /// Per-channel batch mean (biased).
+    pub mean: Vec<f32>,
+    /// Per-channel batch variance (biased).
+    pub var: Vec<f32>,
+}
+
+fn check_bn_input(x: &Tensor) -> (usize, usize, usize) {
+    assert!(
+        (2..=4).contains(&x.rank()),
+        "batch_norm input must be [N, C], [N, C, L] or [N, C, H, W]"
+    );
+    let n = x.dim(0);
+    let c = x.dim(1);
+    let spatial: usize = x.dims()[2..].iter().product();
+    assert!(n * spatial > 0, "batch_norm over empty batch");
+    (n, c, spatial)
+}
+
+/// Per-channel sums of `f(value, aux_value)` over batch and spatial axes.
+fn per_channel_sum(x: &[f32], aux: &[f32], n: usize, c: usize, spatial: usize, f: impl Fn(f32, f32) -> f32) -> Vec<f32> {
+    let mut out = vec![0.0f32; c];
+    for ni in 0..n {
+        #[allow(clippy::needless_range_loop)]
+        for ci in 0..c {
+            let base = (ni * c + ci) * spatial;
+            let mut acc = 0.0f32;
+            for i in 0..spatial {
+                acc += f(x[base + i], aux[base + i]);
+            }
+            out[ci] += acc;
+        }
+    }
+    out
+}
+
+/// Batch normalization in **training** mode.
+///
+/// `gamma`/`beta` are per-channel scale and shift (`[C]`). Returns the
+/// output plus the statistics needed for [`batch_norm_backward`] and for
+/// running-average updates (which the caller owns).
+///
+/// # Panics
+///
+/// Panics on rank/shape inconsistencies.
+pub fn batch_norm_train(x: &Tensor, gamma: &Tensor, beta: &Tensor, eps: f32) -> BatchNormOutput {
+    let (n, c, spatial) = check_bn_input(x);
+    assert_eq!(gamma.dims(), &[c], "gamma must be [C]");
+    assert_eq!(beta.dims(), &[c], "beta must be [C]");
+    let count = (n * spatial) as f32;
+    let xd = x.as_slice();
+    let sums = per_channel_sum(xd, xd, n, c, spatial, |v, _| v);
+    let mean: Vec<f32> = sums.iter().map(|s| s / count).collect();
+    let sq_sums = per_channel_sum(xd, xd, n, c, spatial, |v, _| v * v);
+    let var: Vec<f32> = sq_sums
+        .iter()
+        .zip(&mean)
+        .map(|(s, m)| (s / count - m * m).max(0.0))
+        .collect();
+    let inv_std: Vec<f32> = var.iter().map(|v| 1.0 / (v + eps).sqrt()).collect();
+    let g = gamma.as_slice();
+    let bt = beta.as_slice();
+    let mut xhat = vec![0.0f32; xd.len()];
+    let mut out = vec![0.0f32; xd.len()];
+    for ni in 0..n {
+        for ci in 0..c {
+            let base = (ni * c + ci) * spatial;
+            let (m, is, gv, bv) = (mean[ci], inv_std[ci], g[ci], bt[ci]);
+            for i in 0..spatial {
+                let h = (xd[base + i] - m) * is;
+                xhat[base + i] = h;
+                out[base + i] = gv * h + bv;
+            }
+        }
+    }
+    BatchNormOutput {
+        output: Tensor::from_vec(out, x.dims().to_vec()),
+        xhat: Tensor::from_vec(xhat, x.dims().to_vec()),
+        inv_std,
+        mean,
+        var,
+    }
+}
+
+/// Batch normalization in **evaluation** mode, using provided running
+/// statistics.
+///
+/// # Panics
+///
+/// Panics on rank/shape inconsistencies.
+pub fn batch_norm_eval(
+    x: &Tensor,
+    gamma: &Tensor,
+    beta: &Tensor,
+    running_mean: &[f32],
+    running_var: &[f32],
+    eps: f32,
+) -> Tensor {
+    let (n, c, spatial) = check_bn_input(x);
+    assert_eq!(running_mean.len(), c, "running mean must be [C]");
+    assert_eq!(running_var.len(), c, "running var must be [C]");
+    let xd = x.as_slice();
+    let g = gamma.as_slice();
+    let bt = beta.as_slice();
+    let mut out = vec![0.0f32; xd.len()];
+    for ni in 0..n {
+        for ci in 0..c {
+            let base = (ni * c + ci) * spatial;
+            let is = 1.0 / (running_var[ci] + eps).sqrt();
+            for i in 0..spatial {
+                out[base + i] = g[ci] * (xd[base + i] - running_mean[ci]) * is + bt[ci];
+            }
+        }
+    }
+    Tensor::from_vec(out, x.dims().to_vec())
+}
+
+/// Gradients of [`batch_norm_train`]: `(grad_input, grad_gamma, grad_beta)`.
+///
+/// # Panics
+///
+/// Panics on rank/shape inconsistencies.
+pub fn batch_norm_backward(
+    gy: &Tensor,
+    ctx: &BatchNormOutput,
+    gamma: &Tensor,
+) -> (Tensor, Tensor, Tensor) {
+    let (n, c, spatial) = check_bn_input(gy);
+    let count = (n * spatial) as f32;
+    let gyd = gy.as_slice();
+    let xh = ctx.xhat.as_slice();
+    let g = gamma.as_slice();
+    let sum_gy = per_channel_sum(gyd, xh, n, c, spatial, |a, _| a);
+    let sum_gy_xhat = per_channel_sum(gyd, xh, n, c, spatial, |a, b| a * b);
+    let mut gx = vec![0.0f32; gyd.len()];
+    for ni in 0..n {
+        for ci in 0..c {
+            let base = (ni * c + ci) * spatial;
+            let scale = g[ci] * ctx.inv_std[ci];
+            let mg = sum_gy[ci] / count;
+            let mgx = sum_gy_xhat[ci] / count;
+            for i in 0..spatial {
+                gx[base + i] = scale * (gyd[base + i] - mg - xh[base + i] * mgx);
+            }
+        }
+    }
+    (
+        Tensor::from_vec(gx, gy.dims().to_vec()),
+        Tensor::from_vec(sum_gy_xhat, [c]),
+        Tensor::from_vec(sum_gy, [c]),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalizes_to_zero_mean_unit_var() {
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0], [4, 2]);
+        let r = batch_norm_train(&x, &Tensor::ones([2]), &Tensor::zeros([2]), 1e-5);
+        // Per-channel mean ~ 0.
+        let m0 = r.output.narrow(1, 0, 1).mean().item();
+        assert!(m0.abs() < 1e-6);
+        // Per-channel var ~ 1.
+        let v = r.output.narrow(1, 0, 1).square().mean().item();
+        assert!((v - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn gamma_beta_apply_affine() {
+        let x = Tensor::from_vec(vec![0.0, 10.0, 2.0, 10.0], [2, 2]);
+        let gamma = Tensor::from_vec(vec![3.0, 1.0], [2]);
+        let beta = Tensor::from_vec(vec![1.0, -1.0], [2]);
+        let r = batch_norm_train(&x, &gamma, &beta, 1e-5);
+        // Channel 0: values 0, 2 → xhat ±1 → out 1 ∓ 3.
+        assert!((r.output.at(&[0, 0]) - (1.0 - 3.0)).abs() < 1e-3);
+        assert!((r.output.at(&[1, 0]) - (1.0 + 3.0)).abs() < 1e-3);
+        // Channel 1 is constant → xhat 0 → out = beta.
+        assert!((r.output.at(&[0, 1]) + 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn eval_uses_running_stats() {
+        let x = Tensor::from_vec(vec![2.0, 4.0], [1, 2]);
+        let y = batch_norm_eval(
+            &x,
+            &Tensor::ones([2]),
+            &Tensor::zeros([2]),
+            &[0.0, 0.0],
+            &[1.0, 4.0],
+            0.0,
+        );
+        assert!((y.at(&[0, 0]) - 2.0).abs() < 1e-6);
+        assert!((y.at(&[0, 1]) - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn backward_grads_sum_to_zero_for_input() {
+        // BN output is invariant to constant input shifts, so grad_input
+        // must sum to ~0 per channel for any upstream gradient.
+        let x = Tensor::from_vec(
+            (0..24).map(|i| (i as f32 * 0.7).sin()).collect::<Vec<_>>(),
+            [2, 3, 4],
+        );
+        let gamma = Tensor::from_vec(vec![1.0, 2.0, 0.5], [3]);
+        let r = batch_norm_train(&x, &gamma, &Tensor::zeros([3]), 1e-5);
+        let gy = Tensor::from_vec(
+            (0..24).map(|i| (i as f32 * 0.3).cos()).collect::<Vec<_>>(),
+            [2, 3, 4],
+        );
+        let (gx, ggamma, gbeta) = batch_norm_backward(&gy, &r, &gamma);
+        for ci in 0..3 {
+            let s = gx.narrow(1, ci, 1).sum().item();
+            assert!(s.abs() < 1e-4, "channel {ci} grad sum {s}");
+        }
+        assert_eq!(ggamma.dims(), &[3]);
+        assert_eq!(gbeta.dims(), &[3]);
+        // grad_beta is the plain per-channel sum of gy.
+        let expect_b = gy.sum_axis(2, false).sum_axis(0, false);
+        assert!(gbeta.allclose(&expect_b, 1e-5));
+    }
+
+    #[test]
+    fn numeric_gradient_check_input() {
+        // Central differences on a scalar loss sum(bn(x) * w).
+        let x = Tensor::from_vec(vec![0.3, -0.7, 1.2, 0.1, -0.4, 0.9], [3, 2]);
+        let gamma = Tensor::from_vec(vec![1.5, 0.8], [2]);
+        let beta = Tensor::from_vec(vec![0.1, -0.2], [2]);
+        let wts = Tensor::from_vec(vec![0.2, -0.5, 0.7, 0.4, -0.1, 0.3], [3, 2]);
+        let loss = |x: &Tensor| -> f32 {
+            batch_norm_train(x, &gamma, &beta, 1e-5)
+                .output
+                .mul(&wts)
+                .sum()
+                .item()
+        };
+        let r = batch_norm_train(&x, &gamma, &beta, 1e-5);
+        let (gx, _, _) = batch_norm_backward(&wts, &r, &gamma);
+        let eps = 1e-3;
+        for i in 0..x.numel() {
+            let mut xp = x.clone();
+            xp.as_mut_slice()[i] += eps;
+            let mut xm = x.clone();
+            xm.as_mut_slice()[i] -= eps;
+            let num = (loss(&xp) - loss(&xm)) / (2.0 * eps);
+            let ana = gx.as_slice()[i];
+            assert!(
+                (num - ana).abs() < 2e-2,
+                "element {i}: numeric {num} vs analytic {ana}"
+            );
+        }
+    }
+
+    #[test]
+    fn fused_widened_channel_equals_per_model() {
+        // HFTA identity: BN over [N, B*C, ...] with stacked gamma/beta equals
+        // per-model BNs (per-channel statistics are independent).
+        let x0 = Tensor::from_vec((0..8).map(|i| i as f32).collect::<Vec<_>>(), [2, 2, 2]);
+        let x1 = Tensor::from_vec((0..8).map(|i| (i * i) as f32 * 0.1).collect::<Vec<_>>(), [2, 2, 2]);
+        let g = Tensor::from_vec(vec![1.0, 2.0], [2]);
+        let b = Tensor::from_vec(vec![0.5, -0.5], [2]);
+        let y0 = batch_norm_train(&x0, &g, &b, 1e-5).output;
+        let y1 = batch_norm_train(&x1, &g, &b, 1e-5).output;
+        let xf = Tensor::concat(&[&x0, &x1], 1);
+        let gf = Tensor::concat(&[&g, &g], 0);
+        let bf = Tensor::concat(&[&b, &b], 0);
+        let yf = batch_norm_train(&xf, &gf, &bf, 1e-5).output;
+        let expect = Tensor::concat(&[&y0, &y1], 1);
+        assert!(yf.allclose(&expect, 1e-5));
+    }
+}

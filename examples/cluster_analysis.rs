@@ -1,0 +1,35 @@
+//! Reproduces the paper's motivation study on a synthetic cluster trace:
+//! generates two months of jobs, runs the Appendix-A classifier, and
+//! prints the Table-1 GPU-hour breakdown plus Figure-10 samples.
+//!
+//! Run with: `cargo run --release --example cluster_analysis`
+
+use hfta_cluster::{classify, trace};
+
+fn main() {
+    let cfg = trace::TraceCfg::default();
+    println!("generating {} jobs over {} days...", cfg.jobs, cfg.days);
+    let jobs = trace::generate(&cfg, 2020);
+    let cats = classify::classify(&jobs, &classify::ClassifyCfg::default());
+    let b = classify::Breakdown::from_assignments(&jobs, &cats);
+
+    println!("\nGPU-hour breakdown (paper Table 1 in parentheses):");
+    for ((name, hours, pct), paper) in b.rows().iter().zip([46.2, 3.5, 24.0, 26.3]) {
+        println!("  {name:<22} {hours:>9.0} GPU-h  {pct:>5.1}%  ({paper}%)");
+    }
+    println!(
+        "\nclassifier accuracy vs planted ground truth: {:.1}%",
+        classify::accuracy(&jobs, &cats) * 100.0
+    );
+
+    println!("\nFigure 10 — sampled repetitive jobs (low utilization):");
+    for (i, s) in classify::sample_utilization(&jobs, &cats, 13).iter().enumerate() {
+        println!(
+            "  job {:>2}: sm_active {:>5.1}%  sm_occupancy {:>5.1}%",
+            i + 1,
+            s.sm_active * 100.0,
+            s.sm_occupancy * 100.0
+        );
+    }
+    println!("\nThe dominant, worst-utilized category is exactly what HFTA fuses.");
+}

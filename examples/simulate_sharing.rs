@@ -1,0 +1,51 @@
+//! Compares GPU sharing strategies on the simulated A100 for the paper's
+//! three benchmarks: serial, concurrent, MPS, MIG and HFTA.
+//!
+//! Run with: `cargo run --release --example simulate_sharing`
+
+use hfta_models::Workload;
+use hfta_sim::{DeviceSpec, GpuSim, SharingPolicy};
+
+fn main() {
+    let device = DeviceSpec::a100();
+    println!("device: {} ({} SMs, {} GiB)\n", device.name, device.sm_count, device.hbm_gib);
+    for workload in Workload::paper_benchmarks() {
+        let amp = true;
+        let sim = GpuSim::new(device.clone(), amp);
+        let serial = sim.simulate(SharingPolicy::Serial, &workload.serial_job(), 1);
+        println!("## {} (AMP, normalized by serial = {:.0} examples/s)", workload.name, serial.throughput_eps);
+        for policy in [
+            SharingPolicy::Serial,
+            SharingPolicy::Concurrent,
+            SharingPolicy::Mps,
+            SharingPolicy::Mig,
+            SharingPolicy::Hfta,
+        ] {
+            // Find the best model count for this policy.
+            let mut best: Option<(usize, f64, f64)> = None;
+            let limit = if policy == SharingPolicy::Mig { 7 } else { 32 };
+            for j in 1..=limit {
+                let r = match policy {
+                    SharingPolicy::Hfta => sim.simulate(policy, &workload.fused_job(j), 1),
+                    SharingPolicy::Serial if j > 1 => break,
+                    _ => sim.simulate(policy, &workload.serial_job(), j),
+                };
+                if !r.fits {
+                    break;
+                }
+                let norm = r.throughput_eps / serial.throughput_eps;
+                if best.is_none_or(|(_, b, _)| norm > b) {
+                    best = Some((r.models, norm, r.counters.sm_active));
+                }
+            }
+            if let Some((models, norm, active)) = best {
+                println!(
+                    "  {:<11} peak {norm:>5.2}x at {models:>2} models (sm_active {:.0}%)",
+                    policy.name(),
+                    active * 100.0
+                );
+            }
+        }
+        println!();
+    }
+}

@@ -1,0 +1,27 @@
+//! Umbrella crate for the HFTA reproduction workspace.
+//!
+//! This crate only hosts the workspace-level examples (`examples/`) and
+//! integration tests (`tests/`). The library surface lives in the member
+//! crates; the most interesting entry point is [`hfta_core`].
+//!
+//! # Example
+//!
+//! ```
+//! use hfta_repro::prelude::*;
+//! let spec = DeviceSpec::v100();
+//! assert_eq!(spec.sm_count, 80);
+//! ```
+
+pub use hfta_cluster as cluster;
+pub use hfta_core as core;
+pub use hfta_data as data;
+pub use hfta_models as models;
+pub use hfta_nn as nn;
+pub use hfta_sim as sim;
+pub use hfta_tensor as tensor;
+
+/// Commonly used items across the workspace, re-exported for examples.
+pub mod prelude {
+    pub use hfta_sim::device::DeviceSpec;
+    pub use hfta_tensor::Tensor;
+}

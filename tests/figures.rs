@@ -1,0 +1,170 @@
+//! Integration tests over the figure/table pipelines: every experiment
+//! harness must produce curves with the paper's qualitative shape.
+
+use hfta_bench::sweep::{gpu_panel, linear_regression, tpu_curve};
+use hfta_cluster::{classify, trace};
+use hfta_models::Workload;
+use hfta_sim::{DeviceSpec, GpuSim, SharingPolicy};
+
+#[test]
+fn fig4_shapes_hold_on_every_panel() {
+    for device in DeviceSpec::evaluation_gpus() {
+        for workload in Workload::paper_benchmarks() {
+            let panel = gpu_panel(&device, &workload);
+            let tag = format!("{}/{}", panel.device, panel.workload);
+            // HFTA peak beats every baseline's peak.
+            for base in [
+                SharingPolicy::Serial,
+                SharingPolicy::Concurrent,
+                SharingPolicy::Mps,
+            ] {
+                assert!(
+                    panel.peak_speedup_over(base) > 1.0,
+                    "{tag}: HFTA did not beat {}",
+                    base.name()
+                );
+            }
+            // HFTA curves are monotone non-decreasing up to their peak
+            // then plateau (never collapse below 70% of peak).
+            for amp in [false, true] {
+                let hfta = panel.curve(SharingPolicy::Hfta, amp).unwrap();
+                let peak = hfta.peak();
+                let last = hfta.points.last().unwrap().normalized;
+                assert!(last > 0.7 * peak, "{tag}: HFTA collapsed {last} < {peak}");
+            }
+            // HFTA fits at least as many models as MPS (paper: 1.5-7.6x).
+            let hfta_max = panel.curve(SharingPolicy::Hfta, false).unwrap().max_models();
+            let mps_max = panel.curve(SharingPolicy::Mps, false).unwrap().max_models();
+            assert!(hfta_max >= mps_max, "{tag}: {hfta_max} vs {mps_max}");
+        }
+    }
+}
+
+#[test]
+fn fig4_mig_panel_exists_only_on_a100() {
+    let a100 = gpu_panel(&DeviceSpec::a100(), &Workload::pointnet_cls());
+    assert!(a100.curve(SharingPolicy::Mig, false).is_some());
+    let v100 = gpu_panel(&DeviceSpec::v100(), &Workload::pointnet_cls());
+    assert!(v100.curve(SharingPolicy::Mig, false).is_none());
+}
+
+#[test]
+fn fig5_resnet_benefits_from_fusion() {
+    let panel = gpu_panel(&DeviceSpec::v100(), &Workload::resnet18());
+    let s = panel.peak_speedup_over(SharingPolicy::Serial);
+    assert!(s > 1.5, "ResNet HFTA speedup only {s}");
+}
+
+#[test]
+fn fig6_tpu_ordering_matches_paper() {
+    // DCGAN >> PointNet-cls >> PointNet-seg (paper: 15.13 / 4.93 / 1.20).
+    let peak = |w: &Workload| {
+        tpu_curve(w)
+            .iter()
+            .map(|p| p.normalized)
+            .fold(0.0f64, f64::max)
+    };
+    let dcgan = peak(&Workload::dcgan());
+    let cls = peak(&Workload::pointnet_cls());
+    let seg = peak(&Workload::pointnet_seg());
+    assert!(dcgan > cls, "dcgan {dcgan} vs cls {cls}");
+    assert!(cls > seg, "cls {cls} vs seg {seg}");
+    assert!(seg >= 1.0, "seg {seg} must not regress");
+}
+
+#[test]
+fn fig7_memory_regressions_recover_framework_overhead() {
+    let w = Workload::pointnet_cls();
+    for amp in [false, true] {
+        let sim = GpuSim::new(DeviceSpec::v100(), amp);
+        let mut hfta_pts = Vec::new();
+        let mut mps_pts = Vec::new();
+        for j in 1..=6 {
+            let h = sim.simulate(SharingPolicy::Hfta, &w.fused_job(j), 1);
+            if h.fits {
+                hfta_pts.push((j as f64, h.memory_gib));
+            }
+            let m = sim.simulate(SharingPolicy::Mps, &w.serial_job(), j);
+            if m.fits {
+                mps_pts.push((j as f64, m.memory_gib));
+            }
+        }
+        let (h_slope, h_int) = linear_regression(&hfta_pts);
+        let (m_slope, m_int) = linear_regression(&mps_pts);
+        let expected = DeviceSpec::v100().framework_overhead_gib(amp);
+        // HFTA intercept ~ framework overhead (+ shared workspace).
+        assert!(
+            (h_int - expected).abs() < 0.5,
+            "amp={amp}: intercept {h_int} vs overhead {expected}"
+        );
+        // MPS line passes ~through the origin with a steeper slope.
+        assert!(m_int.abs() < 0.2, "amp={amp}: MPS intercept {m_int}");
+        assert!(m_slope > h_slope, "amp={amp}: slopes {m_slope} vs {h_slope}");
+    }
+}
+
+#[test]
+fn fig8_counters_scale_for_hfta_only() {
+    let panel = gpu_panel(&DeviceSpec::a100(), &Workload::pointnet_cls());
+    let hfta = panel.curve(SharingPolicy::Hfta, true).unwrap();
+    let first = hfta.points.first().unwrap().result.counters.sm_active;
+    let last = hfta.points.last().unwrap().result.counters.sm_active;
+    assert!(last > 3.0 * first, "HFTA sm_active must scale: {first} -> {last}");
+    // Serial utilization is low (paper: ~0.1).
+    let serial = panel.curve(SharingPolicy::Serial, true).unwrap().points[0]
+        .result
+        .counters
+        .sm_active;
+    assert!(serial < 0.25, "serial sm_active {serial}");
+    // Concurrent stays at serial's level.
+    let conc = panel
+        .curve(SharingPolicy::Concurrent, true)
+        .unwrap()
+        .points
+        .last()
+        .unwrap()
+        .result
+        .counters
+        .sm_active;
+    assert!((conc - serial).abs() < 0.15, "concurrent {conc} vs serial {serial}");
+}
+
+#[test]
+fn fig12_serial_utilization_lower_on_newer_gpu() {
+    let w = Workload::pointnet_cls();
+    let active = |d: DeviceSpec| {
+        GpuSim::new(d, true)
+            .simulate(SharingPolicy::Serial, &w.serial_job(), 1)
+            .counters
+            .sm_active
+    };
+    assert!(active(DeviceSpec::a100()) < active(DeviceSpec::v100()));
+}
+
+#[test]
+fn table1_pipeline_end_to_end() {
+    let jobs = trace::generate(&trace::TraceCfg::small(), 99);
+    let cats = classify::classify(&jobs, &classify::ClassifyCfg::default());
+    let b = classify::Breakdown::from_assignments(&jobs, &cats);
+    assert!(b.share(trace::JobCategory::RepetitiveSingleGpu) > 30.0);
+    assert!(classify::accuracy(&jobs, &cats) > 0.85);
+}
+
+#[test]
+fn table10_amp_pattern_on_all_gpus() {
+    for device in DeviceSpec::evaluation_gpus() {
+        let panel = gpu_panel(&device, &Workload::pointnet_cls());
+        let serial = panel.amp_gain(SharingPolicy::Serial);
+        let hfta = panel.amp_gain(SharingPolicy::Hfta);
+        assert!(
+            serial < 1.5,
+            "{}: serial AMP gain {serial}",
+            device.name
+        );
+        assert!(
+            hfta > 1.5,
+            "{}: HFTA AMP gain {hfta} should engage tensor cores",
+            device.name
+        );
+    }
+}
