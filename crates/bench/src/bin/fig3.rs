@@ -4,18 +4,24 @@
 use hfta_bench::convergence::resnet_convergence;
 
 fn main() {
+    let trace = hfta_bench::telemetry_cli::TraceSession::from_args("fig3");
     let lrs = [0.1f32, 0.05, 0.01];
     let curves = resnet_convergence(&lrs, 20, 42);
     println!("# Figure 3 — serial vs HFTA loss curves (ResNet mini, synthetic CIFAR)");
-    println!("\niter  {}", lrs
-        .iter()
-        .map(|lr| format!("serial(lr={lr:<4})  hfta(lr={lr:<4})"))
-        .collect::<Vec<_>>()
-        .join("  "));
+    println!(
+        "\niter  {}",
+        lrs.iter()
+            .map(|lr| format!("serial(lr={lr:<4})  hfta(lr={lr:<4})"))
+            .collect::<Vec<_>>()
+            .join("  ")
+    );
     for t in 0..curves.serial[0].len() {
         let mut row = format!("{t:>4}");
         for m in 0..lrs.len() {
-            row += &format!("  {:>14.5}  {:>12.5}", curves.serial[m][t], curves.fused[m][t]);
+            row += &format!(
+                "  {:>14.5}  {:>12.5}",
+                curves.serial[m][t], curves.fused[m][t]
+            );
         }
         println!("{row}");
     }
@@ -23,4 +29,5 @@ fn main() {
         "\nmax |serial - hfta| divergence: {:.2e} (paper: curves overlap completely)",
         curves.max_divergence()
     );
+    trace.finish_or_exit();
 }

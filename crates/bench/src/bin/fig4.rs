@@ -7,6 +7,7 @@ use hfta_models::Workload;
 use hfta_sim::DeviceSpec;
 
 fn main() {
+    let trace = hfta_bench::telemetry_cli::TraceSession::from_args("fig4");
     println!("# Figure 4 — normalized throughput vs models per GPU");
     for device in DeviceSpec::evaluation_gpus() {
         for workload in Workload::paper_benchmarks() {
@@ -18,7 +19,9 @@ fn main() {
             for amp in [false, true] {
                 let precision = if amp { "AMP" } else { "FP32" };
                 for policy in policies_for(&device) {
-                    let Some(curve) = panel.curve(policy, amp) else { continue };
+                    let Some(curve) = panel.curve(policy, amp) else {
+                        continue;
+                    };
                     let series: Vec<String> = curve
                         .points
                         .iter()
@@ -29,4 +32,5 @@ fn main() {
             }
         }
     }
+    trace.finish_or_exit();
 }

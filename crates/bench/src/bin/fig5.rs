@@ -6,13 +6,19 @@ use hfta_models::Workload;
 use hfta_sim::{DeviceSpec, SharingPolicy};
 
 fn main() {
+    let trace = hfta_bench::telemetry_cli::TraceSession::from_args("fig5");
     let device = DeviceSpec::v100();
     let panel = gpu_panel(&device, &Workload::resnet18());
     println!("# Figure 5 — ResNet-18 (CIFAR-10, batch 1000) on V100");
-    println!("normalization: FP32 serial = {:.0} examples/s\n", panel.serial_fp32_eps);
+    println!(
+        "normalization: FP32 serial = {:.0} examples/s\n",
+        panel.serial_fp32_eps
+    );
     for amp in [false, true] {
         for policy in policies_for(&device) {
-            let Some(curve) = panel.curve(policy, amp) else { continue };
+            let Some(curve) = panel.curve(policy, amp) else {
+                continue;
+            };
             let series: Vec<String> = curve
                 .points
                 .iter()
@@ -27,7 +33,11 @@ fn main() {
         }
     }
     println!("\npeak speedups (best precision):");
-    for base in [SharingPolicy::Serial, SharingPolicy::Concurrent, SharingPolicy::Mps] {
+    for base in [
+        SharingPolicy::Serial,
+        SharingPolicy::Concurrent,
+        SharingPolicy::Mps,
+    ] {
         println!(
             "  HFTA / {:<11} = {:.2} (paper: {})",
             base.name(),
@@ -39,4 +49,5 @@ fn main() {
             }
         );
     }
+    trace.finish_or_exit();
 }

@@ -6,6 +6,7 @@ use hfta_bench::sweep::tpu_curve;
 use hfta_models::Workload;
 
 fn main() {
+    let trace = hfta_bench::telemetry_cli::TraceSession::from_args("fig6");
     println!("# Figure 6 — TPU v3 serial vs HFTA");
     for (workload, paper) in [
         (Workload::pointnet_cls(), "4.93"),
@@ -21,4 +22,5 @@ fn main() {
         println!("\n{}: {}", workload.name, series.join(" "));
         println!("  peak HFTA/serial = {peak:.2} (paper: {paper})");
     }
+    trace.finish_or_exit();
 }

@@ -8,6 +8,7 @@ use hfta_models::Workload;
 use hfta_sim::{DeviceSpec, GpuSim, SharingPolicy};
 
 fn main() {
+    let trace = hfta_bench::telemetry_cli::TraceSession::from_args("fig7");
     println!("# Figure 7 — memory footprint vs models (PointNet-cls, V100)");
     let w = Workload::pointnet_cls();
     for amp in [false, true] {
@@ -44,4 +45,5 @@ fn main() {
             );
         }
     }
+    trace.finish_or_exit();
 }

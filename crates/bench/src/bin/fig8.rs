@@ -7,6 +7,7 @@ use hfta_models::Workload;
 use hfta_sim::DeviceSpec;
 
 fn main() {
+    let trace = hfta_bench::telemetry_cli::TraceSession::from_args("fig8");
     println!("# Figure 8 — A100 counters vs models (PointNet-cls, AMP)");
     let device = DeviceSpec::a100();
     let panel = gpu_panel(&device, &Workload::pointnet_cls());
@@ -17,7 +18,9 @@ fn main() {
     ] {
         println!("\n## {title}");
         for policy in policies_for(&device) {
-            let Some(curve) = panel.curve(policy, true) else { continue };
+            let Some(curve) = panel.curve(policy, true) else {
+                continue;
+            };
             let series: Vec<String> = curve
                 .points
                 .iter()
@@ -34,4 +37,5 @@ fn main() {
             println!("{:<11} {}", policy.name(), series.join(" "));
         }
     }
+    trace.finish_or_exit();
 }

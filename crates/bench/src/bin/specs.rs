@@ -4,12 +4,17 @@ use hfta_bench::sweep::print_table;
 use hfta_sim::DeviceSpec;
 
 fn main() {
+    let trace = hfta_bench::telemetry_cli::TraceSession::from_args("specs");
     println!("# Tables 2-4 — accelerator specifications (simulator presets)");
     let tpu = DeviceSpec::tpu_v3();
     print_table(
         "Table 2 — Cloud TPU core",
         &["TPU", "MXUs", "Memory (HBM)"],
-        &[vec!["v3 (2018)".into(), tpu.sm_count.to_string(), format!("{} GB", tpu.hbm_gib)]],
+        &[vec![
+            "v3 (2018)".into(),
+            tpu.sm_count.to_string(),
+            format!("{} GB", tpu.hbm_gib),
+        ]],
     );
     let rows: Vec<Vec<String>> = DeviceSpec::evaluation_gpus()
         .iter()
@@ -19,7 +24,11 @@ fn main() {
                 d.sm_count.to_string(),
                 format!("{} GB", d.hbm_gib),
                 format!("{:.0} GB/s", d.hbm_bw_gibs),
-                if d.tensor_tflops > 200.0 { "TF32 & FP16".into() } else { "FP16".to_string() },
+                if d.tensor_tflops > 200.0 {
+                    "TF32 & FP16".into()
+                } else {
+                    "FP16".to_string()
+                },
             ]
         })
         .collect();
@@ -37,13 +46,23 @@ fn main() {
                 format!("{} GiB", d.hbm_gib),
                 format!("{:.1} FP32 TFLOPS", d.fp32_tflops),
                 format!("{:.1} tensor TFLOPS", d.tensor_tflops),
-                format!("{:.2} GiB fw overhead (FP32)", d.framework_overhead_fp32_gib),
+                format!(
+                    "{:.2} GiB fw overhead (FP32)",
+                    d.framework_overhead_fp32_gib
+                ),
             ]
         })
         .collect();
     print_table(
         "Table 4 — experiment platforms (cost-model view)",
-        &["Accelerator", "Dev. Mem.", "FP32 peak", "Tensor peak", "Framework overhead"],
+        &[
+            "Accelerator",
+            "Dev. Mem.",
+            "FP32 peak",
+            "Tensor peak",
+            "Framework overhead",
+        ],
         &rows4,
     );
+    trace.finish_or_exit();
 }

@@ -6,6 +6,7 @@ use hfta_bench::sweep::print_table;
 use hfta_cluster::{classify, trace};
 
 fn main() {
+    let trace = hfta_bench::telemetry_cli::TraceSession::from_args("table1");
     let cfg = trace::TraceCfg::default();
     let jobs = trace::generate(&cfg, 2020);
     let cats = classify::classify(&jobs, &classify::ClassifyCfg::default());
@@ -37,9 +38,13 @@ fn main() {
         &rows,
     );
     let acc = classify::accuracy(&jobs, &cats);
-    println!("\nclassifier accuracy vs planted ground truth: {:.1}%", acc * 100.0);
+    println!(
+        "\nclassifier accuracy vs planted ground truth: {:.1}%",
+        acc * 100.0
+    );
     println!("\nper-partition GPU hours (Appendix A inventory):");
     for (name, hours) in trace::partition_hours(&jobs, &cfg) {
         println!("  {name:<4} {hours:>9.0} GPU-h");
     }
+    trace.finish_or_exit();
 }

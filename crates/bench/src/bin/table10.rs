@@ -7,6 +7,7 @@ use hfta_models::Workload;
 use hfta_sim::{DeviceSpec, SharingPolicy};
 
 fn main() {
+    let trace = hfta_bench::telemetry_cli::TraceSession::from_args("table10");
     println!("# Table 10 — max AMP speedup over FP32");
     let mut rows = Vec::new();
     for device in DeviceSpec::evaluation_gpus() {
@@ -36,4 +37,5 @@ fn main() {
         &["GPU", "scheme", "PointNet-cls", "PointNet-seg", "DCGAN"],
         &rows,
     );
+    trace.finish_or_exit();
 }

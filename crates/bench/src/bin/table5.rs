@@ -20,6 +20,7 @@ const PAPER: [(&str, &str, [f64; 3]); 10] = [
 ];
 
 fn main() {
+    let trace = hfta_bench::telemetry_cli::TraceSession::from_args("table5");
     println!("# Table 5 — peak HFTA speedups over the baselines (best precision)");
     let mut rows = Vec::new();
     for device in DeviceSpec::evaluation_gpus() {
@@ -43,7 +44,11 @@ fn main() {
                 .unwrap_or([f64::NAN; 3]);
             let mut row = vec![device.name.clone(), base.name().to_string()];
             for (i, p) in panels.iter().enumerate() {
-                row.push(format!("{:.2} (paper {:.2})", p.peak_speedup_over(base), paper[i]));
+                row.push(format!(
+                    "{:.2} (paper {:.2})",
+                    p.peak_speedup_over(base),
+                    paper[i]
+                ));
             }
             rows.push(row);
         }
@@ -53,4 +58,5 @@ fn main() {
         &["GPU", "baseline", "PointNet-cls", "PointNet-seg", "DCGAN"],
         &rows,
     );
+    trace.finish_or_exit();
 }

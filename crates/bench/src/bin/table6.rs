@@ -4,6 +4,7 @@ use hfta_bench::sweep::print_table;
 use hfta_core::rules::rule_table;
 
 fn main() {
+    let trace = hfta_bench::telemetry_cli::TraceSession::from_args("table6");
     println!("# Table 6 — HFTA operator fusion rules");
     let rows: Vec<Vec<String>> = rule_table()
         .iter()
@@ -17,7 +18,12 @@ fn main() {
         .collect();
     print_table(
         "12 supported operators",
-        &["PyTorch operator", "HFTA horizontally fused operator", "mechanism"],
+        &[
+            "PyTorch operator",
+            "HFTA horizontally fused operator",
+            "mechanism",
+        ],
         &rows,
     );
+    trace.finish_or_exit();
 }

@@ -4,10 +4,16 @@ use hfta_bench::sweep::print_table;
 use hfta_sim::counters::dcgm;
 
 fn main() {
+    let trace = hfta_bench::telemetry_cli::TraceSession::from_args("table7");
     println!("# Table 7 — DCGM metrics");
     let rows: Vec<Vec<String>> = dcgm::table7()
         .iter()
         .map(|(name, mac, id)| vec![name.to_string(), mac.to_string(), id.to_string()])
         .collect();
-    print_table("field identifiers", &["Name", "Field Identifier Macro", "ID"], &rows);
+    print_table(
+        "field identifiers",
+        &["Name", "Field Identifier Macro", "ID"],
+        &rows,
+    );
+    trace.finish_or_exit();
 }

@@ -5,6 +5,7 @@ use hfta_models::Workload;
 use hfta_sim::{DeviceSpec, SharingPolicy};
 
 fn main() {
+    let trace = hfta_bench::telemetry_cli::TraceSession::from_args("table8");
     println!("# Table 8 — peak HFTA speedups, FP32 vs AMP");
     let mut rows = Vec::new();
     for device in DeviceSpec::evaluation_gpus() {
@@ -36,7 +37,15 @@ fn main() {
     }
     print_table(
         "peak speedups by precision",
-        &["GPU", "precision", "baseline", "PointNet-cls", "PointNet-seg", "DCGAN"],
+        &[
+            "GPU",
+            "precision",
+            "baseline",
+            "PointNet-cls",
+            "PointNet-seg",
+            "DCGAN",
+        ],
         &rows,
     );
+    trace.finish_or_exit();
 }

@@ -7,6 +7,7 @@ use hfta_models::Workload;
 use hfta_sim::{DeviceSpec, SharingPolicy};
 
 fn main() {
+    let trace = hfta_bench::telemetry_cli::TraceSession::from_args("table9");
     println!("# Table 9 — max HFTA speedup at equal model counts");
     let mut rows = Vec::new();
     for device in DeviceSpec::evaluation_gpus() {
@@ -34,7 +35,15 @@ fn main() {
     }
     print_table(
         "same-model-count speedups",
-        &["GPU", "precision", "baseline", "PointNet-cls", "PointNet-seg", "DCGAN"],
+        &[
+            "GPU",
+            "precision",
+            "baseline",
+            "PointNet-cls",
+            "PointNet-seg",
+            "DCGAN",
+        ],
         &rows,
     );
+    trace.finish_or_exit();
 }

@@ -6,7 +6,7 @@
 //! same with the CPU-scale ResNet mini on the synthetic CIFAR stand-in
 //! (DESIGN.md §4) — down to fp32 round-off.
 
-use hfta_core::array::copy_model_weights;
+use hfta_core::array::{copy_model_weights, record_step_metrics};
 use hfta_core::loss::{fused_cross_entropy, Reduction};
 use hfta_core::ops::FusedModule;
 use hfta_core::optim::{FusedOptimizer, FusedSgd, PerModel};
@@ -61,11 +61,12 @@ pub fn resnet_convergence(lrs: &[f32], iters: usize, seed: u64) -> LossCurves {
     let mut serial = vec![Vec::with_capacity(iters); b];
     for (i, model) in serial_models.iter().enumerate() {
         let mut opt = Sgd::new(model.parameters(), lrs[i], 0.9);
-        for (x, y) in &batches {
+        for (t, (x, y)) in batches.iter().enumerate() {
             opt.zero_grad();
             let tape = Tape::new();
             let loss = model.forward(&tape.leaf(x.clone())).cross_entropy(y);
             serial[i].push(loss.item());
+            record_step_metrics(t as u64, &[loss.item()], 0.0, 1);
             loss.backward();
             opt.step();
         }
@@ -79,18 +80,21 @@ pub fn resnet_convergence(lrs: &[f32], iters: usize, seed: u64) -> LossCurves {
     )
     .expect("matching widths");
     let mut fused = vec![Vec::with_capacity(iters); b];
-    for (x, y) in &batches {
+    for (t, (x, y)) in batches.iter().enumerate() {
         opt.zero_grad();
         let tape = Tape::new();
         let copies: Vec<&Tensor> = std::iter::repeat_n(x, b).collect();
         let fused_x = tape.leaf(Tensor::concat(&copies, 1));
         let logits = fused_model.forward(&fused_x); // [B, N, classes]
-        // Record each model's own loss, then train on the fused loss.
+                                                    // Record each model's own loss, then train on the fused loss.
         let n = x.dim(0);
+        let mut step_losses = Vec::with_capacity(b);
         for (i, f) in fused.iter_mut().enumerate() {
             let per = logits.narrow(0, i, 1).reshape(&[n, 4]).cross_entropy(y);
             f.push(per.item());
+            step_losses.push(per.item());
         }
+        record_step_metrics(t as u64, &step_losses, 0.0, b as u64);
         let targets: Vec<usize> = (0..b).flat_map(|_| y.iter().copied()).collect();
         let loss = fused_cross_entropy(&logits, &targets, Reduction::Mean);
         loss.backward();

@@ -6,6 +6,11 @@
 //! emits the EXPERIMENTS.md paper-vs-measured report. The `benches/`
 //! directory holds criterion micro-benchmarks of the *real* CPU execution
 //! of fused vs serial operators.
+//!
+//! Every binary accepts `--trace <dir>` (see [`telemetry_cli`]) and then
+//! writes a Perfetto-loadable Chrome trace plus a serialized
+//! [`RunReport`](hfta_telemetry::RunReport) alongside its printed output.
 
 pub mod convergence;
 pub mod sweep;
+pub mod telemetry_cli;

@@ -88,7 +88,9 @@ impl Panel {
 
     /// Peak speedup at a fixed precision (Table 8 convention).
     pub fn peak_speedup_at(&self, baseline: SharingPolicy, amp: bool) -> f64 {
-        let hfta = self.curve(SharingPolicy::Hfta, amp).map_or(0.0, Curve::peak);
+        let hfta = self
+            .curve(SharingPolicy::Hfta, amp)
+            .map_or(0.0, Curve::peak);
         let base = self.curve(baseline, amp).map_or(0.0, Curve::peak);
         hfta / base.max(f64::MIN_POSITIVE)
     }
@@ -234,7 +236,10 @@ pub fn linear_regression(points: &[(f64, f64)]) -> (f64, f64) {
 pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
     println!("\n## {title}\n");
     println!("| {} |", header.join(" | "));
-    println!("|{}|", header.iter().map(|_| "---").collect::<Vec<_>>().join("|"));
+    println!(
+        "|{}|",
+        header.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+    );
     for row in rows {
         println!("| {} |", row.join(" | "));
     }
@@ -286,7 +291,10 @@ mod tests {
         let serial_gain = p.amp_gain(SharingPolicy::Serial);
         let hfta_gain = p.amp_gain(SharingPolicy::Hfta);
         assert!(serial_gain < 1.4, "serial AMP gain {serial_gain}");
-        assert!(hfta_gain > serial_gain, "HFTA {hfta_gain} vs serial {serial_gain}");
+        assert!(
+            hfta_gain > serial_gain,
+            "HFTA {hfta_gain} vs serial {serial_gain}"
+        );
     }
 
     #[test]

@@ -1,0 +1,183 @@
+//! Shared `--trace <dir>` support for the figure/table binaries.
+//!
+//! Every harness accepts `--trace <dir>` (or `--trace=<dir>`): when given,
+//! a [`Profiler`] is installed for the duration of the run and two files
+//! are written on exit —
+//!
+//! * `<dir>/<bin>.trace.json` — Chrome trace-event JSON, loadable in
+//!   Perfetto (<https://ui.perfetto.dev>) or `chrome://tracing`;
+//! * `<dir>/<bin>.report.json` — the serialized
+//!   [`RunReport`](hfta_telemetry::RunReport) (per-experiment wall times,
+//!   step metrics, counters and time-series).
+//!
+//! Without the flag nothing is installed and the instrumented code paths
+//! stay on their single-branch disabled fast path.
+
+use std::io;
+use std::path::PathBuf;
+
+use hfta_telemetry::{InstallGuard, Profiler};
+
+/// An optionally-active telemetry session for one benchmark binary.
+///
+/// Construct it first thing in `main`, run the workload, then call
+/// [`TraceSession::finish`] (fallible mains) or
+/// [`TraceSession::finish_or_exit`] (infallible mains) last.
+pub struct TraceSession {
+    inner: Option<Active>,
+}
+
+struct Active {
+    profiler: Profiler,
+    _guard: InstallGuard,
+    dir: PathBuf,
+    bin: String,
+}
+
+impl TraceSession {
+    /// Parses `--trace <dir>` / `--trace=<dir>` out of the process
+    /// arguments. All other arguments are ignored (the harnesses take
+    /// none). Exits with status 2 if `--trace` is given without a value.
+    pub fn from_args(bin: &str) -> TraceSession {
+        Self::from_iter(bin, std::env::args().skip(1))
+    }
+
+    /// Like [`TraceSession::from_args`] but over an explicit argument
+    /// list (testable).
+    pub fn from_iter(bin: &str, args: impl IntoIterator<Item = String>) -> TraceSession {
+        let mut args = args.into_iter();
+        let mut dir = None;
+        while let Some(a) = args.next() {
+            if a == "--trace" {
+                match args.next() {
+                    Some(d) => dir = Some(PathBuf::from(d)),
+                    None => {
+                        eprintln!("error: --trace requires a directory argument");
+                        std::process::exit(2);
+                    }
+                }
+            } else if let Some(rest) = a.strip_prefix("--trace=") {
+                dir = Some(PathBuf::from(rest));
+            }
+        }
+        match dir {
+            Some(dir) => TraceSession::active(bin, dir),
+            None => TraceSession::disabled(),
+        }
+    }
+
+    /// A session that records nothing and writes nothing.
+    pub fn disabled() -> TraceSession {
+        TraceSession { inner: None }
+    }
+
+    /// A recording session: installs a fresh profiler named `bin` and
+    /// remembers where to write the outputs.
+    pub fn active(bin: &str, dir: impl Into<PathBuf>) -> TraceSession {
+        let profiler = Profiler::new(bin);
+        let guard = profiler.install();
+        TraceSession {
+            inner: Some(Active {
+                profiler,
+                _guard: guard,
+                dir: dir.into(),
+                bin: bin.to_string(),
+            }),
+        }
+    }
+
+    /// The installed profiler, if the session is recording.
+    pub fn profiler(&self) -> Option<&Profiler> {
+        self.inner.as_ref().map(|a| &a.profiler)
+    }
+
+    /// Whether `--trace` was given.
+    pub fn is_active(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Writes `<dir>/<bin>.trace.json` and `<dir>/<bin>.report.json`,
+    /// creating `<dir>` if needed. Returns the two paths, or `None` when
+    /// the session was never activated.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors (and report-serialization failures,
+    /// mapped to [`io::Error`]) instead of panicking — `repro_all` turns
+    /// these into a non-zero exit.
+    pub fn finish(self) -> io::Result<Option<(PathBuf, PathBuf)>> {
+        let Some(active) = self.inner else {
+            return Ok(None);
+        };
+        std::fs::create_dir_all(&active.dir)?;
+        let trace_path = active.dir.join(format!("{}.trace.json", active.bin));
+        std::fs::write(&trace_path, active.profiler.trace_json())?;
+        let report = active.profiler.report();
+        let json = serde_json::to_string_pretty(&report)
+            .map_err(|e| io::Error::other(format!("serializing run report: {e}")))?;
+        let report_path = active.dir.join(format!("{}.report.json", active.bin));
+        std::fs::write(&report_path, json)?;
+        Ok(Some((trace_path, report_path)))
+    }
+
+    /// [`TraceSession::finish`] for binaries with infallible `main`s:
+    /// reports the written paths on stderr, exits 1 on I/O failure.
+    pub fn finish_or_exit(self) {
+        match self.finish() {
+            Ok(Some((t, r))) => eprintln!("trace: wrote {} and {}", t.display(), r.display()),
+            Ok(None) => {}
+            Err(e) => {
+                eprintln!("error: writing telemetry failed: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_flag_means_disabled() {
+        let s = TraceSession::from_iter("t", Vec::new());
+        assert!(!s.is_active());
+        assert!(Profiler::current().is_none());
+        assert!(s.finish().unwrap().is_none());
+    }
+
+    #[test]
+    fn flag_installs_and_finish_writes_both_files() {
+        let dir = std::env::temp_dir().join("hfta-telemetry-cli-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let s = TraceSession::from_iter(
+            "unit",
+            vec!["--trace".to_string(), dir.display().to_string()],
+        );
+        assert!(s.is_active());
+        let p = Profiler::current().expect("installed");
+        p.incr("touched", 1.0);
+        let lane = p.lane("proc", "thread");
+        drop(p.span(lane, "work"));
+        let (trace, report) = s.finish().unwrap().expect("active");
+        assert!(Profiler::current().is_none(), "guard uninstalls on finish");
+        let trace_text = std::fs::read_to_string(&trace).unwrap();
+        assert!(trace_text.contains("\"traceEvents\""));
+        let report_text = std::fs::read_to_string(&report).unwrap();
+        let parsed: hfta_telemetry::RunReport = serde_json::from_str(&report_text).unwrap();
+        assert_eq!(parsed.name, "unit");
+        assert_eq!(parsed.experiments[0].counters[0].name, "touched");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn equals_form_is_accepted() {
+        let dir = std::env::temp_dir().join("hfta-telemetry-cli-test-eq");
+        let _ = std::fs::remove_dir_all(&dir);
+        let s = TraceSession::from_iter("eq", vec![format!("--trace={}", dir.display())]);
+        assert!(s.is_active());
+        s.finish().unwrap();
+        assert!(dir.join("eq.trace.json").exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -109,7 +109,14 @@ impl TraceCfg {
 }
 
 const MODEL_STEMS: [&str; 8] = [
-    "pointnet", "dcgan64", "resnet18", "bertsmall", "unet3d", "lstmnlp", "vae3d", "gnnrec",
+    "pointnet",
+    "dcgan64",
+    "resnet18",
+    "bertsmall",
+    "unet3d",
+    "lstmnlp",
+    "vae3d",
+    "gnnrec",
 ];
 const SWEEP_PARAMS: [&str; 4] = ["lr", "wd", "seed", "gamma"];
 
@@ -260,7 +267,10 @@ mod tests {
     #[test]
     fn repetitive_jobs_are_single_gpu_bursts() {
         let jobs = generate(&TraceCfg::small(), 2);
-        for j in jobs.iter().filter(|j| j.truth == JobCategory::RepetitiveSingleGpu) {
+        for j in jobs
+            .iter()
+            .filter(|j| j.truth == JobCategory::RepetitiveSingleGpu)
+        {
             assert_eq!(j.gpus, 1);
             assert!(!j.pinned_node);
         }

@@ -2,6 +2,7 @@
 //! helpers.
 
 use hfta_nn::{Parameter, Tape, Var};
+use hfta_telemetry::{Profiler, StepMetric};
 use hfta_tensor::Tensor;
 
 use crate::error::Result;
@@ -104,6 +105,31 @@ impl<M: FusedModule> ModelArray<M> {
     pub fn forward(&self, x: &Var) -> Var {
         self.module.forward(x)
     }
+
+    /// Records one training step's per-model losses (and aggregate
+    /// samples/s) into the installed profiler, tagged with this array's
+    /// fused width `B`. A single branch when no profiler is installed.
+    pub fn record_step(&self, step: u64, losses: &[f32], samples_per_s: f64) {
+        record_step_metrics(step, losses, samples_per_s, self.b() as u64);
+    }
+}
+
+/// Free-function form of [`ModelArray::record_step`] for training loops
+/// that do not go through the wrapper (e.g. serial baselines, where
+/// `fused_width` is 1).
+pub fn record_step_metrics(step: u64, losses: &[f32], samples_per_s: f64, fused_width: u64) {
+    let Some(profiler) = Profiler::current() else {
+        return;
+    };
+    for (model, &loss) in losses.iter().enumerate() {
+        profiler.step(StepMetric {
+            step,
+            model: model as u64,
+            loss: loss as f64,
+            samples_per_s,
+            fused_width,
+        });
+    }
 }
 
 /// Copies model `index`'s weights out of a fused parameter set into a
@@ -194,6 +220,22 @@ mod tests {
         let array = ModelArray::new(FusedLinear::new(2, LinearCfg::new(3, 4), &mut rng));
         let bad = vec![rng.randn([5, 3]), rng.randn([4, 3])];
         assert!(array.forward_array(&bad).is_err());
+    }
+
+    #[test]
+    fn record_step_feeds_installed_profiler() {
+        let mut rng = Rng::seed_from(2);
+        let array = ModelArray::new(FusedLinear::new(2, LinearCfg::new(3, 4), &mut rng));
+        array.record_step(0, &[1.0, 2.0], 0.0); // no profiler: no-op
+        let p = Profiler::new("array-test");
+        let _g = p.install();
+        array.record_step(1, &[0.5, 0.25], 128.0);
+        let report = p.report();
+        let steps = &report.experiments[0].steps;
+        assert_eq!(steps.len(), 2);
+        assert_eq!(steps[0].fused_width, 2);
+        assert_eq!(steps[1].model, 1);
+        assert_eq!(steps[1].loss, 0.25);
     }
 
     #[test]

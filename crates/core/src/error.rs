@@ -54,10 +54,7 @@ impl fmt::Display for FusionError {
                 expected,
                 found,
                 index,
-            } => write!(
-                f,
-                "operator {index} has kind {found}, expected {expected}"
-            ),
+            } => write!(f, "operator {index} has kind {found}, expected {expected}"),
             FusionError::ShapeMismatch {
                 kind,
                 index,

@@ -191,7 +191,9 @@ mod tests {
         let tape = Tape::new();
         // Model 0 features = 0..3, model 1 features = 10..13 per row.
         let x = tape.leaf(Tensor::from_vec(
-            vec![0.0, 1.0, 2.0, 10.0, 11.0, 12.0, 3.0, 4.0, 5.0, 13.0, 14.0, 15.0],
+            vec![
+                0.0, 1.0, 2.0, 10.0, 11.0, 12.0, 3.0, 4.0, 5.0, 13.0, 14.0, 15.0,
+            ],
             [2, 6],
         ));
         let arr = conv_to_array(&x, 2);
@@ -231,15 +233,15 @@ mod tests {
             ],
             [1, 4, 2],
         ));
-        let g = tape.leaf(Tensor::from_vec(
-            vec![5.0, 5.1, 50.0, 50.1],
-            [1, 2, 2],
-        ));
+        let g = tape.leaf(Tensor::from_vec(vec![5.0, 5.1, 50.0, 50.1], [1, 2, 2]));
         let fused = fused_concat_channels(&a, &g, 2);
         assert_eq!(fused.dims(), vec![1, 6, 2]);
         let v = fused.value();
         // Model 0 block: a's 2 channels then g's 1 channel.
-        assert_eq!(v.narrow(1, 0, 3).to_vec(), vec![0.0, 0.1, 1.0, 1.1, 5.0, 5.1]);
+        assert_eq!(
+            v.narrow(1, 0, 3).to_vec(),
+            vec![0.0, 0.1, 1.0, 1.1, 5.0, 5.1]
+        );
         // Model 1 block follows.
         assert_eq!(
             v.narrow(1, 3, 3).to_vec(),

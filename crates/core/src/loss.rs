@@ -172,7 +172,10 @@ mod tests {
 
         // Fused: stack weights into [B, 6, 3] and inputs into [B, 5, 6].
         let stacked_w = {
-            let ws: Vec<_> = weights.iter().map(|w| w.value_cloned().unsqueeze(0)).collect();
+            let ws: Vec<_> = weights
+                .iter()
+                .map(|w| w.value_cloned().unsqueeze(0))
+                .collect();
             Parameter::new(
                 hfta_tensor::Tensor::concat(&ws.iter().collect::<Vec<_>>(), 0),
                 "fused_w",

@@ -16,9 +16,7 @@
 //! per-model layers; checks the same-type/same-shape condition), and
 //! `unfuse` (recover the per-model layers, e.g. to checkpoint each job).
 
-use hfta_nn::layers::{
-    BatchNorm, Conv1d, Conv2d, Conv2dCfg, ConvTranspose2d, Linear, LinearCfg,
-};
+use hfta_nn::layers::{BatchNorm, Conv1d, Conv2d, Conv2dCfg, ConvTranspose2d, Linear, LinearCfg};
 use hfta_nn::{Module, Parameter, Var};
 use hfta_tensor::conv::ConvCfg;
 use hfta_tensor::{Rng, Tensor};
@@ -371,8 +369,7 @@ impl FusedConv1d {
     ///
     /// Returns [`FusionError`] if geometries or weight shapes differ.
     pub fn from_models(models: &[Conv1d]) -> Result<Self> {
-        let (stride, padding, groups) =
-            check_same(models.iter().map(|m| m.geometry()), "Conv1d")?;
+        let (stride, padding, groups) = check_same(models.iter().map(|m| m.geometry()), "Conv1d")?;
         check_same(
             models.iter().map(|m| m.weight.value().dims().to_vec()),
             "Conv1d",
@@ -760,12 +757,8 @@ mod tests {
 
     /// Forward the fused module on stacked inputs and compare against each
     /// per-model forward — the §3.3 equivalence, at operator granularity.
-    fn assert_conv_format_equivalence<M, F>(
-        models: &[M],
-        fused: &F,
-        inputs: &[Tensor],
-        tol: f32,
-    ) where
+    fn assert_conv_format_equivalence<M, F>(models: &[M], fused: &F, inputs: &[Tensor], tol: f32)
+    where
         M: Module,
         F: Module,
     {

@@ -243,8 +243,14 @@ impl FusedAdam {
         eps: f32,
     ) -> Result<Self> {
         check_params(&params, lr.b())?;
-        let m = params.iter().map(|p| p.param.value().zeros_like()).collect();
-        let v = params.iter().map(|p| p.param.value().zeros_like()).collect();
+        let m = params
+            .iter()
+            .map(|p| p.param.value().zeros_like())
+            .collect();
+        let v = params
+            .iter()
+            .map(|p| p.param.value().zeros_like())
+            .collect();
         Ok(FusedAdam {
             params,
             lr,
@@ -322,8 +328,14 @@ impl FusedAdadelta {
     pub fn new(params: Vec<FusedParameter>, lr: PerModel, rho: PerModel, eps: f32) -> Result<Self> {
         check_params(&params, lr.b())?;
         rho.check_b(lr.b())?;
-        let sq_avg = params.iter().map(|p| p.param.value().zeros_like()).collect();
-        let acc_delta = params.iter().map(|p| p.param.value().zeros_like()).collect();
+        let sq_avg = params
+            .iter()
+            .map(|p| p.param.value().zeros_like())
+            .collect();
+        let acc_delta = params
+            .iter()
+            .map(|p| p.param.value().zeros_like())
+            .collect();
         Ok(FusedAdadelta {
             params,
             lr,
@@ -419,7 +431,10 @@ impl FusedStepLr {
                 found: gamma.len(),
             });
         }
-        assert!(step_size.iter().all(|&s| s > 0), "step sizes must be positive");
+        assert!(
+            step_size.iter().all(|&s| s > 0),
+            "step sizes must be positive"
+        );
         Ok(FusedStepLr {
             base_lr,
             step_size,
@@ -689,8 +704,7 @@ mod tests {
             .zip(lrs)
             .map(|(p, lr)| Adam::new(vec![p.clone()], lr))
             .collect();
-        let mut fused =
-            FusedAdam::new(vec![h.fused.clone()], PerModel::new(lrs.to_vec())).unwrap();
+        let mut fused = FusedAdam::new(vec![h.fused.clone()], PerModel::new(lrs.to_vec())).unwrap();
         let mut rng = Rng::seed_from(4);
         for _ in 0..10 {
             h.apply_grads(&mut rng);
@@ -757,12 +771,8 @@ mod tests {
 
     #[test]
     fn fused_step_lr_drives_distinct_schedules() {
-        let mut sched = FusedStepLr::new(
-            PerModel::new(vec![0.1, 0.1]),
-            vec![1, 2],
-            vec![0.5, 0.1],
-        )
-        .unwrap();
+        let mut sched =
+            FusedStepLr::new(PerModel::new(vec![0.1, 0.1]), vec![1, 2], vec![0.5, 0.1]).unwrap();
         let p = FusedParameter {
             param: Parameter::new(Tensor::zeros([2]), "w"),
             b: 2,
@@ -806,11 +816,7 @@ mod tests {
 
     #[test]
     fn fused_exponential_lr_decays_per_model() {
-        let sched = FusedExponentialLr::new(
-            PerModel::new(vec![1.0, 1.0]),
-            vec![0.5, 0.9],
-        )
-        .unwrap();
+        let sched = FusedExponentialLr::new(PerModel::new(vec![1.0, 1.0]), vec![0.5, 0.9]).unwrap();
         let at2 = sched.lr_at(2);
         assert!((at2.get(0) - 0.25).abs() < 1e-6);
         assert!((at2.get(1) - 0.81).abs() < 1e-6);
@@ -819,8 +825,7 @@ mod tests {
 
     #[test]
     fn fused_cosine_lr_anneals_to_eta_min() {
-        let sched =
-            FusedCosineLr::new(PerModel::new(vec![1.0, 0.1]), vec![0.0, 0.01], 10).unwrap();
+        let sched = FusedCosineLr::new(PerModel::new(vec![1.0, 0.1]), vec![0.0, 0.01], 10).unwrap();
         let start = sched.lr_at(0);
         assert!((start.get(0) - 1.0).abs() < 1e-6);
         let mid = sched.lr_at(5);

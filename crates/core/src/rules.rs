@@ -455,9 +455,9 @@ impl OpSpec {
                 (n * c * ho * wo * kernel * kernel) as u64
             }
             OpSpec::Dropout2d { n, c, h, w } => (n * c * h * w) as u64,
-            OpSpec::Dropout { numel }
-            | OpSpec::LeakyRelu { numel }
-            | OpSpec::Relu { numel } => numel as u64,
+            OpSpec::Dropout { numel } | OpSpec::LeakyRelu { numel } | OpSpec::Relu { numel } => {
+                numel as u64
+            }
             OpSpec::Tanh { numel } => 4 * numel as u64,
         }
     }
@@ -598,7 +598,9 @@ impl OpSpec {
                 let wo = (w - 1) * stride + kernel - 2 * padding;
                 n * c_out * ho * wo
             }
-            OpSpec::Linear { n, f_out, arrays, .. } => arrays * n * f_out,
+            OpSpec::Linear {
+                n, f_out, arrays, ..
+            } => arrays * n * f_out,
             OpSpec::BatchNorm1d { n, c, l } => n * c * l,
             OpSpec::BatchNorm2d { n, c, h, w } => n * c * h * w,
             OpSpec::MaxPool2d {
@@ -699,7 +701,9 @@ impl OpSpec {
                 let wo = (w - 1) * stride + kernel - 2 * padding;
                 n * c_out * ho * wo
             }
-            OpSpec::Linear { n, f_out, arrays, .. } => arrays * n * f_out,
+            OpSpec::Linear {
+                n, f_out, arrays, ..
+            } => arrays * n * f_out,
             OpSpec::BatchNorm1d { n, c, l } => n * c * l,
             OpSpec::BatchNorm2d { n, c, h, w } => n * c * h * w,
             OpSpec::MaxPool2d {
@@ -974,9 +978,23 @@ mod tests {
     #[test]
     fn gemm_classification() {
         assert!(conv().is_gemm());
-        assert!(OpSpec::Linear { n: 1, f_in: 2, f_out: 3, arrays: 1 }.is_gemm());
+        assert!(OpSpec::Linear {
+            n: 1,
+            f_in: 2,
+            f_out: 3,
+            arrays: 1
+        }
+        .is_gemm());
         assert!(!OpSpec::Relu { numel: 10 }.is_gemm());
-        assert!(!OpSpec::MaxPool2d { n: 1, c: 1, h: 4, w: 4, kernel: 2, stride: 2 }.is_gemm());
+        assert!(!OpSpec::MaxPool2d {
+            n: 1,
+            c: 1,
+            h: 4,
+            w: 4,
+            kernel: 2,
+            stride: 2
+        }
+        .is_gemm());
     }
 
     #[test]
@@ -1009,7 +1027,13 @@ mod tests {
     #[test]
     fn param_counts() {
         assert_eq!(
-            OpSpec::Linear { n: 1, f_in: 10, f_out: 5, arrays: 1 }.param_count(),
+            OpSpec::Linear {
+                n: 1,
+                f_in: 10,
+                f_out: 5,
+                arrays: 1
+            }
+            .param_count(),
             55
         );
         assert_eq!(conv().param_count(), 32 * 16 * 9 + 32);

@@ -9,6 +9,7 @@
 //! `array_width` models, and hands each array to a user-supplied trainer.
 
 use crate::error::{FusionError, Result};
+use hfta_telemetry::Profiler;
 use hfta_tensor::Rng;
 
 /// One evaluated trial.
@@ -65,11 +66,18 @@ pub fn sweep<C: Clone>(
     if candidates.is_empty() {
         return Err(FusionError::Empty);
     }
+    let profiler = Profiler::current();
+    let lane = profiler.as_ref().map(|p| p.lane("tuner", "arrays"));
     let mut trials = Vec::with_capacity(candidates.len());
     let mut arrays = 0;
     let total = candidates.len();
     for chunk in candidates.chunks(array_width) {
-        let scores = train_array(chunk);
+        let scores = {
+            let _span = profiler
+                .as_ref()
+                .map(|p| p.span(lane.unwrap(), format!("array[B={}]", chunk.len())));
+            train_array(chunk)
+        };
         if scores.len() != chunk.len() {
             return Err(FusionError::HyperParamLength {
                 expected: chunk.len(),
@@ -77,6 +85,14 @@ pub fn sweep<C: Clone>(
             });
         }
         arrays += 1;
+        if let Some(p) = &profiler {
+            p.incr("tuner.arrays", 1.0);
+            p.incr("tuner.trials", chunk.len() as f64);
+            p.set_gauge("tuner.fused_width", chunk.len() as f64);
+            for &s in &scores {
+                p.observe("tuner.score", s as f64);
+            }
+        }
         for (config, score) in chunk.iter().cloned().zip(scores) {
             trials.push(Trial { config, score });
         }
@@ -173,9 +189,34 @@ mod tests {
     }
 
     #[test]
+    fn sweep_records_tuner_metrics_when_profiled() {
+        let p = Profiler::new("tuner-test");
+        let _g = p.install();
+        let report = sweep(vec![0.1f32, 0.2, 0.3], 2, |chunk| {
+            chunk.iter().map(|x| -x).collect()
+        })
+        .unwrap();
+        assert_eq!(report.arrays_trained, 2);
+        let r = p.report();
+        let exp = &r.experiments[0];
+        let counter = |name: &str| exp.counters.iter().find(|c| c.name == name).unwrap().value;
+        assert_eq!(counter("tuner.arrays"), 2.0);
+        assert_eq!(counter("tuner.trials"), 3.0);
+        assert_eq!(exp.histograms[0].count, 3);
+        // One B/E span pair per array.
+        assert_eq!(p.event_count(), 4);
+    }
+
+    #[test]
     fn partition_groups_same_architectures() {
         // (width, lr) candidates: only same-width models fuse.
-        let cands = vec![(64, 0.1f32), (128, 0.1), (64, 0.01), (128, 0.01), (64, 0.001)];
+        let cands = vec![
+            (64, 0.1f32),
+            (128, 0.1),
+            (64, 0.01),
+            (128, 0.01),
+            (64, 0.001),
+        ];
         let groups = partition_fusable(cands, |c| c.0);
         assert_eq!(groups.len(), 2);
         let g64 = groups.iter().find(|g| g[0].0 == 64).unwrap();

@@ -5,9 +5,7 @@
 
 use hfta_core::format::{stack_array, stack_conv, unstack_array, unstack_conv};
 use hfta_core::loss::{fused_cross_entropy, Reduction};
-use hfta_core::ops::{
-    FusedBatchNorm, FusedConv1d, FusedConv2d, FusedLinear, FusedParameter,
-};
+use hfta_core::ops::{FusedBatchNorm, FusedConv1d, FusedConv2d, FusedLinear, FusedParameter};
 use hfta_core::optim::{FusedAdam, FusedOptimizer, PerModel};
 use hfta_core::rules::{fuse, OpSpec};
 use hfta_nn::layers::{BatchNorm, Conv1d, Conv2d, Conv2dCfg, Linear, LinearCfg};

@@ -167,7 +167,10 @@ mod tests {
             }
             total += 1;
         }
-        assert!(same as f64 / total as f64 > 0.5, "insufficient spatial coherence");
+        assert!(
+            same as f64 / total as f64 > 0.5,
+            "insufficient spatial coherence"
+        );
     }
 
     #[test]
@@ -196,8 +199,8 @@ mod tests {
                 let img = x.narrow(0, i, 1);
                 // Mean absolute horizontal difference = roughness.
                 let d = img.as_slice();
-                let rough: f32 = d.windows(2).map(|w| (w[0] - w[1]).abs()).sum::<f32>()
-                    / (d.len() - 1) as f32;
+                let rough: f32 =
+                    d.windows(2).map(|w| (w[0] - w[1]).abs()).sum::<f32>() / (d.len() - 1) as f32;
                 stats[c].push(rough);
             }
         }

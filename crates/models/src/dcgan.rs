@@ -74,7 +74,10 @@ impl Generator {
         let mut c = cfg.width << (s - 1);
         layers.push((
             ConvTranspose2d::new(
-                Conv2dCfg::new(cfg.latent, c, 4).stride(1).padding(0).bias(false),
+                Conv2dCfg::new(cfg.latent, c, 4)
+                    .stride(1)
+                    .padding(0)
+                    .bias(false),
                 rng,
             ),
             Some(BatchNorm::new(c)),
@@ -152,7 +155,10 @@ impl Discriminator {
         let mut layers = Vec::new();
         let mut c = cfg.width;
         layers.push((
-            Conv2d::new(Conv2dCfg::new(3, c, 4).stride(2).padding(1).bias(false), rng),
+            Conv2d::new(
+                Conv2dCfg::new(3, c, 4).stride(2).padding(1).bias(false),
+                rng,
+            ),
             None, // first layer has no BN, per the DCGAN recipe
         ));
         for _ in 0..s - 1 {
@@ -166,7 +172,10 @@ impl Discriminator {
             c *= 2;
         }
         layers.push((
-            Conv2d::new(Conv2dCfg::new(c, 1, 4).stride(1).padding(0).bias(false), rng),
+            Conv2d::new(
+                Conv2dCfg::new(c, 1, 4).stride(1).padding(0).bias(false),
+                rng,
+            ),
             None,
         ));
         Discriminator { layers }
@@ -230,7 +239,10 @@ impl FusedGenerator {
         layers.push((
             FusedConvTranspose2d::new(
                 b,
-                Conv2dCfg::new(cfg.latent, c, 4).stride(1).padding(0).bias(false),
+                Conv2dCfg::new(cfg.latent, c, 4)
+                    .stride(1)
+                    .padding(0)
+                    .bias(false),
                 rng,
             ),
             Some(FusedBatchNorm::new(b, c)),

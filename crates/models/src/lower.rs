@@ -248,8 +248,16 @@ mod tests {
         let kernels = iteration_kernels(&trace);
         assert!(kernels.len() > 2 * trace.len());
         // GEMM flops in one iteration are ~3x forward GEMM flops.
-        let fwd_gemm: u64 = trace.iter().filter(|s| s.is_gemm()).map(|s| s.flops()).sum();
-        let all_gemm: u64 = kernels.iter().filter(|k| k.is_gemm()).map(|k| k.flops).sum();
+        let fwd_gemm: u64 = trace
+            .iter()
+            .filter(|s| s.is_gemm())
+            .map(|s| s.flops())
+            .sum();
+        let all_gemm: u64 = kernels
+            .iter()
+            .filter(|k| k.is_gemm())
+            .map(|k| k.flops)
+            .sum();
         assert_eq!(all_gemm, 3 * fwd_gemm);
     }
 
@@ -287,7 +295,15 @@ mod tests {
     #[test]
     fn build_job_wires_fields() {
         let trace = traces::resnet18();
-        let job = build_job("resnet18", &trace, 1, traces::RESNET_BATCH, 5_000.0, 100.0, 0.3);
+        let job = build_job(
+            "resnet18",
+            &trace,
+            1,
+            traces::RESNET_BATCH,
+            5_000.0,
+            100.0,
+            0.3,
+        );
         assert_eq!(job.models_per_job, 1);
         assert_eq!(job.examples_per_iteration, 1000);
         assert!(job.kernel_count() > 40);

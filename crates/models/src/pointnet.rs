@@ -10,9 +10,7 @@
 //! the paper's.
 
 use hfta_core::format::{conv_to_array, fused_concat_channels};
-use hfta_core::ops::{
-    FusedBatchNorm, FusedConv1d, FusedLinear, FusedModule, FusedParameter,
-};
+use hfta_core::ops::{FusedBatchNorm, FusedConv1d, FusedLinear, FusedModule, FusedParameter};
 use hfta_nn::layers::{BatchNorm, Conv1d, Dropout, Linear, LinearCfg};
 use hfta_nn::{Module, Parameter, Var};
 use hfta_tensor::Rng;
@@ -83,12 +81,13 @@ impl Stn3d {
         // Reference init: zero weights, identity bias, so the transform
         // starts as the identity.
         fc3.weight.set_value(hfta_tensor::Tensor::zeros([f2, 9]));
-        fc3.bias.as_ref().expect("bias").set_value(
-            hfta_tensor::Tensor::from_vec(
+        fc3.bias
+            .as_ref()
+            .expect("bias")
+            .set_value(hfta_tensor::Tensor::from_vec(
                 vec![1.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 1.0],
                 [9],
-            ),
-        );
+            ));
         Stn3d {
             trunk: PointNetFeat::new(cfg, rng),
             fc1: Linear::new(LinearCfg::new(c3, f1), rng),
@@ -318,7 +317,11 @@ impl Module for PointNetCls {
     }
 
     fn parameters(&self) -> Vec<Parameter> {
-        let mut ps = self.stn.as_ref().map(|s| s.parameters()).unwrap_or_default();
+        let mut ps = self
+            .stn
+            .as_ref()
+            .map(|s| s.parameters())
+            .unwrap_or_default();
         ps.extend(
             [
                 self.feat.parameters(),
@@ -459,7 +462,11 @@ impl Module for FusedPointNetCls {
     }
 
     fn parameters(&self) -> Vec<Parameter> {
-        let mut ps = self.stn.as_ref().map(|s| s.parameters()).unwrap_or_default();
+        let mut ps = self
+            .stn
+            .as_ref()
+            .map(|s| s.parameters())
+            .unwrap_or_default();
         ps.extend(
             [
                 self.feat.parameters(),
@@ -722,8 +729,7 @@ mod tests {
         for (i, m) in serial.iter().enumerate() {
             copy_model_weights(&fused.fused_parameters(), i, &m.parameters());
         }
-        let inputs: Vec<hfta_tensor::Tensor> =
-            (0..b).map(|_| rng.randn([2, 3, 12])).collect();
+        let inputs: Vec<hfta_tensor::Tensor> = (0..b).map(|_| rng.randn([2, 3, 12])).collect();
         let tape = Tape::new();
         let out = fused
             .forward(&tape.leaf(stack_conv(&inputs).unwrap()))
@@ -798,8 +804,7 @@ mod tests {
         for (i, m) in serial.iter().enumerate() {
             copy_model_weights(&fused.fused_parameters(), i, &m.parameters());
         }
-        let inputs: Vec<hfta_tensor::Tensor> =
-            (0..b).map(|_| rng.randn([3, 3, 16])).collect();
+        let inputs: Vec<hfta_tensor::Tensor> = (0..b).map(|_| rng.randn([3, 3, 16])).collect();
         let tape = Tape::new();
         let out = fused
             .forward(&tape.leaf(stack_conv(&inputs).unwrap()))

@@ -117,12 +117,8 @@ impl ResNet {
             let stride = if stage == 0 { 1 } else { 2 };
             for block in 0..2 {
                 let (s, ci) = if block == 0 { (stride, cin) } else { (1, cout) };
-                let down = (s != 1 || ci != cout).then(|| {
-                    (
-                        Conv2d::new(conv1(ci, cout, s), rng),
-                        BatchNorm::new(cout),
-                    )
-                });
+                let down = (s != 1 || ci != cout)
+                    .then(|| (Conv2d::new(conv1(ci, cout, s), rng), BatchNorm::new(cout)));
                 blocks.push(BasicBlock {
                     conv1: Conv2d::new(conv3(ci, cout, s), rng),
                     bn1: BatchNorm::new(cout),

@@ -20,13 +20,7 @@ pub const DCGAN_BATCH: usize = 64;
 /// ResNet-18 batch size used in the paper's Figures 3 and 5.
 pub const RESNET_BATCH: usize = 1000;
 
-fn conv1d_bn_relu(
-    ops: &mut Vec<OpSpec>,
-    n: usize,
-    c_in: usize,
-    c_out: usize,
-    l: usize,
-) {
+fn conv1d_bn_relu(ops: &mut Vec<OpSpec>, n: usize, c_in: usize, c_out: usize, l: usize) {
     ops.push(OpSpec::Conv1d {
         n,
         c_in,
@@ -38,11 +32,18 @@ fn conv1d_bn_relu(
         groups: 1,
     });
     ops.push(OpSpec::BatchNorm1d { n, c: c_out, l });
-    ops.push(OpSpec::Relu { numel: n * c_out * l });
+    ops.push(OpSpec::Relu {
+        numel: n * c_out * l,
+    });
 }
 
 fn linear_bn_relu(ops: &mut Vec<OpSpec>, n: usize, f_in: usize, f_out: usize) {
-    ops.push(OpSpec::Linear { n, f_in, f_out, arrays: 1 });
+    ops.push(OpSpec::Linear {
+        n,
+        f_in,
+        f_out,
+        arrays: 1,
+    });
     ops.push(OpSpec::BatchNorm1d { n, c: f_out, l: 1 });
     ops.push(OpSpec::Relu { numel: n * f_out });
 }
@@ -54,7 +55,9 @@ fn stn(ops: &mut Vec<OpSpec>, n: usize, p: usize, k: usize) {
     conv1d_bn_relu(ops, n, 64, 128, p);
     conv1d_bn_relu(ops, n, 128, 1024, p);
     // Global max over points (reduce; elementwise-cost stand-in).
-    ops.push(OpSpec::Relu { numel: n * 1024 * p });
+    ops.push(OpSpec::Relu {
+        numel: n * 1024 * p,
+    });
     linear_bn_relu(ops, n, 1024, 512);
     linear_bn_relu(ops, n, 512, 256);
     ops.push(OpSpec::Linear {
@@ -93,7 +96,9 @@ fn pointnet_feat(ops: &mut Vec<OpSpec>, n: usize, p: usize, with_stn: bool) {
     });
     ops.push(OpSpec::BatchNorm1d { n, c: 1024, l: p });
     // Global max pool over points.
-    ops.push(OpSpec::Relu { numel: n * 1024 * p });
+    ops.push(OpSpec::Relu {
+        numel: n * 1024 * p,
+    });
 }
 
 /// PointNet classification forward trace (reference architecture with
@@ -133,8 +138,12 @@ pub fn pointnet_seg(part_classes: usize) -> Vec<OpSpec> {
     pointnet_feat(&mut ops, n, p, true);
     // Broadcast global feature over points + concat with 64-d local
     // features (copy-heavy, non-GEMM).
-    ops.push(OpSpec::Relu { numel: n * 1024 * p });
-    ops.push(OpSpec::Relu { numel: n * 1088 * p });
+    ops.push(OpSpec::Relu {
+        numel: n * 1024 * p,
+    });
+    ops.push(OpSpec::Relu {
+        numel: n * 1088 * p,
+    });
     conv1d_bn_relu(&mut ops, n, 1088, 512, p);
     conv1d_bn_relu(&mut ops, n, 512, 256, p);
     conv1d_bn_relu(&mut ops, n, 256, 128, p);
@@ -175,11 +184,18 @@ fn convt_bn_relu(
         kernel,
         stride,
         padding,
-    groups: 1,
+        groups: 1,
     });
     let ho = (h - 1) * stride + kernel - 2 * padding;
-    ops.push(OpSpec::BatchNorm2d { n, c: c_out, h: ho, w: ho });
-    ops.push(OpSpec::Relu { numel: n * c_out * ho * ho });
+    ops.push(OpSpec::BatchNorm2d {
+        n,
+        c: c_out,
+        h: ho,
+        w: ho,
+    });
+    ops.push(OpSpec::Relu {
+        numel: n * c_out * ho * ho,
+    });
     ho
 }
 
@@ -204,9 +220,16 @@ fn conv_bn_lrelu(
     });
     let ho = h / 2;
     if bn {
-        ops.push(OpSpec::BatchNorm2d { n, c: c_out, h: ho, w: ho });
+        ops.push(OpSpec::BatchNorm2d {
+            n,
+            c: c_out,
+            h: ho,
+            w: ho,
+        });
     }
-    ops.push(OpSpec::LeakyRelu { numel: n * c_out * ho * ho });
+    ops.push(OpSpec::LeakyRelu {
+        numel: n * c_out * ho * ho,
+    });
     ho
 }
 
@@ -229,7 +252,9 @@ pub fn dcgan_generator() -> Vec<OpSpec> {
         padding: 1,
         groups: 1,
     });
-    ops.push(OpSpec::Tanh { numel: n * 3 * 64 * 64 });
+    ops.push(OpSpec::Tanh {
+        numel: n * 3 * 64 * 64,
+    });
     ops
 }
 
@@ -265,7 +290,14 @@ pub fn dcgan_iteration() -> Vec<OpSpec> {
     ops
 }
 
-fn res_block(ops: &mut Vec<OpSpec>, n: usize, c_in: usize, c_out: usize, h: usize, stride: usize) -> usize {
+fn res_block(
+    ops: &mut Vec<OpSpec>,
+    n: usize,
+    c_in: usize,
+    c_out: usize,
+    h: usize,
+    stride: usize,
+) -> usize {
     let ho = h / stride;
     ops.push(OpSpec::Conv2d {
         n,
@@ -278,8 +310,15 @@ fn res_block(ops: &mut Vec<OpSpec>, n: usize, c_in: usize, c_out: usize, h: usiz
         padding: 1,
         groups: 1,
     });
-    ops.push(OpSpec::BatchNorm2d { n, c: c_out, h: ho, w: ho });
-    ops.push(OpSpec::Relu { numel: n * c_out * ho * ho });
+    ops.push(OpSpec::BatchNorm2d {
+        n,
+        c: c_out,
+        h: ho,
+        w: ho,
+    });
+    ops.push(OpSpec::Relu {
+        numel: n * c_out * ho * ho,
+    });
     ops.push(OpSpec::Conv2d {
         n,
         c_in: c_out,
@@ -291,7 +330,12 @@ fn res_block(ops: &mut Vec<OpSpec>, n: usize, c_in: usize, c_out: usize, h: usiz
         padding: 1,
         groups: 1,
     });
-    ops.push(OpSpec::BatchNorm2d { n, c: c_out, h: ho, w: ho });
+    ops.push(OpSpec::BatchNorm2d {
+        n,
+        c: c_out,
+        h: ho,
+        w: ho,
+    });
     if stride != 1 || c_in != c_out {
         ops.push(OpSpec::Conv2d {
             n,
@@ -304,10 +348,17 @@ fn res_block(ops: &mut Vec<OpSpec>, n: usize, c_in: usize, c_out: usize, h: usiz
             padding: 0,
             groups: 1,
         });
-        ops.push(OpSpec::BatchNorm2d { n, c: c_out, h: ho, w: ho });
+        ops.push(OpSpec::BatchNorm2d {
+            n,
+            c: c_out,
+            h: ho,
+            w: ho,
+        });
     }
     // Skip add + relu.
-    ops.push(OpSpec::Relu { numel: 2 * n * c_out * ho * ho });
+    ops.push(OpSpec::Relu {
+        numel: 2 * n * c_out * ho * ho,
+    });
     ho
 }
 
@@ -326,8 +377,15 @@ pub fn resnet18() -> Vec<OpSpec> {
         padding: 1,
         groups: 1,
     });
-    ops.push(OpSpec::BatchNorm2d { n, c: 64, h: 32, w: 32 });
-    ops.push(OpSpec::Relu { numel: n * 64 * 32 * 32 });
+    ops.push(OpSpec::BatchNorm2d {
+        n,
+        c: 64,
+        h: 32,
+        w: 32,
+    });
+    ops.push(OpSpec::Relu {
+        numel: n * 64 * 32 * 32,
+    });
     let mut h = 32;
     let mut c = 64;
     for stage in 0..4 {
@@ -338,7 +396,9 @@ pub fn resnet18() -> Vec<OpSpec> {
         c = c_out;
     }
     // Global average pool + FC.
-    ops.push(OpSpec::Relu { numel: n * c * h * h });
+    ops.push(OpSpec::Relu {
+        numel: n * c * h * h,
+    });
     ops.push(OpSpec::Linear {
         n,
         f_in: c,
@@ -410,7 +470,14 @@ mod tests {
     fn dcgan_generator_ends_at_64px() {
         let ops = dcgan_generator();
         match ops[ops.len() - 2] {
-            OpSpec::ConvTranspose2d { h, stride, kernel, padding, c_out, .. } => {
+            OpSpec::ConvTranspose2d {
+                h,
+                stride,
+                kernel,
+                padding,
+                c_out,
+                ..
+            } => {
                 assert_eq!(c_out, 3);
                 assert_eq!((h - 1) * stride + kernel - 2 * padding, 64);
             }

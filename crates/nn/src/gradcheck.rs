@@ -74,7 +74,11 @@ mod tests {
     #[test]
     fn passes_on_correct_gradient() {
         let w = Parameter::new(Tensor::from_vec(vec![0.5, -1.5, 2.0], [3]), "w");
-        check_gradients(std::slice::from_ref(&w), |tape| tape.param(&w).square().sum(), 1e-2);
+        check_gradients(
+            std::slice::from_ref(&w),
+            |tape| tape.param(&w).square().sum(),
+            1e-2,
+        );
     }
 
     #[test]
@@ -83,10 +87,14 @@ mod tests {
         let w = Parameter::new(Tensor::from_vec(vec![1.0], [1]), "w");
         // Deliberately corrupt: loss uses w^2 but we seed an extra bogus
         // gradient before checking, making the analytic value wrong.
-        check_gradients(std::slice::from_ref(&w), |tape| {
-            // Sneak in a wrong gradient contribution on every build.
-            w.accumulate_grad(&Tensor::from_vec(vec![100.0], [1]));
-            tape.param(&w).square().sum()
-        }, 1e-3);
+        check_gradients(
+            std::slice::from_ref(&w),
+            |tape| {
+                // Sneak in a wrong gradient contribution on every build.
+                w.accumulate_grad(&Tensor::from_vec(vec![100.0], [1]));
+                tape.param(&w).square().sum()
+            },
+            1e-3,
+        );
     }
 }

@@ -95,7 +95,11 @@ impl Conv2d {
     /// Panics if channel counts are not divisible by `groups`.
     pub fn new(cfg: Conv2dCfg, rng: &mut Rng) -> Self {
         assert_eq!(cfg.in_channels % cfg.groups, 0, "Cin must divide by groups");
-        assert_eq!(cfg.out_channels % cfg.groups, 0, "Cout must divide by groups");
+        assert_eq!(
+            cfg.out_channels % cfg.groups,
+            0,
+            "Cout must divide by groups"
+        );
         let fan_in = cfg.in_channels / cfg.groups * cfg.kernel * cfg.kernel;
         let weight = Parameter::new(
             rng.kaiming_uniform(
@@ -109,9 +113,12 @@ impl Conv2d {
             ),
             "conv2d.weight",
         );
-        let bias = cfg
-            .bias
-            .then(|| Parameter::new(rng.kaiming_uniform([cfg.out_channels], fan_in), "conv2d.bias"));
+        let bias = cfg.bias.then(|| {
+            Parameter::new(
+                rng.kaiming_uniform([cfg.out_channels], fan_in),
+                "conv2d.bias",
+            )
+        });
         Conv2d { weight, bias, cfg }
     }
 
@@ -185,7 +192,11 @@ impl ConvTranspose2d {
     /// Panics if channel counts are not divisible by `groups`.
     pub fn new(cfg: Conv2dCfg, rng: &mut Rng) -> Self {
         assert_eq!(cfg.in_channels % cfg.groups, 0, "Cin must divide by groups");
-        assert_eq!(cfg.out_channels % cfg.groups, 0, "Cout must divide by groups");
+        assert_eq!(
+            cfg.out_channels % cfg.groups,
+            0,
+            "Cout must divide by groups"
+        );
         let fan_in = cfg.out_channels / cfg.groups * cfg.kernel * cfg.kernel;
         let weight = Parameter::new(
             rng.kaiming_uniform(
@@ -199,9 +210,12 @@ impl ConvTranspose2d {
             ),
             "convt2d.weight",
         );
-        let bias = cfg
-            .bias
-            .then(|| Parameter::new(rng.kaiming_uniform([cfg.out_channels], fan_in), "convt2d.bias"));
+        let bias = cfg.bias.then(|| {
+            Parameter::new(
+                rng.kaiming_uniform([cfg.out_channels], fan_in),
+                "convt2d.bias",
+            )
+        });
         ConvTranspose2d { weight, bias, cfg }
     }
 
@@ -618,9 +632,13 @@ impl Module for Dropout {
         }
         let keep = 1.0 - self.p;
         let mut rng = self.rng.borrow_mut();
-        let mask = rng
-            .rand(x.value().shape().clone(), 0.0, 1.0)
-            .map(|u| if u < keep { 1.0 / keep } else { 0.0 });
+        let mask = rng.rand(x.value().shape().clone(), 0.0, 1.0).map(|u| {
+            if u < keep {
+                1.0 / keep
+            } else {
+                0.0
+            }
+        });
         x.mul_const(&mask)
     }
 
@@ -769,10 +787,7 @@ mod tests {
     #[test]
     fn conv_transpose_doubles_spatial() {
         let mut rng = Rng::seed_from(1);
-        let deconv = ConvTranspose2d::new(
-            Conv2dCfg::new(8, 4, 4).stride(2).padding(1),
-            &mut rng,
-        );
+        let deconv = ConvTranspose2d::new(Conv2dCfg::new(8, 4, 4).stride(2).padding(1), &mut rng);
         let tape = Tape::new();
         let y = deconv.forward(&tape.leaf(Tensor::zeros([1, 8, 4, 4])));
         assert_eq!(y.dims(), vec![1, 4, 8, 8]);

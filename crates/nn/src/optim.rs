@@ -35,10 +35,7 @@ pub struct Sgd {
 impl Sgd {
     /// Creates SGD over `params`.
     pub fn new(params: Vec<Parameter>, lr: f32, momentum: f32) -> Self {
-        let velocity = params
-            .iter()
-            .map(|p| p.value().zeros_like())
-            .collect();
+        let velocity = params.iter().map(|p| p.value().zeros_like()).collect();
         Sgd {
             params,
             lr,

@@ -6,10 +6,12 @@
 //! iteration while parameters persist outside it — the same lifecycle as
 //! PyTorch's dynamic graph.
 
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::rc::Rc;
 
+use hfta_telemetry::{LaneId, OpCost, Profiler, SpanGuard};
 use hfta_tensor::Tensor;
+use serde::Value;
 
 use crate::parameter::Parameter;
 
@@ -23,11 +25,24 @@ pub(crate) struct Node {
     pub(crate) value: Tensor,
     pub(crate) backward: Option<BackwardFn>,
     pub(crate) param: Option<Parameter>,
+    /// Op that produced this node; names the backward span.
+    pub(crate) op: &'static str,
+}
+
+/// Telemetry captured once per tape so hot paths pay a single branch.
+pub(crate) struct TapeTelemetry {
+    pub(crate) profiler: Profiler,
+    pub(crate) fwd: LaneId,
+    pub(crate) bwd: LaneId,
 }
 
 #[derive(Default)]
 pub(crate) struct TapeInner {
     pub(crate) nodes: RefCell<Vec<Node>>,
+    /// Name of the op currently recording (consumed by the next `push`).
+    pub(crate) current_op: Cell<Option<&'static str>>,
+    /// `Some` only when a profiler was installed at tape creation.
+    pub(crate) telemetry: Option<TapeTelemetry>,
 }
 
 /// A recording of a forward computation.
@@ -49,15 +64,55 @@ pub(crate) struct TapeInner {
 /// loss.backward();
 /// assert_eq!(w.grad_cloned().to_vec(), vec![2.0]); // d(w*x)/dw = x
 /// ```
-#[derive(Clone, Default)]
+#[derive(Clone)]
 pub struct Tape {
     pub(crate) inner: Rc<TapeInner>,
 }
 
+impl Default for Tape {
+    fn default() -> Self {
+        Tape::new()
+    }
+}
+
 impl Tape {
-    /// Creates an empty tape.
+    /// Creates an empty tape. If a [`Profiler`] is installed on this thread,
+    /// the tape caches it (plus its forward/backward lanes) so op recording
+    /// pays one branch per op; otherwise telemetry is fully disabled.
     pub fn new() -> Self {
-        Tape::default()
+        let telemetry = Profiler::current().map(|profiler| {
+            let fwd = profiler.lane("autograd", "forward");
+            let bwd = profiler.lane("autograd", "backward");
+            TapeTelemetry { profiler, fwd, bwd }
+        });
+        Tape {
+            inner: Rc::new(TapeInner {
+                nodes: RefCell::new(Vec::new()),
+                current_op: Cell::new(None),
+                telemetry,
+            }),
+        }
+    }
+
+    /// Opens a forward span for op `name`, attributing FLOPs and bytes from
+    /// `cost`. When no profiler is installed this is a single branch: `cost`
+    /// is never evaluated and no allocation happens.
+    pub(crate) fn record_op(
+        &self,
+        name: &'static str,
+        cost: impl FnOnce() -> OpCost,
+    ) -> Option<SpanGuard> {
+        let t = self.inner.telemetry.as_ref()?;
+        self.inner.current_op.set(Some(name));
+        let c = cost();
+        Some(t.profiler.span_with_args(
+            t.fwd,
+            name,
+            vec![
+                ("flops".to_string(), Value::F64(c.flops)),
+                ("bytes".to_string(), Value::F64(c.bytes)),
+            ],
+        ))
     }
 
     /// Number of recorded nodes.
@@ -87,11 +142,13 @@ impl Tape {
         backward: Option<BackwardFn>,
         param: Option<Parameter>,
     ) -> Var {
+        let op = self.inner.current_op.take().unwrap_or("leaf");
         let mut nodes = self.inner.nodes.borrow_mut();
         nodes.push(Node {
             value,
             backward,
             param,
+            op,
         });
         Var {
             tape: self.clone(),
@@ -191,12 +248,15 @@ impl Var {
             nodes[self.id].value.shape(),
             "backward seed shape mismatch"
         );
+        let telemetry = self.tape.inner.telemetry.as_ref();
+        let _sweep = telemetry.map(|t| t.profiler.span(t.bwd, "backward"));
         let mut grads: Vec<Option<Tensor>> = vec![None; self.id + 1];
         grads[self.id] = Some(seed);
         for id in (0..=self.id).rev() {
             let Some(g) = grads[id].take() else { continue };
             let node = &nodes[id];
             if let Some(backward) = &node.backward {
+                let _span = telemetry.map(|t| t.profiler.span(t.bwd, format!("bwd:{}", node.op)));
                 for (pid, pg) in backward(&g) {
                     debug_assert!(pid < id, "tape must be topologically ordered");
                     match &mut grads[pid] {
@@ -252,7 +312,12 @@ impl Var {
 impl std::fmt::Debug for Var {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         let nodes = self.tape.inner.nodes.borrow();
-        write!(f, "Var(#{}, shape {})", self.id, nodes[self.id].value.shape())
+        write!(
+            f,
+            "Var(#{}, shape {})",
+            self.id,
+            nodes[self.id].value.shape()
+        )
     }
 }
 
@@ -308,6 +373,29 @@ mod tests {
         let y = tape.param(&w).mul_scalar(3.0);
         y.backward_with(Tensor::from_vec(vec![1.0, 10.0], [2]));
         assert_eq!(w.grad_cloned().to_vec(), vec![3.0, 30.0]);
+    }
+
+    #[test]
+    fn profiler_captures_forward_and_backward_spans() {
+        let p = Profiler::new("tape-test");
+        let _g = p.install();
+        let w = Parameter::new(Tensor::from_vec(vec![2.0], [1]), "w");
+        let tape = Tape::new();
+        let x = tape.param(&w);
+        let loss = x.mul(&x).sum();
+        loss.backward();
+        // mul B/E + sum B/E forward, plus backward sweep + per-op bwd spans.
+        assert!(p.event_count() >= 8, "events {}", p.event_count());
+        let json = p.trace_json();
+        assert!(json.contains("\"mul\""));
+        assert!(json.contains("bwd:mul"));
+        assert!(json.contains("flops"));
+    }
+
+    #[test]
+    fn no_profiler_means_no_tape_telemetry() {
+        let tape = Tape::new();
+        assert!(tape.inner.telemetry.is_none());
     }
 
     #[test]

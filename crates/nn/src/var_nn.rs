@@ -10,7 +10,18 @@ use hfta_tensor::norm::{batch_norm_backward, batch_norm_eval, batch_norm_train};
 use hfta_tensor::pool::{max_pool2d, max_pool2d_backward};
 use hfta_tensor::Tensor;
 
+use hfta_telemetry::OpCost;
+
 use crate::tape::Var;
+
+/// FLOP/byte cost of a direct convolution producing `out_numel` outputs,
+/// each accumulating over `k_per_out` kernel taps.
+fn conv_cost(out_numel: usize, k_per_out: usize, in_numel: usize, w_numel: usize) -> OpCost {
+    OpCost {
+        flops: 2.0 * out_numel as f64 * k_per_out as f64,
+        bytes: 4.0 * (in_numel + w_numel + out_numel) as f64,
+    }
+}
 
 /// Per-channel batch statistics `(mean, variance)` returned by
 /// training-mode batch norm.
@@ -24,6 +35,16 @@ impl Var {
     ///
     /// Panics on shape/group inconsistencies.
     pub fn conv2d(&self, weight: &Var, bias: Option<&Var>, cfg: ConvCfg) -> Var {
+        let _t = self.tape.record_op("conv2d", || {
+            let (xd, wd) = (self.dims(), weight.dims());
+            let (ho, wo) = cfg.out_hw((xd[2], xd[3]), (wd[2], wd[3]));
+            conv_cost(
+                xd[0] * wd[0] * ho * wo,
+                wd[1] * wd[2] * wd[3],
+                self.numel(),
+                weight.numel(),
+            )
+        });
         let x = self.value();
         let w = weight.value();
         let b = bias.map(|b| b.value());
@@ -65,6 +86,16 @@ impl Var {
         padding: usize,
         groups: usize,
     ) -> Var {
+        let _t = self.tape.record_op("conv1d", || {
+            let (xd, wd) = (self.dims(), weight.dims());
+            let lo = (xd[2] + 2 * padding - wd[2]) / stride + 1;
+            conv_cost(
+                xd[0] * wd[0] * lo,
+                wd[1] * wd[2],
+                self.numel(),
+                weight.numel(),
+            )
+        });
         let x = self.value();
         let w = weight.value();
         let b = bias.map(|b| b.value());
@@ -96,6 +127,16 @@ impl Var {
     ///
     /// Panics on shape/group inconsistencies.
     pub fn conv_transpose2d(&self, weight: &Var, bias: Option<&Var>, cfg: ConvCfg) -> Var {
+        let _t = self.tape.record_op("conv_transpose2d", || {
+            let (xd, wd) = (self.dims(), weight.dims());
+            let (ho, wo) = cfg.transpose_out_hw((xd[2], xd[3]), (wd[2], wd[3]));
+            conv_cost(
+                xd[0] * wd[1] * cfg.groups * ho * wo,
+                wd[1] * wd[2] * wd[3],
+                self.numel(),
+                weight.numel(),
+            )
+        });
         let x = self.value();
         let w = weight.value();
         let b = bias.map(|b| b.value());
@@ -128,6 +169,9 @@ impl Var {
     ///
     /// Panics if the input is not 4-D.
     pub fn max_pool2d(&self, kernel: (usize, usize), stride: (usize, usize)) -> Var {
+        let _t = self
+            .tape
+            .record_op("max_pool2d", || OpCost::reduction(self.numel()));
         let x = self.value();
         let in_dims = x.dims().to_vec();
         let r = max_pool2d(&x, kernel, stride);
@@ -155,6 +199,9 @@ impl Var {
         eps: f32,
         running_stats: Option<(&[f32], &[f32])>,
     ) -> (Var, Option<BatchStats>) {
+        let _t = self
+            .tape
+            .record_op("batch_norm", || OpCost::elementwise(self.numel()));
         let x = self.value();
         let gv = gamma.value();
         let bv = beta.value();
@@ -234,6 +281,9 @@ impl Var {
 
     /// Log-softmax along `axis`.
     pub fn log_softmax(&self, axis: usize) -> Var {
+        let _t = self
+            .tape
+            .record_op("log_softmax", || OpCost::elementwise(self.numel()));
         let y = self.value().log_softmax(axis);
         let yc = y.clone();
         self.unary(y, move |g| log_softmax_backward(g, &yc, axis))
@@ -241,6 +291,9 @@ impl Var {
 
     /// Softmax along `axis`.
     pub fn softmax(&self, axis: usize) -> Var {
+        let _t = self
+            .tape
+            .record_op("softmax", || OpCost::elementwise(self.numel()));
         let y = self.value().softmax(axis);
         let yc = y.clone();
         self.unary(y, move |g| softmax_backward(g, &yc, axis))
@@ -254,8 +307,14 @@ impl Var {
     ///
     /// Panics if target length or class indices are inconsistent.
     pub fn nll_loss(&self, targets: &[usize]) -> Var {
+        let _t = self
+            .tape
+            .record_op("nll_loss", || OpCost::reduction(self.numel()));
         let lp = self.value();
-        assert!(lp.rank() == 2 || lp.rank() == 3, "nll_loss expects [N, C] or [N, C, D]");
+        assert!(
+            lp.rank() == 2 || lp.rank() == 3,
+            "nll_loss expects [N, C] or [N, C, D]"
+        );
         let n = lp.dim(0);
         let c = lp.dim(1);
         let d = if lp.rank() == 3 { lp.dim(2) } else { 1 };
@@ -298,6 +357,9 @@ impl Var {
     ///
     /// Panics if `targets`'s shape differs from the logits'.
     pub fn bce_with_logits(&self, targets: &Tensor) -> Var {
+        let _t = self
+            .tape
+            .record_op("bce_with_logits", || OpCost::reduction(self.numel()));
         let x = self.value();
         assert_eq!(x.shape(), targets.shape(), "bce target shape mismatch");
         let n = x.numel() as f32;
@@ -322,6 +384,9 @@ impl Var {
     ///
     /// Panics if shapes differ.
     pub fn mse_loss(&self, target: &Tensor) -> Var {
+        let _t = self
+            .tape
+            .record_op("mse_loss", || OpCost::reduction(self.numel()));
         let x = self.value();
         assert_eq!(x.shape(), target.shape(), "mse target shape mismatch");
         let n = x.numel() as f32;
@@ -351,7 +416,11 @@ mod tests {
             &[x.clone(), w.clone(), b.clone()],
             |tape| {
                 tape.param(&x)
-                    .conv2d(&tape.param(&w), Some(&tape.param(&b)), ConvCfg::square(1, 1, 1))
+                    .conv2d(
+                        &tape.param(&w),
+                        Some(&tape.param(&b)),
+                        ConvCfg::square(1, 1, 1),
+                    )
                     .square()
                     .sum()
             },
@@ -422,12 +491,7 @@ mod tests {
         let x = Parameter::new(rng.randn([1, 2, 4, 4]), "x");
         check_gradients(
             std::slice::from_ref(&x),
-            |tape| {
-                tape.param(&x)
-                    .max_pool2d((2, 2), (2, 2))
-                    .square()
-                    .sum()
-            },
+            |tape| tape.param(&x).max_pool2d((2, 2), (2, 2)).square().sum(),
             2e-1,
         );
     }
@@ -529,7 +593,11 @@ mod tests {
         let mut rng = Rng::seed_from(20);
         let x = Parameter::new(rng.randn([5]), "x");
         let t = rng.randn([5]);
-        check_gradients(std::slice::from_ref(&x), |tape| tape.param(&x).mse_loss(&t), 1e-2);
+        check_gradients(
+            std::slice::from_ref(&x),
+            |tape| tape.param(&x).mse_loss(&t),
+            1e-2,
+        );
     }
 
     #[test]

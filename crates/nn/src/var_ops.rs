@@ -1,5 +1,10 @@
 //! Differentiable arithmetic, layout and reduction ops on [`Var`].
+//!
+//! Every substantive op opens a forward telemetry span via
+//! `Tape::record_op` before computing; when no profiler is installed the
+//! call is a single branch and the cost closure never runs.
 
+use hfta_telemetry::OpCost;
 use hfta_tensor::Tensor;
 
 use crate::tape::Var;
@@ -11,15 +16,19 @@ impl Var {
 
     /// Elementwise addition with broadcasting.
     pub fn add(&self, other: &Var) -> Var {
+        let _t = self.tape.record_op("add", || {
+            OpCost::elementwise(self.numel().max(other.numel()))
+        });
         let (av, bv) = (self.value(), other.value());
         let (sa, sb) = (av.shape().clone(), bv.shape().clone());
-        self.binary(other, av.add(&bv), move |g| {
-            (g.sum_to(&sa), g.sum_to(&sb))
-        })
+        self.binary(other, av.add(&bv), move |g| (g.sum_to(&sa), g.sum_to(&sb)))
     }
 
     /// Elementwise subtraction with broadcasting.
     pub fn sub(&self, other: &Var) -> Var {
+        let _t = self.tape.record_op("sub", || {
+            OpCost::elementwise(self.numel().max(other.numel()))
+        });
         let (av, bv) = (self.value(), other.value());
         let (sa, sb) = (av.shape().clone(), bv.shape().clone());
         self.binary(other, av.sub(&bv), move |g| {
@@ -29,6 +38,9 @@ impl Var {
 
     /// Elementwise multiplication with broadcasting.
     pub fn mul(&self, other: &Var) -> Var {
+        let _t = self.tape.record_op("mul", || {
+            OpCost::elementwise(self.numel().max(other.numel()))
+        });
         let (av, bv) = (self.value(), other.value());
         let (sa, sb) = (av.shape().clone(), bv.shape().clone());
         let (ac, bc) = (av.clone(), bv.clone());
@@ -39,6 +51,9 @@ impl Var {
 
     /// Elementwise division with broadcasting.
     pub fn div(&self, other: &Var) -> Var {
+        let _t = self.tape.record_op("div", || {
+            OpCost::elementwise(self.numel().max(other.numel()))
+        });
         let (av, bv) = (self.value(), other.value());
         let (sa, sb) = (av.shape().clone(), bv.shape().clone());
         let (ac, bc) = (av.clone(), bv.clone());
@@ -51,16 +66,25 @@ impl Var {
 
     /// Adds a scalar.
     pub fn add_scalar(&self, s: f32) -> Var {
+        let _t = self
+            .tape
+            .record_op("add_scalar", || OpCost::elementwise(self.numel()));
         self.unary(self.value().add_scalar(s), |g| g.clone())
     }
 
     /// Multiplies by a scalar.
     pub fn mul_scalar(&self, s: f32) -> Var {
+        let _t = self
+            .tape
+            .record_op("mul_scalar", || OpCost::elementwise(self.numel()));
         self.unary(self.value().mul_scalar(s), move |g| g.mul_scalar(s))
     }
 
     /// Negation.
     pub fn neg(&self) -> Var {
+        let _t = self
+            .tape
+            .record_op("neg", || OpCost::elementwise(self.numel()));
         self.unary(self.value().neg(), |g| g.neg())
     }
 
@@ -70,12 +94,18 @@ impl Var {
 
     /// Rectified linear unit.
     pub fn relu(&self) -> Var {
+        let _t = self
+            .tape
+            .record_op("relu", || OpCost::elementwise(self.numel()));
         let mask = self.value().gt_mask(&Tensor::scalar(0.0));
         self.unary(self.value().relu(), move |g| g.mul(&mask))
     }
 
     /// Leaky ReLU with the given negative slope.
     pub fn leaky_relu(&self, slope: f32) -> Var {
+        let _t = self
+            .tape
+            .record_op("leaky_relu", || OpCost::elementwise(self.numel()));
         let v = self.value();
         let dmask = v.map(|x| if x >= 0.0 { 1.0 } else { slope });
         self.unary(v.leaky_relu(slope), move |g| g.mul(&dmask))
@@ -83,6 +113,9 @@ impl Var {
 
     /// Hyperbolic tangent.
     pub fn tanh(&self) -> Var {
+        let _t = self
+            .tape
+            .record_op("tanh", || OpCost::elementwise(self.numel()));
         let y = self.value().tanh();
         let yc = y.clone();
         self.unary(y, move |g| g.mul(&yc.square().neg().add_scalar(1.0)))
@@ -90,15 +123,19 @@ impl Var {
 
     /// Logistic sigmoid.
     pub fn sigmoid(&self) -> Var {
+        let _t = self
+            .tape
+            .record_op("sigmoid", || OpCost::elementwise(self.numel()));
         let y = self.value().sigmoid();
         let yc = y.clone();
-        self.unary(y, move |g| {
-            g.mul(&yc).mul(&yc.neg().add_scalar(1.0))
-        })
+        self.unary(y, move |g| g.mul(&yc).mul(&yc.neg().add_scalar(1.0)))
     }
 
     /// Natural exponential.
     pub fn exp(&self) -> Var {
+        let _t = self
+            .tape
+            .record_op("exp", || OpCost::elementwise(self.numel()));
         let y = self.value().exp();
         let yc = y.clone();
         self.unary(y, move |g| g.mul(&yc))
@@ -106,6 +143,9 @@ impl Var {
 
     /// Natural logarithm.
     pub fn ln(&self) -> Var {
+        let _t = self
+            .tape
+            .record_op("ln", || OpCost::elementwise(self.numel()));
         let x = self.value();
         let xc = x.clone();
         self.unary(x.ln(), move |g| g.div(&xc))
@@ -113,6 +153,9 @@ impl Var {
 
     /// Elementwise square.
     pub fn square(&self) -> Var {
+        let _t = self
+            .tape
+            .record_op("square", || OpCost::elementwise(self.numel()));
         let x = self.value();
         let xc = x.clone();
         self.unary(x.square(), move |g| g.mul(&xc).mul_scalar(2.0))
@@ -125,6 +168,9 @@ impl Var {
     ///
     /// Panics if the shapes do not broadcast.
     pub fn mul_const(&self, c: &Tensor) -> Var {
+        let _t = self
+            .tape
+            .record_op("mul_const", || OpCost::elementwise(self.numel()));
         let shape = self.value().shape().clone();
         let cc = c.clone();
         self.unary(self.value().mul(c), move |g| g.mul(&cc).sum_to(&shape))
@@ -136,6 +182,9 @@ impl Var {
     ///
     /// Panics if the shapes do not broadcast.
     pub fn add_const(&self, c: &Tensor) -> Var {
+        let _t = self
+            .tape
+            .record_op("add_const", || OpCost::elementwise(self.numel()));
         let shape = self.value().shape().clone();
         self.unary(self.value().add(c), move |g| g.sum_to(&shape))
     }
@@ -146,6 +195,9 @@ impl Var {
 
     /// Sum of all elements (scalar output).
     pub fn sum(&self) -> Var {
+        let _t = self
+            .tape
+            .record_op("sum", || OpCost::reduction(self.numel()));
         let shape = self.value().shape().clone();
         self.unary(self.value().sum(), move |g| {
             Tensor::full(shape.clone(), g.item())
@@ -154,6 +206,9 @@ impl Var {
 
     /// Mean of all elements (scalar output).
     pub fn mean(&self) -> Var {
+        let _t = self
+            .tape
+            .record_op("mean", || OpCost::reduction(self.numel()));
         let shape = self.value().shape().clone();
         let n = shape.numel() as f32;
         self.unary(self.value().mean(), move |g| {
@@ -163,6 +218,9 @@ impl Var {
 
     /// Sum along `axis`, keeping it as size 1.
     pub fn sum_axis_keep(&self, axis: usize) -> Var {
+        let _t = self
+            .tape
+            .record_op("sum_axis", || OpCost::reduction(self.numel()));
         let shape = self.value().shape().clone();
         self.unary(self.value().sum_axis(axis, true), move |g| {
             // Broadcast the reduced gradient back across the axis.
@@ -178,6 +236,9 @@ impl Var {
 
     /// Maximum along `axis` (axis removed); gradient routes to the argmax.
     pub fn max_axis(&self, axis: usize) -> Var {
+        let _t = self
+            .tape
+            .record_op("max_axis", || OpCost::reduction(self.numel()));
         let v = self.value();
         let (out, indices) = v.max_axis_with_indices(axis);
         let in_dims = v.dims().to_vec();
@@ -210,12 +271,18 @@ impl Var {
     ///
     /// Panics if the element counts differ.
     pub fn reshape(&self, dims: &[usize]) -> Var {
+        let _t = self
+            .tape
+            .record_op("reshape", || OpCost::elementwise(self.numel()));
         let old = self.value().dims().to_vec();
         self.unary(self.value().reshape(dims), move |g| g.reshape(&old))
     }
 
     /// Flattens all dimensions from `start_axis` onward.
     pub fn flatten_from(&self, start_axis: usize) -> Var {
+        let _t = self
+            .tape
+            .record_op("flatten", || OpCost::elementwise(self.numel()));
         let old = self.value().dims().to_vec();
         self.unary(self.value().flatten_from(start_axis), move |g| {
             g.reshape(&old)
@@ -228,6 +295,9 @@ impl Var {
     ///
     /// Panics if `order` is not a permutation of the rank.
     pub fn permute(&self, order: &[usize]) -> Var {
+        let _t = self
+            .tape
+            .record_op("permute", || OpCost::elementwise(self.numel()));
         let order = order.to_vec();
         let mut inverse = vec![0usize; order.len()];
         for (i, &a) in order.iter().enumerate() {
@@ -245,6 +315,9 @@ impl Var {
 
     /// Slice of `len` elements from `start` along `axis`.
     pub fn narrow(&self, axis: usize, start: usize, len: usize) -> Var {
+        let _t = self
+            .tape
+            .record_op("narrow", || OpCost::elementwise(self.numel()));
         let dims = self.value().dims().to_vec();
         self.unary(self.value().narrow(axis, start, len), move |g| {
             let mut gx = Tensor::zeros(dims.clone());
@@ -261,6 +334,9 @@ impl Var {
     pub fn concat(vars: &[&Var], axis: usize) -> Var {
         assert!(!vars.is_empty(), "concat of zero vars");
         let tape = vars[0].tape.clone();
+        let _t = tape.record_op("concat", || {
+            OpCost::elementwise(vars.iter().map(|v| v.numel()).sum())
+        });
         let values: Vec<Tensor> = vars.iter().map(|v| v.value()).collect();
         let value = Tensor::concat(&values.iter().collect::<Vec<_>>(), axis);
         let ids: Vec<usize> = vars.iter().map(|v| v.id).collect();
@@ -286,6 +362,10 @@ impl Var {
 
     /// 2-D matrix product.
     pub fn matmul(&self, other: &Var) -> Var {
+        let _t = self.tape.record_op("matmul", || {
+            let (a, b) = (self.dims(), other.dims());
+            OpCost::matmul(1, a[0], a[1], b[1])
+        });
         let (a, b) = (self.value(), other.value());
         let (ac, bc) = (a.clone(), b.clone());
         self.binary(other, a.matmul(&b), move |g| {
@@ -295,11 +375,13 @@ impl Var {
 
     /// Batched matrix product `[B, m, k] x [B, k, n]`.
     pub fn bmm(&self, other: &Var) -> Var {
+        let _t = self.tape.record_op("bmm", || {
+            let (a, b) = (self.dims(), other.dims());
+            OpCost::matmul(a[0], a[1], a[2], b[2])
+        });
         let (a, b) = (self.value(), other.value());
         let (ac, bc) = (a.clone(), b.clone());
-        self.binary(other, a.bmm(&b), move |g| {
-            (g.bmm_nt(&bc), ac.bmm_tn(g))
-        })
+        self.binary(other, a.bmm(&b), move |g| (g.bmm_nt(&bc), ac.bmm_tn(g)))
     }
 
     /// Batched `bias + self @ other` with broadcastable bias — the fused
@@ -401,11 +483,12 @@ mod tests {
 
     #[test]
     fn ln_gradcheck_positive_domain() {
-        let x = Parameter::new(
-            Tensor::from_vec(vec![0.5, 1.0, 2.0, 3.0], [4]),
-            "x",
+        let x = Parameter::new(Tensor::from_vec(vec![0.5, 1.0, 2.0, 3.0], [4]), "x");
+        check_gradients(
+            std::slice::from_ref(&x),
+            |tape| tape.param(&x).ln().sum(),
+            1e-2,
         );
-        check_gradients(std::slice::from_ref(&x), |tape| tape.param(&x).ln().sum(), 1e-2);
     }
 
     #[test]
@@ -428,10 +511,7 @@ mod tests {
         let tape = Tape::new();
         let y = tape.param(&w).max_axis(1).sum();
         y.backward();
-        assert_eq!(
-            w.grad_cloned().to_vec(),
-            vec![0.0, 1.0, 0.0, 0.0, 0.0, 1.0]
-        );
+        assert_eq!(w.grad_cloned().to_vec(), vec![0.0, 1.0, 0.0, 0.0, 0.0, 1.0]);
     }
 
     #[test]

@@ -13,7 +13,8 @@
 //! 3. **Per-process memory** — each process reserves a framework context;
 //!    HFTA shares one (paper Figure 7).
 
-use serde::{Deserialize, Serialize};
+use hfta_telemetry::Profiler;
+use serde::{Deserialize, Serialize, Value};
 
 use crate::counters::Counters;
 use crate::device::DeviceSpec;
@@ -183,8 +184,7 @@ impl GpuSim {
 
         let bytes = if use_tc { k.bytes / 2 } else { k.bytes };
         // Bandwidth saturates with fewer blocks than compute does.
-        let mem_fraction =
-            (tiles * MEM_SATURATION_DIVISOR).min(share_slots) / total_slots;
+        let mem_fraction = (tiles * MEM_SATURATION_DIVISOR).min(share_slots) / total_slots;
         let eff_bw = dev.hbm_bw_gibs * 1024f64.powi(3) * mem_fraction.min(1.0) * wave;
         let mem_us = bytes as f64 / eff_bw * 1e6;
 
@@ -375,8 +375,7 @@ impl GpuSim {
             }
         };
 
-        let throughput_eps =
-            (models * job.examples_per_iteration) as f64 / (round_us * 1e-6);
+        let throughput_eps = (models * job.examples_per_iteration) as f64 / (round_us * 1e-6);
         let mut counters = counters;
         counters.smi_util = Counters::smi_from_active(counters.sm_active, models);
         SimResult {
@@ -387,6 +386,67 @@ impl GpuSim {
             memory_gib,
             counters,
         }
+    }
+
+    /// Like [`GpuSim::simulate`], but also renders one process's simulated
+    /// kernel stream onto a trace lane (`process = device name`,
+    /// `thread = label`) and samples the DCGM-style counters as a
+    /// time-series named `<label>/<counter>` (the paper's Figures 8/11/12
+    /// views). Timestamps are simulated microseconds within one round.
+    pub fn simulate_traced(
+        &self,
+        policy: SharingPolicy,
+        job: &TrainingJob,
+        j: usize,
+        profiler: &Profiler,
+        label: &str,
+    ) -> SimResult {
+        let result = self.simulate(policy, job, j);
+        if !result.fits {
+            return result;
+        }
+        let lane = profiler.lane(&self.device.name, label);
+        let share = match policy {
+            SharingPolicy::Serial | SharingPolicy::Hfta | SharingPolicy::Concurrent => 1.0,
+            SharingPolicy::Mps => 1.0 / j as f64,
+            SharingPolicy::Mig => 1.0 / self.device.mig_max_instances as f64,
+        };
+        let mut cursor = 0.0f64;
+        for (i, k) in job.kernels.iter().enumerate() {
+            let t = self.kernel_timing(k, share);
+            let start = cursor + t.overhead_us;
+            let end = start + t.exec_us;
+            let name = match k.gemm {
+                Some(g) => format!("gemm {}x{}x{}", g.m, g.n, g.k),
+                None => "elementwise".to_string(),
+            };
+            profiler.begin_at(
+                lane,
+                name.clone(),
+                start,
+                vec![
+                    ("flops".to_string(), Value::U64(k.flops)),
+                    ("bytes".to_string(), Value::U64(k.bytes)),
+                    ("tiles".to_string(), Value::U64(k.tiles)),
+                ],
+            );
+            profiler.end_at(lane, name, end);
+            profiler.counter_at(lane, &format!("{label}/sm_active"), end, t.active);
+            profiler.counter_at(lane, &format!("{label}/sm_occupancy"), end, t.occupancy);
+            profiler.counter_at(lane, &format!("{label}/tensor_active"), end, t.tensor);
+            profiler.counter_at(
+                lane,
+                &format!("{label}/smi_util"),
+                end,
+                Counters::smi_from_active(t.active, result.models + i),
+            );
+            cursor = end;
+        }
+        profiler.incr("sim.kernels", job.kernels.len() as f64);
+        profiler.incr("sim.rounds", 1.0);
+        profiler.set_gauge(&format!("{label}/throughput_eps"), result.throughput_eps);
+        profiler.observe("sim.round_us", result.round_us);
+        result
     }
 
     fn counters_from(&self, s: &StreamSummary, round_us: f64, scale: f64) -> Counters {
@@ -414,12 +474,18 @@ impl GpuSim {
             }
             let job = job_for(j);
             let (mem, cap) = match policy {
-                SharingPolicy::Hfta => (self.memory_gib(self.job_mem_gib(&job), 1), self.device.hbm_gib),
+                SharingPolicy::Hfta => (
+                    self.memory_gib(self.job_mem_gib(&job), 1),
+                    self.device.hbm_gib,
+                ),
                 SharingPolicy::Mig => (
                     self.memory_gib(self.job_mem_gib(&job), 1),
                     self.device.hbm_gib / self.device.mig_max_instances as f64,
                 ),
-                _ => (self.memory_gib(self.job_mem_gib(&job), j), self.device.hbm_gib),
+                _ => (
+                    self.memory_gib(self.job_mem_gib(&job), j),
+                    self.device.hbm_gib,
+                ),
             };
             if mem <= cap {
                 best = j;
@@ -465,10 +531,7 @@ mod tests {
         let elt = Kernel::elementwise(500_000);
         TrainingJob {
             name: "small".into(),
-            kernels: vec![gemm; 30]
-                .into_iter()
-                .chain(vec![elt; 30])
-                .collect(),
+            kernels: vec![gemm; 30].into_iter().chain(vec![elt; 30]).collect(),
             host_us: 300.0,
             sync_us_per_kernel: 0.0,
             cpu_gap_fraction: 0.0,
@@ -558,8 +621,12 @@ mod tests {
     #[test]
     fn hfta_throughput_scales_with_b() {
         let s = sim();
-        let t2 = s.simulate(SharingPolicy::Hfta, &fused_job(2), 1).throughput_eps;
-        let t8 = s.simulate(SharingPolicy::Hfta, &fused_job(8), 1).throughput_eps;
+        let t2 = s
+            .simulate(SharingPolicy::Hfta, &fused_job(2), 1)
+            .throughput_eps;
+        let t8 = s
+            .simulate(SharingPolicy::Hfta, &fused_job(8), 1)
+            .throughput_eps;
         assert!(t8 > 2.0 * t2, "fused scaling too weak: {t2} -> {t8}");
     }
 
@@ -568,8 +635,10 @@ mod tests {
         let s = sim();
         let max_mps = s.max_jobs(SharingPolicy::Mps, 64, |_| small_job());
         let max_hfta = s.max_jobs(SharingPolicy::Hfta, 64, fused_job);
-        assert!(max_mps >= 1 && max_hfta > max_mps,
-            "HFTA must fit more models: MPS {max_mps} vs HFTA {max_hfta}");
+        assert!(
+            max_mps >= 1 && max_hfta > max_mps,
+            "HFTA must fit more models: MPS {max_mps} vs HFTA {max_hfta}"
+        );
     }
 
     #[test]
@@ -607,10 +676,18 @@ mod tests {
         let b = 8;
         let fp32 = GpuSim::new(DeviceSpec::v100(), false);
         let amp = GpuSim::new(DeviceSpec::v100(), true);
-        let serial_gain = amp.simulate(SharingPolicy::Serial, &small_job(), 1).throughput_eps
-            / fp32.simulate(SharingPolicy::Serial, &small_job(), 1).throughput_eps;
-        let hfta_gain = amp.simulate(SharingPolicy::Hfta, &fused_job(b), 1).throughput_eps
-            / fp32.simulate(SharingPolicy::Hfta, &fused_job(b), 1).throughput_eps;
+        let serial_gain = amp
+            .simulate(SharingPolicy::Serial, &small_job(), 1)
+            .throughput_eps
+            / fp32
+                .simulate(SharingPolicy::Serial, &small_job(), 1)
+                .throughput_eps;
+        let hfta_gain = amp
+            .simulate(SharingPolicy::Hfta, &fused_job(b), 1)
+            .throughput_eps
+            / fp32
+                .simulate(SharingPolicy::Hfta, &fused_job(b), 1)
+                .throughput_eps;
         assert!(serial_gain < 1.5, "serial AMP gain {serial_gain} too high");
         assert!(hfta_gain > serial_gain, "HFTA must benefit more from AMP");
     }
@@ -635,8 +712,36 @@ mod tests {
         // Figure 8 observation (3): concurrent's utilization equals serial.
         let s = sim();
         let serial = s.simulate(SharingPolicy::Serial, &small_job(), 1).counters;
-        let conc = s.simulate(SharingPolicy::Concurrent, &small_job(), 4).counters;
+        let conc = s
+            .simulate(SharingPolicy::Concurrent, &small_job(), 4)
+            .counters;
         assert!((serial.sm_active - conc.sm_active).abs() < 0.1);
+    }
+
+    #[test]
+    fn traced_simulation_matches_untraced_and_emits_timeline() {
+        let s = sim();
+        let p = Profiler::new("sim-test");
+        let plain = s.simulate(SharingPolicy::Hfta, &fused_job(4), 1);
+        let traced = s.simulate_traced(SharingPolicy::Hfta, &fused_job(4), 1, &p, "hfta4");
+        assert_eq!(plain, traced);
+        // 2 events (B/E) + 4 counter events per kernel.
+        assert_eq!(p.event_count(), 6 * fused_job(4).kernels.len());
+        let report = p.report();
+        let exp = &report.experiments[0];
+        assert!(
+            exp.series("hfta4/smi_util").is_some(),
+            "Fig 11 series missing"
+        );
+        assert!(exp.series("hfta4/sm_active").is_some());
+        assert_eq!(
+            exp.counters
+                .iter()
+                .find(|c| c.name == "sim.kernels")
+                .unwrap()
+                .value,
+            fused_job(4).kernels.len() as f64
+        );
     }
 
     #[test]

@@ -204,7 +204,15 @@ mod tests {
 
     #[test]
     fn widening_n_improves_efficiency_monotonically_to_alignment() {
-        let eff = |n| GemmDims { m: 1024, n, k: 64, batch: 1 }.systolic_efficiency();
+        let eff = |n| {
+            GemmDims {
+                m: 1024,
+                n,
+                k: 64,
+                batch: 1,
+            }
+            .systolic_efficiency()
+        };
         assert!(eff(3) < eff(6));
         assert!(eff(6) < eff(48));
         assert!(eff(48) < eff(128));

@@ -13,10 +13,11 @@
 //!   scales linearly with the fusion width; workloads dominated by them
 //!   (PointNet segmentation) gain little (the paper's 1.20x).
 
-use serde::{Deserialize, Serialize};
+use hfta_telemetry::Profiler;
+use serde::{Deserialize, Serialize, Value};
 
 use crate::device::{DeviceKind, DeviceSpec};
-use crate::kernel::TrainingJob;
+use crate::kernel::{Kernel, TrainingJob};
 
 /// Sustained fraction of peak for well-shaped MXU work.
 const MXU_EFFICIENCY: f64 = 0.5;
@@ -72,8 +73,7 @@ impl TpuSim {
     /// HFTA: fused trace, `models_per_job = B`).
     pub fn simulate(&self, job: &TrainingJob) -> TpuSimResult {
         let dev = &self.device;
-        let memory_gib =
-            dev.framework_overhead_gib(false) + job.memory.total_gib();
+        let memory_gib = dev.framework_overhead_gib(false) + job.memory.total_gib();
         if memory_gib > dev.hbm_gib {
             return TpuSimResult {
                 fits: false,
@@ -85,31 +85,7 @@ impl TpuSim {
         }
         let mut total_us = 0.0;
         for k in &job.kernels {
-            // XLA lays out narrow channel axes padded to 128; both memory
-            // traffic and vector-unit work pay for the padding, and
-            // extremely narrow axes trigger an additional pathology (the
-            // paper's weak-serial-baseline observation, §5.2).
-            let pad = k.xla_pad_factor();
-            let t = match k.gemm {
-                Some(g) => {
-                    let eff = g.systolic_efficiency().max(1e-3) * MXU_EFFICIENCY;
-                    let mxu_us = k.flops as f64 / (dev.tensor_tflops * 1e12 * eff) * 1e6;
-                    let mem_us = k.bytes as f64 * pad
-                        / (dev.hbm_bw_gibs * 1024f64.powi(3))
-                        * 1e6;
-                    mxu_us.max(mem_us)
-                }
-                None => {
-                    let vec_us = k.flops as f64 * pad
-                        / (dev.fp32_tflops * 1e12 * VECTOR_EFFICIENCY)
-                        * 1e6;
-                    let mem_us = k.bytes as f64 * pad
-                        / (dev.hbm_bw_gibs * 1024f64.powi(3))
-                        * 1e6;
-                    vec_us.max(mem_us)
-                }
-            };
-            total_us += t * k.xla_pathology_factor() + dev.kernel_launch_us;
+            total_us += self.kernel_us(k) + dev.kernel_launch_us;
         }
         let host_trace_us =
             job.kernels.len() as f64 * job.sync_us_per_kernel * XLA_TRACE_FACTOR + job.host_us;
@@ -122,6 +98,78 @@ impl TpuSim {
             round_us,
             memory_gib,
         }
+    }
+
+    /// Device time of one kernel, µs (excluding launch overhead).
+    ///
+    /// XLA lays out narrow channel axes padded to 128; both memory traffic
+    /// and vector-unit work pay for the padding, and extremely narrow axes
+    /// trigger an additional pathology (the paper's weak-serial-baseline
+    /// observation, §5.2).
+    fn kernel_us(&self, k: &Kernel) -> f64 {
+        let dev = &self.device;
+        let pad = k.xla_pad_factor();
+        let t = match k.gemm {
+            Some(g) => {
+                let eff = g.systolic_efficiency().max(1e-3) * MXU_EFFICIENCY;
+                let mxu_us = k.flops as f64 / (dev.tensor_tflops * 1e12 * eff) * 1e6;
+                let mem_us = k.bytes as f64 * pad / (dev.hbm_bw_gibs * 1024f64.powi(3)) * 1e6;
+                mxu_us.max(mem_us)
+            }
+            None => {
+                let vec_us =
+                    k.flops as f64 * pad / (dev.fp32_tflops * 1e12 * VECTOR_EFFICIENCY) * 1e6;
+                let mem_us = k.bytes as f64 * pad / (dev.hbm_bw_gibs * 1024f64.powi(3)) * 1e6;
+                vec_us.max(mem_us)
+            }
+        };
+        t * k.xla_pathology_factor()
+    }
+
+    /// Like [`TpuSim::simulate`], but also renders the simulated kernel
+    /// stream onto a trace lane (`process = device name`,
+    /// `thread = label`) and samples MXU occupancy as a time-series named
+    /// `<label>/mxu_busy`.
+    pub fn simulate_traced(
+        &self,
+        job: &TrainingJob,
+        profiler: &Profiler,
+        label: &str,
+    ) -> TpuSimResult {
+        let result = self.simulate(job);
+        if !result.fits {
+            return result;
+        }
+        let lane = profiler.lane(&self.device.name, label);
+        let mut cursor = 0.0f64;
+        for k in &job.kernels {
+            let start = cursor + self.device.kernel_launch_us;
+            let end = start + self.kernel_us(k);
+            let name = match k.gemm {
+                Some(g) => format!("mxu {}x{}x{}", g.m, g.n, g.k),
+                None => "vector".to_string(),
+            };
+            profiler.begin_at(
+                lane,
+                name.clone(),
+                start,
+                vec![
+                    ("flops".to_string(), Value::U64(k.flops)),
+                    ("bytes".to_string(), Value::U64(k.bytes)),
+                    ("pad_factor".to_string(), Value::F64(k.xla_pad_factor())),
+                ],
+            );
+            profiler.end_at(lane, name, end);
+            let busy = match k.gemm {
+                Some(g) => g.systolic_efficiency(),
+                None => 0.0,
+            };
+            profiler.counter_at(lane, &format!("{label}/mxu_busy"), end, busy);
+            cursor = end;
+        }
+        profiler.incr("sim.kernels", job.kernels.len() as f64);
+        profiler.set_gauge(&format!("{label}/throughput_eps"), result.throughput_eps);
+        result
     }
 
     /// Largest fusion width that fits in HBM, probing with `job_for(b)`.
@@ -251,6 +299,18 @@ mod tests {
     #[should_panic(expected = "requires a TPU")]
     fn rejects_gpu_spec() {
         let _ = TpuSim::new(DeviceSpec::v100());
+    }
+
+    #[test]
+    fn traced_simulation_matches_untraced() {
+        let s = sim();
+        let p = Profiler::new("tpu-test");
+        let plain = s.simulate(&narrow_job(4));
+        let traced = s.simulate_traced(&narrow_job(4), &p, "hfta4");
+        assert_eq!(plain, traced);
+        assert!(p.event_count() > 0);
+        let report = p.report();
+        assert!(report.experiments[0].series("hfta4/mxu_busy").is_some());
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Property-based tests of simulator invariants.
 
 use hfta_sim::{
-    DeviceSpec, GemmDims, GpuSim, JobMemory, Kernel, SharingPolicy, TrainingJob, TpuSim,
+    DeviceSpec, GemmDims, GpuSim, JobMemory, Kernel, SharingPolicy, TpuSim, TrainingJob,
 };
 use proptest::prelude::*;
 

@@ -1,0 +1,30 @@
+//! `hfta-telemetry`: profiler, metrics registry, and Chrome-trace export.
+//!
+//! One crate owns all observability for the HFTA reproduction:
+//!
+//! * [`Profiler`] — scoped spans ([`Profiler::span`]), experiment scopes
+//!   ([`Profiler::experiment`]), counters/gauges/histograms, per-step
+//!   training metrics, and counter time-series. Installed thread-locally
+//!   ([`Profiler::install`]); when nothing is installed,
+//!   [`Profiler::current`] is `None` and instrumented code pays one branch.
+//! * [`trace`] — the Chrome trace-event JSON writer. Load the output in
+//!   `chrome://tracing` or <https://ui.perfetto.dev>; lanes (`pid`/`tid`)
+//!   map to device/policy/model.
+//! * [`metrics`] — the plain-data registry behind the profiler.
+//! * [`report`] — serializable [`RunReport`] written next to each trace by
+//!   the bench bins (`--trace <dir>`).
+//!
+//! Simulated timelines (from `hfta-sim`) use the explicit-timestamp API
+//! ([`Profiler::begin_at`] / [`Profiler::end_at`] / [`Profiler::counter_at`])
+//! so kernel streams render at simulated microseconds; wall-clock code uses
+//! [`Profiler::span`] guards.
+
+pub mod metrics;
+pub mod profiler;
+pub mod report;
+pub mod trace;
+
+pub use metrics::{CounterSample, HistogramSummary, MetricsRegistry};
+pub use profiler::{ExperimentGuard, InstallGuard, LaneId, OpCost, Profiler, SpanGuard};
+pub use report::{CounterSeries, ExperimentReport, RunReport, SeriesPoint, StepMetric};
+pub use trace::{EventPhase, LaneMeta, TraceEvent};

@@ -1,0 +1,188 @@
+//! Metrics registry: counters, gauges, and histograms.
+//!
+//! The registry is a plain data structure owned by the profiler (one per
+//! experiment scope); it does no locking or I/O. Names are interned
+//! first-come-first-served in insertion order so reports are deterministic.
+
+use serde::{Deserialize, Serialize};
+
+/// A named scalar sample (final counter total or last gauge value).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CounterSample {
+    /// Metric name.
+    pub name: String,
+    /// Value (total for counters, last value for gauges).
+    pub value: f64,
+}
+
+/// Log-bucketed histogram summary.
+///
+/// Buckets are powers of two over the observed magnitude: bucket `i` counts
+/// observations in `[2^(i-1), 2^i)` (bucket 0 counts `< 1`). Enough for
+/// latency/size distributions without configuring bounds.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HistogramSummary {
+    /// Metric name.
+    pub name: String,
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of observations.
+    pub sum: f64,
+    /// Minimum observation (0 when empty).
+    pub min: f64,
+    /// Maximum observation (0 when empty).
+    pub max: f64,
+    /// Power-of-two bucket counts.
+    pub buckets: Vec<u64>,
+}
+
+impl HistogramSummary {
+    fn new(name: String) -> Self {
+        HistogramSummary {
+            name,
+            count: 0,
+            sum: 0.0,
+            min: 0.0,
+            max: 0.0,
+            buckets: vec![0; 40],
+        }
+    }
+
+    fn observe(&mut self, v: f64) {
+        if self.count == 0 {
+            self.min = v;
+            self.max = v;
+        } else {
+            self.min = self.min.min(v);
+            self.max = self.max.max(v);
+        }
+        self.count += 1;
+        self.sum += v;
+        let idx = if v < 1.0 {
+            0
+        } else {
+            (v.log2().floor() as usize + 1).min(self.buckets.len() - 1)
+        };
+        self.buckets[idx] += 1;
+    }
+
+    /// Mean observation (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+}
+
+/// Counters (monotone totals), gauges (last value), histograms.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRegistry {
+    counters: Vec<CounterSample>,
+    gauges: Vec<CounterSample>,
+    histograms: Vec<HistogramSummary>,
+}
+
+impl MetricsRegistry {
+    /// Empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `delta` to counter `name` (creating it at 0).
+    pub fn incr(&mut self, name: &str, delta: f64) {
+        match self.counters.iter_mut().find(|c| c.name == name) {
+            Some(c) => c.value += delta,
+            None => self.counters.push(CounterSample {
+                name: name.to_string(),
+                value: delta,
+            }),
+        }
+    }
+
+    /// Sets gauge `name` to `value`.
+    pub fn set_gauge(&mut self, name: &str, value: f64) {
+        match self.gauges.iter_mut().find(|g| g.name == name) {
+            Some(g) => g.value = value,
+            None => self.gauges.push(CounterSample {
+                name: name.to_string(),
+                value,
+            }),
+        }
+    }
+
+    /// Records one observation into histogram `name`.
+    pub fn observe(&mut self, name: &str, value: f64) {
+        match self.histograms.iter_mut().find(|h| h.name == name) {
+            Some(h) => h.observe(value),
+            None => {
+                let mut h = HistogramSummary::new(name.to_string());
+                h.observe(value);
+                self.histograms.push(h);
+            }
+        }
+    }
+
+    /// Current counter total, if the counter exists.
+    pub fn counter(&self, name: &str) -> Option<f64> {
+        self.counters
+            .iter()
+            .find(|c| c.name == name)
+            .map(|c| c.value)
+    }
+
+    /// Current gauge value, if the gauge exists.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.iter().find(|g| g.name == name).map(|g| g.value)
+    }
+
+    /// All counters in insertion order.
+    pub fn counters(&self) -> &[CounterSample] {
+        &self.counters
+    }
+
+    /// All gauges in insertion order.
+    pub fn gauges(&self) -> &[CounterSample] {
+        &self.gauges
+    }
+
+    /// All histograms in insertion order.
+    pub fn histograms(&self) -> &[HistogramSummary] {
+        &self.histograms
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_gauges_overwrite() {
+        let mut m = MetricsRegistry::new();
+        m.incr("flops", 10.0);
+        m.incr("flops", 5.0);
+        m.set_gauge("width", 4.0);
+        m.set_gauge("width", 8.0);
+        assert_eq!(m.counter("flops"), Some(15.0));
+        assert_eq!(m.gauge("width"), Some(8.0));
+        assert_eq!(m.counter("missing"), None);
+    }
+
+    #[test]
+    fn histogram_tracks_extremes_and_buckets() {
+        let mut m = MetricsRegistry::new();
+        for v in [0.5, 1.5, 3.0, 100.0] {
+            m.observe("lat_us", v);
+        }
+        let h = &m.histograms()[0];
+        assert_eq!(h.count, 4);
+        assert_eq!(h.min, 0.5);
+        assert_eq!(h.max, 100.0);
+        assert!((h.mean() - 26.25).abs() < 1e-9);
+        assert_eq!(h.buckets[0], 1); // 0.5 -> < 1
+        assert_eq!(h.buckets[1], 1); // 1.5 -> [1, 2)
+        assert_eq!(h.buckets[2], 1); // 3.0 -> [2, 4)
+        assert_eq!(h.buckets[7], 1); // 100 -> [64, 128)
+    }
+}

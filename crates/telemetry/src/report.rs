@@ -1,0 +1,135 @@
+//! Serializable run reports: what a bench bin writes next to its trace.
+//!
+//! A [`RunReport`] covers one process run; it holds one
+//! [`ExperimentReport`] per experiment scope (a figure, a table, or a whole
+//! bin) with wall time, per-step training metrics, final counter/gauge
+//! totals, histogram summaries, and counter time-series (e.g. the simulated
+//! `nvidia-smi` utilization the paper plots in Figure 11).
+
+use crate::metrics::{CounterSample, HistogramSummary};
+use serde::{Deserialize, Serialize};
+
+/// One point of a counter time-series.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SeriesPoint {
+    /// Sample time in microseconds (simulated or wall, per series).
+    pub t_us: f64,
+    /// Sampled value.
+    pub value: f64,
+}
+
+/// A named counter time-series.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CounterSeries {
+    /// Series name (e.g. `v100/hfta8/smi_util`).
+    pub name: String,
+    /// Samples in emission order.
+    pub points: Vec<SeriesPoint>,
+}
+
+/// Per-training-step metrics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StepMetric {
+    /// Step index (0-based).
+    pub step: u64,
+    /// Model index within the fused array (0 for serial runs).
+    pub model: u64,
+    /// Training loss at this step.
+    pub loss: f64,
+    /// Throughput in samples per second (0 when not measured).
+    pub samples_per_s: f64,
+    /// Fused array width B (1 for serial runs).
+    pub fused_width: u64,
+}
+
+/// Everything recorded inside one experiment scope.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentReport {
+    /// Experiment name (e.g. `fig3`, `table1`).
+    pub name: String,
+    /// Wall time spent inside the scope, milliseconds.
+    pub wall_ms: f64,
+    /// Per-step training metrics.
+    pub steps: Vec<StepMetric>,
+    /// Final counter totals.
+    pub counters: Vec<CounterSample>,
+    /// Final gauge values.
+    pub gauges: Vec<CounterSample>,
+    /// Histogram summaries.
+    pub histograms: Vec<HistogramSummary>,
+    /// Counter time-series.
+    pub series: Vec<CounterSeries>,
+}
+
+/// Top-level report for one run of a bench bin.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunReport {
+    /// Run name (usually the bin name).
+    pub name: String,
+    /// Total wall time from profiler creation to report, milliseconds.
+    pub wall_ms: f64,
+    /// Number of trace events recorded alongside this report.
+    pub trace_events: u64,
+    /// One entry per experiment scope, in execution order.
+    pub experiments: Vec<ExperimentReport>,
+}
+
+impl RunReport {
+    /// Finds an experiment by name.
+    pub fn experiment(&self, name: &str) -> Option<&ExperimentReport> {
+        self.experiments.iter().find(|e| e.name == name)
+    }
+}
+
+impl ExperimentReport {
+    /// Finds a counter time-series by name.
+    pub fn series(&self, name: &str) -> Option<&CounterSeries> {
+        self.series.iter().find(|s| s.name == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let report = RunReport {
+            name: "fig11".into(),
+            wall_ms: 12.5,
+            trace_events: 3,
+            experiments: vec![ExperimentReport {
+                name: "fig11".into(),
+                wall_ms: 12.0,
+                steps: vec![StepMetric {
+                    step: 0,
+                    model: 1,
+                    loss: 2.25,
+                    samples_per_s: 1000.0,
+                    fused_width: 8,
+                }],
+                counters: vec![CounterSample {
+                    name: "sim.kernels".into(),
+                    value: 42.0,
+                }],
+                gauges: vec![],
+                histograms: vec![],
+                series: vec![CounterSeries {
+                    name: "v100/hfta8/smi_util".into(),
+                    points: vec![SeriesPoint {
+                        t_us: 1.0,
+                        value: 0.98,
+                    }],
+                }],
+            }],
+        };
+        let json = serde_json::to_string_pretty(&report).unwrap();
+        let back: RunReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, report);
+        assert!(back
+            .experiment("fig11")
+            .unwrap()
+            .series("v100/hfta8/smi_util")
+            .is_some());
+    }
+}

@@ -1,0 +1,182 @@
+//! Chrome trace-event model and JSON writer.
+//!
+//! Emits the subset of the [Trace Event Format] that `chrome://tracing` and
+//! [Perfetto](https://ui.perfetto.dev) load: duration events (`ph: "B"`/`"E"`),
+//! counter events (`ph: "C"`), and metadata events (`ph: "M"`) naming the
+//! process/thread lanes. Timestamps are microseconds; one *lane* (a
+//! `pid`/`tid` pair) is allocated per device/policy/model so fused-array
+//! timelines read side by side.
+//!
+//! [Trace Event Format]: https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
+
+use serde::Value;
+
+/// Trace event phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventPhase {
+    /// Duration begin (`"B"`).
+    Begin,
+    /// Duration end (`"E"`).
+    End,
+    /// Counter sample (`"C"`).
+    Counter,
+}
+
+impl EventPhase {
+    fn as_str(self) -> &'static str {
+        match self {
+            EventPhase::Begin => "B",
+            EventPhase::End => "E",
+            EventPhase::Counter => "C",
+        }
+    }
+}
+
+/// One trace event on a lane.
+#[derive(Debug, Clone)]
+pub struct TraceEvent {
+    /// Event (span or counter) name.
+    pub name: String,
+    /// Phase: begin / end / counter.
+    pub phase: EventPhase,
+    /// Timestamp in microseconds.
+    pub ts_us: f64,
+    /// Process lane.
+    pub pid: u64,
+    /// Thread lane.
+    pub tid: u64,
+    /// Extra attributes (`args` in the trace format).
+    pub args: Vec<(String, Value)>,
+}
+
+/// A named `pid`/`tid` lane.
+#[derive(Debug, Clone)]
+pub struct LaneMeta {
+    /// Process id of the lane.
+    pub pid: u64,
+    /// Thread id of the lane.
+    pub tid: u64,
+    /// Process display name (e.g. device or experiment).
+    pub process: String,
+    /// Thread display name (e.g. policy or model).
+    pub thread: String,
+}
+
+fn obj(fields: Vec<(&str, Value)>) -> Value {
+    Value::Object(
+        fields
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+fn meta_event(pid: u64, tid: u64, kind: &str, name: &str) -> Value {
+    obj(vec![
+        ("name", Value::Str(kind.to_string())),
+        ("ph", Value::Str("M".to_string())),
+        ("ts", Value::U64(0)),
+        ("pid", Value::U64(pid)),
+        ("tid", Value::U64(tid)),
+        ("args", obj(vec![("name", Value::Str(name.to_string()))])),
+    ])
+}
+
+/// Renders lanes + events into Chrome trace JSON (the object form with a
+/// `traceEvents` array, which both `chrome://tracing` and Perfetto accept).
+///
+/// Events are stably sorted by timestamp so the output satisfies the
+/// monotone-timestamp invariant checked by the workspace integration tests;
+/// stability preserves begin-before-end order for zero-length spans.
+pub fn render(lanes: &[LaneMeta], events: &[TraceEvent]) -> String {
+    let mut sorted: Vec<&TraceEvent> = events.iter().collect();
+    sorted.sort_by(|a, b| a.ts_us.total_cmp(&b.ts_us));
+
+    let mut out: Vec<Value> = Vec::with_capacity(2 * lanes.len() + sorted.len());
+    for lane in lanes {
+        out.push(meta_event(
+            lane.pid,
+            lane.tid,
+            "process_name",
+            &lane.process,
+        ));
+        out.push(meta_event(lane.pid, lane.tid, "thread_name", &lane.thread));
+    }
+    for e in &sorted {
+        let mut fields = vec![
+            ("name", Value::Str(e.name.clone())),
+            ("ph", Value::Str(e.phase.as_str().to_string())),
+            ("ts", Value::F64(e.ts_us)),
+            ("pid", Value::U64(e.pid)),
+            ("tid", Value::U64(e.tid)),
+        ];
+        if !e.args.is_empty() {
+            fields.push(("args", Value::Object(e.args.clone())));
+        }
+        out.push(obj(fields));
+    }
+
+    let root = obj(vec![
+        ("traceEvents", Value::Array(out)),
+        ("displayTimeUnit", Value::Str("ms".to_string())),
+    ]);
+    serde_json::to_string(&root).expect("trace serialization is infallible")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_is_sorted_and_loadable_json() {
+        let lanes = vec![LaneMeta {
+            pid: 1,
+            tid: 1,
+            process: "V100".into(),
+            thread: "HFTA B=8".into(),
+        }];
+        let events = vec![
+            TraceEvent {
+                name: "k1".into(),
+                phase: EventPhase::Begin,
+                ts_us: 10.0,
+                pid: 1,
+                tid: 1,
+                args: vec![("flops".into(), Value::F64(1e6))],
+            },
+            TraceEvent {
+                name: "k1".into(),
+                phase: EventPhase::End,
+                ts_us: 14.0,
+                pid: 1,
+                tid: 1,
+                args: vec![],
+            },
+            TraceEvent {
+                name: "sm_active".into(),
+                phase: EventPhase::Counter,
+                ts_us: 12.0,
+                pid: 1,
+                tid: 1,
+                args: vec![("value".into(), Value::F64(0.8))],
+            },
+        ];
+        let json = render(&lanes, &events);
+        let v: Value = serde_json::from_str(&json).unwrap();
+        let trace_events = match v.get("traceEvents") {
+            Some(Value::Array(a)) => a,
+            other => panic!("missing traceEvents: {other:?}"),
+        };
+        // 2 metadata + 3 events.
+        assert_eq!(trace_events.len(), 5);
+        // Non-metadata timestamps are monotone.
+        let ts: Vec<f64> = trace_events
+            .iter()
+            .filter_map(|e| match (e.get("ph"), e.get("ts")) {
+                (Some(Value::Str(ph)), Some(Value::F64(t))) if ph != "M" => Some(*t),
+                _ => None,
+            })
+            .collect();
+        assert!(ts.windows(2).all(|w| w[0] <= w[1]), "{ts:?}");
+    }
+}

@@ -379,7 +379,8 @@ pub fn conv2d_grad_weight(
     let mut gw = vec![0.0f32; cout * krows];
     for ni in 0..n {
         for gi in 0..g {
-            let img = &xp_data[(ni * cin + gi * cing) * hp * wp..(ni * cin + (gi + 1) * cing) * hp * wp];
+            let img =
+                &xp_data[(ni * cin + gi * cing) * hp * wp..(ni * cin + (gi + 1) * cing) * hp * wp];
             let cols = im2col(img, cing, (hp, wp), (kh, kw), cfg.stride, (ho, wo));
             let gybase = (ni * cout + gi * coutg) * spatial;
             let gymat = &gy_data[gybase..gybase + coutg * spatial];
@@ -415,7 +416,11 @@ pub fn conv2d_grad_bias(gy: &Tensor) -> Tensor {
 /// Panics on inconsistent shapes or group counts.
 pub fn conv_transpose2d(x: &Tensor, w: &Tensor, b: Option<&Tensor>, cfg: ConvCfg) -> Tensor {
     assert_eq!(x.rank(), 4, "conv_transpose2d input must be [N, Cin, H, W]");
-    assert_eq!(w.rank(), 4, "conv_transpose2d weight must be [Cin, Cout/g, kh, kw]");
+    assert_eq!(
+        w.rank(),
+        4,
+        "conv_transpose2d weight must be [Cin, Cout/g, kh, kw]"
+    );
     let (_, cin, h, wdt) = (x.dim(0), x.dim(1), x.dim(2), x.dim(3));
     assert_eq!(w.dim(0), cin, "weight Cin mismatch");
     let g = cfg.groups;
@@ -452,7 +457,12 @@ pub fn conv_transpose2d_grad_input(w: &Tensor, gy: &Tensor, cfg: ConvCfg) -> Ten
 }
 
 /// Gradient of [`conv_transpose2d`] with respect to its weight.
-pub fn conv_transpose2d_grad_weight(x: &Tensor, gy: &Tensor, kernel_hw: (usize, usize), cfg: ConvCfg) -> Tensor {
+pub fn conv_transpose2d_grad_weight(
+    x: &Tensor,
+    gy: &Tensor,
+    kernel_hw: (usize, usize),
+    cfg: ConvCfg,
+) -> Tensor {
     // In the adjoint view, `gy` plays the conv input and `x` the conv
     // output-gradient.
     conv2d_grad_weight(gy, x, kernel_hw, cfg)
@@ -534,11 +544,18 @@ mod tests {
                         for ci in 0..cing {
                             for u in 0..kh {
                                 for v in 0..kw {
-                                    let yy = (p * cfg.stride.0 + u) as isize - cfg.padding.0 as isize;
-                                    let xx = (q * cfg.stride.1 + v) as isize - cfg.padding.1 as isize;
-                                    if yy >= 0 && xx >= 0 && (yy as usize) < h && (xx as usize) < wdt {
-                                        acc += x.at(&[ni, gi * cing + ci, yy as usize, xx as usize])
-                                            * w.at(&[co, ci, u, v]);
+                                    let yy =
+                                        (p * cfg.stride.0 + u) as isize - cfg.padding.0 as isize;
+                                    let xx =
+                                        (q * cfg.stride.1 + v) as isize - cfg.padding.1 as isize;
+                                    if yy >= 0
+                                        && xx >= 0
+                                        && (yy as usize) < h
+                                        && (xx as usize) < wdt
+                                    {
+                                        acc +=
+                                            x.at(&[ni, gi * cing + ci, yy as usize, xx as usize])
+                                                * w.at(&[co, ci, u, v]);
                                     }
                                 }
                             }
@@ -598,8 +615,12 @@ mod tests {
         // channel-concatenated input with block-diagonal (stacked) weights.
         let b = 3;
         let cfg = ConvCfg::square(1, 1, 1);
-        let xs: Vec<Tensor> = (0..b).map(|i| randn(&[2, 3, 5, 5], 10 + i as u64)).collect();
-        let ws: Vec<Tensor> = (0..b).map(|i| randn(&[4, 3, 3, 3], 20 + i as u64)).collect();
+        let xs: Vec<Tensor> = (0..b)
+            .map(|i| randn(&[2, 3, 5, 5], 10 + i as u64))
+            .collect();
+        let ws: Vec<Tensor> = (0..b)
+            .map(|i| randn(&[4, 3, 3, 3], 20 + i as u64))
+            .collect();
         let bs: Vec<Tensor> = (0..b).map(|i| randn(&[4], 30 + i as u64)).collect();
         let per_model: Vec<Tensor> = (0..b)
             .map(|i| conv2d(&xs[i], &ws[i], Some(&bs[i]), cfg))
@@ -623,7 +644,10 @@ mod tests {
         let gx = conv2d_grad_input(&w, &gy, (6, 6), 2, cfg);
         let lhs = y.flatten().dot(&gy.flatten());
         let rhs = x.flatten().dot(&gx.flatten());
-        assert!((lhs - rhs).abs() < 1e-3 * lhs.abs().max(1.0), "{lhs} vs {rhs}");
+        assert!(
+            (lhs - rhs).abs() < 1e-3 * lhs.abs().max(1.0),
+            "{lhs} vs {rhs}"
+        );
     }
 
     #[test]
@@ -638,7 +662,10 @@ mod tests {
         let lhs = y.flatten().dot(&gy.flatten());
         // d<conv(x;w), gy>/dw . w == <gw, w> because conv is linear in w.
         let rhs = gw.flatten().dot(&w.flatten());
-        assert!((lhs - rhs).abs() < 1e-3 * lhs.abs().max(1.0), "{lhs} vs {rhs}");
+        assert!(
+            (lhs - rhs).abs() < 1e-3 * lhs.abs().max(1.0),
+            "{lhs} vs {rhs}"
+        );
     }
 
     #[test]
@@ -670,15 +697,22 @@ mod tests {
         let back = conv2d(&z, &w, None, cfg);
         let lhs = y.flatten().dot(&z.flatten());
         let rhs = x.flatten().dot(&back.flatten());
-        assert!((lhs - rhs).abs() < 1e-2 * lhs.abs().max(1.0), "{lhs} vs {rhs}");
+        assert!(
+            (lhs - rhs).abs() < 1e-2 * lhs.abs().max(1.0),
+            "{lhs} vs {rhs}"
+        );
     }
 
     #[test]
     fn conv_transpose_grouped_equals_concat() {
         let b = 2;
         let cfg = ConvCfg::square(2, 1, 1);
-        let xs: Vec<Tensor> = (0..b).map(|i| randn(&[1, 4, 3, 3], 40 + i as u64)).collect();
-        let ws: Vec<Tensor> = (0..b).map(|i| randn(&[4, 2, 4, 4], 50 + i as u64)).collect();
+        let xs: Vec<Tensor> = (0..b)
+            .map(|i| randn(&[1, 4, 3, 3], 40 + i as u64))
+            .collect();
+        let ws: Vec<Tensor> = (0..b)
+            .map(|i| randn(&[4, 2, 4, 4], 50 + i as u64))
+            .collect();
         let bs: Vec<Tensor> = (0..b).map(|i| randn(&[2], 60 + i as u64)).collect();
         let per: Vec<Tensor> = (0..b)
             .map(|i| conv_transpose2d(&xs[i], &ws[i], Some(&bs[i]), cfg))

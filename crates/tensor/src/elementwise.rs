@@ -279,10 +279,7 @@ mod tests {
         // [2,1] x [1,3] -> [2,3]
         let a = t(vec![1.0, 2.0], &[2, 1]);
         let b = t(vec![10.0, 20.0, 30.0], &[1, 3]);
-        assert_eq!(
-            a.mul(&b).to_vec(),
-            vec![10.0, 20.0, 30.0, 20.0, 40.0, 60.0]
-        );
+        assert_eq!(a.mul(&b).to_vec(), vec![10.0, 20.0, 30.0, 20.0, 40.0, 60.0]);
     }
 
     #[test]

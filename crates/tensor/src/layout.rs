@@ -167,7 +167,11 @@ impl Tensor {
     pub fn chunk(&self, chunks: usize, axis: usize) -> Vec<Tensor> {
         assert!(chunks > 0, "chunk count must be positive");
         let n = self.dim(axis);
-        assert_eq!(n % chunks, 0, "axis {axis} size {n} not divisible by {chunks}");
+        assert_eq!(
+            n % chunks,
+            0,
+            "axis {axis} size {n} not divisible by {chunks}"
+        );
         let each = n / chunks;
         (0..chunks)
             .map(|c| self.narrow(axis, c * each, each))
@@ -182,7 +186,10 @@ impl Tensor {
     pub fn narrow(&self, axis: usize, start: usize, len: usize) -> Tensor {
         assert!(axis < self.rank(), "narrow axis out of range");
         let n = self.dim(axis);
-        assert!(start + len <= n, "narrow window [{start}, {start}+{len}) out of bounds for axis size {n}");
+        assert!(
+            start + len <= n,
+            "narrow window [{start}, {start}+{len}) out of bounds for axis size {n}"
+        );
         let (outer, inner) = self.split_at_axis(axis);
         let src = self.as_slice();
         let mut out = vec![0.0f32; outer * len * inner];
@@ -431,7 +438,10 @@ mod tests {
     #[test]
     fn repeat_interleave_vs_tile() {
         let t = Tensor::from_vec(vec![1.0, 2.0], [2]);
-        assert_eq!(t.repeat_interleave(3, 0).to_vec(), vec![1.0, 1.0, 1.0, 2.0, 2.0, 2.0]);
+        assert_eq!(
+            t.repeat_interleave(3, 0).to_vec(),
+            vec![1.0, 1.0, 1.0, 2.0, 2.0, 2.0]
+        );
         assert_eq!(t.tile(3, 0).to_vec(), vec![1.0, 2.0, 1.0, 2.0, 1.0, 2.0]);
     }
 

@@ -228,10 +228,7 @@ mod tests {
     fn baddbmm_broadcasts_bias() {
         let x = Tensor::ones([2, 3, 4]);
         let w = Tensor::ones([2, 4, 5]);
-        let bias = Tensor::from_vec(
-            (0..10).map(|i| i as f32).collect(),
-            [2, 1, 5],
-        );
+        let bias = Tensor::from_vec((0..10).map(|i| i as f32).collect(), [2, 1, 5]);
         let y = x.baddbmm(&w, &bias);
         assert_eq!(y.dims(), &[2, 3, 5]);
         // Each product element is 4 (sum of ones over k=4) plus the bias.

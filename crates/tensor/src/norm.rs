@@ -36,7 +36,14 @@ fn check_bn_input(x: &Tensor) -> (usize, usize, usize) {
 }
 
 /// Per-channel sums of `f(value, aux_value)` over batch and spatial axes.
-fn per_channel_sum(x: &[f32], aux: &[f32], n: usize, c: usize, spatial: usize, f: impl Fn(f32, f32) -> f32) -> Vec<f32> {
+fn per_channel_sum(
+    x: &[f32],
+    aux: &[f32],
+    n: usize,
+    c: usize,
+    spatial: usize,
+    f: impl Fn(f32, f32) -> f32,
+) -> Vec<f32> {
     let mut out = vec![0.0f32; c];
     for ni in 0..n {
         #[allow(clippy::needless_range_loop)]
@@ -275,7 +282,10 @@ mod tests {
         // HFTA identity: BN over [N, B*C, ...] with stacked gamma/beta equals
         // per-model BNs (per-channel statistics are independent).
         let x0 = Tensor::from_vec((0..8).map(|i| i as f32).collect::<Vec<_>>(), [2, 2, 2]);
-        let x1 = Tensor::from_vec((0..8).map(|i| (i * i) as f32 * 0.1).collect::<Vec<_>>(), [2, 2, 2]);
+        let x1 = Tensor::from_vec(
+            (0..8).map(|i| (i * i) as f32 * 0.1).collect::<Vec<_>>(),
+            [2, 2, 2],
+        );
         let g = Tensor::from_vec(vec![1.0, 2.0], [2]);
         let b = Tensor::from_vec(vec![0.5, -0.5], [2]);
         let y0 = batch_norm_train(&x0, &g, &b, 1e-5).output;

@@ -24,7 +24,10 @@ pub fn max_pool2d(x: &Tensor, kernel: (usize, usize), stride: (usize, usize)) ->
     let (n, c, h, w) = (x.dim(0), x.dim(1), x.dim(2), x.dim(3));
     let (kh, kw) = kernel;
     let (sh, sw) = stride;
-    assert!(kh > 0 && kw > 0 && sh > 0 && sw > 0, "degenerate pool geometry");
+    assert!(
+        kh > 0 && kw > 0 && sh > 0 && sw > 0,
+        "degenerate pool geometry"
+    );
     assert!(h >= kh && w >= kw, "pool window larger than input");
     let ho = (h - kh) / sh + 1;
     let wo = (w - kw) / sw + 1;
@@ -61,11 +64,7 @@ pub fn max_pool2d(x: &Tensor, kernel: (usize, usize), stride: (usize, usize)) ->
 /// # Panics
 ///
 /// Panics if `gy`'s element count disagrees with `indices`.
-pub fn max_pool2d_backward(
-    gy: &Tensor,
-    indices: &[usize],
-    input_dims: &[usize],
-) -> Tensor {
+pub fn max_pool2d_backward(gy: &Tensor, indices: &[usize], input_dims: &[usize]) -> Tensor {
     assert_eq!(gy.numel(), indices.len(), "grad/index length mismatch");
     assert_eq!(input_dims.len(), 4, "input dims must be [N, C, H, W]");
     let (h, w) = (input_dims[2], input_dims[3]);
@@ -122,7 +121,10 @@ mod tests {
     #[test]
     fn backward_accumulates_on_overlap() {
         // With stride 1, the same (max) input element can win two windows.
-        let x = Tensor::from_vec(vec![0.0, 0.0, 0.0, 0.0, 9.0, 0.0, 0.0, 0.0, 0.0], [1, 1, 3, 3]);
+        let x = Tensor::from_vec(
+            vec![0.0, 0.0, 0.0, 0.0, 9.0, 0.0, 0.0, 0.0, 0.0],
+            [1, 1, 3, 3],
+        );
         let r = max_pool2d(&x, (2, 2), (1, 1));
         let gy = Tensor::ones([1, 1, 2, 2]);
         let gx = max_pool2d_backward(&gy, &r.indices, &[1, 1, 3, 3]);

@@ -26,7 +26,10 @@ impl Tensor {
     /// Panics if the tensor is empty.
     pub fn max_value(&self) -> f32 {
         assert!(self.numel() > 0, "max of empty tensor");
-        self.as_slice().iter().copied().fold(f32::NEG_INFINITY, f32::max)
+        self.as_slice()
+            .iter()
+            .copied()
+            .fold(f32::NEG_INFINITY, f32::max)
     }
 
     /// Minimum element.
@@ -36,7 +39,10 @@ impl Tensor {
     /// Panics if the tensor is empty.
     pub fn min_value(&self) -> f32 {
         assert!(self.numel() > 0, "min of empty tensor");
-        self.as_slice().iter().copied().fold(f32::INFINITY, f32::min)
+        self.as_slice()
+            .iter()
+            .copied()
+            .fold(f32::INFINITY, f32::min)
     }
 
     /// Sums along `axis`.

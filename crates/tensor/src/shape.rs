@@ -277,10 +277,7 @@ mod tests {
     fn index_iter_row_major_order() {
         let s = Shape::new(vec![2, 2]);
         let all: Vec<_> = IndexIter::new(&s).collect();
-        assert_eq!(
-            all,
-            vec![vec![0, 0], vec![0, 1], vec![1, 0], vec![1, 1]]
-        );
+        assert_eq!(all, vec![vec![0, 0], vec![0, 1], vec![1, 0], vec![1, 1]]);
     }
 
     #[test]

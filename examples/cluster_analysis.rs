@@ -23,7 +23,10 @@ fn main() {
     );
 
     println!("\nFigure 10 — sampled repetitive jobs (low utilization):");
-    for (i, s) in classify::sample_utilization(&jobs, &cats, 13).iter().enumerate() {
+    for (i, s) in classify::sample_utilization(&jobs, &cats, 13)
+        .iter()
+        .enumerate()
+    {
         println!(
             "  job {:>2}: sm_active {:>5.1}%  sm_occupancy {:>5.1}%",
             i + 1,

@@ -40,22 +40,14 @@ fn main() {
         let real_fused: Vec<&Tensor> = std::iter::repeat_n(&real, b).collect();
         let real_x = tape.leaf(Tensor::concat(&real_fused, 1));
         let d_real = disc.forward(&real_x); // [N, B]
-        let loss_real = fused_bce_with_logits(
-            &d_real,
-            &Tensor::ones([batch, b]),
-            b,
-            Reduction::Mean,
-        );
+        let loss_real =
+            fused_bce_with_logits(&d_real, &Tensor::ones([batch, b]), b, Reduction::Mean);
         let z = tape.leaf(noise.randn([batch, b * cfg.latent, 1, 1]));
         let fake = gen.forward(&z);
         // Detach the generator: feed the fake image values as a leaf.
         let d_fake = disc.forward(&tape.leaf(fake.value()));
-        let loss_fake = fused_bce_with_logits(
-            &d_fake,
-            &Tensor::zeros([batch, b]),
-            b,
-            Reduction::Mean,
-        );
+        let loss_fake =
+            fused_bce_with_logits(&d_fake, &Tensor::zeros([batch, b]), b, Reduction::Mean);
         let d_loss = loss_real.add(&loss_fake);
         d_loss.backward();
         opt_d.step();
@@ -66,8 +58,7 @@ fn main() {
         let z = tape.leaf(noise.randn([batch, b * cfg.latent, 1, 1]));
         let fake = gen.forward(&z);
         let d_out = disc.forward(&fake);
-        let g_loss =
-            fused_bce_with_logits(&d_out, &Tensor::ones([batch, b]), b, Reduction::Mean);
+        let g_loss = fused_bce_with_logits(&d_out, &Tensor::ones([batch, b]), b, Reduction::Mean);
         g_loss.backward();
         opt_g.step();
 

@@ -63,11 +63,8 @@ fn main() {
 
     // --- HFTA: one fused array ---
     let t0 = Instant::now();
-    let mut opt = FusedAdam::new(
-        fused.fused_parameters(),
-        PerModel::new(lrs.to_vec()),
-    )
-    .expect("widths match");
+    let mut opt = FusedAdam::new(fused.fused_parameters(), PerModel::new(lrs.to_vec()))
+        .expect("widths match");
     let mut fused_losses = vec![Vec::new(); b];
     for (x, y) in &batches {
         opt.zero_grad();

@@ -32,7 +32,10 @@ fn main() {
             .map(|i| {
                 // Learnable rule: class = argmax of 4 feature groups.
                 let row = x.narrow(0, i, 1);
-                row.reshape(&[4, 4]).sum_axis(1, false).argmax_axis(0).item() as usize
+                row.reshape(&[4, 4])
+                    .sum_axis(1, false)
+                    .argmax_axis(0)
+                    .item() as usize
             })
             .collect();
 
@@ -48,10 +51,7 @@ fn main() {
             // Per-model losses for reporting.
             let per: Vec<String> = (0..b)
                 .map(|m| {
-                    let l = logits
-                        .narrow(0, m, 1)
-                        .reshape(&[32, 4])
-                        .cross_entropy(&y);
+                    let l = logits.narrow(0, m, 1).reshape(&[32, 4]).cross_entropy(&y);
                     format!("{:>12.4}", l.item())
                 })
                 .collect();

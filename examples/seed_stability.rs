@@ -51,6 +51,10 @@ fn main() {
     }
     let mean: f32 = finals.iter().sum::<f32>() / b as f32;
     let var: f32 = finals.iter().map(|v| (v - mean).powi(2)).sum::<f32>() / b as f32;
-    println!("\nfinal: mean {:.4}, std {:.4} across {b} seeds", mean, var.sqrt());
+    println!(
+        "\nfinal: mean {:.4}, std {:.4} across {b} seeds",
+        mean,
+        var.sqrt()
+    );
     println!("One device answered the stability question that would have taken {b} GPUs.");
 }

@@ -8,12 +8,18 @@ use hfta_sim::{DeviceSpec, GpuSim, SharingPolicy};
 
 fn main() {
     let device = DeviceSpec::a100();
-    println!("device: {} ({} SMs, {} GiB)\n", device.name, device.sm_count, device.hbm_gib);
+    println!(
+        "device: {} ({} SMs, {} GiB)\n",
+        device.name, device.sm_count, device.hbm_gib
+    );
     for workload in Workload::paper_benchmarks() {
         let amp = true;
         let sim = GpuSim::new(device.clone(), amp);
         let serial = sim.simulate(SharingPolicy::Serial, &workload.serial_job(), 1);
-        println!("## {} (AMP, normalized by serial = {:.0} examples/s)", workload.name, serial.throughput_eps);
+        println!(
+            "## {} (AMP, normalized by serial = {:.0} examples/s)",
+            workload.name, serial.throughput_eps
+        );
         for policy in [
             SharingPolicy::Serial,
             SharingPolicy::Concurrent,

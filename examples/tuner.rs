@@ -91,8 +91,6 @@ fn main() {
     let best = report.best();
     println!(
         "\nbest: lr = {:.5}, momentum = {:.3} (val loss {:.4})",
-        best.config[0].1,
-        best.config[1].1,
-        -best.score
+        best.config[0].1, best.config[1].1, -best.score
     );
 }

@@ -79,7 +79,10 @@ fn assert_matching(serial: &[Vec<f32>], fused: &[Vec<f32>], tol: f32, what: &str
             );
         }
         // And training actually moved.
-        assert!(s.iter().any(|v| (v - s[0]).abs() > 1e-7), "{what}: static loss");
+        assert!(
+            s.iter().any(|v| (v - s[0]).abs() > 1e-7),
+            "{what}: static loss"
+        );
     }
 }
 
@@ -221,8 +224,7 @@ fn fuse_then_unfuse_preserves_training_state() {
     let fused = FusedAlexNet::new(b, AlexNetCfg::mini(4), &mut rng);
     fused.set_training(false);
     let mut data = LabeledImages::new(16, 4, 10);
-    let mut opt =
-        FusedSgd::new(fused.fused_parameters(), PerModel::uniform(b, 0.05), 0.9).unwrap();
+    let mut opt = FusedSgd::new(fused.fused_parameters(), PerModel::uniform(b, 0.05), 0.9).unwrap();
     for _ in 0..4 {
         let (x, y) = data.batch(6);
         opt.zero_grad();

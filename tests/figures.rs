@@ -33,7 +33,10 @@ fn fig4_shapes_hold_on_every_panel() {
                 assert!(last > 0.7 * peak, "{tag}: HFTA collapsed {last} < {peak}");
             }
             // HFTA fits at least as many models as MPS (paper: 1.5-7.6x).
-            let hfta_max = panel.curve(SharingPolicy::Hfta, false).unwrap().max_models();
+            let hfta_max = panel
+                .curve(SharingPolicy::Hfta, false)
+                .unwrap()
+                .max_models();
             let mps_max = panel.curve(SharingPolicy::Mps, false).unwrap().max_models();
             assert!(hfta_max >= mps_max, "{tag}: {hfta_max} vs {mps_max}");
         }
@@ -99,7 +102,10 @@ fn fig7_memory_regressions_recover_framework_overhead() {
         );
         // MPS line passes ~through the origin with a steeper slope.
         assert!(m_int.abs() < 0.2, "amp={amp}: MPS intercept {m_int}");
-        assert!(m_slope > h_slope, "amp={amp}: slopes {m_slope} vs {h_slope}");
+        assert!(
+            m_slope > h_slope,
+            "amp={amp}: slopes {m_slope} vs {h_slope}"
+        );
     }
 }
 
@@ -109,7 +115,10 @@ fn fig8_counters_scale_for_hfta_only() {
     let hfta = panel.curve(SharingPolicy::Hfta, true).unwrap();
     let first = hfta.points.first().unwrap().result.counters.sm_active;
     let last = hfta.points.last().unwrap().result.counters.sm_active;
-    assert!(last > 3.0 * first, "HFTA sm_active must scale: {first} -> {last}");
+    assert!(
+        last > 3.0 * first,
+        "HFTA sm_active must scale: {first} -> {last}"
+    );
     // Serial utilization is low (paper: ~0.1).
     let serial = panel.curve(SharingPolicy::Serial, true).unwrap().points[0]
         .result
@@ -126,7 +135,10 @@ fn fig8_counters_scale_for_hfta_only() {
         .result
         .counters
         .sm_active;
-    assert!((conc - serial).abs() < 0.15, "concurrent {conc} vs serial {serial}");
+    assert!(
+        (conc - serial).abs() < 0.15,
+        "concurrent {conc} vs serial {serial}"
+    );
 }
 
 #[test]
@@ -156,11 +168,7 @@ fn table10_amp_pattern_on_all_gpus() {
         let panel = gpu_panel(&device, &Workload::pointnet_cls());
         let serial = panel.amp_gain(SharingPolicy::Serial);
         let hfta = panel.amp_gain(SharingPolicy::Hfta);
-        assert!(
-            serial < 1.5,
-            "{}: serial AMP gain {serial}",
-            device.name
-        );
+        assert!(serial < 1.5, "{}: serial AMP gain {serial}", device.name);
         assert!(
             hfta > 1.5,
             "{}: HFTA AMP gain {hfta} should engage tensor cores",

@@ -51,9 +51,7 @@ fn fused_generator_matches_serial() {
     let mut rng = Rng::seed_from(100);
     let zs: Vec<Tensor> = (0..b).map(|_| rng.randn([2, 16, 1, 1])).collect();
     let tape = Tape::new();
-    let fused_out = fg
-        .forward(&tape.leaf(stack_conv(&zs).unwrap()))
-        .value();
+    let fused_out = fg.forward(&tape.leaf(stack_conv(&zs).unwrap())).value();
     let parts = unstack_conv(&fused_out, b);
     for (i, g) in gens.iter().enumerate() {
         let tape = Tape::new();
@@ -71,11 +69,11 @@ fn fused_discriminator_matches_serial() {
     let b = 3;
     let (_, discs, _, fd) = build_pair(b, 2);
     let mut rng = Rng::seed_from(200);
-    let xs: Vec<Tensor> = (0..b).map(|_| rng.rand([2, 3, 16, 16], -1.0, 1.0)).collect();
+    let xs: Vec<Tensor> = (0..b)
+        .map(|_| rng.rand([2, 3, 16, 16], -1.0, 1.0))
+        .collect();
     let tape = Tape::new();
-    let fused_out = fd
-        .forward(&tape.leaf(stack_conv(&xs).unwrap()))
-        .value(); // [N, B]
+    let fused_out = fd.forward(&tape.leaf(stack_conv(&xs).unwrap())).value(); // [N, B]
     for (i, d) in discs.iter().enumerate() {
         let tape = Tape::new();
         let y = d.forward(&tape.leaf(xs[i].clone())).value(); // [N, 1]

@@ -1,0 +1,54 @@
+//! Test configuration and the deterministic RNG driving generation.
+
+use rand::{RngCore, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Configuration for one `proptest!` test.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Deterministic generator for strategies; seeded from the test name so each
+/// test draws an independent, reproducible stream.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    inner: ChaCha8Rng,
+}
+
+impl TestRng {
+    /// Seeds from an arbitrary name (FNV-1a hash of the bytes).
+    pub fn from_name(name: &str) -> Self {
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            hash ^= b as u64;
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRng {
+            inner: ChaCha8Rng::seed_from_u64(hash),
+        }
+    }
+}
+
+impl RngCore for TestRng {
+    fn next_u32(&mut self) -> u32 {
+        self.inner.next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+}
