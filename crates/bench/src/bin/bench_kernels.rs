@@ -1,0 +1,181 @@
+//! Kernel-layer benchmark harness with machine-readable output.
+//!
+//! Measures the `hfta-kernels` blocked GEMM and the fused conv training
+//! step (forward + grad_input + grad_weight, B = 6 fused DCGAN-style
+//! models) against the pre-PR serial path (naive GEMM backend, 1 thread),
+//! and writes every measurement to a JSON file.
+//!
+//! Usage:
+//!
+//! ```text
+//! bench_kernels [--quick] [--bench-json <path>]   # default BENCH_kernels.json
+//! ```
+//!
+//! The headline `fused_conv_speedup` entry is the acceptance gate for the
+//! kernel layer: blocked backend at 4 threads vs naive backend at 1 thread
+//! on the same end-to-end training step.
+
+use hfta_kernels::{set_backend, set_num_threads, GemmBackend};
+use hfta_tensor::conv::{conv2d, conv2d_grad_input, conv2d_grad_weight, ConvCfg};
+use hfta_tensor::Rng;
+use serde::Serialize;
+use std::hint::black_box;
+use std::time::Instant;
+
+#[derive(Serialize)]
+struct BenchRecord {
+    op: String,
+    shape: String,
+    backend: String,
+    threads: u64,
+    ns_per_iter: f64,
+    gflops: f64,
+}
+
+#[derive(Serialize)]
+struct BenchReport {
+    records: Vec<BenchRecord>,
+    fused_conv_speedup: f64,
+}
+
+/// Times `f` (after one warm-up call), returning mean ns/iter.
+fn time_ns(iters: usize, mut f: impl FnMut()) -> f64 {
+    f();
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    t0.elapsed().as_nanos() as f64 / iters as f64
+}
+
+/// One (backend, threads) configuration of the serial-vs-blocked matrix.
+const CONFIGS: [(GemmBackend, usize, &str); 3] = [
+    (GemmBackend::Naive, 1, "naive"),
+    (GemmBackend::Blocked, 1, "blocked"),
+    (GemmBackend::Blocked, 4, "blocked"),
+];
+
+fn main() {
+    let mut json_path = "BENCH_kernels.json".to_string();
+    let mut quick = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--bench-json" => {
+                json_path = args.next().unwrap_or_else(|| {
+                    eprintln!("--bench-json requires a path");
+                    std::process::exit(2);
+                });
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!("usage: bench_kernels [--quick] [--bench-json <path>]");
+                std::process::exit(2);
+            }
+        }
+    }
+    let iters = if quick { 1 } else { 10 };
+    let prev_threads = hfta_kernels::num_threads();
+    let mut records = Vec::new();
+    let mut rng = Rng::seed_from(17);
+
+    // --- Plain GEMM at paper workload shapes ------------------------------
+    let gemm_shapes = [
+        ("pointnet", 64usize, 64usize, 1024usize),
+        ("dcgan_im2col", 96, 48, 256),
+    ];
+    for (label, m, k, n) in gemm_shapes {
+        let a = rng.randn([m, k]);
+        let b = rng.randn([k, n]);
+        let flops = 2.0 * (m * k * n) as f64;
+        for (backend, threads, backend_name) in CONFIGS {
+            set_backend(backend);
+            set_num_threads(threads);
+            let mut out = vec![0.0f32; m * n];
+            let ns = time_ns(iters, || {
+                out.fill(0.0);
+                hfta_kernels::gemm(
+                    black_box(&mut out),
+                    black_box(a.as_slice()),
+                    black_box(b.as_slice()),
+                    m,
+                    k,
+                    n,
+                );
+            });
+            records.push(BenchRecord {
+                op: "gemm".to_string(),
+                shape: format!("{label}:{m}x{k}x{n}"),
+                backend: backend_name.to_string(),
+                threads: threads as u64,
+                ns_per_iter: ns,
+                gflops: flops / ns,
+            });
+        }
+    }
+
+    // --- Fused conv training step, B = 6 (the acceptance gate) -----------
+    let b = 6usize;
+    let cfg = ConvCfg::square(2, 1, 1).fused(b);
+    let x = rng.randn([4, 3 * b, 32, 32]);
+    let w = rng.randn([16 * b, 3, 4, 4]);
+    let bias = rng.randn([16 * b]);
+    set_backend(GemmBackend::Blocked);
+    let y = conv2d(&x, &w, Some(&bias), cfg);
+    let gy = rng.randn(y.dims().to_vec());
+    let spatial = y.dim(2) * y.dim(3);
+    let krows = 3 * 4 * 4;
+    // fwd + grad_input + grad_weight are each one GEMM of this size.
+    let step_flops = 3.0 * 2.0 * (4 * 16 * b * spatial * krows) as f64;
+    let mut step_ns = [0.0f64; CONFIGS.len()];
+    for (ci, (backend, threads, backend_name)) in CONFIGS.into_iter().enumerate() {
+        set_backend(backend);
+        set_num_threads(threads);
+        let ns = time_ns(iters, || {
+            let y = conv2d(black_box(&x), black_box(&w), Some(&bias), cfg);
+            let gx = conv2d_grad_input(&w, black_box(&gy), (32, 32), 3 * b, cfg);
+            let gw = conv2d_grad_weight(&x, &gy, (4, 4), cfg);
+            black_box((y, gx, gw));
+        });
+        step_ns[ci] = ns;
+        records.push(BenchRecord {
+            op: "fused_conv_training_step".to_string(),
+            shape: format!("B={b}:x4x{}x32x32:w{}x3x4x4", 3 * b, 16 * b),
+            backend: backend_name.to_string(),
+            threads: threads as u64,
+            ns_per_iter: ns,
+            gflops: step_flops / ns,
+        });
+    }
+    set_backend(GemmBackend::Blocked);
+    set_num_threads(prev_threads);
+    // Pre-PR serial path (naive, 1 thread) vs the kernel layer at 4 threads.
+    let fused_conv_speedup = step_ns[0] / step_ns[2];
+
+    let report = BenchReport {
+        records,
+        fused_conv_speedup,
+    };
+    let json = serde_json::to_string_pretty(&report).expect("serialize bench report");
+    std::fs::write(&json_path, &json).unwrap_or_else(|e| {
+        eprintln!("failed to write {json_path}: {e}");
+        std::process::exit(1);
+    });
+
+    println!("# hfta-kernels benchmark");
+    println!(
+        "{:<28} {:>24} {:>8} {:>8} {:>14} {:>9}",
+        "op", "shape", "backend", "threads", "ns/iter", "GFLOP/s"
+    );
+    for r in &report.records {
+        println!(
+            "{:<28} {:>24} {:>8} {:>8} {:>14.0} {:>9.2}",
+            r.op, r.shape, r.backend, r.threads, r.ns_per_iter, r.gflops
+        );
+    }
+    println!(
+        "\nfused conv training step speedup (blocked @4T vs naive @1T): {fused_conv_speedup:.2}x"
+    );
+    println!("wrote {json_path}");
+}

@@ -1,0 +1,318 @@
+//! Cache-blocked, register-tiled f32 GEMM.
+//!
+//! Structure: `A` and `B` are packed into contiguous `MR`-row / `NR`-column
+//! panels (transposition is absorbed by the packing, so all three variants
+//! share one macro-kernel), then an `MR x NR` micro-kernel keeps the output
+//! tile in registers and walks the full contraction dimension with
+//! sequential panel reads — written so the inner loop autovectorizes.
+//!
+//! # Bit-exactness
+//!
+//! Each output element accumulates into its initial value in ascending
+//! contraction order with separate multiply and add (no FMA contraction, no
+//! reordering), which is exactly the order of the naive references in
+//! [`crate::reference`]. The property tests in `tests/proptests.rs` assert
+//! bit-identity — not closeness — between the two, at thread counts 1, 2 and
+//! the maximum. Row panels parallelize across the [`crate::pool`] with a
+//! grain that depends only on the shape, so the thread count never changes
+//! the result.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+use crate::pool::{self, UnsafeSlice};
+use crate::reference;
+
+/// Micro-kernel tile rows.
+pub const MR: usize = 8;
+/// Micro-kernel tile columns.
+pub const NR: usize = 8;
+
+/// Below this many FLOPs (2·m·k·n) the packed path's overhead outweighs its
+/// wins and the reference kernels run instead. Both paths are bit-identical,
+/// so this is purely a performance knob.
+const SMALL_FLOPS: usize = 1 << 12;
+
+/// Target FLOPs per parallel chunk of row panels.
+const CHUNK_FLOPS: usize = 1 << 19;
+
+/// Which implementation the `gemm*` entry points dispatch to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GemmBackend {
+    /// Packed, register-tiled, pool-parallel kernels (default).
+    Blocked,
+    /// The retained naive serial reference — the pre-kernel-layer path,
+    /// kept selectable for A/B benchmarking and equivalence tests.
+    Naive,
+}
+
+static BACKEND: AtomicU8 = AtomicU8::new(0);
+
+/// Selects the GEMM implementation process-wide.
+pub fn set_backend(backend: GemmBackend) {
+    BACKEND.store(
+        match backend {
+            GemmBackend::Blocked => 0,
+            GemmBackend::Naive => 1,
+        },
+        Ordering::Relaxed,
+    );
+}
+
+/// The currently selected GEMM implementation.
+pub fn backend() -> GemmBackend {
+    match BACKEND.load(Ordering::Relaxed) {
+        0 => GemmBackend::Blocked,
+        _ => GemmBackend::Naive,
+    }
+}
+
+/// How operand `A` is stored relative to the `[m, k]` logical view.
+#[derive(Clone, Copy)]
+enum PackA<'a> {
+    /// `a[m, k]` row-major.
+    N(&'a [f32]),
+    /// `a[k, m]` row-major (transposed access).
+    T(&'a [f32]),
+}
+
+/// How operand `B` is stored relative to the `[k, n]` logical view.
+#[derive(Clone, Copy)]
+enum PackB<'a> {
+    /// `b[k, n]` row-major.
+    N(&'a [f32]),
+    /// `b[n, k]` row-major (transposed access).
+    T(&'a [f32]),
+}
+
+/// `out[m,n] += a[m,k] @ b[k,n]`, all row-major.
+pub fn gemm(out: &mut [f32], a: &[f32], b: &[f32], m: usize, k: usize, n: usize) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(out.len(), m * n);
+    if backend() == GemmBackend::Naive || 2 * m * k * n < SMALL_FLOPS {
+        reference::gemm_ref(out, a, b, m, k, n);
+        return;
+    }
+    run_blocked(out, PackA::N(a), PackB::N(b), m, k, n);
+}
+
+/// `out[m,n] += a[m,k] @ b[n,k]^T` (`b` stored row-major as `[n, k]`).
+pub fn gemm_nt(out: &mut [f32], a: &[f32], b: &[f32], m: usize, k: usize, n: usize) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), n * k);
+    debug_assert_eq!(out.len(), m * n);
+    if backend() == GemmBackend::Naive || 2 * m * k * n < SMALL_FLOPS {
+        reference::gemm_nt_ref(out, a, b, m, k, n);
+        return;
+    }
+    run_blocked(out, PackA::N(a), PackB::T(b), m, k, n);
+}
+
+/// `out[m,n] += a[k,m]^T @ b[k,n]` (`a` stored row-major as `[k, m]`).
+pub fn gemm_tn(out: &mut [f32], a: &[f32], b: &[f32], m: usize, k: usize, n: usize) {
+    debug_assert_eq!(a.len(), k * m);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(out.len(), m * n);
+    if backend() == GemmBackend::Naive || 2 * m * k * n < SMALL_FLOPS {
+        reference::gemm_tn_ref(out, a, b, m, k, n);
+        return;
+    }
+    run_blocked(out, PackA::T(a), PackB::N(b), m, k, n);
+}
+
+/// Packs all of `B` into `ceil(n/NR)` zero-padded column panels; panel `jb`
+/// occupies `bpack[jb*k*NR..][p*NR + c] = B[p, jb*NR + c]`.
+fn pack_b(b: PackB<'_>, k: usize, n: usize) -> Vec<f32> {
+    let col_panels = n.div_ceil(NR);
+    let mut bpack = vec![0.0f32; col_panels * k * NR];
+    for jb in 0..col_panels {
+        let j0 = jb * NR;
+        let cols = NR.min(n - j0);
+        let panel = &mut bpack[jb * k * NR..(jb + 1) * k * NR];
+        match b {
+            PackB::N(src) => {
+                for p in 0..k {
+                    let row = &src[p * n + j0..p * n + j0 + cols];
+                    panel[p * NR..p * NR + cols].copy_from_slice(row);
+                }
+            }
+            PackB::T(src) => {
+                for (c, col) in src[j0 * k..(j0 + cols) * k].chunks_exact(k).enumerate() {
+                    for (p, &v) in col.iter().enumerate() {
+                        panel[p * NR + c] = v;
+                    }
+                }
+            }
+        }
+    }
+    bpack
+}
+
+/// Packs rows `i0..i0+rows` of `A` into a zero-padded `MR`-row panel:
+/// `buf[p*MR + r] = A[i0 + r, p]`.
+fn pack_a(a: PackA<'_>, m: usize, k: usize, i0: usize, rows: usize, buf: &mut [f32]) {
+    debug_assert_eq!(buf.len(), k * MR);
+    match a {
+        PackA::N(src) => {
+            if rows < MR {
+                buf.fill(0.0);
+            }
+            for r in 0..rows {
+                let arow = &src[(i0 + r) * k..(i0 + r + 1) * k];
+                for (p, &v) in arow.iter().enumerate() {
+                    buf[p * MR + r] = v;
+                }
+            }
+        }
+        PackA::T(src) => {
+            if rows < MR {
+                buf.fill(0.0);
+            }
+            for p in 0..k {
+                let arow = &src[p * m + i0..p * m + i0 + rows];
+                buf[p * MR..p * MR + rows].copy_from_slice(arow);
+            }
+        }
+    }
+}
+
+/// The register-tiled inner kernel: `acc[r][c] += apanel[p][r] * bpanel[p][c]`
+/// for `p` ascending. `acc` rows/columns beyond the valid tile see only the
+/// panels' zero padding and stay untouched in value.
+#[inline]
+fn microkernel(k: usize, apanel: &[f32], bpanel: &[f32], acc: &mut [[f32; NR]; MR]) {
+    for (arow, brow) in apanel.chunks_exact(MR).zip(bpanel.chunks_exact(NR)).take(k) {
+        let arow: &[f32; MR] = arow.try_into().unwrap();
+        let brow: &[f32; NR] = brow.try_into().unwrap();
+        for r in 0..MR {
+            let av = arow[r];
+            let accr = &mut acc[r];
+            for c in 0..NR {
+                accr[c] += av * brow[c];
+            }
+        }
+    }
+}
+
+fn run_blocked(out: &mut [f32], a: PackA<'_>, b: PackB<'_>, m: usize, k: usize, n: usize) {
+    let bpack = pack_b(b, k, n);
+    let row_panels = m.div_ceil(MR);
+    let col_panels = n.div_ceil(NR);
+    // Grain is a pure function of the shape (never the thread count), so the
+    // chunk decomposition — and therefore the result — is deterministic.
+    let panel_flops = 2 * MR * k * n;
+    let grain = (CHUNK_FLOPS / panel_flops.max(1)).clamp(1, row_panels);
+    let shared = UnsafeSlice::new(out);
+    pool::parallel_for(row_panels, grain, |panels| {
+        let mut apanel = vec![0.0f32; k * MR];
+        for ib in panels {
+            let i0 = ib * MR;
+            let rows = MR.min(m - i0);
+            pack_a(a, m, k, i0, rows, &mut apanel);
+            // SAFETY: row panels are disjoint output regions.
+            let orows = unsafe { shared.slice_mut(i0 * n..(i0 + rows) * n) };
+            for jb in 0..col_panels {
+                let j0 = jb * NR;
+                let cols = NR.min(n - j0);
+                let bpanel = &bpack[jb * k * NR..(jb + 1) * k * NR];
+                let mut acc = [[0.0f32; NR]; MR];
+                for (r, orow) in orows.chunks_exact(n).enumerate() {
+                    acc[r][..cols].copy_from_slice(&orow[j0..j0 + cols]);
+                }
+                microkernel(k, &apanel, bpanel, &mut acc);
+                for (r, orow) in orows.chunks_exact_mut(n).enumerate() {
+                    orow[j0..j0 + cols].copy_from_slice(&acc[r][..cols]);
+                }
+            }
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fill(len: usize, seed: u64) -> Vec<f32> {
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+        (0..len)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                ((state as f64 / u64::MAX as f64) as f32 - 0.5) * 2.0
+            })
+            .collect()
+    }
+
+    fn transpose(src: &[f32], rows: usize, cols: usize) -> Vec<f32> {
+        let mut out = vec![0.0f32; rows * cols];
+        for r in 0..rows {
+            for c in 0..cols {
+                out[c * rows + r] = src[r * cols + c];
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn blocked_bitwise_equals_reference_over_shape_sweep() {
+        for &(m, k, n) in &[
+            (1usize, 1usize, 1usize),
+            (3, 5, 2),
+            (8, 8, 8),
+            (9, 17, 11),
+            (16, 72, 25),
+            (33, 7, 40),
+            (64, 64, 64),
+        ] {
+            let a = fill(m * k, 1 + (m * 31 + k * 7 + n) as u64);
+            let b = fill(k * n, 2 + (m + k * 13 + n * 3) as u64);
+            let init = fill(m * n, 3 + (m + k + n) as u64);
+            let mut fast = init.clone();
+            let mut slow = init.clone();
+            // Force the blocked path even below the size threshold.
+            run_blocked(&mut fast, PackA::N(&a), PackB::N(&b), m, k, n);
+            reference::gemm_ref(&mut slow, &a, &b, m, k, n);
+            assert_eq!(fast, slow, "gemm mismatch at ({m},{k},{n})");
+
+            let at = transpose(&a, m, k);
+            let mut fast_tn = init.clone();
+            let mut slow_tn = init.clone();
+            run_blocked(&mut fast_tn, PackA::T(&at), PackB::N(&b), m, k, n);
+            reference::gemm_tn_ref(&mut slow_tn, &at, &b, m, k, n);
+            assert_eq!(fast_tn, slow_tn, "gemm_tn mismatch at ({m},{k},{n})");
+
+            let bt = transpose(&b, k, n);
+            let mut fast_nt = init.clone();
+            let mut slow_nt = init;
+            run_blocked(&mut fast_nt, PackA::N(&a), PackB::T(&bt), m, k, n);
+            reference::gemm_nt_ref(&mut slow_nt, &a, &bt, m, k, n);
+            assert_eq!(fast_nt, slow_nt, "gemm_nt mismatch at ({m},{k},{n})");
+        }
+    }
+
+    #[test]
+    fn backend_toggle_dispatches_naive() {
+        set_backend(GemmBackend::Naive);
+        assert_eq!(backend(), GemmBackend::Naive);
+        let a = fill(16 * 16, 9);
+        let b = fill(16 * 16, 10);
+        let mut via_entry = vec![0.0f32; 16 * 16];
+        gemm(&mut via_entry, &a, &b, 16, 16, 16);
+        set_backend(GemmBackend::Blocked);
+        assert_eq!(backend(), GemmBackend::Blocked);
+        let mut via_ref = vec![0.0f32; 16 * 16];
+        reference::gemm_ref(&mut via_ref, &a, &b, 16, 16, 16);
+        assert_eq!(via_entry, via_ref);
+    }
+
+    #[test]
+    fn degenerate_dims_are_no_ops() {
+        let mut out: Vec<f32> = vec![1.0; 4];
+        gemm(&mut out, &[], &[], 2, 0, 2);
+        assert_eq!(out, vec![1.0; 4]);
+        let mut empty: Vec<f32> = Vec::new();
+        gemm(&mut empty, &[], &[], 0, 3, 0);
+        assert!(empty.is_empty());
+    }
+}

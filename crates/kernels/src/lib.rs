@@ -1,0 +1,31 @@
+//! # hfta-kernels
+//!
+//! The compute-kernel layer under the HFTA reproduction's tensor substrate:
+//!
+//! * [`pool`] — a persistent, lazily initialized worker pool
+//!   ([`parallel_for`], [`for_each_chunk_mut`]) with an `HFTA_NUM_THREADS`
+//!   override, a [`set_num_threads`] API, and a determinism contract: chunk
+//!   boundaries depend only on the problem shape, so results are
+//!   bit-identical at any thread count.
+//! * [`gemm`] — cache-blocked, register-tiled f32 GEMM ([`gemm()`],
+//!   [`gemm_nt()`], [`gemm_tn()`]) with packed A/B panels and an 8×8
+//!   micro-kernel, bit-identical to the retained naive references in
+//!   [`reference`] (the accumulation order per output element is preserved).
+//! * [`profile`] — [`profiled()`] wires `hfta-telemetry` spans/counters
+//!   (kernel name, threads, FLOPs) around kernel dispatches.
+//!
+//! The paper's Figure 3 claim — fused training is bit-exact with serial
+//! training — survives this layer because every kernel here is
+//! deterministic by construction; the property tests in `tests/proptests.rs`
+//! enforce it.
+
+#![warn(missing_docs)]
+
+pub mod gemm;
+pub mod pool;
+pub mod profile;
+pub mod reference;
+
+pub use gemm::{gemm, gemm_nt, gemm_tn, set_backend, GemmBackend};
+pub use pool::{for_each_chunk_mut, num_threads, parallel_for, set_num_threads, UnsafeSlice};
+pub use profile::profiled;

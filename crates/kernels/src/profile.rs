@@ -1,0 +1,75 @@
+//! Telemetry glue: kernel-level spans and counters.
+//!
+//! The pool's worker threads have no thread-local [`Profiler`] installed, so
+//! all recording happens on the dispatching thread, around the whole kernel
+//! — which is also the only granularity that makes sense in a trace (one
+//! span per operator, not one per chunk). Counters aggregate every call;
+//! spans are only emitted for kernels above [`SPAN_MIN_FLOPS`] so traced
+//! training runs don't drown in micro-dispatch events.
+
+use hfta_telemetry::Profiler;
+use serde::Value;
+
+/// Kernels below this FLOP count record counters but no trace span.
+pub const SPAN_MIN_FLOPS: f64 = 1e6;
+
+/// Runs `f`, attributing it to kernel `name` on the installed profiler (if
+/// any): bumps `kernels.calls` / `kernels.flops`, and for large kernels
+/// opens a `kernels/cpu`-lane span carrying the FLOP count and the pool
+/// thread count. With no profiler installed this is one branch.
+pub fn profiled<R>(name: &str, flops: f64, f: impl FnOnce() -> R) -> R {
+    let Some(p) = Profiler::current() else {
+        return f();
+    };
+    p.incr("kernels.calls", 1.0);
+    p.incr("kernels.flops", flops);
+    if flops >= SPAN_MIN_FLOPS {
+        let lane = p.lane("kernels", "cpu");
+        let threads = crate::pool::num_threads() as u64;
+        let _span = p.span_with_args(
+            lane,
+            name,
+            vec![
+                ("flops".to_string(), Value::F64(flops)),
+                ("threads".to_string(), Value::U64(threads)),
+            ],
+        );
+        f()
+    } else {
+        f()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_profiler_is_passthrough() {
+        assert!(Profiler::current().is_none());
+        assert_eq!(profiled("gemm", 1e9, || 42), 42);
+    }
+
+    #[test]
+    fn counters_always_spans_only_when_large() {
+        let p = Profiler::new("kernels-test");
+        let _guard = p.install();
+        profiled("tiny", 10.0, || ());
+        assert_eq!(p.event_count(), 0, "small kernels must not emit spans");
+        profiled("big", 2e6, || ());
+        assert_eq!(p.event_count(), 2, "large kernels emit begin+end");
+        let report = p.report();
+        let calls = report.experiments[0]
+            .counters
+            .iter()
+            .find(|c| c.name == "kernels.calls")
+            .expect("calls counter");
+        assert_eq!(calls.value, 2.0);
+        let flops = report.experiments[0]
+            .counters
+            .iter()
+            .find(|c| c.name == "kernels.flops")
+            .expect("flops counter");
+        assert_eq!(flops.value, 10.0 + 2e6);
+    }
+}

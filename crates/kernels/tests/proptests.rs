@@ -1,0 +1,109 @@
+//! Property tests of the kernel determinism contract: the blocked,
+//! parallel GEMM kernels must be **bit-identical** to the retained naive
+//! references — across shapes, initial output contents (the kernels
+//! accumulate), backends and thread counts (1, 2 and the max the pool
+//! allows in tests, 4).
+//!
+//! `set_num_threads` / `set_backend` are process globals, so every test in
+//! this binary serializes on [`GLOBAL_LOCK`] and restores the previous
+//! configuration before releasing it.
+
+use hfta_kernels::{gemm, gemm_nt, gemm_tn, reference, set_backend, set_num_threads, GemmBackend};
+use proptest::prelude::*;
+use std::sync::Mutex;
+
+static GLOBAL_LOCK: Mutex<()> = Mutex::new(());
+
+/// Deterministic pseudo-random fill (xorshift), decorrelated by `salt`.
+fn fill(n: usize, seed: u64, salt: u64) -> Vec<f32> {
+    let mut state = seed
+        .wrapping_mul(0x9E3779B97F4A7C15)
+        .wrapping_add(salt)
+        .wrapping_add(1);
+    (0..n)
+        .map(|_| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            ((state as f64 / u64::MAX as f64) as f32 - 0.5) * 4.0
+        })
+        .collect()
+}
+
+/// Restores thread count and backend when a test body exits (even early).
+struct RestoreGlobals {
+    threads: usize,
+}
+
+impl Drop for RestoreGlobals {
+    fn drop(&mut self) {
+        set_num_threads(self.threads);
+        set_backend(GemmBackend::Blocked);
+    }
+}
+
+type GemmFn = fn(&mut [f32], &[f32], &[f32], usize, usize, usize);
+
+fn check_variant(
+    kernel: GemmFn,
+    reference: GemmFn,
+    m: usize,
+    k: usize,
+    n: usize,
+    seed: u64,
+) -> Result<(), String> {
+    let _g = GLOBAL_LOCK.lock().unwrap();
+    let _restore = RestoreGlobals {
+        threads: hfta_kernels::num_threads(),
+    };
+    let a = fill(m * k, seed, 1);
+    let b = fill(k * n, seed, 2);
+    let out_init = fill(m * n, seed, 3);
+
+    let mut expect = out_init.clone();
+    reference(&mut expect, &a, &b, m, k, n);
+
+    // The naive backend must match the reference exactly (same code path).
+    set_backend(GemmBackend::Naive);
+    let mut naive = out_init.clone();
+    kernel(&mut naive, &a, &b, m, k, n);
+    prop_assert!(naive == expect, "naive backend diverged at {m}x{k}x{n}");
+
+    // The blocked backend must be bit-identical at every thread count.
+    set_backend(GemmBackend::Blocked);
+    for threads in [1usize, 2, 4] {
+        set_num_threads(threads);
+        let mut got = out_init.clone();
+        kernel(&mut got, &a, &b, m, k, n);
+        prop_assert!(
+            got == expect,
+            "blocked backend diverged at {m}x{k}x{n} with {threads} threads"
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn gemm_bit_identical(m in 1usize..28, k in 0usize..28, n in 1usize..28, seed in 0u64..1_000_000) {
+        check_variant(gemm, reference::gemm_ref, m, k, n, seed)?;
+    }
+
+    #[test]
+    fn gemm_nt_bit_identical(m in 1usize..28, k in 0usize..28, n in 1usize..28, seed in 0u64..1_000_000) {
+        check_variant(gemm_nt, reference::gemm_nt_ref, m, k, n, seed)?;
+    }
+
+    #[test]
+    fn gemm_tn_bit_identical(m in 1usize..28, k in 0usize..28, n in 1usize..28, seed in 0u64..1_000_000) {
+        check_variant(gemm_tn, reference::gemm_tn_ref, m, k, n, seed)?;
+    }
+
+    #[test]
+    fn gemm_bit_identical_large_rows(m in 24usize..80, seed in 0u64..1_000_000) {
+        // Enough row panels that the pool actually splits the work.
+        check_variant(gemm, reference::gemm_ref, m, 17, 19, seed)?;
+    }
+}

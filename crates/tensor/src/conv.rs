@@ -9,6 +9,20 @@
 //! transposed convolution expressed through the same adjoint kernels.
 
 use crate::tensor::Tensor;
+use hfta_kernels::{self as kernels, UnsafeSlice};
+
+/// Target FLOPs per parallel chunk when fanning out over (sample, group)
+/// blocks. A pure function of the problem shape — never of the thread
+/// count — so chunk boundaries (and therefore results) are identical on
+/// any pool size.
+const PAR_CHUNK_FLOPS: usize = 1 << 19;
+
+/// Chunk size (in `(sample, group)` blocks) for `per_block_flops` each.
+fn block_grain(per_block_flops: usize, n_blocks: usize) -> usize {
+    PAR_CHUNK_FLOPS
+        .checked_div(per_block_flops)
+        .map_or(n_blocks.max(1), |g| g.clamp(1, n_blocks.max(1)))
+}
 
 /// Configuration for 2-D (de)convolutions: `(height, width)` stride and
 /// zero-padding, plus channel groups.
@@ -136,64 +150,6 @@ fn col2im(
     }
 }
 
-/// `out[m,n] += a[m,k] b[k,n]` on raw slices.
-fn gemm_acc(out: &mut [f32], a: &[f32], b: &[f32], m: usize, k: usize, n: usize) {
-    for i in 0..m {
-        let arow = &a[i * k..(i + 1) * k];
-        let orow = &mut out[i * n..(i + 1) * n];
-        for (p, &av) in arow.iter().enumerate() {
-            if av == 0.0 {
-                continue;
-            }
-            let brow = &b[p * n..(p + 1) * n];
-            for (ov, &bv) in orow.iter_mut().zip(brow) {
-                *ov += av * bv;
-            }
-        }
-    }
-}
-
-/// `out[m,n] += a[k,m]^T b[k,n]` on raw slices.
-fn gemm_tn_acc(out: &mut [f32], a: &[f32], b: &[f32], k: usize, m: usize, n: usize) {
-    for p in 0..k {
-        let arow = &a[p * m..(p + 1) * m];
-        let brow = &b[p * n..(p + 1) * n];
-        for (r, &av) in arow.iter().enumerate() {
-            if av == 0.0 {
-                continue;
-            }
-            let orow = &mut out[r * n..(r + 1) * n];
-            for (ov, &bv) in orow.iter_mut().zip(brow) {
-                *ov += av * bv;
-            }
-        }
-    }
-}
-
-/// `out[m,n] += a[m,k] b[n,k]^T` on raw slices.
-fn gemm_nt_acc(out: &mut [f32], a: &[f32], b: &[f32], m: usize, k: usize, n: usize) {
-    for i in 0..m {
-        let arow = &a[i * k..(i + 1) * k];
-        let orow = &mut out[i * n..(i + 1) * n];
-        for (c, ov) in orow.iter_mut().enumerate() {
-            let brow = &b[c * k..(c + 1) * k];
-            let mut acc = 0.0f32;
-            for p in 0..k {
-                acc += arow[p] * brow[p];
-            }
-            *ov += acc;
-        }
-    }
-}
-
-/// Worker threads for data-parallel kernels (conservative: half the
-/// available parallelism, capped at 4, so tests and benches stay stable).
-fn available_threads() -> usize {
-    std::thread::available_parallelism()
-        .map(|n| (n.get() / 2).clamp(1, 4))
-        .unwrap_or(1)
-}
-
 fn check_conv_args(x: &Tensor, w: &Tensor, cfg: &ConvCfg) {
     assert_eq!(x.rank(), 4, "conv2d input must be [N, C, H, W]");
     assert_eq!(w.rank(), 4, "conv2d weight must be [Cout, Cin/g, kh, kw]");
@@ -253,56 +209,38 @@ pub fn conv2d(x: &Tensor, w: &Tensor, b: Option<&Tensor>, cfg: ConvCfg) -> Tenso
     let w_data = w.as_slice();
     let krows = cing * kh * kw;
     let spatial = ho * wo;
-    let mut out = vec![0.0f32; n * cout * spatial];
+    let bias_data = b.map(|bias| bias.as_slice());
     // Each (sample, group) pair writes one contiguous, disjoint output
-    // block, so the blocks parallelize trivially across threads — the CPU
-    // analogue of the bigger-fused-kernel effect HFTA exploits (a fused
-    // conv with B x g groups exposes B x more independent blocks).
+    // block, so the blocks parallelize trivially across the worker pool —
+    // the CPU analogue of the bigger-fused-kernel effect HFTA exploits (a
+    // fused conv with B x g groups exposes B x more independent blocks).
+    // The bias is folded into the block initialization: each output row is
+    // seeded with its channel's bias and the GEMM accumulates on top, so
+    // there is no second pass over the output.
     let block = coutg * spatial;
-    let work = |(idx, out_block): (usize, &mut [f32])| {
-        let (ni, gi) = (idx / g, idx % g);
-        let img =
-            &xp_data[(ni * cin + gi * cing) * hp * wp..(ni * cin + (gi + 1) * cing) * hp * wp];
-        let cols = im2col(img, cing, (hp, wp), (kh, kw), cfg.stride, (ho, wo));
-        let wmat = &w_data[gi * coutg * krows..(gi + 1) * coutg * krows];
-        gemm_acc(out_block, wmat, &cols, coutg, krows, spatial);
-    };
-    let threads = available_threads();
-    // Only fan out when there is enough work to amortize thread startup.
-    if threads > 1 && n * g >= 2 && (n * cout * spatial * krows) > (1 << 20) {
-        let mut blocks: Vec<(usize, &mut [f32])> = out.chunks_mut(block).enumerate().collect();
-        let per = blocks.len().div_ceil(threads);
-        let work = &work;
-        std::thread::scope(|s| {
-            while !blocks.is_empty() {
-                let take = per.min(blocks.len());
-                let batch: Vec<_> = blocks.drain(..take).collect();
-                s.spawn(move || {
-                    for item in batch {
-                        work(item);
+    let per_block_flops = 2 * coutg * krows * spatial;
+    kernels::profiled("conv2d", (n * per_block_flops) as f64, || {
+        let mut out = vec![0.0f32; n * cout * spatial];
+        let shared = UnsafeSlice::new(&mut out);
+        kernels::parallel_for(n * g, block_grain(per_block_flops, n * g), |range| {
+            for idx in range {
+                let (ni, gi) = (idx / g, idx % g);
+                // SAFETY: each (sample, group) index owns a disjoint block.
+                let out_block = unsafe { shared.slice_mut(idx * block..(idx + 1) * block) };
+                if let Some(bd) = bias_data {
+                    for (co, row) in out_block.chunks_exact_mut(spatial).enumerate() {
+                        row.fill(bd[gi * coutg + co]);
                     }
-                });
+                }
+                let img = &xp_data
+                    [(ni * cin + gi * cing) * hp * wp..(ni * cin + (gi + 1) * cing) * hp * wp];
+                let cols = im2col(img, cing, (hp, wp), (kh, kw), cfg.stride, (ho, wo));
+                let wmat = &w_data[gi * coutg * krows..(gi + 1) * coutg * krows];
+                kernels::gemm(out_block, wmat, &cols, coutg, krows, spatial);
             }
         });
-    } else {
-        for item in out.chunks_mut(block).enumerate() {
-            work(item);
-        }
-    }
-    if let Some(bias) = b {
-        let bd = bias.as_slice();
-        for ni in 0..n {
-            #[allow(clippy::needless_range_loop)]
-            for co in 0..cout {
-                let base = (ni * cout + co) * spatial;
-                let bv = bd[co];
-                for v in &mut out[base..base + spatial] {
-                    *v += bv;
-                }
-            }
-        }
-    }
-    Tensor::from_vec(out, [n, cout, ho, wo])
+        Tensor::from_vec(out, [n, cout, ho, wo])
+    })
 }
 
 /// Gradient of [`conv2d`] with respect to its input.
@@ -335,21 +273,33 @@ pub fn conv2d_grad_input(
     let spatial = ho * wo;
     let gy_data = gy.as_slice();
     let w_data = w.as_slice();
-    let mut gx_pad = vec![0.0f32; n * cin * hp * wp];
-    for ni in 0..n {
-        for gi in 0..g {
-            let wmat = &w_data[gi * coutg * krows..(gi + 1) * coutg * krows];
-            let gybase = (ni * cout + gi * coutg) * spatial;
-            let gymat = &gy_data[gybase..gybase + coutg * spatial];
-            // cols = w^T @ gy : [krows, spatial]
-            let mut cols = vec![0.0f32; krows * spatial];
-            gemm_tn_acc(&mut cols, wmat, gymat, coutg, krows, spatial);
-            let img = &mut gx_pad
-                [(ni * cin + gi * cing) * hp * wp..(ni * cin + (gi + 1) * cing) * hp * wp];
-            col2im(&cols, img, cing, (hp, wp), (kh, kw), cfg.stride, (ho, wo));
-        }
-    }
-    Tensor::from_vec(gx_pad, [n, cin, hp, wp]).unpad2d(cfg.padding.0, cfg.padding.1)
+    // Each (sample, group) pair owns one disjoint [cing, hp, wp] block of
+    // the padded input gradient, so the blocks fan out across the pool.
+    let block = cing * hp * wp;
+    let per_block_flops = 2 * coutg * krows * spatial;
+    kernels::profiled(
+        "conv2d_grad_input",
+        (n * g * per_block_flops) as f64,
+        || {
+            let mut gx_pad = vec![0.0f32; n * cin * hp * wp];
+            let shared = UnsafeSlice::new(&mut gx_pad);
+            kernels::parallel_for(n * g, block_grain(per_block_flops, n * g), |range| {
+                for idx in range {
+                    let (ni, gi) = (idx / g, idx % g);
+                    let wmat = &w_data[gi * coutg * krows..(gi + 1) * coutg * krows];
+                    let gybase = (ni * cout + gi * coutg) * spatial;
+                    let gymat = &gy_data[gybase..gybase + coutg * spatial];
+                    // cols = w^T @ gy : [krows, spatial]
+                    let mut cols = vec![0.0f32; krows * spatial];
+                    kernels::gemm_tn(&mut cols, wmat, gymat, krows, coutg, spatial);
+                    // SAFETY: each (sample, group) index owns a disjoint block.
+                    let img = unsafe { shared.slice_mut(idx * block..(idx + 1) * block) };
+                    col2im(&cols, img, cing, (hp, wp), (kh, kw), cfg.stride, (ho, wo));
+                }
+            });
+            Tensor::from_vec(gx_pad, [n, cin, hp, wp]).unpad2d(cfg.padding.0, cfg.padding.1)
+        },
+    )
 }
 
 /// Gradient of [`conv2d`] with respect to its weight.
@@ -376,26 +326,44 @@ pub fn conv2d_grad_weight(
     let gy_data = gy.as_slice();
     let krows = cing * kh * kw;
     let spatial = ho * wo;
-    let mut gw = vec![0.0f32; cout * krows];
-    for ni in 0..n {
-        for gi in 0..g {
-            let img =
-                &xp_data[(ni * cin + gi * cing) * hp * wp..(ni * cin + (gi + 1) * cing) * hp * wp];
-            let cols = im2col(img, cing, (hp, wp), (kh, kw), cfg.stride, (ho, wo));
-            let gybase = (ni * cout + gi * coutg) * spatial;
-            let gymat = &gy_data[gybase..gybase + coutg * spatial];
-            // gw_g += gy [coutg, spatial] @ cols^T [spatial, krows]
-            gemm_nt_acc(
-                &mut gw[gi * coutg * krows..(gi + 1) * coutg * krows],
-                gymat,
-                &cols,
-                coutg,
-                spatial,
-                krows,
-            );
+    // The weight gradient REDUCES over the batch: every sample accumulates
+    // into the same per-group block of `gw`, and float addition is not
+    // associative, so that reduction must never be split across chunks.
+    // With g >= 2 the groups fan out across the pool (each group walks
+    // `ni` in ascending order on one thread); with g == 1 the batch loop
+    // stays serial and the GEMM parallelizes internally over output rows.
+    // Path selection depends only on the shape — never the thread count —
+    // and both paths keep the identical per-element accumulation order.
+    let block = coutg * krows;
+    let flops = 2 * n * g * coutg * spatial * krows;
+    kernels::profiled("conv2d_grad_weight", flops as f64, || {
+        let mut gw = vec![0.0f32; cout * krows];
+        let group_work = |gw_block: &mut [f32], gi: usize| {
+            for ni in 0..n {
+                let img = &xp_data
+                    [(ni * cin + gi * cing) * hp * wp..(ni * cin + (gi + 1) * cing) * hp * wp];
+                let cols = im2col(img, cing, (hp, wp), (kh, kw), cfg.stride, (ho, wo));
+                let gybase = (ni * cout + gi * coutg) * spatial;
+                let gymat = &gy_data[gybase..gybase + coutg * spatial];
+                // gw_g += gy [coutg, spatial] @ cols^T [spatial, krows]
+                kernels::gemm_nt(gw_block, gymat, &cols, coutg, spatial, krows);
+            }
+        };
+        if g >= 2 {
+            let per_group_flops = 2 * n * coutg * spatial * krows;
+            let shared = UnsafeSlice::new(&mut gw);
+            kernels::parallel_for(g, block_grain(per_group_flops, g), |range| {
+                for gi in range {
+                    // SAFETY: each group owns a disjoint block of `gw`.
+                    let gw_block = unsafe { shared.slice_mut(gi * block..(gi + 1) * block) };
+                    group_work(gw_block, gi);
+                }
+            });
+        } else {
+            group_work(&mut gw, 0);
         }
-    }
-    Tensor::from_vec(gw, [cout, cing, kh, kw])
+        Tensor::from_vec(gw, [cout, cing, kh, kw])
+    })
 }
 
 /// Gradient of [`conv2d`] with respect to its bias: `gy` summed over batch

@@ -5,7 +5,7 @@ use crate::tensor::Tensor;
 
 /// Strides of `shape` when broadcast into `out` (0 on broadcast axes),
 /// aligned to `out`'s rank.
-fn broadcast_strides(shape: &Shape, out: &Shape) -> Vec<usize> {
+pub(crate) fn broadcast_strides(shape: &Shape, out: &Shape) -> Vec<usize> {
     let strides = shape.strides();
     let offset = out.rank() - shape.rank();
     let mut result = vec![0; out.rank()];
@@ -16,7 +16,12 @@ fn broadcast_strides(shape: &Shape, out: &Shape) -> Vec<usize> {
 }
 
 /// Applies `f(a, b)` over the broadcast of the two tensors.
-fn broadcast_zip(a: &Tensor, b: &Tensor, f: impl Fn(f32, f32) -> f32, op: &'static str) -> Tensor {
+fn broadcast_zip(
+    a: &Tensor,
+    b: &Tensor,
+    f: impl Fn(f32, f32) -> f32 + Sync,
+    op: &'static str,
+) -> Tensor {
     // Fast path: identical shapes.
     if a.shape() == b.shape() {
         return a.zip(b, f);
@@ -218,9 +223,15 @@ impl Tensor {
             "add_assign_scaled shape mismatch"
         );
         let o = other.as_slice();
-        for (i, v) in self.as_mut_slice().iter_mut().enumerate() {
-            *v += o[i] * alpha;
-        }
+        hfta_kernels::for_each_chunk_mut(
+            self.as_mut_slice(),
+            crate::tensor::ELEMWISE_GRAIN,
+            |start, chunk| {
+                for (j, v) in chunk.iter_mut().enumerate() {
+                    *v += o[start + j] * alpha;
+                }
+            },
+        );
     }
 
     /// In-place elementwise `self = self * a + other * b` (no broadcasting).
@@ -231,9 +242,15 @@ impl Tensor {
     pub fn lerp_assign(&mut self, other: &Tensor, a: f32, b: f32) {
         assert_eq!(self.shape(), other.shape(), "lerp_assign shape mismatch");
         let o = other.as_slice();
-        for (i, v) in self.as_mut_slice().iter_mut().enumerate() {
-            *v = *v * a + o[i] * b;
-        }
+        hfta_kernels::for_each_chunk_mut(
+            self.as_mut_slice(),
+            crate::tensor::ELEMWISE_GRAIN,
+            |start, chunk| {
+                for (j, v) in chunk.iter_mut().enumerate() {
+                    *v = *v * a + o[start + j] * b;
+                }
+            },
+        );
     }
 }
 

@@ -3,26 +3,106 @@
 //! `baddbmm` is load-bearing for HFTA: the horizontal fusion of `B` linear
 //! layers `y_b = x_b W_b + bias_b` is exactly one
 //! `baddbmm(bias[B,1,F_y], x[B,N,F_x], w[B,F_x,F_y])` (Table 6 of the paper).
+//!
+//! All products execute on the blocked, register-tiled kernels of
+//! `hfta-kernels`; the batched variants additionally parallelize across the
+//! `B` (fused-model) batch dimension when there are at least as many
+//! batches as pool threads. Chunk decomposition follows the kernel layer's
+//! determinism contract, so results are bit-identical at any thread count.
 
+use crate::elementwise::broadcast_strides;
+use crate::shape::Shape;
 use crate::tensor::Tensor;
+use hfta_kernels::{self as kernels, UnsafeSlice};
 
-/// `out[m,n] += a[m,k] * b[k,n]` over raw slices, ikj loop order for
-/// cache-friendly row-major access.
-fn gemm_accumulate(out: &mut [f32], a: &[f32], b: &[f32], m: usize, k: usize, n: usize) {
-    debug_assert_eq!(a.len(), m * k);
-    debug_assert_eq!(b.len(), k * n);
-    debug_assert_eq!(out.len(), m * n);
-    for i in 0..m {
-        let arow = &a[i * k..(i + 1) * k];
-        let orow = &mut out[i * n..(i + 1) * n];
-        for (p, &av) in arow.iter().enumerate() {
-            if av == 0.0 {
-                continue;
+/// Below this many total FLOPs a batched product just loops serially (the
+/// per-batch kernels may still parallelize internally when large).
+const BATCH_PAR_MIN_FLOPS: usize = 1 << 20;
+
+type GemmFn = fn(&mut [f32], &[f32], &[f32], usize, usize, usize);
+
+/// Runs `kernel` over `bsz` independent `[m,n] += f(a_i, b_i)` blocks,
+/// accumulating into `out`. Parallelizes across batches when that beats the
+/// kernels' internal row parallelism; either path is bit-identical.
+#[allow(clippy::too_many_arguments)]
+fn batched_gemm(
+    out: &mut [f32],
+    da: &[f32],
+    db: &[f32],
+    bsz: usize,
+    m: usize,
+    k: usize,
+    n: usize,
+    a_stride: usize,
+    b_stride: usize,
+    kernel: GemmFn,
+) {
+    let block = m * n;
+    let threads = kernels::num_threads();
+    let batch_parallel =
+        bsz > 1 && threads > 1 && bsz >= threads && 2 * m * k * n * bsz >= BATCH_PAR_MIN_FLOPS;
+    if !batch_parallel {
+        for i in 0..bsz {
+            kernel(
+                &mut out[i * block..(i + 1) * block],
+                &da[i * a_stride..(i + 1) * a_stride],
+                &db[i * b_stride..(i + 1) * b_stride],
+                m,
+                k,
+                n,
+            );
+        }
+        return;
+    }
+    let shared = UnsafeSlice::new(out);
+    kernels::parallel_for(bsz, 1, |range| {
+        for i in range {
+            // SAFETY: each batch writes its own disjoint output block.
+            let ob = unsafe { shared.slice_mut(i * block..(i + 1) * block) };
+            kernel(
+                ob,
+                &da[i * a_stride..(i + 1) * a_stride],
+                &db[i * b_stride..(i + 1) * b_stride],
+                m,
+                k,
+                n,
+            );
+        }
+    });
+}
+
+/// Fills `out` (shaped `out_shape`) with `src` broadcast across it.
+fn broadcast_fill(out: &mut [f32], src: &Tensor, out_shape: &Shape) {
+    if src.shape() == out_shape {
+        out.copy_from_slice(src.as_slice());
+        return;
+    }
+    if src.numel() == 1 {
+        out.fill(src.as_slice()[0]);
+        return;
+    }
+    assert!(
+        src.shape().broadcasts_to(out_shape),
+        "baddbmm bias {} does not broadcast to {}",
+        src.shape(),
+        out_shape
+    );
+    let strides = broadcast_strides(src.shape(), out_shape);
+    let data = src.as_slice();
+    let rank = out_shape.rank();
+    let dims = out_shape.dims().to_vec();
+    let mut idx = vec![0usize; rank];
+    let mut offset = 0usize;
+    for slot in out.iter_mut() {
+        *slot = data[offset];
+        for axis in (0..rank).rev() {
+            idx[axis] += 1;
+            offset += strides[axis];
+            if idx[axis] < dims[axis] {
+                break;
             }
-            let brow = &b[p * n..(p + 1) * n];
-            for (ov, &bv) in orow.iter_mut().zip(brow) {
-                *ov += av * bv;
-            }
+            idx[axis] = 0;
+            offset -= strides[axis] * dims[axis];
         }
     }
 }
@@ -42,9 +122,11 @@ impl Tensor {
             k, k2,
             "matmul inner dims mismatch: [{m}, {k}] x [{k2}, {n}]"
         );
-        let mut out = vec![0.0f32; m * n];
-        gemm_accumulate(&mut out, self.as_slice(), other.as_slice(), m, k, n);
-        Tensor::from_vec(out, [m, n])
+        kernels::profiled("matmul", 2.0 * (m * k * n) as f64, || {
+            let mut out = vec![0.0f32; m * n];
+            kernels::gemm(&mut out, self.as_slice(), other.as_slice(), m, k, n);
+            Tensor::from_vec(out, [m, n])
+        })
     }
 
     /// Batched matrix multiplication: `[B, m, k] x [B, k, n] -> [B, m, n]`.
@@ -60,33 +142,59 @@ impl Tensor {
         let (b2, k2, n) = (other.dim(0), other.dim(1), other.dim(2));
         assert_eq!(b, b2, "bmm batch dims mismatch: {b} vs {b2}");
         assert_eq!(k, k2, "bmm inner dims mismatch: {k} vs {k2}");
-        let mut out = vec![0.0f32; b * m * n];
-        let da = self.as_slice();
-        let db = other.as_slice();
-        for i in 0..b {
-            gemm_accumulate(
-                &mut out[i * m * n..(i + 1) * m * n],
-                &da[i * m * k..(i + 1) * m * k],
-                &db[i * k * n..(i + 1) * k * n],
+        kernels::profiled("bmm", 2.0 * (b * m * k * n) as f64, || {
+            let mut out = vec![0.0f32; b * m * n];
+            batched_gemm(
+                &mut out,
+                self.as_slice(),
+                other.as_slice(),
+                b,
                 m,
                 k,
                 n,
+                m * k,
+                k * n,
+                kernels::gemm,
             );
-        }
-        Tensor::from_vec(out, [b, m, n])
+            Tensor::from_vec(out, [b, m, n])
+        })
     }
 
-    /// Batched `beta * bias + alpha * (self @ other)` with a broadcastable
-    /// bias (`torch.baddbmm` semantics with `beta = alpha = 1`).
+    /// Batched `bias + self @ other` with a broadcastable bias
+    /// (`torch.baddbmm` semantics with `beta = alpha = 1`).
     ///
-    /// `bias` must broadcast to `[B, m, n]` (typically `[B, 1, n]`).
+    /// `bias` must broadcast to `[B, m, n]` (typically `[B, 1, n]`). The
+    /// output buffer is seeded with the broadcast bias and the product
+    /// accumulates into it — one pass, no intermediate `bmm` result.
     ///
     /// # Panics
     ///
     /// Panics on dimension mismatches.
     pub fn baddbmm(&self, other: &Tensor, bias: &Tensor) -> Tensor {
-        let prod = self.bmm(other);
-        bias.add(&prod)
+        assert_eq!(self.rank(), 3, "baddbmm lhs must be 3-D");
+        assert_eq!(other.rank(), 3, "baddbmm rhs must be 3-D");
+        let (b, m, k) = (self.dim(0), self.dim(1), self.dim(2));
+        let (b2, k2, n) = (other.dim(0), other.dim(1), other.dim(2));
+        assert_eq!(b, b2, "baddbmm batch dims mismatch: {b} vs {b2}");
+        assert_eq!(k, k2, "baddbmm inner dims mismatch: {k} vs {k2}");
+        kernels::profiled("baddbmm", 2.0 * (b * m * k * n) as f64, || {
+            let out_shape = Shape::new(vec![b, m, n]);
+            let mut out = vec![0.0f32; b * m * n];
+            broadcast_fill(&mut out, bias, &out_shape);
+            batched_gemm(
+                &mut out,
+                self.as_slice(),
+                other.as_slice(),
+                b,
+                m,
+                k,
+                n,
+                m * k,
+                k * n,
+                kernels::gemm,
+            );
+            Tensor::from_vec(out, out_shape)
+        })
     }
 
     /// `self @ other` where `other` is transposed on its last two axes:
@@ -103,26 +211,22 @@ impl Tensor {
         let (b2, n, k2) = (other.dim(0), other.dim(1), other.dim(2));
         assert_eq!(b, b2, "bmm_nt batch dims mismatch");
         assert_eq!(k, k2, "bmm_nt inner dims mismatch");
-        let da = self.as_slice();
-        let db = other.as_slice();
-        let mut out = vec![0.0f32; b * m * n];
-        for i in 0..b {
-            let ab = &da[i * m * k..(i + 1) * m * k];
-            let bb = &db[i * n * k..(i + 1) * n * k];
-            let ob = &mut out[i * m * n..(i + 1) * m * n];
-            for r in 0..m {
-                let arow = &ab[r * k..(r + 1) * k];
-                for c in 0..n {
-                    let brow = &bb[c * k..(c + 1) * k];
-                    let mut acc = 0.0f32;
-                    for p in 0..k {
-                        acc += arow[p] * brow[p];
-                    }
-                    ob[r * n + c] = acc;
-                }
-            }
-        }
-        Tensor::from_vec(out, [b, m, n])
+        kernels::profiled("bmm_nt", 2.0 * (b * m * k * n) as f64, || {
+            let mut out = vec![0.0f32; b * m * n];
+            batched_gemm(
+                &mut out,
+                self.as_slice(),
+                other.as_slice(),
+                b,
+                m,
+                k,
+                n,
+                m * k,
+                n * k,
+                kernels::gemm_nt,
+            );
+            Tensor::from_vec(out, [b, m, n])
+        })
     }
 
     /// `self^T @ other` batched: `[B, k, m] x [B, k, n] -> [B, m, n]`.
@@ -137,30 +241,22 @@ impl Tensor {
         let (b2, k2, n) = (other.dim(0), other.dim(1), other.dim(2));
         assert_eq!(b, b2, "bmm_tn batch dims mismatch");
         assert_eq!(k, k2, "bmm_tn inner dims mismatch");
-        let da = self.as_slice();
-        let db = other.as_slice();
-        let mut out = vec![0.0f32; b * m * n];
-        for i in 0..b {
-            let ab = &da[i * k * m..(i + 1) * k * m];
-            let bb = &db[i * k * n..(i + 1) * k * n];
-            let ob = &mut out[i * m * n..(i + 1) * m * n];
-            // out[r, c] = sum_p a[p, r] * b[p, c] — walk p outermost so both
-            // reads stay sequential.
-            for p in 0..k {
-                let arow = &ab[p * m..(p + 1) * m];
-                let brow = &bb[p * n..(p + 1) * n];
-                for (r, &av) in arow.iter().enumerate() {
-                    if av == 0.0 {
-                        continue;
-                    }
-                    let orow = &mut ob[r * n..(r + 1) * n];
-                    for (ov, &bv) in orow.iter_mut().zip(brow) {
-                        *ov += av * bv;
-                    }
-                }
-            }
-        }
-        Tensor::from_vec(out, [b, m, n])
+        kernels::profiled("bmm_tn", 2.0 * (b * m * k * n) as f64, || {
+            let mut out = vec![0.0f32; b * m * n];
+            batched_gemm(
+                &mut out,
+                self.as_slice(),
+                other.as_slice(),
+                b,
+                m,
+                k,
+                n,
+                k * m,
+                k * n,
+                kernels::gemm_tn,
+            );
+            Tensor::from_vec(out, [b, m, n])
+        })
     }
 
     /// Dot product of two 1-D tensors.
@@ -235,6 +331,19 @@ mod tests {
         assert_eq!(y.at(&[0, 0, 0]), 4.0);
         assert_eq!(y.at(&[0, 2, 3]), 7.0);
         assert_eq!(y.at(&[1, 1, 4]), 13.0);
+    }
+
+    #[test]
+    fn baddbmm_single_pass_equals_bmm_plus_add() {
+        let x = Tensor::arange(24).reshape(&[2, 3, 4]).mul_scalar(0.1);
+        let w = Tensor::arange(40).reshape(&[2, 4, 5]).mul_scalar(0.05);
+        for bias_dims in [vec![2, 1, 5], vec![1], vec![2, 3, 5], vec![5]] {
+            let numel: usize = bias_dims.iter().product();
+            let bias = Tensor::arange(numel).reshape(&bias_dims).mul_scalar(0.3);
+            let fused = x.baddbmm(&w, &bias);
+            let two_pass = bias.add(&x.bmm(&w));
+            assert!(fused.allclose(&two_pass, 1e-5), "bias dims {bias_dims:?}");
+        }
     }
 
     #[test]

@@ -5,7 +5,8 @@
 //! cases. The HFTA fusion of `B` batch-norms simply widens the channel axis
 //! to `B * C` — these kernels are oblivious to the fusion.
 
-use crate::tensor::Tensor;
+use crate::tensor::{Tensor, ELEMWISE_GRAIN};
+use hfta_kernels::{self as kernels, UnsafeSlice};
 
 /// Saved context from a batch-norm forward pass, consumed by
 /// [`batch_norm_backward`].
@@ -36,26 +37,36 @@ fn check_bn_input(x: &Tensor) -> (usize, usize, usize) {
 }
 
 /// Per-channel sums of `f(value, aux_value)` over batch and spatial axes.
+///
+/// Channel-outer so the channels fan out across the worker pool; each
+/// channel's reduction stays on one thread and walks samples in ascending
+/// order (one per-sample partial sum, then the cross-sample total), so the
+/// result is bit-identical at any thread count.
 fn per_channel_sum(
     x: &[f32],
     aux: &[f32],
     n: usize,
     c: usize,
     spatial: usize,
-    f: impl Fn(f32, f32) -> f32,
+    f: impl Fn(f32, f32) -> f32 + Sync,
 ) -> Vec<f32> {
     let mut out = vec![0.0f32; c];
-    for ni in 0..n {
-        #[allow(clippy::needless_range_loop)]
-        for ci in 0..c {
-            let base = (ni * c + ci) * spatial;
-            let mut acc = 0.0f32;
-            for i in 0..spatial {
-                acc += f(x[base + i], aux[base + i]);
+    let grain = (ELEMWISE_GRAIN / (n * spatial).max(1)).max(1);
+    kernels::for_each_chunk_mut(&mut out, grain, |start, chunk| {
+        for (rel, slot) in chunk.iter_mut().enumerate() {
+            let ci = start + rel;
+            let mut total = 0.0f32;
+            for ni in 0..n {
+                let base = (ni * c + ci) * spatial;
+                let mut acc = 0.0f32;
+                for i in 0..spatial {
+                    acc += f(x[base + i], aux[base + i]);
+                }
+                total += acc;
             }
-            out[ci] += acc;
+            *slot = total;
         }
-    }
+    });
     out
 }
 
@@ -87,16 +98,25 @@ pub fn batch_norm_train(x: &Tensor, gamma: &Tensor, beta: &Tensor, eps: f32) -> 
     let bt = beta.as_slice();
     let mut xhat = vec![0.0f32; xd.len()];
     let mut out = vec![0.0f32; xd.len()];
-    for ni in 0..n {
-        for ci in 0..c {
-            let base = (ni * c + ci) * spatial;
-            let (m, is, gv, bv) = (mean[ci], inv_std[ci], g[ci], bt[ci]);
-            for i in 0..spatial {
-                let h = (xd[base + i] - m) * is;
-                xhat[base + i] = h;
-                out[base + i] = gv * h + bv;
+    {
+        let xhat_s = UnsafeSlice::new(&mut xhat);
+        let out_s = UnsafeSlice::new(&mut out);
+        let grain = (ELEMWISE_GRAIN / spatial.max(1)).max(1);
+        kernels::parallel_for(n * c, grain, |range| {
+            for idx in range {
+                let ci = idx % c;
+                let base = idx * spatial;
+                // SAFETY: each (sample, channel) index owns a disjoint block.
+                let xh = unsafe { xhat_s.slice_mut(base..base + spatial) };
+                let ob = unsafe { out_s.slice_mut(base..base + spatial) };
+                let (m, is, gv, bv) = (mean[ci], inv_std[ci], g[ci], bt[ci]);
+                for i in 0..spatial {
+                    let h = (xd[base + i] - m) * is;
+                    xh[i] = h;
+                    ob[i] = gv * h + bv;
+                }
             }
-        }
+        });
     }
     BatchNormOutput {
         output: Tensor::from_vec(out, x.dims().to_vec()),
@@ -128,14 +148,21 @@ pub fn batch_norm_eval(
     let g = gamma.as_slice();
     let bt = beta.as_slice();
     let mut out = vec![0.0f32; xd.len()];
-    for ni in 0..n {
-        for ci in 0..c {
-            let base = (ni * c + ci) * spatial;
-            let is = 1.0 / (running_var[ci] + eps).sqrt();
-            for i in 0..spatial {
-                out[base + i] = g[ci] * (xd[base + i] - running_mean[ci]) * is + bt[ci];
+    {
+        let out_s = UnsafeSlice::new(&mut out);
+        let grain = (ELEMWISE_GRAIN / spatial.max(1)).max(1);
+        kernels::parallel_for(n * c, grain, |range| {
+            for idx in range {
+                let ci = idx % c;
+                let base = idx * spatial;
+                // SAFETY: each (sample, channel) index owns a disjoint block.
+                let ob = unsafe { out_s.slice_mut(base..base + spatial) };
+                let is = 1.0 / (running_var[ci] + eps).sqrt();
+                for i in 0..spatial {
+                    ob[i] = g[ci] * (xd[base + i] - running_mean[ci]) * is + bt[ci];
+                }
             }
-        }
+        });
     }
     Tensor::from_vec(out, x.dims().to_vec())
 }
@@ -158,16 +185,23 @@ pub fn batch_norm_backward(
     let sum_gy = per_channel_sum(gyd, xh, n, c, spatial, |a, _| a);
     let sum_gy_xhat = per_channel_sum(gyd, xh, n, c, spatial, |a, b| a * b);
     let mut gx = vec![0.0f32; gyd.len()];
-    for ni in 0..n {
-        for ci in 0..c {
-            let base = (ni * c + ci) * spatial;
-            let scale = g[ci] * ctx.inv_std[ci];
-            let mg = sum_gy[ci] / count;
-            let mgx = sum_gy_xhat[ci] / count;
-            for i in 0..spatial {
-                gx[base + i] = scale * (gyd[base + i] - mg - xh[base + i] * mgx);
+    {
+        let gx_s = UnsafeSlice::new(&mut gx);
+        let grain = (ELEMWISE_GRAIN / spatial.max(1)).max(1);
+        kernels::parallel_for(n * c, grain, |range| {
+            for idx in range {
+                let ci = idx % c;
+                let base = idx * spatial;
+                // SAFETY: each (sample, channel) index owns a disjoint block.
+                let gxb = unsafe { gx_s.slice_mut(base..base + spatial) };
+                let scale = g[ci] * ctx.inv_std[ci];
+                let mg = sum_gy[ci] / count;
+                let mgx = sum_gy_xhat[ci] / count;
+                for i in 0..spatial {
+                    gxb[i] = scale * (gyd[base + i] - mg - xh[base + i] * mgx);
+                }
             }
-        }
+        });
     }
     (
         Tensor::from_vec(gx, gy.dims().to_vec()),

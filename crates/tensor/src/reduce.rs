@@ -189,21 +189,29 @@ impl Tensor {
         axis: usize,
         keep_dim: bool,
         init: f32,
-        f: impl Fn(f32, f32) -> f32,
+        f: impl Fn(f32, f32) -> f32 + Sync,
     ) -> Tensor {
         self.shape().check_axis(axis).expect("reduce axis");
         let n = self.dim(axis);
         let (outer, inner) = self.split_at_axis(axis);
         let data = self.as_slice();
         let mut out = vec![init; outer * inner];
-        for o in 0..outer {
-            for k in 0..n {
-                let base = (o * n + k) * inner;
-                for i in 0..inner {
-                    let slot = &mut out[o * inner + i];
-                    *slot = f(*slot, data[base + i]);
+        if inner > 0 {
+            // Parallel chunks cover whole outer slices, so each output
+            // element's reduction (ascending k) stays on one thread and the
+            // result is bit-identical at any thread count.
+            let grain_outer = (crate::tensor::ELEMWISE_GRAIN / (n * inner).max(1)).max(1);
+            hfta_kernels::for_each_chunk_mut(&mut out, grain_outer * inner, |start, chunk| {
+                for (rel, orow) in chunk.chunks_mut(inner).enumerate() {
+                    let o = start / inner + rel;
+                    for k in 0..n {
+                        let base = (o * n + k) * inner;
+                        for (i, slot) in orow.iter_mut().enumerate() {
+                            *slot = f(*slot, data[base + i]);
+                        }
+                    }
                 }
-            }
+            });
         }
         let mut dims = self.dims().to_vec();
         if keep_dim {

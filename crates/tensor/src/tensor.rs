@@ -3,6 +3,12 @@
 use crate::error::{Result, TensorError};
 use crate::shape::Shape;
 
+/// Elements per parallel chunk for elementwise/reduction loops. Chunk
+/// boundaries depend only on this constant and the tensor size — never the
+/// thread count — so results are identical on any pool size (the chunked
+/// loops below don't split any float accumulation across chunks).
+pub(crate) const ELEMWISE_GRAIN: usize = 1 << 15;
+
 /// A dense, row-major, contiguous `f32` tensor.
 ///
 /// `Tensor` is the storage substrate for the whole HFTA reproduction: the
@@ -248,18 +254,28 @@ impl Tensor {
     // ---------------------------------------------------------------------
 
     /// Applies `f` elementwise, producing a new tensor.
-    pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
+    pub fn map(&self, f: impl Fn(f32) -> f32 + Sync) -> Tensor {
+        let src = self.data.as_slice();
+        let mut data = vec![0.0f32; src.len()];
+        hfta_kernels::for_each_chunk_mut(&mut data, ELEMWISE_GRAIN, |start, chunk| {
+            let len = chunk.len();
+            for (o, &v) in chunk.iter_mut().zip(&src[start..start + len]) {
+                *o = f(v);
+            }
+        });
         Tensor {
-            data: self.data.iter().map(|&v| f(v)).collect(),
+            data,
             shape: self.shape.clone(),
         }
     }
 
     /// Applies `f` elementwise in place.
-    pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32) {
-        for v in &mut self.data {
-            *v = f(*v);
-        }
+    pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32 + Sync) {
+        hfta_kernels::for_each_chunk_mut(&mut self.data, ELEMWISE_GRAIN, |_, chunk| {
+            for v in chunk {
+                *v = f(*v);
+            }
+        });
     }
 
     /// Combines two same-shaped tensors elementwise (no broadcasting).
@@ -268,19 +284,21 @@ impl Tensor {
     ///
     /// Panics if shapes differ; use the broadcasting binary ops
     /// ([`Tensor::add`], [`Tensor::mul`], ...) otherwise.
-    pub fn zip(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tensor {
+    pub fn zip(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32 + Sync) -> Tensor {
         assert_eq!(
             self.shape, other.shape,
             "zip requires identical shapes ({} vs {})",
             self.shape, other.shape
         );
+        let (da, db) = (self.data.as_slice(), other.data.as_slice());
+        let mut data = vec![0.0f32; da.len()];
+        hfta_kernels::for_each_chunk_mut(&mut data, ELEMWISE_GRAIN, |start, chunk| {
+            for (j, o) in chunk.iter_mut().enumerate() {
+                *o = f(da[start + j], db[start + j]);
+            }
+        });
         Tensor {
-            data: self
-                .data
-                .iter()
-                .zip(&other.data)
-                .map(|(&a, &b)| f(a, b))
-                .collect(),
+            data,
             shape: self.shape.clone(),
         }
     }

@@ -132,3 +132,101 @@ proptest! {
         prop_assert!((r.sum().item() - t.sum().item() * reps as f32).abs() < 1e-4);
     }
 }
+
+// --- Kernel determinism contract at the conv level -------------------------
+//
+// The forward and both backward convolutions must be **bit-identical** at
+// every thread count and on both GEMM backends: HFTA's Figure 3 claim
+// (fused training is bit-exact with serial training) only survives if the
+// compute layer underneath is deterministic. `set_num_threads` /
+// `set_backend` are process globals, so these tests serialize on a mutex
+// and restore the configuration before releasing it.
+
+use hfta_kernels::{set_backend, set_num_threads, GemmBackend};
+use hfta_tensor::conv::{conv2d_grad_input, conv2d_grad_weight};
+use std::sync::Mutex;
+
+static KERNEL_GLOBAL_LOCK: Mutex<()> = Mutex::new(());
+
+struct RestoreGlobals {
+    threads: usize,
+}
+
+impl Drop for RestoreGlobals {
+    fn drop(&mut self) {
+        set_num_threads(self.threads);
+        set_backend(GemmBackend::Blocked);
+    }
+}
+
+fn mk_tensor(seed: usize, dims: &[usize]) -> Tensor {
+    let n: usize = dims.iter().product();
+    Tensor::from_vec(
+        (0..n)
+            .map(|i| ((i * 7 + seed) as f32 * 0.61).sin())
+            .collect(),
+        dims.to_vec(),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn conv2d_bit_identical_across_threads_and_backends(
+        n in 1usize..4,
+        g in 1usize..4,
+        cing in 1usize..4,
+        coutg in 1usize..4,
+        hw in 4usize..9,
+        stride in 1usize..3,
+        pad in 0usize..2,
+        seed in 0usize..1000,
+    ) {
+        let _l = KERNEL_GLOBAL_LOCK.lock().unwrap();
+        let _restore = RestoreGlobals { threads: hfta_kernels::num_threads() };
+        let cfg = ConvCfg::square(stride, pad, g);
+        let x = mk_tensor(seed, &[n, g * cing, hw, hw]);
+        let w = mk_tensor(seed + 13, &[g * coutg, cing, 3, 3]);
+        let bias = mk_tensor(seed + 29, &[g * coutg]);
+        let y = conv2d(&x, &w, Some(&bias), cfg);
+        let gy = mk_tensor(seed + 71, y.dims());
+        let gx = conv2d_grad_input(&w, &gy, (hw, hw), g * cing, cfg);
+        let gw = conv2d_grad_weight(&x, &gy, (3, 3), cfg);
+        for threads in [1usize, 2, 4] {
+            set_num_threads(threads);
+            for backend in [GemmBackend::Blocked, GemmBackend::Naive] {
+                set_backend(backend);
+                prop_assert_eq!(&conv2d(&x, &w, Some(&bias), cfg), &y);
+                prop_assert_eq!(&conv2d_grad_input(&w, &gy, (hw, hw), g * cing, cfg), &gx);
+                prop_assert_eq!(&conv2d_grad_weight(&x, &gy, (3, 3), cfg), &gw);
+            }
+        }
+    }
+
+    #[test]
+    fn batched_matmul_bit_identical_across_threads(
+        b in 1usize..7,
+        m in 1usize..10,
+        k in 1usize..10,
+        nn in 1usize..10,
+        seed in 0usize..1000,
+    ) {
+        let _l = KERNEL_GLOBAL_LOCK.lock().unwrap();
+        let _restore = RestoreGlobals { threads: hfta_kernels::num_threads() };
+        let x = mk_tensor(seed, &[b, m, k]);
+        let w = mk_tensor(seed + 3, &[b, k, nn]);
+        let bias = mk_tensor(seed + 9, &[b, 1, nn]);
+        let y = x.baddbmm(&w, &bias);
+        let p = x.bmm(&w);
+        let pn = x.bmm_nt(&w.transpose(1, 2));
+        let pt = x.transpose(1, 2).bmm_tn(&w);
+        for threads in [1usize, 2, 4] {
+            set_num_threads(threads);
+            prop_assert_eq!(&x.baddbmm(&w, &bias), &y);
+            prop_assert_eq!(&x.bmm(&w), &p);
+            prop_assert_eq!(&x.bmm_nt(&w.transpose(1, 2)), &pn);
+            prop_assert_eq!(&x.transpose(1, 2).bmm_tn(&w), &pt);
+        }
+    }
+}
