@@ -19,12 +19,23 @@
 //! it participates) runs inline and serial, so kernels freely compose —
 //! e.g. a batch-parallel `bmm` whose per-batch GEMM is itself potentially
 //! parallel.
+//!
+//! # Panics
+//!
+//! A panic inside the chunk closure cancels the job's unclaimed chunks and
+//! propagates from [`parallel_for`] on the submitting thread — the
+//! submitter's own payload when it hit the panic, otherwise a fresh panic
+//! reporting the worker failure. The submitter always waits for every
+//! in-flight chunk to finish before unwinding, so the closure (and the
+//! buffers it borrows) stays alive for as long as any worker can touch it,
+//! and the pool remains usable for subsequent dispatches.
 
 use std::cell::Cell;
 use std::marker::PhantomData;
 use std::ops::Range;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Condvar, Mutex, OnceLock};
+use std::sync::{Condvar, Mutex, MutexGuard, OnceLock};
 
 /// Upper bound on pool threads; keeps a typo'd env var from spawning
 /// thousands of workers.
@@ -107,6 +118,33 @@ struct State {
     generation: u64,
     next_chunk: usize,
     remaining: usize,
+    /// Set when any chunk of the current job panicked; read by the submitter
+    /// after completion, reset on the next submit.
+    panicked: bool,
+}
+
+/// Post-chunk bookkeeping shared by workers and the participating submitter:
+/// decrements `remaining`, cancels the job's unclaimed chunks if the chunk
+/// panicked, and signals completion when the last in-flight chunk retires.
+fn finish_chunk<'a>(
+    pool: &'a Pool,
+    mut guard: MutexGuard<'a, State>,
+    n_chunks: usize,
+    chunk_panicked: bool,
+) -> MutexGuard<'a, State> {
+    guard.remaining -= 1;
+    if chunk_panicked {
+        guard.panicked = true;
+        // Drop the chunks nobody has claimed yet so the job can drain; the
+        // ones already in flight still retire through this path.
+        guard.remaining -= n_chunks - guard.next_chunk;
+        guard.next_chunk = n_chunks;
+    }
+    if guard.remaining == 0 {
+        guard.job = None;
+        pool.done_cv.notify_all();
+    }
+    guard
 }
 
 struct Pool {
@@ -128,6 +166,7 @@ fn pool() -> &'static Pool {
             generation: 0,
             next_chunk: 0,
             remaining: 0,
+            panicked: false,
         }),
         work_cv: Condvar::new(),
         done_cv: Condvar::new(),
@@ -186,14 +225,13 @@ fn worker_loop(pool: &'static Pool) {
             let chunk = guard.next_chunk;
             guard.next_chunk += 1;
             drop(guard);
-            // SAFETY: submitter keeps the closure alive until remaining == 0.
-            unsafe { (*task)(chunk) };
-            guard = pool.state.lock().unwrap();
-            guard.remaining -= 1;
-            if guard.remaining == 0 {
-                guard.job = None;
-                pool.done_cv.notify_all();
-            }
+            // SAFETY: submitter keeps the closure alive until remaining == 0,
+            // and `finish_chunk` decrements `remaining` even on panic so that
+            // guarantee holds on every path.
+            let result = catch_unwind(AssertUnwindSafe(|| unsafe { (*task)(chunk) }));
+            // The payload is dropped here; the submitter re-raises the
+            // failure from its own thread via the `panicked` flag.
+            guard = finish_chunk(pool, pool.state.lock().unwrap(), n_chunks, result.is_err());
         }
     }
 }
@@ -243,29 +281,39 @@ pub fn parallel_for(n_items: usize, grain: usize, f: impl Fn(Range<usize>) + Syn
         st.generation += 1;
         st.next_chunk = 0;
         st.remaining = n_chunks;
+        st.panicked = false;
         st.job = Some(Job { task, n_chunks });
         pool.work_cv.notify_all();
     }
-    // Participate: the submitting thread claims chunks like a worker.
+    // Participate: the submitting thread claims chunks like a worker. Panics
+    // are deferred — unwinding this frame before `remaining == 0` would free
+    // the closure out from under the workers still dereferencing `task`.
+    let mut payload = None;
     IN_POOL.with(|flag| flag.set(true));
     let mut guard = pool.state.lock().unwrap();
     while guard.job.is_some() && guard.next_chunk < n_chunks {
         let chunk = guard.next_chunk;
         guard.next_chunk += 1;
         drop(guard);
-        call(chunk);
-        guard = pool.state.lock().unwrap();
-        guard.remaining -= 1;
-        if guard.remaining == 0 {
-            guard.job = None;
-            pool.done_cv.notify_all();
+        let result = catch_unwind(AssertUnwindSafe(|| call(chunk)));
+        let failed = result.is_err();
+        if let Err(p) = result {
+            payload = Some(p);
         }
+        guard = finish_chunk(pool, pool.state.lock().unwrap(), n_chunks, failed);
     }
     while guard.job.is_some() {
         guard = pool.done_cv.wait(guard).unwrap();
     }
+    let any_panicked = guard.panicked;
     drop(guard);
     IN_POOL.with(|flag| flag.set(false));
+    if let Some(p) = payload {
+        resume_unwind(p);
+    }
+    if any_panicked {
+        panic!("hfta-kernels worker panicked during parallel_for; job aborted");
+    }
 }
 
 /// Splits `data` into chunks of `grain` elements and calls
@@ -393,6 +441,35 @@ mod tests {
         });
         for (i, v) in out.iter().enumerate() {
             assert_eq!(*v, i as f32);
+        }
+        set_num_threads(1);
+    }
+
+    #[test]
+    fn chunk_panic_propagates_and_pool_survives() {
+        let _guard = THREAD_LOCK.lock().unwrap();
+        set_num_threads(4);
+        for _ in 0..4 {
+            // The panicking chunk may land on a worker or on the submitter;
+            // either way the dispatch must unwind on the submitting thread
+            // instead of hanging, and the pool must stay usable.
+            let result = std::panic::catch_unwind(|| {
+                parallel_for(97, 1, |range| {
+                    if range.start == 13 {
+                        panic!("boom");
+                    }
+                });
+            });
+            assert!(result.is_err(), "panic in a chunk must propagate");
+            let mut out = vec![0.0f32; 1003];
+            for_each_chunk_mut(&mut out, 17, |start, chunk| {
+                for (i, v) in chunk.iter_mut().enumerate() {
+                    *v = (start + i) as f32;
+                }
+            });
+            for (i, v) in out.iter().enumerate() {
+                assert_eq!(*v, i as f32, "pool broken after panic, index {i}");
+            }
         }
         set_num_threads(1);
     }

@@ -219,7 +219,7 @@ pub fn conv2d(x: &Tensor, w: &Tensor, b: Option<&Tensor>, cfg: ConvCfg) -> Tenso
     // there is no second pass over the output.
     let block = coutg * spatial;
     let per_block_flops = 2 * coutg * krows * spatial;
-    kernels::profiled("conv2d", (n * per_block_flops) as f64, || {
+    kernels::profiled("conv2d", (n * g * per_block_flops) as f64, || {
         let mut out = vec![0.0f32; n * cout * spatial];
         let shared = UnsafeSlice::new(&mut out);
         kernels::parallel_for(n * g, block_grain(per_block_flops, n * g), |range| {
