@@ -11,11 +11,13 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use hfta_core::loss::{fused_cross_entropy, Reduction};
 use hfta_core::ops::{FusedConv2d, FusedModule};
 use hfta_core::optim::{FusedOptimizer, FusedSgd, PerModel};
+use hfta_core::scope::{ScopeMonitor, SentinelCfg};
 use hfta_nn::layers::Conv2dCfg;
 use hfta_nn::{Module, Tape};
-use hfta_telemetry::Profiler;
+use hfta_telemetry::{MetricsRegistry, Profiler};
 use hfta_tensor::{Rng, Tensor};
 use std::hint::black_box;
+use std::time::Instant;
 
 const B: usize = 4;
 
@@ -61,13 +63,72 @@ fn train_step(s: &mut Setup) -> f32 {
     out
 }
 
+/// Mean ns per `incr` on a registry pre-seeded with `names` counters,
+/// cycling through all of them.
+fn registry_incr_ns(names: usize, iters: usize) -> f64 {
+    let labels: Vec<String> = (0..names).map(|i| format!("counter.{i:04}")).collect();
+    let mut reg = MetricsRegistry::new();
+    for l in &labels {
+        reg.incr(l, 1.0);
+    }
+    let t0 = Instant::now();
+    for i in 0..iters {
+        reg.incr(black_box(&labels[i % names]), 1.0);
+    }
+    t0.elapsed().as_nanos() as f64 / iters as f64
+}
+
 fn bench_overhead(c: &mut Criterion) {
+    // Registry name lookup must be O(1): with the pre-PR linear scan,
+    // 1024 live names cost ~128x what 8 names do; with the hash index the
+    // ratio stays near 1. Assert a generous 8x bound so the check survives
+    // machine noise while still catching any return to O(n).
+    let small = registry_incr_ns(8, 200_000);
+    let large = registry_incr_ns(1024, 200_000);
+    assert!(
+        large < small * 8.0,
+        "registry incr is not O(1): {large:.1} ns at 1024 names vs {small:.1} ns at 8"
+    );
+
     let mut group = c.benchmark_group("telemetry_overhead");
+    group.bench_function("registry_incr/8names", |bench| {
+        bench.iter(|| black_box(registry_incr_ns(8, 10_000)))
+    });
+    group.bench_function("registry_incr/1024names", |bench| {
+        bench.iter(|| black_box(registry_incr_ns(1024, 10_000)))
+    });
     let mut s = setup();
     // The path that must be free: tracepoints compiled in, no profiler.
     assert!(Profiler::current().is_none());
     group.bench_function("train_step/disabled", |bench| {
         bench.iter(|| black_box(train_step(&mut s)))
+    });
+    // The hfta-scope path: the full per-step monitor protocol (fused
+    // gradient reduction, sentinel checks, norm/update-ratio pass) on top
+    // of the plain step, still without a profiler.
+    let mut s = setup();
+    let params = s.conv.fused_parameters();
+    let mut monitor = ScopeMonitor::new(B, SentinelCfg::default());
+    let mut step = 0u64;
+    group.bench_function("train_step/scoped", |bench| {
+        bench.iter(|| {
+            s.opt.zero_grad();
+            let tape = Tape::new();
+            let y = s.conv.forward(&tape.leaf(s.x.clone()));
+            let dims = y.dims();
+            let pooled = y
+                .reshape(&[dims[0], dims[1], dims[2] * dims[3]])
+                .mean_axis_keep(2);
+            let logits = pooled.reshape(&[dims[0], B, 4]).permute(&[1, 0, 2]);
+            let losses = hfta_core::scope::per_model_ce_losses(&logits, &s.targets);
+            let loss = fused_cross_entropy(&logits, &s.targets, Reduction::Mean);
+            loss.backward();
+            monitor.after_backward(step, &losses, &params, &mut s.opt);
+            s.opt.step();
+            monitor.after_step(step, &params);
+            step += 1;
+            black_box(loss.item())
+        })
     });
     // The priced path: every op records a span with a cost model.
     let profiler = Profiler::new("overhead-bench");

@@ -15,9 +15,15 @@
 //! kernel layer: blocked backend at 4 threads vs naive backend at 1 thread
 //! on the same end-to-end training step.
 
+use hfta_core::loss::{fused_cross_entropy, Reduction};
+use hfta_core::ops::{FusedConv2d, FusedModule, FusedParameter};
+use hfta_core::optim::{FusedOptimizer, FusedSgd, PerModel};
+use hfta_core::scope::{per_model_ce_losses, ScopeMonitor, SentinelCfg};
 use hfta_kernels::{set_backend, set_num_threads, GemmBackend};
+use hfta_nn::layers::Conv2dCfg;
+use hfta_nn::{Module, Tape};
 use hfta_tensor::conv::{conv2d, conv2d_grad_input, conv2d_grad_weight, ConvCfg};
-use hfta_tensor::Rng;
+use hfta_tensor::{Rng, Tensor};
 use serde::Serialize;
 use std::hint::black_box;
 use std::time::Instant;
@@ -36,6 +42,49 @@ struct BenchRecord {
 struct BenchReport {
     records: Vec<BenchRecord>,
     fused_conv_speedup: f64,
+    /// hfta-scope cost on a fused DCGAN-style training step, percent:
+    /// per-model loss extraction + sentinel scan (`after_backward`) +
+    /// norm/update-ratio pass (`after_step`) relative to the bare step.
+    /// The acceptance budget is < 5%.
+    scope_overhead_pct: f64,
+}
+
+/// One fused DCGAN-style training step (conv forward, fused CE loss,
+/// backward, SGD); with `scope` set it also runs the full hfta-scope
+/// per-step protocol (per-model losses, sentinel scan, health pass).
+fn dcgan_step(
+    conv: &FusedConv2d,
+    opt: &mut FusedSgd,
+    x: &Tensor,
+    targets: &[usize],
+    b: usize,
+    scope: Option<(&mut ScopeMonitor, &[FusedParameter], u64)>,
+) -> f32 {
+    opt.zero_grad();
+    let tape = Tape::new();
+    let y = conv.forward(&tape.leaf(x.clone()));
+    let dims = y.dims();
+    let pooled = y
+        .reshape(&[dims[0], dims[1], dims[2] * dims[3]])
+        .mean_axis_keep(2);
+    let classes = dims[1] / b;
+    let logits = pooled.reshape(&[dims[0], b, classes]).permute(&[1, 0, 2]);
+    let loss = fused_cross_entropy(&logits, targets, Reduction::Mean);
+    let out = loss.item();
+    match scope {
+        Some((monitor, params, step)) => {
+            let losses = per_model_ce_losses(&logits, targets);
+            loss.backward();
+            monitor.after_backward(step, &losses, params, opt);
+            opt.step();
+            monitor.after_step(step, params);
+        }
+        None => {
+            loss.backward();
+            opt.step();
+        }
+    }
+    out
 }
 
 /// Times `f` (after one warm-up call), returning mean ns/iter.
@@ -148,6 +197,51 @@ fn main() {
             gflops: step_flops / ns,
         });
     }
+    // --- hfta-scope overhead on a fused DCGAN-style training step --------
+    // No profiler is installed, so both sides run the identical disabled
+    // fast path; the delta is exactly hfta-scope's per-step compute (one
+    // fused gradient reduction, per-model losses, one parameter pass).
+    set_backend(GemmBackend::Blocked);
+    set_num_threads(4);
+    let scope_iters = if quick { 5 } else { 30 };
+    let sb = 6usize;
+    let conv = FusedConv2d::new(sb, Conv2dCfg::new(3, 16, 4), &mut rng);
+    let params = conv.fused_parameters();
+    let mut opt =
+        FusedSgd::new(params.clone(), PerModel::new(vec![0.01; sb]), 0.9).expect("matching widths");
+    let x = rng.randn([4, sb * 3, 32, 32]);
+    let targets: Vec<usize> = (0..sb * 4).map(|_| rng.below(16)).collect();
+    let mut bare_ns = f64::INFINITY;
+    for _ in 0..3 {
+        bare_ns = bare_ns.min(time_ns(scope_iters, || {
+            black_box(dcgan_step(&conv, &mut opt, &x, &targets, sb, None));
+        }));
+    }
+    // Time the scope work itself — exactly what `dcgan_step` adds when the
+    // monitor is passed — rather than differencing two step timings, whose
+    // run-to-run drift is larger than the cost being measured.
+    let mut monitor = ScopeMonitor::new(sb, SentinelCfg::default());
+    let mut step_idx = 0u64;
+    opt.zero_grad();
+    let tape = Tape::new();
+    let y = conv.forward(&tape.leaf(x.clone()));
+    let dims = y.dims();
+    let pooled = y
+        .reshape(&[dims[0], dims[1], dims[2] * dims[3]])
+        .mean_axis_keep(2);
+    let logits = pooled
+        .reshape(&[dims[0], sb, dims[1] / sb])
+        .permute(&[1, 0, 2]);
+    fused_cross_entropy(&logits, &targets, Reduction::Mean).backward();
+    let scope_ns = time_ns(scope_iters * 20, || {
+        let losses = per_model_ce_losses(&logits, &targets);
+        monitor.after_backward(step_idx, &losses, &params, &mut opt);
+        monitor.after_step(step_idx, &params);
+        step_idx += 1;
+    });
+    assert!(!monitor.any_fired(), "bench workload should stay healthy");
+    let scope_overhead_pct = scope_ns / bare_ns * 100.0;
+
     set_backend(GemmBackend::Blocked);
     set_num_threads(prev_threads);
     // Pre-PR serial path (naive, 1 thread) vs the kernel layer at 4 threads.
@@ -156,6 +250,7 @@ fn main() {
     let report = BenchReport {
         records,
         fused_conv_speedup,
+        scope_overhead_pct,
     };
     let json = serde_json::to_string_pretty(&report).expect("serialize bench report");
     std::fs::write(&json_path, &json).unwrap_or_else(|e| {
@@ -177,5 +272,6 @@ fn main() {
     println!(
         "\nfused conv training step speedup (blocked @4T vs naive @1T): {fused_conv_speedup:.2}x"
     );
+    println!("hfta-scope overhead on a fused DCGAN step: {scope_overhead_pct:.2}% (budget 5%)");
     println!("wrote {json_path}");
 }

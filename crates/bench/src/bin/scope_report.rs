@@ -1,0 +1,107 @@
+//! hfta-scope CLI: render per-model health tables from a trace directory,
+//! or diff two runs and fail on regressions.
+//!
+//! ```text
+//! scope_report <trace-dir>                 # health tables from *.report.json
+//! scope_report --diff <base> <candidate> [--max-regress <pct>] [--loss-tol <t>]
+//! ```
+//!
+//! `<base>` / `<candidate>` are either `<bin>.report.json` run reports or
+//! `BENCH_*.json` bench files (auto-detected; both sides must be the same
+//! kind). Exit codes: 0 = clean, 1 = regression found, 2 = usage or I/O
+//! error.
+
+use hfta_bench::scope_report::{
+    diff_bench, diff_reports, load_report, print_health, DiffCfg, LoadedReport,
+};
+
+fn fail_usage(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!("usage: scope_report <trace-dir>");
+    eprintln!(
+        "       scope_report --diff <base> <candidate> [--max-regress <pct>] [--loss-tol <t>]"
+    );
+    std::process::exit(2);
+}
+
+fn load(path: &str) -> LoadedReport {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| fail_usage(&format!("reading {path}: {e}")));
+    load_report(&text).unwrap_or_else(|e| fail_usage(&format!("{path}: {e}")))
+}
+
+fn parse_f64(flag: &str, value: Option<String>) -> f64 {
+    value
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| fail_usage(&format!("{flag} requires a numeric value")))
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let mut cfg = DiffCfg::default();
+    let mut diff: Option<(String, String)> = None;
+    let mut dir: Option<String> = None;
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--diff" => {
+                let base = args
+                    .next()
+                    .unwrap_or_else(|| fail_usage("--diff needs two files"));
+                let cand = args
+                    .next()
+                    .unwrap_or_else(|| fail_usage("--diff needs two files"));
+                diff = Some((base, cand));
+            }
+            "--max-regress" => cfg.max_regress_pct = Some(parse_f64("--max-regress", args.next())),
+            "--loss-tol" => cfg.loss_tol = parse_f64("--loss-tol", args.next()),
+            other if dir.is_none() && !other.starts_with('-') => dir = Some(other.to_string()),
+            other => fail_usage(&format!("unknown argument: {other}")),
+        }
+    }
+
+    if let Some((base_path, cand_path)) = diff {
+        let out = match (load(&base_path), load(&cand_path)) {
+            (LoadedReport::Run(b), LoadedReport::Run(c)) => diff_reports(&b, &c, &cfg),
+            (LoadedReport::Bench(b), LoadedReport::Bench(c)) => diff_bench(&b, &c, &cfg),
+            _ => fail_usage("cannot diff a run report against a bench file"),
+        };
+        println!("# scope_report diff: {base_path} -> {cand_path}");
+        for line in &out.lines {
+            println!("  ok: {line}");
+        }
+        for r in &out.regressions {
+            println!("  REGRESSION: {r}");
+        }
+        if out.regressed() {
+            eprintln!("{} regression(s) found", out.regressions.len());
+            std::process::exit(1);
+        }
+        println!("no regressions");
+        return;
+    }
+
+    let Some(dir) = dir else {
+        fail_usage("expected a trace directory or --diff");
+    };
+    let mut reports: Vec<std::path::PathBuf> = std::fs::read_dir(&dir)
+        .unwrap_or_else(|e| fail_usage(&format!("reading {dir}: {e}")))
+        .filter_map(|entry| entry.ok().map(|e| e.path()))
+        .filter(|p| {
+            p.file_name()
+                .is_some_and(|n| n.to_string_lossy().ends_with(".report.json"))
+        })
+        .collect();
+    reports.sort();
+    if reports.is_empty() {
+        fail_usage(&format!("no *.report.json files in {dir}"));
+    }
+    for path in reports {
+        let LoadedReport::Run(run) = load(&path.display().to_string()) else {
+            continue;
+        };
+        println!("\n# {} ({})", run.name, path.display());
+        for exp in &run.experiments {
+            print_health(exp);
+        }
+    }
+}

@@ -12,5 +12,6 @@
 //! [`RunReport`](hfta_telemetry::RunReport) alongside its printed output.
 
 pub mod convergence;
+pub mod scope_report;
 pub mod sweep;
 pub mod telemetry_cli;

@@ -1,0 +1,541 @@
+//! hfta-scope reporting: per-model health tables and run comparison.
+//!
+//! The library half of the `scope_report` binary. It consumes the
+//! `<bin>.report.json` files the [`crate::telemetry_cli::TraceSession`]
+//! writes (a serialized [`RunReport`]) or the `BENCH_*.json` files
+//! `bench_kernels` writes, and offers two views:
+//!
+//! * **health** — one table per experiment: each model's last/min loss,
+//!   gradient- and parameter-norm trajectory endpoints, update ratio, and
+//!   any sentinel events ([`print_health`]);
+//! * **diff** — compares two runs ([`diff_reports`]) or two bench files
+//!   ([`diff_bench`]). Structural and loss differences are always gated
+//!   (deterministic across thread counts); throughput is only gated when
+//!   [`DiffCfg::max_regress_pct`] is set, because wall-clock numbers vary
+//!   by machine. Bench-file diffs always gate throughput (that is all a
+//!   bench file contains), defaulting to a 10% budget.
+
+use hfta_telemetry::{ExperimentReport, RunReport, SentinelEvent};
+use serde::{Deserialize, Value};
+
+use crate::sweep::print_table;
+
+/// Tolerances for [`diff_reports`] / [`diff_bench`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DiffCfg {
+    /// Maximum allowed |base − candidate| on each model's final loss.
+    pub loss_tol: f64,
+    /// Throughput-regression budget in percent. `None` skips the
+    /// throughput gate for run reports (bench diffs fall back to 10%).
+    pub max_regress_pct: Option<f64>,
+}
+
+impl Default for DiffCfg {
+    fn default() -> Self {
+        DiffCfg {
+            loss_tol: 1e-6,
+            max_regress_pct: None,
+        }
+    }
+}
+
+/// Outcome of a diff: informational lines plus gating regressions.
+#[derive(Debug, Default)]
+pub struct DiffOutcome {
+    /// Informational comparison lines (printed as-is).
+    pub lines: Vec<String>,
+    /// Regressions that should fail the comparison (non-zero exit).
+    pub regressions: Vec<String>,
+}
+
+impl DiffOutcome {
+    /// Whether any gated regression was found.
+    pub fn regressed(&self) -> bool {
+        !self.regressions.is_empty()
+    }
+
+    fn note(&mut self, s: String) {
+        self.lines.push(s);
+    }
+
+    fn regress(&mut self, s: String) {
+        self.regressions.push(s);
+    }
+}
+
+/// A parsed report file of either supported kind.
+pub enum LoadedReport {
+    /// A `<bin>.report.json` run report.
+    Run(RunReport),
+    /// A `BENCH_*.json` bench report, kept as a raw value tree.
+    Bench(Value),
+}
+
+/// Parses report JSON, detecting the file kind from its top-level fields.
+///
+/// # Errors
+///
+/// Returns a message when the text is not JSON or matches neither kind.
+pub fn load_report(text: &str) -> Result<LoadedReport, String> {
+    let v: Value = serde_json::from_str(text).map_err(|e| format!("invalid JSON: {e}"))?;
+    if v.get("experiments").is_some() {
+        let run = RunReport::deserialize(&v).map_err(|e| format!("bad run report: {e}"))?;
+        Ok(LoadedReport::Run(run))
+    } else if v.get("records").is_some() {
+        Ok(LoadedReport::Bench(v))
+    } else {
+        Err("unrecognized report: expected `experiments` (run report) or `records` (bench)".into())
+    }
+}
+
+fn fmt(v: Option<f64>) -> String {
+    match v {
+        None => "-".into(),
+        Some(x) if x.is_nan() => "nan".into(),
+        Some(x) => format!("{x:.4}"),
+    }
+}
+
+fn sentinel_summary(events: &[&SentinelEvent]) -> String {
+    if events.is_empty() {
+        return "-".into();
+    }
+    events
+        .iter()
+        .map(|e| {
+            let q = if e.quarantined { " (quarantined)" } else { "" };
+            format!("{}@{}{}", e.kind.label(), e.step, q)
+        })
+        .collect::<Vec<_>>()
+        .join("; ")
+}
+
+/// Renders the per-model health rows of one experiment (one row per model
+/// appearing in any scalar stream).
+pub fn health_rows(exp: &ExperimentReport) -> Vec<Vec<String>> {
+    exp.scalar_models()
+        .into_iter()
+        .map(|m| {
+            let stream = |metric: &str| exp.scalar_stream(m, metric);
+            vec![
+                m.to_string(),
+                fmt(stream("loss").and_then(|s| s.last())),
+                fmt(stream("loss").and_then(|s| s.min())),
+                fmt(stream("grad_norm").and_then(|s| s.last())),
+                fmt(stream("grad_norm").and_then(|s| s.max())),
+                fmt(stream("param_norm").and_then(|s| s.last())),
+                fmt(stream("update_ratio").and_then(|s| s.last())),
+                sentinel_summary(&exp.sentinels_for(m)),
+            ]
+        })
+        .collect()
+}
+
+/// Prints the health table for one experiment (skips experiments with no
+/// scope data).
+pub fn print_health(exp: &ExperimentReport) {
+    let rows = health_rows(exp);
+    if rows.is_empty() && exp.sentinels.is_empty() {
+        return;
+    }
+    print_table(
+        &format!("hfta-scope health: {}", exp.name),
+        &[
+            "model",
+            "loss",
+            "loss min",
+            "grad norm",
+            "grad max",
+            "param norm",
+            "update ratio",
+            "sentinels",
+        ],
+        &rows,
+    );
+}
+
+/// Mean throughput of an experiment: the `*throughput_eps` gauges when
+/// present, else the positive per-step `samples_per_s` entries.
+pub fn throughput_of(exp: &ExperimentReport) -> Option<f64> {
+    let gauges: Vec<f64> = exp
+        .gauges
+        .iter()
+        .filter(|g| g.name.ends_with("throughput_eps"))
+        .map(|g| g.value)
+        .collect();
+    if !gauges.is_empty() {
+        return Some(gauges.iter().sum::<f64>() / gauges.len() as f64);
+    }
+    let steps: Vec<f64> = exp
+        .steps
+        .iter()
+        .map(|s| s.samples_per_s)
+        .filter(|v| *v > 0.0)
+        .collect();
+    if steps.is_empty() {
+        None
+    } else {
+        Some(steps.iter().sum::<f64>() / steps.len() as f64)
+    }
+}
+
+fn sentinel_key(e: &SentinelEvent) -> (u64, u64, &'static str, bool) {
+    (e.step, e.model, e.kind.label(), e.quarantined)
+}
+
+fn diff_experiment(
+    base: &ExperimentReport,
+    cand: &ExperimentReport,
+    cfg: &DiffCfg,
+    out: &mut DiffOutcome,
+) {
+    let name = &base.name;
+    // Per-model scalar streams: structure (presence + step count) always
+    // gates; the loss value gates within `loss_tol`.
+    for bs in &base.scalars {
+        let Some(cs) = cand.scalar_stream(bs.model, &bs.metric) else {
+            out.regress(format!(
+                "{name}: model {} lost its `{}` stream",
+                bs.model, bs.metric
+            ));
+            continue;
+        };
+        if cs.points.len() != bs.points.len() {
+            out.regress(format!(
+                "{name}: model {} `{}` has {} points, expected {}",
+                bs.model,
+                bs.metric,
+                cs.points.len(),
+                bs.points.len()
+            ));
+            continue;
+        }
+        if bs.metric == "loss" {
+            let (b, c) = (bs.last().unwrap_or(f64::NAN), cs.last().unwrap_or(f64::NAN));
+            let equal = (b.is_nan() && c.is_nan()) || (b - c).abs() <= cfg.loss_tol;
+            if !equal {
+                out.regress(format!(
+                    "{name}: model {} final loss {c:.6} differs from {b:.6} (tol {})",
+                    bs.model, cfg.loss_tol
+                ));
+            } else {
+                out.note(format!("{name}: model {} final loss {c:.6} ok", bs.model));
+            }
+        }
+    }
+    // Sentinels: any new fault in the candidate gates; a cleared fault is
+    // an improvement worth noting.
+    let base_keys: Vec<_> = base.sentinels.iter().map(sentinel_key).collect();
+    for e in &cand.sentinels {
+        if !base_keys.contains(&sentinel_key(e)) {
+            out.regress(format!(
+                "{name}: new sentinel {} on model {} at step {}",
+                e.kind.label(),
+                e.model,
+                e.step
+            ));
+        }
+    }
+    let cand_keys: Vec<_> = cand.sentinels.iter().map(sentinel_key).collect();
+    for e in &base.sentinels {
+        if !cand_keys.contains(&sentinel_key(e)) {
+            out.note(format!(
+                "{name}: sentinel {} on model {} cleared",
+                e.kind.label(),
+                e.model
+            ));
+        }
+    }
+    // Throughput only gates on request (machine-dependent).
+    if let (Some(pct), Some(b), Some(c)) = (
+        cfg.max_regress_pct,
+        throughput_of(base),
+        throughput_of(cand),
+    ) {
+        if b > 0.0 {
+            let change = (c - b) / b * 100.0;
+            if change < -pct {
+                out.regress(format!(
+                    "{name}: throughput {c:.1} is {:.1}% below baseline {b:.1} (budget {pct}%)",
+                    -change
+                ));
+            } else {
+                out.note(format!(
+                    "{name}: throughput {c:.1} vs {b:.1} ({change:+.1}%)"
+                ));
+            }
+        }
+    }
+}
+
+/// Diffs two run reports experiment-by-experiment. See [`DiffCfg`] for
+/// what gates.
+pub fn diff_reports(base: &RunReport, cand: &RunReport, cfg: &DiffCfg) -> DiffOutcome {
+    let mut out = DiffOutcome::default();
+    for be in &base.experiments {
+        match cand.experiment(&be.name) {
+            Some(ce) => diff_experiment(be, ce, cfg, &mut out),
+            None => out.regress(format!("experiment `{}` missing from candidate", be.name)),
+        }
+    }
+    for ce in &cand.experiments {
+        if base.experiment(&ce.name).is_none() {
+            out.note(format!("experiment `{}` only in candidate", ce.name));
+        }
+    }
+    out
+}
+
+fn as_f64(v: &Value) -> Option<f64> {
+    match v {
+        Value::F64(n) => Some(*n),
+        Value::U64(n) => Some(*n as f64),
+        Value::I64(n) => Some(*n as f64),
+        _ => None,
+    }
+}
+
+fn record_key(rec: &Value) -> Option<String> {
+    let s = |k: &str| {
+        rec.get(k).and_then(|v| match v {
+            Value::Str(s) => Some(s.clone()),
+            other => as_f64(other).map(|n| n.to_string()),
+        })
+    };
+    Some(format!(
+        "{}/{}/{}@{}T",
+        s("op")?,
+        s("shape")?,
+        s("backend")?,
+        s("threads")?
+    ))
+}
+
+/// Upper bound on `scope_overhead_pct` in a bench file — hfta-scope must
+/// stay under 5% of a fused training step (ISSUE acceptance gate).
+pub const SCOPE_OVERHEAD_BUDGET_PCT: f64 = 5.0;
+
+/// Diffs two `BENCH_*.json` value trees record-by-record on `gflops`,
+/// plus the headline `fused_conv_speedup` and `scope_overhead_pct`
+/// figures. Throughput always gates here, at
+/// `cfg.max_regress_pct.unwrap_or(10.0)` percent.
+pub fn diff_bench(base: &Value, cand: &Value, cfg: &DiffCfg) -> DiffOutcome {
+    let mut out = DiffOutcome::default();
+    let pct = cfg.max_regress_pct.unwrap_or(10.0);
+    let gate_drop = |out: &mut DiffOutcome, what: &str, b: f64, c: f64| {
+        if b <= 0.0 {
+            return;
+        }
+        let change = (c - b) / b * 100.0;
+        if change < -pct {
+            out.regress(format!(
+                "{what}: {c:.3} is {:.1}% below baseline {b:.3} (budget {pct}%)",
+                -change
+            ));
+        } else {
+            out.note(format!("{what}: {c:.3} vs {b:.3} ({change:+.1}%)"));
+        }
+    };
+    // Records matched by (op, shape, backend, threads), compared on GFLOP/s.
+    let records = |v: &Value| -> Vec<(String, f64)> {
+        match v.get("records") {
+            Some(Value::Array(items)) => items
+                .iter()
+                .filter_map(|r| Some((record_key(r)?, as_f64(r.get("gflops")?)?)))
+                .collect(),
+            _ => Vec::new(),
+        }
+    };
+    let cand_records = records(cand);
+    for (key, b) in records(base) {
+        match cand_records.iter().find(|(k, _)| *k == key) {
+            Some((_, c)) => gate_drop(&mut out, &key, b, *c),
+            None => out.regress(format!("{key}: record missing from candidate")),
+        }
+    }
+    if let (Some(b), Some(c)) = (
+        base.get("fused_conv_speedup").and_then(as_f64),
+        cand.get("fused_conv_speedup").and_then(as_f64),
+    ) {
+        gate_drop(&mut out, "fused_conv_speedup", b, c);
+    }
+    // Lower is better for the scope overhead; gate on the absolute budget.
+    if let Some(c) = cand.get("scope_overhead_pct").and_then(as_f64) {
+        if c > SCOPE_OVERHEAD_BUDGET_PCT {
+            out.regress(format!(
+                "scope_overhead_pct: {c:.2}% exceeds the {SCOPE_OVERHEAD_BUDGET_PCT}% budget"
+            ));
+        } else {
+            out.note(format!(
+                "scope_overhead_pct: {c:.2}% (budget {SCOPE_OVERHEAD_BUDGET_PCT}%)"
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hfta_telemetry::{ScalarPoint, ScalarStream, SentinelKind};
+
+    fn exp_with_losses(name: &str, losses: &[(u64, f64)]) -> ExperimentReport {
+        ExperimentReport {
+            name: name.into(),
+            wall_ms: 1.0,
+            steps: vec![],
+            counters: vec![],
+            gauges: vec![],
+            histograms: vec![],
+            series: vec![],
+            scalars: losses
+                .iter()
+                .map(|&(model, value)| ScalarStream {
+                    run: name.into(),
+                    model,
+                    metric: "loss".into(),
+                    points: vec![ScalarPoint { step: 0, value }],
+                })
+                .collect(),
+            sentinels: vec![],
+        }
+    }
+
+    fn run(exps: Vec<ExperimentReport>) -> RunReport {
+        RunReport {
+            name: "r".into(),
+            wall_ms: 1.0,
+            trace_events: 0,
+            experiments: exps,
+        }
+    }
+
+    #[test]
+    fn identical_reports_do_not_regress() {
+        let a = run(vec![exp_with_losses("e", &[(0, 1.0), (1, 2.0)])]);
+        let out = diff_reports(&a, &a.clone(), &DiffCfg::default());
+        assert!(!out.regressed(), "{:?}", out.regressions);
+        assert_eq!(out.lines.len(), 2);
+    }
+
+    #[test]
+    fn loss_drift_and_lost_streams_regress() {
+        let a = run(vec![exp_with_losses("e", &[(0, 1.0), (1, 2.0)])]);
+        let drift = run(vec![exp_with_losses("e", &[(0, 1.0), (1, 2.5)])]);
+        assert!(diff_reports(&a, &drift, &DiffCfg::default()).regressed());
+        let lost = run(vec![exp_with_losses("e", &[(0, 1.0)])]);
+        assert!(diff_reports(&a, &lost, &DiffCfg::default()).regressed());
+        let gone = run(vec![]);
+        assert!(diff_reports(&a, &gone, &DiffCfg::default()).regressed());
+    }
+
+    #[test]
+    fn nan_losses_compare_equal_to_nan() {
+        // The vendored JSON round-trips non-finite values through `null`,
+        // so a poisoned model's NaN loss must diff clean against itself.
+        let a = run(vec![exp_with_losses("e", &[(0, f64::NAN)])]);
+        assert!(!diff_reports(&a, &a.clone(), &DiffCfg::default()).regressed());
+        let healthy = run(vec![exp_with_losses("e", &[(0, 1.0)])]);
+        assert!(diff_reports(&a, &healthy, &DiffCfg::default()).regressed());
+    }
+
+    #[test]
+    fn new_sentinel_regresses_cleared_one_does_not() {
+        let mut base = exp_with_losses("e", &[(0, 1.0)]);
+        let mut cand = base.clone();
+        cand.sentinels.push(hfta_telemetry::SentinelEvent {
+            step: 1,
+            model: 0,
+            kind: SentinelKind::NonFiniteGrad,
+            value: f64::NAN,
+            quarantined: true,
+        });
+        let out = diff_reports(
+            &run(vec![base.clone()]),
+            &run(vec![cand.clone()]),
+            &DiffCfg::default(),
+        );
+        assert!(out.regressed());
+        // Swapped direction: the fault cleared — informational only.
+        std::mem::swap(&mut base, &mut cand);
+        let out = diff_reports(&run(vec![base]), &run(vec![cand]), &DiffCfg::default());
+        assert!(!out.regressed());
+        assert!(out.lines.iter().any(|l| l.contains("cleared")));
+    }
+
+    #[test]
+    fn throughput_gate_only_fires_when_configured() {
+        let mk = |eps: f64| {
+            let mut e = exp_with_losses("e", &[(0, 1.0)]);
+            e.gauges.push(hfta_telemetry::CounterSample {
+                name: "hfta4/throughput_eps".into(),
+                value: eps,
+            });
+            run(vec![e])
+        };
+        let base = mk(1000.0);
+        let slow = mk(850.0); // 15% drop
+        assert!(!diff_reports(&base, &slow, &DiffCfg::default()).regressed());
+        let gated = DiffCfg {
+            max_regress_pct: Some(10.0),
+            ..DiffCfg::default()
+        };
+        assert!(diff_reports(&base, &slow, &gated).regressed());
+        assert!(!diff_reports(&base, &mk(950.0), &gated).regressed());
+    }
+
+    fn bench_json(gflops: f64, speedup: f64) -> Value {
+        let text = format!(
+            r#"{{"records": [{{"op": "gemm", "shape": "64x64", "backend": "blocked",
+                 "threads": 4, "ns_per_iter": 10.0, "gflops": {gflops}}}],
+                "fused_conv_speedup": {speedup}, "scope_overhead_pct": 1.0}}"#
+        );
+        serde_json::from_str(&text).unwrap()
+    }
+
+    #[test]
+    fn bench_diff_gates_ten_percent_throughput_regressions() {
+        let base = bench_json(100.0, 2.0);
+        // 12% gflops drop: over the default 10% budget.
+        let out = diff_bench(&base, &bench_json(88.0, 2.0), &DiffCfg::default());
+        assert!(out.regressed());
+        // 5% drop passes by default but fails a 2% budget.
+        let out = diff_bench(&base, &bench_json(95.0, 2.0), &DiffCfg::default());
+        assert!(!out.regressed());
+        let tight = DiffCfg {
+            max_regress_pct: Some(2.0),
+            ..DiffCfg::default()
+        };
+        assert!(diff_bench(&base, &bench_json(95.0, 2.0), &tight).regressed());
+        // The headline speedup gates too.
+        assert!(diff_bench(&base, &bench_json(100.0, 1.5), &DiffCfg::default()).regressed());
+    }
+
+    #[test]
+    fn bench_diff_gates_scope_overhead_budget() {
+        let base = bench_json(100.0, 2.0);
+        let mut cand = bench_json(100.0, 2.0);
+        if let Value::Object(fields) = &mut cand {
+            for (k, v) in fields.iter_mut() {
+                if k == "scope_overhead_pct" {
+                    *v = Value::F64(7.5);
+                }
+            }
+        }
+        let out = diff_bench(&base, &cand, &DiffCfg::default());
+        assert!(out.regressed());
+        assert!(out.regressions[0].contains("scope_overhead_pct"));
+    }
+
+    #[test]
+    fn load_report_detects_both_kinds() {
+        assert!(matches!(
+            load_report(r#"{"records": [], "fused_conv_speedup": 1.0}"#),
+            Ok(LoadedReport::Bench(_))
+        ));
+        let run_json = r#"{"name": "x", "wall_ms": 1.0, "trace_events": 0, "experiments": []}"#;
+        assert!(matches!(load_report(run_json), Ok(LoadedReport::Run(_))));
+        assert!(load_report(r#"{"something": 1}"#).is_err());
+        assert!(load_report("not json").is_err());
+    }
+}

@@ -1,0 +1,215 @@
+//! hfta-scope integration tests: fused loss streams vs unfused runs
+//! (ISSUE satellite c), the `scope_sweep` trace pipeline, and the
+//! `scope_report --diff` exit-code contract (including the acceptance
+//! case: an injected ≥10% throughput regression must exit non-zero).
+
+use hfta_bench::scope_report::{load_report, LoadedReport};
+use hfta_core::array::ModelArray;
+use hfta_core::loss::{fused_cross_entropy, Reduction};
+use hfta_core::ops::FusedLinear;
+use hfta_core::optim::{FusedOptimizer, FusedSgd, PerModel};
+use hfta_core::scope::per_model_ce_losses;
+use hfta_nn::layers::LinearCfg;
+use hfta_tensor::{Rng, Tensor};
+use std::path::Path;
+use std::process::Command;
+
+const STEPS: usize = 3;
+const N: usize = 5;
+const F_IN: usize = 6;
+const CLASSES: usize = 3;
+
+/// Trains a fused array on fixed batches and returns each model's loss
+/// curve as recorded by `ModelArray::record_step` into the profiler's
+/// per-model scalar streams.
+fn loss_streams(
+    model: FusedLinear,
+    lrs: &[f32],
+    batches: &[(Vec<Tensor>, Vec<usize>)],
+) -> Vec<Vec<f64>> {
+    let b = lrs.len();
+    let array = ModelArray::new(model);
+    let mut opt = FusedSgd::new(array.fused_parameters(), PerModel::new(lrs.to_vec()), 0.9)
+        .expect("matching widths");
+    let profiler = hfta_telemetry::Profiler::new("stream-test");
+    let guard = profiler.install();
+    for (step, (xs, targets)) in batches.iter().enumerate() {
+        opt.zero_grad();
+        let (_tape, logits) = array.forward_array(xs).unwrap();
+        let losses = per_model_ce_losses(&logits, targets);
+        array.record_step(step as u64, &losses, 0.0);
+        fused_cross_entropy(&logits, targets, Reduction::Mean).backward();
+        opt.step();
+    }
+    drop(guard);
+    let report = profiler.report();
+    let exp = &report.experiments[0];
+    (0..b as u64)
+        .map(|m| {
+            exp.scalar_stream(m, "loss")
+                .expect("every model streams a loss")
+                .points
+                .iter()
+                .map(|p| p.value)
+                .collect()
+        })
+        .collect()
+}
+
+/// ISSUE satellite c: the per-model losses `record_step` streams from a
+/// fused run must equal what each model reports when trained alone (the
+/// fused ops compute every lane independently, so this holds bit-for-bit,
+/// not just approximately).
+#[test]
+fn fused_loss_streams_match_unfused_runs() {
+    let mut rng = Rng::seed_from(99);
+    let fused3 = FusedLinear::new(3, LinearCfg::new(F_IN, CLASSES), &mut rng);
+    let members = fused3.unfuse();
+    let batches: Vec<(Vec<Tensor>, Vec<usize>)> = (0..STEPS)
+        .map(|_| {
+            let xs: Vec<Tensor> = (0..3).map(|_| rng.randn([N, F_IN])).collect();
+            let ys: Vec<usize> = (0..3 * N).map(|_| rng.below(CLASSES)).collect();
+            (xs, ys)
+        })
+        .collect();
+    let lrs = [0.2f32, 0.1, 0.05];
+    let fused_curves = loss_streams(fused3, &lrs, &batches);
+    for i in 0..3 {
+        let solo = FusedLinear::from_models(&members[i..=i]).unwrap();
+        let solo_batches: Vec<(Vec<Tensor>, Vec<usize>)> = batches
+            .iter()
+            .map(|(xs, ys)| (xs[i..=i].to_vec(), ys[i * N..(i + 1) * N].to_vec()))
+            .collect();
+        let solo_curves = loss_streams(solo, &lrs[i..=i], &solo_batches);
+        assert_eq!(
+            fused_curves[i], solo_curves[0],
+            "model {i}'s fused loss stream differs from its unfused run"
+        );
+    }
+}
+
+fn run_scope_report(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_scope_report"))
+        .args(args)
+        .output()
+        .expect("spawn scope_report")
+}
+
+#[test]
+fn scope_sweep_trace_renders_and_self_diffs_clean() {
+    let dir = std::env::temp_dir().join("hfta-scope-sweep-test");
+    let _ = std::fs::remove_dir_all(&dir);
+    let sweep = Command::new(env!("CARGO_BIN_EXE_scope_sweep"))
+        .args(["--trace", &dir.display().to_string()])
+        .output()
+        .expect("spawn scope_sweep");
+    assert!(sweep.status.success(), "scope_sweep failed: {sweep:?}");
+
+    // The report contains the full scope picture: 4 models' streams, one
+    // quarantined sentinel on model 3 at step 1.
+    let report_path = dir.join("scope_sweep.report.json");
+    let text = std::fs::read_to_string(&report_path).unwrap();
+    let LoadedReport::Run(run) = load_report(&text).unwrap() else {
+        panic!("expected a run report");
+    };
+    let exp = &run.experiments[0];
+    assert_eq!(exp.scalar_models(), vec![0, 1, 2, 3]);
+    for metric in ["loss", "grad_norm", "param_norm", "update_ratio"] {
+        assert!(exp.scalar_stream(0, metric).is_some(), "missing {metric}");
+    }
+    assert_eq!(exp.sentinels.len(), 1);
+    assert_eq!(exp.sentinels[0].model, 3);
+    assert_eq!(exp.sentinels[0].step, 1);
+    assert!(exp.sentinels[0].quarantined);
+
+    // Health mode renders the quarantine.
+    let health = run_scope_report(&[&dir.display().to_string()]);
+    assert!(health.status.success());
+    let stdout = String::from_utf8_lossy(&health.stdout);
+    assert!(stdout.contains("nan_grad@1 (quarantined)"), "{stdout}");
+
+    // Self-diff is clean (exit 0) despite the NaN grad-norm points the
+    // report round-trips through JSON `null`.
+    let rp = report_path.display().to_string();
+    assert!(run_scope_report(&["--diff", &rp, &rp]).status.success());
+
+    // A drifted loss fails the diff (exit 1).
+    let mut tampered = run.clone();
+    tampered.experiments[0]
+        .scalars
+        .iter_mut()
+        .find(|s| s.model == 0 && s.metric == "loss")
+        .unwrap()
+        .points
+        .last_mut()
+        .unwrap()
+        .value += 0.5;
+    let tpath = dir.join("tampered.report.json");
+    std::fs::write(&tpath, serde_json::to_string_pretty(&tampered).unwrap()).unwrap();
+    let diff = run_scope_report(&["--diff", &rp, &tpath.display().to_string()]);
+    assert_eq!(diff.status.code(), Some(1), "{diff:?}");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+fn bench_file(gflops: f64) -> String {
+    format!(
+        r#"{{"records": [{{"op": "gemm", "shape": "64x64", "backend": "blocked",
+             "threads": 4, "ns_per_iter": 10.0, "gflops": {gflops}}}],
+            "fused_conv_speedup": 2.0, "scope_overhead_pct": 0.5}}"#
+    )
+}
+
+/// ISSUE acceptance: injecting a ≥10% throughput regression into one of
+/// two otherwise-identical BENCH_*.json files makes `scope_report --diff`
+/// exit non-zero.
+#[test]
+fn diff_cli_fails_on_injected_throughput_regression() {
+    let dir = std::env::temp_dir().join("hfta-scope-diff-test");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let base = dir.join("base.json");
+    let same = dir.join("same.json");
+    let slow = dir.join("slow.json");
+    std::fs::write(&base, bench_file(100.0)).unwrap();
+    std::fs::write(&same, bench_file(100.0)).unwrap();
+    std::fs::write(&slow, bench_file(88.0)).unwrap(); // 12% regression
+    let (base, same, slow) = (
+        base.display().to_string(),
+        same.display().to_string(),
+        slow.display().to_string(),
+    );
+
+    assert!(run_scope_report(&["--diff", &base, &same]).status.success());
+    let regressed = run_scope_report(&["--diff", &base, &slow]);
+    assert_eq!(regressed.status.code(), Some(1), "{regressed:?}");
+    // The budget is configurable: 12% passes a 20% gate.
+    assert!(
+        run_scope_report(&["--diff", &base, &slow, "--max-regress", "20"])
+            .status
+            .success()
+    );
+    // Usage errors exit 2.
+    assert_eq!(run_scope_report(&["--diff", &base]).status.code(), Some(2));
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The committed bench file records hfta-scope's measured cost on a fused
+/// DCGAN-style step; the acceptance budget is < 5%.
+#[test]
+fn committed_bench_json_has_scope_overhead_under_budget() {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_kernels.json");
+    let text = std::fs::read_to_string(&path).unwrap();
+    let LoadedReport::Bench(v) = load_report(&text).unwrap() else {
+        panic!("expected a bench report");
+    };
+    let pct = match v.get("scope_overhead_pct") {
+        Some(serde::Value::F64(p)) => *p,
+        other => panic!("missing scope_overhead_pct: {other:?}"),
+    };
+    assert!(
+        pct < hfta_bench::scope_report::SCOPE_OVERHEAD_BUDGET_PCT,
+        "scope overhead {pct}% exceeds budget"
+    );
+}

@@ -117,6 +117,10 @@ impl<M: FusedModule> ModelArray<M> {
 /// Free-function form of [`ModelArray::record_step`] for training loops
 /// that do not go through the wrapper (e.g. serial baselines, where
 /// `fused_width` is 1).
+///
+/// Each model's loss lands both in the step-metric table and in its
+/// hfta-scope `loss` scalar stream, so `scope_report` can render per-model
+/// loss curves from any instrumented training loop.
 pub fn record_step_metrics(step: u64, losses: &[f32], samples_per_s: f64, fused_width: u64) {
     let Some(profiler) = Profiler::current() else {
         return;
@@ -129,6 +133,7 @@ pub fn record_step_metrics(step: u64, losses: &[f32], samples_per_s: f64, fused_
             samples_per_s,
             fused_width,
         });
+        profiler.scalar(model as u64, "loss", step, loss as f64);
     }
 }
 
@@ -231,11 +236,15 @@ mod tests {
         let _g = p.install();
         array.record_step(1, &[0.5, 0.25], 128.0);
         let report = p.report();
-        let steps = &report.experiments[0].steps;
+        let exp = &report.experiments[0];
+        let steps = &exp.steps;
         assert_eq!(steps.len(), 2);
         assert_eq!(steps[0].fused_width, 2);
         assert_eq!(steps[1].model, 1);
         assert_eq!(steps[1].loss, 0.25);
+        // The same losses feed the per-model scalar streams.
+        assert_eq!(exp.scalar_models(), vec![0, 1]);
+        assert_eq!(exp.scalar_stream(1, "loss").unwrap().last(), Some(0.25));
     }
 
     #[test]

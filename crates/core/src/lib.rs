@@ -17,6 +17,8 @@
 //! * [`loss`] — fused losses with the §3.2 gradient-exact scaling rule;
 //! * [`optim`] — fused optimizers/schedulers with per-model hyper-parameters;
 //! * [`mod@array`] — the [`array::ModelArray`] front door and sweep helpers;
+//! * [`scope`] — hfta-scope: per-model health extraction, divergence
+//!   sentinels, and quarantine ([`scope::ScopeMonitor`]);
 //! * [`tuner`] — a hyper-parameter tuning driver that packs sweep
 //!   candidates into fused arrays (the paper's §6 integration target).
 //!
@@ -57,6 +59,7 @@ pub mod loss;
 pub mod ops;
 pub mod optim;
 pub mod rules;
+pub mod scope;
 pub mod tuner;
 
 pub use error::{FusionError, Result};

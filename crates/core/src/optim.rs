@@ -110,6 +110,48 @@ pub trait FusedOptimizer {
 
     /// Replaces the per-model learning rates (used by schedulers).
     fn set_lr(&mut self, lr: PerModel);
+
+    /// Quarantines model `model`: zeroes its gradient lane and its
+    /// optimizer-state lanes now, and keeps masking its gradient lane at
+    /// the start of every subsequent [`FusedOptimizer::step`], so the
+    /// model's parameters freeze while the other `B − 1` models train on
+    /// bit-for-bit unaffected (lane updates are elementwise, and a masked
+    /// lane contributes exactly `x − 0.0 = x`). Idempotent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `model` is out of range.
+    fn quarantine(&mut self, model: usize);
+
+    /// Per-model quarantine flags.
+    fn quarantined(&self) -> &[bool];
+}
+
+/// Zeroes model `model`'s contiguous lane of a fused tensor.
+fn zero_lane(t: &mut Tensor, b: usize, model: usize) {
+    let s = t.as_mut_slice();
+    let chunk = s.len() / b;
+    s[model * chunk..(model + 1) * chunk].fill(0.0);
+}
+
+/// Re-masks the gradient lanes of quarantined models — called at the top
+/// of every `step()` because `backward()` keeps accumulating (possibly
+/// non-finite) gradients into the quarantined lane. A no-op (and no borrow
+/// of any parameter) when nothing is quarantined.
+fn zero_quarantined_grads(params: &[FusedParameter], quarantined: &[bool]) {
+    if !quarantined.iter().any(|&q| q) {
+        return;
+    }
+    let b = quarantined.len();
+    for p in params {
+        p.param.update_grad(|g| {
+            for (i, &q) in quarantined.iter().enumerate() {
+                if q {
+                    zero_lane(g, b, i);
+                }
+            }
+        });
+    }
 }
 
 fn check_params(params: &[FusedParameter], b: usize) -> Result<()> {
@@ -140,6 +182,7 @@ pub struct FusedSgd {
     lr: PerModel,
     momentum: PerModel,
     velocity: Vec<Tensor>,
+    quarantined: Vec<bool>,
 }
 
 impl FusedSgd {
@@ -172,17 +215,20 @@ impl FusedSgd {
             .iter()
             .map(|p| p.param.value().zeros_like())
             .collect();
+        let b = lr.b();
         Ok(FusedSgd {
             params,
             lr,
             momentum,
             velocity,
+            quarantined: vec![false; b],
         })
     }
 }
 
 impl FusedOptimizer for FusedSgd {
     fn step(&mut self) {
+        zero_quarantined_grads(&self.params, &self.quarantined);
         let plain = self.momentum.values().iter().all(|&m| m == 0.0);
         for (p, v) in self.params.iter().zip(&mut self.velocity) {
             let g = p.param.grad_cloned();
@@ -214,6 +260,20 @@ impl FusedOptimizer for FusedSgd {
         assert_eq!(lr.b(), self.lr.b(), "array width mismatch");
         self.lr = lr;
     }
+
+    fn quarantine(&mut self, model: usize) {
+        assert!(model < self.quarantined.len(), "model index out of range");
+        self.quarantined[model] = true;
+        let b = self.lr.b();
+        for (p, v) in self.params.iter().zip(&mut self.velocity) {
+            p.param.update_grad(|g| zero_lane(g, b, model));
+            zero_lane(v, b, model);
+        }
+    }
+
+    fn quarantined(&self) -> &[bool] {
+        &self.quarantined
+    }
 }
 
 /// Fused Adam with per-model learning rates (betas and epsilon shared).
@@ -227,6 +287,7 @@ pub struct FusedAdam {
     t: u64,
     m: Vec<Tensor>,
     v: Vec<Tensor>,
+    quarantined: Vec<bool>,
 }
 
 impl FusedAdam {
@@ -251,6 +312,7 @@ impl FusedAdam {
             .iter()
             .map(|p| p.param.value().zeros_like())
             .collect();
+        let b = lr.b();
         Ok(FusedAdam {
             params,
             lr,
@@ -260,6 +322,7 @@ impl FusedAdam {
             t: 0,
             m,
             v,
+            quarantined: vec![false; b],
         })
     }
 
@@ -275,6 +338,7 @@ impl FusedAdam {
 
 impl FusedOptimizer for FusedAdam {
     fn step(&mut self) {
+        zero_quarantined_grads(&self.params, &self.quarantined);
         self.t += 1;
         let bc1 = 1.0 - self.beta1.powi(self.t as i32);
         let bc2 = 1.0 - self.beta2.powi(self.t as i32);
@@ -305,6 +369,21 @@ impl FusedOptimizer for FusedAdam {
         assert_eq!(lr.b(), self.lr.b(), "array width mismatch");
         self.lr = lr;
     }
+
+    fn quarantine(&mut self, model: usize) {
+        assert!(model < self.quarantined.len(), "model index out of range");
+        self.quarantined[model] = true;
+        let b = self.lr.b();
+        for ((p, m), v) in self.params.iter().zip(&mut self.m).zip(&mut self.v) {
+            p.param.update_grad(|g| zero_lane(g, b, model));
+            zero_lane(m, b, model);
+            zero_lane(v, b, model);
+        }
+    }
+
+    fn quarantined(&self) -> &[bool] {
+        &self.quarantined
+    }
 }
 
 /// Fused Adadelta with per-model learning rates *and* per-model `rho`
@@ -317,6 +396,7 @@ pub struct FusedAdadelta {
     eps: f32,
     sq_avg: Vec<Tensor>,
     acc_delta: Vec<Tensor>,
+    quarantined: Vec<bool>,
 }
 
 impl FusedAdadelta {
@@ -336,6 +416,7 @@ impl FusedAdadelta {
             .iter()
             .map(|p| p.param.value().zeros_like())
             .collect();
+        let b = lr.b();
         Ok(FusedAdadelta {
             params,
             lr,
@@ -343,6 +424,7 @@ impl FusedAdadelta {
             eps,
             sq_avg,
             acc_delta,
+            quarantined: vec![false; b],
         })
     }
 
@@ -359,6 +441,7 @@ impl FusedAdadelta {
 
 impl FusedOptimizer for FusedAdadelta {
     fn step(&mut self) {
+        zero_quarantined_grads(&self.params, &self.quarantined);
         for ((p, sq), acc) in self
             .params
             .iter()
@@ -395,6 +478,26 @@ impl FusedOptimizer for FusedAdadelta {
     fn set_lr(&mut self, lr: PerModel) {
         assert_eq!(lr.b(), self.lr.b(), "array width mismatch");
         self.lr = lr;
+    }
+
+    fn quarantine(&mut self, model: usize) {
+        assert!(model < self.quarantined.len(), "model index out of range");
+        self.quarantined[model] = true;
+        let b = self.lr.b();
+        for ((p, sq), acc) in self
+            .params
+            .iter()
+            .zip(&mut self.sq_avg)
+            .zip(&mut self.acc_delta)
+        {
+            p.param.update_grad(|g| zero_lane(g, b, model));
+            zero_lane(sq, b, model);
+            zero_lane(acc, b, model);
+        }
+    }
+
+    fn quarantined(&self) -> &[bool] {
+        &self.quarantined
     }
 }
 
@@ -480,16 +583,9 @@ impl FusedStepLr {
 pub fn fused_clip_grad_norm(params: &[FusedParameter], max_norm: f32) -> Vec<f32> {
     assert!(max_norm > 0.0, "max_norm must be positive");
     assert!(!params.is_empty(), "no parameters to clip");
-    let b = params[0].b;
-    assert!(params.iter().all(|p| p.b == b), "array widths disagree");
-    // Per-model squared norms across all parameters.
-    let mut sq = vec![0.0f32; b];
-    for p in params {
-        for (i, s) in sq.iter_mut().enumerate() {
-            let g = p.model_grad_slice(i);
-            *s += g.as_slice().iter().map(|v| v * v).sum::<f32>();
-        }
-    }
+    // Per-model squared norms across all parameters — the same single-pass
+    // fused reduction the hfta-scope sentinels use (no per-model slicing).
+    let (sq, _) = crate::scope::per_model_grad_sq_norms(params);
     let norms: Vec<f32> = sq.iter().map(|s| s.sqrt()).collect();
     // Broadcast per-model scale factors over the model axis and rescale.
     let scales = PerModel::new(

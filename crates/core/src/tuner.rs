@@ -9,6 +9,7 @@
 //! `array_width` models, and hands each array to a user-supplied trainer.
 
 use crate::error::{FusionError, Result};
+use crate::scope::{ScopeMonitor, SentinelCfg};
 use hfta_telemetry::Profiler;
 use hfta_tensor::Rng;
 
@@ -102,6 +103,120 @@ pub fn sweep<C: Clone>(
         trials,
         arrays_trained: arrays,
         serial_jobs_replaced: total,
+    })
+}
+
+/// One evaluated trial of a monitored sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MonitoredTrial<C> {
+    /// The candidate configuration.
+    pub config: C,
+    /// The score the trainer reported (higher is better).
+    pub score: f32,
+    /// Whether a divergence sentinel killed this trial — its model was
+    /// quarantined (or flagged) mid-training and its score is not
+    /// comparable to the healthy trials'.
+    pub killed: bool,
+}
+
+/// Outcome of a monitored sweep.
+#[derive(Debug, Clone)]
+pub struct MonitoredSweepReport<C> {
+    /// All trials: healthy ones sorted best-first, killed ones after.
+    pub trials: Vec<MonitoredTrial<C>>,
+    /// Number of fused arrays that were trained.
+    pub arrays_trained: usize,
+    /// Serial accelerator slots replaced (one per candidate).
+    pub serial_jobs_replaced: usize,
+    /// Number of trials a sentinel killed.
+    pub killed: usize,
+}
+
+impl<C> MonitoredSweepReport<C> {
+    /// The winning healthy trial, if any survived.
+    pub fn best(&self) -> Option<&MonitoredTrial<C>> {
+        self.trials.iter().find(|t| !t.killed)
+    }
+}
+
+/// [`sweep`] with hfta-scope divergence monitoring: the tuner hands each
+/// array's trainer a [`ScopeMonitor`] (width = the array's `B`, configured
+/// with `cfg`); the trainer drives it per step
+/// ([`ScopeMonitor::after_backward`] / [`ScopeMonitor::after_step`]),
+/// which quarantines diverging models in place — the early-kill the
+/// paper's tuning integration (§6) needs, without aborting the other
+/// `B − 1` jobs in the fused array. Trials whose model fired a sentinel
+/// come back marked `killed` and rank below every healthy trial.
+///
+/// # Errors
+///
+/// Returns [`FusionError`] on the same conditions as [`sweep`].
+pub fn sweep_monitored<C: Clone>(
+    candidates: Vec<C>,
+    array_width: usize,
+    cfg: SentinelCfg,
+    mut train_array: impl FnMut(&[C], &mut ScopeMonitor) -> Vec<f32>,
+) -> Result<MonitoredSweepReport<C>> {
+    if array_width == 0 {
+        return Err(FusionError::InvalidWidth);
+    }
+    if candidates.is_empty() {
+        return Err(FusionError::Empty);
+    }
+    let profiler = Profiler::current();
+    let lane = profiler.as_ref().map(|p| p.lane("tuner", "arrays"));
+    let mut trials = Vec::with_capacity(candidates.len());
+    let mut arrays = 0;
+    let mut killed = 0;
+    let total = candidates.len();
+    for chunk in candidates.chunks(array_width) {
+        let mut monitor = ScopeMonitor::new(chunk.len(), cfg);
+        let scores = {
+            let _span = profiler
+                .as_ref()
+                .map(|p| p.span(lane.unwrap(), format!("array[B={}]", chunk.len())));
+            train_array(chunk, &mut monitor)
+        };
+        if scores.len() != chunk.len() {
+            return Err(FusionError::HyperParamLength {
+                expected: chunk.len(),
+                found: scores.len(),
+            });
+        }
+        arrays += 1;
+        if let Some(p) = &profiler {
+            p.incr("tuner.arrays", 1.0);
+            p.incr("tuner.trials", chunk.len() as f64);
+            p.set_gauge("tuner.fused_width", chunk.len() as f64);
+        }
+        for (i, (config, score)) in chunk.iter().cloned().zip(scores).enumerate() {
+            let dead = monitor.fired_models()[i];
+            if dead {
+                killed += 1;
+                if let Some(p) = &profiler {
+                    p.incr("tuner.killed", 1.0);
+                }
+            } else if let Some(p) = &profiler {
+                p.observe("tuner.score", score as f64);
+            }
+            trials.push(MonitoredTrial {
+                config,
+                score,
+                killed: dead,
+            });
+        }
+    }
+    // Healthy trials best-first; killed trials sink to the bottom.
+    trials.sort_by(|a, b| {
+        a.killed
+            .cmp(&b.killed)
+            .then_with(|| b.score.total_cmp(&a.score))
+    });
+    Ok(MonitoredSweepReport {
+        trials,
+        arrays_trained: arrays,
+        serial_jobs_replaced: total,
+        killed,
     })
 }
 
@@ -205,6 +320,74 @@ mod tests {
         assert_eq!(exp.histograms[0].count, 3);
         // One B/E span pair per array.
         assert_eq!(p.event_count(), 4);
+    }
+
+    #[test]
+    fn monitored_sweep_kills_poisoned_trials() {
+        use crate::ops::FusedParameter;
+        use crate::optim::{FusedOptimizer, FusedSgd, PerModel};
+        use crate::scope::poison_model_lane;
+        use hfta_nn::Parameter;
+        use hfta_tensor::Tensor;
+
+        // Five LR candidates, arrays of width 2. The trainer runs a toy
+        // quadratic descent; any candidate with lr > 1 is poisoned at step
+        // 1 to simulate divergence.
+        let lrs = vec![0.1f32, 0.2, 5.0, 0.3, 0.05];
+        let report = sweep_monitored(lrs, 2, SentinelCfg::default(), |chunk, monitor| {
+            let b = chunk.len();
+            let fused = FusedParameter {
+                param: Parameter::new(Tensor::ones([b]), "w"),
+                b,
+            };
+            let params = vec![fused.clone()];
+            let mut opt =
+                FusedSgd::new(params.clone(), PerModel::new(chunk.to_vec()), 0.0).unwrap();
+            for step in 0..3u64 {
+                opt.zero_grad();
+                // grad of 0.5 w^2 is w.
+                fused.param.accumulate_grad(&fused.param.value_cloned());
+                if step == 1 {
+                    for (i, &lr) in chunk.iter().enumerate() {
+                        if lr > 1.0 {
+                            poison_model_lane(&params, i);
+                        }
+                    }
+                }
+                let losses: Vec<f32> = (0..b)
+                    .map(|i| {
+                        let w = fused.param.value_cloned().to_vec()[i];
+                        0.5 * w * w
+                    })
+                    .collect();
+                monitor.after_backward(step, &losses, &params, &mut opt);
+                opt.step();
+                monitor.after_step(step, &params);
+            }
+            // Score = -final loss.
+            fused
+                .param
+                .value_cloned()
+                .to_vec()
+                .iter()
+                .map(|w| -0.5 * w * w)
+                .collect()
+        })
+        .unwrap();
+        assert_eq!(report.trials.len(), 5);
+        assert_eq!(report.arrays_trained, 3);
+        assert_eq!(report.killed, 1);
+        let dead: Vec<f32> = report
+            .trials
+            .iter()
+            .filter(|t| t.killed)
+            .map(|t| t.config)
+            .collect();
+        assert_eq!(dead, vec![5.0]);
+        // Killed trials rank last; the best healthy trial is the largest
+        // surviving LR (fastest descent on the quadratic).
+        assert!(report.trials.last().unwrap().killed);
+        assert!((report.best().unwrap().config - 0.3).abs() < 1e-6);
     }
 
     #[test]

@@ -1,0 +1,186 @@
+//! The hfta-scope quarantine acceptance test: NaN-seeding one model of a
+//! B-way array and quarantining it must leave the surviving B − 1 models
+//! **bit-identical** to a (B − 1)-way run that never contained the bad
+//! model.
+//!
+//! This is a stronger claim than the Figure-3 fused-vs-serial equivalence
+//! (which holds to fp32 round-off): here both runs are fused, every fused
+//! op computes each lane independently (per-batch `baddbmm`, per-lane
+//! elementwise optimizer math, the §3.2-scaled loss whose per-model
+//! gradients do not depend on B), and the kernels are bit-deterministic —
+//! so the comparison is exact `f32` equality, not `allclose`.
+
+use hfta_core::array::ModelArray;
+use hfta_core::loss::{fused_cross_entropy, Reduction};
+use hfta_core::ops::FusedLinear;
+use hfta_core::optim::{FusedOptimizer, FusedSgd, PerModel};
+use hfta_core::scope::{per_model_ce_losses, poison_model_lane, ScopeMonitor, SentinelCfg};
+use hfta_nn::layers::LinearCfg;
+use hfta_telemetry::SentinelKind;
+use hfta_tensor::{Rng, Tensor};
+
+const STEPS: usize = 5;
+const POISON_STEP: u64 = 2;
+const N: usize = 5;
+const F_IN: usize = 6;
+const CLASSES: usize = 4;
+
+struct RunResult {
+    /// Final fused weight storage, model-major.
+    weight: Vec<f32>,
+    /// Final fused bias storage, model-major.
+    bias: Vec<f32>,
+    /// `losses[t][m]` = model `m`'s own loss at step `t`.
+    losses: Vec<Vec<f32>>,
+    /// Fused weight storage snapshot after each step.
+    weight_history: Vec<Vec<f32>>,
+    monitor: ScopeMonitor,
+}
+
+/// Trains a fused array on fixed per-model batches; when `poison` is set,
+/// NaN-seeds that model's gradient lane after `backward()` at step
+/// `POISON_STEP` (the sentinel then quarantines it).
+fn train(
+    model: FusedLinear,
+    lrs: &[f32],
+    batches: &[(Vec<Tensor>, Vec<Vec<usize>>)],
+    poison: Option<usize>,
+) -> RunResult {
+    let b = lrs.len();
+    let array = ModelArray::new(model);
+    let params = array.fused_parameters();
+    let mut opt = FusedSgd::new(params.clone(), PerModel::new(lrs.to_vec()), 0.9).unwrap();
+    let mut monitor = ScopeMonitor::new(b, SentinelCfg::default());
+    let mut losses = Vec::with_capacity(STEPS);
+    let mut weight_history = Vec::with_capacity(STEPS);
+    for (step, (xs, ys)) in batches.iter().enumerate() {
+        opt.zero_grad();
+        let (_tape, logits) = array.forward_array(xs).unwrap();
+        let targets: Vec<usize> = ys.iter().flatten().copied().collect();
+        losses.push(per_model_ce_losses(&logits, &targets));
+        let loss = fused_cross_entropy(&logits, &targets, Reduction::Mean);
+        loss.backward();
+        if step as u64 == POISON_STEP {
+            if let Some(victim) = poison {
+                poison_model_lane(&params, victim);
+            }
+        }
+        monitor.after_backward(step as u64, losses.last().unwrap(), &params, &mut opt);
+        opt.step();
+        monitor.after_step(step as u64, &params);
+        weight_history.push(array.module().weight.value_cloned().to_vec());
+    }
+    let module = array.into_module();
+    RunResult {
+        weight: module.weight.value_cloned().to_vec(),
+        bias: module.bias.as_ref().unwrap().value_cloned().to_vec(),
+        losses,
+        weight_history,
+        monitor,
+    }
+}
+
+#[test]
+fn quarantined_survivors_match_a_smaller_array_bitwise() {
+    let mut rng = Rng::seed_from(0xC0FFEE);
+    // Build the 3-way array, then a 2-way array from the *same* first two
+    // per-model initializations.
+    let fused3 = FusedLinear::new(3, LinearCfg::new(F_IN, CLASSES), &mut rng);
+    let members = fused3.unfuse();
+    let fused2 = FusedLinear::from_models(&members[..2]).unwrap();
+
+    // Fixed per-model data; the 2-way run sees models 0 and 1's batches.
+    let batches3: Vec<(Vec<Tensor>, Vec<Vec<usize>>)> = (0..STEPS)
+        .map(|_| {
+            let xs: Vec<Tensor> = (0..3).map(|_| rng.randn([N, F_IN])).collect();
+            let ys: Vec<Vec<usize>> = (0..3)
+                .map(|_| (0..N).map(|_| rng.below(CLASSES)).collect())
+                .collect();
+            (xs, ys)
+        })
+        .collect();
+    let batches2: Vec<(Vec<Tensor>, Vec<Vec<usize>>)> = batches3
+        .iter()
+        .map(|(xs, ys)| (xs[..2].to_vec(), ys[..2].to_vec()))
+        .collect();
+
+    let lrs3 = [0.2f32, 0.05, 0.1];
+    let with_victim = train(fused3, &lrs3, &batches3, Some(2));
+    let without_victim = train(fused2, &lrs3[..2], &batches2, None);
+
+    // The sentinel fired exactly once, on model 2, and quarantined it.
+    let events = with_victim.monitor.events();
+    assert_eq!(events.len(), 1);
+    assert_eq!(events[0].model, 2);
+    assert_eq!(events[0].step, POISON_STEP);
+    assert_eq!(events[0].kind, SentinelKind::NonFiniteGrad);
+    assert!(events[0].quarantined);
+    assert!(without_victim.monitor.events().is_empty());
+
+    // Survivors' parameters are bit-identical to the 2-way run: exact f32
+    // equality over each surviving lane, not allclose.
+    let w_lane = with_victim.weight.len() / 3;
+    assert_eq!(
+        &with_victim.weight[..2 * w_lane],
+        &without_victim.weight[..],
+        "surviving weight lanes must match the (B-1)-way run bit-for-bit"
+    );
+    let b_lane = with_victim.bias.len() / 3;
+    assert_eq!(
+        &with_victim.bias[..2 * b_lane],
+        &without_victim.bias[..],
+        "surviving bias lanes must match the (B-1)-way run bit-for-bit"
+    );
+
+    // Per-model loss curves of the survivors are bit-identical too.
+    for (t, (l3, l2)) in with_victim
+        .losses
+        .iter()
+        .zip(&without_victim.losses)
+        .enumerate()
+    {
+        assert_eq!(&l3[..2], &l2[..], "step {t} survivor losses differ");
+    }
+
+    // The quarantined model froze: its lane never went NaN (only its
+    // gradient did), and from the step before the quarantine onward its
+    // weights never move again (the quarantine masked that step's update
+    // and every later one).
+    assert!(with_victim.weight[2 * w_lane..]
+        .iter()
+        .all(|v| v.is_finite()));
+    let frozen = &with_victim.weight_history[POISON_STEP as usize - 1][2 * w_lane..];
+    for t in POISON_STEP as usize..STEPS {
+        assert_eq!(
+            &with_victim.weight_history[t][2 * w_lane..],
+            frozen,
+            "victim lane moved at step {t} despite quarantine"
+        );
+    }
+    // ...whereas it was still training before the fault.
+    assert_ne!(&with_victim.weight_history[0][2 * w_lane..], frozen);
+}
+
+#[test]
+fn unquarantined_nan_poisons_its_own_lane_only() {
+    // Without quarantine the NaN gradient wrecks the victim's parameters at
+    // the next step — but still never crosses into the survivors' lanes.
+    let mut rng = Rng::seed_from(42);
+    let fused = FusedLinear::new(2, LinearCfg::new(F_IN, CLASSES), &mut rng);
+    let array = ModelArray::new(fused);
+    let params = array.fused_parameters();
+    let mut opt = FusedSgd::new(params.clone(), PerModel::uniform(2, 0.1), 0.9).unwrap();
+    let xs: Vec<Tensor> = (0..2).map(|_| rng.randn([N, F_IN])).collect();
+    let targets: Vec<usize> = (0..2 * N).map(|_| rng.below(CLASSES)).collect();
+    for _ in 0..2 {
+        opt.zero_grad();
+        let (_tape, logits) = array.forward_array(&xs).unwrap();
+        fused_cross_entropy(&logits, &targets, Reduction::Mean).backward();
+        poison_model_lane(&params, 1);
+        opt.step(); // no monitor: the NaN reaches the victim's parameters
+    }
+    let w = array.module().weight.value_cloned().to_vec();
+    let lane = w.len() / 2;
+    assert!(w[..lane].iter().all(|v| v.is_finite()), "survivor poisoned");
+    assert!(w[lane..].iter().any(|v| v.is_nan()), "victim should be NaN");
+}

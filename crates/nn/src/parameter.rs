@@ -125,6 +125,13 @@ impl Parameter {
         f(&mut inner.value, &inner.grad);
     }
 
+    /// Applies an in-place edit to the gradient slot — e.g. masking or
+    /// poisoning one model lane of a fused gradient, where
+    /// [`Parameter::accumulate_grad`] (which adds) cannot express the edit.
+    pub fn update_grad(&self, f: impl FnOnce(&mut Tensor)) {
+        f(&mut self.inner.borrow_mut().grad);
+    }
+
     /// Number of scalar elements.
     pub fn numel(&self) -> usize {
         self.inner.borrow().value.numel()
@@ -186,6 +193,14 @@ mod tests {
     fn set_value_shape_is_enforced() {
         let p = Parameter::new(Tensor::zeros([2]), "w");
         p.set_value(Tensor::zeros([4]));
+    }
+
+    #[test]
+    fn update_grad_edits_in_place() {
+        let p = Parameter::new(Tensor::zeros([4]), "w");
+        p.accumulate_grad(&Tensor::ones([4]));
+        p.update_grad(|g| g.as_mut_slice()[..2].fill(0.0));
+        assert_eq!(p.grad_cloned().to_vec(), vec![0.0, 0.0, 1.0, 1.0]);
     }
 
     #[test]

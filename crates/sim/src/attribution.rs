@@ -1,0 +1,142 @@
+//! Per-model utilization attribution for fused kernels (hfta-scope).
+//!
+//! A fused HFTA kernel carries `B` models' work in one launch, so the
+//! device-level counters (Figure 8 of the paper) only show the *array's*
+//! utilization. For per-model accounting — "how much of the fused array's
+//! FLOPs/bytes did model `i` consume?" — the fused kernel's totals are
+//! split evenly across the `B` lanes: every lane of a fused operator does
+//! identical-shape work (same operator types, same shapes — the fusability
+//! precondition of Table 6), so an even split *is* the exact attribution,
+//! up to integer remainders, which go to the lower lane indices.
+//!
+//! [`crate::gpu::GpuSim::simulate_traced`] and
+//! [`crate::tpu::TpuSim::simulate_traced`] use these splits to emit
+//! `<label>/model<i>/flops` and `<label>/model<i>/bytes` counter series
+//! alongside the device-level DCGM series, giving `scope_report` a
+//! Figure-8-style per-model utilization view from a single fused trace.
+
+use serde::{Deserialize, Serialize};
+
+use crate::kernel::{Kernel, TrainingJob};
+
+/// One model lane's share of a fused kernel's (or job's) work.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LaneShare {
+    /// Model index within the fused array (`0..B`).
+    pub model: u64,
+    /// FLOPs attributed to this lane.
+    pub flops: u64,
+    /// Device-memory bytes attributed to this lane.
+    pub bytes: u64,
+}
+
+/// Splits `total` evenly across `b` lanes, handing the remainder to the
+/// lower indices so the shares always sum back to `total` exactly.
+pub fn split_even(total: u64, b: usize) -> Vec<u64> {
+    assert!(b > 0, "cannot attribute work across zero lanes");
+    let base = total / b as u64;
+    let rem = total % b as u64;
+    (0..b as u64).map(|i| base + u64::from(i < rem)).collect()
+}
+
+/// Attributes one fused kernel's FLOPs and bytes across `b` model lanes.
+pub fn per_model_shares(kernel: &Kernel, b: usize) -> Vec<LaneShare> {
+    let flops = split_even(kernel.flops, b);
+    let bytes = split_even(kernel.bytes, b);
+    flops
+        .into_iter()
+        .zip(bytes)
+        .enumerate()
+        .map(|(i, (flops, bytes))| LaneShare {
+            model: i as u64,
+            flops,
+            bytes,
+        })
+        .collect()
+}
+
+/// Attributes a whole job's iteration (every kernel summed) across its
+/// [`TrainingJob::models_per_job`] lanes.
+pub fn job_lane_totals(job: &TrainingJob) -> Vec<LaneShare> {
+    let b = job.models_per_job.max(1);
+    let mut totals: Vec<LaneShare> = (0..b as u64)
+        .map(|model| LaneShare {
+            model,
+            flops: 0,
+            bytes: 0,
+        })
+        .collect();
+    for k in &job.kernels {
+        for share in per_model_shares(k, b) {
+            let t = &mut totals[share.model as usize];
+            t.flops += share.flops;
+            t.bytes += share.bytes;
+        }
+    }
+    totals
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::JobMemory;
+
+    #[test]
+    fn split_even_exact_when_divisible() {
+        assert_eq!(split_even(12, 4), vec![3, 3, 3, 3]);
+        assert_eq!(split_even(0, 3), vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn split_even_remainder_goes_to_lower_indices() {
+        assert_eq!(split_even(10, 3), vec![4, 3, 3]);
+        assert_eq!(split_even(7, 4), vec![2, 2, 2, 1]);
+        // Shares always conserve the total.
+        for (total, b) in [(1u64, 7usize), (100, 3), (12345, 8)] {
+            assert_eq!(split_even(total, b).iter().sum::<u64>(), total);
+        }
+    }
+
+    #[test]
+    fn per_model_shares_conserve_kernel_totals() {
+        let k = Kernel::elementwise(1_000_001);
+        let shares = per_model_shares(&k, 4);
+        assert_eq!(shares.len(), 4);
+        assert_eq!(shares.iter().map(|s| s.flops).sum::<u64>(), k.flops);
+        assert_eq!(shares.iter().map(|s| s.bytes).sum::<u64>(), k.bytes);
+        assert_eq!(shares[0].model, 0);
+        assert_eq!(shares[3].model, 3);
+    }
+
+    #[test]
+    fn job_lane_totals_sum_to_job_totals() {
+        let job = TrainingJob {
+            name: "t".into(),
+            kernels: vec![
+                Kernel::elementwise(100_003),
+                Kernel::elementwise(50_001),
+                Kernel::elementwise(7),
+            ],
+            host_us: 0.0,
+            sync_us_per_kernel: 0.0,
+            cpu_gap_fraction: 0.0,
+            memory: JobMemory::default(),
+            models_per_job: 3,
+            examples_per_iteration: 1,
+        };
+        let totals = job_lane_totals(&job);
+        assert_eq!(totals.len(), 3);
+        assert_eq!(
+            totals.iter().map(|s| s.flops).sum::<u64>(),
+            job.total_flops()
+        );
+        assert_eq!(
+            totals.iter().map(|s| s.bytes).sum::<u64>(),
+            job.total_bytes()
+        );
+        // Lanes differ by at most the per-kernel remainders.
+        let max = totals.iter().map(|s| s.flops).max().unwrap();
+        let min = totals.iter().map(|s| s.flops).min().unwrap();
+        assert!(max - min <= job.kernels.len() as u64);
+    }
+}

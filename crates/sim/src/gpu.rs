@@ -440,6 +440,25 @@ impl GpuSim {
                 end,
                 Counters::smi_from_active(t.active, result.models + i),
             );
+            // Per-model attribution of the fused kernel's work (hfta-scope):
+            // every lane does identical-shape work, so an even split is the
+            // exact per-model counter series (paper Figure 8, per model).
+            if job.models_per_job > 1 {
+                for share in crate::attribution::per_model_shares(k, job.models_per_job) {
+                    profiler.counter_at(
+                        lane,
+                        &format!("{label}/model{}/flops", share.model),
+                        end,
+                        share.flops as f64,
+                    );
+                    profiler.counter_at(
+                        lane,
+                        &format!("{label}/model{}/bytes", share.model),
+                        end,
+                        share.bytes as f64,
+                    );
+                }
+            }
             cursor = end;
         }
         profiler.incr("sim.kernels", job.kernels.len() as f64);
@@ -725,8 +744,9 @@ mod tests {
         let plain = s.simulate(SharingPolicy::Hfta, &fused_job(4), 1);
         let traced = s.simulate_traced(SharingPolicy::Hfta, &fused_job(4), 1, &p, "hfta4");
         assert_eq!(plain, traced);
-        // 2 events (B/E) + 4 counter events per kernel.
-        assert_eq!(p.event_count(), 6 * fused_job(4).kernels.len());
+        // 2 events (B/E) + 4 device counters + 2*B per-model counters
+        // per kernel.
+        assert_eq!(p.event_count(), (6 + 2 * 4) * fused_job(4).kernels.len());
         let report = p.report();
         let exp = &report.experiments[0];
         assert!(
@@ -742,6 +762,35 @@ mod tests {
                 .value,
             fused_job(4).kernels.len() as f64
         );
+    }
+
+    #[test]
+    fn traced_hfta_attributes_flops_per_model() {
+        let s = sim();
+        let p = Profiler::new("attr-test");
+        let job = fused_job(4);
+        s.simulate_traced(SharingPolicy::Hfta, &job, 1, &p, "hfta4");
+        let report = p.report();
+        let exp = &report.experiments[0];
+        // One flops + one bytes series per lane, one point per kernel, and
+        // the lanes sum back to the fused job's totals at every sample.
+        let mut flops_sum = 0u64;
+        for m in 0..4 {
+            let f = exp
+                .series(&format!("hfta4/model{m}/flops"))
+                .unwrap_or_else(|| panic!("missing per-model flops series for lane {m}"));
+            assert_eq!(f.points.len(), job.kernels.len());
+            assert!(exp.series(&format!("hfta4/model{m}/bytes")).is_some());
+            flops_sum += f.points.iter().map(|pt| pt.value as u64).sum::<u64>();
+        }
+        assert_eq!(flops_sum, job.total_flops());
+        assert!(exp.series("hfta4/model4/flops").is_none());
+
+        // Serial jobs (models_per_job == 1) get no per-model series.
+        let p1 = Profiler::new("attr-serial");
+        s.simulate_traced(SharingPolicy::Serial, &small_job(), 1, &p1, "serial");
+        let r1 = p1.report();
+        assert!(r1.experiments[0].series("serial/model0/flops").is_none());
     }
 
     #[test]

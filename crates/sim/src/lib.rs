@@ -37,12 +37,14 @@
 
 #![warn(missing_docs)]
 
+pub mod attribution;
 pub mod counters;
 pub mod device;
 pub mod gpu;
 pub mod kernel;
 pub mod tpu;
 
+pub use attribution::{job_lane_totals, per_model_shares, LaneShare};
 pub use counters::Counters;
 pub use device::{DeviceKind, DeviceSpec};
 pub use gpu::{GpuSim, SharingPolicy, SimResult};

@@ -165,6 +165,22 @@ impl TpuSim {
                 None => 0.0,
             };
             profiler.counter_at(lane, &format!("{label}/mxu_busy"), end, busy);
+            if job.models_per_job > 1 {
+                for share in crate::attribution::per_model_shares(k, job.models_per_job) {
+                    profiler.counter_at(
+                        lane,
+                        &format!("{label}/model{}/flops", share.model),
+                        end,
+                        share.flops as f64,
+                    );
+                    profiler.counter_at(
+                        lane,
+                        &format!("{label}/model{}/bytes", share.model),
+                        end,
+                        share.bytes as f64,
+                    );
+                }
+            }
             cursor = end;
         }
         profiler.incr("sim.kernels", job.kernels.len() as f64);

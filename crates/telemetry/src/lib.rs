@@ -11,6 +11,10 @@
 //!   `chrome://tracing` or <https://ui.perfetto.dev>; lanes (`pid`/`tid`)
 //!   map to device/policy/model.
 //! * [`metrics`] — the plain-data registry behind the profiler.
+//! * [`scope`] — hfta-scope: per-model [`ScalarStream`]s (loss, grad-norm,
+//!   param-norm, update-ratio, tagged `(run, model, metric)`) and
+//!   divergence [`SentinelEvent`]s, recorded via [`Profiler::scalar`] /
+//!   [`Profiler::sentinel`] and embedded in every [`ExperimentReport`].
 //! * [`report`] — serializable [`RunReport`] written next to each trace by
 //!   the bench bins (`--trace <dir>`).
 //!
@@ -22,9 +26,11 @@
 pub mod metrics;
 pub mod profiler;
 pub mod report;
+pub mod scope;
 pub mod trace;
 
 pub use metrics::{CounterSample, HistogramSummary, MetricsRegistry};
 pub use profiler::{ExperimentGuard, InstallGuard, LaneId, OpCost, Profiler, SpanGuard};
 pub use report::{CounterSeries, ExperimentReport, RunReport, SeriesPoint, StepMetric};
+pub use scope::{ScalarPoint, ScalarStream, ScopeLog, SentinelEvent, SentinelKind};
 pub use trace::{EventPhase, LaneMeta, TraceEvent};

@@ -2,7 +2,12 @@
 //!
 //! The registry is a plain data structure owned by the profiler (one per
 //! experiment scope); it does no locking or I/O. Names are interned
-//! first-come-first-served in insertion order so reports are deterministic.
+//! first-come-first-served in insertion order so reports are deterministic;
+//! a `HashMap` name index on the side makes every hot-path update O(1)
+//! instead of a linear scan over the name list (the
+//! `telemetry_overhead` bench asserts the scaling).
+
+use std::collections::HashMap;
 
 use serde::{Deserialize, Serialize};
 
@@ -19,7 +24,9 @@ pub struct CounterSample {
 ///
 /// Buckets are powers of two over the observed magnitude: bucket `i` counts
 /// observations in `[2^(i-1), 2^i)` (bucket 0 counts `< 1`). Enough for
-/// latency/size distributions without configuring bounds.
+/// latency/size distributions without configuring bounds. Quantiles
+/// (p50/p95/p99) are estimated from the bucket counts — no per-sample
+/// storage — and filled in when the registry is snapshotted into a report.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct HistogramSummary {
     /// Metric name.
@@ -32,6 +39,12 @@ pub struct HistogramSummary {
     pub min: f64,
     /// Maximum observation (0 when empty).
     pub max: f64,
+    /// Estimated median (filled by [`HistogramSummary::with_quantiles`]).
+    pub p50: f64,
+    /// Estimated 95th percentile.
+    pub p95: f64,
+    /// Estimated 99th percentile.
+    pub p99: f64,
     /// Power-of-two bucket counts.
     pub buckets: Vec<u64>,
 }
@@ -44,6 +57,9 @@ impl HistogramSummary {
             sum: 0.0,
             min: 0.0,
             max: 0.0,
+            p50: 0.0,
+            p95: 0.0,
+            p99: 0.0,
             buckets: vec![0; 40],
         }
     }
@@ -74,6 +90,48 @@ impl HistogramSummary {
             self.sum / self.count as f64
         }
     }
+
+    /// Estimates quantile `q` (in `[0, 1]`) from the log-bucket sketch:
+    /// finds the bucket where the cumulative count crosses `q * count` and
+    /// interpolates linearly inside its `[2^(i-1), 2^i)` bounds. The
+    /// estimate is clamped to the observed `[min, max]`, so exact for the
+    /// extremes and within one bucket's resolution elsewhere.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let rank = q.clamp(0.0, 1.0) * self.count as f64;
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            let next = seen + c;
+            if (next as f64) >= rank {
+                let (lo, hi) = if i == 0 {
+                    (0.0, 1.0)
+                } else {
+                    (2f64.powi(i as i32 - 1), 2f64.powi(i as i32))
+                };
+                let frac = ((rank - seen as f64) / c as f64).clamp(0.0, 1.0);
+                return (lo + frac * (hi - lo)).clamp(self.min, self.max);
+            }
+            seen = next;
+        }
+        self.max
+    }
+
+    /// Returns a copy with the serialized `p50`/`p95`/`p99` fields filled
+    /// from the bucket sketch — called when the registry is snapshotted
+    /// into a report, so the hot-path `observe` never pays for quantile
+    /// estimation.
+    pub fn with_quantiles(&self) -> HistogramSummary {
+        let mut h = self.clone();
+        h.p50 = h.quantile(0.50);
+        h.p95 = h.quantile(0.95);
+        h.p99 = h.quantile(0.99);
+        h
+    }
 }
 
 /// Counters (monotone totals), gauges (last value), histograms.
@@ -82,6 +140,9 @@ pub struct MetricsRegistry {
     counters: Vec<CounterSample>,
     gauges: Vec<CounterSample>,
     histograms: Vec<HistogramSummary>,
+    counter_index: HashMap<String, usize>,
+    gauge_index: HashMap<String, usize>,
+    histogram_index: HashMap<String, usize>,
 }
 
 impl MetricsRegistry {
@@ -92,31 +153,40 @@ impl MetricsRegistry {
 
     /// Adds `delta` to counter `name` (creating it at 0).
     pub fn incr(&mut self, name: &str, delta: f64) {
-        match self.counters.iter_mut().find(|c| c.name == name) {
-            Some(c) => c.value += delta,
-            None => self.counters.push(CounterSample {
-                name: name.to_string(),
-                value: delta,
-            }),
+        match self.counter_index.get(name) {
+            Some(&i) => self.counters[i].value += delta,
+            None => {
+                self.counter_index
+                    .insert(name.to_string(), self.counters.len());
+                self.counters.push(CounterSample {
+                    name: name.to_string(),
+                    value: delta,
+                });
+            }
         }
     }
 
     /// Sets gauge `name` to `value`.
     pub fn set_gauge(&mut self, name: &str, value: f64) {
-        match self.gauges.iter_mut().find(|g| g.name == name) {
-            Some(g) => g.value = value,
-            None => self.gauges.push(CounterSample {
-                name: name.to_string(),
-                value,
-            }),
+        match self.gauge_index.get(name) {
+            Some(&i) => self.gauges[i].value = value,
+            None => {
+                self.gauge_index.insert(name.to_string(), self.gauges.len());
+                self.gauges.push(CounterSample {
+                    name: name.to_string(),
+                    value,
+                });
+            }
         }
     }
 
     /// Records one observation into histogram `name`.
     pub fn observe(&mut self, name: &str, value: f64) {
-        match self.histograms.iter_mut().find(|h| h.name == name) {
-            Some(h) => h.observe(value),
+        match self.histogram_index.get(name) {
+            Some(&i) => self.histograms[i].observe(value),
             None => {
+                self.histogram_index
+                    .insert(name.to_string(), self.histograms.len());
                 let mut h = HistogramSummary::new(name.to_string());
                 h.observe(value);
                 self.histograms.push(h);
@@ -126,15 +196,14 @@ impl MetricsRegistry {
 
     /// Current counter total, if the counter exists.
     pub fn counter(&self, name: &str) -> Option<f64> {
-        self.counters
-            .iter()
-            .find(|c| c.name == name)
-            .map(|c| c.value)
+        self.counter_index
+            .get(name)
+            .map(|&i| self.counters[i].value)
     }
 
     /// Current gauge value, if the gauge exists.
     pub fn gauge(&self, name: &str) -> Option<f64> {
-        self.gauges.iter().find(|g| g.name == name).map(|g| g.value)
+        self.gauge_index.get(name).map(|&i| self.gauges[i].value)
     }
 
     /// All counters in insertion order.
@@ -170,6 +239,21 @@ mod tests {
     }
 
     #[test]
+    fn insertion_order_is_stable_with_many_names() {
+        let mut m = MetricsRegistry::new();
+        for i in 0..100 {
+            m.incr(&format!("c{i}"), 1.0);
+        }
+        for i in (0..100).rev() {
+            m.incr(&format!("c{i}"), 1.0);
+        }
+        let names: Vec<&str> = m.counters().iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(names[0], "c0");
+        assert_eq!(names[99], "c99");
+        assert!(m.counters().iter().all(|c| c.value == 2.0));
+    }
+
+    #[test]
     fn histogram_tracks_extremes_and_buckets() {
         let mut m = MetricsRegistry::new();
         for v in [0.5, 1.5, 3.0, 100.0] {
@@ -184,5 +268,34 @@ mod tests {
         assert_eq!(h.buckets[1], 1); // 1.5 -> [1, 2)
         assert_eq!(h.buckets[2], 1); // 3.0 -> [2, 4)
         assert_eq!(h.buckets[7], 1); // 100 -> [64, 128)
+    }
+
+    #[test]
+    fn quantiles_from_buckets_are_sane() {
+        let mut m = MetricsRegistry::new();
+        // 100 observations uniform-ish over [1, 128).
+        for i in 0..100 {
+            m.observe("lat", 1.0 + 1.27 * i as f64);
+        }
+        let h = m.histograms()[0].with_quantiles();
+        assert!(
+            h.p50 <= h.p95 && h.p95 <= h.p99,
+            "quantiles must be ordered"
+        );
+        assert!(h.p50 >= h.min && h.p99 <= h.max);
+        // Median of a uniform [1, 128) sample sits well below the p99.
+        assert!(h.p50 < 100.0, "p50 = {}", h.p50);
+        assert!(h.p99 > 64.0, "p99 = {}", h.p99);
+    }
+
+    #[test]
+    fn quantiles_degenerate_cases() {
+        let empty = HistogramSummary::new("e".into());
+        assert_eq!(empty.quantile(0.5), 0.0);
+        let mut m = MetricsRegistry::new();
+        m.observe("one", 42.0);
+        let h = m.histograms()[0].with_quantiles();
+        assert_eq!(h.p50, 42.0);
+        assert_eq!(h.p99, 42.0);
     }
 }

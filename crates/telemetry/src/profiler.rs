@@ -15,6 +15,7 @@ use std::time::Instant;
 
 use crate::metrics::MetricsRegistry;
 use crate::report::{CounterSeries, ExperimentReport, RunReport, SeriesPoint, StepMetric};
+use crate::scope::{ScopeLog, SentinelEvent};
 use crate::trace::{self, EventPhase, LaneMeta, TraceEvent};
 use serde::Value;
 
@@ -75,6 +76,7 @@ struct ExperimentAcc {
     steps: Vec<StepMetric>,
     metrics: MetricsRegistry,
     series: Vec<CounterSeries>,
+    scope: ScopeLog,
 }
 
 impl ExperimentAcc {
@@ -86,6 +88,7 @@ impl ExperimentAcc {
             steps: Vec::new(),
             metrics: MetricsRegistry::new(),
             series: Vec::new(),
+            scope: ScopeLog::new(),
         }
     }
 
@@ -96,8 +99,15 @@ impl ExperimentAcc {
             steps: self.steps,
             counters: self.metrics.counters().to_vec(),
             gauges: self.metrics.gauges().to_vec(),
-            histograms: self.metrics.histograms().to_vec(),
+            histograms: self
+                .metrics
+                .histograms()
+                .iter()
+                .map(|h| h.with_quantiles())
+                .collect(),
             series: self.series,
+            scalars: self.scope.streams().to_vec(),
+            sentinels: self.scope.sentinels().to_vec(),
         }
     }
 }
@@ -329,6 +339,26 @@ impl Profiler {
         experiments[idx].steps.push(metric);
     }
 
+    // -- hfta-scope: per-model streams and sentinels ------------------------
+
+    /// Appends one sample to the per-model scalar stream
+    /// `(model, metric)` in the current experiment scope. The stream is
+    /// tagged with the run name; appending is O(1) amortized.
+    pub fn scalar(&self, model: u64, metric: &str, step: u64, value: f64) {
+        let mut experiments = self.shared.experiments.borrow_mut();
+        let idx = self.shared.current.get();
+        experiments[idx]
+            .scope
+            .record(&self.shared.name, model, metric, step, value);
+    }
+
+    /// Records a divergence sentinel event in the current experiment scope.
+    pub fn sentinel(&self, event: SentinelEvent) {
+        let mut experiments = self.shared.experiments.borrow_mut();
+        let idx = self.shared.current.get();
+        experiments[idx].scope.sentinel(event);
+    }
+
     // -- experiment scopes --------------------------------------------------
 
     /// Opens a named experiment scope (e.g. `fig3`); metrics, steps and
@@ -391,6 +421,7 @@ fn clone_acc(acc: &ExperimentAcc) -> ExperimentAcc {
         steps: acc.steps.clone(),
         metrics: acc.metrics.clone(),
         series: acc.series.clone(),
+        scope: acc.scope.clone(),
     }
 }
 
@@ -526,6 +557,44 @@ mod tests {
         assert_eq!(fig3.counters[0].value, 2.0);
         assert_eq!(fig3.steps.len(), 1);
         assert!(fig3.wall_ms >= 0.0);
+    }
+
+    #[test]
+    fn scalars_and_sentinels_land_in_current_experiment() {
+        let p = Profiler::new("run");
+        p.scalar(0, "loss", 0, 2.0);
+        {
+            let _e = p.experiment("sweep");
+            p.scalar(1, "loss", 0, 3.0);
+            p.scalar(1, "loss", 1, f64::NAN);
+            p.sentinel(crate::scope::SentinelEvent {
+                step: 1,
+                model: 1,
+                kind: crate::scope::SentinelKind::NonFiniteLoss,
+                value: f64::NAN,
+                quarantined: true,
+            });
+        }
+        let report = p.report();
+        let root = &report.experiments[0];
+        assert_eq!(root.scalars.len(), 1);
+        assert_eq!(root.scalars[0].run, "run");
+        assert!(root.sentinels.is_empty());
+        let sweep = report.experiment("sweep").unwrap();
+        assert_eq!(sweep.scalar_stream(1, "loss").unwrap().points.len(), 2);
+        assert_eq!(sweep.sentinels_for(1).len(), 1);
+        assert!(sweep.sentinels[0].quarantined);
+    }
+
+    #[test]
+    fn report_histograms_carry_quantiles() {
+        let p = Profiler::new("run");
+        for i in 0..50 {
+            p.observe("lat", 1.0 + i as f64);
+        }
+        let h = &p.report().experiments[0].histograms[0];
+        assert!(h.p50 > 0.0 && h.p50 <= h.p95 && h.p95 <= h.p99);
+        assert!(h.p99 <= h.max);
     }
 
     #[test]

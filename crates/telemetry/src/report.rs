@@ -7,6 +7,7 @@
 //! `nvidia-smi` utilization the paper plots in Figure 11).
 
 use crate::metrics::{CounterSample, HistogramSummary};
+use crate::scope::{ScalarStream, SentinelEvent};
 use serde::{Deserialize, Serialize};
 
 /// One point of a counter time-series.
@@ -59,6 +60,10 @@ pub struct ExperimentReport {
     pub histograms: Vec<HistogramSummary>,
     /// Counter time-series.
     pub series: Vec<CounterSeries>,
+    /// Per-model scalar streams (hfta-scope).
+    pub scalars: Vec<ScalarStream>,
+    /// Divergence sentinel events (hfta-scope).
+    pub sentinels: Vec<SentinelEvent>,
 }
 
 /// Top-level report for one run of a bench bin.
@@ -85,6 +90,27 @@ impl ExperimentReport {
     /// Finds a counter time-series by name.
     pub fn series(&self, name: &str) -> Option<&CounterSeries> {
         self.series.iter().find(|s| s.name == name)
+    }
+
+    /// Finds the scalar stream for `(model, metric)`.
+    pub fn scalar_stream(&self, model: u64, metric: &str) -> Option<&ScalarStream> {
+        self.scalars
+            .iter()
+            .find(|s| s.model == model && s.metric == metric)
+    }
+
+    /// Model indices that appear in any scalar stream, ascending and
+    /// deduplicated.
+    pub fn scalar_models(&self) -> Vec<u64> {
+        let mut models: Vec<u64> = self.scalars.iter().map(|s| s.model).collect();
+        models.sort_unstable();
+        models.dedup();
+        models
+    }
+
+    /// Sentinel events attributed to `model`.
+    pub fn sentinels_for(&self, model: u64) -> Vec<&SentinelEvent> {
+        self.sentinels.iter().filter(|e| e.model == model).collect()
     }
 }
 
@@ -121,15 +147,32 @@ mod tests {
                         value: 0.98,
                     }],
                 }],
+                scalars: vec![crate::scope::ScalarStream {
+                    run: "fig11".into(),
+                    model: 1,
+                    metric: "loss".into(),
+                    points: vec![crate::scope::ScalarPoint {
+                        step: 0,
+                        value: 2.25,
+                    }],
+                }],
+                sentinels: vec![crate::scope::SentinelEvent {
+                    step: 0,
+                    model: 1,
+                    kind: crate::scope::SentinelKind::GradExplosion,
+                    value: 1e9,
+                    quarantined: false,
+                }],
             }],
         };
         let json = serde_json::to_string_pretty(&report).unwrap();
         let back: RunReport = serde_json::from_str(&json).unwrap();
         assert_eq!(back, report);
-        assert!(back
-            .experiment("fig11")
-            .unwrap()
-            .series("v100/hfta8/smi_util")
-            .is_some());
+        let exp = back.experiment("fig11").unwrap();
+        assert!(exp.series("v100/hfta8/smi_util").is_some());
+        assert_eq!(exp.scalar_models(), vec![1]);
+        assert_eq!(exp.scalar_stream(1, "loss").unwrap().last(), Some(2.25));
+        assert_eq!(exp.sentinels_for(1).len(), 1);
+        assert!(exp.sentinels_for(0).is_empty());
     }
 }

@@ -1,0 +1,222 @@
+//! hfta-scope: per-model training-health event streams.
+//!
+//! A fused array hides its `B` member jobs inside shared tensors; this
+//! module is the piece of telemetry that makes them visible again. A
+//! [`ScalarStream`] is an append-only, step-stamped log of one scalar
+//! metric for one model of one run — the moral equivalent of a
+//! TensorBoard scalar event file, tagged `(run, model, metric)` so a
+//! B-way sweep produces `B` separable loss/grad-norm/param-norm curves
+//! from a single process. A [`SentinelEvent`] records a divergence fault
+//! (NaN/Inf/explosion) attributed to a specific model index, plus whether
+//! the model was quarantined in response.
+//!
+//! [`ScopeLog`] is the container the profiler embeds per experiment
+//! scope: appends are O(1) amortized (a `HashMap` keyed on
+//! `(model, metric)` indexes into the ordered stream list, which is kept
+//! in first-appearance order so serialized reports are deterministic).
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+/// One step-stamped sample of a per-model scalar metric.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScalarPoint {
+    /// Training step the sample was taken at (0-based).
+    pub step: u64,
+    /// Sampled value.
+    pub value: f64,
+}
+
+/// An append-only log of one scalar metric for one model of one run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScalarStream {
+    /// Run name (the profiler's run, e.g. the bench bin).
+    pub run: String,
+    /// Model index within the fused array.
+    pub model: u64,
+    /// Metric name (e.g. `loss`, `grad_norm`, `param_norm`,
+    /// `update_ratio`).
+    pub metric: String,
+    /// Samples in append order (steps are non-decreasing by construction
+    /// of the training loop, but this is not enforced).
+    pub points: Vec<ScalarPoint>,
+}
+
+impl ScalarStream {
+    /// The last recorded value, if any.
+    pub fn last(&self) -> Option<f64> {
+        self.points.last().map(|p| p.value)
+    }
+
+    /// Minimum recorded value (`None` when empty; NaNs are skipped).
+    pub fn min(&self) -> Option<f64> {
+        self.points
+            .iter()
+            .map(|p| p.value)
+            .filter(|v| !v.is_nan())
+            .reduce(f64::min)
+    }
+
+    /// Maximum recorded value (`None` when empty; NaNs are skipped).
+    pub fn max(&self) -> Option<f64> {
+        self.points
+            .iter()
+            .map(|p| p.value)
+            .filter(|v| !v.is_nan())
+            .reduce(f64::max)
+    }
+}
+
+/// What kind of divergence a sentinel detected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SentinelKind {
+    /// The model's loss came back NaN or infinite.
+    NonFiniteLoss,
+    /// The model's gradient lane contained a NaN or infinity.
+    NonFiniteGrad,
+    /// The model's gradient norm exceeded the explosion threshold.
+    GradExplosion,
+    /// The model's loss exceeded the explosion threshold.
+    LossExplosion,
+}
+
+impl SentinelKind {
+    /// Short display label for report tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            SentinelKind::NonFiniteLoss => "nan_loss",
+            SentinelKind::NonFiniteGrad => "nan_grad",
+            SentinelKind::GradExplosion => "grad_explosion",
+            SentinelKind::LossExplosion => "loss_explosion",
+        }
+    }
+}
+
+/// A divergence fault attributed to one model of the fused array.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SentinelEvent {
+    /// Training step the fault was detected at.
+    pub step: u64,
+    /// Model index the fault is attributed to.
+    pub model: u64,
+    /// What tripped the sentinel.
+    pub kind: SentinelKind,
+    /// The offending value (NaN serializes as `null` in JSON; the kind
+    /// already says it was non-finite).
+    pub value: f64,
+    /// Whether the model was quarantined in response.
+    pub quarantined: bool,
+}
+
+/// Per-experiment container of scalar streams and sentinel events.
+#[derive(Debug, Clone, Default)]
+pub struct ScopeLog {
+    streams: Vec<ScalarStream>,
+    index: HashMap<(u64, String), usize>,
+    sentinels: Vec<SentinelEvent>,
+}
+
+impl ScopeLog {
+    /// Empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends one sample to stream `(model, metric)`, creating the
+    /// stream (tagged with `run`) on first use. O(1) amortized.
+    pub fn record(&mut self, run: &str, model: u64, metric: &str, step: u64, value: f64) {
+        let point = ScalarPoint { step, value };
+        if let Some(&i) = self.index.get(&(model, metric.to_string())) {
+            self.streams[i].points.push(point);
+            return;
+        }
+        self.index
+            .insert((model, metric.to_string()), self.streams.len());
+        self.streams.push(ScalarStream {
+            run: run.to_string(),
+            model,
+            metric: metric.to_string(),
+            points: vec![point],
+        });
+    }
+
+    /// Appends a sentinel event.
+    pub fn sentinel(&mut self, event: SentinelEvent) {
+        self.sentinels.push(event);
+    }
+
+    /// All streams in first-appearance order.
+    pub fn streams(&self) -> &[ScalarStream] {
+        &self.streams
+    }
+
+    /// The stream for `(model, metric)`, if it exists.
+    pub fn stream(&self, model: u64, metric: &str) -> Option<&ScalarStream> {
+        self.index
+            .get(&(model, metric.to_string()))
+            .map(|&i| &self.streams[i])
+    }
+
+    /// All sentinel events in detection order.
+    pub fn sentinels(&self) -> &[SentinelEvent] {
+        &self.sentinels
+    }
+
+    /// Whether anything was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.streams.is_empty() && self.sentinels.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_appends_and_indexes() {
+        let mut log = ScopeLog::new();
+        log.record("run", 0, "loss", 0, 2.0);
+        log.record("run", 1, "loss", 0, 3.0);
+        log.record("run", 0, "loss", 1, 1.5);
+        assert_eq!(log.streams().len(), 2);
+        let s = log.stream(0, "loss").unwrap();
+        assert_eq!(s.points.len(), 2);
+        assert_eq!(s.last(), Some(1.5));
+        assert_eq!(s.min(), Some(1.5));
+        assert_eq!(s.max(), Some(2.0));
+        assert!(log.stream(2, "loss").is_none());
+        assert!(log.stream(0, "grad_norm").is_none());
+    }
+
+    #[test]
+    fn stream_stats_skip_nan() {
+        let mut log = ScopeLog::new();
+        log.record("run", 0, "loss", 0, 2.0);
+        log.record("run", 0, "loss", 1, f64::NAN);
+        let s = log.stream(0, "loss").unwrap();
+        assert_eq!(s.min(), Some(2.0));
+        assert_eq!(s.max(), Some(2.0));
+        assert!(s.last().unwrap().is_nan());
+    }
+
+    #[test]
+    fn streams_serialize_round_trip() {
+        let mut log = ScopeLog::new();
+        log.record("r", 3, "grad_norm", 7, 0.25);
+        log.sentinel(SentinelEvent {
+            step: 7,
+            model: 3,
+            kind: SentinelKind::GradExplosion,
+            value: 1e9,
+            quarantined: true,
+        });
+        let json = serde_json::to_string(&log.streams()[0].clone()).unwrap();
+        let back: ScalarStream = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, log.streams()[0]);
+        let ejson = serde_json::to_string(&log.sentinels()[0].clone()).unwrap();
+        let eback: SentinelEvent = serde_json::from_str(&ejson).unwrap();
+        assert_eq!(eback, log.sentinels()[0]);
+        assert_eq!(eback.kind.label(), "grad_explosion");
+    }
+}
