@@ -14,7 +14,7 @@ use hfta_core::optim::{FusedOptimizer, FusedSgd, PerModel};
 use hfta_core::scope::{ScopeMonitor, SentinelCfg};
 use hfta_nn::layers::Conv2dCfg;
 use hfta_nn::{Module, Tape};
-use hfta_telemetry::{MetricsRegistry, Profiler};
+use hfta_telemetry::{MetricsRegistry, Profiler, SchedStats};
 use hfta_tensor::{Rng, Tensor};
 use std::hint::black_box;
 use std::time::Instant;
@@ -97,6 +97,21 @@ fn bench_overhead(c: &mut Criterion) {
     group.bench_function("registry_incr/1024names", |bench| {
         bench.iter(|| black_box(registry_incr_ns(1024, 10_000)))
     });
+    // Scheduler counters obey the same budget: `SchedStats` caches the
+    // profiler handle at construction, so the disabled path is one branch
+    // on a cached `None` per event — no thread-local lookup, no lock.
+    assert!(Profiler::current().is_none());
+    let stats = SchedStats::new();
+    assert!(!stats.enabled());
+    group.bench_function("sched_stats/disabled", |bench| {
+        bench.iter(|| {
+            stats.arrival();
+            stats.dispatch(black_box(8), black_box(6));
+            stats.repack(black_box(3));
+            stats.evict(black_box(false));
+            stats.finish();
+        })
+    });
     let mut s = setup();
     // The path that must be free: tracepoints compiled in, no profiler.
     assert!(Profiler::current().is_none());
@@ -136,6 +151,18 @@ fn bench_overhead(c: &mut Criterion) {
     let mut s = setup();
     group.bench_function("train_step/enabled", |bench| {
         bench.iter(|| black_box(train_step(&mut s)))
+    });
+    // Same event mix as sched_stats/disabled, now priced into the registry.
+    let stats = SchedStats::new();
+    assert!(stats.enabled());
+    group.bench_function("sched_stats/enabled", |bench| {
+        bench.iter(|| {
+            stats.arrival();
+            stats.dispatch(black_box(8), black_box(6));
+            stats.repack(black_box(3));
+            stats.evict(black_box(false));
+            stats.finish();
+        })
     });
     group.finish();
 }

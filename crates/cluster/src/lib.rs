@@ -23,7 +23,9 @@
 
 pub mod classify;
 pub mod levenshtein;
+pub mod replay;
 pub mod trace;
 
 pub use classify::{classify, Breakdown, ClassifyCfg, UtilizationSample};
+pub use replay::{normalize_arrivals, sweep_arrivals, sweep_stem, SweepArrival};
 pub use trace::{generate, partition_hours, Job, JobCategory, TraceCfg};

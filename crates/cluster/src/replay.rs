@@ -1,0 +1,190 @@
+//! Arrival replay adapter: recovers hyper-parameter sweep bursts from a
+//! cluster trace and replays them as batched trial arrivals for a tuning
+//! scheduler (`hfta-sched`).
+//!
+//! The motivation study's traces (paper §2.1, Appendix A) show tuning
+//! workloads arriving as *bursts*: one user submits tens of single-GPU
+//! jobs within a minute, identical but for a hyper-parameter suffix. The
+//! adapter groups such jobs by `(user, model stem)` within a gap window
+//! into [`SweepArrival`]s — the trial stream an HFTA scheduler serves —
+//! and [`normalize_arrivals`] rescales the multi-day submit times onto a
+//! simulated-training timescale while preserving the relative arrival
+//! structure (burst spacing is what stresses a scheduler, not the absolute
+//! wall-clock span).
+
+use crate::trace::Job;
+
+/// One recovered sweep burst: `trials` sibling jobs submitted together.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepArrival {
+    /// Earliest submit time in the burst, seconds since trace start.
+    pub submit_s: u64,
+    /// Submitting user.
+    pub user: String,
+    /// Model stem shared by the burst's job names (e.g. `pointnet`).
+    pub stem: String,
+    /// Number of sibling jobs in the burst.
+    pub trials: usize,
+}
+
+/// The model stem of a sweep-launcher job name — the prefix before the
+/// `_train_` marker (`pointnet_train_lr0.0100` → `pointnet`). `None` for
+/// names without the marker (dev runs, distributed jobs, notebooks).
+pub fn sweep_stem(name: &str) -> Option<&str> {
+    name.split_once("_train_").map(|(stem, _)| stem)
+}
+
+/// Groups single-GPU sweep-launcher jobs into bursts: jobs by the same
+/// user with the same model stem belong to one burst while each is
+/// submitted within `max_gap_s` of the burst's latest member. Bursts of
+/// fewer than `min_trials` jobs are dropped (a lone `_train_` job is not
+/// a sweep). Returns arrivals sorted by submit time, then user/stem.
+pub fn sweep_arrivals(jobs: &[Job], max_gap_s: u64, min_trials: usize) -> Vec<SweepArrival> {
+    // (user, stem) -> open burst (submit_s of first, latest submit, count).
+    let mut open: Vec<(String, String, SweepArrival, u64)> = Vec::new();
+    let mut done: Vec<SweepArrival> = Vec::new();
+    let mut sorted: Vec<&Job> = jobs.iter().filter(|j| j.gpus == 1).collect();
+    sorted.sort_by_key(|j| (j.submit_s, j.id));
+    for job in sorted {
+        let Some(stem) = sweep_stem(&job.name) else {
+            continue;
+        };
+        match open
+            .iter_mut()
+            .find(|(u, s, _, last)| *u == job.user && s == stem && job.submit_s <= last + max_gap_s)
+        {
+            Some((_, _, burst, last)) => {
+                burst.trials += 1;
+                *last = job.submit_s;
+            }
+            None => {
+                // Close any stale burst for this (user, stem) first.
+                if let Some(pos) = open
+                    .iter()
+                    .position(|(u, s, _, _)| *u == job.user && s == stem)
+                {
+                    let (_, _, burst, _) = open.swap_remove(pos);
+                    if burst.trials >= min_trials {
+                        done.push(burst);
+                    }
+                }
+                open.push((
+                    job.user.clone(),
+                    stem.to_string(),
+                    SweepArrival {
+                        submit_s: job.submit_s,
+                        user: job.user.clone(),
+                        stem: stem.to_string(),
+                        trials: 1,
+                    },
+                    job.submit_s,
+                ));
+            }
+        }
+    }
+    done.extend(
+        open.into_iter()
+            .filter(|(_, _, b, _)| b.trials >= min_trials)
+            .map(|(_, _, b, _)| b),
+    );
+    done.sort_by(|a, b| {
+        a.submit_s
+            .cmp(&b.submit_s)
+            .then_with(|| a.user.cmp(&b.user))
+            .then_with(|| a.stem.cmp(&b.stem))
+    });
+    done
+}
+
+/// Maps burst submit times onto `[0, span_s]` simulated seconds,
+/// preserving relative spacing (the earliest burst arrives at 0, the
+/// latest at `span_s`; a single burst arrives at 0). Cluster traces span
+/// days while a simulated tuning run takes fractions of a second, so the
+/// scheduler replays the arrival *structure* at training timescale.
+///
+/// # Panics
+///
+/// Panics if `span_s` is negative.
+pub fn normalize_arrivals(arrivals: &[SweepArrival], span_s: f64) -> Vec<f64> {
+    assert!(span_s >= 0.0, "span must be non-negative");
+    if arrivals.is_empty() {
+        return Vec::new();
+    }
+    let lo = arrivals.iter().map(|a| a.submit_s).min().unwrap();
+    let hi = arrivals.iter().map(|a| a.submit_s).max().unwrap();
+    let range = (hi - lo) as f64;
+    arrivals
+        .iter()
+        .map(|a| {
+            if range == 0.0 {
+                0.0
+            } else {
+                (a.submit_s - lo) as f64 / range * span_s
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{generate, JobCategory, TraceCfg};
+
+    #[test]
+    fn stems_parse_sweep_names_only() {
+        assert_eq!(sweep_stem("pointnet_train_lr0.0100"), Some("pointnet"));
+        assert_eq!(sweep_stem("dcgan64_train_seed0.0400"), Some("dcgan64"));
+        assert_eq!(sweep_stem("pointnet_dev_run42"), None);
+        assert_eq!(sweep_stem("resnet_ddp_4gpu"), None);
+    }
+
+    #[test]
+    fn recovers_bursts_from_generated_trace() {
+        let jobs = generate(&TraceCfg::small(), 42);
+        let arrivals = sweep_arrivals(&jobs, 120, 4);
+        assert!(!arrivals.is_empty(), "no bursts recovered");
+        // Sorted by submit time.
+        assert!(arrivals.windows(2).all(|w| w[0].submit_s <= w[1].submit_s));
+        // Generated bursts have 8..=64 jobs; merged or truncated bursts can
+        // stray, but the typical size must sit in that band.
+        let typical = arrivals
+            .iter()
+            .filter(|a| (8..=64).contains(&a.trials))
+            .count();
+        assert!(typical * 2 > arrivals.len(), "burst sizes implausible");
+        // Coverage: the recovered trials account for most ground-truth
+        // repetitive jobs (same-user same-stem overlapping bursts can merge).
+        let truth = jobs
+            .iter()
+            .filter(|j| j.truth == JobCategory::RepetitiveSingleGpu)
+            .count();
+        let recovered: usize = arrivals.iter().map(|a| a.trials).sum();
+        assert!(
+            recovered as f64 >= 0.9 * truth as f64,
+            "recovered {recovered} of {truth} repetitive jobs"
+        );
+        assert!(recovered <= truth + jobs.len() / 100, "over-recovered");
+    }
+
+    #[test]
+    fn recovery_is_deterministic() {
+        let jobs = generate(&TraceCfg::small(), 7);
+        assert_eq!(sweep_arrivals(&jobs, 120, 4), sweep_arrivals(&jobs, 120, 4));
+    }
+
+    #[test]
+    fn normalization_preserves_relative_spacing() {
+        let mk = |submit_s| SweepArrival {
+            submit_s,
+            user: "u".into(),
+            stem: "s".into(),
+            trials: 8,
+        };
+        let arrivals = vec![mk(1000), mk(2000), mk(5000)];
+        let t = normalize_arrivals(&arrivals, 1.0);
+        assert_eq!(t, vec![0.0, 0.25, 1.0]);
+        // A single arrival lands at 0.
+        assert_eq!(normalize_arrivals(&arrivals[..1], 1.0), vec![0.0]);
+        assert!(normalize_arrivals(&[], 1.0).is_empty());
+    }
+}

@@ -166,6 +166,32 @@ pub fn copy_model_weights(fused: &[FusedParameter], index: usize, dest: &[Parame
     }
 }
 
+/// Writes a per-model parameter set into model `index`'s lane of a fused
+/// parameter set — the inverse of [`copy_model_weights`], used to restore
+/// one array member from a checkpoint or to seed a lane from a serial
+/// replica. Round-tripping through both is bit-exact (storage is copied,
+/// never recomputed).
+///
+/// # Panics
+///
+/// Panics if the parameter counts differ, `index` is out of range, or a
+/// source's element count differs from its lane.
+pub fn write_model_weights(fused: &[FusedParameter], index: usize, src: &[Parameter]) {
+    assert_eq!(
+        fused.len(),
+        src.len(),
+        "fused/serial parameter count mismatch"
+    );
+    for (fp, s) in fused.iter().zip(src) {
+        let sv = s.value_cloned();
+        fp.param.update(|value, _| {
+            let (lo, hi) = crate::scope::lane_bounds(value.numel(), fp.b, index);
+            assert_eq!(sv.numel(), hi - lo, "parameter {} size mismatch", s.name());
+            value.as_mut_slice()[lo..hi].copy_from_slice(sv.as_slice());
+        });
+    }
+}
+
 /// Expands lists of candidate hyper-parameter values into the per-model
 /// vectors of a grid sweep — the repetitive-job launcher HFTA replaces.
 ///
@@ -245,6 +271,61 @@ mod tests {
         // The same losses feed the per-model scalar streams.
         assert_eq!(exp.scalar_models(), vec![0, 1]);
         assert_eq!(exp.scalar_stream(1, "loss").unwrap().last(), Some(0.25));
+    }
+
+    #[test]
+    fn copy_then_write_model_weights_round_trips_bitwise() {
+        let mut rng = Rng::seed_from(3);
+        let array = ModelArray::new(FusedLinear::new(3, LinearCfg::new(4, 2), &mut rng));
+        let fused = array.fused_parameters();
+        let before: Vec<Vec<f32>> = fused
+            .iter()
+            .map(|p| p.param.value_cloned().to_vec())
+            .collect();
+
+        // Copy lane 1 out into per-model parameters...
+        let dest: Vec<Parameter> = fused
+            .iter()
+            .map(|p| {
+                let dims: Vec<usize> = {
+                    let v = p.param.value();
+                    let mut d = v.dims().to_vec();
+                    d[0] /= p.b;
+                    d
+                };
+                Parameter::new(Tensor::zeros(dims), "dest")
+            })
+            .collect();
+        copy_model_weights(&fused, 1, &dest);
+
+        // ...scribble over the lane, then write the copies back.
+        for p in &fused {
+            p.param.update(|v, _| {
+                let n = v.numel();
+                v.as_mut_slice()[n / 3..2 * n / 3].fill(f32::NAN);
+            });
+        }
+        write_model_weights(&fused, 1, &dest);
+        for (p, orig) in fused.iter().zip(&before) {
+            assert_eq!(
+                &p.param.value_cloned().to_vec(),
+                orig,
+                "round trip not bit-exact"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "size mismatch")]
+    fn write_model_weights_rejects_wrong_shapes() {
+        let mut rng = Rng::seed_from(4);
+        let array = ModelArray::new(FusedLinear::new(2, LinearCfg::new(3, 2), &mut rng));
+        let fused = array.fused_parameters();
+        let bad: Vec<Parameter> = fused
+            .iter()
+            .map(|_| Parameter::new(Tensor::zeros([1]), "bad"))
+            .collect();
+        write_model_weights(&fused, 0, &bad);
     }
 
     #[test]

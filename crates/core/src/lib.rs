@@ -19,6 +19,9 @@
 //! * [`mod@array`] — the [`array::ModelArray`] front door and sweep helpers;
 //! * [`scope`] — hfta-scope: per-model health extraction, divergence
 //!   sentinels, and quarantine ([`scope::ScopeMonitor`]);
+//! * [`surgery`] — lane surgery: extract a model's parameter and
+//!   optimizer-state lanes and splice lanes into another array,
+//!   bit-identically (the mechanism behind `hfta-sched`'s re-packing);
 //! * [`tuner`] — a hyper-parameter tuning driver that packs sweep
 //!   candidates into fused arrays (the paper's §6 integration target).
 //!
@@ -60,6 +63,7 @@ pub mod ops;
 pub mod optim;
 pub mod rules;
 pub mod scope;
+pub mod surgery;
 pub mod tuner;
 
 pub use error::{FusionError, Result};

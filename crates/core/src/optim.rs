@@ -125,6 +125,39 @@ pub trait FusedOptimizer {
 
     /// Per-model quarantine flags.
     fn quarantined(&self) -> &[bool];
+
+    /// Number of per-parameter state tensors the optimizer keeps (SGD: 1
+    /// velocity; Adam: first/second moments; Adadelta: squared-average /
+    /// accumulated-delta). Each state tensor shares its parameter's fused
+    /// layout, so lane surgery ([`crate::surgery`]) can move a model's
+    /// state lanes alongside its parameter lanes.
+    fn state_slots(&self) -> usize;
+
+    /// State tensor `slot` of parameter `pi` (same fused shape as the
+    /// parameter's value).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pi` or `slot` is out of range.
+    fn state(&self, pi: usize, slot: usize) -> &Tensor;
+
+    /// Mutable access to state tensor `slot` of parameter `pi`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pi` or `slot` is out of range.
+    fn state_mut(&mut self, pi: usize, slot: usize) -> &mut Tensor;
+
+    /// The shared scalar step counter, for optimizers whose update depends
+    /// on how many steps ran (Adam's bias correction). Stateless-in-time
+    /// optimizers return 0.
+    fn step_count(&self) -> u64 {
+        0
+    }
+
+    /// Restores the step counter after lane surgery. A no-op for
+    /// optimizers without one.
+    fn set_step_count(&mut self, _t: u64) {}
 }
 
 /// Zeroes model `model`'s contiguous lane of a fused tensor.
@@ -274,6 +307,20 @@ impl FusedOptimizer for FusedSgd {
     fn quarantined(&self) -> &[bool] {
         &self.quarantined
     }
+
+    fn state_slots(&self) -> usize {
+        1
+    }
+
+    fn state(&self, pi: usize, slot: usize) -> &Tensor {
+        assert_eq!(slot, 0, "SGD has one state slot (velocity)");
+        &self.velocity[pi]
+    }
+
+    fn state_mut(&mut self, pi: usize, slot: usize) -> &mut Tensor {
+        assert_eq!(slot, 0, "SGD has one state slot (velocity)");
+        &mut self.velocity[pi]
+    }
 }
 
 /// Fused Adam with per-model learning rates (betas and epsilon shared).
@@ -383,6 +430,34 @@ impl FusedOptimizer for FusedAdam {
 
     fn quarantined(&self) -> &[bool] {
         &self.quarantined
+    }
+
+    fn state_slots(&self) -> usize {
+        2
+    }
+
+    fn state(&self, pi: usize, slot: usize) -> &Tensor {
+        match slot {
+            0 => &self.m[pi],
+            1 => &self.v[pi],
+            _ => panic!("Adam has two state slots (m, v)"),
+        }
+    }
+
+    fn state_mut(&mut self, pi: usize, slot: usize) -> &mut Tensor {
+        match slot {
+            0 => &mut self.m[pi],
+            1 => &mut self.v[pi],
+            _ => panic!("Adam has two state slots (m, v)"),
+        }
+    }
+
+    fn step_count(&self) -> u64 {
+        self.t
+    }
+
+    fn set_step_count(&mut self, t: u64) {
+        self.t = t;
     }
 }
 
@@ -498,6 +573,26 @@ impl FusedOptimizer for FusedAdadelta {
 
     fn quarantined(&self) -> &[bool] {
         &self.quarantined
+    }
+
+    fn state_slots(&self) -> usize {
+        2
+    }
+
+    fn state(&self, pi: usize, slot: usize) -> &Tensor {
+        match slot {
+            0 => &self.sq_avg[pi],
+            1 => &self.acc_delta[pi],
+            _ => panic!("Adadelta has two state slots (sq_avg, acc_delta)"),
+        }
+    }
+
+    fn state_mut(&mut self, pi: usize, slot: usize) -> &mut Tensor {
+        match slot {
+            0 => &mut self.sq_avg[pi],
+            1 => &mut self.acc_delta[pi],
+            _ => panic!("Adadelta has two state slots (sq_avg, acc_delta)"),
+        }
     }
 }
 

@@ -169,22 +169,38 @@ impl Default for SentinelCfg {
 pub struct ScopeMonitor {
     b: usize,
     cfg: SentinelCfg,
+    ids: Vec<u64>,
     fired: Vec<bool>,
     events: Vec<SentinelEvent>,
     prev_values: Option<Vec<hfta_tensor::Tensor>>,
 }
 
 impl ScopeMonitor {
-    /// Creates a monitor for an array of width `b`.
+    /// Creates a monitor for an array of width `b`; lanes report under
+    /// model ids `0..b`.
     ///
     /// # Panics
     ///
     /// Panics if `b == 0`.
     pub fn new(b: usize, cfg: SentinelCfg) -> Self {
+        Self::with_model_ids(b, cfg, (0..b as u64).collect())
+    }
+
+    /// Creates a monitor whose lane `i` reports under `ids[i]` instead of
+    /// the lane index — so a scheduler that re-packs a trial into a
+    /// different array (and lane) keeps streaming that trial's scalars and
+    /// sentinels under one stable id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b == 0` or `ids.len() != b`.
+    pub fn with_model_ids(b: usize, cfg: SentinelCfg, ids: Vec<u64>) -> Self {
         assert!(b > 0, "array width must be positive");
+        assert_eq!(ids.len(), b, "one model id per lane");
         ScopeMonitor {
             b,
             cfg,
+            ids,
             fired: vec![false; b],
             events: Vec::new(),
             prev_values: None,
@@ -194,6 +210,11 @@ impl ScopeMonitor {
     /// The array width the monitor watches.
     pub fn b(&self) -> usize {
         self.b
+    }
+
+    /// The model id lane `i` reports under.
+    pub fn model_id(&self, i: usize) -> u64 {
+        self.ids[i]
     }
 
     /// Which models have fired at least one sentinel.
@@ -237,7 +258,7 @@ impl ScopeMonitor {
         for i in 0..self.b {
             let norm = sq[i].sqrt();
             if let Some(p) = &profiler {
-                p.scalar(i as u64, "grad_norm", step, norm as f64);
+                p.scalar(self.ids[i], "grad_norm", step, norm as f64);
             }
             if opt.quarantined()[i] {
                 continue;
@@ -261,7 +282,7 @@ impl ScopeMonitor {
             self.fired[i] = true;
             let event = SentinelEvent {
                 step,
-                model: i as u64,
+                model: self.ids[i],
                 kind,
                 value: value as f64,
                 quarantined: self.cfg.quarantine,
@@ -318,13 +339,13 @@ impl ScopeMonitor {
         if let Some(profiler) = Profiler::current() {
             let had_prev = self.prev_values.is_some();
             for i in 0..b {
-                profiler.scalar(i as u64, "param_norm", step, cur_sq[i].sqrt() as f64);
+                profiler.scalar(self.ids[i], "param_norm", step, cur_sq[i].sqrt() as f64);
                 let ratio = if had_prev && prev_sq[i] > 0.0 {
                     (delta_sq[i].sqrt() / prev_sq[i].sqrt()) as f64
                 } else {
                     0.0
                 };
-                profiler.scalar(i as u64, "update_ratio", step, ratio);
+                profiler.scalar(self.ids[i], "update_ratio", step, ratio);
             }
         }
         self.prev_values = Some(params.iter().map(|p| p.param.value_cloned()).collect());
@@ -504,5 +525,31 @@ mod tests {
         assert!(ur0.points[1].value > 0.0);
         let ur1 = exp.scalar_stream(1, "update_ratio").unwrap();
         assert_eq!(ur1.points[1].value, 0.0);
+    }
+
+    #[test]
+    fn custom_model_ids_key_streams_and_sentinels() {
+        let p = fused_param(vec![1.0; 4], 2);
+        p.param
+            .accumulate_grad(&Tensor::from_vec(vec![0.1; 4], [4]));
+        let params = vec![p];
+        let mut opt = FusedSgd::new(params.clone(), PerModel::uniform(2, 0.1), 0.0).unwrap();
+        let prof = Profiler::new("scope-ids");
+        let _g = prof.install();
+        let mut monitor = ScopeMonitor::with_model_ids(2, SentinelCfg::default(), vec![41, 17]);
+        assert_eq!(monitor.model_id(1), 17);
+        poison_model_lane(&params, 1);
+        monitor.after_backward(0, &[0.5, 0.5], &params, &mut opt);
+        opt.step();
+        monitor.after_step(0, &params);
+        // The sentinel reports the trial id, not the lane index.
+        assert_eq!(monitor.events()[0].model, 17);
+        // ...but quarantine still acted on the lane.
+        assert_eq!(opt.quarantined(), &[false, true]);
+        let report = prof.report();
+        let exp = &report.experiments[0];
+        assert!(exp.scalar_stream(41, "grad_norm").is_some());
+        assert!(exp.scalar_stream(17, "param_norm").is_some());
+        assert!(exp.scalar_stream(0, "grad_norm").is_none());
     }
 }

@@ -1,0 +1,304 @@
+//! Lane surgery: moving individual models between fused arrays,
+//! bit-identically.
+//!
+//! A fused array stores every model's tensors in shared storage whose axis
+//! 0 is split into `B` equal contiguous chunks, so model `i`'s lane of a
+//! tensor with `numel` elements is the flat range
+//! `i * numel/B .. (i+1) * numel/B` (see [`crate::scope::lane_bounds`]).
+//! [`extract_lane`] copies one model's complete training state out of an
+//! array — its parameter lanes **and** every optimizer-state lane
+//! (velocity, Adam moments, …) plus the optimizer's shared step counter —
+//! and [`splice_lanes`] writes such states into the lanes of another
+//! array.
+//!
+//! Because every fused op computes each lane independently of `B` and of
+//! lane position (the bit-identity the quarantine tests prove), a model
+//! extracted from one array and spliced into another continues training
+//! **bit-for-bit** as if it had never moved. This is what lets an elastic
+//! scheduler (`hfta-sched`) evict early-stopped lanes and re-pack
+//! survivors into full-width arrays without perturbing their trajectories.
+//!
+//! Invariants the scheduler must uphold (checked here where possible):
+//!
+//! - All lanes spliced into one array must agree on the optimizer step
+//!   count (Adam's bias correction depends on it) — [`splice_lanes`]
+//!   asserts this and restores the counter on the target optimizer.
+//! - The target array must be freshly built (same parameter count, lane
+//!   shapes, and optimizer family); surgery replaces every lane, so no
+//!   stale state survives.
+//! - Gradients are *not* moved: the training loop zeroes them at the top
+//!   of every step, so they carry no cross-step state.
+
+use hfta_tensor::Tensor;
+
+use crate::ops::FusedParameter;
+use crate::optim::FusedOptimizer;
+use crate::scope::lane_bounds;
+
+/// One model's complete training state, extracted from a fused array.
+#[derive(Debug, Clone)]
+pub struct LaneState {
+    /// Per-parameter lane values, in the array's parameter order. Each
+    /// keeps the fused per-lane shape (axis 0 = `dim0 / B`).
+    pub params: Vec<Tensor>,
+    /// `opt_state[pi][slot]`: the optimizer-state lanes of parameter
+    /// `pi`, one tensor per [`FusedOptimizer::state_slots`] slot.
+    pub opt_state: Vec<Vec<Tensor>>,
+    /// The optimizer's shared step counter at extraction time (Adam's
+    /// `t`; 0 for optimizers without one).
+    pub step_count: u64,
+}
+
+impl LaneState {
+    /// Total number of scalar elements across the parameter lanes.
+    pub fn numel(&self) -> usize {
+        self.params.iter().map(|t| t.numel()).sum()
+    }
+}
+
+/// Copies model `lane`'s parameter lanes and optimizer-state lanes out of
+/// a fused array. The array is left untouched.
+///
+/// # Panics
+///
+/// Panics if `params` is empty, widths disagree, or `lane` is out of
+/// range.
+pub fn extract_lane(params: &[FusedParameter], opt: &dyn FusedOptimizer, lane: usize) -> LaneState {
+    assert!(!params.is_empty(), "no parameters to extract");
+    let b = params[0].b;
+    assert!(params.iter().all(|p| p.b == b), "array widths disagree");
+    assert!(lane < b, "lane {lane} out of range (B = {b})");
+    let slots = opt.state_slots();
+    let mut lanes = Vec::with_capacity(params.len());
+    let mut opt_state = Vec::with_capacity(params.len());
+    for (pi, p) in params.iter().enumerate() {
+        let v = p.param.value();
+        let chunk = v.dim(0) / b;
+        lanes.push(v.narrow(0, lane * chunk, chunk));
+        let state: Vec<Tensor> = (0..slots)
+            .map(|slot| {
+                let s = opt.state(pi, slot);
+                assert_eq!(
+                    s.numel(),
+                    v.numel(),
+                    "state slot {slot} of parameter {pi} disagrees with its value"
+                );
+                s.narrow(0, lane * chunk, chunk)
+            })
+            .collect();
+        opt_state.push(state);
+    }
+    LaneState {
+        params: lanes,
+        opt_state,
+        step_count: opt.step_count(),
+    }
+}
+
+/// Writes one extracted lane into lane `lane` of a target array: the
+/// parameter values and every optimizer-state slot. Used by
+/// [`splice_lanes`]; exposed for schedulers that patch a single lane.
+///
+/// # Panics
+///
+/// Panics on parameter-count, state-slot, or lane-size mismatches.
+pub fn write_lane(
+    params: &[FusedParameter],
+    opt: &mut dyn FusedOptimizer,
+    lane: usize,
+    state: &LaneState,
+) {
+    assert!(!params.is_empty(), "no parameters to splice into");
+    let b = params[0].b;
+    assert!(lane < b, "lane {lane} out of range (B = {b})");
+    assert_eq!(
+        state.params.len(),
+        params.len(),
+        "lane state has the wrong parameter count"
+    );
+    assert_eq!(
+        state.opt_state.len(),
+        params.len(),
+        "lane state has the wrong optimizer-state count"
+    );
+    let slots = opt.state_slots();
+    for (pi, (p, lane_value)) in params.iter().zip(&state.params).enumerate() {
+        assert_eq!(
+            state.opt_state[pi].len(),
+            slots,
+            "lane state parameter {pi} has the wrong number of state slots"
+        );
+        p.param.update(|value, _| {
+            let (lo, hi) = lane_bounds(value.numel(), b, lane);
+            assert_eq!(
+                lane_value.numel(),
+                hi - lo,
+                "parameter {pi} lane size mismatch"
+            );
+            value.as_mut_slice()[lo..hi].copy_from_slice(lane_value.as_slice());
+        });
+        for (slot, lane_state) in state.opt_state[pi].iter().enumerate() {
+            let target = opt.state_mut(pi, slot);
+            let (lo, hi) = lane_bounds(target.numel(), b, lane);
+            assert_eq!(
+                lane_state.numel(),
+                hi - lo,
+                "parameter {pi} state slot {slot} lane size mismatch"
+            );
+            target.as_mut_slice()[lo..hi].copy_from_slice(lane_state.as_slice());
+        }
+    }
+}
+
+/// Splices extracted lanes into a freshly built array: lane `i` of the
+/// target receives `lanes[i]`, and the optimizer's step counter is
+/// restored from the (shared) extracted counters — rebuilding a
+/// full-width array from the survivors of several fragmented ones.
+///
+/// # Panics
+///
+/// Panics if `lanes.len()` differs from the target width, the lanes
+/// disagree on their step count, or any lane's shape disagrees with the
+/// target (see [`write_lane`]).
+pub fn splice_lanes(lanes: &[LaneState], params: &[FusedParameter], opt: &mut dyn FusedOptimizer) {
+    assert!(!params.is_empty(), "no parameters to splice into");
+    let b = params[0].b;
+    assert_eq!(
+        lanes.len(),
+        b,
+        "need exactly one lane state per target lane"
+    );
+    let t = lanes[0].step_count;
+    assert!(
+        lanes.iter().all(|l| l.step_count == t),
+        "spliced lanes disagree on the optimizer step count"
+    );
+    for (i, lane) in lanes.iter().enumerate() {
+        write_lane(params, opt, i, lane);
+    }
+    opt.set_step_count(t);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::array::ModelArray;
+    use crate::ops::FusedLinear;
+    use crate::optim::{FusedAdam, FusedSgd, PerModel};
+    use hfta_nn::layers::LinearCfg;
+    use hfta_tensor::Rng;
+
+    fn grad_step(params: &[FusedParameter], rng: &mut Rng) {
+        for p in params {
+            let dims = p.param.value().dims().to_vec();
+            p.param.zero_grad();
+            p.param.accumulate_grad(&rng.randn(dims));
+        }
+    }
+
+    fn array_with_opt(b: usize, seed: u64) -> (ModelArray<FusedLinear>, Vec<FusedParameter>) {
+        let mut rng = Rng::seed_from(seed);
+        let array = ModelArray::new(FusedLinear::new(b, LinearCfg::new(3, 2), &mut rng));
+        let params = array.fused_parameters();
+        (array, params)
+    }
+
+    #[test]
+    fn extract_copies_param_and_state_lanes() {
+        let (_array, params) = array_with_opt(3, 7);
+        let mut opt = FusedSgd::new(params.clone(), PerModel::uniform(3, 0.1), 0.9).unwrap();
+        // Give the velocity a recognizable value via one step.
+        let mut rng = Rng::seed_from(8);
+        grad_step(&params, &mut rng);
+        opt.step();
+        let lane = extract_lane(&params, &opt, 1);
+        assert_eq!(lane.params.len(), params.len());
+        assert_eq!(lane.opt_state[0].len(), 1);
+        assert_eq!(lane.step_count, 0);
+        for (pi, p) in params.iter().enumerate() {
+            let v = p.param.value();
+            let chunk = v.dim(0) / 3;
+            assert_eq!(
+                lane.params[pi].to_vec(),
+                v.narrow(0, chunk, chunk).to_vec(),
+                "parameter {pi} lane values"
+            );
+            let state = opt.state(pi, 0);
+            assert_eq!(
+                lane.opt_state[pi][0].to_vec(),
+                state.narrow(0, chunk, chunk).to_vec(),
+                "parameter {pi} velocity lane"
+            );
+        }
+    }
+
+    #[test]
+    fn splice_round_trips_every_lane_bitwise() {
+        // Extract all three lanes of a trained source array, splice them
+        // (permuted) into a fresh target, and verify storage bitwise.
+        let (_src, src_params) = array_with_opt(3, 11);
+        let mut src_opt = FusedAdam::new(src_params.clone(), PerModel::uniform(3, 0.01)).unwrap();
+        let mut rng = Rng::seed_from(12);
+        for _ in 0..3 {
+            grad_step(&src_params, &mut rng);
+            src_opt.step();
+        }
+        let perm = [2usize, 0, 1];
+        let lanes: Vec<LaneState> = perm
+            .iter()
+            .map(|&i| extract_lane(&src_params, &src_opt, i))
+            .collect();
+
+        let (_dst, dst_params) = array_with_opt(3, 99); // different init, fully overwritten
+        let mut dst_opt = FusedAdam::new(dst_params.clone(), PerModel::uniform(3, 0.01)).unwrap();
+        splice_lanes(&lanes, &dst_params, &mut dst_opt);
+        assert_eq!(dst_opt.step_count(), 3);
+        for (pi, (sp, dp)) in src_params.iter().zip(&dst_params).enumerate() {
+            let sv = sp.param.value();
+            let dv = dp.param.value();
+            let chunk = sv.dim(0) / 3;
+            for (dst_lane, &src_lane) in perm.iter().enumerate() {
+                assert_eq!(
+                    dv.narrow(0, dst_lane * chunk, chunk).to_vec(),
+                    sv.narrow(0, src_lane * chunk, chunk).to_vec(),
+                    "parameter {pi} lane {src_lane} -> {dst_lane}"
+                );
+                for slot in 0..2 {
+                    let ss = src_opt.state(pi, slot);
+                    let ds = dst_opt.state(pi, slot);
+                    assert_eq!(
+                        ds.narrow(0, dst_lane * chunk, chunk).to_vec(),
+                        ss.narrow(0, src_lane * chunk, chunk).to_vec(),
+                        "parameter {pi} slot {slot} lane {src_lane} -> {dst_lane}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "disagree on the optimizer step count")]
+    fn splice_rejects_mismatched_step_counts() {
+        let (_a, params) = array_with_opt(2, 1);
+        let opt = FusedSgd::new(params.clone(), PerModel::uniform(2, 0.1), 0.0).unwrap();
+        let mut lanes = vec![
+            extract_lane(&params, &opt, 0),
+            extract_lane(&params, &opt, 1),
+        ];
+        lanes[1].step_count = 5;
+        let (_b, dst) = array_with_opt(2, 2);
+        let mut dst_opt = FusedSgd::new(dst.clone(), PerModel::uniform(2, 0.1), 0.0).unwrap();
+        splice_lanes(&lanes, &dst, &mut dst_opt);
+    }
+
+    #[test]
+    #[should_panic(expected = "one lane state per target lane")]
+    fn splice_rejects_wrong_width() {
+        let (_a, params) = array_with_opt(2, 1);
+        let opt = FusedSgd::new(params.clone(), PerModel::uniform(2, 0.1), 0.0).unwrap();
+        let lanes = vec![extract_lane(&params, &opt, 0)];
+        let (_b, dst) = array_with_opt(2, 2);
+        let mut dst_opt = FusedSgd::new(dst.clone(), PerModel::uniform(2, 0.1), 0.0).unwrap();
+        splice_lanes(&lanes, &dst, &mut dst_opt);
+    }
+}

@@ -47,6 +47,85 @@ impl<C> SweepReport<C> {
     }
 }
 
+/// What one trained array reports back to the shared sweep driver: a
+/// score per lane, plus which lanes a sentinel killed (empty = none).
+struct ChunkOutcome {
+    scores: Vec<f32>,
+    killed: Vec<bool>,
+}
+
+/// The chunk/train/metrics loop shared by [`sweep`] and
+/// [`sweep_monitored`]: validates the inputs, packs candidates into
+/// arrays of at most `array_width`, wraps each `run_chunk` call in a
+/// profiler span with the tuner counters, validates the returned score
+/// vector, and ranks trials healthy-best-first with killed trials last.
+fn drive_sweep<C: Clone>(
+    candidates: Vec<C>,
+    array_width: usize,
+    mut run_chunk: impl FnMut(&[C]) -> ChunkOutcome,
+) -> Result<MonitoredSweepReport<C>> {
+    if array_width == 0 {
+        return Err(FusionError::InvalidWidth);
+    }
+    if candidates.is_empty() {
+        return Err(FusionError::Empty);
+    }
+    let profiler = Profiler::current();
+    let lane = profiler.as_ref().map(|p| p.lane("tuner", "arrays"));
+    let mut trials = Vec::with_capacity(candidates.len());
+    let mut arrays = 0;
+    let mut killed = 0;
+    let total = candidates.len();
+    for chunk in candidates.chunks(array_width) {
+        let outcome = {
+            let _span = profiler
+                .as_ref()
+                .map(|p| p.span(lane.unwrap(), format!("array[B={}]", chunk.len())));
+            run_chunk(chunk)
+        };
+        if outcome.scores.len() != chunk.len() {
+            return Err(FusionError::HyperParamLength {
+                expected: chunk.len(),
+                found: outcome.scores.len(),
+            });
+        }
+        arrays += 1;
+        if let Some(p) = &profiler {
+            p.incr("tuner.arrays", 1.0);
+            p.incr("tuner.trials", chunk.len() as f64);
+            p.set_gauge("tuner.fused_width", chunk.len() as f64);
+        }
+        for (i, (config, score)) in chunk.iter().cloned().zip(outcome.scores).enumerate() {
+            let dead = outcome.killed[i];
+            if dead {
+                killed += 1;
+                if let Some(p) = &profiler {
+                    p.incr("tuner.killed", 1.0);
+                }
+            } else if let Some(p) = &profiler {
+                p.observe("tuner.score", score as f64);
+            }
+            trials.push(MonitoredTrial {
+                config,
+                score,
+                killed: dead,
+            });
+        }
+    }
+    // Healthy trials best-first; killed trials sink to the bottom.
+    trials.sort_by(|a, b| {
+        a.killed
+            .cmp(&b.killed)
+            .then_with(|| b.score.total_cmp(&a.score))
+    });
+    Ok(MonitoredSweepReport {
+        trials,
+        arrays_trained: arrays,
+        serial_jobs_replaced: total,
+        killed,
+    })
+}
+
 /// Runs a sweep: packs `candidates` into arrays of at most `array_width`
 /// and calls `train_array` once per array. The trainer receives the
 /// configs of one array and must return one score per config (higher is
@@ -61,48 +140,21 @@ pub fn sweep<C: Clone>(
     array_width: usize,
     mut train_array: impl FnMut(&[C]) -> Vec<f32>,
 ) -> Result<SweepReport<C>> {
-    if array_width == 0 {
-        return Err(FusionError::InvalidWidth);
-    }
-    if candidates.is_empty() {
-        return Err(FusionError::Empty);
-    }
-    let profiler = Profiler::current();
-    let lane = profiler.as_ref().map(|p| p.lane("tuner", "arrays"));
-    let mut trials = Vec::with_capacity(candidates.len());
-    let mut arrays = 0;
-    let total = candidates.len();
-    for chunk in candidates.chunks(array_width) {
-        let scores = {
-            let _span = profiler
-                .as_ref()
-                .map(|p| p.span(lane.unwrap(), format!("array[B={}]", chunk.len())));
-            train_array(chunk)
-        };
-        if scores.len() != chunk.len() {
-            return Err(FusionError::HyperParamLength {
-                expected: chunk.len(),
-                found: scores.len(),
-            });
-        }
-        arrays += 1;
-        if let Some(p) = &profiler {
-            p.incr("tuner.arrays", 1.0);
-            p.incr("tuner.trials", chunk.len() as f64);
-            p.set_gauge("tuner.fused_width", chunk.len() as f64);
-            for &s in &scores {
-                p.observe("tuner.score", s as f64);
-            }
-        }
-        for (config, score) in chunk.iter().cloned().zip(scores) {
-            trials.push(Trial { config, score });
-        }
-    }
-    trials.sort_by(|a, b| b.score.total_cmp(&a.score));
+    let report = drive_sweep(candidates, array_width, |chunk| ChunkOutcome {
+        scores: train_array(chunk),
+        killed: vec![false; chunk.len()],
+    })?;
     Ok(SweepReport {
-        trials,
-        arrays_trained: arrays,
-        serial_jobs_replaced: total,
+        trials: report
+            .trials
+            .into_iter()
+            .map(|t| Trial {
+                config: t.config,
+                score: t.score,
+            })
+            .collect(),
+        arrays_trained: report.arrays_trained,
+        serial_jobs_replaced: report.serial_jobs_replaced,
     })
 }
 
@@ -157,66 +209,13 @@ pub fn sweep_monitored<C: Clone>(
     cfg: SentinelCfg,
     mut train_array: impl FnMut(&[C], &mut ScopeMonitor) -> Vec<f32>,
 ) -> Result<MonitoredSweepReport<C>> {
-    if array_width == 0 {
-        return Err(FusionError::InvalidWidth);
-    }
-    if candidates.is_empty() {
-        return Err(FusionError::Empty);
-    }
-    let profiler = Profiler::current();
-    let lane = profiler.as_ref().map(|p| p.lane("tuner", "arrays"));
-    let mut trials = Vec::with_capacity(candidates.len());
-    let mut arrays = 0;
-    let mut killed = 0;
-    let total = candidates.len();
-    for chunk in candidates.chunks(array_width) {
+    drive_sweep(candidates, array_width, |chunk| {
         let mut monitor = ScopeMonitor::new(chunk.len(), cfg);
-        let scores = {
-            let _span = profiler
-                .as_ref()
-                .map(|p| p.span(lane.unwrap(), format!("array[B={}]", chunk.len())));
-            train_array(chunk, &mut monitor)
-        };
-        if scores.len() != chunk.len() {
-            return Err(FusionError::HyperParamLength {
-                expected: chunk.len(),
-                found: scores.len(),
-            });
+        let scores = train_array(chunk, &mut monitor);
+        ChunkOutcome {
+            scores,
+            killed: monitor.fired_models().to_vec(),
         }
-        arrays += 1;
-        if let Some(p) = &profiler {
-            p.incr("tuner.arrays", 1.0);
-            p.incr("tuner.trials", chunk.len() as f64);
-            p.set_gauge("tuner.fused_width", chunk.len() as f64);
-        }
-        for (i, (config, score)) in chunk.iter().cloned().zip(scores).enumerate() {
-            let dead = monitor.fired_models()[i];
-            if dead {
-                killed += 1;
-                if let Some(p) = &profiler {
-                    p.incr("tuner.killed", 1.0);
-                }
-            } else if let Some(p) = &profiler {
-                p.observe("tuner.score", score as f64);
-            }
-            trials.push(MonitoredTrial {
-                config,
-                score,
-                killed: dead,
-            });
-        }
-    }
-    // Healthy trials best-first; killed trials sink to the bottom.
-    trials.sort_by(|a, b| {
-        a.killed
-            .cmp(&b.killed)
-            .then_with(|| b.score.total_cmp(&a.score))
-    });
-    Ok(MonitoredSweepReport {
-        trials,
-        arrays_trained: arrays,
-        serial_jobs_replaced: total,
-        killed,
     })
 }
 

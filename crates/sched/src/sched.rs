@@ -1,0 +1,483 @@
+//! The event-driven elastic fusion scheduler.
+//!
+//! A [`run`] owns a [`DeviceFleet`] and a stream of trial arrivals and
+//! plays one of three policies over a successive-halving rung schedule:
+//!
+//! * [`Policy::Serial`] — one trial per device per segment, the paper's
+//!   baseline cluster behaviour;
+//! * [`Policy::StaticFusion`] — arrivals packed into memory-capacity-wide
+//!   fused arrays that stay intact for their whole life: lanes whose
+//!   trials get early-stopped or sentinel-killed ride along as dead
+//!   allocated width;
+//! * [`Policy::Elastic`] — arrays dissolve at every rung boundary:
+//!   survivors' lanes are extracted ([`ArrayBackend::extract`]), buffered
+//!   per rung, and re-packed ([`ArrayBackend::splice`]) into fresh
+//!   full-width arrays, so allocated width tracks live trials.
+//!
+//! Time is simulated: training segments execute eagerly (real math, so
+//! scores, sentinels, and final weights are real) while their cost comes
+//! from the fleet's per-device step-time model, and completions are
+//! ordered on an event heap. Re-packing is bit-invisible to surviving
+//! trials — the integration tests compare scheduler-produced final
+//! weights against solo runs for exact equality.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+
+use hfta_core::surgery::LaneState;
+use hfta_sim::{DeviceFleet, SharingPolicy, TrainingJob};
+use hfta_telemetry::{LaneId, Profiler, SchedStats};
+use serde::{Deserialize, Serialize};
+
+use crate::asha::{RungLedger, RungPolicy};
+use crate::backend::{ArrayBackend, TrainOutcome};
+use crate::trial::{Trial, TrialStatus};
+
+/// The scheduling policy under test.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Policy {
+    /// One trial per device, no fusion.
+    Serial,
+    /// Fused arrays that never change shape after dispatch.
+    StaticFusion,
+    /// Lane surgery at rung boundaries: evict, buffer, re-pack.
+    Elastic,
+}
+
+impl Policy {
+    /// Stable display name (report keys, Chrome-trace lane names).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Policy::Serial => "serial",
+            Policy::StaticFusion => "static-fusion",
+            Policy::Elastic => "elastic",
+        }
+    }
+
+    fn sharing(&self) -> SharingPolicy {
+        match self {
+            Policy::Serial => SharingPolicy::Serial,
+            _ => SharingPolicy::Hfta,
+        }
+    }
+}
+
+/// Scheduler configuration.
+#[derive(Debug, Clone)]
+pub struct SchedCfg {
+    /// The policy to play.
+    pub policy: Policy,
+    /// The successive-halving rung geometry.
+    pub rung: RungPolicy,
+    /// Upper bound on fused width regardless of device memory.
+    pub width_cap: usize,
+}
+
+/// The serializable outcome summary of one scheduler run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SchedReport {
+    /// Policy display name.
+    pub policy: String,
+    /// Trials submitted.
+    pub trials: usize,
+    /// Trials trained to the final rung.
+    pub finished: usize,
+    /// Trials early-stopped at a rung boundary.
+    pub stopped: usize,
+    /// Trials sentinel-killed (quarantined) mid-segment.
+    pub killed: usize,
+    /// Simulated seconds from first arrival to last completion.
+    pub makespan_s: f64,
+    /// Busy device-hours across the fleet.
+    pub device_hours: f64,
+    /// Busy device-seconds over `devices × makespan`.
+    pub occupancy: f64,
+    /// Live lane-seconds over allocated lane-seconds.
+    pub packing_efficiency: f64,
+    /// Arrays dispatched over the whole run (including re-packs).
+    pub arrays_built: usize,
+    /// Elastic re-pack operations (splice dispatches).
+    pub repacks: usize,
+    /// Lanes moved by re-packs.
+    pub lanes_moved: usize,
+    /// Widest array dispatched.
+    pub max_width: usize,
+}
+
+/// Everything a run produces: the summary plus the trained artifacts.
+#[derive(Debug)]
+pub struct SchedRun {
+    /// Serializable summary.
+    pub report: SchedReport,
+    /// Final parameter/optimizer lanes of every finished trial, sorted by
+    /// trial id.
+    pub final_states: Vec<(u64, LaneState)>,
+    /// Final status of every trial, indexed by trial id.
+    pub statuses: Vec<TrialStatus>,
+}
+
+#[derive(Debug)]
+enum EventKind {
+    SegmentDone(u64),
+    Arrival(u64),
+}
+
+#[derive(Debug)]
+struct Event {
+    t: f64,
+    prio: u8,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.seq == other.seq
+    }
+}
+impl Eq for Event {}
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.t
+            .total_cmp(&other.t)
+            .then(self.prio.cmp(&other.prio))
+            .then(self.seq.cmp(&other.seq))
+    }
+}
+
+struct Running<A> {
+    array: A,
+    trial_ids: Vec<u64>,
+    device: usize,
+    rung: usize,
+    width: usize,
+    outcome: Option<TrainOutcome>,
+}
+
+struct Engine<'a, B: ArrayBackend> {
+    backend: &'a B,
+    fleet: &'a mut DeviceFleet,
+    cfg: &'a SchedCfg,
+    profile: TrainingJob,
+    stats: SchedStats,
+    profiler: Option<Profiler>,
+    device_lanes: Vec<Option<LaneId>>,
+    configs: Vec<B::Config>,
+    statuses: Vec<TrialStatus>,
+    queue: VecDeque<u64>,
+    /// `buffer[r]`: survivor lanes waiting to train rung `r` (Elastic).
+    buffer: Vec<Vec<(u64, LaneState)>>,
+    running: HashMap<u64, Running<B::Array>>,
+    heap: BinaryHeap<Reverse<Event>>,
+    ledger: RungLedger,
+    seq: u64,
+    next_array: u64,
+    makespan_s: f64,
+    final_states: Vec<(u64, LaneState)>,
+    arrays_built: usize,
+    repacks: usize,
+    lanes_moved: usize,
+    max_width: usize,
+}
+
+impl<B: ArrayBackend> Engine<'_, B> {
+    fn push_event(&mut self, t: f64, prio: u8, kind: EventKind) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Reverse(Event { t, prio, seq, kind }));
+    }
+
+    fn trial(&self, id: u64) -> Trial<B::Config> {
+        Trial {
+            id,
+            config: self.configs[id as usize].clone(),
+        }
+    }
+
+    /// Trains the next segment eagerly, books the device for its
+    /// simulated duration, and schedules the completion event.
+    fn start_segment(&mut self, device: usize, mut ra: Running<B::Array>, t: f64) {
+        let steps = self.cfg.rung.segment_steps(ra.rung);
+        let outcome = self.backend.train(&mut ra.array, steps);
+        let live = ra
+            .trial_ids
+            .iter()
+            .filter(|&&id| self.statuses[id as usize] == TrialStatus::Pending)
+            .count();
+        let step_s =
+            self.fleet
+                .step_time_s(device, &self.profile, ra.width, self.cfg.policy.sharing());
+        let dur = steps as f64 * step_s;
+        self.fleet.occupy(device, t, dur, ra.width, live);
+        let end = t + dur;
+        self.makespan_s = self.makespan_s.max(end);
+        self.stats.dispatch(ra.width, live);
+        self.arrays_built += 1;
+        self.max_width = self.max_width.max(ra.width);
+        if let (Some(p), Some(lane)) = (&self.profiler, &self.device_lanes[device]) {
+            let name = format!("array[B={},live={}]@r{}", ra.width, live, ra.rung);
+            p.begin_at(*lane, name.clone(), t * 1e6, Vec::new());
+            p.end_at(*lane, name, end * 1e6);
+        }
+        ra.outcome = Some(outcome);
+        ra.device = device;
+        let aid = self.next_array;
+        self.next_array += 1;
+        self.running.insert(aid, ra);
+        self.push_event(end, 0, EventKind::SegmentDone(aid));
+    }
+
+    /// Applies a finished segment's outcome: sentinel kills, rung
+    /// decisions, lane extraction/buffering (Elastic) or in-place
+    /// continuation (Serial/StaticFusion).
+    fn complete(&mut self, aid: u64, t: f64) {
+        let mut ra = self
+            .running
+            .remove(&aid)
+            .expect("completion for unknown array");
+        let outcome = ra.outcome.take().expect("segment trained at dispatch");
+        let final_rung = self.cfg.rung.final_rung();
+        let mut continues = false;
+        for (i, &tid) in ra.trial_ids.iter().enumerate() {
+            if self.statuses[tid as usize] != TrialStatus::Pending {
+                continue; // dead lane riding along (StaticFusion)
+            }
+            if outcome.killed[i] {
+                self.statuses[tid as usize] = TrialStatus::Killed;
+                self.stats.evict(true);
+                continue;
+            }
+            if ra.rung == final_rung {
+                self.statuses[tid as usize] = TrialStatus::Finished;
+                self.stats.finish();
+                self.final_states
+                    .push((tid, self.backend.extract(&ra.array, i)));
+                continue;
+            }
+            let promote =
+                self.ledger
+                    .record_and_decide(ra.rung, outcome.scores[i], self.cfg.rung.eta);
+            if !promote {
+                self.statuses[tid as usize] = TrialStatus::Stopped;
+                self.stats.evict(false);
+                continue;
+            }
+            match self.cfg.policy {
+                Policy::Elastic => {
+                    let lane = self.backend.extract(&ra.array, i);
+                    self.buffer[ra.rung + 1].push((tid, lane));
+                }
+                _ => continues = true,
+            }
+        }
+        if continues {
+            ra.rung += 1;
+            let device = ra.device;
+            self.start_segment(device, ra, t);
+        }
+    }
+
+    /// Splices up to `mem_cap` buffered rung-`rung` survivor lanes into a
+    /// fresh array and dispatches it.
+    fn dispatch_repack(&mut self, device: usize, rung: usize, mem_cap: usize, t: f64) {
+        let take = mem_cap.min(self.buffer[rung].len());
+        let taken: Vec<(u64, LaneState)> = self.buffer[rung].drain(..take).collect();
+        let trials: Vec<Trial<B::Config>> = taken.iter().map(|(id, _)| self.trial(*id)).collect();
+        let lanes: Vec<LaneState> = taken.into_iter().map(|(_, lane)| lane).collect();
+        let start_step = self.cfg.rung.total_steps_at(rung - 1);
+        let array = self.backend.splice(&trials, &lanes, start_step);
+        self.stats.repack(lanes.len());
+        self.repacks += 1;
+        self.lanes_moved += lanes.len();
+        let ra = Running {
+            array,
+            trial_ids: trials.iter().map(|tr| tr.id).collect(),
+            device,
+            rung,
+            width: lanes.len(),
+            outcome: None,
+        };
+        self.start_segment(device, ra, t);
+    }
+
+    /// Builds a fresh rung-0 array from the arrival queue and dispatches
+    /// it.
+    fn dispatch_fresh(&mut self, device: usize, mem_cap: usize, t: f64) {
+        let width = match self.cfg.policy {
+            Policy::Serial => 1,
+            _ => mem_cap.min(self.queue.len()),
+        };
+        let ids: Vec<u64> = (0..width)
+            .map(|_| self.queue.pop_front().expect("queue checked non-empty"))
+            .collect();
+        let trials: Vec<Trial<B::Config>> = ids.iter().map(|&id| self.trial(id)).collect();
+        let array = self.backend.build(&trials);
+        let ra = Running {
+            array,
+            trial_ids: ids,
+            device,
+            rung: 0,
+            width,
+            outcome: None,
+        };
+        self.start_segment(device, ra, t);
+    }
+
+    /// Greedy work-conserving fill of every idle device.
+    ///
+    /// Elastic order of preference: (1) a survivor buffer holding a full
+    /// device's width — deepest rung first, it finishes soonest; (2) fresh
+    /// arrivals at full width; (3) a partial buffer, only when nothing
+    /// else can use the device. Rule (3) matters because fused step time
+    /// is sublinear (sometimes flat) in width: splicing survivors into a
+    /// *narrow* array the moment they appear would fragment the very
+    /// capacity re-packing is meant to reclaim, so partial buffers pool
+    /// until no full-width work remains.
+    fn dispatch(&mut self, t: f64) {
+        for device in self.fleet.idle_devices(t) {
+            let mem_cap = self
+                .fleet
+                .max_fused_width(device, &self.profile, self.cfg.width_cap);
+            assert!(mem_cap >= 1, "device cannot fit even one lane");
+            if self.cfg.policy == Policy::Elastic {
+                let full = (0..self.buffer.len())
+                    .rev()
+                    .find(|&r| self.buffer[r].len() >= mem_cap);
+                if let Some(rung) = full {
+                    self.dispatch_repack(device, rung, mem_cap, t);
+                    continue;
+                }
+            }
+            if !self.queue.is_empty() {
+                self.dispatch_fresh(device, mem_cap, t);
+                continue;
+            }
+            if self.cfg.policy == Policy::Elastic {
+                let partial = (0..self.buffer.len())
+                    .rev()
+                    .find(|&r| !self.buffer[r].is_empty());
+                if let Some(rung) = partial {
+                    self.dispatch_repack(device, rung, mem_cap, t);
+                }
+            }
+        }
+    }
+}
+
+/// Runs one policy over a stream of `(arrival_s, config)` trials on the
+/// given fleet. Trial `i` of `arrivals` gets id `i`. Training is executed
+/// eagerly with real math; time and device occupancy are simulated.
+///
+/// # Panics
+///
+/// Panics on a degenerate rung policy, a zero `width_cap`, or a device
+/// too small for a single lane of the backend's job profile.
+pub fn run<B: ArrayBackend>(
+    backend: &B,
+    fleet: &mut DeviceFleet,
+    arrivals: &[(f64, B::Config)],
+    cfg: &SchedCfg,
+) -> SchedRun {
+    cfg.rung.validate();
+    assert!(cfg.width_cap >= 1, "width cap must be positive");
+    let profiler = Profiler::current();
+    let device_lanes: Vec<Option<LaneId>> = (0..fleet.len())
+        .map(|d| {
+            profiler
+                .as_ref()
+                .map(|p| p.lane(fleet.name(d), cfg.policy.name()))
+        })
+        .collect();
+    let mut engine = Engine {
+        backend,
+        profile: backend.job_profile(),
+        fleet,
+        cfg,
+        stats: SchedStats::new(),
+        profiler,
+        device_lanes,
+        configs: arrivals.iter().map(|(_, c)| c.clone()).collect(),
+        statuses: vec![TrialStatus::Pending; arrivals.len()],
+        queue: VecDeque::new(),
+        buffer: vec![Vec::new(); cfg.rung.rungs],
+        running: HashMap::new(),
+        heap: BinaryHeap::new(),
+        ledger: RungLedger::new(cfg.rung.rungs),
+        seq: 0,
+        next_array: 0,
+        makespan_s: 0.0,
+        final_states: Vec::new(),
+        arrays_built: 0,
+        repacks: 0,
+        lanes_moved: 0,
+        max_width: 0,
+    };
+    for (id, (t, _)) in arrivals.iter().enumerate() {
+        assert!(t.is_finite() && *t >= 0.0, "arrival times must be ≥ 0");
+        engine.push_event(*t, 1, EventKind::Arrival(id as u64));
+    }
+    while let Some(Reverse(ev)) = engine.heap.pop() {
+        let t = ev.t;
+        let mut batch = vec![ev];
+        // Drain every event at this exact timestamp before dispatching:
+        // a device whose completion is still queued at `t` is not idle,
+        // even though its booking already ended.
+        while let Some(Reverse(next)) = engine.heap.peek() {
+            if next.t != t {
+                break;
+            }
+            let Some(Reverse(next)) = engine.heap.pop() else {
+                unreachable!("peeked event vanished");
+            };
+            batch.push(next);
+        }
+        for ev in batch {
+            match ev.kind {
+                EventKind::Arrival(id) => {
+                    engine.stats.arrival();
+                    engine.queue.push_back(id);
+                }
+                EventKind::SegmentDone(aid) => engine.complete(aid, t),
+            }
+        }
+        engine.dispatch(t);
+    }
+    debug_assert!(engine.queue.is_empty(), "undispatched trials at drain");
+    debug_assert!(engine.running.is_empty(), "running arrays at drain");
+    debug_assert!(
+        engine.buffer.iter().all(Vec::is_empty),
+        "buffered survivors at drain"
+    );
+    let packing = engine.fleet.packing_efficiency();
+    let occupancy = engine.fleet.occupancy(engine.makespan_s);
+    engine.stats.packing_efficiency(packing);
+    engine.stats.occupancy(occupancy);
+    let statuses = engine.statuses;
+    let count = |s: TrialStatus| statuses.iter().filter(|&&x| x == s).count();
+    let mut final_states = engine.final_states;
+    final_states.sort_by_key(|(id, _)| *id);
+    SchedRun {
+        report: SchedReport {
+            policy: cfg.policy.name().to_string(),
+            trials: arrivals.len(),
+            finished: count(TrialStatus::Finished),
+            stopped: count(TrialStatus::Stopped),
+            killed: count(TrialStatus::Killed),
+            makespan_s: engine.makespan_s,
+            device_hours: engine.fleet.device_hours(),
+            occupancy,
+            packing_efficiency: packing,
+            arrays_built: engine.arrays_built,
+            repacks: engine.repacks,
+            lanes_moved: engine.lanes_moved,
+            max_width: engine.max_width,
+        },
+        final_states,
+        statuses,
+    }
+}

@@ -1,0 +1,26 @@
+//! Tuning trials and their lifecycle states.
+
+/// One tuning trial: a hyper-parameter configuration submitted at a point
+/// in simulated time. The id is the trial's stable identity everywhere —
+/// telemetry scalar streams, sentinel events, and re-packed arrays all key
+/// on it, so a trial keeps its history across lane moves.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Trial<C> {
+    /// Stable trial id (also the telemetry model id).
+    pub id: u64,
+    /// Backend-specific hyper-parameter configuration.
+    pub config: C,
+}
+
+/// Where a trial ended up once the scheduler run is over.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrialStatus {
+    /// Still waiting or training (only seen mid-run).
+    Pending,
+    /// Trained to the final rung.
+    Finished,
+    /// Early-stopped by the successive-halving rule at a rung boundary.
+    Stopped,
+    /// Quarantined by a divergence sentinel and evicted.
+    Killed,
+}

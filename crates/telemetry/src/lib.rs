@@ -11,6 +11,8 @@
 //!   `chrome://tracing` or <https://ui.perfetto.dev>; lanes (`pid`/`tid`)
 //!   map to device/policy/model.
 //! * [`metrics`] — the plain-data registry behind the profiler.
+//! * [`sched`] — scheduler counters/gauges ([`SchedStats`]) with the
+//!   profiler handle cached once, so the disabled path stays one branch.
 //! * [`scope`] — hfta-scope: per-model [`ScalarStream`]s (loss, grad-norm,
 //!   param-norm, update-ratio, tagged `(run, model, metric)`) and
 //!   divergence [`SentinelEvent`]s, recorded via [`Profiler::scalar`] /
@@ -26,11 +28,13 @@
 pub mod metrics;
 pub mod profiler;
 pub mod report;
+pub mod sched;
 pub mod scope;
 pub mod trace;
 
 pub use metrics::{CounterSample, HistogramSummary, MetricsRegistry};
 pub use profiler::{ExperimentGuard, InstallGuard, LaneId, OpCost, Profiler, SpanGuard};
 pub use report::{CounterSeries, ExperimentReport, RunReport, SeriesPoint, StepMetric};
+pub use sched::SchedStats;
 pub use scope::{ScalarPoint, ScalarStream, ScopeLog, SentinelEvent, SentinelKind};
 pub use trace::{EventPhase, LaneMeta, TraceEvent};

@@ -1,0 +1,149 @@
+//! Scheduler-side telemetry: counters and gauges for the elastic fusion
+//! scheduler (`hfta-sched`), with the profiler handle **cached once at
+//! construction** — every call on a [`SchedStats`] built while no
+//! profiler was installed is a single branch on a `None`, matching the
+//! disabled-path budget `benches/telemetry_overhead.rs` enforces for the
+//! rest of the metrics layer.
+
+use crate::profiler::Profiler;
+
+/// Cached telemetry front-end for a scheduler run.
+///
+/// Counters: `sched.arrivals`, `sched.dispatches`, `sched.repacks`,
+/// `sched.lanes_moved`, `sched.evictions`, `sched.quarantine_evictions`,
+/// `sched.finished`. Gauges: `sched.packing_efficiency`,
+/// `sched.occupancy`. Histogram: `sched.width` (fused width of every
+/// dispatched array).
+#[derive(Debug, Clone, Default)]
+pub struct SchedStats {
+    profiler: Option<Profiler>,
+}
+
+impl SchedStats {
+    /// Captures the currently installed profiler (if any). `Default`
+    /// yields a permanently disabled instance.
+    pub fn new() -> Self {
+        SchedStats {
+            profiler: Profiler::current(),
+        }
+    }
+
+    /// Whether a profiler was installed at construction time.
+    pub fn enabled(&self) -> bool {
+        self.profiler.is_some()
+    }
+
+    /// One trial arrived in the queue.
+    pub fn arrival(&self) {
+        if let Some(p) = &self.profiler {
+            p.incr("sched.arrivals", 1.0);
+        }
+    }
+
+    /// One array dispatched onto a device: allocated fused width and the
+    /// number of live (non-evicted) lanes in it.
+    pub fn dispatch(&self, width: usize, live: usize) {
+        if let Some(p) = &self.profiler {
+            p.incr("sched.dispatches", 1.0);
+            p.incr("sched.live_lanes_dispatched", live as f64);
+            p.observe("sched.width", width as f64);
+        }
+    }
+
+    /// One re-pack: survivors from fragmented arrays spliced into a fresh
+    /// full-width array (`lanes` of them moved).
+    pub fn repack(&self, lanes: usize) {
+        if let Some(p) = &self.profiler {
+            p.incr("sched.repacks", 1.0);
+            p.incr("sched.lanes_moved", lanes as f64);
+        }
+    }
+
+    /// One lane evicted at a rung boundary; `quarantined` distinguishes
+    /// sentinel kills from early-stopping decisions.
+    pub fn evict(&self, quarantined: bool) {
+        if let Some(p) = &self.profiler {
+            p.incr("sched.evictions", 1.0);
+            if quarantined {
+                p.incr("sched.quarantine_evictions", 1.0);
+            }
+        }
+    }
+
+    /// One trial trained to the final rung.
+    pub fn finish(&self) {
+        if let Some(p) = &self.profiler {
+            p.incr("sched.finished", 1.0);
+        }
+    }
+
+    /// Final packing efficiency of the run (live lane-seconds over
+    /// allocated lane-seconds).
+    pub fn packing_efficiency(&self, value: f64) {
+        if let Some(p) = &self.profiler {
+            p.set_gauge("sched.packing_efficiency", value);
+        }
+    }
+
+    /// Final device occupancy of the run (busy device-seconds over
+    /// `devices × makespan`).
+    pub fn occupancy(&self, value: f64) {
+        if let Some(p) = &self.profiler {
+            p.set_gauge("sched.occupancy", value);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_stats_are_inert() {
+        let stats = SchedStats::default();
+        assert!(!stats.enabled());
+        // No profiler: every call is a no-op branch.
+        stats.arrival();
+        stats.dispatch(8, 6);
+        stats.repack(3);
+        stats.evict(true);
+        stats.finish();
+        stats.packing_efficiency(0.9);
+        stats.occupancy(0.8);
+    }
+
+    #[test]
+    fn enabled_stats_record_counters_and_gauges() {
+        let p = Profiler::new("sched-test");
+        let _g = p.install();
+        let stats = SchedStats::new();
+        assert!(stats.enabled());
+        stats.arrival();
+        stats.arrival();
+        stats.dispatch(8, 6);
+        stats.repack(3);
+        stats.evict(true);
+        stats.evict(false);
+        stats.finish();
+        stats.packing_efficiency(0.75);
+        stats.occupancy(0.5);
+        let report = p.report();
+        let exp = &report.experiments[0];
+        let counter = |name: &str| exp.counters.iter().find(|c| c.name == name).unwrap().value;
+        assert_eq!(counter("sched.arrivals"), 2.0);
+        assert_eq!(counter("sched.dispatches"), 1.0);
+        assert_eq!(counter("sched.lanes_moved"), 3.0);
+        assert_eq!(counter("sched.evictions"), 2.0);
+        assert_eq!(counter("sched.quarantine_evictions"), 1.0);
+        assert_eq!(counter("sched.finished"), 1.0);
+        let gauge = |name: &str| exp.gauges.iter().find(|g| g.name == name).unwrap().value;
+        assert_eq!(gauge("sched.packing_efficiency"), 0.75);
+        assert_eq!(gauge("sched.occupancy"), 0.5);
+        let width = exp
+            .histograms
+            .iter()
+            .find(|h| h.name == "sched.width")
+            .unwrap();
+        assert_eq!(width.count, 1);
+    }
+}
