@@ -3,7 +3,8 @@
 //!
 //! ```text
 //! scope_report <trace-dir>                 # health tables from *.report.json
-//! scope_report --diff <base> <candidate> [--max-regress <pct>] [--loss-tol <t>]
+//! scope_report --diff <base> <candidate> [--max-regress <pct>]
+//!              [--max-mem-regress <pct>] [--loss-tol <t>]
 //! ```
 //!
 //! `<base>` / `<candidate>` are either `<bin>.report.json` run reports or
@@ -19,7 +20,8 @@ fn fail_usage(msg: &str) -> ! {
     eprintln!("error: {msg}");
     eprintln!("usage: scope_report <trace-dir>");
     eprintln!(
-        "       scope_report --diff <base> <candidate> [--max-regress <pct>] [--loss-tol <t>]"
+        "       scope_report --diff <base> <candidate> [--max-regress <pct>] \
+         [--max-mem-regress <pct>] [--loss-tol <t>]"
     );
     std::process::exit(2);
 }
@@ -53,6 +55,9 @@ fn main() {
                 diff = Some((base, cand));
             }
             "--max-regress" => cfg.max_regress_pct = Some(parse_f64("--max-regress", args.next())),
+            "--max-mem-regress" => {
+                cfg.max_mem_regress_pct = Some(parse_f64("--max-mem-regress", args.next()));
+            }
             "--loss-tol" => cfg.loss_tol = parse_f64("--loss-tol", args.next()),
             other if dir.is_none() && !other.starts_with('-') => dir = Some(other.to_string()),
             other => fail_usage(&format!("unknown argument: {other}")),

@@ -12,6 +12,7 @@
 //! [`RunReport`](hfta_telemetry::RunReport) alongside its printed output.
 
 pub mod convergence;
+pub mod mem;
 pub mod scope_report;
 pub mod sweep;
 pub mod telemetry_cli;

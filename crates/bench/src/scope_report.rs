@@ -28,6 +28,10 @@ pub struct DiffCfg {
     /// Throughput-regression budget in percent. `None` skips the
     /// throughput gate for run reports (bench diffs fall back to 10%).
     pub max_regress_pct: Option<f64>,
+    /// Memory-regression budget in percent, applied to the `peak_bytes`
+    /// (higher is worse) and `savings_ratio` (lower is worse) fields of
+    /// `BENCH_mem.json` records. Bench diffs fall back to 10%.
+    pub max_mem_regress_pct: Option<f64>,
 }
 
 impl Default for DiffCfg {
@@ -35,6 +39,7 @@ impl Default for DiffCfg {
         DiffCfg {
             loss_tol: 1e-6,
             max_regress_pct: None,
+            max_mem_regress_pct: None,
         }
     }
 }
@@ -318,7 +323,9 @@ pub const SCOPE_OVERHEAD_BUDGET_PCT: f64 = 5.0;
 /// Diffs two `BENCH_*.json` value trees record-by-record on `gflops`,
 /// plus the headline `fused_conv_speedup` and `scope_overhead_pct`
 /// figures. Throughput always gates here, at
-/// `cfg.max_regress_pct.unwrap_or(10.0)` percent.
+/// `cfg.max_regress_pct.unwrap_or(10.0)` percent. `BENCH_mem.json`
+/// records (keyed by `model`/`b`) gate on `peak_bytes`, `savings_ratio`
+/// and `steady_fresh_allocs` — see [`DiffCfg::max_mem_regress_pct`].
 pub fn diff_bench(base: &Value, cand: &Value, cfg: &DiffCfg) -> DiffOutcome {
     let mut out = DiffOutcome::default();
     let pct = cfg.max_regress_pct.unwrap_or(10.0);
@@ -371,7 +378,88 @@ pub fn diff_bench(base: &Value, cand: &Value, cfg: &DiffCfg) -> DiffOutcome {
             ));
         }
     }
+    diff_mem_records(base, cand, cfg, &mut out);
     out
+}
+
+/// One parsed `BENCH_mem.json` record: key plus the gated fields.
+struct MemFields {
+    key: String,
+    peak_bytes: f64,
+    savings_ratio: f64,
+    steady_fresh_allocs: f64,
+}
+
+fn mem_records(v: &Value) -> Vec<MemFields> {
+    let Some(Value::Array(items)) = v.get("records") else {
+        return Vec::new();
+    };
+    items
+        .iter()
+        .filter_map(|r| {
+            let model = match r.get("model")? {
+                Value::Str(s) => s.clone(),
+                _ => return None,
+            };
+            Some(MemFields {
+                key: format!("mem:{}/B={}", model, as_f64(r.get("b")?)?),
+                peak_bytes: as_f64(r.get("peak_bytes")?)?,
+                savings_ratio: as_f64(r.get("savings_ratio")?)?,
+                steady_fresh_allocs: as_f64(r.get("steady_fresh_allocs")?)?,
+            })
+        })
+        .collect()
+}
+
+/// Gates the memory records of a bench diff: `peak_bytes` may not grow and
+/// `savings_ratio` may not shrink by more than [`DiffCfg::max_mem_regress_pct`]
+/// (default 10%), and a candidate record with nonzero steady-state fresh
+/// allocations always regresses (the zero-malloc claim is absolute).
+/// Records without the memory fields (e.g. kernel throughput records) are
+/// skipped.
+fn diff_mem_records(base: &Value, cand: &Value, cfg: &DiffCfg, out: &mut DiffOutcome) {
+    let pct = cfg.max_mem_regress_pct.unwrap_or(10.0);
+    let cand_recs = mem_records(cand);
+    for b in mem_records(base) {
+        let Some(c) = cand_recs.iter().find(|c| c.key == b.key) else {
+            out.regress(format!("{}: record missing from candidate", b.key));
+            continue;
+        };
+        if b.peak_bytes > 0.0 {
+            let change = (c.peak_bytes - b.peak_bytes) / b.peak_bytes * 100.0;
+            if change > pct {
+                out.regress(format!(
+                    "{} peak_bytes: {:.0} is {change:.1}% above baseline {:.0} (budget {pct}%)",
+                    b.key, c.peak_bytes, b.peak_bytes
+                ));
+            } else {
+                out.note(format!(
+                    "{} peak_bytes: {:.0} vs {:.0} ({change:+.1}%)",
+                    b.key, c.peak_bytes, b.peak_bytes
+                ));
+            }
+        }
+        if b.savings_ratio > 0.0 {
+            let change = (c.savings_ratio - b.savings_ratio) / b.savings_ratio * 100.0;
+            if change < -pct {
+                out.regress(format!(
+                    "{} savings_ratio: {:.3} is {:.1}% below baseline {:.3} (budget {pct}%)",
+                    b.key, c.savings_ratio, -change, b.savings_ratio
+                ));
+            } else {
+                out.note(format!(
+                    "{} savings_ratio: {:.3} vs {:.3} ({change:+.1}%)",
+                    b.key, c.savings_ratio, b.savings_ratio
+                ));
+            }
+        }
+        if c.steady_fresh_allocs > 0.0 {
+            out.regress(format!(
+                "{}: {} steady-state fresh allocations (must be 0)",
+                b.key, c.steady_fresh_allocs
+            ));
+        }
+    }
 }
 
 #[cfg(test)]
@@ -525,6 +613,74 @@ mod tests {
         let out = diff_bench(&base, &cand, &DiffCfg::default());
         assert!(out.regressed());
         assert!(out.regressions[0].contains("scope_overhead_pct"));
+    }
+
+    fn mem_json(peak: f64, savings: f64, fresh: f64) -> Value {
+        let text = format!(
+            r#"{{"records": [
+                 {{"model": "dcgan_d", "b": 1, "peak_bytes": 100000.0,
+                   "savings_ratio": 1.0, "steady_fresh_allocs": 0}},
+                 {{"model": "dcgan_d", "b": 4, "peak_bytes": {peak},
+                   "savings_ratio": {savings}, "steady_fresh_allocs": {fresh}}}]}}"#
+        );
+        serde_json::from_str(&text).unwrap()
+    }
+
+    #[test]
+    fn mem_diff_gates_peak_growth_and_savings_drop() {
+        let base = mem_json(300000.0, 1.33, 0.0);
+        // Identical: clean, with informational lines for both fields.
+        let out = diff_bench(&base, &mem_json(300000.0, 1.33, 0.0), &DiffCfg::default());
+        assert!(!out.regressed(), "{:?}", out.regressions);
+        assert!(out.lines.iter().any(|l| l.contains("peak_bytes")));
+        // 20% peak growth: over the default 10% budget.
+        let out = diff_bench(&base, &mem_json(360000.0, 1.33, 0.0), &DiffCfg::default());
+        assert!(out.regressed());
+        assert!(out.regressions[0].contains("peak_bytes"));
+        // 5% growth passes by default but fails a 2% budget.
+        assert!(
+            !diff_bench(&base, &mem_json(315000.0, 1.33, 0.0), &DiffCfg::default()).regressed()
+        );
+        let tight = DiffCfg {
+            max_mem_regress_pct: Some(2.0),
+            ..DiffCfg::default()
+        };
+        assert!(diff_bench(&base, &mem_json(315000.0, 1.33, 0.0), &tight).regressed());
+        // Savings ratio dropping 15% regresses; rising never does.
+        let out = diff_bench(&base, &mem_json(300000.0, 1.13, 0.0), &DiffCfg::default());
+        assert!(out.regressed());
+        assert!(out.regressions[0].contains("savings_ratio"));
+        assert!(
+            !diff_bench(&base, &mem_json(300000.0, 1.50, 0.0), &DiffCfg::default()).regressed()
+        );
+    }
+
+    #[test]
+    fn mem_diff_fresh_allocs_gate_is_absolute() {
+        let base = mem_json(300000.0, 1.33, 0.0);
+        let out = diff_bench(&base, &mem_json(300000.0, 1.33, 2.0), &DiffCfg::default());
+        assert!(out.regressed());
+        assert!(out.regressions[0].contains("fresh allocations"));
+    }
+
+    #[test]
+    fn mem_diff_flags_missing_records_and_skips_kernel_records() {
+        let base = mem_json(300000.0, 1.33, 0.0);
+        let only_b1: Value = serde_json::from_str(
+            r#"{"records": [{"model": "dcgan_d", "b": 1, "peak_bytes": 100000.0,
+                 "savings_ratio": 1.0, "steady_fresh_allocs": 0}]}"#,
+        )
+        .unwrap();
+        let out = diff_bench(&base, &only_b1, &DiffCfg::default());
+        assert!(out
+            .regressions
+            .iter()
+            .any(|r| r.contains("mem:dcgan_d/B=4") && r.contains("missing")));
+        // Kernel bench files have no mem fields: the mem gate stays silent.
+        let kernels = bench_json(100.0, 2.0);
+        let out = diff_bench(&kernels, &bench_json(100.0, 2.0), &DiffCfg::default());
+        assert!(!out.regressed(), "{:?}", out.regressions);
+        assert!(!out.lines.iter().any(|l| l.contains("mem:")));
     }
 
     #[test]

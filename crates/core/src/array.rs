@@ -120,7 +120,11 @@ impl<M: FusedModule> ModelArray<M> {
 ///
 /// Each model's loss lands both in the step-metric table and in its
 /// hfta-scope `loss` scalar stream, so `scope_report` can render per-model
-/// loss curves from any instrumented training loop.
+/// loss curves from any instrumented training loop. Alongside the losses,
+/// the hfta-mem accounting snapshot lands as `mem.*` gauges plus a
+/// per-lane `mem_bytes` scalar stream (the fused footprint split evenly
+/// across the `B` lanes — exact, since every lane of a fused operator does
+/// identical-shape work; see [`hfta_sim::attribution`]).
 pub fn record_step_metrics(step: u64, losses: &[f32], samples_per_s: f64, fused_width: u64) {
     let Some(profiler) = Profiler::current() else {
         return;
@@ -134,6 +138,53 @@ pub fn record_step_metrics(step: u64, losses: &[f32], samples_per_s: f64, fused_
             fused_width,
         });
         profiler.scalar(model as u64, "loss", step, loss as f64);
+    }
+    record_mem_metrics(step, losses.len());
+}
+
+/// Snapshots [`hfta_mem::stats`] into the installed profiler: pool-wide
+/// `mem.*` gauges, per-size-class live/peak gauges for classes with
+/// traffic, and a per-lane `mem_bytes` scalar stream attributing the
+/// current footprint across `b` fused lanes.
+pub fn record_mem_metrics(step: u64, b: usize) {
+    let Some(profiler) = Profiler::current() else {
+        return;
+    };
+    let mem = hfta_mem::stats();
+    profiler.set_gauge("mem.live_bytes", mem.live_bytes as f64);
+    profiler.set_gauge("mem.peak_live_bytes", mem.peak_live_bytes as f64);
+    profiler.set_gauge("mem.pooled_free_bytes", mem.pooled_free_bytes as f64);
+    profiler.set_gauge("mem.scratch_owned_bytes", mem.scratch_owned_bytes as f64);
+    profiler.set_gauge("mem.footprint_bytes", mem.footprint_bytes as f64);
+    profiler.set_gauge("mem.peak_footprint_bytes", mem.peak_footprint_bytes as f64);
+    profiler.set_gauge("mem.pool_fresh_allocs", mem.pool_fresh_allocs as f64);
+    profiler.set_gauge("mem.pool_reuses", mem.pool_reuses as f64);
+    profiler.set_gauge("mem.scratch_fresh_allocs", mem.scratch_fresh_allocs as f64);
+    for class in &mem.classes {
+        if class.fresh_allocs == 0 && class.reuses == 0 {
+            continue;
+        }
+        let label = if class.elems == 0 {
+            "oversize".to_string()
+        } else {
+            class.elems.to_string()
+        };
+        profiler.set_gauge(
+            &format!("mem.class.{label}.live_bytes"),
+            class.live_bytes as f64,
+        );
+        profiler.set_gauge(
+            &format!("mem.class.{label}.peak_live_bytes"),
+            class.peak_live_bytes as f64,
+        );
+    }
+    if b > 0 {
+        for (model, share) in hfta_sim::attribution::split_even(mem.footprint_bytes, b)
+            .into_iter()
+            .enumerate()
+        {
+            profiler.scalar(model as u64, "mem_bytes", step, share as f64);
+        }
     }
 }
 
@@ -271,6 +322,22 @@ mod tests {
         // The same losses feed the per-model scalar streams.
         assert_eq!(exp.scalar_models(), vec![0, 1]);
         assert_eq!(exp.scalar_stream(1, "loss").unwrap().last(), Some(0.25));
+        // The step also snapshots the hfta-mem accounting as gauges and a
+        // per-lane footprint attribution stream.
+        let gauge = |name: &str| {
+            exp.gauges
+                .iter()
+                .find(|g| g.name == name)
+                .map(|g| g.value)
+                .unwrap_or_else(|| panic!("missing gauge {name}"))
+        };
+        assert!(gauge("mem.footprint_bytes") > 0.0);
+        assert!(gauge("mem.peak_footprint_bytes") >= gauge("mem.footprint_bytes"));
+        let lane0 = exp.scalar_stream(0, "mem_bytes").unwrap().last().unwrap();
+        let lane1 = exp.scalar_stream(1, "mem_bytes").unwrap().last().unwrap();
+        // Even split across the two lanes, conserving the total.
+        assert!((lane0 + lane1 - gauge("mem.footprint_bytes")).abs() <= 1.0);
+        assert!((lane0 - lane1).abs() <= 1.0);
     }
 
     #[test]

@@ -86,14 +86,20 @@ impl PerModel {
         let v = param.param.value();
         let dim0 = v.dim(0);
         let rank = v.rank();
+        drop(v);
         assert_eq!(param.b, self.values.len(), "array width mismatch");
         assert_eq!(dim0 % param.b, 0, "axis 0 not divisible by B");
         let chunk = dim0 / param.b;
-        let base = Tensor::from_vec(self.values.clone(), [self.values.len()]);
-        let expanded = base.repeat_interleave(chunk, 0);
         let mut dims = vec![1usize; rank];
         dims[0] = dim0;
-        expanded.reshape(&dims)
+        // Pooled output filled in place: this runs once per parameter per
+        // step, so it must not allocate fresh storage at steady state.
+        let mut out = Tensor::zeros(dims);
+        let slice = out.as_mut_slice();
+        for (m, &val) in self.values.iter().enumerate() {
+            slice[m * chunk..(m + 1) * chunk].fill(val);
+        }
+        out
     }
 }
 

@@ -21,6 +21,7 @@ use std::sync::atomic::{AtomicU8, Ordering};
 
 use crate::pool::{self, UnsafeSlice};
 use crate::reference;
+use hfta_mem::scratch;
 
 /// Micro-kernel tile rows.
 pub const MR: usize = 8;
@@ -121,10 +122,12 @@ pub fn gemm_tn(out: &mut [f32], a: &[f32], b: &[f32], m: usize, k: usize, n: usi
 }
 
 /// Packs all of `B` into `ceil(n/NR)` zero-padded column panels; panel `jb`
-/// occupies `bpack[jb*k*NR..][p*NR + c] = B[p, jb*NR + c]`.
-fn pack_b(b: PackB<'_>, k: usize, n: usize) -> Vec<f32> {
+/// occupies `bpack[jb*k*NR..][p*NR + c] = B[p, jb*NR + c]`. `bpack` must
+/// arrive zero-filled (scratch checkouts are) — the packing only writes the
+/// valid columns and relies on the zeros for panel padding.
+fn pack_b_into(b: PackB<'_>, k: usize, n: usize, bpack: &mut [f32]) {
     let col_panels = n.div_ceil(NR);
-    let mut bpack = vec![0.0f32; col_panels * k * NR];
+    debug_assert_eq!(bpack.len(), col_panels * k * NR);
     for jb in 0..col_panels {
         let j0 = jb * NR;
         let cols = NR.min(n - j0);
@@ -145,7 +148,6 @@ fn pack_b(b: PackB<'_>, k: usize, n: usize) -> Vec<f32> {
             }
         }
     }
-    bpack
 }
 
 /// Packs rows `i0..i0+rows` of `A` into a zero-padded `MR`-row panel:
@@ -195,36 +197,52 @@ fn microkernel(k: usize, apanel: &[f32], bpanel: &[f32], acc: &mut [[f32; NR]; M
 }
 
 fn run_blocked(out: &mut [f32], a: PackA<'_>, b: PackB<'_>, m: usize, k: usize, n: usize) {
-    let bpack = pack_b(b, k, n);
     let row_panels = m.div_ceil(MR);
     let col_panels = n.div_ceil(NR);
     // Grain is a pure function of the shape (never the thread count), so the
     // chunk decomposition — and therefore the result — is deterministic.
     let panel_flops = 2 * MR * k * n;
     let grain = (CHUNK_FLOPS / panel_flops.max(1)).clamp(1, row_panels);
-    let shared = UnsafeSlice::new(out);
-    pool::parallel_for(row_panels, grain, |panels| {
-        let mut apanel = vec![0.0f32; k * MR];
-        for ib in panels {
-            let i0 = ib * MR;
-            let rows = MR.min(m - i0);
-            pack_a(a, m, k, i0, rows, &mut apanel);
-            // SAFETY: row panels are disjoint output regions.
-            let orows = unsafe { shared.slice_mut(i0 * n..(i0 + rows) * n) };
-            for jb in 0..col_panels {
-                let j0 = jb * NR;
-                let cols = NR.min(n - j0);
-                let bpanel = &bpack[jb * k * NR..(jb + 1) * k * NR];
-                let mut acc = [[0.0f32; NR]; MR];
-                for (r, orow) in orows.chunks_exact(n).enumerate() {
-                    acc[r][..cols].copy_from_slice(&orow[j0..j0 + cols]);
+    let n_chunks = row_panels.div_ceil(grain);
+    let bpack_len = col_panels * k * NR;
+    // Worst-case concurrent scratch demand. A GEMM nested inside a pool
+    // worker runs inline there, so every worker can hold one B-pack and one
+    // A-panel at once; a top-level GEMM holds one B-pack on the caller while
+    // its row-panel chunks each hold an A-panel.
+    let (bpack_count, apanel_count) = if pool::in_worker() {
+        (pool::num_threads(), pool::num_threads())
+    } else {
+        (1, pool::num_threads().min(n_chunks))
+    };
+    scratch::reserve("gemm.bpack", bpack_len, bpack_count);
+    scratch::reserve("gemm.apanel", k * MR, apanel_count);
+    scratch::with(bpack_len, |bpack| {
+        pack_b_into(b, k, n, bpack);
+        let shared = UnsafeSlice::new(out);
+        pool::parallel_for(row_panels, grain, |panels| {
+            scratch::with(k * MR, |apanel| {
+                for ib in panels {
+                    let i0 = ib * MR;
+                    let rows = MR.min(m - i0);
+                    pack_a(a, m, k, i0, rows, apanel);
+                    // SAFETY: row panels are disjoint output regions.
+                    let orows = unsafe { shared.slice_mut(i0 * n..(i0 + rows) * n) };
+                    for jb in 0..col_panels {
+                        let j0 = jb * NR;
+                        let cols = NR.min(n - j0);
+                        let bpanel = &bpack[jb * k * NR..(jb + 1) * k * NR];
+                        let mut acc = [[0.0f32; NR]; MR];
+                        for (r, orow) in orows.chunks_exact(n).enumerate() {
+                            acc[r][..cols].copy_from_slice(&orow[j0..j0 + cols]);
+                        }
+                        microkernel(k, apanel, bpanel, &mut acc);
+                        for (r, orow) in orows.chunks_exact_mut(n).enumerate() {
+                            orow[j0..j0 + cols].copy_from_slice(&acc[r][..cols]);
+                        }
+                    }
                 }
-                microkernel(k, &apanel, bpanel, &mut acc);
-                for (r, orow) in orows.chunks_exact_mut(n).enumerate() {
-                    orow[j0..j0 + cols].copy_from_slice(&acc[r][..cols]);
-                }
-            }
-        }
+            });
+        });
     });
 }
 

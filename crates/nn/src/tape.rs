@@ -176,8 +176,22 @@ pub struct Var {
 
 impl Var {
     /// Clone of the node's value.
+    ///
+    /// This deep-copies the tensor; on hot paths that only need to *read*
+    /// the value (compute a forward result, inspect a shape), prefer
+    /// [`Var::with_value`], which borrows in place.
     pub fn value(&self) -> Tensor {
-        self.tape.inner.nodes.borrow()[self.id].value.clone()
+        self.with_value(Tensor::clone)
+    }
+
+    /// Runs `f` against a borrow of the node's value — the allocation-free
+    /// alternative to [`Var::value`] for read-only access.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f` re-enters the tape mutably (records a new op).
+    pub fn with_value<R>(&self, f: impl FnOnce(&Tensor) -> R) -> R {
+        f(&self.tape.inner.nodes.borrow()[self.id].value)
     }
 
     /// Dimension sizes of the node's value.

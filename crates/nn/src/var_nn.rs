@@ -49,7 +49,6 @@ impl Var {
         let w = weight.value();
         let b = bias.map(|b| b.value());
         let y = conv2d(&x, &w, b.as_ref(), cfg);
-        let (xc, wc) = (x.clone(), w.clone());
         let input_hw = (x.dim(2), x.dim(3));
         let cin = x.dim(1);
         let kernel_hw = (w.dim(2), w.dim(3));
@@ -61,8 +60,8 @@ impl Var {
         self.tape.push(
             y,
             Some(Box::new(move |g| {
-                let gx = conv2d_grad_input(&wc, g, input_hw, cin, cfg);
-                let gw = conv2d_grad_weight(&xc, g, kernel_hw, cfg);
+                let gx = conv2d_grad_input(&w, g, input_hw, cin, cfg);
+                let gw = conv2d_grad_weight(&x, g, kernel_hw, cfg);
                 let mut out = vec![(ids[0], gx), (ids[1], gw)];
                 if has_bias {
                     out.push((ids[2], conv2d_grad_bias(g)));
@@ -100,7 +99,6 @@ impl Var {
         let w = weight.value();
         let b = bias.map(|b| b.value());
         let y = hfta_tensor::conv::conv1d(&x, &w, b.as_ref(), stride, padding, groups);
-        let (xc, wc) = (x.clone(), w.clone());
         let ids: Vec<usize> = match bias {
             Some(b) => vec![self.id, weight.id, b.id],
             None => vec![self.id, weight.id],
@@ -109,7 +107,7 @@ impl Var {
         self.tape.push(
             y,
             Some(Box::new(move |g| {
-                let (gx, gw, gb) = conv1d_backward(&xc, &wc, g, stride, padding, groups);
+                let (gx, gw, gb) = conv1d_backward(&x, &w, g, stride, padding, groups);
                 let mut out = vec![(ids[0], gx), (ids[1], gw)];
                 if has_bias {
                     out.push((ids[2], gb));
@@ -141,7 +139,6 @@ impl Var {
         let w = weight.value();
         let b = bias.map(|b| b.value());
         let y = conv_transpose2d(&x, &w, b.as_ref(), cfg);
-        let (xc, wc) = (x.clone(), w.clone());
         let kernel_hw = (w.dim(2), w.dim(3));
         let ids: Vec<usize> = match bias {
             Some(b) => vec![self.id, weight.id, b.id],
@@ -151,8 +148,8 @@ impl Var {
         self.tape.push(
             y,
             Some(Box::new(move |g| {
-                let gx = conv_transpose2d_grad_input(&wc, g, cfg);
-                let gw = conv_transpose2d_grad_weight(&xc, g, kernel_hw, cfg);
+                let gx = conv_transpose2d_grad_input(&w, g, cfg);
+                let gw = conv_transpose2d_grad_weight(&x, g, kernel_hw, cfg);
                 let mut out = vec![(ids[0], gx), (ids[1], gw)];
                 if has_bias {
                     out.push((ids[2], conv2d_grad_bias(g)));
@@ -172,9 +169,7 @@ impl Var {
         let _t = self
             .tape
             .record_op("max_pool2d", || OpCost::reduction(self.numel()));
-        let x = self.value();
-        let in_dims = x.dims().to_vec();
-        let r = max_pool2d(&x, kernel, stride);
+        let (in_dims, r) = self.with_value(|x| (x.dims().to_vec(), max_pool2d(x, kernel, stride)));
         let indices = r.indices;
         self.unary(r.output, move |g| {
             max_pool2d_backward(g, &indices, &in_dims)
@@ -202,20 +197,18 @@ impl Var {
         let _t = self
             .tape
             .record_op("batch_norm", || OpCost::elementwise(self.numel()));
-        let x = self.value();
         let gv = gamma.value();
-        let bv = beta.value();
         match running_stats {
             None => {
-                let ctx = batch_norm_train(&x, &gv, &bv, eps);
+                let ctx =
+                    self.with_value(|x| beta.with_value(|bv| batch_norm_train(x, &gv, bv, eps)));
                 let stats = (ctx.mean.clone(), ctx.var.clone());
                 let out_value = ctx.output.clone();
-                let gvc = gv.clone();
                 let ids = (self.id, gamma.id, beta.id);
                 let var = self.tape.push(
                     out_value,
                     Some(Box::new(move |g| {
-                        let (gx, ggamma, gbeta) = batch_norm_backward(g, &ctx, &gvc);
+                        let (gx, ggamma, gbeta) = batch_norm_backward(g, &ctx, &gv);
                         vec![(ids.0, gx), (ids.1, ggamma), (ids.2, gbeta)]
                     })),
                     None,
@@ -223,15 +216,17 @@ impl Var {
                 (var, Some(stats))
             }
             Some((rm, rvar)) => {
-                let y = batch_norm_eval(&x, &gv, &bv, rm, rvar, eps);
+                let y = self.with_value(|x| {
+                    beta.with_value(|bv| batch_norm_eval(x, &gv, bv, rm, rvar, eps))
+                });
                 // Eval-mode backward: y = gamma * (x - rm) * inv_std + beta.
                 let c = gv.numel();
                 let inv_std: Vec<f32> = rvar.iter().map(|v| 1.0 / (v + eps).sqrt()).collect();
                 let xhat = {
                     // (x - rm) * inv_std, per channel.
-                    let mut xh = x.clone();
-                    let n = x.dim(0);
-                    let spatial = x.numel() / (n * c);
+                    let mut xh = self.value();
+                    let n = xh.dim(0);
+                    let spatial = xh.numel() / (n * c);
                     let data = xh.as_mut_slice();
                     for ni in 0..n {
                         for ci in 0..c {
@@ -243,7 +238,6 @@ impl Var {
                     }
                     xh
                 };
-                let gvc = gv.clone();
                 let ids = (self.id, gamma.id, beta.id);
                 let var = self.tape.push(
                     y,
@@ -252,25 +246,26 @@ impl Var {
                         let spatial = g.numel() / (n * c);
                         let gd = g.as_slice();
                         let xh = xhat.as_slice();
-                        let gvd = gvc.as_slice();
-                        let mut gx = vec![0.0f32; gd.len()];
-                        let mut ggamma = vec![0.0f32; c];
-                        let mut gbeta = vec![0.0f32; c];
-                        for ni in 0..n {
-                            for ci in 0..c {
-                                let base = (ni * c + ci) * spatial;
-                                for i in 0..spatial {
-                                    gx[base + i] = gd[base + i] * gvd[ci] * inv_std[ci];
-                                    ggamma[ci] += gd[base + i] * xh[base + i];
-                                    gbeta[ci] += gd[base + i];
+                        let gvd = gv.as_slice();
+                        let mut gx_t = Tensor::zeros(g.shape().clone());
+                        let mut ggamma_t = Tensor::zeros([c]);
+                        let mut gbeta_t = Tensor::zeros([c]);
+                        {
+                            let gx = gx_t.as_mut_slice();
+                            let ggamma = ggamma_t.as_mut_slice();
+                            let gbeta = gbeta_t.as_mut_slice();
+                            for ni in 0..n {
+                                for ci in 0..c {
+                                    let base = (ni * c + ci) * spatial;
+                                    for i in 0..spatial {
+                                        gx[base + i] = gd[base + i] * gvd[ci] * inv_std[ci];
+                                        ggamma[ci] += gd[base + i] * xh[base + i];
+                                        gbeta[ci] += gd[base + i];
+                                    }
                                 }
                             }
                         }
-                        vec![
-                            (ids.0, Tensor::from_vec(gx, g.dims().to_vec())),
-                            (ids.1, Tensor::from_vec(ggamma, [c])),
-                            (ids.2, Tensor::from_vec(gbeta, [c])),
-                        ]
+                        vec![(ids.0, gx_t), (ids.1, ggamma_t), (ids.2, gbeta_t)]
                     })),
                     None,
                 );
@@ -284,7 +279,7 @@ impl Var {
         let _t = self
             .tape
             .record_op("log_softmax", || OpCost::elementwise(self.numel()));
-        let y = self.value().log_softmax(axis);
+        let y = self.with_value(|x| x.log_softmax(axis));
         let yc = y.clone();
         self.unary(y, move |g| log_softmax_backward(g, &yc, axis))
     }
@@ -294,7 +289,7 @@ impl Var {
         let _t = self
             .tape
             .record_op("softmax", || OpCost::elementwise(self.numel()));
-        let y = self.value().softmax(axis);
+        let y = self.with_value(|x| x.softmax(axis));
         let yc = y.clone();
         self.unary(y, move |g| softmax_backward(g, &yc, axis))
     }
@@ -310,37 +305,39 @@ impl Var {
         let _t = self
             .tape
             .record_op("nll_loss", || OpCost::reduction(self.numel()));
-        let lp = self.value();
-        assert!(
-            lp.rank() == 2 || lp.rank() == 3,
-            "nll_loss expects [N, C] or [N, C, D]"
-        );
-        let n = lp.dim(0);
-        let c = lp.dim(1);
-        let d = if lp.rank() == 3 { lp.dim(2) } else { 1 };
-        assert_eq!(targets.len(), n * d, "target length mismatch");
-        let data = lp.as_slice();
-        let mut total = 0.0f32;
-        for ni in 0..n {
-            for di in 0..d {
-                let t = targets[ni * d + di];
-                assert!(t < c, "target class {t} out of range (C = {c})");
-                total -= data[(ni * c + t) * d + di];
+        let (total, n, c, d, dims) = self.with_value(|lp| {
+            assert!(
+                lp.rank() == 2 || lp.rank() == 3,
+                "nll_loss expects [N, C] or [N, C, D]"
+            );
+            let n = lp.dim(0);
+            let c = lp.dim(1);
+            let d = if lp.rank() == 3 { lp.dim(2) } else { 1 };
+            assert_eq!(targets.len(), n * d, "target length mismatch");
+            let data = lp.as_slice();
+            let mut total = 0.0f32;
+            for ni in 0..n {
+                for di in 0..d {
+                    let t = targets[ni * d + di];
+                    assert!(t < c, "target class {t} out of range (C = {c})");
+                    total -= data[(ni * c + t) * d + di];
+                }
             }
-        }
+            (total, n, c, d, lp.dims().to_vec())
+        });
         let count = (n * d) as f32;
-        let dims = lp.dims().to_vec();
         let targets = targets.to_vec();
         self.unary(Tensor::scalar(total / count), move |g| {
             let scale = -g.item() / count;
-            let mut gx = vec![0.0f32; dims.iter().product()];
+            let mut gx_t = Tensor::zeros(dims.clone());
+            let gx = gx_t.as_mut_slice();
             for ni in 0..n {
                 for di in 0..d {
                     let t = targets[ni * d + di];
                     gx[(ni * c + t) * d + di] = scale;
                 }
             }
-            Tensor::from_vec(gx, dims.clone())
+            gx_t
         })
     }
 
@@ -363,18 +360,16 @@ impl Var {
         let x = self.value();
         assert_eq!(x.shape(), targets.shape(), "bce target shape mismatch");
         let n = x.numel() as f32;
-        let xd = x.as_slice();
-        let td = targets.as_slice();
-        let total: f32 = xd
+        let total: f32 = x
+            .as_slice()
             .iter()
-            .zip(td)
+            .zip(targets.as_slice())
             .map(|(&xi, &yi)| xi.max(0.0) - xi * yi + (1.0 + (-xi.abs()).exp()).ln())
             .sum();
-        let xc = x.clone();
         let tc = targets.clone();
         self.unary(Tensor::scalar(total / n), move |g| {
             // d/dx = sigmoid(x) - y.
-            xc.sigmoid().sub(&tc).mul_scalar(g.item() / n)
+            x.sigmoid().sub(&tc).mul_scalar(g.item() / n)
         })
     }
 
@@ -387,10 +382,11 @@ impl Var {
         let _t = self
             .tape
             .record_op("mse_loss", || OpCost::reduction(self.numel()));
-        let x = self.value();
-        assert_eq!(x.shape(), target.shape(), "mse target shape mismatch");
-        let n = x.numel() as f32;
-        let diff = x.sub(target);
+        let diff = self.with_value(|x| {
+            assert_eq!(x.shape(), target.shape(), "mse target shape mismatch");
+            x.sub(target)
+        });
+        let n = diff.numel() as f32;
         let loss = diff.square().sum().item() / n;
         self.unary(Tensor::scalar(loss), move |g| {
             diff.mul_scalar(2.0 * g.item() / n)

@@ -19,9 +19,10 @@ impl Var {
         let _t = self.tape.record_op("add", || {
             OpCost::elementwise(self.numel().max(other.numel()))
         });
-        let (av, bv) = (self.value(), other.value());
-        let (sa, sb) = (av.shape().clone(), bv.shape().clone());
-        self.binary(other, av.add(&bv), move |g| (g.sum_to(&sa), g.sum_to(&sb)))
+        let value = self.with_value(|a| other.with_value(|b| a.add(b)));
+        let sa = self.with_value(|a| a.shape().clone());
+        let sb = other.with_value(|b| b.shape().clone());
+        self.binary(other, value, move |g| (g.sum_to(&sa), g.sum_to(&sb)))
     }
 
     /// Elementwise subtraction with broadcasting.
@@ -29,11 +30,10 @@ impl Var {
         let _t = self.tape.record_op("sub", || {
             OpCost::elementwise(self.numel().max(other.numel()))
         });
-        let (av, bv) = (self.value(), other.value());
-        let (sa, sb) = (av.shape().clone(), bv.shape().clone());
-        self.binary(other, av.sub(&bv), move |g| {
-            (g.sum_to(&sa), g.neg().sum_to(&sb))
-        })
+        let value = self.with_value(|a| other.with_value(|b| a.sub(b)));
+        let sa = self.with_value(|a| a.shape().clone());
+        let sb = other.with_value(|b| b.shape().clone());
+        self.binary(other, value, move |g| (g.sum_to(&sa), g.neg().sum_to(&sb)))
     }
 
     /// Elementwise multiplication with broadcasting.
@@ -43,9 +43,9 @@ impl Var {
         });
         let (av, bv) = (self.value(), other.value());
         let (sa, sb) = (av.shape().clone(), bv.shape().clone());
-        let (ac, bc) = (av.clone(), bv.clone());
-        self.binary(other, av.mul(&bv), move |g| {
-            (g.mul(&bc).sum_to(&sa), g.mul(&ac).sum_to(&sb))
+        let value = av.mul(&bv);
+        self.binary(other, value, move |g| {
+            (g.mul(&bv).sum_to(&sa), g.mul(&av).sum_to(&sb))
         })
     }
 
@@ -56,10 +56,10 @@ impl Var {
         });
         let (av, bv) = (self.value(), other.value());
         let (sa, sb) = (av.shape().clone(), bv.shape().clone());
-        let (ac, bc) = (av.clone(), bv.clone());
-        self.binary(other, av.div(&bv), move |g| {
-            let ga = g.div(&bc).sum_to(&sa);
-            let gb = g.mul(&ac).neg().div(&bc.square()).sum_to(&sb);
+        let value = av.div(&bv);
+        self.binary(other, value, move |g| {
+            let ga = g.div(&bv).sum_to(&sa);
+            let gb = g.mul(&av).neg().div(&bv.square()).sum_to(&sb);
             (ga, gb)
         })
     }
@@ -69,7 +69,7 @@ impl Var {
         let _t = self
             .tape
             .record_op("add_scalar", || OpCost::elementwise(self.numel()));
-        self.unary(self.value().add_scalar(s), |g| g.clone())
+        self.unary(self.with_value(|x| x.add_scalar(s)), |g| g.clone())
     }
 
     /// Multiplies by a scalar.
@@ -77,7 +77,9 @@ impl Var {
         let _t = self
             .tape
             .record_op("mul_scalar", || OpCost::elementwise(self.numel()));
-        self.unary(self.value().mul_scalar(s), move |g| g.mul_scalar(s))
+        self.unary(self.with_value(|x| x.mul_scalar(s)), move |g| {
+            g.mul_scalar(s)
+        })
     }
 
     /// Negation.
@@ -85,7 +87,7 @@ impl Var {
         let _t = self
             .tape
             .record_op("neg", || OpCost::elementwise(self.numel()));
-        self.unary(self.value().neg(), |g| g.neg())
+        self.unary(self.with_value(|x| x.neg()), |g| g.neg())
     }
 
     // ------------------------------------------------------------------
@@ -97,8 +99,8 @@ impl Var {
         let _t = self
             .tape
             .record_op("relu", || OpCost::elementwise(self.numel()));
-        let mask = self.value().gt_mask(&Tensor::scalar(0.0));
-        self.unary(self.value().relu(), move |g| g.mul(&mask))
+        let mask = self.with_value(|x| x.gt_mask(&Tensor::scalar(0.0)));
+        self.unary(self.with_value(|x| x.relu()), move |g| g.mul(&mask))
     }
 
     /// Leaky ReLU with the given negative slope.
@@ -106,9 +108,10 @@ impl Var {
         let _t = self
             .tape
             .record_op("leaky_relu", || OpCost::elementwise(self.numel()));
-        let v = self.value();
-        let dmask = v.map(|x| if x >= 0.0 { 1.0 } else { slope });
-        self.unary(v.leaky_relu(slope), move |g| g.mul(&dmask))
+        let dmask = self.with_value(|v| v.map(|x| if x >= 0.0 { 1.0 } else { slope }));
+        self.unary(self.with_value(|v| v.leaky_relu(slope)), move |g| {
+            g.mul(&dmask)
+        })
     }
 
     /// Hyperbolic tangent.
@@ -116,7 +119,7 @@ impl Var {
         let _t = self
             .tape
             .record_op("tanh", || OpCost::elementwise(self.numel()));
-        let y = self.value().tanh();
+        let y = self.with_value(|x| x.tanh());
         let yc = y.clone();
         self.unary(y, move |g| g.mul(&yc.square().neg().add_scalar(1.0)))
     }
@@ -126,7 +129,7 @@ impl Var {
         let _t = self
             .tape
             .record_op("sigmoid", || OpCost::elementwise(self.numel()));
-        let y = self.value().sigmoid();
+        let y = self.with_value(|x| x.sigmoid());
         let yc = y.clone();
         self.unary(y, move |g| g.mul(&yc).mul(&yc.neg().add_scalar(1.0)))
     }
@@ -136,7 +139,7 @@ impl Var {
         let _t = self
             .tape
             .record_op("exp", || OpCost::elementwise(self.numel()));
-        let y = self.value().exp();
+        let y = self.with_value(|x| x.exp());
         let yc = y.clone();
         self.unary(y, move |g| g.mul(&yc))
     }
@@ -147,8 +150,8 @@ impl Var {
             .tape
             .record_op("ln", || OpCost::elementwise(self.numel()));
         let x = self.value();
-        let xc = x.clone();
-        self.unary(x.ln(), move |g| g.div(&xc))
+        let value = x.ln();
+        self.unary(value, move |g| g.div(&x))
     }
 
     /// Elementwise square.
@@ -157,8 +160,8 @@ impl Var {
             .tape
             .record_op("square", || OpCost::elementwise(self.numel()));
         let x = self.value();
-        let xc = x.clone();
-        self.unary(x.square(), move |g| g.mul(&xc).mul_scalar(2.0))
+        let value = x.square();
+        self.unary(value, move |g| g.mul(&x).mul_scalar(2.0))
     }
 
     /// Multiplies elementwise by a *constant* tensor (no gradient into the
@@ -171,9 +174,11 @@ impl Var {
         let _t = self
             .tape
             .record_op("mul_const", || OpCost::elementwise(self.numel()));
-        let shape = self.value().shape().clone();
+        let shape = self.with_value(|v| v.shape().clone());
         let cc = c.clone();
-        self.unary(self.value().mul(c), move |g| g.mul(&cc).sum_to(&shape))
+        self.unary(self.with_value(|v| v.mul(c)), move |g| {
+            g.mul(&cc).sum_to(&shape)
+        })
     }
 
     /// Adds a *constant* tensor (no gradient into the constant).
@@ -185,8 +190,8 @@ impl Var {
         let _t = self
             .tape
             .record_op("add_const", || OpCost::elementwise(self.numel()));
-        let shape = self.value().shape().clone();
-        self.unary(self.value().add(c), move |g| g.sum_to(&shape))
+        let shape = self.with_value(|v| v.shape().clone());
+        self.unary(self.with_value(|v| v.add(c)), move |g| g.sum_to(&shape))
     }
 
     // ------------------------------------------------------------------
@@ -198,8 +203,8 @@ impl Var {
         let _t = self
             .tape
             .record_op("sum", || OpCost::reduction(self.numel()));
-        let shape = self.value().shape().clone();
-        self.unary(self.value().sum(), move |g| {
+        let shape = self.with_value(|v| v.shape().clone());
+        self.unary(self.with_value(|v| v.sum()), move |g| {
             Tensor::full(shape.clone(), g.item())
         })
     }
@@ -209,9 +214,9 @@ impl Var {
         let _t = self
             .tape
             .record_op("mean", || OpCost::reduction(self.numel()));
-        let shape = self.value().shape().clone();
+        let shape = self.with_value(|v| v.shape().clone());
         let n = shape.numel() as f32;
-        self.unary(self.value().mean(), move |g| {
+        self.unary(self.with_value(|v| v.mean()), move |g| {
             Tensor::full(shape.clone(), g.item() / n)
         })
     }
@@ -221,8 +226,8 @@ impl Var {
         let _t = self
             .tape
             .record_op("sum_axis", || OpCost::reduction(self.numel()));
-        let shape = self.value().shape().clone();
-        self.unary(self.value().sum_axis(axis, true), move |g| {
+        let shape = self.with_value(|v| v.shape().clone());
+        self.unary(self.with_value(|v| v.sum_axis(axis, true)), move |g| {
             // Broadcast the reduced gradient back across the axis.
             Tensor::zeros(shape.clone()).add(g)
         })
@@ -230,7 +235,7 @@ impl Var {
 
     /// Mean along `axis`, keeping it as size 1.
     pub fn mean_axis_keep(&self, axis: usize) -> Var {
-        let n = self.value().dim(axis) as f32;
+        let n = self.with_value(|v| v.dim(axis)) as f32;
         self.sum_axis_keep(axis).mul_scalar(1.0 / n)
     }
 
@@ -239,10 +244,10 @@ impl Var {
         let _t = self
             .tape
             .record_op("max_axis", || OpCost::reduction(self.numel()));
-        let v = self.value();
-        let (out, indices) = v.max_axis_with_indices(axis);
-        let in_dims = v.dims().to_vec();
-        let n = v.dim(axis);
+        let (out, indices, in_dims, n) = self.with_value(|v| {
+            let (out, indices) = v.max_axis_with_indices(axis);
+            (out, indices, v.dims().to_vec(), v.dim(axis))
+        });
         let (outer, inner) = {
             let outer: usize = in_dims[..axis].iter().product();
             let inner: usize = in_dims[axis + 1..].iter().product();
@@ -250,14 +255,15 @@ impl Var {
         };
         self.unary(out, move |g| {
             let gd = g.as_slice();
-            let mut gx = vec![0.0f32; outer * n * inner];
+            let mut gx_t = Tensor::zeros(in_dims.clone());
+            let gx = gx_t.as_mut_slice();
             for o in 0..outer {
                 for i in 0..inner {
                     let k = indices[o * inner + i];
                     gx[(o * n + k) * inner + i] += gd[o * inner + i];
                 }
             }
-            Tensor::from_vec(gx, in_dims.clone())
+            gx_t
         })
     }
 
@@ -274,8 +280,10 @@ impl Var {
         let _t = self
             .tape
             .record_op("reshape", || OpCost::elementwise(self.numel()));
-        let old = self.value().dims().to_vec();
-        self.unary(self.value().reshape(dims), move |g| g.reshape(&old))
+        let old = self.with_value(|v| v.dims().to_vec());
+        self.unary(self.with_value(|v| v.reshape(dims)), move |g| {
+            g.reshape(&old)
+        })
     }
 
     /// Flattens all dimensions from `start_axis` onward.
@@ -283,8 +291,8 @@ impl Var {
         let _t = self
             .tape
             .record_op("flatten", || OpCost::elementwise(self.numel()));
-        let old = self.value().dims().to_vec();
-        self.unary(self.value().flatten_from(start_axis), move |g| {
+        let old = self.with_value(|v| v.dims().to_vec());
+        self.unary(self.with_value(|v| v.flatten_from(start_axis)), move |g| {
             g.reshape(&old)
         })
     }
@@ -303,12 +311,14 @@ impl Var {
         for (i, &a) in order.iter().enumerate() {
             inverse[a] = i;
         }
-        self.unary(self.value().permute(&order), move |g| g.permute(&inverse))
+        self.unary(self.with_value(|v| v.permute(&order)), move |g| {
+            g.permute(&inverse)
+        })
     }
 
     /// Swaps two axes.
     pub fn transpose(&self, a: usize, b: usize) -> Var {
-        let mut order: Vec<usize> = (0..self.value().rank()).collect();
+        let mut order: Vec<usize> = (0..self.with_value(|v| v.rank())).collect();
         order.swap(a, b);
         self.permute(&order)
     }
@@ -318,8 +328,8 @@ impl Var {
         let _t = self
             .tape
             .record_op("narrow", || OpCost::elementwise(self.numel()));
-        let dims = self.value().dims().to_vec();
-        self.unary(self.value().narrow(axis, start, len), move |g| {
+        let dims = self.with_value(|v| v.dims().to_vec());
+        self.unary(self.with_value(|v| v.narrow(axis, start, len)), move |g| {
             let mut gx = Tensor::zeros(dims.clone());
             gx.narrow_assign(axis, start, g);
             gx
@@ -367,10 +377,8 @@ impl Var {
             OpCost::matmul(1, a[0], a[1], b[1])
         });
         let (a, b) = (self.value(), other.value());
-        let (ac, bc) = (a.clone(), b.clone());
-        self.binary(other, a.matmul(&b), move |g| {
-            (g.matmul(&bc.t()), ac.t().matmul(g))
-        })
+        let value = a.matmul(&b);
+        self.binary(other, value, move |g| (g.matmul(&b.t()), a.t().matmul(g)))
     }
 
     /// Batched matrix product `[B, m, k] x [B, k, n]`.
@@ -380,8 +388,8 @@ impl Var {
             OpCost::matmul(a[0], a[1], a[2], b[2])
         });
         let (a, b) = (self.value(), other.value());
-        let (ac, bc) = (a.clone(), b.clone());
-        self.binary(other, a.bmm(&b), move |g| (g.bmm_nt(&bc), ac.bmm_tn(g)))
+        let value = a.bmm(&b);
+        self.binary(other, value, move |g| (g.bmm_nt(&b), a.bmm_tn(g)))
     }
 
     /// Batched `bias + self @ other` with broadcastable bias — the fused

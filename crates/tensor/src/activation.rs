@@ -23,7 +23,8 @@ impl Tensor {
         assert!(n > 0, "log_softmax over empty axis");
         let (outer, inner) = self.split_at_axis(axis);
         let src = self.as_slice();
-        let mut out = vec![0.0f32; src.len()];
+        let mut out_t = Tensor::zeros(self.shape().clone());
+        let out = out_t.as_mut_slice();
         for o in 0..outer {
             for i in 0..inner {
                 let mut mx = f32::NEG_INFINITY;
@@ -41,7 +42,7 @@ impl Tensor {
                 }
             }
         }
-        Tensor::from_vec(out, self.dims().to_vec())
+        out_t
     }
 }
 

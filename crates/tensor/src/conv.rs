@@ -10,6 +10,7 @@
 
 use crate::tensor::Tensor;
 use hfta_kernels::{self as kernels, UnsafeSlice};
+use hfta_mem::scratch;
 
 /// Target FLOPs per parallel chunk when fanning out over (sample, group)
 /// blocks. A pure function of the problem shape — never of the thread
@@ -22,6 +23,14 @@ fn block_grain(per_block_flops: usize, n_blocks: usize) -> usize {
     PAR_CHUNK_FLOPS
         .checked_div(per_block_flops)
         .map_or(n_blocks.max(1), |g| g.clamp(1, n_blocks.max(1)))
+}
+
+/// Pre-reserves the im2col column scratch for a `parallel_for` fan-out of
+/// `n_blocks` blocks at `grain` blocks per chunk: at most one column buffer
+/// per concurrently running chunk is ever live.
+fn reserve_cols(len: usize, n_blocks: usize, grain: usize) {
+    let workers = kernels::num_threads().min(n_blocks.max(1).div_ceil(grain));
+    scratch::reserve("conv.cols", len, workers);
 }
 
 /// Configuration for 2-D (de)convolutions: `(height, width)` stride and
@@ -95,16 +104,18 @@ impl Default for ConvCfg {
     }
 }
 
-/// Lowers one padded image `[c, hp, wp]` to columns `[c*kh*kw, ho*wo]`.
-fn im2col(
+/// Lowers one padded image `[c, hp, wp]` into `cols` (`[c*kh*kw, ho*wo]`,
+/// fully overwritten), so callers can hand in recycled scratch.
+fn im2col_into(
+    cols: &mut [f32],
     img: &[f32],
     c: usize,
     (hp, wp): (usize, usize),
     (kh, kw): (usize, usize),
     (sh, sw): (usize, usize),
     (ho, wo): (usize, usize),
-) -> Vec<f32> {
-    let mut cols = vec![0.0f32; c * kh * kw * ho * wo];
+) {
+    debug_assert_eq!(cols.len(), c * kh * kw * ho * wo);
     let col_w = ho * wo;
     for ci in 0..c {
         for u in 0..kh {
@@ -120,7 +131,6 @@ fn im2col(
             }
         }
     }
-    cols
 }
 
 /// Adjoint of [`im2col`]: accumulates columns back into the padded image.
@@ -220,9 +230,11 @@ pub fn conv2d(x: &Tensor, w: &Tensor, b: Option<&Tensor>, cfg: ConvCfg) -> Tenso
     let block = coutg * spatial;
     let per_block_flops = 2 * coutg * krows * spatial;
     kernels::profiled("conv2d", (n * g * per_block_flops) as f64, || {
-        let mut out = vec![0.0f32; n * cout * spatial];
-        let shared = UnsafeSlice::new(&mut out);
-        kernels::parallel_for(n * g, block_grain(per_block_flops, n * g), |range| {
+        let grain = block_grain(per_block_flops, n * g);
+        reserve_cols(krows * spatial, n * g, grain);
+        let mut out = Tensor::zeros([n, cout, ho, wo]);
+        let shared = UnsafeSlice::new(out.as_mut_slice());
+        kernels::parallel_for(n * g, grain, |range| {
             for idx in range {
                 let (ni, gi) = (idx / g, idx % g);
                 // SAFETY: each (sample, group) index owns a disjoint block.
@@ -234,12 +246,14 @@ pub fn conv2d(x: &Tensor, w: &Tensor, b: Option<&Tensor>, cfg: ConvCfg) -> Tenso
                 }
                 let img = &xp_data
                     [(ni * cin + gi * cing) * hp * wp..(ni * cin + (gi + 1) * cing) * hp * wp];
-                let cols = im2col(img, cing, (hp, wp), (kh, kw), cfg.stride, (ho, wo));
-                let wmat = &w_data[gi * coutg * krows..(gi + 1) * coutg * krows];
-                kernels::gemm(out_block, wmat, &cols, coutg, krows, spatial);
+                scratch::with(krows * spatial, |cols| {
+                    im2col_into(cols, img, cing, (hp, wp), (kh, kw), cfg.stride, (ho, wo));
+                    let wmat = &w_data[gi * coutg * krows..(gi + 1) * coutg * krows];
+                    kernels::gemm(out_block, wmat, cols, coutg, krows, spatial);
+                });
             }
         });
-        Tensor::from_vec(out, [n, cout, ho, wo])
+        out
     })
 }
 
@@ -281,23 +295,28 @@ pub fn conv2d_grad_input(
         "conv2d_grad_input",
         (n * g * per_block_flops) as f64,
         || {
-            let mut gx_pad = vec![0.0f32; n * cin * hp * wp];
-            let shared = UnsafeSlice::new(&mut gx_pad);
-            kernels::parallel_for(n * g, block_grain(per_block_flops, n * g), |range| {
+            let grain = block_grain(per_block_flops, n * g);
+            reserve_cols(krows * spatial, n * g, grain);
+            let mut gx_pad = Tensor::zeros([n, cin, hp, wp]);
+            let shared = UnsafeSlice::new(gx_pad.as_mut_slice());
+            kernels::parallel_for(n * g, grain, |range| {
                 for idx in range {
                     let (ni, gi) = (idx / g, idx % g);
                     let wmat = &w_data[gi * coutg * krows..(gi + 1) * coutg * krows];
                     let gybase = (ni * cout + gi * coutg) * spatial;
                     let gymat = &gy_data[gybase..gybase + coutg * spatial];
-                    // cols = w^T @ gy : [krows, spatial]
-                    let mut cols = vec![0.0f32; krows * spatial];
-                    kernels::gemm_tn(&mut cols, wmat, gymat, krows, coutg, spatial);
-                    // SAFETY: each (sample, group) index owns a disjoint block.
-                    let img = unsafe { shared.slice_mut(idx * block..(idx + 1) * block) };
-                    col2im(&cols, img, cing, (hp, wp), (kh, kw), cfg.stride, (ho, wo));
+                    // cols = w^T @ gy : [krows, spatial]; the scratch
+                    // checkout arrives zero-filled, which gemm_tn's
+                    // accumulation requires.
+                    scratch::with(krows * spatial, |cols| {
+                        kernels::gemm_tn(cols, wmat, gymat, krows, coutg, spatial);
+                        // SAFETY: each (sample, group) index owns a disjoint block.
+                        let img = unsafe { shared.slice_mut(idx * block..(idx + 1) * block) };
+                        col2im(cols, img, cing, (hp, wp), (kh, kw), cfg.stride, (ho, wo));
+                    });
                 }
             });
-            Tensor::from_vec(gx_pad, [n, cin, hp, wp]).unpad2d(cfg.padding.0, cfg.padding.1)
+            gx_pad.unpad2d(cfg.padding.0, cfg.padding.1)
         },
     )
 }
@@ -337,22 +356,26 @@ pub fn conv2d_grad_weight(
     let block = coutg * krows;
     let flops = 2 * n * g * coutg * spatial * krows;
     kernels::profiled("conv2d_grad_weight", flops as f64, || {
-        let mut gw = vec![0.0f32; cout * krows];
+        let mut gw = Tensor::zeros([cout, cing, kh, kw]);
         let group_work = |gw_block: &mut [f32], gi: usize| {
             for ni in 0..n {
                 let img = &xp_data
                     [(ni * cin + gi * cing) * hp * wp..(ni * cin + (gi + 1) * cing) * hp * wp];
-                let cols = im2col(img, cing, (hp, wp), (kh, kw), cfg.stride, (ho, wo));
-                let gybase = (ni * cout + gi * coutg) * spatial;
-                let gymat = &gy_data[gybase..gybase + coutg * spatial];
-                // gw_g += gy [coutg, spatial] @ cols^T [spatial, krows]
-                kernels::gemm_nt(gw_block, gymat, &cols, coutg, spatial, krows);
+                scratch::with(krows * spatial, |cols| {
+                    im2col_into(cols, img, cing, (hp, wp), (kh, kw), cfg.stride, (ho, wo));
+                    let gybase = (ni * cout + gi * coutg) * spatial;
+                    let gymat = &gy_data[gybase..gybase + coutg * spatial];
+                    // gw_g += gy [coutg, spatial] @ cols^T [spatial, krows]
+                    kernels::gemm_nt(gw_block, gymat, cols, coutg, spatial, krows);
+                });
             }
         };
         if g >= 2 {
             let per_group_flops = 2 * n * coutg * spatial * krows;
-            let shared = UnsafeSlice::new(&mut gw);
-            kernels::parallel_for(g, block_grain(per_group_flops, g), |range| {
+            let grain = block_grain(per_group_flops, g);
+            reserve_cols(krows * spatial, g, grain);
+            let shared = UnsafeSlice::new(gw.as_mut_slice());
+            kernels::parallel_for(g, grain, |range| {
                 for gi in range {
                     // SAFETY: each group owns a disjoint block of `gw`.
                     let gw_block = unsafe { shared.slice_mut(gi * block..(gi + 1) * block) };
@@ -360,9 +383,10 @@ pub fn conv2d_grad_weight(
                 }
             });
         } else {
-            group_work(&mut gw, 0);
+            reserve_cols(krows * spatial, 1, 1);
+            group_work(gw.as_mut_slice(), 0);
         }
-        Tensor::from_vec(gw, [cout, cing, kh, kw])
+        gw
     })
 }
 
@@ -403,7 +427,7 @@ pub fn conv_transpose2d(x: &Tensor, w: &Tensor, b: Option<&Tensor>, cfg: ConvCfg
         assert_eq!(bias.dims(), &[cout], "bias must be [Cout]");
         let spatial = ho * wo;
         let n = y.dim(0);
-        let bd = bias.to_vec();
+        let bd = bias.as_slice();
         let yd = y.as_mut_slice();
         for ni in 0..n {
             #[allow(clippy::needless_range_loop)]

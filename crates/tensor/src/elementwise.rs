@@ -45,12 +45,12 @@ fn broadcast_zip(
     let db = b.as_slice();
     let rank = out_shape.rank();
     let dims = out_shape.dims().to_vec();
-    let mut out = vec![0.0f32; out_shape.numel()];
+    let mut out = Tensor::zeros(out_shape);
     // Odometer walk with incremental source offsets.
     let mut idx = vec![0usize; rank];
     let mut oa = 0usize;
     let mut ob = 0usize;
-    for slot in out.iter_mut() {
+    for slot in out.as_mut_slice().iter_mut() {
         *slot = f(da[oa], db[ob]);
         for axis in (0..rank).rev() {
             idx[axis] += 1;
@@ -64,7 +64,7 @@ fn broadcast_zip(
             ob -= sb[axis] * dims[axis];
         }
     }
-    Tensor::from_vec(out, out_shape)
+    out
 }
 
 impl Tensor {

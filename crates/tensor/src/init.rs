@@ -66,19 +66,25 @@ impl Rng {
     }
 
     /// Tensor of i.i.d. standard normal samples.
+    ///
+    /// The buffer comes from the recycling pool (same element order as a
+    /// `collect` into a fresh `Vec`), so re-initializing models inside a
+    /// warm process allocates nothing.
     pub fn randn(&mut self, shape: impl Into<crate::Shape>) -> Tensor {
-        let shape = shape.into();
-        let data = (0..shape.numel()).map(|_| self.standard_normal()).collect();
-        Tensor::from_vec(data, shape)
+        let mut t = Tensor::zeros(shape.into());
+        for v in t.as_mut_slice() {
+            *v = self.standard_normal();
+        }
+        t
     }
 
     /// Tensor of i.i.d. `N(mean, std^2)` samples.
     pub fn normal(&mut self, shape: impl Into<crate::Shape>, mean: f32, std: f32) -> Tensor {
-        let shape = shape.into();
-        let data = (0..shape.numel())
-            .map(|_| mean + std * self.standard_normal())
-            .collect();
-        Tensor::from_vec(data, shape)
+        let mut t = Tensor::zeros(shape.into());
+        for v in t.as_mut_slice() {
+            *v = mean + std * self.standard_normal();
+        }
+        t
     }
 
     /// Tensor of i.i.d. uniform samples in `[lo, hi)`.
@@ -87,9 +93,11 @@ impl Rng {
     ///
     /// Panics if `lo >= hi`.
     pub fn rand(&mut self, shape: impl Into<crate::Shape>, lo: f32, hi: f32) -> Tensor {
-        let shape = shape.into();
-        let data = (0..shape.numel()).map(|_| self.uniform(lo, hi)).collect();
-        Tensor::from_vec(data, shape)
+        let mut t = Tensor::zeros(shape.into());
+        for v in t.as_mut_slice() {
+            *v = self.uniform(lo, hi);
+        }
+        t
     }
 
     /// Kaiming-uniform initializer (PyTorch's default for conv/linear):

@@ -19,7 +19,7 @@ impl Tensor {
             self.numel(),
             dims
         );
-        Tensor::from_vec(self.to_vec(), dims.to_vec())
+        self.copy_with_shape(dims.to_vec())
     }
 
     /// Flattens into a 1-D tensor.
@@ -81,12 +81,12 @@ impl Tensor {
         let src_strides = self.shape().strides();
         // stride of output axis i in the source layout
         let walk_strides: Vec<usize> = order.iter().map(|&a| src_strides[a]).collect();
-        let mut out = vec![0.0f32; self.numel()];
+        let mut out_t = Tensor::zeros(new_dims.clone());
         let src = self.as_slice();
         let rank = new_dims.len();
         let mut idx = vec![0usize; rank];
         let mut src_off = 0usize;
-        for slot in out.iter_mut() {
+        for slot in out_t.as_mut_slice().iter_mut() {
             *slot = src[src_off];
             for axis in (0..rank).rev() {
                 idx[axis] += 1;
@@ -98,7 +98,7 @@ impl Tensor {
                 src_off -= walk_strides[axis] * new_dims[axis];
             }
         }
-        Tensor::from_vec(out, new_dims)
+        out_t
     }
 
     /// Swaps two axes.
@@ -141,7 +141,10 @@ impl Tensor {
         }
         let (outer, inner) = first.split_at_axis(axis);
         let total_axis: usize = tensors.iter().map(|t| t.dim(axis)).sum();
-        let mut out = vec![0.0f32; outer * total_axis * inner];
+        let mut dims = first.dims().to_vec();
+        dims[axis] = total_axis;
+        let mut out_t = Tensor::zeros(dims);
+        let out = out_t.as_mut_slice();
         let mut axis_off = 0usize;
         for t in tensors {
             let n = t.dim(axis);
@@ -154,9 +157,7 @@ impl Tensor {
             }
             axis_off += n;
         }
-        let mut dims = first.dims().to_vec();
-        dims[axis] = total_axis;
-        Tensor::from_vec(out, dims)
+        out_t
     }
 
     /// Splits into `chunks` equal parts along `axis`.
@@ -192,16 +193,17 @@ impl Tensor {
         );
         let (outer, inner) = self.split_at_axis(axis);
         let src = self.as_slice();
-        let mut out = vec![0.0f32; outer * len * inner];
+        let mut dims = self.dims().to_vec();
+        dims[axis] = len;
+        let mut out_t = Tensor::zeros(dims);
+        let out = out_t.as_mut_slice();
         for o in 0..outer {
             let src_base = (o * n + start) * inner;
             let dst_base = o * len * inner;
             out[dst_base..dst_base + len * inner]
                 .copy_from_slice(&src[src_base..src_base + len * inner]);
         }
-        let mut dims = self.dims().to_vec();
-        dims[axis] = len;
-        Tensor::from_vec(out, dims)
+        out_t
     }
 
     /// Writes `src` into the window of `len = src.dim(axis)` elements
@@ -243,7 +245,10 @@ impl Tensor {
         let n = self.dim(axis);
         let (outer, inner) = self.split_at_axis(axis);
         let src = self.as_slice();
-        let mut out = vec![0.0f32; outer * indices.len() * inner];
+        let mut dims = self.dims().to_vec();
+        dims[axis] = indices.len();
+        let mut out_t = Tensor::zeros(dims);
+        let out = out_t.as_mut_slice();
         for o in 0..outer {
             for (j, &ix) in indices.iter().enumerate() {
                 assert!(ix < n, "index {ix} out of range for axis size {n}");
@@ -252,9 +257,7 @@ impl Tensor {
                 out[dst_base..dst_base + inner].copy_from_slice(&src[src_base..src_base + inner]);
             }
         }
-        let mut dims = self.dims().to_vec();
-        dims[axis] = indices.len();
-        Tensor::from_vec(out, dims)
+        out_t
     }
 
     /// Repeats each element along `axis` `repeats` times
@@ -303,7 +306,11 @@ impl Tensor {
         let nh = h + 2 * pad_h;
         let nw = w + 2 * pad_w;
         let src = self.as_slice();
-        let mut out = vec![0.0f32; outer * nh * nw];
+        let mut dims = self.dims().to_vec();
+        dims[rank - 2] = nh;
+        dims[rank - 1] = nw;
+        let mut out_t = Tensor::zeros(dims);
+        let out = out_t.as_mut_slice();
         for o in 0..outer {
             for y in 0..h {
                 let src_base = (o * h + y) * w;
@@ -311,10 +318,7 @@ impl Tensor {
                 out[dst_base..dst_base + w].copy_from_slice(&src[src_base..src_base + w]);
             }
         }
-        let mut dims = self.dims().to_vec();
-        dims[rank - 2] = nh;
-        dims[rank - 1] = nw;
-        Tensor::from_vec(out, dims)
+        out_t
     }
 
     /// Removes `(pad_h, pad_w)` from each side of the last two axes —

@@ -123,9 +123,16 @@ impl Tensor {
             "matmul inner dims mismatch: [{m}, {k}] x [{k2}, {n}]"
         );
         kernels::profiled("matmul", 2.0 * (m * k * n) as f64, || {
-            let mut out = vec![0.0f32; m * n];
-            kernels::gemm(&mut out, self.as_slice(), other.as_slice(), m, k, n);
-            Tensor::from_vec(out, [m, n])
+            let mut out = Tensor::zeros([m, n]);
+            kernels::gemm(
+                out.as_mut_slice(),
+                self.as_slice(),
+                other.as_slice(),
+                m,
+                k,
+                n,
+            );
+            out
         })
     }
 
@@ -143,9 +150,9 @@ impl Tensor {
         assert_eq!(b, b2, "bmm batch dims mismatch: {b} vs {b2}");
         assert_eq!(k, k2, "bmm inner dims mismatch: {k} vs {k2}");
         kernels::profiled("bmm", 2.0 * (b * m * k * n) as f64, || {
-            let mut out = vec![0.0f32; b * m * n];
+            let mut out = Tensor::zeros([b, m, n]);
             batched_gemm(
-                &mut out,
+                out.as_mut_slice(),
                 self.as_slice(),
                 other.as_slice(),
                 b,
@@ -156,7 +163,7 @@ impl Tensor {
                 k * n,
                 kernels::gemm,
             );
-            Tensor::from_vec(out, [b, m, n])
+            out
         })
     }
 
@@ -179,10 +186,10 @@ impl Tensor {
         assert_eq!(k, k2, "baddbmm inner dims mismatch: {k} vs {k2}");
         kernels::profiled("baddbmm", 2.0 * (b * m * k * n) as f64, || {
             let out_shape = Shape::new(vec![b, m, n]);
-            let mut out = vec![0.0f32; b * m * n];
-            broadcast_fill(&mut out, bias, &out_shape);
+            let mut out = Tensor::zeros(out_shape.clone());
+            broadcast_fill(out.as_mut_slice(), bias, &out_shape);
             batched_gemm(
-                &mut out,
+                out.as_mut_slice(),
                 self.as_slice(),
                 other.as_slice(),
                 b,
@@ -193,7 +200,7 @@ impl Tensor {
                 k * n,
                 kernels::gemm,
             );
-            Tensor::from_vec(out, out_shape)
+            out
         })
     }
 
@@ -212,9 +219,9 @@ impl Tensor {
         assert_eq!(b, b2, "bmm_nt batch dims mismatch");
         assert_eq!(k, k2, "bmm_nt inner dims mismatch");
         kernels::profiled("bmm_nt", 2.0 * (b * m * k * n) as f64, || {
-            let mut out = vec![0.0f32; b * m * n];
+            let mut out = Tensor::zeros([b, m, n]);
             batched_gemm(
-                &mut out,
+                out.as_mut_slice(),
                 self.as_slice(),
                 other.as_slice(),
                 b,
@@ -225,7 +232,7 @@ impl Tensor {
                 n * k,
                 kernels::gemm_nt,
             );
-            Tensor::from_vec(out, [b, m, n])
+            out
         })
     }
 
@@ -242,9 +249,9 @@ impl Tensor {
         assert_eq!(b, b2, "bmm_tn batch dims mismatch");
         assert_eq!(k, k2, "bmm_tn inner dims mismatch");
         kernels::profiled("bmm_tn", 2.0 * (b * m * k * n) as f64, || {
-            let mut out = vec![0.0f32; b * m * n];
+            let mut out = Tensor::zeros([b, m, n]);
             batched_gemm(
-                &mut out,
+                out.as_mut_slice(),
                 self.as_slice(),
                 other.as_slice(),
                 b,
@@ -255,7 +262,7 @@ impl Tensor {
                 k * n,
                 kernels::gemm_tn,
             );
-            Tensor::from_vec(out, [b, m, n])
+            out
         })
     }
 

@@ -96,11 +96,11 @@ pub fn batch_norm_train(x: &Tensor, gamma: &Tensor, beta: &Tensor, eps: f32) -> 
     let inv_std: Vec<f32> = var.iter().map(|v| 1.0 / (v + eps).sqrt()).collect();
     let g = gamma.as_slice();
     let bt = beta.as_slice();
-    let mut xhat = vec![0.0f32; xd.len()];
-    let mut out = vec![0.0f32; xd.len()];
+    let mut xhat = Tensor::zeros(x.shape().clone());
+    let mut out = Tensor::zeros(x.shape().clone());
     {
-        let xhat_s = UnsafeSlice::new(&mut xhat);
-        let out_s = UnsafeSlice::new(&mut out);
+        let xhat_s = UnsafeSlice::new(xhat.as_mut_slice());
+        let out_s = UnsafeSlice::new(out.as_mut_slice());
         let grain = (ELEMWISE_GRAIN / spatial.max(1)).max(1);
         kernels::parallel_for(n * c, grain, |range| {
             for idx in range {
@@ -119,8 +119,8 @@ pub fn batch_norm_train(x: &Tensor, gamma: &Tensor, beta: &Tensor, eps: f32) -> 
         });
     }
     BatchNormOutput {
-        output: Tensor::from_vec(out, x.dims().to_vec()),
-        xhat: Tensor::from_vec(xhat, x.dims().to_vec()),
+        output: out,
+        xhat,
         inv_std,
         mean,
         var,
@@ -147,9 +147,9 @@ pub fn batch_norm_eval(
     let xd = x.as_slice();
     let g = gamma.as_slice();
     let bt = beta.as_slice();
-    let mut out = vec![0.0f32; xd.len()];
+    let mut out = Tensor::zeros(x.shape().clone());
     {
-        let out_s = UnsafeSlice::new(&mut out);
+        let out_s = UnsafeSlice::new(out.as_mut_slice());
         let grain = (ELEMWISE_GRAIN / spatial.max(1)).max(1);
         kernels::parallel_for(n * c, grain, |range| {
             for idx in range {
@@ -164,7 +164,7 @@ pub fn batch_norm_eval(
             }
         });
     }
-    Tensor::from_vec(out, x.dims().to_vec())
+    out
 }
 
 /// Gradients of [`batch_norm_train`]: `(grad_input, grad_gamma, grad_beta)`.
@@ -184,9 +184,9 @@ pub fn batch_norm_backward(
     let g = gamma.as_slice();
     let sum_gy = per_channel_sum(gyd, xh, n, c, spatial, |a, _| a);
     let sum_gy_xhat = per_channel_sum(gyd, xh, n, c, spatial, |a, b| a * b);
-    let mut gx = vec![0.0f32; gyd.len()];
+    let mut gx = Tensor::zeros(gy.shape().clone());
     {
-        let gx_s = UnsafeSlice::new(&mut gx);
+        let gx_s = UnsafeSlice::new(gx.as_mut_slice());
         let grain = (ELEMWISE_GRAIN / spatial.max(1)).max(1);
         kernels::parallel_for(n * c, grain, |range| {
             for idx in range {
@@ -204,9 +204,9 @@ pub fn batch_norm_backward(
         });
     }
     (
-        Tensor::from_vec(gx, gy.dims().to_vec()),
-        Tensor::from_vec(sum_gy_xhat, [c]),
-        Tensor::from_vec(sum_gy, [c]),
+        gx,
+        Tensor::from_slice(&sum_gy_xhat, [c]),
+        Tensor::from_slice(&sum_gy, [c]),
     )
 }
 

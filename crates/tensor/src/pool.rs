@@ -32,7 +32,8 @@ pub fn max_pool2d(x: &Tensor, kernel: (usize, usize), stride: (usize, usize)) ->
     let ho = (h - kh) / sh + 1;
     let wo = (w - kw) / sw + 1;
     let src = x.as_slice();
-    let mut out = vec![f32::NEG_INFINITY; n * c * ho * wo];
+    let mut out_t = Tensor::full([n, c, ho, wo], f32::NEG_INFINITY);
+    let out = out_t.as_mut_slice();
     let mut indices = vec![0usize; n * c * ho * wo];
     for nc in 0..n * c {
         let plane = &src[nc * h * w..(nc + 1) * h * w];
@@ -53,7 +54,7 @@ pub fn max_pool2d(x: &Tensor, kernel: (usize, usize), stride: (usize, usize)) ->
         }
     }
     MaxPool2dOutput {
-        output: Tensor::from_vec(out, [n, c, ho, wo]),
+        output: out_t,
         indices,
     }
 }
@@ -71,13 +72,14 @@ pub fn max_pool2d_backward(gy: &Tensor, indices: &[usize], input_dims: &[usize])
     let plane = h * w;
     let (ho, wo) = (gy.dim(2), gy.dim(3));
     let oplane = ho * wo;
-    let mut gx = vec![0.0f32; input_dims.iter().product()];
+    let mut gx_t = Tensor::zeros(input_dims.to_vec());
+    let gx = gx_t.as_mut_slice();
     let g = gy.as_slice();
     for (o, &ix) in indices.iter().enumerate() {
         let nc = o / oplane;
         gx[nc * plane + ix] += g[o];
     }
-    Tensor::from_vec(gx, input_dims.to_vec())
+    gx_t
 }
 
 #[cfg(test)]

@@ -92,7 +92,10 @@ impl Tensor {
         assert!(n > 0, "argmax over empty axis");
         let (outer, inner) = self.split_at_axis(axis);
         let data = self.as_slice();
-        let mut out = vec![0.0f32; outer * inner];
+        let mut dims = self.dims().to_vec();
+        dims.remove(axis);
+        let mut out_t = Tensor::zeros(dims);
+        let out = out_t.as_mut_slice();
         for o in 0..outer {
             for i in 0..inner {
                 let mut best = f32::NEG_INFINITY;
@@ -107,9 +110,7 @@ impl Tensor {
                 out[o * inner + i] = best_k as f32;
             }
         }
-        let mut dims = self.dims().to_vec();
-        dims.remove(axis);
-        Tensor::from_vec(out, dims)
+        out_t
     }
 
     /// Max along `axis` together with the argmax indices (both keep the
@@ -124,7 +125,10 @@ impl Tensor {
         assert!(n > 0, "max over empty axis");
         let (outer, inner) = self.split_at_axis(axis);
         let data = self.as_slice();
-        let mut out = vec![f32::NEG_INFINITY; outer * inner];
+        let mut dims = self.dims().to_vec();
+        dims.remove(axis);
+        let mut out_t = Tensor::full(dims, f32::NEG_INFINITY);
+        let out = out_t.as_mut_slice();
         let mut idx = vec![0usize; outer * inner];
         for o in 0..outer {
             for i in 0..inner {
@@ -137,9 +141,7 @@ impl Tensor {
                 }
             }
         }
-        let mut dims = self.dims().to_vec();
-        dims.remove(axis);
-        (Tensor::from_vec(out, dims), idx)
+        (out_t, idx)
     }
 
     /// Reduces this tensor down to `target` shape by summing over broadcast
@@ -193,15 +195,22 @@ impl Tensor {
     ) -> Tensor {
         self.shape().check_axis(axis).expect("reduce axis");
         let n = self.dim(axis);
-        let (outer, inner) = self.split_at_axis(axis);
+        let (_, inner) = self.split_at_axis(axis);
         let data = self.as_slice();
-        let mut out = vec![init; outer * inner];
+        let mut dims = self.dims().to_vec();
+        if keep_dim {
+            dims[axis] = 1;
+        } else {
+            dims.remove(axis);
+        }
+        let mut out_t = Tensor::full(dims, init);
+        let out = out_t.as_mut_slice();
         if inner > 0 {
             // Parallel chunks cover whole outer slices, so each output
             // element's reduction (ascending k) stays on one thread and the
             // result is bit-identical at any thread count.
             let grain_outer = (crate::tensor::ELEMWISE_GRAIN / (n * inner).max(1)).max(1);
-            hfta_kernels::for_each_chunk_mut(&mut out, grain_outer * inner, |start, chunk| {
+            hfta_kernels::for_each_chunk_mut(out, grain_outer * inner, |start, chunk| {
                 for (rel, orow) in chunk.chunks_mut(inner).enumerate() {
                     let o = start / inner + rel;
                     for k in 0..n {
@@ -213,13 +222,7 @@ impl Tensor {
                 }
             });
         }
-        let mut dims = self.dims().to_vec();
-        if keep_dim {
-            dims[axis] = 1;
-        } else {
-            dims.remove(axis);
-        }
-        Tensor::from_vec(out, dims)
+        out_t
     }
 }
 

@@ -2,6 +2,7 @@
 
 use crate::error::{Result, TensorError};
 use crate::shape::Shape;
+use hfta_mem::Storage;
 
 /// Elements per parallel chunk for elementwise/reduction loops. Chunk
 /// boundaries depend only on this constant and the tensor size — never the
@@ -17,7 +18,11 @@ pub(crate) const ELEMWISE_GRAIN: usize = 1 << 15;
 /// convolution, `baddbmm`, widened batch-norm, ...).
 ///
 /// All layout-changing ops materialize new storage — simplicity and
-/// predictability over zero-copy views.
+/// predictability over zero-copy views. Storage comes from the `hfta-mem`
+/// size-class pool: dropped tensors recycle their buffers into later
+/// allocations (bit-identically — recycled buffers are value-filled
+/// exactly as a fresh `vec![fill; len]` would be), and live/peak bytes are
+/// tracked per class (`hfta_mem::stats`).
 ///
 /// # Example
 ///
@@ -30,7 +35,7 @@ pub(crate) const ELEMWISE_GRAIN: usize = 1 << 15;
 /// ```
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct Tensor {
-    data: Vec<f32>,
+    data: Storage,
     shape: Shape,
 }
 
@@ -54,7 +59,10 @@ impl Tensor {
             shape,
             shape.numel()
         );
-        Tensor { data, shape }
+        Tensor {
+            data: Storage::from_vec(data),
+            shape,
+        }
     }
 
     /// Fallible variant of [`Tensor::from_vec`].
@@ -70,13 +78,16 @@ impl Tensor {
                 to: shape.dims().to_vec(),
             });
         }
-        Ok(Tensor { data, shape })
+        Ok(Tensor {
+            data: Storage::from_vec(data),
+            shape,
+        })
     }
 
     /// A scalar (rank-0) tensor.
     pub fn scalar(value: f32) -> Self {
         Tensor {
-            data: vec![value],
+            data: Storage::filled(1, value),
             shape: Shape::scalar(),
         }
     }
@@ -85,7 +96,7 @@ impl Tensor {
     pub fn full(shape: impl Into<Shape>, value: f32) -> Self {
         let shape = shape.into();
         Tensor {
-            data: vec![value; shape.numel()],
+            data: Storage::filled(shape.numel(), value),
             shape,
         }
     }
@@ -93,6 +104,40 @@ impl Tensor {
     /// Tensor of zeros.
     pub fn zeros(shape: impl Into<Shape>) -> Self {
         Self::full(shape, 0.0)
+    }
+
+    /// Pooled copy of this tensor's elements under a new shape of equal
+    /// element count — the storage-recycling backbone of `reshape`.
+    pub(crate) fn copy_with_shape(&self, shape: impl Into<Shape>) -> Self {
+        let shape = shape.into();
+        debug_assert_eq!(self.data.len(), shape.numel());
+        Tensor {
+            data: Storage::copy_of(self.data.as_slice()),
+            shape,
+        }
+    }
+
+    /// Pooled copy of a slice — unlike [`Tensor::from_vec`], the backing
+    /// buffer comes from the recycling pool, so hot paths that build a
+    /// tensor from scratch data stay allocation-free at steady state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len()` does not match the shape's element count.
+    pub fn from_slice(data: &[f32], shape: impl Into<Shape>) -> Self {
+        let shape = shape.into();
+        assert_eq!(
+            data.len(),
+            shape.numel(),
+            "data length {} does not match shape {} ({} elements)",
+            data.len(),
+            shape,
+            shape.numel()
+        );
+        Tensor {
+            data: Storage::copy_of(data),
+            shape,
+        }
     }
 
     /// Tensor of ones.
@@ -173,22 +218,23 @@ impl Tensor {
 
     /// Immutable view of the underlying storage (row-major).
     pub fn as_slice(&self) -> &[f32] {
-        &self.data
+        self.data.as_slice()
     }
 
     /// Mutable view of the underlying storage (row-major).
     pub fn as_mut_slice(&mut self) -> &mut [f32] {
-        &mut self.data
+        self.data.as_mut_slice()
     }
 
-    /// Copies the storage into a fresh `Vec`.
+    /// Copies the storage into a fresh (unpooled) `Vec`.
     pub fn to_vec(&self) -> Vec<f32> {
-        self.data.clone()
+        self.data.as_slice().to_vec()
     }
 
-    /// Consumes the tensor, returning its storage.
+    /// Consumes the tensor, returning its storage as a plain `Vec` (the
+    /// buffer leaves the pool's accounting).
     pub fn into_vec(self) -> Vec<f32> {
-        self.data
+        self.data.into_vec()
     }
 
     /// Element at a multi-dimensional index.
@@ -239,7 +285,7 @@ impl Tensor {
         assert_eq!(self.shape, other.shape, "max_abs_diff shape mismatch");
         self.data
             .iter()
-            .zip(&other.data)
+            .zip(other.data.iter())
             .map(|(a, b)| (a - b).abs())
             .fold(0.0, f32::max)
     }
@@ -256,8 +302,8 @@ impl Tensor {
     /// Applies `f` elementwise, producing a new tensor.
     pub fn map(&self, f: impl Fn(f32) -> f32 + Sync) -> Tensor {
         let src = self.data.as_slice();
-        let mut data = vec![0.0f32; src.len()];
-        hfta_kernels::for_each_chunk_mut(&mut data, ELEMWISE_GRAIN, |start, chunk| {
+        let mut data = Storage::zeroed(src.len());
+        hfta_kernels::for_each_chunk_mut(data.as_mut_slice(), ELEMWISE_GRAIN, |start, chunk| {
             let len = chunk.len();
             for (o, &v) in chunk.iter_mut().zip(&src[start..start + len]) {
                 *o = f(v);
@@ -271,7 +317,7 @@ impl Tensor {
 
     /// Applies `f` elementwise in place.
     pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32 + Sync) {
-        hfta_kernels::for_each_chunk_mut(&mut self.data, ELEMWISE_GRAIN, |_, chunk| {
+        hfta_kernels::for_each_chunk_mut(self.data.as_mut_slice(), ELEMWISE_GRAIN, |_, chunk| {
             for v in chunk {
                 *v = f(*v);
             }
@@ -291,8 +337,8 @@ impl Tensor {
             self.shape, other.shape
         );
         let (da, db) = (self.data.as_slice(), other.data.as_slice());
-        let mut data = vec![0.0f32; da.len()];
-        hfta_kernels::for_each_chunk_mut(&mut data, ELEMWISE_GRAIN, |start, chunk| {
+        let mut data = Storage::zeroed(da.len());
+        hfta_kernels::for_each_chunk_mut(data.as_mut_slice(), ELEMWISE_GRAIN, |start, chunk| {
             for (j, o) in chunk.iter_mut().enumerate() {
                 *o = f(da[start + j], db[start + j]);
             }
