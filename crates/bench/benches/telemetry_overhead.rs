@@ -164,6 +164,43 @@ fn bench_overhead(c: &mut Criterion) {
             stats.finish();
         })
     });
+    // hfta-probe budget: folding an op sample is one indexed hash-map
+    // update, so even at this bench's deliberately tiny shapes (every op
+    // is microseconds) the per-step sample-recording bill must stay under
+    // 1% of the step itself.
+    let sample_iters = 200_000usize;
+    let t0 = Instant::now();
+    for _ in 0..sample_iters {
+        profiler.record_op_sample(black_box("probe.budget"), 2.0e6, 1.0e6, 1.0e3);
+    }
+    let sample_ns = t0.elapsed().as_nanos() as f64 / sample_iters as f64;
+    let ops_per_step = {
+        let _exp = profiler.experiment("probe-count");
+        black_box(train_step(&mut s));
+        let report = profiler.report();
+        let exp = report
+            .experiments
+            .iter()
+            .find(|e| e.name == "probe-count")
+            .expect("experiment scope recorded");
+        exp.ops.iter().map(|o| o.calls).sum::<u64>()
+    };
+    assert!(ops_per_step > 0, "the step must record op samples");
+    let step_iters = 20usize;
+    let t0 = Instant::now();
+    for _ in 0..step_iters {
+        black_box(train_step(&mut s));
+    }
+    let step_ns = t0.elapsed().as_nanos() as f64 / step_iters as f64;
+    let probe_pct = ops_per_step as f64 * sample_ns / step_ns * 100.0;
+    assert!(
+        probe_pct < 1.0,
+        "probe op sampling costs {probe_pct:.3}% of a training step \
+         ({ops_per_step} ops x {sample_ns:.1} ns vs {step_ns:.0} ns step)"
+    );
+    group.bench_function("probe_op_sample/enabled", |bench| {
+        bench.iter(|| profiler.record_op_sample(black_box("probe.budget"), 2.0e6, 1.0e6, 1.0e3))
+    });
     group.finish();
 }
 

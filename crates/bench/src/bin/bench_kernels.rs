@@ -9,12 +9,18 @@
 //!
 //! ```text
 //! bench_kernels [--quick] [--bench-json <path>]   # default BENCH_kernels.json
+//!               [--probe-db <path>] [--history <file>]
 //! ```
 //!
 //! The headline `fused_conv_speedup` entry is the acceptance gate for the
 //! kernel layer: blocked backend at 4 threads vs naive backend at 1 thread
-//! on the same end-to-end training step.
+//! on the same end-to-end training step. Per shape, `scaling_efficiency`
+//! reports blocked-backend GFLOP/s at 4 threads over 1 thread (4.0 would
+//! be perfect scaling). With `--history <file>` the run's roofline summary
+//! (vs the calibrated `--probe-db` peaks) is appended to the perf-history
+//! JSONL for `scope_report --history` drift gating.
 
+use hfta_bench::cli::CommonArgs;
 use hfta_core::loss::{fused_cross_entropy, Reduction};
 use hfta_core::ops::{FusedConv2d, FusedModule, FusedParameter};
 use hfta_core::optim::{FusedOptimizer, FusedSgd, PerModel};
@@ -22,6 +28,8 @@ use hfta_core::scope::{per_model_ce_losses, ScopeMonitor, SentinelCfg};
 use hfta_kernels::{set_backend, set_num_threads, GemmBackend};
 use hfta_nn::layers::Conv2dCfg;
 use hfta_nn::{Module, Tape};
+use hfta_probe::{classify, git_rev, HistoryRecord, MachinePeaks, OpUtil, PerfHistory};
+use hfta_telemetry::OpAgg;
 use hfta_tensor::conv::{conv2d, conv2d_grad_input, conv2d_grad_weight, ConvCfg};
 use hfta_tensor::{Rng, Tensor};
 use serde::Serialize;
@@ -36,11 +44,25 @@ struct BenchRecord {
     threads: u64,
     ns_per_iter: f64,
     gflops: f64,
+    /// Bytes moved per iteration (operand reads + result writes) — what
+    /// roofline classification needs alongside the FLOPs.
+    bytes_per_iter: f64,
+}
+
+/// Thread-scaling quality of the blocked backend on one shape.
+#[derive(Serialize)]
+struct ScalingRecord {
+    op: String,
+    shape: String,
+    /// Blocked-backend GFLOP/s at 4 threads over 1 thread; 4.0 would be
+    /// perfect scaling, below 1.0 means threading actively hurts.
+    scaling_efficiency: f64,
 }
 
 #[derive(Serialize)]
 struct BenchReport {
     records: Vec<BenchRecord>,
+    scaling_efficiency: Vec<ScalingRecord>,
     fused_conv_speedup: f64,
     /// hfta-scope cost on a fused DCGAN-style training step, percent:
     /// per-model loss extraction + sentinel scan (`after_backward`) +
@@ -104,26 +126,17 @@ const CONFIGS: [(GemmBackend, usize, &str); 3] = [
     (GemmBackend::Blocked, 4, "blocked"),
 ];
 
+const USAGE: &str = "bench_kernels [--quick] [--bench-json <path>] \
+                     [--probe-db <path>] [--history <file>]";
+
 fn main() {
-    let mut json_path = "BENCH_kernels.json".to_string();
-    let mut quick = false;
-    let mut args = std::env::args().skip(1);
-    while let Some(arg) = args.next() {
-        match arg.as_str() {
-            "--quick" => quick = true,
-            "--bench-json" => {
-                json_path = args.next().unwrap_or_else(|| {
-                    eprintln!("--bench-json requires a path");
-                    std::process::exit(2);
-                });
-            }
-            other => {
-                eprintln!("unknown argument: {other}");
-                eprintln!("usage: bench_kernels [--quick] [--bench-json <path>]");
-                std::process::exit(2);
-            }
-        }
-    }
+    let args = CommonArgs::parse(USAGE);
+    args.expect_no_rest(USAGE);
+    let quick = args.quick;
+    let json_path = args
+        .bench_json
+        .clone()
+        .unwrap_or_else(|| "BENCH_kernels.json".to_string());
     let iters = if quick { 1 } else { 10 };
     let prev_threads = hfta_kernels::num_threads();
     let mut records = Vec::new();
@@ -138,6 +151,7 @@ fn main() {
         let a = rng.randn([m, k]);
         let b = rng.randn([k, n]);
         let flops = 2.0 * (m * k * n) as f64;
+        let bytes = 4.0 * (m * k + k * n + m * n) as f64;
         for (backend, threads, backend_name) in CONFIGS {
             set_backend(backend);
             set_num_threads(threads);
@@ -160,6 +174,7 @@ fn main() {
                 threads: threads as u64,
                 ns_per_iter: ns,
                 gflops: flops / ns,
+                bytes_per_iter: bytes,
             });
         }
     }
@@ -177,6 +192,10 @@ fn main() {
     let krows = 3 * 4 * 4;
     // fwd + grad_input + grad_weight are each one GEMM of this size.
     let step_flops = 3.0 * 2.0 * (4 * 16 * b * spatial * krows) as f64;
+    // Each of the three GEMMs streams the activations, weights and the
+    // output-sized gradient once — close enough for roofline placement.
+    let step_bytes =
+        3.0 * 4.0 * (x.as_slice().len() + w.as_slice().len() + y.as_slice().len()) as f64;
     let mut step_ns = [0.0f64; CONFIGS.len()];
     for (ci, (backend, threads, backend_name)) in CONFIGS.into_iter().enumerate() {
         set_backend(backend);
@@ -195,6 +214,7 @@ fn main() {
             threads: threads as u64,
             ns_per_iter: ns,
             gflops: step_flops / ns,
+            bytes_per_iter: step_bytes,
         });
     }
     // --- hfta-scope overhead on a fused DCGAN-style training step --------
@@ -247,8 +267,41 @@ fn main() {
     // Pre-PR serial path (naive, 1 thread) vs the kernel layer at 4 threads.
     let fused_conv_speedup = step_ns[0] / step_ns[2];
 
+    // Blocked-backend thread scaling per shape: GFLOP/s at 4T over 1T.
+    let blocked_gflops = |op: &str, shape: &str, threads: u64| {
+        records
+            .iter()
+            .find(|r| {
+                r.op == op && r.shape == shape && r.backend == "blocked" && r.threads == threads
+            })
+            .map(|r| r.gflops)
+    };
+    let mut scaling = Vec::new();
+    let mut seen_shapes: Vec<(String, String)> = Vec::new();
+    for r in &records {
+        let key = (r.op.clone(), r.shape.clone());
+        if !seen_shapes.contains(&key) {
+            seen_shapes.push(key);
+        }
+    }
+    for (op, shape) in seen_shapes {
+        if let (Some(g4), Some(g1)) = (
+            blocked_gflops(&op, &shape, 4),
+            blocked_gflops(&op, &shape, 1),
+        ) {
+            if g1 > 0.0 {
+                scaling.push(ScalingRecord {
+                    op,
+                    shape,
+                    scaling_efficiency: g4 / g1,
+                });
+            }
+        }
+    }
+
     let report = BenchReport {
         records,
+        scaling_efficiency: scaling,
         fused_conv_speedup,
         scope_overhead_pct,
     };
@@ -269,9 +322,59 @@ fn main() {
             r.op, r.shape, r.backend, r.threads, r.ns_per_iter, r.gflops
         );
     }
+    for s in &report.scaling_efficiency {
+        println!(
+            "scaling efficiency (blocked @4T / @1T) {:<28} {:>24} {:.2}x",
+            s.op, s.shape, s.scaling_efficiency
+        );
+    }
     println!(
         "\nfused conv training step speedup (blocked @4T vs naive @1T): {fused_conv_speedup:.2}x"
     );
     println!("hfta-scope overhead on a fused DCGAN step: {scope_overhead_pct:.2}% (budget 5%)");
     println!("wrote {json_path}");
+
+    // --- Perf-history append (roofline summary vs calibrated peaks) -------
+    if let Some(hpath) = &args.history {
+        let db = args
+            .probe_db
+            .clone()
+            .unwrap_or_else(|| std::path::PathBuf::from("probe_db.json"));
+        let peaks = MachinePeaks::load_or_calibrate(&db, &[1, 4]);
+        let ops = report
+            .records
+            .iter()
+            .filter_map(|r| {
+                let peak = peaks.entry_for(r.threads)?;
+                let agg = OpAgg {
+                    name: format!("{}/{}@{}{}T", r.op, r.shape, r.backend, r.threads),
+                    calls: iters as u64,
+                    flops: r.gflops * r.ns_per_iter,
+                    bytes: r.bytes_per_iter,
+                    ns: r.ns_per_iter,
+                };
+                let c = classify(&agg, peak);
+                Some(OpUtil {
+                    name: c.name,
+                    pct_of_peak: c.pct_of_peak,
+                    gflops: c.attained_gflops,
+                    bound: c.bound.name().to_string(),
+                })
+            })
+            .collect();
+        let rec = HistoryRecord {
+            schema: hfta_probe::HISTORY_SCHEMA,
+            label: "bench_kernels".to_string(),
+            git_rev: git_rev(),
+            threads: 4,
+            backend: "blocked".to_string(),
+            ops,
+        };
+        let history = PerfHistory::new(hpath);
+        if let Err(e) = history.append(&rec) {
+            eprintln!("failed to append {}: {e}", hpath.display());
+            std::process::exit(1);
+        }
+        println!("appended roofline summary to {}", hpath.display());
+    }
 }

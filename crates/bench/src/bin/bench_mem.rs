@@ -15,29 +15,19 @@
 //! any steady-state step allocates fresh memory — the acceptance gate for
 //! the memory layer.
 
+use hfta_bench::cli::CommonArgs;
 use hfta_bench::mem;
 use hfta_kernels::{set_backend, set_num_threads, GemmBackend};
 
+const USAGE: &str = "bench_mem [--quick] [--bench-json <path>]";
+
 fn main() {
-    let mut json_path = "BENCH_mem.json".to_string();
-    let mut quick = false;
-    let mut args = std::env::args().skip(1);
-    while let Some(arg) = args.next() {
-        match arg.as_str() {
-            "--quick" => quick = true,
-            "--bench-json" => {
-                json_path = args.next().unwrap_or_else(|| {
-                    eprintln!("--bench-json requires a path");
-                    std::process::exit(2);
-                });
-            }
-            other => {
-                eprintln!("unknown argument: {other}");
-                eprintln!("usage: bench_mem [--quick] [--bench-json <path>]");
-                std::process::exit(2);
-            }
-        }
-    }
+    let args = CommonArgs::parse(USAGE);
+    args.expect_no_rest(USAGE);
+    let quick = args.quick;
+    let json_path = args
+        .bench_json
+        .unwrap_or_else(|| "BENCH_mem.json".to_string());
 
     // Pin the configuration so footprints are comparable across runs:
     // recycling on, blocked GEMM, 4 workers (scratch arenas are

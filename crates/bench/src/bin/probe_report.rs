@@ -1,0 +1,96 @@
+//! Roofline utilization report: where every recorded FLOP of a traced run
+//! sat relative to what this machine can actually deliver.
+//!
+//! ```text
+//! probe_report <trace-dir> [--probe-db <path>] [--history <file>]
+//! ```
+//!
+//! Reads every `<bin>.report.json` a `--trace` run wrote into
+//! `<trace-dir>`, calibrates (or loads) the machine-peak database, and
+//! prints, per experiment:
+//!
+//! * the per-op roofline table — arithmetic intensity, attained GFLOP/s,
+//!   the attainable ceiling at that intensity, % of peak, and whether the
+//!   op is compute- or bandwidth-bound;
+//! * the per-lane attribution table (the fused array's B models);
+//! * the Fig-8-style per-device utilization timeline rendered from the
+//!   `sched/<device>/util` / `smi_util` counter series.
+//!
+//! With `--history <file>` each experiment's roofline summary is appended
+//! to the perf-history JSONL (gate it later with `scope_report --history`).
+//! The probe database defaults to `<trace-dir>/probe_db.json`; delete it
+//! (or bump the version) to force re-calibration.
+
+use std::path::PathBuf;
+
+use hfta_bench::cli::{usage_exit, CommonArgs};
+use hfta_bench::probe_report::{
+    collect_run_reports, history_record, print_lanes, print_roofline, print_timelines,
+};
+use hfta_probe::{MachinePeaks, PerfHistory};
+
+const USAGE: &str = "probe_report <trace-dir> [--probe-db <path>] [--history <file>]";
+const TIMELINE_COLS: usize = 64;
+
+fn main() {
+    let args = CommonArgs::parse(USAGE);
+    let dir: PathBuf = match (args.rest.as_slice(), &args.trace) {
+        ([d], None) if !d.starts_with('-') => PathBuf::from(d),
+        ([], Some(t)) => t.clone(),
+        ([], None) => usage_exit(USAGE, "expected a trace directory"),
+        (rest, _) => usage_exit(USAGE, &format!("unexpected argument: {}", rest[0])),
+    };
+
+    let reports = match collect_run_reports(&dir) {
+        Ok(r) => r,
+        Err(e) => usage_exit(USAGE, &e),
+    };
+    if reports.is_empty() {
+        eprintln!("error: no *.report.json files in {}", dir.display());
+        std::process::exit(1);
+    }
+
+    let threads = hfta_kernels::num_threads();
+    let db = args
+        .probe_db
+        .clone()
+        .unwrap_or_else(|| dir.join("probe_db.json"));
+    let peaks = MachinePeaks::load_or_calibrate(&db, &[1, threads]);
+    let Some(peak) = peaks.entry_for(threads as u64) else {
+        eprintln!("error: probe db {} has no entries", db.display());
+        std::process::exit(1);
+    };
+    let history = args.history.as_ref().map(PerfHistory::new);
+    let backend = format!("{:?}", hfta_kernels::backend()).to_lowercase();
+
+    let mut classified = 0usize;
+    for (path, run) in &reports {
+        println!("\n# {} ({})", run.name, path.display());
+        for exp in &run.experiments {
+            println!("\n## {} ({:.2} ms)", exp.name, exp.wall_ms);
+            if print_roofline(exp, peak) {
+                classified += 1;
+                print_lanes(exp);
+            } else {
+                println!("  (no op samples recorded)");
+            }
+            print_timelines(exp, TIMELINE_COLS);
+            if let Some(h) = &history {
+                let label = format!("{}/{}", run.name, exp.name);
+                let rec = history_record(&label, exp, peak, threads as u64, &backend);
+                if !rec.ops.is_empty() {
+                    if let Err(e) = h.append(&rec) {
+                        eprintln!("error: appending {}: {e}", h.path().display());
+                        std::process::exit(1);
+                    }
+                }
+            }
+        }
+    }
+    if classified == 0 {
+        eprintln!(
+            "note: no experiment in {} carried op samples (re-trace with this build?)",
+            dir.display()
+        );
+    }
+}

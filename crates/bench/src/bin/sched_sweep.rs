@@ -24,7 +24,7 @@
 use std::fs;
 use std::process::ExitCode;
 
-use hfta_bench::telemetry_cli::TraceSession;
+use hfta_bench::cli::{usage_exit, CommonArgs};
 use hfta_cluster::replay::{normalize_arrivals, sweep_arrivals};
 use hfta_cluster::trace::{generate, TraceCfg};
 use hfta_sched::asha::RungPolicy;
@@ -54,52 +54,40 @@ struct BenchFile {
     elastic_device_hours_saved_vs_static_pct: f64,
 }
 
+const USAGE: &str = "sched_sweep [--trials <n>] [--devices <n>] [--span <s>] \
+                     [--bench-json <path>] [--trace <dir>]";
+
 struct Args {
     trials: usize,
     devices: usize,
     span_s: f64,
-    bench_json: Option<String>,
+    common: CommonArgs,
 }
 
 fn parse_args() -> Args {
+    let common = CommonArgs::parse(USAGE);
     let mut out = Args {
         trials: 48,
         devices: 2,
         span_s: 0.01,
-        bench_json: None,
+        common,
     };
-    let mut args = std::env::args().skip(1);
-    let usage = || -> ! {
-        eprintln!(
-            "usage: sched_sweep [--trials <n>] [--devices <n>] [--span <s>] \
-             [--bench-json <path>] [--trace <dir>]"
-        );
-        std::process::exit(2);
-    };
-    while let Some(a) = args.next() {
+    let mut rest = out.common.rest.clone().into_iter();
+    while let Some(a) = rest.next() {
         match a.as_str() {
-            "--trials" => match args.next().and_then(|v| v.parse().ok()) {
+            "--trials" => match rest.next().and_then(|v| v.parse().ok()) {
                 Some(v) if v > 0 => out.trials = v,
-                _ => usage(),
+                _ => usage_exit(USAGE, "--trials needs a positive integer"),
             },
-            "--devices" => match args.next().and_then(|v| v.parse().ok()) {
+            "--devices" => match rest.next().and_then(|v| v.parse().ok()) {
                 Some(v) if v > 0 => out.devices = v,
-                _ => usage(),
+                _ => usage_exit(USAGE, "--devices needs a positive integer"),
             },
-            "--span" => match args.next().and_then(|v| v.parse().ok()) {
+            "--span" => match rest.next().and_then(|v| v.parse().ok()) {
                 Some(v) if v >= 0.0 => out.span_s = v,
-                _ => usage(),
+                _ => usage_exit(USAGE, "--span needs a non-negative number"),
             },
-            "--bench-json" => match args.next() {
-                Some(p) => out.bench_json = Some(p),
-                None => usage(),
-            },
-            // Consumed by TraceSession.
-            "--trace" => {
-                let _ = args.next();
-            }
-            other if other.starts_with("--trace=") => {}
-            _ => usage(),
+            other => usage_exit(USAGE, &format!("unknown argument: {other}")),
         }
     }
     out
@@ -135,8 +123,8 @@ fn trial_stream(n: usize, span_s: f64) -> Vec<(f64, LinearTrialCfg)> {
 }
 
 fn main() -> ExitCode {
-    let session = TraceSession::from_args("sched_sweep");
     let args = parse_args();
+    let session = args.common.trace_session("sched_sweep");
     let arrivals = trial_stream(args.trials, args.span_s);
 
     let backend = LinearBackend::default();
@@ -220,7 +208,7 @@ fn main() -> ExitCode {
         failed = true;
     }
 
-    if let Some(path) = &args.bench_json {
+    if let Some(path) = &args.common.bench_json {
         let file = BenchFile {
             name: "sched_sweep",
             trials: args.trials,

@@ -1,20 +1,26 @@
 //! hfta-scope CLI: render per-model health tables from a trace directory,
-//! or diff two runs and fail on regressions.
+//! diff two runs and fail on regressions, or gate a perf-history file on
+//! utilization drift.
 //!
 //! ```text
 //! scope_report <trace-dir>                 # health tables from *.report.json
 //! scope_report --diff <base> <candidate> [--max-regress <pct>]
 //!              [--max-mem-regress <pct>] [--loss-tol <t>]
+//! scope_report --history <file> [--max-drift <pct>]   # default 10%
 //! ```
 //!
 //! `<base>` / `<candidate>` are either `<bin>.report.json` run reports or
 //! `BENCH_*.json` bench files (auto-detected; both sides must be the same
-//! kind). Exit codes: 0 = clean, 1 = regression found, 2 = usage or I/O
-//! error.
+//! kind). `--history` prints each tracked op's utilization trajectory from
+//! the perf-history JSONL (see `probe_report` / `bench_kernels --history`)
+//! and fails when the latest record drops more than `--max-drift` percent
+//! below the trailing median. Exit codes: 0 = clean, 1 = regression or
+//! drift found, 2 = usage or I/O error.
 
 use hfta_bench::scope_report::{
     diff_bench, diff_reports, load_report, print_health, DiffCfg, LoadedReport,
 };
+use hfta_probe::{drift, PerfHistory, DRIFT_WINDOW};
 
 fn fail_usage(msg: &str) -> ! {
     eprintln!("error: {msg}");
@@ -23,7 +29,58 @@ fn fail_usage(msg: &str) -> ! {
         "       scope_report --diff <base> <candidate> [--max-regress <pct>] \
          [--max-mem-regress <pct>] [--loss-tol <t>]"
     );
+    eprintln!("       scope_report --history <file> [--max-drift <pct>]");
     std::process::exit(2);
+}
+
+/// Default `--max-drift` tolerance, percent.
+const DEFAULT_MAX_DRIFT_PCT: f64 = 10.0;
+
+/// The `--history` mode: trajectory table plus drift gate. Exits 1 on
+/// drift, 2 on I/O or parse errors.
+fn run_history(path: &str, max_drift_pct: f64) -> ! {
+    let history = PerfHistory::new(path);
+    let records = history.load().unwrap_or_else(|e| fail_usage(&e));
+    let Some((latest, prior)) = records.split_last() else {
+        fail_usage(&format!("{path}: no records under the current schema"));
+    };
+    println!(
+        "# perf history: {path} ({} records, window {DRIFT_WINDOW}, tolerance {max_drift_pct}%)",
+        records.len()
+    );
+    println!(
+        "latest: {} @ {} ({} threads, {} backend)",
+        latest.label, latest.git_rev, latest.threads, latest.backend
+    );
+    for op in &latest.ops {
+        let trail: Vec<String> = prior
+            .iter()
+            .rev()
+            .take(DRIFT_WINDOW)
+            .filter_map(|r| r.op(&op.name))
+            .map(|o| format!("{:.1}", o.pct_of_peak))
+            .collect();
+        println!(
+            "  {:<44} {:>6.1}% of peak ({}) <- [{}]",
+            op.name,
+            op.pct_of_peak,
+            op.bound,
+            trail.join(", ")
+        );
+    }
+    let violations = drift(&records, max_drift_pct);
+    for v in &violations {
+        println!(
+            "  DRIFT: {} fell to {:.1}% of peak, {:.1}% below the trailing median {:.1}%",
+            v.op, v.latest_pct, v.drop_pct, v.median_pct
+        );
+    }
+    if violations.is_empty() {
+        println!("no drift beyond {max_drift_pct}%");
+        std::process::exit(0);
+    }
+    eprintln!("{} op(s) drifted", violations.len());
+    std::process::exit(1);
 }
 
 fn load(path: &str) -> LoadedReport {
@@ -43,8 +100,17 @@ fn main() {
     let mut cfg = DiffCfg::default();
     let mut diff: Option<(String, String)> = None;
     let mut dir: Option<String> = None;
+    let mut history: Option<String> = None;
+    let mut max_drift = DEFAULT_MAX_DRIFT_PCT;
     while let Some(a) = args.next() {
         match a.as_str() {
+            "--history" => {
+                history = Some(
+                    args.next()
+                        .unwrap_or_else(|| fail_usage("--history needs a file")),
+                );
+            }
+            "--max-drift" => max_drift = parse_f64("--max-drift", args.next()),
             "--diff" => {
                 let base = args
                     .next()
@@ -62,6 +128,13 @@ fn main() {
             other if dir.is_none() && !other.starts_with('-') => dir = Some(other.to_string()),
             other => fail_usage(&format!("unknown argument: {other}")),
         }
+    }
+
+    if let Some(path) = history {
+        if diff.is_some() || dir.is_some() {
+            fail_usage("--history cannot be combined with --diff or a trace directory");
+        }
+        run_history(&path, max_drift);
     }
 
     if let Some((base_path, cand_path)) = diff {

@@ -14,8 +14,8 @@
 //! times and throughput vary by machine (which the default `scope_report
 //! --diff` gates ignore).
 
+use hfta_bench::cli::{usage_exit, CommonArgs};
 use hfta_bench::scope_report::print_health;
-use hfta_bench::telemetry_cli::TraceSession;
 use hfta_core::array::ModelArray;
 use hfta_core::loss::{fused_cross_entropy, Reduction};
 use hfta_core::ops::FusedLinear;
@@ -34,8 +34,11 @@ const VICTIM: usize = 3;
 /// The victim's gradients go NaN after this step's backward pass.
 const POISON_STEP: u64 = 1;
 
+const USAGE: &str = "scope_sweep [--steps <n>] [--trace <dir>]";
+
 fn main() {
-    let session = TraceSession::from_args("scope_sweep");
+    let args = CommonArgs::parse(USAGE);
+    let session = args.trace_session("scope_sweep");
     // Without --trace, still install a local profiler so the health table
     // at the end has streams to render.
     let local = if session.is_active() {
@@ -46,13 +49,15 @@ fn main() {
     let _local_guard = local.as_ref().map(Profiler::install);
 
     let mut steps = 2u64;
-    let mut args = std::env::args().skip(1);
-    while let Some(a) = args.next() {
+    let mut rest = args.rest.iter();
+    while let Some(a) = rest.next() {
         if a == "--steps" {
-            steps = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
-                eprintln!("error: --steps requires a positive integer");
-                std::process::exit(2);
-            });
+            steps = rest
+                .next()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or_else(|| usage_exit(USAGE, "--steps requires a positive integer"));
+        } else {
+            usage_exit(USAGE, &format!("unknown argument: {a}"));
         }
     }
 

@@ -11,8 +11,10 @@
 //! writes a Perfetto-loadable Chrome trace plus a serialized
 //! [`RunReport`](hfta_telemetry::RunReport) alongside its printed output.
 
+pub mod cli;
 pub mod convergence;
 pub mod mem;
+pub mod probe_report;
 pub mod scope_report;
 pub mod sweep;
 pub mod telemetry_cli;

@@ -486,6 +486,7 @@ mod tests {
                 })
                 .collect(),
             sentinels: vec![],
+            ops: vec![],
         }
     }
 

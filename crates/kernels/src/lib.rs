@@ -26,6 +26,6 @@ pub mod pool;
 pub mod profile;
 pub mod reference;
 
-pub use gemm::{gemm, gemm_nt, gemm_tn, set_backend, GemmBackend};
+pub use gemm::{backend, gemm, gemm_nt, gemm_tn, set_backend, GemmBackend};
 pub use pool::{for_each_chunk_mut, num_threads, parallel_for, set_num_threads, UnsafeSlice};
 pub use profile::profiled;

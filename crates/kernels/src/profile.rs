@@ -5,38 +5,38 @@
 //! — which is also the only granularity that makes sense in a trace (one
 //! span per operator, not one per chunk). Counters aggregate every call;
 //! spans are only emitted for kernels above [`SPAN_MIN_FLOPS`] so traced
-//! training runs don't drown in micro-dispatch events.
+//! training runs don't drown in micro-dispatch events. Every call — large or
+//! small — folds an `OpSample {flops, bytes, ns}` into the report's per-op
+//! aggregates, which is what `hfta-probe` classifies against the roofline.
 
-use hfta_telemetry::Profiler;
-use serde::Value;
+use hfta_telemetry::{OpCost, Profiler};
+use std::time::Instant;
 
 /// Kernels below this FLOP count record counters but no trace span.
 pub const SPAN_MIN_FLOPS: f64 = 1e6;
 
 /// Runs `f`, attributing it to kernel `name` on the installed profiler (if
-/// any): bumps `kernels.calls` / `kernels.flops`, and for large kernels
-/// opens a `kernels/cpu`-lane span carrying the FLOP count and the pool
-/// thread count. With no profiler installed this is one branch.
-pub fn profiled<R>(name: &str, flops: f64, f: impl FnOnce() -> R) -> R {
+/// any): bumps `kernels.calls` / `kernels.flops` / `kernels.bytes`, folds an
+/// op sample (flops, bytes moved, elapsed ns) into the current experiment's
+/// per-op aggregates, and for large kernels opens a `kernels/cpu`-lane span
+/// carrying the cost. With no profiler installed this is one branch.
+pub fn profiled<R>(name: &str, flops: f64, bytes: f64, f: impl FnOnce() -> R) -> R {
     let Some(p) = Profiler::current() else {
         return f();
     };
     p.incr("kernels.calls", 1.0);
     p.incr("kernels.flops", flops);
+    p.incr("kernels.bytes", bytes);
     if flops >= SPAN_MIN_FLOPS {
         let lane = p.lane("kernels", "cpu");
-        let threads = crate::pool::num_threads() as u64;
-        let _span = p.span_with_args(
-            lane,
-            name,
-            vec![
-                ("flops".to_string(), Value::F64(flops)),
-                ("threads".to_string(), Value::U64(threads)),
-            ],
-        );
+        let _span = p.op_span(lane, name, OpCost { flops, bytes });
         f()
     } else {
-        f()
+        let started = Instant::now();
+        let out = f();
+        let ns = started.elapsed().as_secs_f64() * 1e9;
+        p.record_op_sample(name, flops, bytes, ns);
+        out
     }
 }
 
@@ -47,29 +47,45 @@ mod tests {
     #[test]
     fn no_profiler_is_passthrough() {
         assert!(Profiler::current().is_none());
-        assert_eq!(profiled("gemm", 1e9, || 42), 42);
+        assert_eq!(profiled("gemm", 1e9, 1e6, || 42), 42);
     }
 
     #[test]
     fn counters_always_spans_only_when_large() {
         let p = Profiler::new("kernels-test");
         let _guard = p.install();
-        profiled("tiny", 10.0, || ());
+        profiled("tiny", 10.0, 80.0, || ());
         assert_eq!(p.event_count(), 0, "small kernels must not emit spans");
-        profiled("big", 2e6, || ());
+        profiled("big", 2e6, 3e6, || ());
         assert_eq!(p.event_count(), 2, "large kernels emit begin+end");
         let report = p.report();
-        let calls = report.experiments[0]
-            .counters
-            .iter()
-            .find(|c| c.name == "kernels.calls")
-            .expect("calls counter");
-        assert_eq!(calls.value, 2.0);
-        let flops = report.experiments[0]
-            .counters
-            .iter()
-            .find(|c| c.name == "kernels.flops")
-            .expect("flops counter");
-        assert_eq!(flops.value, 10.0 + 2e6);
+        let counter = |name: &str| {
+            report.experiments[0]
+                .counters
+                .iter()
+                .find(|c| c.name == name)
+                .unwrap_or_else(|| panic!("{name} counter"))
+                .value
+        };
+        assert_eq!(counter("kernels.calls"), 2.0);
+        assert_eq!(counter("kernels.flops"), 10.0 + 2e6);
+        assert_eq!(counter("kernels.bytes"), 80.0 + 3e6);
+    }
+
+    #[test]
+    fn every_call_folds_an_op_sample() {
+        let p = Profiler::new("kernels-test");
+        let _guard = p.install();
+        profiled("tiny", 10.0, 80.0, || ());
+        profiled("tiny", 10.0, 80.0, || ());
+        profiled("big", 2e6, 3e6, || ());
+        let report = p.report();
+        let tiny = report.experiments[0].op("tiny").expect("tiny op sample");
+        assert_eq!(tiny.calls, 2);
+        assert_eq!(tiny.flops, 20.0);
+        assert_eq!(tiny.bytes, 160.0);
+        let big = report.experiments[0].op("big").expect("big op sample");
+        assert_eq!(big.calls, 1);
+        assert!(big.ns > 0.0);
     }
 }

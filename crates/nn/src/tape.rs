@@ -9,9 +9,8 @@
 use std::cell::{Cell, RefCell};
 use std::rc::Rc;
 
-use hfta_telemetry::{LaneId, OpCost, Profiler, SpanGuard};
+use hfta_telemetry::{LaneId, OpCost, OpSpanGuard, Profiler};
 use hfta_tensor::Tensor;
-use serde::Value;
 
 use crate::parameter::Parameter;
 
@@ -95,24 +94,18 @@ impl Tape {
     }
 
     /// Opens a forward span for op `name`, attributing FLOPs and bytes from
-    /// `cost`. When no profiler is installed this is a single branch: `cost`
+    /// `cost`. On close the span folds an `OpSample {flops, bytes, ns}` into
+    /// the current experiment's per-op aggregates (the hfta-probe roofline
+    /// feed). When no profiler is installed this is a single branch: `cost`
     /// is never evaluated and no allocation happens.
     pub(crate) fn record_op(
         &self,
         name: &'static str,
         cost: impl FnOnce() -> OpCost,
-    ) -> Option<SpanGuard> {
+    ) -> Option<OpSpanGuard> {
         let t = self.inner.telemetry.as_ref()?;
         self.inner.current_op.set(Some(name));
-        let c = cost();
-        Some(t.profiler.span_with_args(
-            t.fwd,
-            name,
-            vec![
-                ("flops".to_string(), Value::F64(c.flops)),
-                ("bytes".to_string(), Value::F64(c.bytes)),
-            ],
-        ))
+        Some(t.profiler.op_span(t.fwd, name, cost()))
     }
 
     /// Number of recorded nodes.
@@ -404,6 +397,12 @@ mod tests {
         assert!(json.contains("\"mul\""));
         assert!(json.contains("bwd:mul"));
         assert!(json.contains("flops"));
+        // Forward ops fold OpSamples for the probe roofline layer.
+        let report = p.report();
+        let mul = report.experiments[0].op("mul").expect("mul op sample");
+        assert_eq!(mul.calls, 1);
+        assert!(mul.flops > 0.0 && mul.bytes > 0.0 && mul.ns > 0.0);
+        assert!(report.experiments[0].op("sum").is_some());
     }
 
     #[test]

@@ -214,6 +214,14 @@ impl<B: ArrayBackend> Engine<'_, B> {
                 .step_time_s(device, &self.profile, ra.width, self.cfg.policy.sharing());
         let dur = steps as f64 * step_s;
         self.fleet.occupy(device, t, dur, ra.width, live);
+        // Attribute this segment's arithmetic: live lanes do useful work,
+        // the whole allocated width burns device FLOPs.
+        let per_lane_flops = steps as f64 * self.profile.total_flops() as f64;
+        self.fleet.charge_flops(
+            device,
+            per_lane_flops * live as f64,
+            per_lane_flops * ra.width as f64,
+        );
         let end = t + dur;
         self.makespan_s = self.makespan_s.max(end);
         self.stats.dispatch(ra.width, live);
@@ -223,6 +231,18 @@ impl<B: ArrayBackend> Engine<'_, B> {
             let name = format!("array[B={},live={}]@r{}", ra.width, live, ra.rung);
             p.begin_at(*lane, name.clone(), t * 1e6, Vec::new());
             p.end_at(*lane, name, end * 1e6);
+            // Per-device utilization timeline (the Fig-8 feed): useful
+            // FLOP/s over this segment as a fraction of the FP32 peak,
+            // dropping to zero when the booking ends.
+            let peak = self.fleet.sim(device).device().fp32_tflops * 1e12;
+            let util = if dur > 0.0 && peak > 0.0 {
+                (per_lane_flops * live as f64 / dur) / peak
+            } else {
+                0.0
+            };
+            let series = format!("sched/{}/util", self.fleet.name(device));
+            p.counter_at(*lane, &series, t * 1e6, util);
+            p.counter_at(*lane, &series, end * 1e6, 0.0);
         }
         ra.outcome = Some(outcome);
         ra.device = device;
@@ -457,6 +477,16 @@ pub fn run<B: ArrayBackend>(
     let occupancy = engine.fleet.occupancy(engine.makespan_s);
     engine.stats.packing_efficiency(packing);
     engine.stats.occupancy(occupancy);
+    for d in 0..engine.fleet.len() {
+        engine.stats.device_utilization(
+            engine.fleet.name(d),
+            engine.fleet.utilization(d),
+            engine.fleet.attained_gflops(d),
+        );
+    }
+    engine
+        .stats
+        .fleet_utilization(engine.fleet.fleet_utilization());
     let statuses = engine.statuses;
     let count = |s: TrialStatus| statuses.iter().filter(|&&x| x == s).count();
     let mut final_states = engine.final_states;

@@ -126,6 +126,10 @@ struct FleetDevice {
     busy_s: f64,
     live_lane_s: f64,
     alloc_lane_s: f64,
+    /// FLOPs charged for lanes still training a surviving trial.
+    useful_flops: f64,
+    /// FLOPs charged for the whole allocated width (dead lanes included).
+    total_flops: f64,
 }
 
 /// A pool of simulated devices with occupancy and packing accounting.
@@ -164,6 +168,8 @@ impl DeviceFleet {
                     busy_s: 0.0,
                     live_lane_s: 0.0,
                     alloc_lane_s: 0.0,
+                    useful_flops: 0.0,
+                    total_flops: 0.0,
                 }
             })
             .collect();
@@ -304,6 +310,61 @@ impl DeviceFleet {
         d.busy_s += dur_s;
         d.live_lane_s += live as f64 * dur_s;
         d.alloc_lane_s += width as f64 * dur_s;
+    }
+
+    /// Charges FLOPs to device `id`: `useful` for the lanes still training
+    /// a surviving trial, `total` for the whole allocated width. Called by
+    /// the scheduler alongside [`DeviceFleet::occupy`] so occupancy gains
+    /// a quality dimension — a device can be 100% busy while most of its
+    /// arithmetic rides on dead lanes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `useful > total`.
+    pub fn charge_flops(&mut self, id: usize, useful: f64, total: f64) {
+        assert!(
+            useful <= total * (1.0 + 1e-12) + 1e-9,
+            "useful FLOPs {useful} exceed total {total}"
+        );
+        let d = &mut self.devices[id];
+        d.useful_flops += useful;
+        d.total_flops += total;
+    }
+
+    /// Useful GFLOP/s device `id` attained over its busy seconds (0 when
+    /// it never ran).
+    pub fn attained_gflops(&self, id: usize) -> f64 {
+        let d = &self.devices[id];
+        if d.busy_s <= 0.0 {
+            return 0.0;
+        }
+        d.useful_flops / d.busy_s / 1e9
+    }
+
+    /// Fraction of device `id`'s FP32 peak its *useful* FLOPs attained
+    /// over its busy time (0 when it never ran). Busy ≠ utilized: dead
+    /// lanes and sub-peak kernels both drag this below 1.0.
+    pub fn utilization(&self, id: usize) -> f64 {
+        let peak = self.devices[id].sim.device().fp32_tflops * 1e3; // GFLOP/s
+        if peak <= 0.0 {
+            return 0.0;
+        }
+        self.attained_gflops(id) / peak
+    }
+
+    /// Fleet-wide useful FLOPs over `Σ busy_s × per-device FP32 peak`
+    /// (0 when nothing ran).
+    pub fn fleet_utilization(&self) -> f64 {
+        let capacity: f64 = self
+            .devices
+            .iter()
+            .map(|d| d.busy_s * d.sim.device().fp32_tflops * 1e12)
+            .sum();
+        if capacity <= 0.0 {
+            return 0.0;
+        }
+        let useful: f64 = self.devices.iter().map(|d| d.useful_flops).sum();
+        useful / capacity
     }
 
     /// Total busy device-seconds across the fleet.
@@ -484,6 +545,30 @@ mod tests {
         assert!((fleet.packing_efficiency() - 116.0 / 136.0).abs() < 1e-12);
         assert!((fleet.occupancy(10.0) - 19.0 / 20.0).abs() < 1e-12);
         assert_eq!(fleet.name(1), "V100#1");
+    }
+
+    #[test]
+    fn flops_charging_measures_utilization_quality() {
+        let mut fleet = DeviceFleet::homogeneous(DeviceSpec::v100(), false, 2);
+        assert_eq!(fleet.utilization(0), 0.0);
+        assert_eq!(fleet.fleet_utilization(), 0.0);
+        // Device 0: busy 10 s, half the arithmetic on dead lanes.
+        fleet.occupy(0, 0.0, 10.0, 8, 4);
+        fleet.charge_flops(0, 5.0e13, 1.0e14);
+        // 5e13 flops / 10 s = 5e12 flop/s = 5000 GFLOP/s.
+        assert!((fleet.attained_gflops(0) - 5000.0).abs() < 1e-9);
+        // V100 fp32 peak is 15.7 TFLOP/s.
+        assert!((fleet.utilization(0) - 5.0e12 / 15.7e12).abs() < 1e-12);
+        // Device 1 never ran: busy but-unused capacity is not counted.
+        assert_eq!(fleet.utilization(1), 0.0);
+        assert!((fleet.fleet_utilization() - 5.0e13 / (10.0 * 15.7e12)).abs() < 1e-15);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed total")]
+    fn useful_flops_above_total_panics() {
+        let mut fleet = DeviceFleet::homogeneous(DeviceSpec::v100(), false, 1);
+        fleet.charge_flops(0, 2.0, 1.0);
     }
 
     #[test]

@@ -33,8 +33,10 @@ pub mod scope;
 pub mod trace;
 
 pub use metrics::{CounterSample, HistogramSummary, MetricsRegistry};
-pub use profiler::{ExperimentGuard, InstallGuard, LaneId, OpCost, Profiler, SpanGuard};
-pub use report::{CounterSeries, ExperimentReport, RunReport, SeriesPoint, StepMetric};
+pub use profiler::{
+    ExperimentGuard, InstallGuard, LaneId, OpCost, OpSpanGuard, Profiler, SpanGuard,
+};
+pub use report::{CounterSeries, ExperimentReport, OpAgg, RunReport, SeriesPoint, StepMetric};
 pub use sched::SchedStats;
 pub use scope::{ScalarPoint, ScalarStream, ScopeLog, SentinelEvent, SentinelKind};
 pub use trace::{EventPhase, LaneMeta, TraceEvent};

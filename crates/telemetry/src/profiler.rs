@@ -10,11 +10,12 @@
 //! (`Rc`-based), matching the tape-based autograd it instruments.
 
 use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
 use std::rc::Rc;
 use std::time::Instant;
 
 use crate::metrics::MetricsRegistry;
-use crate::report::{CounterSeries, ExperimentReport, RunReport, SeriesPoint, StepMetric};
+use crate::report::{CounterSeries, ExperimentReport, OpAgg, RunReport, SeriesPoint, StepMetric};
 use crate::scope::{ScopeLog, SentinelEvent};
 use crate::trace::{self, EventPhase, LaneMeta, TraceEvent};
 use serde::Value;
@@ -77,6 +78,9 @@ struct ExperimentAcc {
     metrics: MetricsRegistry,
     series: Vec<CounterSeries>,
     scope: ScopeLog,
+    ops: Vec<OpAgg>,
+    /// Name → index into `ops`, so the hot path folds a sample in O(1).
+    op_index: HashMap<String, usize>,
 }
 
 impl ExperimentAcc {
@@ -89,7 +93,32 @@ impl ExperimentAcc {
             metrics: MetricsRegistry::new(),
             series: Vec::new(),
             scope: ScopeLog::new(),
+            ops: Vec::new(),
+            op_index: HashMap::new(),
         }
+    }
+
+    fn record_op(&mut self, name: &str, flops: f64, bytes: f64, ns: f64) {
+        let idx = match self.op_index.get(name) {
+            Some(&i) => i,
+            None => {
+                let i = self.ops.len();
+                self.ops.push(OpAgg {
+                    name: name.to_string(),
+                    calls: 0,
+                    flops: 0.0,
+                    bytes: 0.0,
+                    ns: 0.0,
+                });
+                self.op_index.insert(name.to_string(), i);
+                i
+            }
+        };
+        let agg = &mut self.ops[idx];
+        agg.calls += 1;
+        agg.flops += flops;
+        agg.bytes += bytes;
+        agg.ns += ns;
     }
 
     fn into_report(self) -> ExperimentReport {
@@ -108,6 +137,7 @@ impl ExperimentAcc {
             series: self.series,
             scalars: self.scope.streams().to_vec(),
             sentinels: self.scope.sentinels().to_vec(),
+            ops: self.ops,
         }
     }
 }
@@ -241,6 +271,48 @@ impl Profiler {
             lane,
             name,
         }
+    }
+
+    // -- op samples ---------------------------------------------------------
+
+    /// Opens a span that, on close, also folds an [`OpSample`]-style record
+    /// (`flops`, `bytes`, elapsed ns) into the current experiment's per-op
+    /// aggregates. This is the hfta-probe hook: the trace gets a normal
+    /// begin/end pair carrying the cost as args, and the report gains a row
+    /// in [`ExperimentReport::ops`] keyed by `name`.
+    ///
+    /// [`OpSample`]: crate::report::OpAgg
+    pub fn op_span(&self, lane: LaneId, name: impl Into<String>, cost: OpCost) -> OpSpanGuard {
+        let name = name.into();
+        let ts = self.now_us();
+        self.push_event(TraceEvent {
+            name: name.clone(),
+            phase: EventPhase::Begin,
+            ts_us: ts,
+            pid: lane.pid,
+            tid: lane.tid,
+            args: vec![
+                ("flops".to_string(), Value::F64(cost.flops)),
+                ("bytes".to_string(), Value::F64(cost.bytes)),
+            ],
+        });
+        OpSpanGuard {
+            profiler: self.clone(),
+            lane,
+            name,
+            cost,
+            started: Instant::now(),
+        }
+    }
+
+    /// Folds one already-timed op sample into the current experiment's
+    /// aggregates without emitting any trace event. Use this when the
+    /// caller measured the duration itself (simulated time, batched
+    /// replay); [`Profiler::op_span`] is the wall-clock front-end.
+    pub fn record_op_sample(&self, name: &str, flops: f64, bytes: f64, ns: f64) {
+        let mut experiments = self.shared.experiments.borrow_mut();
+        let idx = self.shared.current.get();
+        experiments[idx].record_op(name, flops, bytes, ns);
     }
 
     // -- simulated-time events ----------------------------------------------
@@ -422,6 +494,8 @@ fn clone_acc(acc: &ExperimentAcc) -> ExperimentAcc {
         metrics: acc.metrics.clone(),
         series: acc.series.clone(),
         scope: acc.scope.clone(),
+        ops: acc.ops.clone(),
+        op_index: acc.op_index.clone(),
     }
 }
 
@@ -447,6 +521,34 @@ pub struct SpanGuard {
 impl Drop for SpanGuard {
     fn drop(&mut self) {
         let ts = self.profiler.now_us();
+        self.profiler.push_event(TraceEvent {
+            name: std::mem::take(&mut self.name),
+            phase: EventPhase::End,
+            ts_us: ts,
+            pid: self.lane.pid,
+            tid: self.lane.tid,
+            args: Vec::new(),
+        });
+    }
+}
+
+/// Closes an op span on drop: emits the trace end event and folds the
+/// elapsed time plus the declared [`OpCost`] into the current experiment's
+/// per-op aggregates.
+pub struct OpSpanGuard {
+    profiler: Profiler,
+    lane: LaneId,
+    name: String,
+    cost: OpCost,
+    started: Instant,
+}
+
+impl Drop for OpSpanGuard {
+    fn drop(&mut self) {
+        let ns = self.started.elapsed().as_secs_f64() * 1e9;
+        let ts = self.profiler.now_us();
+        self.profiler
+            .record_op_sample(&self.name, self.cost.flops, self.cost.bytes, ns);
         self.profiler.push_event(TraceEvent {
             name: std::mem::take(&mut self.name),
             phase: EventPhase::End,
@@ -595,6 +697,46 @@ mod tests {
         let h = &p.report().experiments[0].histograms[0];
         assert!(h.p50 > 0.0 && h.p50 <= h.p95 && h.p95 <= h.p99);
         assert!(h.p99 <= h.max);
+    }
+
+    #[test]
+    fn op_spans_aggregate_per_op_kind() {
+        let p = Profiler::new("t");
+        let lane = p.lane("kernels", "cpu");
+        for _ in 0..3 {
+            let _g = p.op_span(lane, "matmul", OpCost::matmul(1, 8, 8, 8));
+        }
+        {
+            let _g = p.op_span(lane, "relu", OpCost::elementwise(64));
+        }
+        p.record_op_sample("relu", 64.0, 512.0, 100.0);
+        let report = p.report();
+        let ops = &report.experiments[0].ops;
+        assert_eq!(ops.len(), 2);
+        let mm = report.experiments[0].op("matmul").unwrap();
+        assert_eq!(mm.calls, 3);
+        assert_eq!(mm.flops, 3.0 * 1024.0);
+        assert_eq!(mm.bytes, 3.0 * 4.0 * 192.0);
+        assert!(mm.ns > 0.0);
+        let relu = report.experiments[0].op("relu").unwrap();
+        assert_eq!(relu.calls, 2);
+        assert_eq!(relu.flops, 128.0);
+        // Trace side: begin+end per op_span, none for record_op_sample.
+        assert_eq!(p.event_count(), 8);
+    }
+
+    #[test]
+    fn op_samples_land_in_current_experiment() {
+        let p = Profiler::new("run");
+        p.record_op_sample("root_op", 1.0, 1.0, 1.0);
+        {
+            let _e = p.experiment("fig8");
+            p.record_op_sample("scoped_op", 2.0, 2.0, 2.0);
+        }
+        let report = p.report();
+        assert!(report.experiments[0].op("root_op").is_some());
+        assert!(report.experiments[0].op("scoped_op").is_none());
+        assert!(report.experiment("fig8").unwrap().op("scoped_op").is_some());
     }
 
     #[test]

@@ -43,8 +43,49 @@ pub struct StepMetric {
     pub fused_width: u64,
 }
 
-/// Everything recorded inside one experiment scope.
+/// Aggregated cost of every dispatch of one op kind inside an experiment
+/// scope: the raw material for roofline classification in `hfta-probe`.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OpAgg {
+    /// Op name as recorded by the span (e.g. `matmul`, `conv2d`).
+    pub name: String,
+    /// Number of dispatches.
+    pub calls: u64,
+    /// Total floating point operations across all dispatches.
+    pub flops: f64,
+    /// Total bytes moved (reads + writes) across all dispatches.
+    pub bytes: f64,
+    /// Total wall time across all dispatches, nanoseconds.
+    pub ns: f64,
+}
+
+impl OpAgg {
+    /// Arithmetic intensity in FLOPs per byte (0 when no bytes recorded).
+    pub fn intensity(&self) -> f64 {
+        if self.bytes > 0.0 {
+            self.flops / self.bytes
+        } else {
+            0.0
+        }
+    }
+
+    /// Attained GFLOP/s over the recorded wall time (0 when no time).
+    pub fn attained_gflops(&self) -> f64 {
+        if self.ns > 0.0 {
+            self.flops / self.ns
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Everything recorded inside one experiment scope.
+///
+/// `Deserialize` is hand-written (the vendored derive has no
+/// `#[serde(default)]`): reports written before op samples existed simply
+/// lack the `ops` key, and must keep parsing — the committed CI goldens are
+/// exactly such files.
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct ExperimentReport {
     /// Experiment name (e.g. `fig3`, `table1`).
     pub name: String,
@@ -64,6 +105,29 @@ pub struct ExperimentReport {
     pub scalars: Vec<ScalarStream>,
     /// Divergence sentinel events (hfta-scope).
     pub sentinels: Vec<SentinelEvent>,
+    /// Per-op-kind aggregated cost samples (hfta-probe). Empty for reports
+    /// written before op sampling existed.
+    pub ops: Vec<OpAgg>,
+}
+
+impl Deserialize for ExperimentReport {
+    fn deserialize(v: &serde::Value) -> Result<Self, serde::Error> {
+        Ok(ExperimentReport {
+            name: Deserialize::deserialize(serde::field(v, "name")?)?,
+            wall_ms: Deserialize::deserialize(serde::field(v, "wall_ms")?)?,
+            steps: Deserialize::deserialize(serde::field(v, "steps")?)?,
+            counters: Deserialize::deserialize(serde::field(v, "counters")?)?,
+            gauges: Deserialize::deserialize(serde::field(v, "gauges")?)?,
+            histograms: Deserialize::deserialize(serde::field(v, "histograms")?)?,
+            series: Deserialize::deserialize(serde::field(v, "series")?)?,
+            scalars: Deserialize::deserialize(serde::field(v, "scalars")?)?,
+            sentinels: Deserialize::deserialize(serde::field(v, "sentinels")?)?,
+            ops: match v.get("ops") {
+                Some(o) => Deserialize::deserialize(o)?,
+                None => Vec::new(),
+            },
+        })
+    }
 }
 
 /// Top-level report for one run of a bench bin.
@@ -111,6 +175,16 @@ impl ExperimentReport {
     /// Sentinel events attributed to `model`.
     pub fn sentinels_for(&self, model: u64) -> Vec<&SentinelEvent> {
         self.sentinels.iter().filter(|e| e.model == model).collect()
+    }
+
+    /// Finds an op aggregate by name.
+    pub fn op(&self, name: &str) -> Option<&OpAgg> {
+        self.ops.iter().find(|o| o.name == name)
+    }
+
+    /// The widest fused array seen in any step metric (1 when untracked).
+    pub fn fused_width(&self) -> u64 {
+        self.steps.iter().map(|s| s.fused_width).max().unwrap_or(1)
     }
 }
 
@@ -163,6 +237,13 @@ mod tests {
                     value: 1e9,
                     quarantined: false,
                 }],
+                ops: vec![OpAgg {
+                    name: "matmul".into(),
+                    calls: 4,
+                    flops: 8e9,
+                    bytes: 2e8,
+                    ns: 1e9,
+                }],
             }],
         };
         let json = serde_json::to_string_pretty(&report).unwrap();
@@ -174,5 +255,24 @@ mod tests {
         assert_eq!(exp.scalar_stream(1, "loss").unwrap().last(), Some(2.25));
         assert_eq!(exp.sentinels_for(1).len(), 1);
         assert!(exp.sentinels_for(0).is_empty());
+        let op = exp.op("matmul").unwrap();
+        assert_eq!(op.intensity(), 40.0);
+        assert_eq!(op.attained_gflops(), 8.0);
+    }
+
+    #[test]
+    fn reports_without_ops_field_still_parse() {
+        // Reports written before op sampling existed (e.g. the committed CI
+        // goldens) lack the `ops` key entirely.
+        let json = r#"{
+            "name": "old", "wall_ms": 1.0, "trace_events": 0,
+            "experiments": [{
+                "name": "old", "wall_ms": 1.0, "steps": [],
+                "counters": [], "gauges": [], "histograms": [],
+                "series": [], "scalars": [], "sentinels": []
+            }]
+        }"#;
+        let back: RunReport = serde_json::from_str(json).unwrap();
+        assert!(back.experiments[0].ops.is_empty());
     }
 }

@@ -92,6 +92,25 @@ impl SchedStats {
             p.set_gauge("sched.occupancy", value);
         }
     }
+
+    /// Final utilization *quality* of one device: useful-FLOP fraction of
+    /// its FP32 peak over its busy time (`sched.device.<name>.util`) plus
+    /// the attained useful GFLOP/s (`sched.device.<name>.gflops`). Busy ≠
+    /// utilized — occupancy says the device was booked, this says how much
+    /// of the machine the booking actually squeezed.
+    pub fn device_utilization(&self, name: &str, util: f64, gflops: f64) {
+        if let Some(p) = &self.profiler {
+            p.set_gauge(&format!("sched.device.{name}.util"), util);
+            p.set_gauge(&format!("sched.device.{name}.gflops"), gflops);
+        }
+    }
+
+    /// Final fleet-wide useful-FLOP fraction of peak over busy time.
+    pub fn fleet_utilization(&self, value: f64) {
+        if let Some(p) = &self.profiler {
+            p.set_gauge("sched.fleet_utilization", value);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -110,6 +129,8 @@ mod tests {
         stats.finish();
         stats.packing_efficiency(0.9);
         stats.occupancy(0.8);
+        stats.device_utilization("V100#0", 0.4, 6000.0);
+        stats.fleet_utilization(0.35);
     }
 
     #[test]
@@ -127,6 +148,8 @@ mod tests {
         stats.finish();
         stats.packing_efficiency(0.75);
         stats.occupancy(0.5);
+        stats.device_utilization("V100#0", 0.4, 6000.0);
+        stats.fleet_utilization(0.35);
         let report = p.report();
         let exp = &report.experiments[0];
         let counter = |name: &str| exp.counters.iter().find(|c| c.name == name).unwrap().value;
@@ -139,6 +162,9 @@ mod tests {
         let gauge = |name: &str| exp.gauges.iter().find(|g| g.name == name).unwrap().value;
         assert_eq!(gauge("sched.packing_efficiency"), 0.75);
         assert_eq!(gauge("sched.occupancy"), 0.5);
+        assert_eq!(gauge("sched.device.V100#0.util"), 0.4);
+        assert_eq!(gauge("sched.device.V100#0.gflops"), 6000.0);
+        assert_eq!(gauge("sched.fleet_utilization"), 0.35);
         let width = exp
             .histograms
             .iter()

@@ -1,0 +1,80 @@
+//! Property test: the log-bucket histogram's p50/p95/p99 estimates stay
+//! within one bucket's relative error of the exact percentiles.
+//!
+//! Buckets are powers of two (`[2^(i-1), 2^i)`), so an estimate can never
+//! be off by more than the width of the bucket the exact percentile falls
+//! in: `estimate ∈ [exact / 2, exact * 2]` for values ≥ 1, and within
+//! `[0, 1]`'s bucket bounds below that. Clamping to the observed min/max
+//! tightens the extremes further; random samples across four orders of
+//! magnitude must keep every quantile inside those bounds.
+
+use hfta_telemetry::Profiler;
+use proptest::prelude::*;
+
+/// Exact percentile by the nearest-rank method on sorted samples.
+fn exact_percentile(sorted: &[f64], q: f64) -> f64 {
+    let rank = (q * sorted.len() as f64).ceil().max(1.0) as usize;
+    sorted[rank.min(sorted.len()) - 1]
+}
+
+/// One bucket's relative-error bounds around an exact value: the log-2
+/// bucket containing `exact`, widened to the neighbouring bucket edge on
+/// each side to absorb in-bucket linear interpolation landing at either
+/// boundary, then clamped to the observed range like the estimator.
+fn bucket_bounds(exact: f64, min: f64, max: f64) -> (f64, f64) {
+    let (lo, hi) = if exact < 1.0 {
+        (0.0, 1.0)
+    } else {
+        let i = exact.log2().floor();
+        (2f64.powf(i - 1.0), 2f64.powf(i + 1.0))
+    };
+    (lo.max(min.min(max)), hi.min(max).max(lo))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn quantile_estimates_land_within_one_bucket(
+        samples in prop::collection::vec(0.01f64..10_000.0, 10..400),
+    ) {
+        let p = Profiler::new("hist-prop");
+        for &v in &samples {
+            p.observe("lat", v);
+        }
+        let report = p.report();
+        let h = &report.experiments[0].histograms[0];
+        prop_assert_eq!(h.count, samples.len() as u64);
+
+        let mut sorted = samples.clone();
+        sorted.sort_by(f64::total_cmp);
+        let min = sorted[0];
+        let max = sorted[sorted.len() - 1];
+
+        for (q, est) in [(0.50, h.p50), (0.95, h.p95), (0.99, h.p99)] {
+            let exact = exact_percentile(&sorted, q);
+            let (lo, hi) = bucket_bounds(exact, min, max);
+            prop_assert!(
+                est >= lo && est <= hi,
+                "q{:.0}: estimate {} outside one-bucket bounds [{}, {}] of exact {}",
+                q * 100.0, est, lo, hi, exact,
+            );
+            // And the estimator never leaves the observed range at all.
+            prop_assert!(est >= min && est <= max);
+        }
+    }
+
+    #[test]
+    fn quantiles_are_monotone_in_q(
+        samples in prop::collection::vec(0.5f64..5_000.0, 5..200),
+    ) {
+        let p = Profiler::new("hist-mono");
+        for &v in &samples {
+            p.observe("lat", v);
+        }
+        let h = &p.report().experiments[0].histograms[0];
+        prop_assert!(h.p50 <= h.p95);
+        prop_assert!(h.p95 <= h.p99);
+        prop_assert!(h.min <= h.p50 && h.p99 <= h.max);
+    }
+}

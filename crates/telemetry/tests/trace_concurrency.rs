@@ -1,0 +1,130 @@
+//! Chrome-trace export under concurrent span traffic.
+//!
+//! Worker threads race to finish spans at overlapping (and deliberately
+//! identical) instants; the profiler then receives the begin/end events in
+//! global close order — the worst interleaving the worker pool can
+//! produce. The exported JSON must stay loadable and keep every lane's
+//! timeline well-formed: timestamps non-decreasing in emission order and
+//! begin/end pairs balanced, including zero-length spans whose B and E
+//! share a timestamp.
+
+use std::sync::{Arc, Barrier};
+
+use hfta_telemetry::Profiler;
+use serde::Value;
+
+const WORKERS: usize = 4;
+const SPANS_PER_WORKER: usize = 8;
+
+/// One worker's recorded span windows, microseconds from the shared epoch.
+fn worker_spans(epoch: std::time::Instant, barrier: &Barrier) -> Vec<(f64, f64)> {
+    let mut spans = Vec::with_capacity(SPANS_PER_WORKER);
+    for _ in 0..SPANS_PER_WORKER {
+        // Every span starts right after the rendezvous, so begins and ends
+        // from different threads land interleaved and frequently tied.
+        barrier.wait();
+        let t0 = epoch.elapsed().as_secs_f64() * 1e6;
+        std::hint::black_box((0..64).sum::<u64>());
+        let t1 = epoch.elapsed().as_secs_f64() * 1e6;
+        spans.push((t0, t1));
+    }
+    spans
+}
+
+#[test]
+fn concurrent_span_closes_render_valid_monotone_trace() {
+    let epoch = std::time::Instant::now();
+    let barrier = Arc::new(Barrier::new(WORKERS));
+    let handles: Vec<_> = (0..WORKERS)
+        .map(|_| {
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || worker_spans(epoch, &barrier))
+        })
+        .collect();
+    let per_worker: Vec<Vec<(f64, f64)>> = handles
+        .into_iter()
+        .map(|h| h.join().expect("worker panicked"))
+        .collect();
+
+    // Replay into the profiler in global close order — exactly what a pool
+    // of workers funneling completions into one telemetry sink produces.
+    let p = Profiler::new("concurrency");
+    let lanes: Vec<_> = (0..WORKERS)
+        .map(|i| p.lane("pool", &format!("worker-{i}")))
+        .collect();
+    let mut events: Vec<(usize, usize, f64, f64)> = Vec::new();
+    for (w, spans) in per_worker.iter().enumerate() {
+        for (s, &(t0, t1)) in spans.iter().enumerate() {
+            events.push((w, s, t0, t1));
+        }
+    }
+    events.sort_by(|a, b| a.3.total_cmp(&b.3));
+    for &(w, s, t0, t1) in &events {
+        let name = format!("span-{w}-{s}");
+        p.begin_at(lanes[w], &name, t0, Vec::new());
+        p.end_at(lanes[w], &name, t1);
+    }
+    // A zero-length span: B and E share a timestamp; render's stable sort
+    // must keep the B first.
+    p.begin_at(lanes[0], "instant", 0.0, Vec::new());
+    p.end_at(lanes[0], "instant", 0.0);
+
+    let json = p.trace_json();
+    let root: Value = serde_json::from_str(&json).expect("trace JSON parses");
+    let Some(Value::Array(trace_events)) = root.get("traceEvents") else {
+        panic!("no traceEvents array in {json:?}");
+    };
+
+    // Per (pid, tid) lane: non-decreasing timestamps and balanced,
+    // never-negative B/E nesting in emission order.
+    let mut last_ts: std::collections::HashMap<(u64, u64), f64> = Default::default();
+    let mut depth: std::collections::HashMap<(u64, u64), i64> = Default::default();
+    let mut durations = 0usize;
+    for e in trace_events {
+        let phase = match e.get("ph") {
+            Some(Value::Str(s)) => s.as_str(),
+            other => panic!("event without ph: {other:?}"),
+        };
+        if phase == "M" {
+            continue;
+        }
+        let num = |key: &str| -> f64 {
+            match e.get(key) {
+                Some(Value::F64(v)) => *v,
+                Some(Value::U64(v)) => *v as f64,
+                Some(Value::I64(v)) => *v as f64,
+                other => panic!("event {key} not numeric: {other:?}"),
+            }
+        };
+        let lane = (num("pid") as u64, num("tid") as u64);
+        let ts = num("ts");
+        if let Some(&prev) = last_ts.get(&lane) {
+            assert!(
+                ts >= prev,
+                "lane {lane:?} went back in time: {prev} -> {ts}"
+            );
+        }
+        last_ts.insert(lane, ts);
+        let d = depth.entry(lane).or_insert(0);
+        match phase {
+            "B" => {
+                *d += 1;
+                durations += 1;
+            }
+            "E" => {
+                *d -= 1;
+                assert!(*d >= 0, "lane {lane:?} closed a span it never opened");
+            }
+            "C" => {}
+            other => panic!("unexpected phase {other}"),
+        }
+    }
+    assert_eq!(
+        durations,
+        WORKERS * SPANS_PER_WORKER + 1,
+        "every span (plus the zero-length one) must survive the export"
+    );
+    for (lane, d) in depth {
+        assert_eq!(d, 0, "lane {lane:?} has unbalanced begin/end events");
+    }
+}

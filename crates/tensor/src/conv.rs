@@ -229,7 +229,11 @@ pub fn conv2d(x: &Tensor, w: &Tensor, b: Option<&Tensor>, cfg: ConvCfg) -> Tenso
     // there is no second pass over the output.
     let block = coutg * spatial;
     let per_block_flops = 2 * coutg * krows * spatial;
-    kernels::profiled("conv2d", (n * g * per_block_flops) as f64, || {
+    // Per (sample, group) block: image read, im2col columns written then
+    // re-read by the GEMM, weights read, output written.
+    let per_block_bytes = 4 * (cing * hp * wp + 2 * krows * spatial + coutg * krows + block);
+    let bytes = (n * g * per_block_bytes) as f64;
+    kernels::profiled("conv2d", (n * g * per_block_flops) as f64, bytes, || {
         let grain = block_grain(per_block_flops, n * g);
         reserve_cols(krows * spatial, n * g, grain);
         let mut out = Tensor::zeros([n, cout, ho, wo]);
@@ -291,9 +295,13 @@ pub fn conv2d_grad_input(
     // the padded input gradient, so the blocks fan out across the pool.
     let block = cing * hp * wp;
     let per_block_flops = 2 * coutg * krows * spatial;
+    // Per block: grad-output and weights read, columns written then folded
+    // by col2im, padded input gradient written.
+    let per_block_bytes = 4 * (coutg * spatial + coutg * krows + 2 * krows * spatial + block);
     kernels::profiled(
         "conv2d_grad_input",
         (n * g * per_block_flops) as f64,
+        (n * g * per_block_bytes) as f64,
         || {
             let grain = block_grain(per_block_flops, n * g);
             reserve_cols(krows * spatial, n * g, grain);
@@ -355,7 +363,11 @@ pub fn conv2d_grad_weight(
     // and both paths keep the identical per-element accumulation order.
     let block = coutg * krows;
     let flops = 2 * n * g * coutg * spatial * krows;
-    kernels::profiled("conv2d_grad_weight", flops as f64, || {
+    // Per (sample, group): image read, columns written + re-read, grad
+    // output read, weight-gradient block read-modify-written.
+    let bytes =
+        (4 * n * g * (cing * hp * wp + 2 * krows * spatial + coutg * spatial + 2 * block)) as f64;
+    kernels::profiled("conv2d_grad_weight", flops as f64, bytes, || {
         let mut gw = Tensor::zeros([cout, cing, kh, kw]);
         let group_work = |gw_block: &mut [f32], gi: usize| {
             for ni in 0..n {

@@ -122,7 +122,9 @@ impl Tensor {
             k, k2,
             "matmul inner dims mismatch: [{m}, {k}] x [{k2}, {n}]"
         );
-        kernels::profiled("matmul", 2.0 * (m * k * n) as f64, || {
+        let flops = 2.0 * (m * k * n) as f64;
+        let bytes = 4.0 * (m * k + k * n + m * n) as f64;
+        kernels::profiled("matmul", flops, bytes, || {
             let mut out = Tensor::zeros([m, n]);
             kernels::gemm(
                 out.as_mut_slice(),
@@ -149,7 +151,9 @@ impl Tensor {
         let (b2, k2, n) = (other.dim(0), other.dim(1), other.dim(2));
         assert_eq!(b, b2, "bmm batch dims mismatch: {b} vs {b2}");
         assert_eq!(k, k2, "bmm inner dims mismatch: {k} vs {k2}");
-        kernels::profiled("bmm", 2.0 * (b * m * k * n) as f64, || {
+        let flops = 2.0 * (b * m * k * n) as f64;
+        let bytes = 4.0 * (b * (m * k + k * n + m * n)) as f64;
+        kernels::profiled("bmm", flops, bytes, || {
             let mut out = Tensor::zeros([b, m, n]);
             batched_gemm(
                 out.as_mut_slice(),
@@ -184,7 +188,10 @@ impl Tensor {
         let (b2, k2, n) = (other.dim(0), other.dim(1), other.dim(2));
         assert_eq!(b, b2, "baddbmm batch dims mismatch: {b} vs {b2}");
         assert_eq!(k, k2, "baddbmm inner dims mismatch: {k} vs {k2}");
-        kernels::profiled("baddbmm", 2.0 * (b * m * k * n) as f64, || {
+        let flops = 2.0 * (b * m * k * n) as f64;
+        // Bias seeding writes the output once more on top of the gemm traffic.
+        let bytes = 4.0 * (b * (m * k + k * n + 2 * m * n)) as f64;
+        kernels::profiled("baddbmm", flops, bytes, || {
             let out_shape = Shape::new(vec![b, m, n]);
             let mut out = Tensor::zeros(out_shape.clone());
             broadcast_fill(out.as_mut_slice(), bias, &out_shape);
@@ -218,7 +225,9 @@ impl Tensor {
         let (b2, n, k2) = (other.dim(0), other.dim(1), other.dim(2));
         assert_eq!(b, b2, "bmm_nt batch dims mismatch");
         assert_eq!(k, k2, "bmm_nt inner dims mismatch");
-        kernels::profiled("bmm_nt", 2.0 * (b * m * k * n) as f64, || {
+        let flops = 2.0 * (b * m * k * n) as f64;
+        let bytes = 4.0 * (b * (m * k + n * k + m * n)) as f64;
+        kernels::profiled("bmm_nt", flops, bytes, || {
             let mut out = Tensor::zeros([b, m, n]);
             batched_gemm(
                 out.as_mut_slice(),
@@ -248,7 +257,9 @@ impl Tensor {
         let (b2, k2, n) = (other.dim(0), other.dim(1), other.dim(2));
         assert_eq!(b, b2, "bmm_tn batch dims mismatch");
         assert_eq!(k, k2, "bmm_tn inner dims mismatch");
-        kernels::profiled("bmm_tn", 2.0 * (b * m * k * n) as f64, || {
+        let flops = 2.0 * (b * m * k * n) as f64;
+        let bytes = 4.0 * (b * (k * m + k * n + m * n)) as f64;
+        kernels::profiled("bmm_tn", flops, bytes, || {
             let mut out = Tensor::zeros([b, m, n]);
             batched_gemm(
                 out.as_mut_slice(),
