@@ -4,10 +4,20 @@
 //! backend vs the retained naive reference path.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use hfta_kernels::{set_backend, GemmBackend};
+use hfta_kernels::{set_backend, simd_available, GemmBackend};
 use hfta_tensor::conv::{conv2d, conv2d_grad_input, conv2d_grad_weight, ConvCfg};
 use hfta_tensor::Rng;
 use std::hint::black_box;
+
+/// The fixed backends to sweep: the naive reference, the blocked default,
+/// and — where the CPU supports it — the opt-in AVX2/FMA micro-kernel.
+fn backends() -> Vec<GemmBackend> {
+    let mut v = vec![GemmBackend::Naive, GemmBackend::Blocked];
+    if simd_available() {
+        v.push(GemmBackend::Simd);
+    }
+    v
+}
 
 fn bench_gemm_shapes(c: &mut Criterion) {
     let mut group = c.benchmark_group("gemm_backends");
@@ -20,27 +30,27 @@ fn bench_gemm_shapes(c: &mut Criterion) {
     for (label, m, k, n) in shapes {
         let a = rng.randn([m, k]);
         let b = rng.randn([k, n]);
-        for backend in [GemmBackend::Naive, GemmBackend::Blocked] {
-            let name = match backend {
-                GemmBackend::Naive => "naive",
-                GemmBackend::Blocked => "blocked",
-            };
-            group.bench_with_input(BenchmarkId::new(name, label), &label, |bench, _| {
-                set_backend(backend);
-                let mut out = vec![0.0f32; m * n];
-                bench.iter(|| {
-                    out.fill(0.0);
-                    hfta_kernels::gemm(
-                        black_box(&mut out),
-                        black_box(a.as_slice()),
-                        black_box(b.as_slice()),
-                        m,
-                        k,
-                        n,
-                    );
-                });
-                set_backend(GemmBackend::Blocked);
-            });
+        for backend in backends() {
+            group.bench_with_input(
+                BenchmarkId::new(backend.name(), label),
+                &label,
+                |bench, _| {
+                    set_backend(backend);
+                    let mut out = vec![0.0f32; m * n];
+                    bench.iter(|| {
+                        out.fill(0.0);
+                        hfta_kernels::gemm(
+                            black_box(&mut out),
+                            black_box(a.as_slice()),
+                            black_box(b.as_slice()),
+                            m,
+                            k,
+                            n,
+                        );
+                    });
+                    set_backend(GemmBackend::Blocked);
+                },
+            );
         }
     }
     group.finish();
@@ -59,12 +69,8 @@ fn bench_fused_conv_training_step(c: &mut Criterion) {
     let bias = rng.randn([16 * b]);
     let y = conv2d(&x, &w, Some(&bias), cfg);
     let gy = rng.randn(y.dims().to_vec());
-    for backend in [GemmBackend::Naive, GemmBackend::Blocked] {
-        let name = match backend {
-            GemmBackend::Naive => "naive",
-            GemmBackend::Blocked => "blocked",
-        };
-        group.bench_with_input(BenchmarkId::new(name, b), &b, |bench, _| {
+    for backend in backends() {
+        group.bench_with_input(BenchmarkId::new(backend.name(), b), &b, |bench, _| {
             set_backend(backend);
             bench.iter(|| {
                 let y = conv2d(black_box(&x), black_box(&w), Some(&bias), cfg);

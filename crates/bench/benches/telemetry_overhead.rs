@@ -79,6 +79,31 @@ fn registry_incr_ns(names: usize, iters: usize) -> f64 {
 }
 
 fn bench_overhead(c: &mut Criterion) {
+    // Small ops must never wake the worker pool: with 4 threads configured,
+    // a loop of sub-threshold kernels (a 16^3 GEMM is ~8K FLOPs, under the
+    // pool's minimum-work bar) has to run inline — zero dispatch delta —
+    // or per-op latency would be dominated by pool handoff instead of
+    // compute. The inline decision is a pure function of the work hint, so
+    // this assertion is deterministic.
+    {
+        let prev_threads = hfta_kernels::num_threads();
+        hfta_kernels::set_num_threads(4);
+        let mut rng = Rng::seed_from(11);
+        let a = rng.randn([16, 16]);
+        let b = rng.randn([16, 16]);
+        let before = hfta_kernels::pool_dispatches();
+        for _ in 0..100 {
+            black_box(a.matmul(&b));
+            black_box(a.add(&b));
+        }
+        let delta = hfta_kernels::pool_dispatches() - before;
+        assert_eq!(
+            delta, 0,
+            "sub-threshold ops dispatched to the worker pool {delta} times"
+        );
+        hfta_kernels::set_num_threads(prev_threads);
+    }
+
     // Registry name lookup must be O(1): with the pre-PR linear scan,
     // 1024 live names cost ~128x what 8 names do; with the hash index the
     // ratio stays near 1. Assert a generous 8x bound so the check survives

@@ -26,6 +26,13 @@ pub struct CommonArgs {
     pub history: Option<PathBuf>,
     /// `--max-drift <pct>`: drift-gate tolerance in percent.
     pub max_drift: Option<f64>,
+    /// `--gate-scaling <ratio>`: minimum blocked-backend 4T/1T GFLOP/s
+    /// ratio on large shapes; below it the bin exits non-zero. Skipped
+    /// (with a note) when the host has fewer than 4 CPUs.
+    pub gate_scaling: Option<f64>,
+    /// `--tune-db <path>`: persistent autotuner find-db file
+    /// (see `hfta_kernels::tune`).
+    pub tune_db: Option<PathBuf>,
     /// Arguments this parser did not consume, in order.
     pub rest: Vec<String>,
 }
@@ -73,6 +80,16 @@ impl CommonArgs {
                         Ok(p) if p >= 0.0 => out.max_drift = Some(p),
                         _ => return Err(format!("--max-drift needs a non-negative percent: {v}")),
                     }
+                }
+                "--gate-scaling" => {
+                    let v = take_value(&flag, inline, &mut it)?;
+                    match v.parse::<f64>() {
+                        Ok(r) if r >= 0.0 => out.gate_scaling = Some(r),
+                        _ => return Err(format!("--gate-scaling needs a non-negative ratio: {v}")),
+                    }
+                }
+                "--tune-db" => {
+                    out.tune_db = Some(PathBuf::from(take_value(&flag, inline, &mut it)?));
                 }
                 _ => out.rest.push(a),
             }
@@ -135,6 +152,9 @@ mod tests {
             "--history=h.jsonl",
             "--max-drift",
             "12.5",
+            "--gate-scaling=2.5",
+            "--tune-db",
+            "tune.json",
         ]);
         assert!(a.quick);
         assert_eq!(a.bench_json.as_deref(), Some("out.json"));
@@ -142,6 +162,8 @@ mod tests {
         assert_eq!(a.probe_db, Some(PathBuf::from("db.json")));
         assert_eq!(a.history, Some(PathBuf::from("h.jsonl")));
         assert_eq!(a.max_drift, Some(12.5));
+        assert_eq!(a.gate_scaling, Some(2.5));
+        assert_eq!(a.tune_db, Some(PathBuf::from("tune.json")));
         assert!(a.rest.is_empty());
     }
 
@@ -158,6 +180,8 @@ mod tests {
         assert!(CommonArgs::parse_iter(vec!["--trace".to_string()]).is_err());
         let bad = vec!["--max-drift".to_string(), "-3".to_string()];
         assert!(CommonArgs::parse_iter(bad).is_err());
+        let bad_gate = vec!["--gate-scaling".to_string(), "nope".to_string()];
+        assert!(CommonArgs::parse_iter(bad_gate).is_err());
     }
 
     #[test]

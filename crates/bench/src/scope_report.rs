@@ -300,19 +300,21 @@ fn as_f64(v: &Value) -> Option<f64> {
     }
 }
 
-fn record_key(rec: &Value) -> Option<String> {
+/// `(key, backend)` of one kernel bench record. Older bench files predate
+/// the `backend`/`threads` columns; those records fall back to `?`
+/// placeholders instead of being dropped from the diff.
+fn record_key(rec: &Value) -> Option<(String, String)> {
     let s = |k: &str| {
         rec.get(k).and_then(|v| match v {
             Value::Str(s) => Some(s.clone()),
             other => as_f64(other).map(|n| n.to_string()),
         })
     };
-    Some(format!(
-        "{}/{}/{}@{}T",
-        s("op")?,
-        s("shape")?,
-        s("backend")?,
-        s("threads")?
+    let backend = s("backend").unwrap_or_else(|| "?".to_string());
+    let threads = s("threads").unwrap_or_else(|| "?".to_string());
+    Some((
+        format!("{}/{}/{backend}@{threads}T", s("op")?, s("shape")?),
+        backend,
     ))
 }
 
@@ -326,6 +328,12 @@ pub const SCOPE_OVERHEAD_BUDGET_PCT: f64 = 5.0;
 /// `cfg.max_regress_pct.unwrap_or(10.0)` percent. `BENCH_mem.json`
 /// records (keyed by `model`/`b`) gate on `peak_bytes`, `savings_ratio`
 /// and `steady_fresh_allocs` — see [`DiffCfg::max_mem_regress_pct`].
+///
+/// Format skew is tolerated in both directions: records lacking the newer
+/// optional fields (`backend`, `threads`, `bytes_per_iter`) still diff by
+/// a fallback key, a backend column wholly absent from the candidate only
+/// notes, and the `scaling_efficiency` comparison is skipped when either
+/// file predates it.
 pub fn diff_bench(base: &Value, cand: &Value, cfg: &DiffCfg) -> DiffOutcome {
     let mut out = DiffOutcome::default();
     let pct = cfg.max_regress_pct.unwrap_or(10.0);
@@ -344,20 +352,62 @@ pub fn diff_bench(base: &Value, cand: &Value, cfg: &DiffCfg) -> DiffOutcome {
         }
     };
     // Records matched by (op, shape, backend, threads), compared on GFLOP/s.
-    let records = |v: &Value| -> Vec<(String, f64)> {
+    let records = |v: &Value| -> Vec<(String, String, f64)> {
         match v.get("records") {
             Some(Value::Array(items)) => items
                 .iter()
-                .filter_map(|r| Some((record_key(r)?, as_f64(r.get("gflops")?)?)))
+                .filter_map(|r| {
+                    let (key, backend) = record_key(r)?;
+                    Some((key, backend, as_f64(r.get("gflops")?)?))
+                })
                 .collect(),
             _ => Vec::new(),
         }
     };
     let cand_records = records(cand);
-    for (key, b) in records(base) {
-        match cand_records.iter().find(|(k, _)| *k == key) {
-            Some((_, c)) => gate_drop(&mut out, &key, b, *c),
+    for (key, backend, b) in records(base) {
+        match cand_records.iter().find(|(k, _, _)| *k == key) {
+            Some((_, _, c)) => gate_drop(&mut out, &key, b, *c),
+            // A whole backend column absent from the candidate is
+            // environmental (e.g. simd rows on a host without AVX2, or a
+            // bench file predating the backend matrix) — note, don't gate.
+            // A missing record within a backend the candidate does report
+            // is a genuine regression.
+            None if !cand_records.iter().any(|(_, be, _)| *be == backend) => {
+                out.note(format!(
+                    "{key}: `{backend}` rows absent from candidate (skipped)"
+                ));
+            }
             None => out.regress(format!("{key}: record missing from candidate")),
+        }
+    }
+    // Thread-scaling records (newer bench files only): compared on the
+    // 4T/1T efficiency ratio, silently skipped when either side predates
+    // the field.
+    let scalings = |v: &Value| -> Vec<(String, f64)> {
+        match v.get("scaling_efficiency") {
+            Some(Value::Array(items)) => items
+                .iter()
+                .filter_map(|r| {
+                    let s = |k: &str| match r.get(k) {
+                        Some(Value::Str(s)) => Some(s.clone()),
+                        _ => None,
+                    };
+                    Some((
+                        format!("scaling:{}/{}", s("op")?, s("shape")?),
+                        as_f64(r.get("scaling_efficiency")?)?,
+                    ))
+                })
+                .collect(),
+            _ => Vec::new(),
+        }
+    };
+    let cand_scaling = scalings(cand);
+    if !cand_scaling.is_empty() {
+        for (key, b) in scalings(base) {
+            if let Some((_, c)) = cand_scaling.iter().find(|(k, _)| *k == key) {
+                gate_drop(&mut out, &key, b, *c);
+            }
         }
     }
     if let (Some(b), Some(c)) = (
@@ -614,6 +664,80 @@ mod tests {
         let out = diff_bench(&base, &cand, &DiffCfg::default());
         assert!(out.regressed());
         assert!(out.regressions[0].contains("scope_overhead_pct"));
+    }
+
+    #[test]
+    fn bench_diff_tolerates_records_without_backend_columns() {
+        // A pre-backend-matrix bench file: records carry neither `backend`
+        // nor `threads` (nor `bytes_per_iter`). It must diff clean against
+        // itself via the fallback key rather than being silently dropped.
+        let old: Value = serde_json::from_str(
+            r#"{"records": [{"op": "gemm", "shape": "64x64", "ns_per_iter": 10.0,
+                 "gflops": 100.0}], "fused_conv_speedup": 2.0}"#,
+        )
+        .unwrap();
+        let out = diff_bench(&old, &old.clone(), &DiffCfg::default());
+        assert!(!out.regressed(), "{:?}", out.regressions);
+        assert!(out.lines.iter().any(|l| l.contains("gemm/64x64/?@?T")));
+        // Old baseline vs new-format candidate: the `?` backend column is
+        // absent from the candidate — informational, not gating.
+        let out = diff_bench(&old, &bench_json(100.0, 2.0), &DiffCfg::default());
+        assert!(!out.regressed(), "{:?}", out.regressions);
+        assert!(out
+            .lines
+            .iter()
+            .any(|l| l.contains("absent from candidate")));
+    }
+
+    #[test]
+    fn bench_diff_skips_absent_backend_columns_but_gates_within_present_ones() {
+        let two_backends: Value = serde_json::from_str(
+            r#"{"records": [
+                 {"op": "gemm", "shape": "a", "backend": "blocked", "threads": 1, "gflops": 50.0},
+                 {"op": "gemm", "shape": "a", "backend": "simd", "threads": 1, "gflops": 150.0}]}"#,
+        )
+        .unwrap();
+        // Candidate ran on a host without AVX2: simd rows absent entirely.
+        let blocked_only: Value = serde_json::from_str(
+            r#"{"records": [
+                 {"op": "gemm", "shape": "a", "backend": "blocked", "threads": 1, "gflops": 50.0}]}"#,
+        )
+        .unwrap();
+        let out = diff_bench(&two_backends, &blocked_only, &DiffCfg::default());
+        assert!(!out.regressed(), "{:?}", out.regressions);
+        assert!(out
+            .lines
+            .iter()
+            .any(|l| l.contains("simd") && l.contains("absent")));
+        // But losing one record of a backend the candidate does report gates.
+        let missing_shape: Value = serde_json::from_str(
+            r#"{"records": [
+                 {"op": "gemm", "shape": "b", "backend": "blocked", "threads": 1, "gflops": 50.0},
+                 {"op": "gemm", "shape": "a", "backend": "simd", "threads": 1, "gflops": 150.0}]}"#,
+        )
+        .unwrap();
+        let out = diff_bench(&two_backends, &missing_shape, &DiffCfg::default());
+        assert!(out.regressed());
+        assert!(out.regressions[0].contains("blocked@1T"));
+    }
+
+    #[test]
+    fn bench_diff_gates_scaling_efficiency_only_when_both_report_it() {
+        let with_scaling = |eff: f64| -> Value {
+            serde_json::from_str(&format!(
+                r#"{{"records": [], "scaling_efficiency": [
+                     {{"op": "gemm", "shape": "a", "scaling_efficiency": {eff}}}]}}"#
+            ))
+            .unwrap()
+        };
+        // A 20% efficiency drop gates at the default 10% budget.
+        let out = diff_bench(&with_scaling(3.0), &with_scaling(2.4), &DiffCfg::default());
+        assert!(out.regressed());
+        assert!(out.regressions[0].contains("scaling:gemm/a"));
+        // Candidate predates the field: skipped, not regressed.
+        let old: Value = serde_json::from_str(r#"{"records": []}"#).unwrap();
+        let out = diff_bench(&with_scaling(3.0), &old, &DiffCfg::default());
+        assert!(!out.regressed(), "{:?}", out.regressions);
     }
 
     fn mem_json(peak: f64, savings: f64, fresh: f64) -> Value {

@@ -1,10 +1,36 @@
-//! Cache-blocked, register-tiled f32 GEMM.
+//! Cache-blocked, register-tiled f32 GEMM with selectable backends.
 //!
 //! Structure: `A` and `B` are packed into contiguous `MR`-row / `NR`-column
 //! panels (transposition is absorbed by the packing, so all three variants
 //! share one macro-kernel), then an `MR x NR` micro-kernel keeps the output
 //! tile in registers and walks the full contraction dimension with
-//! sequential panel reads — written so the inner loop autovectorizes.
+//! sequential panel reads. The macro-kernel partitions work in 2-D over
+//! (row-panel, column-panel-group) tiles so that medium GEMMs expose at
+//! least as many chunks as the pool has threads even when `m` is small.
+//!
+//! # Backends
+//!
+//! | backend   | micro-kernel          | contract vs. [`crate::reference`] |
+//! |-----------|-----------------------|-----------------------------------|
+//! | `Blocked` | scalar, autovectorized| bit-identical                     |
+//! | `Naive`   | the reference itself  | bit-identical (it *is* the ref)   |
+//! | `Simd`    | AVX2/FMA f32x8        | relative tolerance (FMA rounding) |
+//! | `Auto`    | picks one of the above| bit-identical unless SIMD opted in|
+//!
+//! The process-wide selection comes from [`set_backend`] or the
+//! `HFTA_GEMM_BACKEND` env var (`auto` / `blocked` / `naive` / `simd`, read
+//! once); the default is `Auto`. A forced `Simd` backend falls back to the
+//! scalar blocked kernel when the CPU lacks AVX2+FMA (see
+//! [`crate::simd::simd_available`]).
+//!
+//! `Auto` consults the persistent autotuner ([`crate::tune`]) when a
+//! find-db is configured: first encounter of an `(op, shape, threads)` key
+//! times the candidate backends on a scratch copy of the output and caches
+//! the winner; later dispatches jump straight to it. With tuning disabled,
+//! `Auto` is a static heuristic (the blocked kernel; the SIMD kernel when
+//! opted in via [`set_auto_simd`] / `HFTA_TUNE_SIMD=1`). SIMD only ever
+//! enters the `Auto` candidate set through that explicit opt-in, so default
+//! runs — tuned or not — stay bit-identical to the references.
 //!
 //! # Bit-exactness
 //!
@@ -13,14 +39,18 @@
 //! reordering), which is exactly the order of the naive references in
 //! [`crate::reference`]. The property tests in `tests/proptests.rs` assert
 //! bit-identity — not closeness — between the two, at thread counts 1, 2 and
-//! the maximum. Row panels parallelize across the [`crate::pool`] with a
-//! grain that depends only on the shape, so the thread count never changes
-//! the result.
+//! the maximum. Tile decomposition (and the [`crate::pool`] grain) depends
+//! only on the shape, so the thread count never changes the result. The
+//! opt-in `Simd` backend instead carries a relative-tolerance contract,
+//! property-tested separately.
 
 use std::sync::atomic::{AtomicU8, Ordering};
+use std::time::Instant;
 
 use crate::pool::{self, UnsafeSlice};
 use crate::reference;
+use crate::simd;
+use crate::tune;
 use hfta_mem::scratch;
 
 /// Micro-kernel tile rows.
@@ -29,42 +59,134 @@ pub const MR: usize = 8;
 pub const NR: usize = 8;
 
 /// Below this many FLOPs (2·m·k·n) the packed path's overhead outweighs its
-/// wins and the reference kernels run instead. Both paths are bit-identical,
-/// so this is purely a performance knob.
+/// wins and the reference kernels run instead. The reference and the scalar
+/// blocked path are bit-identical, so this is purely a performance knob —
+/// and the SIMD micro-kernel never engages below it, keeping tiny GEMMs
+/// bit-stable under every backend.
 const SMALL_FLOPS: usize = 1 << 12;
 
-/// Target FLOPs per parallel chunk of row panels.
+/// Target FLOPs per parallel tile of the 2-D macro-kernel partition.
 const CHUNK_FLOPS: usize = 1 << 19;
+
+/// The autotuner skips the naive candidate above this many FLOPs — on big
+/// shapes the naive kernel is orders of magnitude off and timing it would
+/// dominate first-encounter cost.
+const NAIVE_TUNE_MAX_FLOPS: usize = 1 << 24;
 
 /// Which implementation the `gemm*` entry points dispatch to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum GemmBackend {
-    /// Packed, register-tiled, pool-parallel kernels (default).
+    /// Heuristic/tuned selection among the fixed backends (default). Never
+    /// selects `Simd` unless [`set_auto_simd`] / `HFTA_TUNE_SIMD=1` opted in.
+    Auto,
+    /// Packed, register-tiled, pool-parallel scalar kernels (bit-exact).
     Blocked,
     /// The retained naive serial reference — the pre-kernel-layer path,
     /// kept selectable for A/B benchmarking and equivalence tests.
     Naive,
+    /// The AVX2/FMA micro-kernel ([`crate::simd`]) — opt-in, tolerance
+    /// contract; falls back to `Blocked` where unsupported.
+    Simd,
 }
 
-static BACKEND: AtomicU8 = AtomicU8::new(0);
+impl GemmBackend {
+    /// The find-db / CLI name of this backend.
+    pub fn name(self) -> &'static str {
+        match self {
+            GemmBackend::Auto => "auto",
+            GemmBackend::Blocked => "blocked",
+            GemmBackend::Naive => "naive",
+            GemmBackend::Simd => "simd",
+        }
+    }
 
-/// Selects the GEMM implementation process-wide.
+    /// Parses a backend name (as in `HFTA_GEMM_BACKEND` or find-db
+    /// winners); `None` for anything unrecognized.
+    pub fn parse(name: &str) -> Option<GemmBackend> {
+        match name.trim().to_ascii_lowercase().as_str() {
+            "auto" => Some(GemmBackend::Auto),
+            "blocked" => Some(GemmBackend::Blocked),
+            "naive" => Some(GemmBackend::Naive),
+            "simd" => Some(GemmBackend::Simd),
+            _ => None,
+        }
+    }
+}
+
+/// `u8::MAX` = not yet resolved from `HFTA_GEMM_BACKEND`.
+static BACKEND: AtomicU8 = AtomicU8::new(u8::MAX);
+
+fn encode(backend: GemmBackend) -> u8 {
+    match backend {
+        GemmBackend::Auto => 0,
+        GemmBackend::Blocked => 1,
+        GemmBackend::Naive => 2,
+        GemmBackend::Simd => 3,
+    }
+}
+
+/// Selects the GEMM implementation process-wide (overrides the env var).
 pub fn set_backend(backend: GemmBackend) {
-    BACKEND.store(
-        match backend {
-            GemmBackend::Blocked => 0,
-            GemmBackend::Naive => 1,
-        },
-        Ordering::Relaxed,
-    );
+    BACKEND.store(encode(backend), Ordering::Relaxed);
 }
 
-/// The currently selected GEMM implementation.
+/// The currently selected GEMM implementation. First call resolves
+/// `HFTA_GEMM_BACKEND` (unset or unrecognized values mean [`GemmBackend::Auto`]).
 pub fn backend() -> GemmBackend {
     match BACKEND.load(Ordering::Relaxed) {
-        0 => GemmBackend::Blocked,
-        _ => GemmBackend::Naive,
+        0 => GemmBackend::Auto,
+        1 => GemmBackend::Blocked,
+        2 => GemmBackend::Naive,
+        3 => GemmBackend::Simd,
+        _ => {
+            let be = std::env::var("HFTA_GEMM_BACKEND")
+                .ok()
+                .and_then(|v| GemmBackend::parse(&v))
+                .unwrap_or(GemmBackend::Auto);
+            // Racing first calls resolve identically; an interleaved
+            // `set_backend` wins over the env value by overwriting.
+            let _ =
+                BACKEND.compare_exchange(u8::MAX, encode(be), Ordering::Relaxed, Ordering::Relaxed);
+            backend()
+        }
     }
+}
+
+/// `u8::MAX` = not yet resolved from `HFTA_TUNE_SIMD`.
+static AUTO_SIMD: AtomicU8 = AtomicU8::new(u8::MAX);
+
+/// Opts the SIMD kernel in (or out) as an `Auto` candidate. Without this
+/// opt-in `Auto` only ever picks bit-exact backends, so the default
+/// configuration preserves fused-vs-serial bit-identity end to end.
+pub fn set_auto_simd(enabled: bool) {
+    AUTO_SIMD.store(enabled as u8, Ordering::Relaxed);
+}
+
+/// Whether `Auto` may select the SIMD kernel ([`set_auto_simd`] or
+/// `HFTA_TUNE_SIMD=1`, env read once).
+pub fn auto_simd() -> bool {
+    match AUTO_SIMD.load(Ordering::Relaxed) {
+        0 => false,
+        1 => true,
+        _ => {
+            let on = std::env::var("HFTA_TUNE_SIMD")
+                .map(|v| {
+                    let t = v.trim();
+                    t == "1" || t.eq_ignore_ascii_case("true")
+                })
+                .unwrap_or(false);
+            let _ =
+                AUTO_SIMD.compare_exchange(u8::MAX, on as u8, Ordering::Relaxed, Ordering::Relaxed);
+            auto_simd()
+        }
+    }
+}
+
+/// Which micro-kernel the macro-kernel runs per tile.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Micro {
+    Scalar,
+    Simd,
 }
 
 /// How operand `A` is stored relative to the `[m, k]` logical view.
@@ -74,6 +196,8 @@ enum PackA<'a> {
     N(&'a [f32]),
     /// `a[k, m]` row-major (transposed access).
     T(&'a [f32]),
+    /// Already packed by [`pack_a_into`]: `ceil(m/MR)` panels of `k*MR`.
+    Pre(&'a [f32]),
 }
 
 /// How operand `B` is stored relative to the `[k, n]` logical view.
@@ -90,11 +214,7 @@ pub fn gemm(out: &mut [f32], a: &[f32], b: &[f32], m: usize, k: usize, n: usize)
     debug_assert_eq!(a.len(), m * k);
     debug_assert_eq!(b.len(), k * n);
     debug_assert_eq!(out.len(), m * n);
-    if backend() == GemmBackend::Naive || 2 * m * k * n < SMALL_FLOPS {
-        reference::gemm_ref(out, a, b, m, k, n);
-        return;
-    }
-    run_blocked(out, PackA::N(a), PackB::N(b), m, k, n);
+    dispatch(out, PackA::N(a), PackB::N(b), m, k, n, "gemm");
 }
 
 /// `out[m,n] += a[m,k] @ b[n,k]^T` (`b` stored row-major as `[n, k]`).
@@ -102,11 +222,7 @@ pub fn gemm_nt(out: &mut [f32], a: &[f32], b: &[f32], m: usize, k: usize, n: usi
     debug_assert_eq!(a.len(), m * k);
     debug_assert_eq!(b.len(), n * k);
     debug_assert_eq!(out.len(), m * n);
-    if backend() == GemmBackend::Naive || 2 * m * k * n < SMALL_FLOPS {
-        reference::gemm_nt_ref(out, a, b, m, k, n);
-        return;
-    }
-    run_blocked(out, PackA::N(a), PackB::T(b), m, k, n);
+    dispatch(out, PackA::N(a), PackB::T(b), m, k, n, "gemm_nt");
 }
 
 /// `out[m,n] += a[k,m]^T @ b[k,n]` (`a` stored row-major as `[k, m]`).
@@ -114,11 +230,158 @@ pub fn gemm_tn(out: &mut [f32], a: &[f32], b: &[f32], m: usize, k: usize, n: usi
     debug_assert_eq!(a.len(), k * m);
     debug_assert_eq!(b.len(), k * n);
     debug_assert_eq!(out.len(), m * n);
-    if backend() == GemmBackend::Naive || 2 * m * k * n < SMALL_FLOPS {
-        reference::gemm_tn_ref(out, a, b, m, k, n);
+    dispatch(out, PackA::T(a), PackB::N(b), m, k, n, "gemm_tn");
+}
+
+/// Length of the buffer [`pack_a_into`] fills for an `[m, k]` operand.
+pub fn packed_a_len(m: usize, k: usize) -> usize {
+    m.div_ceil(MR) * k * MR
+}
+
+/// Packs a row-major `a[m, k]` into zero-padded `MR`-row panels (the layout
+/// the macro-kernel consumes), for reuse across many [`gemm_prepacked`]
+/// calls that share the same `A` — e.g. a conv weight matrix applied to
+/// every sample of a batch.
+pub fn pack_a_into(a: &[f32], m: usize, k: usize, buf: &mut [f32]) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(buf.len(), packed_a_len(m, k));
+    for ib in 0..m.div_ceil(MR) {
+        let i0 = ib * MR;
+        let rows = MR.min(m - i0);
+        pack_a(
+            PackA::N(a),
+            m,
+            k,
+            i0,
+            rows,
+            &mut buf[ib * k * MR..(ib + 1) * k * MR],
+        );
+    }
+}
+
+/// `out[m,n] += A @ b[k,n]` where `A` was packed once by [`pack_a_into`].
+///
+/// Bit-compatible with [`gemm`] on the same operands for every bit-exact
+/// backend: below [`SMALL_FLOPS`]-sized shapes and under scalar kernels the
+/// accumulation order is identical, so pre-packing never changes results —
+/// only the per-call packing cost. The SIMD micro-kernel engages exactly
+/// when a forced `Simd` backend (or SIMD-opted-in `Auto`) would use it.
+pub fn gemm_prepacked(out: &mut [f32], apack: &[f32], b: &[f32], m: usize, k: usize, n: usize) {
+    debug_assert_eq!(apack.len(), packed_a_len(m, k));
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(out.len(), m * n);
+    let flops = 2 * m * k * n;
+    let simd_active = matches!(backend(), GemmBackend::Simd)
+        || (matches!(backend(), GemmBackend::Auto) && auto_simd());
+    let micro = if flops >= SMALL_FLOPS && simd_active && simd::simd_available() {
+        Micro::Simd
+    } else {
+        Micro::Scalar
+    };
+    run_tiled(out, PackA::Pre(apack), PackB::N(b), m, k, n, micro);
+}
+
+/// Runs the naive reference matching the operand orientations.
+fn run_reference(out: &mut [f32], a: PackA<'_>, b: PackB<'_>, m: usize, k: usize, n: usize) {
+    match (a, b) {
+        (PackA::N(a), PackB::N(b)) => reference::gemm_ref(out, a, b, m, k, n),
+        (PackA::N(a), PackB::T(b)) => reference::gemm_nt_ref(out, a, b, m, k, n),
+        (PackA::T(a), PackB::N(b)) => reference::gemm_tn_ref(out, a, b, m, k, n),
+        // No entry point produces these; the scalar tiled kernel is
+        // bit-identical to the references, so it serves as the fallback.
+        _ => run_tiled(out, a, b, m, k, n, Micro::Scalar),
+    }
+}
+
+/// Runs one resolved (non-`Auto`) backend.
+fn run_fixed(
+    be: GemmBackend,
+    out: &mut [f32],
+    a: PackA<'_>,
+    b: PackB<'_>,
+    m: usize,
+    k: usize,
+    n: usize,
+) {
+    match be {
+        GemmBackend::Naive => run_reference(out, a, b, m, k, n),
+        GemmBackend::Simd if simd::simd_available() => {
+            run_tiled(out, a, b, m, k, n, Micro::Simd);
+        }
+        _ => run_tiled(out, a, b, m, k, n, Micro::Scalar),
+    }
+}
+
+/// Resolves an `Auto` dispatch: find-db winner when tuned, candidate
+/// benchmark on first encounter, static heuristic when tuning is off.
+fn auto_backend(
+    out: &mut [f32],
+    a: PackA<'_>,
+    b: PackB<'_>,
+    m: usize,
+    k: usize,
+    n: usize,
+    op: &str,
+) -> GemmBackend {
+    let simd_in = auto_simd() && simd::simd_available();
+    let heuristic = if simd_in {
+        GemmBackend::Simd
+    } else {
+        GemmBackend::Blocked
+    };
+    if !tune::enabled() {
+        return heuristic;
+    }
+    let key = tune::key(op, m, k, n, pool::num_threads());
+    if let Some(winner) = tune::lookup(&key) {
+        return match GemmBackend::parse(&winner) {
+            Some(GemmBackend::Simd) if !simd::simd_available() => GemmBackend::Blocked,
+            Some(be) if be != GemmBackend::Auto => be,
+            _ => heuristic,
+        };
+    }
+    // First encounter: time every candidate against the real operands on a
+    // scratch copy of the output (the op is `out += a@b`, so candidates must
+    // not double-accumulate into the caller's buffer). One reading per
+    // candidate is deliberate — among bit-exact candidates a noisy winner is
+    // harmless, and the SIMD/blocked gap is far wider than timer noise.
+    let flops = 2 * m * k * n;
+    let mut candidates = vec![GemmBackend::Blocked];
+    if flops <= NAIVE_TUNE_MAX_FLOPS {
+        candidates.push(GemmBackend::Naive);
+    }
+    if simd_in {
+        candidates.push(GemmBackend::Simd);
+    }
+    scratch::reserve("tune.out", out.len(), 1);
+    let mut best = (GemmBackend::Blocked, f64::INFINITY);
+    let mut micros: Vec<(&str, f64)> = Vec::with_capacity(candidates.len());
+    for be in candidates {
+        let us = scratch::with(out.len(), |tmp| {
+            tmp.copy_from_slice(out);
+            let t0 = Instant::now();
+            run_fixed(be, tmp, a, b, m, k, n);
+            t0.elapsed().as_secs_f64() * 1e6
+        });
+        micros.push((be.name(), us));
+        if us < best.1 {
+            best = (be, us);
+        }
+    }
+    tune::record(&key, best.0.name(), &micros);
+    best.0
+}
+
+fn dispatch(out: &mut [f32], a: PackA<'_>, b: PackB<'_>, m: usize, k: usize, n: usize, op: &str) {
+    if 2 * m * k * n < SMALL_FLOPS {
+        run_reference(out, a, b, m, k, n);
         return;
     }
-    run_blocked(out, PackA::T(a), PackB::N(b), m, k, n);
+    let be = match backend() {
+        GemmBackend::Auto => auto_backend(out, a, b, m, k, n, op),
+        be => be,
+    };
+    run_fixed(be, out, a, b, m, k, n);
 }
 
 /// Packs all of `B` into `ceil(n/NR)` zero-padded column panels; panel `jb`
@@ -175,14 +438,21 @@ fn pack_a(a: PackA<'_>, m: usize, k: usize, i0: usize, rows: usize, buf: &mut [f
                 buf[p * MR..p * MR + rows].copy_from_slice(arow);
             }
         }
+        PackA::Pre(_) => unreachable!("pre-packed panels are read in place"),
     }
 }
 
-/// The register-tiled inner kernel: `acc[r][c] += apanel[p][r] * bpanel[p][c]`
-/// for `p` ascending. `acc` rows/columns beyond the valid tile see only the
-/// panels' zero padding and stay untouched in value.
+/// The scalar register-tiled inner kernel: `acc[r][c] += apanel[p][r] *
+/// bpanel[p][c]` for `p` ascending, separate multiply and add. `acc`
+/// rows/columns beyond the valid tile see only the panels' zero padding and
+/// stay untouched in value. Shared with the SIMD module's equivalence tests.
 #[inline]
-fn microkernel(k: usize, apanel: &[f32], bpanel: &[f32], acc: &mut [[f32; NR]; MR]) {
+pub(crate) fn scalar_microkernel(
+    k: usize,
+    apanel: &[f32],
+    bpanel: &[f32],
+    acc: &mut [[f32; NR]; MR],
+) {
     for (arow, brow) in apanel.chunks_exact(MR).zip(bpanel.chunks_exact(NR)).take(k) {
         let arow: &[f32; MR] = arow.try_into().unwrap();
         let brow: &[f32; NR] = brow.try_into().unwrap();
@@ -196,54 +466,138 @@ fn microkernel(k: usize, apanel: &[f32], bpanel: &[f32], acc: &mut [[f32; NR]; M
     }
 }
 
-fn run_blocked(out: &mut [f32], a: PackA<'_>, b: PackB<'_>, m: usize, k: usize, n: usize) {
+/// The 2-D tiled macro-kernel. Work is split over (row-panel-group,
+/// column-panel-group) tiles: when one row panel already carries
+/// [`CHUNK_FLOPS`] the columns split so short-`m` GEMMs still expose many
+/// chunks; otherwise row panels group as before. Both grains — and hence the
+/// decomposition — are pure functions of the shape, and every output element
+/// is still produced by exactly one micro-kernel call walking the full
+/// contraction ascending, so scalar results are bit-identical at any thread
+/// count and to the 1-D partition this replaces.
+fn run_tiled(
+    out: &mut [f32],
+    a: PackA<'_>,
+    b: PackB<'_>,
+    m: usize,
+    k: usize,
+    n: usize,
+    micro: Micro,
+) {
     let row_panels = m.div_ceil(MR);
     let col_panels = n.div_ceil(NR);
-    // Grain is a pure function of the shape (never the thread count), so the
-    // chunk decomposition — and therefore the result — is deterministic.
     let panel_flops = 2 * MR * k * n;
-    let grain = (CHUNK_FLOPS / panel_flops.max(1)).clamp(1, row_panels);
-    let n_chunks = row_panels.div_ceil(grain);
+    let (row_grain, col_grain) = if panel_flops >= CHUNK_FLOPS {
+        (
+            1,
+            (CHUNK_FLOPS / (2 * MR * k * NR).max(1)).clamp(1, col_panels),
+        )
+    } else {
+        (
+            (CHUNK_FLOPS / panel_flops.max(1)).clamp(1, row_panels),
+            col_panels,
+        )
+    };
+    let row_groups = row_panels.div_ceil(row_grain);
+    let col_groups = col_panels.div_ceil(col_grain);
+    let n_chunks = row_groups * col_groups;
     let bpack_len = col_panels * k * NR;
     // Worst-case concurrent scratch demand. A GEMM nested inside a pool
     // worker runs inline there, so every worker can hold one B-pack and one
     // A-panel at once; a top-level GEMM holds one B-pack on the caller while
-    // its row-panel chunks each hold an A-panel.
+    // its tile chunks each hold an A-panel.
     let (bpack_count, apanel_count) = if pool::in_worker() {
         (pool::num_threads(), pool::num_threads())
     } else {
         (1, pool::num_threads().min(n_chunks))
     };
     scratch::reserve("gemm.bpack", bpack_len, bpack_count);
-    scratch::reserve("gemm.apanel", k * MR, apanel_count);
+    if !matches!(a, PackA::Pre(_)) {
+        scratch::reserve("gemm.apanel", k * MR, apanel_count);
+    }
     scratch::with(bpack_len, |bpack| {
         pack_b_into(b, k, n, bpack);
         let shared = UnsafeSlice::new(out);
-        pool::parallel_for(row_panels, grain, |panels| {
-            scratch::with(k * MR, |apanel| {
-                for ib in panels {
-                    let i0 = ib * MR;
-                    let rows = MR.min(m - i0);
-                    pack_a(a, m, k, i0, rows, apanel);
-                    // SAFETY: row panels are disjoint output regions.
-                    let orows = unsafe { shared.slice_mut(i0 * n..(i0 + rows) * n) };
-                    for jb in 0..col_panels {
-                        let j0 = jb * NR;
-                        let cols = NR.min(n - j0);
-                        let bpanel = &bpack[jb * k * NR..(jb + 1) * k * NR];
-                        let mut acc = [[0.0f32; NR]; MR];
-                        for (r, orow) in orows.chunks_exact(n).enumerate() {
-                            acc[r][..cols].copy_from_slice(&orow[j0..j0 + cols]);
-                        }
-                        microkernel(k, apanel, bpanel, &mut acc);
-                        for (r, orow) in orows.chunks_exact_mut(n).enumerate() {
-                            orow[j0..j0 + cols].copy_from_slice(&acc[r][..cols]);
+        pool::parallel_for_work(n_chunks, 1, 2 * m * k * n, |chunks| {
+            with_apanel_scratch(a, k, |apanel_buf| {
+                for chunk in chunks {
+                    let rg = chunk / col_groups;
+                    let jg = chunk % col_groups;
+                    let jp_end = ((jg + 1) * col_grain).min(col_panels);
+                    for ib in rg * row_grain..((rg + 1) * row_grain).min(row_panels) {
+                        let i0 = ib * MR;
+                        let rows = MR.min(m - i0);
+                        let apanel: &[f32] = match a {
+                            PackA::Pre(src) => &src[ib * k * MR..(ib + 1) * k * MR],
+                            _ => {
+                                pack_a(a, m, k, i0, rows, apanel_buf);
+                                apanel_buf
+                            }
+                        };
+                        let load_acc = |jb: usize| -> [[f32; NR]; MR] {
+                            let j0 = jb * NR;
+                            let cols = NR.min(n - j0);
+                            let mut acc = [[0.0f32; NR]; MR];
+                            for (r, accr) in acc.iter_mut().enumerate().take(rows) {
+                                let at = (i0 + r) * n + j0;
+                                // SAFETY: tile (ib, jb) belongs to exactly one
+                                // chunk, so these regions are disjoint across
+                                // concurrent chunks.
+                                let orow = unsafe { shared.slice_mut(at..at + cols) };
+                                accr[..cols].copy_from_slice(orow);
+                            }
+                            acc
+                        };
+                        let store_acc = |jb: usize, acc: &[[f32; NR]; MR]| {
+                            let j0 = jb * NR;
+                            let cols = NR.min(n - j0);
+                            for (r, accr) in acc.iter().enumerate().take(rows) {
+                                let at = (i0 + r) * n + j0;
+                                // SAFETY: as above; the read borrow ended.
+                                let orow = unsafe { shared.slice_mut(at..at + cols) };
+                                orow.copy_from_slice(&accr[..cols]);
+                            }
+                        };
+                        let mut jb = jg * col_grain;
+                        while jb < jp_end {
+                            // The SIMD path pairs adjacent column panels
+                            // (8x16 tile) whenever the chunk holds two more:
+                            // bitwise equal to two single-tile calls (see
+                            // `simd::microkernel_x2`), so the pairing — a
+                            // chunk-local accident — never changes results.
+                            if micro == Micro::Simd && jb + 1 < jp_end {
+                                let bp0 = &bpack[jb * k * NR..(jb + 1) * k * NR];
+                                let bp1 = &bpack[(jb + 1) * k * NR..(jb + 2) * k * NR];
+                                let mut acc0 = load_acc(jb);
+                                let mut acc1 = load_acc(jb + 1);
+                                simd::microkernel_x2(k, apanel, bp0, bp1, &mut acc0, &mut acc1);
+                                store_acc(jb, &acc0);
+                                store_acc(jb + 1, &acc1);
+                                jb += 2;
+                                continue;
+                            }
+                            let bpanel = &bpack[jb * k * NR..(jb + 1) * k * NR];
+                            let mut acc = load_acc(jb);
+                            match micro {
+                                Micro::Scalar => scalar_microkernel(k, apanel, bpanel, &mut acc),
+                                Micro::Simd => simd::microkernel(k, apanel, bpanel, &mut acc),
+                            }
+                            store_acc(jb, &acc);
+                            jb += 1;
                         }
                     }
                 }
             });
         });
     });
+}
+
+/// Checks out the per-chunk A-panel scratch, skipped entirely for
+/// pre-packed operands (their panels are read in place).
+fn with_apanel_scratch<R>(a: PackA<'_>, k: usize, f: impl FnOnce(&mut [f32]) -> R) -> R {
+    match a {
+        PackA::Pre(_) => f(&mut []),
+        _ => scratch::with(k * MR, f),
+    }
 }
 
 #[cfg(test)]
@@ -273,7 +627,7 @@ mod tests {
     }
 
     #[test]
-    fn blocked_bitwise_equals_reference_over_shape_sweep() {
+    fn tiled_bitwise_equals_reference_over_shape_sweep() {
         for &(m, k, n) in &[
             (1usize, 1usize, 1usize),
             (3, 5, 2),
@@ -282,35 +636,77 @@ mod tests {
             (16, 72, 25),
             (33, 7, 40),
             (64, 64, 64),
+            // Short-m, wide-n: exercises the column-split partition regime.
+            (8, 96, 700),
         ] {
             let a = fill(m * k, 1 + (m * 31 + k * 7 + n) as u64);
             let b = fill(k * n, 2 + (m + k * 13 + n * 3) as u64);
             let init = fill(m * n, 3 + (m + k + n) as u64);
             let mut fast = init.clone();
             let mut slow = init.clone();
-            // Force the blocked path even below the size threshold.
-            run_blocked(&mut fast, PackA::N(&a), PackB::N(&b), m, k, n);
+            // Force the tiled path even below the size threshold.
+            run_tiled(
+                &mut fast,
+                PackA::N(&a),
+                PackB::N(&b),
+                m,
+                k,
+                n,
+                Micro::Scalar,
+            );
             reference::gemm_ref(&mut slow, &a, &b, m, k, n);
             assert_eq!(fast, slow, "gemm mismatch at ({m},{k},{n})");
 
             let at = transpose(&a, m, k);
             let mut fast_tn = init.clone();
             let mut slow_tn = init.clone();
-            run_blocked(&mut fast_tn, PackA::T(&at), PackB::N(&b), m, k, n);
+            run_tiled(
+                &mut fast_tn,
+                PackA::T(&at),
+                PackB::N(&b),
+                m,
+                k,
+                n,
+                Micro::Scalar,
+            );
             reference::gemm_tn_ref(&mut slow_tn, &at, &b, m, k, n);
             assert_eq!(fast_tn, slow_tn, "gemm_tn mismatch at ({m},{k},{n})");
 
             let bt = transpose(&b, k, n);
             let mut fast_nt = init.clone();
-            let mut slow_nt = init;
-            run_blocked(&mut fast_nt, PackA::N(&a), PackB::T(&bt), m, k, n);
+            let mut slow_nt = init.clone();
+            run_tiled(
+                &mut fast_nt,
+                PackA::N(&a),
+                PackB::T(&bt),
+                m,
+                k,
+                n,
+                Micro::Scalar,
+            );
             reference::gemm_nt_ref(&mut slow_nt, &a, &bt, m, k, n);
             assert_eq!(fast_nt, slow_nt, "gemm_nt mismatch at ({m},{k},{n})");
+
+            // Pre-packed A must be bit-identical to packing per call.
+            let mut apack = vec![0.0f32; packed_a_len(m, k)];
+            pack_a_into(&a, m, k, &mut apack);
+            let mut fast_pre = init.clone();
+            run_tiled(
+                &mut fast_pre,
+                PackA::Pre(&apack),
+                PackB::N(&b),
+                m,
+                k,
+                n,
+                Micro::Scalar,
+            );
+            assert_eq!(fast_pre, slow, "prepacked mismatch at ({m},{k},{n})");
         }
     }
 
     #[test]
     fn backend_toggle_dispatches_naive() {
+        let prev = backend();
         set_backend(GemmBackend::Naive);
         assert_eq!(backend(), GemmBackend::Naive);
         let a = fill(16 * 16, 9);
@@ -322,6 +718,24 @@ mod tests {
         let mut via_ref = vec![0.0f32; 16 * 16];
         reference::gemm_ref(&mut via_ref, &a, &b, 16, 16, 16);
         assert_eq!(via_entry, via_ref);
+        set_backend(prev);
+    }
+
+    #[test]
+    fn backend_names_round_trip() {
+        for be in [
+            GemmBackend::Auto,
+            GemmBackend::Blocked,
+            GemmBackend::Naive,
+            GemmBackend::Simd,
+        ] {
+            assert_eq!(GemmBackend::parse(be.name()), Some(be));
+        }
+        assert_eq!(
+            GemmBackend::parse(" Blocked \n"),
+            Some(GemmBackend::Blocked)
+        );
+        assert_eq!(GemmBackend::parse("mystery"), None);
     }
 
     #[test]

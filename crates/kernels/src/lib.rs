@@ -8,9 +8,18 @@
 //!   boundaries depend only on the problem shape, so results are
 //!   bit-identical at any thread count.
 //! * [`gemm`] — cache-blocked, register-tiled f32 GEMM ([`gemm()`],
-//!   [`gemm_nt()`], [`gemm_tn()`]) with packed A/B panels and an 8×8
-//!   micro-kernel, bit-identical to the retained naive references in
-//!   [`reference`] (the accumulation order per output element is preserved).
+//!   [`gemm_nt()`], [`gemm_tn()`], [`gemm_prepacked()`]) with packed A/B
+//!   panels, a 2-D tiled macro-kernel, and selectable backends: the scalar
+//!   8×8 micro-kernel is bit-identical to the retained naive references in
+//!   [`reference`] (the accumulation order per output element is
+//!   preserved); the opt-in [`simd`] AVX2/FMA micro-kernel carries a
+//!   relative-tolerance contract instead.
+//! * [`simd`] — runtime-detected AVX2/FMA f32x8 micro-kernel behind
+//!   [`GemmBackend::Simd`], with [`simd::set_simd_enabled`] as the
+//!   force-scalar hook.
+//! * [`tune`] — a persistent MIOpen-style find-db: `Auto` dispatches
+//!   benchmark candidate backends per (op, shape, threads) key on first
+//!   encounter and cache the winner (`HFTA_TUNE_DB`).
 //! * [`profile`] — [`profiled()`] wires `hfta-telemetry` spans/counters
 //!   (kernel name, threads, FLOPs) around kernel dispatches.
 //!
@@ -25,7 +34,16 @@ pub mod gemm;
 pub mod pool;
 pub mod profile;
 pub mod reference;
+pub mod simd;
+pub mod tune;
 
-pub use gemm::{backend, gemm, gemm_nt, gemm_tn, set_backend, GemmBackend};
-pub use pool::{for_each_chunk_mut, num_threads, parallel_for, set_num_threads, UnsafeSlice};
+pub use gemm::{
+    backend, gemm, gemm_nt, gemm_prepacked, gemm_tn, pack_a_into, packed_a_len, set_auto_simd,
+    set_backend, GemmBackend,
+};
+pub use pool::{
+    for_each_chunk_mut, num_threads, parallel_for, parallel_for_work, pool_dispatches,
+    set_num_threads, UnsafeSlice,
+};
 pub use profile::profiled;
+pub use simd::{set_simd_enabled, simd_available};

@@ -41,8 +41,28 @@ use std::sync::{Condvar, Mutex, MutexGuard, OnceLock};
 /// thousands of workers.
 pub const MAX_THREADS: usize = 64;
 
+/// Below this much total work (FLOPs for compute kernels, elements for
+/// elementwise fills) a dispatch through [`parallel_for_work`] runs inline
+/// on the caller: waking condvar-parked workers costs on the order of
+/// microseconds, which tiny ops can never win back. The threshold is a
+/// pure constant — never a function of the thread count — so the inline
+/// decision, like the chunk decomposition, is identical on any pool size.
+pub const MIN_POOL_WORK: usize = 1 << 16;
+
 /// Configured thread count. 0 = not yet resolved from env/default.
 static THREADS: AtomicUsize = AtomicUsize::new(0);
+
+/// Jobs actually handed to the worker pool (inline runs excluded). The
+/// small-op regression guard in `benches/telemetry_overhead.rs` asserts
+/// this stays flat across a loop of tiny tensor ops.
+static DISPATCHES: AtomicUsize = AtomicUsize::new(0);
+
+/// Number of jobs ever dispatched to pool workers (inline fast-path runs
+/// do not count). Monotonic; useful for asserting that small operations
+/// never wake the pool.
+pub fn pool_dispatches() -> u64 {
+    DISPATCHES.load(Ordering::Relaxed) as u64
+}
 
 thread_local! {
     /// True on pool workers and on a submitting thread while it participates
@@ -248,27 +268,61 @@ fn chunk_range(chunk: usize, grain: usize, n_items: usize) -> Range<usize> {
 /// thread count. Runs inline (still chunked, in ascending chunk order) when
 /// the pool has one thread, when there is a single chunk, when called from
 /// inside a pool worker, or when another dispatch is already in flight.
+///
+/// Each item counts as one unit of work for the [`MIN_POOL_WORK`] inline
+/// fast path — right for elementwise loops. Callers whose items are heavy
+/// (a GEMM panel, a conv sample) should use [`parallel_for_work`] with an
+/// explicit work estimate so medium problems still reach the pool.
 pub fn parallel_for(n_items: usize, grain: usize, f: impl Fn(Range<usize>) + Sync) {
+    parallel_for_work(n_items, grain, n_items, f);
+}
+
+/// [`parallel_for`] with an explicit total-work estimate (FLOPs for compute
+/// kernels, elements for fills) deciding the inline fast path.
+///
+/// Dispatches below [`MIN_POOL_WORK`] run inline on the caller with zero
+/// pool traffic — no lock, no condvar wakeup ([`pool_dispatches`] does not
+/// move). `work` only gates *whether* the pool is used, never how items are
+/// chunked, so results stay bit-identical either way.
+pub fn parallel_for_work(
+    n_items: usize,
+    grain: usize,
+    work: usize,
+    f: impl Fn(Range<usize>) + Sync,
+) {
     if n_items == 0 {
         return;
     }
     let grain = grain.max(1);
     let n_chunks = n_items.div_ceil(grain);
-    let threads = num_threads();
     let run_inline = || {
         for chunk in 0..n_chunks {
             f(chunk_range(chunk, grain, n_items));
         }
     };
-    if threads == 1 || n_chunks <= 1 || in_worker() {
+    if work < MIN_POOL_WORK || n_chunks <= 1 || in_worker() {
+        run_inline();
+        return;
+    }
+    let threads = num_threads();
+    if threads == 1 {
         run_inline();
         return;
     }
     let pool = pool();
-    let Ok(_submit) = pool.submit_lock.try_lock() else {
-        run_inline();
-        return;
+    // The submit lock guards no data, so poisoning (a dispatch that panicked
+    // while holding it) carries no meaning — recover the guard instead of
+    // treating it as contention, which would silently disable the pool for
+    // the rest of the process after the first propagated kernel panic.
+    let _submit = match pool.submit_lock.try_lock() {
+        Ok(guard) => guard,
+        Err(std::sync::TryLockError::Poisoned(poisoned)) => poisoned.into_inner(),
+        Err(std::sync::TryLockError::WouldBlock) => {
+            run_inline();
+            return;
+        }
     };
+    DISPATCHES.fetch_add(1, Ordering::Relaxed);
     ensure_workers(pool, threads - 1);
     let call = |chunk: usize| f(chunk_range(chunk, grain, n_items));
     let task_ref: &(dyn Fn(usize) + Sync) = &call;
@@ -428,10 +482,12 @@ mod tests {
         set_num_threads(4);
         let mut out = vec![0.0f32; 64];
         let shared = UnsafeSlice::new(&mut out);
-        parallel_for(8, 1, |outer| {
+        // Work hints push both levels past the inline fast path so the outer
+        // call really dispatches and the inner one proves nested inlining.
+        parallel_for_work(8, 1, MIN_POOL_WORK, |outer| {
             for o in outer {
                 // Nested call: must run inline on this worker.
-                parallel_for(8, 2, |inner| {
+                parallel_for_work(8, 2, MIN_POOL_WORK, |inner| {
                     for i in inner {
                         let cell = unsafe { shared.slice_mut(o * 8 + i..o * 8 + i + 1) };
                         cell[0] = (o * 8 + i) as f32;
@@ -454,7 +510,7 @@ mod tests {
             // either way the dispatch must unwind on the submitting thread
             // instead of hanging, and the pool must stay usable.
             let result = std::panic::catch_unwind(|| {
-                parallel_for(97, 1, |range| {
+                parallel_for_work(97, 1, MIN_POOL_WORK, |range| {
                     if range.start == 13 {
                         panic!("boom");
                     }
@@ -470,6 +526,68 @@ mod tests {
             for (i, v) in out.iter().enumerate() {
                 assert_eq!(*v, i as f32, "pool broken after panic, index {i}");
             }
+            // The pool must keep *dispatching* too — a panic while holding
+            // the submit lock used to poison it, silently inlining every
+            // later parallel_for for the rest of the process.
+            let flagged = AtomicUsize::new(0);
+            parallel_for_work(97, 1, MIN_POOL_WORK, |_range| {
+                if in_worker() {
+                    flagged.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+            assert!(
+                flagged.load(Ordering::Relaxed) > 0,
+                "pool stopped dispatching after a panic"
+            );
+        }
+        set_num_threads(1);
+    }
+
+    #[test]
+    fn small_work_never_touches_the_pool() {
+        let _guard = THREAD_LOCK.lock().unwrap();
+        set_num_threads(4);
+        let caller = std::thread::current().id();
+        // Many chunks, but total work below MIN_POOL_WORK: must run inline —
+        // every chunk on the calling thread, pool flag never set. (Inline
+        // execution is unconditional below the threshold, so this cannot be
+        // perturbed by concurrent tests sharing the process-wide pool.)
+        let escaped = AtomicUsize::new(0);
+        let mut out = vec![0.0f32; 4096];
+        let shared = UnsafeSlice::new(&mut out);
+        parallel_for_work(4096, 64, 4096, |range| {
+            if in_worker() || std::thread::current().id() != caller {
+                escaped.fetch_add(1, Ordering::Relaxed);
+            }
+            let chunk = unsafe { shared.slice_mut(range.clone()) };
+            for (i, v) in chunk.iter_mut().enumerate() {
+                *v = (range.start + i) as f32;
+            }
+        });
+        // `parallel_for` counts items as work, so a tiny op inlines too.
+        parallel_for(100, 1, |_range| {
+            if in_worker() {
+                escaped.fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        assert_eq!(escaped.load(Ordering::Relaxed), 0, "small op woke the pool");
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, i as f32);
+        }
+        // At or above the threshold the dispatch goes through the pool: the
+        // submitter participates with the pool flag set. Retry, since a
+        // concurrent test's in-flight dispatch forces an inline fallback.
+        for attempt in 0.. {
+            let flagged = AtomicUsize::new(0);
+            parallel_for_work(4096, 64, MIN_POOL_WORK, |_range| {
+                if in_worker() {
+                    flagged.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+            if flagged.load(Ordering::Relaxed) > 0 {
+                break;
+            }
+            assert!(attempt < 100, "threshold-sized op never reached the pool");
         }
         set_num_threads(1);
     }
@@ -483,6 +601,7 @@ mod tests {
     #[test]
     fn env_override_is_clamped() {
         // Can't re-read env after first resolution, but the setter clamps.
+        let _guard = THREAD_LOCK.lock().unwrap();
         set_num_threads(0);
         assert_eq!(num_threads(), 1);
         set_num_threads(MAX_THREADS + 100);

@@ -1,0 +1,317 @@
+//! Explicit-SIMD (AVX2/FMA) GEMM micro-kernels with runtime detection.
+//!
+//! The blocked GEMM's scalar micro-kernel autovectorizes, but the portable
+//! x86-64 baseline the workspace builds for (see `.cargo/config.toml`) caps
+//! it at SSE2 and forbids FMA contraction. This module hand-writes the same
+//! 8×8 register tile with `std::arch` AVX2 intrinsics — one f32x8 vector per
+//! accumulator row, `vfmadd` per contraction step — and gates it behind
+//! runtime `is_x86_feature_detected!` so the binary stays portable.
+//!
+//! The single-tile kernel is load-port-bound: each contraction step issues
+//! nine load μops (one B vector + eight A broadcasts) against eight FMAs.
+//! [`microkernel_x2`] therefore processes **two adjacent B column panels per
+//! call** (an 8×16 logical tile, walked as two 4×16 register passes so the
+//! eight accumulators, two B vectors and one broadcast fit the sixteen ymm
+//! registers): every A broadcast now feeds two FMAs, moving the kernel to
+//! the FMA-throughput bound. Each output lane's FMA chain is identical to
+//! the single-panel kernel's, so the paired path is **bitwise equal** to two
+//! single-tile calls — pairing is purely a scheduling decision.
+//!
+//! # Tolerance, not bit-exactness
+//!
+//! FMA contracts the multiply-add into one rounding, so results differ from
+//! the scalar kernels in the last bits. `GemmBackend::Simd` is therefore
+//! **opt-in** and carries a relative-tolerance equivalence contract
+//! (property-tested in `tests/proptests.rs`); the default `Blocked` backend
+//! keeps its documented bit-exactness. On CPUs without AVX2+FMA — or after
+//! [`set_simd_enabled`]`(false)` — a forced `Simd` backend silently runs the
+//! scalar blocked kernel, which *is* bit-exact.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+use crate::gemm::{MR, NR};
+
+/// 0 = not yet detected, 1 = available, 2 = unavailable or force-disabled.
+static SIMD_STATE: AtomicU8 = AtomicU8::new(0);
+
+const _: () = assert!(
+    MR == 8 && NR == 8,
+    "AVX2 micro-kernel is written for an 8x8 tile"
+);
+
+#[cfg(target_arch = "x86_64")]
+fn detect() -> bool {
+    std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma")
+}
+
+#[cfg(not(target_arch = "x86_64"))]
+fn detect() -> bool {
+    false
+}
+
+/// Whether the AVX2/FMA micro-kernel can run on this CPU (cached after the
+/// first call). `false` after [`set_simd_enabled`]`(false)`.
+pub fn simd_available() -> bool {
+    match SIMD_STATE.load(Ordering::Relaxed) {
+        0 => {
+            let ok = detect();
+            SIMD_STATE.store(if ok { 1 } else { 2 }, Ordering::Relaxed);
+            ok
+        }
+        1 => true,
+        _ => false,
+    }
+}
+
+/// Force-disables (`false`) or re-detects (`true`) the SIMD micro-kernel.
+///
+/// Disabling makes every `GemmBackend::Simd` dispatch take the scalar
+/// blocked path — the hook the fallback equivalence tests use to prove the
+/// two paths agree bitwise when SIMD is off. Passing `true` re-runs CPU
+/// detection rather than blindly enabling.
+pub fn set_simd_enabled(enabled: bool) {
+    if enabled {
+        SIMD_STATE.store(if detect() { 1 } else { 2 }, Ordering::Relaxed);
+    } else {
+        SIMD_STATE.store(2, Ordering::Relaxed);
+    }
+}
+
+/// AVX2/FMA twin of the scalar micro-kernel: `acc[r] += apanel[p][r] *
+/// bpanel[p]` as an 8-lane fused multiply-add, `p` ascending. Panel layout
+/// is identical to the scalar path (`apanel[p*MR + r]`, `bpanel[p*NR + c]`),
+/// so the packing code is shared.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+unsafe fn microkernel_avx2(k: usize, apanel: &[f32], bpanel: &[f32], acc: &mut [[f32; NR]; MR]) {
+    use std::arch::x86_64::*;
+    debug_assert!(apanel.len() >= k * MR && bpanel.len() >= k * NR);
+    let mut rows = [_mm256_setzero_ps(); MR];
+    for (r, accr) in acc.iter().enumerate() {
+        rows[r] = _mm256_loadu_ps(accr.as_ptr());
+    }
+    let ap = apanel.as_ptr();
+    let bp = bpanel.as_ptr();
+    for p in 0..k {
+        let bv = _mm256_loadu_ps(bp.add(p * NR));
+        let ac = ap.add(p * MR);
+        for (r, row) in rows.iter_mut().enumerate() {
+            let av = _mm256_set1_ps(*ac.add(r));
+            *row = _mm256_fmadd_ps(av, bv, *row);
+        }
+    }
+    for (r, accr) in acc.iter_mut().enumerate() {
+        _mm256_storeu_ps(accr.as_mut_ptr(), rows[r]);
+    }
+}
+
+/// Paired twin of [`microkernel_avx2`]: one walk over the A panel updates
+/// two B panels' accumulator tiles. Two passes of 4 rows × 16 columns keep
+/// the working set (8 accumulators + 2 B vectors + 1 broadcast) inside the
+/// sixteen ymm registers; per pass each contraction step is 6 load μops
+/// against 8 FMAs, so the kernel runs at the FMA bound instead of the
+/// single-tile version's load bound. Lane-for-lane the FMA sequence equals
+/// two single-tile calls, so results are bitwise identical to them.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+unsafe fn microkernel_avx2_x2(
+    k: usize,
+    apanel: &[f32],
+    bpanel0: &[f32],
+    bpanel1: &[f32],
+    acc0: &mut [[f32; NR]; MR],
+    acc1: &mut [[f32; NR]; MR],
+) {
+    use std::arch::x86_64::*;
+    debug_assert!(apanel.len() >= k * MR);
+    debug_assert!(bpanel0.len() >= k * NR && bpanel1.len() >= k * NR);
+    let ap = apanel.as_ptr();
+    let bp0 = bpanel0.as_ptr();
+    let bp1 = bpanel1.as_ptr();
+    for r0 in [0usize, 4] {
+        let mut acc = [[_mm256_setzero_ps(); 2]; 4];
+        for (i, accv) in acc.iter_mut().enumerate() {
+            accv[0] = _mm256_loadu_ps(acc0[r0 + i].as_ptr());
+            accv[1] = _mm256_loadu_ps(acc1[r0 + i].as_ptr());
+        }
+        // k unrolled by two to amortize loop overhead against the FMA
+        // bound; both sub-steps keep `p` ascending per lane, so the
+        // accumulation order (and hence every result bit) is unchanged.
+        let mut p = 0usize;
+        while p + 1 < k {
+            let bv0 = _mm256_loadu_ps(bp0.add(p * NR));
+            let bv1 = _mm256_loadu_ps(bp1.add(p * NR));
+            let ac = ap.add(p * MR + r0);
+            for (i, accv) in acc.iter_mut().enumerate() {
+                let av = _mm256_set1_ps(*ac.add(i));
+                accv[0] = _mm256_fmadd_ps(av, bv0, accv[0]);
+                accv[1] = _mm256_fmadd_ps(av, bv1, accv[1]);
+            }
+            let bw0 = _mm256_loadu_ps(bp0.add((p + 1) * NR));
+            let bw1 = _mm256_loadu_ps(bp1.add((p + 1) * NR));
+            let ad = ap.add((p + 1) * MR + r0);
+            for (i, accv) in acc.iter_mut().enumerate() {
+                let av = _mm256_set1_ps(*ad.add(i));
+                accv[0] = _mm256_fmadd_ps(av, bw0, accv[0]);
+                accv[1] = _mm256_fmadd_ps(av, bw1, accv[1]);
+            }
+            p += 2;
+        }
+        if p < k {
+            let bv0 = _mm256_loadu_ps(bp0.add(p * NR));
+            let bv1 = _mm256_loadu_ps(bp1.add(p * NR));
+            let ac = ap.add(p * MR + r0);
+            for (i, accv) in acc.iter_mut().enumerate() {
+                let av = _mm256_set1_ps(*ac.add(i));
+                accv[0] = _mm256_fmadd_ps(av, bv0, accv[0]);
+                accv[1] = _mm256_fmadd_ps(av, bv1, accv[1]);
+            }
+        }
+        for (i, accv) in acc.iter().enumerate() {
+            _mm256_storeu_ps(acc0[r0 + i].as_mut_ptr(), accv[0]);
+            _mm256_storeu_ps(acc1[r0 + i].as_mut_ptr(), accv[1]);
+        }
+    }
+}
+
+/// Runs the SIMD micro-kernel. Callers must have checked [`simd_available`]
+/// at dispatch time; this is enforced in debug builds.
+#[inline]
+pub(crate) fn microkernel(k: usize, apanel: &[f32], bpanel: &[f32], acc: &mut [[f32; NR]; MR]) {
+    debug_assert!(
+        simd_available(),
+        "SIMD micro-kernel dispatched without CPU support"
+    );
+    #[cfg(target_arch = "x86_64")]
+    // SAFETY: `simd_available()` was checked by the dispatcher (and asserted
+    // above in debug builds), so AVX2+FMA are present.
+    unsafe {
+        microkernel_avx2(k, apanel, bpanel, acc);
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        // Unreachable in practice: `simd_available()` is always false here,
+        // so the dispatcher never selects this kernel.
+        let _ = (k, apanel, bpanel, acc);
+        unreachable!("SIMD micro-kernel selected on a non-x86_64 target");
+    }
+}
+
+/// Runs the paired (two-B-panel) SIMD micro-kernel; bitwise equal to two
+/// [`microkernel`] calls on the same panels. Same caller contract.
+#[inline]
+pub(crate) fn microkernel_x2(
+    k: usize,
+    apanel: &[f32],
+    bpanel0: &[f32],
+    bpanel1: &[f32],
+    acc0: &mut [[f32; NR]; MR],
+    acc1: &mut [[f32; NR]; MR],
+) {
+    debug_assert!(
+        simd_available(),
+        "SIMD micro-kernel dispatched without CPU support"
+    );
+    #[cfg(target_arch = "x86_64")]
+    // SAFETY: `simd_available()` was checked by the dispatcher (and asserted
+    // above in debug builds), so AVX2+FMA are present.
+    unsafe {
+        microkernel_avx2_x2(k, apanel, bpanel0, bpanel1, acc0, acc1);
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        let _ = (k, apanel, bpanel0, bpanel1, acc0, acc1);
+        unreachable!("SIMD micro-kernel selected on a non-x86_64 target");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn force_disable_and_redetect_round_trip() {
+        let initial = simd_available();
+        set_simd_enabled(false);
+        assert!(!simd_available());
+        set_simd_enabled(true);
+        assert_eq!(simd_available(), initial, "re-enable must re-run detection");
+    }
+
+    #[test]
+    #[cfg(target_arch = "x86_64")]
+    fn simd_tile_matches_scalar_within_tolerance() {
+        if !simd_available() {
+            return;
+        }
+        let k = 37;
+        let apanel: Vec<f32> = (0..k * MR)
+            .map(|i| ((i * 7 + 3) % 23) as f32 * 0.125 - 1.0)
+            .collect();
+        let bpanel: Vec<f32> = (0..k * NR)
+            .map(|i| ((i * 5 + 1) % 19) as f32 * 0.25 - 2.0)
+            .collect();
+        let init = |r: usize, c: usize| (r * NR + c) as f32 * 0.5 - 16.0;
+        let mut simd_acc = [[0.0f32; NR]; MR];
+        let mut scalar_acc = [[0.0f32; NR]; MR];
+        for r in 0..MR {
+            for c in 0..NR {
+                simd_acc[r][c] = init(r, c);
+                scalar_acc[r][c] = init(r, c);
+            }
+        }
+        microkernel(k, &apanel, &bpanel, &mut simd_acc);
+        crate::gemm::scalar_microkernel(k, &apanel, &bpanel, &mut scalar_acc);
+        for r in 0..MR {
+            for c in 0..NR {
+                let (s, g) = (simd_acc[r][c], scalar_acc[r][c]);
+                let tol = 1e-5 * s.abs().max(g.abs()).max(1.0);
+                assert!(
+                    (s - g).abs() <= tol,
+                    "tile ({r},{c}): simd {s} vs scalar {g}"
+                );
+            }
+        }
+    }
+
+    /// The invariant the macro-kernel's pairing rests on: processing two B
+    /// panels in one paired call is **bitwise** identical to two single-tile
+    /// calls, so whether a column panel lands in a pair (a chunk-local
+    /// scheduling accident) can never change results.
+    #[test]
+    #[cfg(target_arch = "x86_64")]
+    fn paired_kernel_is_bitwise_two_single_calls() {
+        if !simd_available() {
+            return;
+        }
+        for k in [1usize, 7, 37, 64] {
+            let apanel: Vec<f32> = (0..k * MR)
+                .map(|i| ((i * 11 + 5) % 29) as f32 * 0.1875 - 2.5)
+                .collect();
+            let bpanel0: Vec<f32> = (0..k * NR)
+                .map(|i| ((i * 13 + 2) % 31) as f32 * 0.0625 - 1.0)
+                .collect();
+            let bpanel1: Vec<f32> = (0..k * NR)
+                .map(|i| ((i * 3 + 7) % 17) as f32 * 0.375 - 3.0)
+                .collect();
+            let init = |r: usize, c: usize, s: f32| (r * NR + c) as f32 * s - 8.0;
+            let mut single0 = [[0.0f32; NR]; MR];
+            let mut single1 = [[0.0f32; NR]; MR];
+            let mut pair0 = [[0.0f32; NR]; MR];
+            let mut pair1 = [[0.0f32; NR]; MR];
+            for r in 0..MR {
+                for c in 0..NR {
+                    single0[r][c] = init(r, c, 0.25);
+                    pair0[r][c] = init(r, c, 0.25);
+                    single1[r][c] = init(r, c, -0.5);
+                    pair1[r][c] = init(r, c, -0.5);
+                }
+            }
+            microkernel(k, &apanel, &bpanel0, &mut single0);
+            microkernel(k, &apanel, &bpanel1, &mut single1);
+            microkernel_x2(k, &apanel, &bpanel0, &bpanel1, &mut pair0, &mut pair1);
+            assert_eq!(pair0, single0, "panel 0 diverged at k={k}");
+            assert_eq!(pair1, single1, "panel 1 diverged at k={k}");
+        }
+    }
+}

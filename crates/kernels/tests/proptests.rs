@@ -8,7 +8,10 @@
 //! this binary serializes on [`GLOBAL_LOCK`] and restores the previous
 //! configuration before releasing it.
 
-use hfta_kernels::{gemm, gemm_nt, gemm_tn, reference, set_backend, set_num_threads, GemmBackend};
+use hfta_kernels::{
+    gemm, gemm_nt, gemm_tn, reference, set_backend, set_num_threads, set_simd_enabled,
+    simd_available, GemmBackend,
+};
 use proptest::prelude::*;
 use std::sync::Mutex;
 
@@ -33,12 +36,23 @@ fn fill(n: usize, seed: u64, salt: u64) -> Vec<f32> {
 /// Restores thread count and backend when a test body exits (even early).
 struct RestoreGlobals {
     threads: usize,
+    backend: GemmBackend,
+}
+
+impl RestoreGlobals {
+    fn capture() -> Self {
+        RestoreGlobals {
+            threads: hfta_kernels::num_threads(),
+            backend: hfta_kernels::backend(),
+        }
+    }
 }
 
 impl Drop for RestoreGlobals {
     fn drop(&mut self) {
         set_num_threads(self.threads);
-        set_backend(GemmBackend::Blocked);
+        set_backend(self.backend);
+        set_simd_enabled(true);
     }
 }
 
@@ -53,9 +67,7 @@ fn check_variant(
     seed: u64,
 ) -> Result<(), String> {
     let _g = GLOBAL_LOCK.lock().unwrap();
-    let _restore = RestoreGlobals {
-        threads: hfta_kernels::num_threads(),
-    };
+    let _restore = RestoreGlobals::capture();
     let a = fill(m * k, seed, 1);
     let b = fill(k * n, seed, 2);
     let out_init = fill(m * n, seed, 3);
@@ -83,6 +95,62 @@ fn check_variant(
     Ok(())
 }
 
+/// The SIMD backend's contract is relative tolerance, not bit-identity:
+/// FMA contracts multiply+add into one rounding per contraction step, so
+/// each output element may drift by a few ULP per step from the scalar
+/// accumulation.
+fn simd_tolerance(expect: f32, k: usize) -> f32 {
+    1e-5 * (k.max(1) as f32).sqrt() * expect.abs().max(1.0)
+}
+
+fn check_simd_variant(
+    kernel: GemmFn,
+    reference: GemmFn,
+    m: usize,
+    k: usize,
+    n: usize,
+    seed: u64,
+) -> Result<(), String> {
+    let _g = GLOBAL_LOCK.lock().unwrap();
+    let _restore = RestoreGlobals::capture();
+    if !simd_available() {
+        // Nothing to measure on this CPU; the fallback path is covered by
+        // `forced_simd_without_cpu_support_is_bitwise_blocked`.
+        return Ok(());
+    }
+    let a = fill(m * k, seed, 1);
+    let b = fill(k * n, seed, 2);
+    let out_init = fill(m * n, seed, 3);
+
+    let mut expect = out_init.clone();
+    reference(&mut expect, &a, &b, m, k, n);
+
+    set_backend(GemmBackend::Simd);
+    let mut first: Option<Vec<f32>> = None;
+    for threads in [1usize, 2, 4] {
+        set_num_threads(threads);
+        let mut got = out_init.clone();
+        kernel(&mut got, &a, &b, m, k, n);
+        for (i, (&g, &e)) in got.iter().zip(&expect).enumerate() {
+            let tol = simd_tolerance(e, k);
+            prop_assert!(
+                (g - e).abs() <= tol,
+                "simd diverged past tolerance at {m}x{k}x{n}[{i}] ({threads}T): {g} vs {e}"
+            );
+        }
+        // Across thread counts the SIMD backend must still be bit-stable
+        // with itself: the tile decomposition is a pure function of shape.
+        match &first {
+            None => first = Some(got),
+            Some(f) => prop_assert!(
+                &got == f,
+                "simd backend not thread-count deterministic at {m}x{k}x{n} ({threads}T)"
+            ),
+        }
+    }
+    Ok(())
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(40))]
 
@@ -106,4 +174,52 @@ proptest! {
         // Enough row panels that the pool actually splits the work.
         check_variant(gemm, reference::gemm_ref, m, 17, 19, seed)?;
     }
+
+    // The SIMD backend: relative tolerance vs. the references, thread-count
+    // deterministic with itself. Shape ranges straddle multiples of the 8×8
+    // tile so remainder rows/columns (m, n, k not divisible by 8) are hit.
+    #[test]
+    fn gemm_simd_within_tolerance(m in 1usize..28, k in 0usize..28, n in 1usize..28, seed in 0u64..1_000_000) {
+        check_simd_variant(gemm, reference::gemm_ref, m, k, n, seed)?;
+    }
+
+    #[test]
+    fn gemm_nt_simd_within_tolerance(m in 1usize..28, k in 0usize..28, n in 1usize..28, seed in 0u64..1_000_000) {
+        check_simd_variant(gemm_nt, reference::gemm_nt_ref, m, k, n, seed)?;
+    }
+
+    #[test]
+    fn gemm_tn_simd_within_tolerance(m in 1usize..28, k in 0usize..28, n in 1usize..28, seed in 0u64..1_000_000) {
+        check_simd_variant(gemm_tn, reference::gemm_tn_ref, m, k, n, seed)?;
+    }
+
+    #[test]
+    fn gemm_simd_within_tolerance_large(m in 24usize..80, n in 24usize..80, seed in 0u64..1_000_000) {
+        // Multiple row panels and column groups: the 2-D tile partition and
+        // the pool both engage.
+        check_simd_variant(gemm, reference::gemm_ref, m, 33, n, seed)?;
+    }
+}
+
+#[test]
+fn forced_simd_without_cpu_support_is_bitwise_blocked() {
+    let _g = GLOBAL_LOCK.lock().unwrap();
+    let _restore = RestoreGlobals::capture();
+    let (m, k, n) = (37, 29, 41);
+    let a = fill(m * k, 77, 1);
+    let b = fill(k * n, 77, 2);
+    let out_init = fill(m * n, 77, 3);
+
+    set_backend(GemmBackend::Blocked);
+    let mut blocked = out_init.clone();
+    gemm(&mut blocked, &a, &b, m, k, n);
+
+    // Force-disable the SIMD kernel: a still-forced Simd backend must fall
+    // back to the scalar blocked path — bitwise, not just close.
+    set_simd_enabled(false);
+    assert!(!simd_available());
+    set_backend(GemmBackend::Simd);
+    let mut fallback = out_init.clone();
+    gemm(&mut fallback, &a, &b, m, k, n);
+    assert_eq!(fallback, blocked, "scalar fallback must be bit-identical");
 }

@@ -1,0 +1,115 @@
+//! Integration tests of the autotuned `Auto` dispatch path: first
+//! encounter of an (op, shape, threads) key benchmarks the candidates and
+//! records a winner; the second dispatch is a cache hit that skips
+//! re-benchmarking entirely. Runs as its own test binary because the
+//! find-db path, backend, and stats counters are process globals.
+
+use hfta_kernels::tune::{self, FindDb};
+use hfta_kernels::{gemm, reference, set_backend, set_num_threads, GemmBackend};
+use std::path::PathBuf;
+use std::sync::Mutex;
+
+/// The find-db path, backend, and stats counters are process globals;
+/// serialize the tests that touch them.
+static GLOBAL_LOCK: Mutex<()> = Mutex::new(());
+
+fn fill(n: usize, seed: u64) -> Vec<f32> {
+    let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+    (0..n)
+        .map(|_| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            ((state as f64 / u64::MAX as f64) as f32 - 0.5) * 2.0
+        })
+        .collect()
+}
+
+fn temp_db(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("hfta-tune-it-{}-{name}.json", std::process::id()))
+}
+
+#[test]
+fn auto_dispatch_tunes_once_then_hits_the_cache() {
+    let _g = GLOBAL_LOCK.lock().unwrap();
+    let db_path = temp_db("cache");
+    let _ = std::fs::remove_file(&db_path);
+    tune::set_db_path(Some(db_path.clone()));
+    tune::reset_stats();
+    set_backend(GemmBackend::Auto);
+    set_num_threads(1);
+
+    // Large enough to clear the small-GEMM reference shortcut.
+    let (m, k, n) = (32, 32, 48);
+    let a = fill(m * k, 5);
+    let b = fill(k * n, 6);
+    let init = fill(m * n, 7);
+
+    let mut expect = init.clone();
+    reference::gemm_ref(&mut expect, &a, &b, m, k, n);
+
+    // First encounter: candidates are benchmarked, a winner is recorded.
+    let mut first = init.clone();
+    gemm(&mut first, &a, &b, m, k, n);
+    let after_first = tune::stats();
+    assert_eq!(after_first.benchmarked, 1, "first dispatch must tune");
+    assert_eq!(after_first.hits, 0);
+    // Without SIMD opt-in every candidate is bit-exact, so the tuned result
+    // matches the reference bitwise no matter which candidate won.
+    assert_eq!(first, expect);
+
+    // Second dispatch of the same (op, shape, threads): pure cache hit.
+    let mut second = init.clone();
+    gemm(&mut second, &a, &b, m, k, n);
+    let after_second = tune::stats();
+    assert_eq!(
+        after_second.benchmarked, 1,
+        "cache hit must skip re-benchmarking"
+    );
+    assert_eq!(after_second.hits, 1);
+    assert_eq!(second, expect);
+
+    // The decision was persisted write-through with the candidates' timings.
+    let on_disk = FindDb::load(&db_path).expect("find-db must be written");
+    let key = tune::key("gemm", m, k, n, 1);
+    let entry = on_disk.entries.get(&key).expect("tuned key must persist");
+    assert!(entry.micros.contains_key("blocked"));
+    assert!(entry.micros.contains_key(entry.winner.as_str()));
+
+    // A fresh process (simulated by reloading the db) dispatches on the
+    // cached winner without tuning.
+    tune::set_db_path(Some(db_path.clone()));
+    tune::reset_stats();
+    let mut third = init.clone();
+    gemm(&mut third, &a, &b, m, k, n);
+    let after_reload = tune::stats();
+    assert_eq!(
+        after_reload.benchmarked, 0,
+        "persisted winner must be reused"
+    );
+    assert_eq!(after_reload.hits, 1);
+    assert_eq!(third, expect);
+
+    tune::set_db_path(None);
+    let _ = std::fs::remove_file(&db_path);
+}
+
+#[test]
+fn disabled_tuner_never_benchmarks() {
+    let _g = GLOBAL_LOCK.lock().unwrap();
+    tune::set_db_path(None);
+    tune::reset_stats();
+    set_backend(GemmBackend::Auto);
+    let (m, k, n) = (40, 16, 40);
+    let a = fill(m * k, 11);
+    let b = fill(k * n, 12);
+    let init = fill(m * n, 13);
+    let mut expect = init.clone();
+    reference::gemm_ref(&mut expect, &a, &b, m, k, n);
+    let mut got = init.clone();
+    gemm(&mut got, &a, &b, m, k, n);
+    assert_eq!(got, expect, "untuned Auto must stay bit-exact");
+    let stats = tune::stats();
+    assert_eq!(stats.benchmarked, 0, "no db path, no tuning benchmarks");
+    assert_eq!(stats.hits, 0);
+}

@@ -122,12 +122,21 @@ const REPS: usize = 3;
 /// stream GB/s at each of `thread_counts`, restoring the worker-pool
 /// thread count afterwards. Entries come back sorted ascending by threads.
 ///
+/// The GEMM loop is pinned to the `Blocked` backend for the measurement:
+/// the compute peak is defined against the default bit-exact kernel, so a
+/// process that opted into the SIMD backend (or enabled the autotuner)
+/// calibrates the same reference peak as everyone else — cached probe dbs
+/// and the perf history stay comparable across backend configurations.
+/// (Opt-in SIMD rows can therefore exceed 100% of this peak in reports.)
+///
 /// # Panics
 ///
 /// Panics if `thread_counts` is empty or contains zero.
 pub fn calibrate(thread_counts: &[usize]) -> MachinePeaks {
     assert!(!thread_counts.is_empty(), "calibrate needs a thread count");
     let prior = hfta_kernels::num_threads();
+    let prior_backend = hfta_kernels::backend();
+    hfta_kernels::set_backend(hfta_kernels::GemmBackend::Blocked);
     let mut counts: Vec<usize> = thread_counts.to_vec();
     counts.sort_unstable();
     counts.dedup();
@@ -144,6 +153,7 @@ pub fn calibrate(thread_counts: &[usize]) -> MachinePeaks {
         })
         .collect();
     hfta_kernels::set_num_threads(prior);
+    hfta_kernels::set_backend(prior_backend);
     MachinePeaks {
         version: PROBE_DB_VERSION,
         entries,
@@ -188,7 +198,7 @@ fn peak_stream_gbps() -> f64 {
     for _ in 0..=REPS {
         let start = std::time::Instant::now();
         let shared = hfta_kernels::UnsafeSlice::new(&mut a);
-        hfta_kernels::parallel_for(n.div_ceil(grain), 1, |range| {
+        hfta_kernels::parallel_for_work(n.div_ceil(grain), 1, n, |range| {
             for chunk in range {
                 let lo = chunk * grain;
                 let hi = (lo + grain).min(n);

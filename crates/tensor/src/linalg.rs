@@ -55,7 +55,7 @@ fn batched_gemm(
         return;
     }
     let shared = UnsafeSlice::new(out);
-    kernels::parallel_for(bsz, 1, |range| {
+    kernels::parallel_for_work(bsz, 1, 2 * m * k * n * bsz, |range| {
         for i in range {
             // SAFETY: each batch writes its own disjoint output block.
             let ob = unsafe { shared.slice_mut(i * block..(i + 1) * block) };

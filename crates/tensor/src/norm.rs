@@ -102,7 +102,7 @@ pub fn batch_norm_train(x: &Tensor, gamma: &Tensor, beta: &Tensor, eps: f32) -> 
         let xhat_s = UnsafeSlice::new(xhat.as_mut_slice());
         let out_s = UnsafeSlice::new(out.as_mut_slice());
         let grain = (ELEMWISE_GRAIN / spatial.max(1)).max(1);
-        kernels::parallel_for(n * c, grain, |range| {
+        kernels::parallel_for_work(n * c, grain, n * c * spatial, |range| {
             for idx in range {
                 let ci = idx % c;
                 let base = idx * spatial;
@@ -151,7 +151,7 @@ pub fn batch_norm_eval(
     {
         let out_s = UnsafeSlice::new(out.as_mut_slice());
         let grain = (ELEMWISE_GRAIN / spatial.max(1)).max(1);
-        kernels::parallel_for(n * c, grain, |range| {
+        kernels::parallel_for_work(n * c, grain, n * c * spatial, |range| {
             for idx in range {
                 let ci = idx % c;
                 let base = idx * spatial;
@@ -188,7 +188,7 @@ pub fn batch_norm_backward(
     {
         let gx_s = UnsafeSlice::new(gx.as_mut_slice());
         let grain = (ELEMWISE_GRAIN / spatial.max(1)).max(1);
-        kernels::parallel_for(n * c, grain, |range| {
+        kernels::parallel_for_work(n * c, grain, n * c * spatial, |range| {
             for idx in range {
                 let ci = idx % c;
                 let base = idx * spatial;

@@ -287,6 +287,52 @@ impl<T: Deserialize> Deserialize for Vec<T> {
     }
 }
 
+impl<T: Serialize> Serialize for std::collections::BTreeMap<String, T> {
+    fn serialize(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.serialize()))
+                .collect(),
+        )
+    }
+}
+
+impl<T: Deserialize> Deserialize for std::collections::BTreeMap<String, T> {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Object(fields) => fields
+                .iter()
+                .map(|(k, val)| Ok((k.clone(), T::deserialize(val)?)))
+                .collect(),
+            other => Err(Error(format!("expected object, found {}", other.kind()))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for std::collections::HashMap<String, T> {
+    fn serialize(&self) -> Value {
+        // Sort keys so serialized output does not depend on hasher state.
+        let mut fields: Vec<(String, Value)> = self
+            .iter()
+            .map(|(k, v)| (k.clone(), v.serialize()))
+            .collect();
+        fields.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Object(fields)
+    }
+}
+
+impl<T: Deserialize> Deserialize for std::collections::HashMap<String, T> {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Object(fields) => fields
+                .iter()
+                .map(|(k, val)| Ok((k.clone(), T::deserialize(val)?)))
+                .collect(),
+            other => Err(Error(format!("expected object, found {}", other.kind()))),
+        }
+    }
+}
+
 impl<T: Serialize, const N: usize> Serialize for [T; N] {
     fn serialize(&self) -> Value {
         self.as_slice().serialize()
