@@ -14,7 +14,7 @@ use hfta_core::optim::{FusedOptimizer, FusedSgd, PerModel};
 use hfta_core::scope::{ScopeMonitor, SentinelCfg};
 use hfta_nn::layers::Conv2dCfg;
 use hfta_nn::{Module, Tape};
-use hfta_telemetry::{MetricsRegistry, Profiler, SchedStats};
+use hfta_telemetry::{FlightKind, FlightRecorder, MetricsRegistry, Profiler, SchedStats};
 use hfta_tensor::{Rng, Tensor};
 use std::hint::black_box;
 use std::time::Instant;
@@ -137,6 +137,31 @@ fn bench_overhead(c: &mut Criterion) {
             stats.finish();
         })
     });
+    // hfta-flight's disabled path is the same cached-`None` branch; the
+    // `record_with` detail closure must never run without a profiler.
+    let flight = FlightRecorder::new();
+    assert!(!flight.enabled());
+    group.bench_function("flight_record/disabled", |bench| {
+        bench.iter(|| {
+            flight.record(
+                black_box(7),
+                black_box(1_000),
+                FlightKind::RungEnd,
+                Some(0),
+                Some(3),
+                Some(1),
+            );
+            flight.record_with(
+                black_box(7),
+                black_box(1_000),
+                FlightKind::Promote,
+                None,
+                None,
+                None,
+                || unreachable!("detail closure ran on the disabled path"),
+            );
+        })
+    });
     let mut s = setup();
     // The path that must be free: tracepoints compiled in, no profiler.
     assert!(Profiler::current().is_none());
@@ -225,6 +250,47 @@ fn bench_overhead(c: &mut Criterion) {
     );
     group.bench_function("probe_op_sample/enabled", |bench| {
         bench.iter(|| profiler.record_op_sample(black_box("probe.budget"), 2.0e6, 1.0e6, 1.0e3))
+    });
+    // hfta-flight budget: one lifecycle event is a bounded-ring push (the
+    // ring drains its oldest half on overflow, so the amortized price
+    // includes that). A scheduled trial step emits at most ~8 events
+    // (submit, enqueue, dispatch, rung start/end, promote, surgery pair),
+    // and that bill must stay under 1% of the fused step.
+    let flight = FlightRecorder::new();
+    assert!(flight.enabled());
+    let flight_iters = 200_000usize;
+    let t0 = Instant::now();
+    for i in 0..flight_iters {
+        flight.record(
+            black_box(9),
+            black_box(i as u64),
+            FlightKind::RungEnd,
+            Some(0),
+            Some(3),
+            Some(1),
+        );
+    }
+    let flight_ns = t0.elapsed().as_nanos() as f64 / flight_iters as f64;
+    const FLIGHT_EVENTS_PER_STEP: f64 = 8.0;
+    let flight_pct = FLIGHT_EVENTS_PER_STEP * flight_ns / step_ns * 100.0;
+    assert!(
+        flight_pct < 1.0,
+        "flight recording costs {flight_pct:.3}% of a training step \
+         ({FLIGHT_EVENTS_PER_STEP} events x {flight_ns:.1} ns vs {step_ns:.0} ns step)"
+    );
+    group.bench_function("flight_record/enabled", |bench| {
+        let mut t = 0u64;
+        bench.iter(|| {
+            t += 1;
+            flight.record(
+                black_box(9),
+                t,
+                FlightKind::RungEnd,
+                Some(0),
+                Some(3),
+                Some(1),
+            );
+        })
     });
     group.finish();
 }

@@ -1,0 +1,113 @@
+//! hfta-flight CLI: rebuild causal trial timelines from the flight
+//! journals a `--trace` run left behind, render per-trial Gantt charts,
+//! critical paths and the fleet SLO table, or diff two summaries and fail
+//! on regressions.
+//!
+//! ```text
+//! flight_report <trace-dir> [--width <cols>] [--out <summary.json>]
+//! flight_report --diff <base.json> <candidate.json> [--max-regress <pct>]
+//! ```
+//!
+//! `<trace-dir>` is a directory holding `*.flight.jsonl` journals (written
+//! by any bench bin run with `--trace`). Timestamps are simulated
+//! integer nanoseconds, so `--out` summaries are bit-reproducible across
+//! machines and can be committed as CI goldens. In `--diff` mode the
+//! experiment set and trial/terminal/fault counts must match exactly;
+//! latency statistics may grow at most `--max-regress` percent (default
+//! 0). Exit codes: 0 = clean, 1 = regression found, 2 = usage or I/O
+//! error.
+
+use hfta_bench::cli::{finish_diff, parse_pct, usage_exit};
+use hfta_bench::flight_report::{
+    diff_flight, load_journal_dir, render_gantt, render_slo_table, summarize, FlightSummary,
+};
+
+const USAGE: &str = "flight_report <trace-dir> [--width <cols>] [--out <summary.json>]\n       \
+     flight_report --diff <base.json> <candidate.json> [--max-regress <pct>]";
+
+fn fail_usage(msg: &str) -> ! {
+    usage_exit(USAGE, msg);
+}
+
+/// Default Gantt width, columns.
+const DEFAULT_WIDTH: usize = 64;
+
+fn load_summary(path: &str) -> FlightSummary {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| fail_usage(&format!("reading {path}: {e}")));
+    serde_json::from_str(&text).unwrap_or_else(|e| fail_usage(&format!("{path}: {e}")))
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let mut dir: Option<String> = None;
+    let mut diff: Option<(String, String)> = None;
+    let mut out_path: Option<String> = None;
+    let mut max_regress = 0.0;
+    let mut width = DEFAULT_WIDTH;
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--diff" => {
+                let base = args
+                    .next()
+                    .unwrap_or_else(|| fail_usage("--diff needs two files"));
+                let cand = args
+                    .next()
+                    .unwrap_or_else(|| fail_usage("--diff needs two files"));
+                diff = Some((base, cand));
+            }
+            "--max-regress" => max_regress = parse_pct(USAGE, "--max-regress", args.next()),
+            "--out" => {
+                out_path = Some(
+                    args.next()
+                        .unwrap_or_else(|| fail_usage("--out needs a path")),
+                );
+            }
+            "--width" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(v) if v >= 10 => width = v,
+                _ => fail_usage("--width needs an integer >= 10"),
+            },
+            other if dir.is_none() && !other.starts_with('-') => dir = Some(other.to_string()),
+            other => fail_usage(&format!("unknown argument: {other}")),
+        }
+    }
+
+    if let Some((base_path, cand_path)) = diff {
+        if dir.is_some() {
+            fail_usage("--diff cannot be combined with a trace directory");
+        }
+        let out = diff_flight(
+            &load_summary(&base_path),
+            &load_summary(&cand_path),
+            max_regress,
+        );
+        finish_diff(
+            &format!("flight_report diff: {base_path} -> {cand_path}"),
+            &out,
+        );
+    }
+
+    let Some(dir) = dir else {
+        fail_usage("expected a trace directory or --diff");
+    };
+    let journal = load_journal_dir(std::path::Path::new(&dir)).unwrap_or_else(|e| fail_usage(&e));
+    let summary = summarize(&journal).unwrap_or_else(|e| fail_usage(&e));
+
+    println!("# flight report: {dir}");
+    print!("{}", render_slo_table(&summary));
+    for (name, events) in &journal {
+        let gantt = render_gantt(name, events, width).unwrap_or_else(|e| fail_usage(&e));
+        print!("\n{gantt}");
+    }
+
+    if let Some(path) = out_path {
+        let json = serde_json::to_string_pretty(&summary).expect("summary serializes");
+        if let Some(parent) = std::path::Path::new(&path).parent() {
+            if !parent.as_os_str().is_empty() {
+                let _ = std::fs::create_dir_all(parent);
+            }
+        }
+        std::fs::write(&path, json).unwrap_or_else(|e| fail_usage(&format!("writing {path}: {e}")));
+        println!("\nwrote {path}");
+    }
+}

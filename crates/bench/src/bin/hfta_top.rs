@@ -1,0 +1,96 @@
+//! hfta-flight live dashboard: replay a flight journal as a
+//! refresh-in-place terminal view of the fleet — device occupancy, queue
+//! depth, running/buffered trial counts, and the worst end-to-end
+//! latencies so far.
+//!
+//! ```text
+//! hfta_top <trace-dir> [--exp <name>] [--frames <n>] [--delay-ms <d>]
+//!          [--no-clear]
+//! ```
+//!
+//! The journal carries simulated integer-ns timestamps, so "live" means
+//! replaying the recorded timeline: the simulated span is divided into
+//! `--frames` instants and one frame is rendered per instant, separated by
+//! `--delay-ms` of wall-clock sleep. `--exp` picks the experiment scope
+//! (default: the scope with the most events); `--no-clear` appends frames
+//! instead of redrawing in place (for piping to a file or CI log). Exits
+//! 2 on usage or I/O errors.
+
+use hfta_bench::cli::usage_exit;
+use hfta_bench::flight_report::{load_journal_dir, render_frame};
+
+const USAGE: &str =
+    "hfta_top <trace-dir> [--exp <name>] [--frames <n>] [--delay-ms <d>] [--no-clear]";
+
+fn fail_usage(msg: &str) -> ! {
+    usage_exit(USAGE, msg);
+}
+
+/// ANSI clear-screen + cursor-home, the refresh-in-place redraw.
+const CLEAR: &str = "\x1b[2J\x1b[H";
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let mut dir: Option<String> = None;
+    let mut exp: Option<String> = None;
+    let mut frames: u64 = 20;
+    let mut delay_ms: u64 = 100;
+    let mut clear = true;
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--exp" => {
+                exp = Some(
+                    args.next()
+                        .unwrap_or_else(|| fail_usage("--exp needs a name")),
+                );
+            }
+            "--frames" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(v) if v > 0 => frames = v,
+                _ => fail_usage("--frames needs a positive integer"),
+            },
+            "--delay-ms" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(v) => delay_ms = v,
+                _ => fail_usage("--delay-ms needs a non-negative integer"),
+            },
+            "--no-clear" => clear = false,
+            other if dir.is_none() && !other.starts_with('-') => dir = Some(other.to_string()),
+            other => fail_usage(&format!("unknown argument: {other}")),
+        }
+    }
+    let Some(dir) = dir else {
+        fail_usage("expected a trace directory");
+    };
+
+    let journal = load_journal_dir(std::path::Path::new(&dir)).unwrap_or_else(|e| fail_usage(&e));
+    let name = match exp {
+        Some(name) => {
+            if !journal.contains_key(&name) {
+                let known: Vec<&str> = journal.keys().map(String::as_str).collect();
+                fail_usage(&format!(
+                    "unknown experiment {name:?}; journal has: {}",
+                    known.join(", ")
+                ));
+            }
+            name
+        }
+        None => journal
+            .iter()
+            .max_by_key(|(_, events)| events.len())
+            .map(|(name, _)| name.clone())
+            .unwrap_or_else(|| fail_usage("journal holds no experiments")),
+    };
+    let events = &journal[&name];
+    let t_end = events.iter().map(|e| e.t_ns).max().unwrap_or(0);
+
+    for frame in 1..=frames {
+        let now_ns = t_end.saturating_mul(frame) / frames;
+        if clear {
+            print!("{CLEAR}");
+        }
+        print!("{}", render_frame(&name, events, now_ns));
+        println!("frame {frame}/{frames}");
+        if frame < frames && delay_ms > 0 {
+            std::thread::sleep(std::time::Duration::from_millis(delay_ms));
+        }
+    }
+}

@@ -19,7 +19,13 @@
 //! breaks; CI also diffs the `--trace` report against
 //! `ci/golden/sched_sweep.report.json` (losses, streams, and sentinels
 //! are bit-reproducible; wall times are not gated). `--bench-json` writes
-//! the makespan/device-hours/packing table for the artifact upload.
+//! the makespan/device-hours/packing table — now including the per-policy
+//! SLO decomposition (queue/compute/surgery/quarantine plus p50/p99
+//! queue-wait and e2e latency, all in bit-exact simulated time) — for the
+//! artifact upload. `--history <file>` appends one perf-history record per
+//! policy encoding queue-wait p99 as an inverse rate (`1e6 / p99_us`), so
+//! the standard `scope_report --history` drift gate flags latency
+//! *increases* as utilization drops.
 
 use std::fs;
 use std::process::ExitCode;
@@ -27,6 +33,7 @@ use std::process::ExitCode;
 use hfta_bench::cli::{usage_exit, CommonArgs};
 use hfta_cluster::replay::{normalize_arrivals, sweep_arrivals};
 use hfta_cluster::trace::{generate, TraceCfg};
+use hfta_probe::{git_rev, HistoryRecord, OpUtil, PerfHistory, HISTORY_SCHEMA};
 use hfta_sched::asha::RungPolicy;
 use hfta_sched::linear::{LinearBackend, LinearTrialCfg};
 use hfta_sched::sched::{run, Policy, SchedCfg, SchedReport};
@@ -55,7 +62,7 @@ struct BenchFile {
 }
 
 const USAGE: &str = "sched_sweep [--trials <n>] [--devices <n>] [--span <s>] \
-                     [--bench-json <path>] [--trace <dir>]";
+                     [--bench-json <path>] [--trace <dir>] [--history <file>]";
 
 struct Args {
     trials: usize,
@@ -171,6 +178,33 @@ fn main() -> ExitCode {
             r.killed
         );
     }
+    println!(
+        "\n{:>14} {:>11} {:>11} {:>11} {:>11} {:>10} {:>10} {:>10} {:>10}",
+        "policy",
+        "qwait_p50",
+        "qwait_p99",
+        "e2e_p50",
+        "e2e_p99",
+        "queue_us",
+        "compute",
+        "surgery",
+        "quarant"
+    );
+    for r in &records {
+        println!(
+            "{:>14} {:>9.1}us {:>9.1}us {:>9.1}us {:>9.1}us {:>10.1} {:>10.1} {:>10.1} {:>10.1}",
+            r.policy,
+            r.queue_wait_p50_us,
+            r.queue_wait_p99_us,
+            r.e2e_latency_p50_us,
+            r.e2e_latency_p99_us,
+            r.queue_us,
+            r.compute_us,
+            r.surgery_us,
+            r.quarantine_us
+        );
+    }
+
     let (serial, stat, elastic) = (&records[0], &records[1], &records[2]);
     println!(
         "\nspeedup vs serial: static {:.2}x, elastic {:.2}x; elastic vs static {:.2}x \
@@ -206,6 +240,47 @@ fn main() -> ExitCode {
             elastic.packing_efficiency, stat.packing_efficiency
         );
         failed = true;
+    }
+
+    if let Some(path) = &args.common.history {
+        // Latency enters the drift gate as an inverse rate so the standard
+        // "utilization dropped" check fires when latency *rises*: a p99 of
+        // 100us scores 1e6/100 = 10_000. `gflops` carries the raw
+        // microseconds for human inspection of the JSONL.
+        let inv = |us: f64| 1e6 / us.max(1e-9);
+        let record = HistoryRecord {
+            schema: HISTORY_SCHEMA,
+            label: "sched_sweep".into(),
+            git_rev: git_rev(),
+            threads: 1, // simulated fleet; thread count does not matter
+            backend: "sim".into(),
+            ops: records
+                .iter()
+                .flat_map(|r| {
+                    [
+                        OpUtil {
+                            name: format!("sched/{}/queue_p99", r.policy),
+                            pct_of_peak: inv(r.queue_wait_p99_us),
+                            gflops: r.queue_wait_p99_us,
+                            bound: "latency".into(),
+                        },
+                        OpUtil {
+                            name: format!("sched/{}/e2e_p99", r.policy),
+                            pct_of_peak: inv(r.e2e_latency_p99_us),
+                            gflops: r.e2e_latency_p99_us,
+                            bound: "latency".into(),
+                        },
+                    ]
+                })
+                .collect(),
+        };
+        let history = PerfHistory::new(path);
+        if let Err(e) = history.append(&record) {
+            eprintln!("FAIL: cannot append {}: {e}", path.display());
+            failed = true;
+        } else {
+            println!("appended {} ops to {}", record.ops.len(), path.display());
+        }
     }
 
     if let Some(path) = &args.common.bench_json {

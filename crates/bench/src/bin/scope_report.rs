@@ -17,20 +17,19 @@
 //! below the trailing median. Exit codes: 0 = clean, 1 = regression or
 //! drift found, 2 = usage or I/O error.
 
+use hfta_bench::cli::{finish_diff, parse_pct, usage_exit};
 use hfta_bench::scope_report::{
     diff_bench, diff_reports, load_report, print_health, DiffCfg, LoadedReport,
 };
 use hfta_probe::{drift, PerfHistory, DRIFT_WINDOW};
 
+const USAGE: &str = "scope_report <trace-dir>\n       \
+     scope_report --diff <base> <candidate> [--max-regress <pct>] \
+     [--max-mem-regress <pct>] [--loss-tol <t>]\n       \
+     scope_report --history <file> [--max-drift <pct>]";
+
 fn fail_usage(msg: &str) -> ! {
-    eprintln!("error: {msg}");
-    eprintln!("usage: scope_report <trace-dir>");
-    eprintln!(
-        "       scope_report --diff <base> <candidate> [--max-regress <pct>] \
-         [--max-mem-regress <pct>] [--loss-tol <t>]"
-    );
-    eprintln!("       scope_report --history <file> [--max-drift <pct>]");
-    std::process::exit(2);
+    usage_exit(USAGE, msg);
 }
 
 /// Default `--max-drift` tolerance, percent.
@@ -90,9 +89,7 @@ fn load(path: &str) -> LoadedReport {
 }
 
 fn parse_f64(flag: &str, value: Option<String>) -> f64 {
-    value
-        .and_then(|v| v.parse().ok())
-        .unwrap_or_else(|| fail_usage(&format!("{flag} requires a numeric value")))
+    parse_pct(USAGE, flag, value)
 }
 
 fn main() {
@@ -143,19 +140,10 @@ fn main() {
             (LoadedReport::Bench(b), LoadedReport::Bench(c)) => diff_bench(&b, &c, &cfg),
             _ => fail_usage("cannot diff a run report against a bench file"),
         };
-        println!("# scope_report diff: {base_path} -> {cand_path}");
-        for line in &out.lines {
-            println!("  ok: {line}");
-        }
-        for r in &out.regressions {
-            println!("  REGRESSION: {r}");
-        }
-        if out.regressed() {
-            eprintln!("{} regression(s) found", out.regressions.len());
-            std::process::exit(1);
-        }
-        println!("no regressions");
-        return;
+        finish_diff(
+            &format!("scope_report diff: {base_path} -> {cand_path}"),
+            &out,
+        );
     }
 
     let Some(dir) = dir else {

@@ -9,6 +9,7 @@
 
 use std::path::PathBuf;
 
+use crate::scope_report::DiffOutcome;
 use crate::telemetry_cli::TraceSession;
 
 /// Flags shared across the bench binaries.
@@ -130,6 +131,36 @@ pub fn usage_exit(usage: &str, msg: &str) -> ! {
     eprintln!("error: {msg}");
     eprintln!("usage: {usage}");
     std::process::exit(2);
+}
+
+/// Parses a `--max-regress`-style percentage value; exits with usage
+/// status 2 when missing or negative. Shared by every `--diff` bin.
+pub fn parse_pct(usage: &str, flag: &str, value: Option<String>) -> f64 {
+    match value.as_deref().map(str::parse::<f64>) {
+        Some(Ok(p)) if p >= 0.0 => p,
+        _ => usage_exit(usage, &format!("{flag} needs a non-negative percent")),
+    }
+}
+
+/// Prints a [`DiffOutcome`] under `header` and exits with the shared
+/// gating convention — 0 = clean, 1 = regression found (usage and I/O
+/// errors exit 2 via [`usage_exit`]). `scope_report --diff` and
+/// `flight_report --diff` both finish through here so their exit codes
+/// can never drift apart.
+pub fn finish_diff(header: &str, out: &DiffOutcome) -> ! {
+    println!("# {header}");
+    for line in &out.lines {
+        println!("  ok: {line}");
+    }
+    for r in &out.regressions {
+        println!("  REGRESSION: {r}");
+    }
+    if out.regressed() {
+        eprintln!("{} regression(s) found", out.regressions.len());
+        std::process::exit(1);
+    }
+    println!("no regressions");
+    std::process::exit(0);
 }
 
 #[cfg(test)]

@@ -13,6 +13,7 @@
 
 pub mod cli;
 pub mod convergence;
+pub mod flight_report;
 pub mod mem;
 pub mod probe_report;
 pub mod scope_report;

@@ -252,6 +252,8 @@ mod tests {
             scalars: vec![],
             sentinels: vec![],
             ops: vec![],
+            flight: vec![],
+            trial_slo: vec![],
         };
         let names: Vec<&str> = utilization_series(&exp)
             .iter()

@@ -537,6 +537,8 @@ mod tests {
                 .collect(),
             sentinels: vec![],
             ops: vec![],
+            flight: vec![],
+            trial_slo: vec![],
         }
     }
 

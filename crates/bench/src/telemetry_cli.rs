@@ -8,7 +8,11 @@
 //!   Perfetto (<https://ui.perfetto.dev>) or `chrome://tracing`;
 //! * `<dir>/<bin>.report.json` — the serialized
 //!   [`RunReport`](hfta_telemetry::RunReport) (per-experiment wall times,
-//!   step metrics, counters and time-series).
+//!   step metrics, counters and time-series);
+//! * `<dir>/<bin>.flight.jsonl` — the hfta-flight journal (one
+//!   [`JournalLine`](hfta_telemetry::JournalLine) per line): ring-buffer
+//!   spill-over during the run plus the in-memory tail flushed on exit.
+//!   `flight_report` and `hfta_top` read this file.
 //!
 //! Without the flag nothing is installed and the instrumented code paths
 //! stay on their single-branch disabled fast path.
@@ -76,11 +80,13 @@ impl TraceSession {
     pub fn active(bin: &str, dir: impl Into<PathBuf>) -> TraceSession {
         let profiler = Profiler::new(bin);
         let guard = profiler.install();
+        let dir = dir.into();
+        profiler.set_flight_spill(dir.join(format!("{bin}.flight.jsonl")));
         TraceSession {
             inner: Some(Active {
                 profiler,
                 _guard: guard,
-                dir: dir.into(),
+                dir,
                 bin: bin.to_string(),
             }),
         }
@@ -110,6 +116,7 @@ impl TraceSession {
             return Ok(None);
         };
         std::fs::create_dir_all(&active.dir)?;
+        active.profiler.flush_flight_journal()?;
         let trace_path = active.dir.join(format!("{}.trace.json", active.bin));
         std::fs::write(&trace_path, active.profiler.trace_json())?;
         let report = active.profiler.report();
@@ -167,6 +174,31 @@ mod tests {
         let parsed: hfta_telemetry::RunReport = serde_json::from_str(&report_text).unwrap();
         assert_eq!(parsed.name, "unit");
         assert_eq!(parsed.experiments[0].counters[0].name, "touched");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn active_session_spills_and_flushes_the_flight_journal() {
+        use hfta_telemetry::{FlightKind, JournalLine};
+        let dir = std::env::temp_dir().join("hfta-telemetry-cli-test-flight");
+        let _ = std::fs::remove_dir_all(&dir);
+        let s = TraceSession::active("fl", &dir);
+        let p = Profiler::current().expect("installed");
+        {
+            let _exp = p.experiment("runA");
+            p.flight_event(0, 100, FlightKind::Submit, None, None, None, String::new());
+            p.flight_event(0, 200, FlightKind::Enqueue, None, None, None, String::new());
+        }
+        s.finish().unwrap().expect("active");
+        let text = std::fs::read_to_string(dir.join("fl.flight.jsonl")).unwrap();
+        let lines: Vec<JournalLine> = text
+            .lines()
+            .map(|l| serde_json::from_str(l).expect("journal line"))
+            .collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(lines[0].exp, "runA");
+        assert_eq!(lines[0].event.kind, FlightKind::Submit);
+        assert_eq!(lines[1].event.t_ns, 200);
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -23,7 +23,8 @@
 //! bit-for-bit unaffected (see `tests/quarantine.rs`).
 
 use hfta_nn::Var;
-use hfta_telemetry::{Profiler, SentinelEvent, SentinelKind};
+use hfta_telemetry::{FlightKind, Profiler, SentinelEvent, SentinelKind};
+use std::collections::VecDeque;
 
 use crate::ops::FusedParameter;
 use crate::optim::FusedOptimizer;
@@ -173,7 +174,14 @@ pub struct ScopeMonitor {
     fired: Vec<bool>,
     events: Vec<SentinelEvent>,
     prev_values: Option<Vec<hfta_tensor::Tensor>>,
+    tails: Vec<VecDeque<(u64, f32, f32)>>,
 }
+
+/// `(step, loss, grad_norm)` samples kept per lane for fault post-mortems.
+/// Maintained only while a profiler is installed.
+const FAULT_TAIL: usize = 8;
+/// Recent flight events quoted in a fault post-mortem detail.
+const FAULT_RECENT: usize = 4;
 
 impl ScopeMonitor {
     /// Creates a monitor for an array of width `b`; lanes report under
@@ -204,6 +212,7 @@ impl ScopeMonitor {
             fired: vec![false; b],
             events: Vec::new(),
             prev_values: None,
+            tails: vec![VecDeque::new(); b],
         }
     }
 
@@ -259,6 +268,11 @@ impl ScopeMonitor {
             let norm = sq[i].sqrt();
             if let Some(p) = &profiler {
                 p.scalar(self.ids[i], "grad_norm", step, norm as f64);
+                let tail = &mut self.tails[i];
+                if tail.len() == FAULT_TAIL {
+                    tail.pop_front();
+                }
+                tail.push_back((step, losses[i], norm));
             }
             if opt.quarantined()[i] {
                 continue;
@@ -289,6 +303,32 @@ impl ScopeMonitor {
             };
             if let Some(p) = &profiler {
                 p.sentinel(event.clone());
+                let seg = p.sim_segment();
+                let t_ns = seg.map_or(0, |s| s.step_end_ns(step));
+                let recent: Vec<String> = p
+                    .flight_tail(FAULT_RECENT)
+                    .iter()
+                    .map(|e| format!("{}#{}@{}", e.kind.label(), e.trial, e.t_ns))
+                    .collect();
+                let tail = &self.tails[i];
+                let loss_tail: Vec<String> =
+                    tail.iter().map(|(s, l, _)| format!("{s}:{l:.4}")).collect();
+                let grad_tail: Vec<String> =
+                    tail.iter().map(|(s, _, g)| format!("{s}:{g:.4}")).collect();
+                p.flight_event(
+                    self.ids[i],
+                    t_ns,
+                    FlightKind::Fault,
+                    seg.map(|s| s.device),
+                    seg.map(|s| s.array),
+                    Some(i as u64),
+                    format!(
+                        "{kind:?} value={value} loss_tail=[{}] grad_tail=[{}] recent=[{}]",
+                        loss_tail.join(","),
+                        grad_tail.join(","),
+                        recent.join(",")
+                    ),
+                );
             }
             self.events.push(event);
         }

@@ -34,6 +34,7 @@ use hfta_tensor::Tensor;
 use crate::ops::FusedParameter;
 use crate::optim::FusedOptimizer;
 use crate::scope::lane_bounds;
+use hfta_telemetry::{FlightKind, Profiler, TraceCtx};
 
 /// One model's complete training state, extracted from a fused array.
 #[derive(Debug, Clone)]
@@ -47,6 +48,11 @@ pub struct LaneState {
     /// The optimizer's shared step counter at extraction time (Adam's
     /// `t`; 0 for optimizers without one).
     pub step_count: u64,
+    /// hfta-flight correlation context: which trial this state belongs to
+    /// and the array/lane it was extracted from. `None` when extracted via
+    /// the untraced [`extract_lane`]; carries no training state, so it
+    /// never affects the bit-identity of surgery.
+    pub ctx: Option<TraceCtx>,
 }
 
 impl LaneState {
@@ -92,7 +98,43 @@ pub fn extract_lane(params: &[FusedParameter], opt: &dyn FusedOptimizer, lane: u
         params: lanes,
         opt_state,
         step_count: opt.step_count(),
+        ctx: None,
     }
+}
+
+/// [`extract_lane`] plus hfta-flight correlation: stamps the trial id and
+/// source placement into [`LaneState::ctx`] and records an `Extract`
+/// event. The timestamp, device, and source array come from the ambient
+/// flight cursor the scheduler sets around surgery calls; with no
+/// profiler installed this is exactly [`extract_lane`] plus one branch.
+pub fn extract_lane_traced(
+    params: &[FusedParameter],
+    opt: &dyn FusedOptimizer,
+    lane: usize,
+    trial: u64,
+) -> LaneState {
+    let mut state = extract_lane(params, opt, lane);
+    if let Some(p) = Profiler::current() {
+        let cursor = p.flight_cursor();
+        p.flight_event(
+            trial,
+            cursor.t_ns,
+            FlightKind::Extract,
+            cursor.device,
+            cursor.array,
+            Some(lane as u64),
+            format!(
+                "from array {} lane {lane}",
+                cursor.array.map_or("?".to_string(), |a| a.to_string())
+            ),
+        );
+        state.ctx = Some(TraceCtx {
+            trial,
+            array: cursor.array.unwrap_or(0),
+            lane: lane as u64,
+        });
+    }
+    state
 }
 
 /// Writes one extracted lane into lane `lane` of a target array: the
@@ -177,6 +219,33 @@ pub fn splice_lanes(lanes: &[LaneState], params: &[FusedParameter], opt: &mut dy
         write_lane(params, opt, i, lane);
     }
     opt.set_step_count(t);
+}
+
+/// [`splice_lanes`] plus hfta-flight correlation: records one `Splice`
+/// event per lane carrying a [`TraceCtx`] (source array/lane → the
+/// destination array named by the ambient flight cursor). Lanes without a
+/// ctx (untraced extraction) are spliced silently.
+pub fn splice_lanes_traced(
+    lanes: &[LaneState],
+    params: &[FusedParameter],
+    opt: &mut dyn FusedOptimizer,
+) {
+    splice_lanes(lanes, params, opt);
+    if let Some(p) = Profiler::current() {
+        let cursor = p.flight_cursor();
+        for (i, lane) in lanes.iter().enumerate() {
+            let Some(ctx) = lane.ctx else { continue };
+            p.flight_event(
+                ctx.trial,
+                cursor.t_ns,
+                FlightKind::Splice,
+                cursor.device,
+                cursor.array,
+                Some(i as u64),
+                format!("from array {} lane {} to lane {i}", ctx.array, ctx.lane),
+            );
+        }
+    }
 }
 
 #[cfg(test)]
@@ -274,6 +343,50 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn traced_surgery_records_extract_and_splice_with_ctx() {
+        use hfta_telemetry::FlightCursor;
+        let p = Profiler::new("surgery");
+        let _g = p.install();
+        p.set_flight_cursor(FlightCursor {
+            t_ns: 500,
+            device: Some(1),
+            array: Some(7),
+        });
+        let (_a, params) = array_with_opt(2, 1);
+        let opt = FusedSgd::new(params.clone(), PerModel::uniform(2, 0.1), 0.0).unwrap();
+        let lanes = vec![
+            extract_lane_traced(&params, &opt, 0, 40),
+            extract_lane_traced(&params, &opt, 1, 41),
+        ];
+        assert_eq!(
+            lanes[0].ctx,
+            Some(TraceCtx {
+                trial: 40,
+                array: 7,
+                lane: 0
+            })
+        );
+        let (_b, dst) = array_with_opt(2, 2);
+        let mut dst_opt = FusedSgd::new(dst.clone(), PerModel::uniform(2, 0.1), 0.0).unwrap();
+        p.set_flight_cursor(FlightCursor {
+            t_ns: 900,
+            device: Some(0),
+            array: Some(9),
+        });
+        splice_lanes_traced(&lanes, &dst, &mut dst_opt);
+        let events = p.flight_events();
+        assert_eq!(events.len(), 4);
+        assert!(events[..2]
+            .iter()
+            .all(|e| e.kind == FlightKind::Extract && e.array == Some(7) && e.t_ns == 500));
+        assert!(events[2..]
+            .iter()
+            .all(|e| e.kind == FlightKind::Splice && e.array == Some(9) && e.t_ns == 900));
+        assert_eq!(events[2].trial, 40);
+        assert!(events[2].detail.contains("from array 7 lane 0"));
     }
 
     #[test]

@@ -197,6 +197,8 @@ mod tests {
             series: vec![],
             scalars: vec![],
             sentinels: vec![],
+            flight: vec![],
+            trial_slo: vec![],
             ops,
         }
     }

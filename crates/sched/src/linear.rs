@@ -151,13 +151,13 @@ impl ArrayBackend for LinearBackend {
         start_step: u64,
     ) -> LinearArray {
         let mut la = self.assemble(trials);
-        surgery::splice_lanes(lanes, &la.params, &mut la.opt);
+        surgery::splice_lanes_traced(lanes, &la.params, &mut la.opt);
         la.step = start_step;
         la
     }
 
     fn extract(&self, array: &LinearArray, lane: usize) -> LaneState {
-        surgery::extract_lane(&array.params, &array.opt, lane)
+        surgery::extract_lane_traced(&array.params, &array.opt, lane, array.trials[lane].id)
     }
 
     fn train(&self, la: &mut LinearArray, steps: u64) -> TrainOutcome {

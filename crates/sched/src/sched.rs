@@ -26,6 +26,7 @@ use std::collections::{BinaryHeap, HashMap, VecDeque};
 
 use hfta_core::surgery::LaneState;
 use hfta_sim::{DeviceFleet, SharingPolicy, TrainingJob};
+use hfta_telemetry::flight::{self, FlightCursor, FlightKind, FlightRecorder, SimSegment};
 use hfta_telemetry::{LaneId, Profiler, SchedStats};
 use serde::{Deserialize, Serialize};
 
@@ -102,6 +103,23 @@ pub struct SchedReport {
     pub lanes_moved: usize,
     /// Widest array dispatched.
     pub max_width: usize,
+    /// Fleet-wide p50 queue wait, simulated µs (hfta-flight; 0 without a
+    /// profiler installed).
+    pub queue_wait_p50_us: f64,
+    /// Fleet-wide p99 queue wait, simulated µs.
+    pub queue_wait_p99_us: f64,
+    /// Fleet-wide p50 end-to-end trial latency, simulated µs.
+    pub e2e_latency_p50_us: f64,
+    /// Fleet-wide p99 end-to-end trial latency, simulated µs.
+    pub e2e_latency_p99_us: f64,
+    /// Summed per-trial queue-wait time, simulated µs.
+    pub queue_us: f64,
+    /// Summed per-trial rung-compute time, simulated µs.
+    pub compute_us: f64,
+    /// Summed per-trial lane-surgery (extract→re-dispatch) time, µs.
+    pub surgery_us: f64,
+    /// Summed per-trial quarantine (fault→evict) time, simulated µs.
+    pub quarantine_us: f64,
 }
 
 /// Everything a run produces: the summary plus the trained artifacts.
@@ -157,6 +175,18 @@ struct Running<A> {
     rung: usize,
     width: usize,
     outcome: Option<TrainOutcome>,
+    /// Persistent flight array id: assigned when the array is built or
+    /// spliced, preserved across in-place rung continuations.
+    aid: u64,
+    /// Segment end on the integer ns grid (`start + steps * per_step`),
+    /// so completion-edge flight events land exactly where rung-start
+    /// arithmetic predicts and the SLO decomposition telescopes.
+    seg_end_ns: u64,
+}
+
+/// Simulated seconds → the integer nanosecond flight grid.
+fn ns(t: f64) -> u64 {
+    (t * 1e9).round() as u64
 }
 
 struct Engine<'a, B: ArrayBackend> {
@@ -166,6 +196,7 @@ struct Engine<'a, B: ArrayBackend> {
     profile: TrainingJob,
     stats: SchedStats,
     profiler: Option<Profiler>,
+    flight: FlightRecorder,
     device_lanes: Vec<Option<LaneId>>,
     configs: Vec<B::Config>,
     statuses: Vec<TrialStatus>,
@@ -177,6 +208,7 @@ struct Engine<'a, B: ArrayBackend> {
     ledger: RungLedger,
     seq: u64,
     next_array: u64,
+    next_aid: u64,
     makespan_s: f64,
     final_states: Vec<(u64, LaneState)>,
     arrays_built: usize,
@@ -203,15 +235,56 @@ impl<B: ArrayBackend> Engine<'_, B> {
     /// simulated duration, and schedules the completion event.
     fn start_segment(&mut self, device: usize, mut ra: Running<B::Array>, t: f64) {
         let steps = self.cfg.rung.segment_steps(ra.rung);
+        // Segment timing on the integer ns flight grid, fixed before the
+        // eager training call so mid-segment fault events (recorded by the
+        // scope monitor through the ambient segment) share the same grid.
+        let step_s =
+            self.fleet
+                .step_time_s(device, &self.profile, ra.width, self.cfg.policy.sharing());
+        let start_ns = ns(t);
+        let per_step_ns = (step_s * 1e9).round() as u64;
+        let end_ns = start_ns + steps * per_step_ns;
+        let base_step = if ra.rung == 0 {
+            0
+        } else {
+            self.cfg.rung.total_steps_at(ra.rung - 1)
+        };
+        for (i, &tid) in ra.trial_ids.iter().enumerate() {
+            if self.statuses[tid as usize] == TrialStatus::Pending {
+                self.flight.record_with(
+                    tid,
+                    start_ns,
+                    FlightKind::RungStart,
+                    Some(device as u64),
+                    Some(ra.aid),
+                    Some(i as u64),
+                    || format!("rung {} steps {steps}", ra.rung),
+                );
+            }
+        }
+        if let Some(p) = &self.profiler {
+            p.set_flight_cursor(FlightCursor {
+                t_ns: start_ns,
+                device: Some(device as u64),
+                array: Some(ra.aid),
+            });
+            p.set_sim_segment(Some(SimSegment {
+                base_ns: start_ns,
+                per_step_ns,
+                base_step,
+                device: device as u64,
+                array: ra.aid,
+            }));
+        }
         let outcome = self.backend.train(&mut ra.array, steps);
+        if let Some(p) = &self.profiler {
+            p.set_sim_segment(None);
+        }
         let live = ra
             .trial_ids
             .iter()
             .filter(|&&id| self.statuses[id as usize] == TrialStatus::Pending)
             .count();
-        let step_s =
-            self.fleet
-                .step_time_s(device, &self.profile, ra.width, self.cfg.policy.sharing());
         let dur = steps as f64 * step_s;
         self.fleet.occupy(device, t, dur, ra.width, live);
         // Attribute this segment's arithmetic: live lanes do useful work,
@@ -246,37 +319,62 @@ impl<B: ArrayBackend> Engine<'_, B> {
         }
         ra.outcome = Some(outcome);
         ra.device = device;
-        let aid = self.next_array;
+        ra.seg_end_ns = end_ns;
+        let key = self.next_array;
         self.next_array += 1;
-        self.running.insert(aid, ra);
-        self.push_event(end, 0, EventKind::SegmentDone(aid));
+        self.running.insert(key, ra);
+        self.push_event(end, 0, EventKind::SegmentDone(key));
     }
 
     /// Applies a finished segment's outcome: sentinel kills, rung
     /// decisions, lane extraction/buffering (Elastic) or in-place
     /// continuation (Serial/StaticFusion).
-    fn complete(&mut self, aid: u64, t: f64) {
+    fn complete(&mut self, key: u64, t: f64) {
         let mut ra = self
             .running
-            .remove(&aid)
+            .remove(&key)
             .expect("completion for unknown array");
         let outcome = ra.outcome.take().expect("segment trained at dispatch");
         let final_rung = self.cfg.rung.final_rung();
+        let end_ns = ra.seg_end_ns;
+        let dev = Some(ra.device as u64);
+        let arr = Some(ra.aid);
+        // Ambient cursor for the Extract events lane surgery records.
+        if let Some(p) = &self.profiler {
+            p.set_flight_cursor(FlightCursor {
+                t_ns: end_ns,
+                device: dev,
+                array: arr,
+            });
+        }
         let mut continues = false;
         for (i, &tid) in ra.trial_ids.iter().enumerate() {
             if self.statuses[tid as usize] != TrialStatus::Pending {
                 continue; // dead lane riding along (StaticFusion)
             }
+            let lane = Some(i as u64);
             if outcome.killed[i] {
                 self.statuses[tid as usize] = TrialStatus::Killed;
                 self.stats.evict(true);
+                self.flight
+                    .record_with(tid, end_ns, FlightKind::Evict, dev, arr, lane, || {
+                        format!("sentinel kill at rung {}", ra.rung)
+                    });
                 continue;
             }
+            self.flight
+                .record_with(tid, end_ns, FlightKind::RungEnd, dev, arr, lane, || {
+                    format!("rung {}", ra.rung)
+                });
             if ra.rung == final_rung {
                 self.statuses[tid as usize] = TrialStatus::Finished;
                 self.stats.finish();
                 self.final_states
                     .push((tid, self.backend.extract(&ra.array, i)));
+                self.flight
+                    .record_with(tid, end_ns, FlightKind::Complete, dev, arr, lane, || {
+                        format!("finished rung {}", ra.rung)
+                    });
                 continue;
             }
             let promote =
@@ -285,8 +383,16 @@ impl<B: ArrayBackend> Engine<'_, B> {
             if !promote {
                 self.statuses[tid as usize] = TrialStatus::Stopped;
                 self.stats.evict(false);
+                self.flight
+                    .record_with(tid, end_ns, FlightKind::Evict, dev, arr, lane, || {
+                        format!("early-stopped at rung {}", ra.rung)
+                    });
                 continue;
             }
+            self.flight
+                .record_with(tid, end_ns, FlightKind::Promote, dev, arr, lane, || {
+                    format!("to rung {}", ra.rung + 1)
+                });
             match self.cfg.policy {
                 Policy::Elastic => {
                     let lane = self.backend.extract(&ra.array, i);
@@ -310,17 +416,41 @@ impl<B: ArrayBackend> Engine<'_, B> {
         let trials: Vec<Trial<B::Config>> = taken.iter().map(|(id, _)| self.trial(*id)).collect();
         let lanes: Vec<LaneState> = taken.into_iter().map(|(_, lane)| lane).collect();
         let start_step = self.cfg.rung.total_steps_at(rung - 1);
+        let aid = self.next_aid;
+        self.next_aid += 1;
+        // Ambient cursor for the Splice events lane surgery records.
+        if let Some(p) = &self.profiler {
+            p.set_flight_cursor(FlightCursor {
+                t_ns: ns(t),
+                device: Some(device as u64),
+                array: Some(aid),
+            });
+        }
         let array = self.backend.splice(&trials, &lanes, start_step);
         self.stats.repack(lanes.len());
         self.repacks += 1;
         self.lanes_moved += lanes.len();
+        let width = lanes.len();
+        for (i, tr) in trials.iter().enumerate() {
+            self.flight.record_with(
+                tr.id,
+                ns(t),
+                FlightKind::Dispatch,
+                Some(device as u64),
+                Some(aid),
+                Some(i as u64),
+                || format!("repack rung {rung} width {width}"),
+            );
+        }
         let ra = Running {
             array,
             trial_ids: trials.iter().map(|tr| tr.id).collect(),
             device,
             rung,
-            width: lanes.len(),
+            width,
             outcome: None,
+            aid,
+            seg_end_ns: 0,
         };
         self.start_segment(device, ra, t);
     }
@@ -337,6 +467,19 @@ impl<B: ArrayBackend> Engine<'_, B> {
             .collect();
         let trials: Vec<Trial<B::Config>> = ids.iter().map(|&id| self.trial(id)).collect();
         let array = self.backend.build(&trials);
+        let aid = self.next_aid;
+        self.next_aid += 1;
+        for (i, &tid) in ids.iter().enumerate() {
+            self.flight.record_with(
+                tid,
+                ns(t),
+                FlightKind::Dispatch,
+                Some(device as u64),
+                Some(aid),
+                Some(i as u64),
+                || format!("fresh width {width}"),
+            );
+        }
         let ra = Running {
             array,
             trial_ids: ids,
@@ -344,6 +487,8 @@ impl<B: ArrayBackend> Engine<'_, B> {
             rung: 0,
             width,
             outcome: None,
+            aid,
+            seg_end_ns: 0,
         };
         self.start_segment(device, ra, t);
     }
@@ -420,6 +565,7 @@ pub fn run<B: ArrayBackend>(
         cfg,
         stats: SchedStats::new(),
         profiler,
+        flight: FlightRecorder::new(),
         device_lanes,
         configs: arrivals.iter().map(|(_, c)| c.clone()).collect(),
         statuses: vec![TrialStatus::Pending; arrivals.len()],
@@ -430,6 +576,7 @@ pub fn run<B: ArrayBackend>(
         ledger: RungLedger::new(cfg.rung.rungs),
         seq: 0,
         next_array: 0,
+        next_aid: 0,
         makespan_s: 0.0,
         final_states: Vec::new(),
         arrays_built: 0,
@@ -460,6 +607,12 @@ pub fn run<B: ArrayBackend>(
             match ev.kind {
                 EventKind::Arrival(id) => {
                     engine.stats.arrival();
+                    engine
+                        .flight
+                        .record(id, ns(t), FlightKind::Submit, None, None, None);
+                    engine
+                        .flight
+                        .record(id, ns(t), FlightKind::Enqueue, None, None, None);
                     engine.queue.push_back(id);
                 }
                 EventKind::SegmentDone(aid) => engine.complete(aid, t),
@@ -487,6 +640,28 @@ pub fn run<B: ArrayBackend>(
     engine
         .stats
         .fleet_utilization(engine.fleet.fleet_utilization());
+    // hfta-flight SLO fold: derive every trial's queue/compute/surgery/
+    // quarantine decomposition from the journal and feed the fleet-wide
+    // latency histograms. Purely observational — scheduling decisions and
+    // training math are already fixed by this point.
+    let mut queue_waits_us: Vec<f64> = Vec::new();
+    let mut e2e_us: Vec<f64> = Vec::new();
+    let mut sums_us = [0.0f64; 4];
+    if let Some(p) = &engine.profiler {
+        let events = p.flight_events();
+        for slo in flight::derive_all(&events) {
+            let q = slo.queue_ns as f64 / 1e3;
+            let e = slo.e2e_ns() as f64 / 1e3;
+            queue_waits_us.push(q);
+            e2e_us.push(e);
+            sums_us[0] += q;
+            sums_us[1] += slo.compute_ns as f64 / 1e3;
+            sums_us[2] += slo.surgery_ns as f64 / 1e3;
+            sums_us[3] += slo.quarantine_ns as f64 / 1e3;
+            p.observe("flight/queue_wait_us", q);
+            p.observe("flight/e2e_latency_us", e);
+        }
+    }
     let statuses = engine.statuses;
     let count = |s: TrialStatus| statuses.iter().filter(|&&x| x == s).count();
     let mut final_states = engine.final_states;
@@ -506,6 +681,14 @@ pub fn run<B: ArrayBackend>(
             repacks: engine.repacks,
             lanes_moved: engine.lanes_moved,
             max_width: engine.max_width,
+            queue_wait_p50_us: flight::nearest_rank(&queue_waits_us, 0.50),
+            queue_wait_p99_us: flight::nearest_rank(&queue_waits_us, 0.99),
+            e2e_latency_p50_us: flight::nearest_rank(&e2e_us, 0.50),
+            e2e_latency_p99_us: flight::nearest_rank(&e2e_us, 0.99),
+            queue_us: sums_us[0],
+            compute_us: sums_us[1],
+            surgery_us: sums_us[2],
+            quarantine_us: sums_us[3],
         },
         final_states,
         statuses,

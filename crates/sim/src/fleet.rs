@@ -11,11 +11,19 @@
 
 use serde::{Deserialize, Serialize};
 
+use hfta_telemetry::{FlightKind, Profiler, FLEET_TRIAL};
+
 use crate::device::DeviceSpec;
 use crate::gpu::{GpuSim, SharingPolicy};
 use crate::kernel::{GemmDims, JobMemory, Kernel, TrainingJob};
 
 const GIB: f64 = 1024.0 * 1024.0 * 1024.0;
+
+/// Simulated seconds → the integer-ns flight grid (same rounding as the
+/// scheduler's event timestamps, so bind/release align with trial events).
+fn ns(t: f64) -> u64 {
+    (t * 1e9).round() as u64
+}
 
 /// Linear footprint model `bytes(B) = base + B * per_lane`, fit from
 /// *measured* per-width peak footprints (`bench_mem`'s `peak_bytes`
@@ -310,6 +318,32 @@ impl DeviceFleet {
         d.busy_s += dur_s;
         d.live_lane_s += live as f64 * dur_s;
         d.alloc_lane_s += width as f64 * dur_s;
+        // Fleet-lane flight events: bind at the booking start, release at
+        // its (future) end. Both ride under [`FLEET_TRIAL`], which the
+        // per-trial monotone clamp and SLO derivation exempt. The array id
+        // comes from the ambient cursor the scheduler sets before booking.
+        if let Some(p) = Profiler::current() {
+            let array = p.flight_cursor().array;
+            let dev = Some(id as u64);
+            p.flight_event(
+                FLEET_TRIAL,
+                ns(start_s),
+                FlightKind::DeviceBind,
+                dev,
+                array,
+                None,
+                format!("width {width} live {live}"),
+            );
+            p.flight_event(
+                FLEET_TRIAL,
+                ns(start_s + dur_s),
+                FlightKind::DeviceRelease,
+                dev,
+                array,
+                None,
+                format!("busy {:.3}s", d.busy_s),
+            );
+        }
     }
 
     /// Charges FLOPs to device `id`: `useful` for the lanes still training

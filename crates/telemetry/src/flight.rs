@@ -1,0 +1,894 @@
+//! hfta-flight: causal trial-lifecycle tracing.
+//!
+//! A [`FlightEvent`] journal follows every trial across arrays, devices and
+//! lane surgery: the scheduler records lifecycle edges (submit, enqueue,
+//! dispatch, rung start/end, promote, evict, complete), `hfta-core`'s lane
+//! surgery records extract/splice with source→dest placement, the
+//! `ScopeMonitor` records sentinel faults with a post-mortem, and the fleet
+//! records device bind/release. All timestamps live on an integer
+//! nanosecond grid of *simulated* time, so the per-trial decomposition
+//! (queue + compute + surgery + quarantine) telescopes bit-exactly to the
+//! end-to-end latency and is reproducible across machines and thread
+//! counts.
+//!
+//! Storage mirrors the profiler's cost model: events land in a bounded
+//! ring buffer per experiment scope ([`FlightLog`]), optionally spilling
+//! oldest-half batches to a JSONL journal under `--trace`; with no
+//! profiler installed the recording path ([`FlightRecorder`]) is a single
+//! branch on a cached `None`.
+
+use crate::profiler::Profiler;
+use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::collections::VecDeque;
+use std::io::Write;
+use std::path::PathBuf;
+use std::rc::Rc;
+
+/// Sentinel trial id for fleet-level events (device bind/release) that are
+/// not owned by any single trial. `u64::MAX` round-trips losslessly through
+/// the vendored JSON layer (`Value::U64`).
+pub const FLEET_TRIAL: u64 = u64::MAX;
+
+/// Default ring capacity per experiment scope (~65k events).
+pub const DEFAULT_FLIGHT_CAPACITY: usize = 65_536;
+
+/// Lifecycle edge kinds. Unit variants only: the vendored derive serializes
+/// them as the variant-name string.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FlightKind {
+    /// Trial arrived at the scheduler (first event of every trial).
+    Submit,
+    /// Trial entered the pending queue.
+    Enqueue,
+    /// Trial was placed into an array lane on a device.
+    Dispatch,
+    /// A rung segment began training this trial's lane.
+    RungStart,
+    /// A rung segment finished training this trial's lane.
+    RungEnd,
+    /// ASHA promoted the trial to the next rung.
+    Promote,
+    /// Terminal: early-stopped by ASHA or killed by a sentinel.
+    Evict,
+    /// Terminal: finished the final rung.
+    Complete,
+    /// Lane surgery pulled the trial's state out of an array.
+    Extract,
+    /// Lane surgery wrote the trial's state into a new array lane.
+    Splice,
+    /// A scope sentinel fired on this trial's lane (post-mortem in detail).
+    Fault,
+    /// Fleet-level: a device started a segment (trial = [`FLEET_TRIAL`]).
+    DeviceBind,
+    /// Fleet-level: a device finished a segment (trial = [`FLEET_TRIAL`]).
+    DeviceRelease,
+}
+
+impl FlightKind {
+    /// Short lowercase label for reports and dashboards.
+    pub fn label(&self) -> &'static str {
+        match self {
+            FlightKind::Submit => "submit",
+            FlightKind::Enqueue => "enqueue",
+            FlightKind::Dispatch => "dispatch",
+            FlightKind::RungStart => "rung-start",
+            FlightKind::RungEnd => "rung-end",
+            FlightKind::Promote => "promote",
+            FlightKind::Evict => "evict",
+            FlightKind::Complete => "complete",
+            FlightKind::Extract => "extract",
+            FlightKind::Splice => "splice",
+            FlightKind::Fault => "fault",
+            FlightKind::DeviceBind => "device-bind",
+            FlightKind::DeviceRelease => "device-release",
+        }
+    }
+
+    /// Terminal events end a trial's sequence; exactly one is legal.
+    pub fn is_terminal(&self) -> bool {
+        matches!(self, FlightKind::Evict | FlightKind::Complete)
+    }
+}
+
+/// One journal entry. `seq` is per-trial and contiguous from 0; `t_ns` is
+/// simulated time on an integer nanosecond grid, monotone per trial.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FlightEvent {
+    /// Owning trial id ([`FLEET_TRIAL`] for fleet-level events).
+    pub trial: u64,
+    /// Per-trial sequence number, contiguous from 0.
+    pub seq: u64,
+    /// Simulated timestamp in integer nanoseconds.
+    pub t_ns: u64,
+    /// Lifecycle edge.
+    pub kind: FlightKind,
+    /// Device id when the edge is placed on a device.
+    pub device: Option<u64>,
+    /// Array id when the edge involves a fused array.
+    pub array: Option<u64>,
+    /// Lane index within the array.
+    pub lane: Option<u64>,
+    /// Free-form context (rung, width, fault post-mortem, ...).
+    pub detail: String,
+}
+
+/// Correlation context stamped onto extracted lane state so the trial id
+/// survives surgery across arrays and devices. `array`/`lane` describe the
+/// *source* placement the state was extracted from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceCtx {
+    /// Stable trial id.
+    pub trial: u64,
+    /// Source array id.
+    pub array: u64,
+    /// Source lane index.
+    pub lane: u64,
+}
+
+/// One line of the on-disk JSONL journal: the event tagged with the
+/// experiment scope (policy) it was recorded under, since trial ids repeat
+/// across experiment scopes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JournalLine {
+    /// Experiment scope name (e.g. the scheduling policy).
+    pub exp: String,
+    /// The event itself.
+    pub event: FlightEvent,
+}
+
+/// Ambient placement cursor: set by the scheduler around surgery calls so
+/// layers that only know the lane (extract/splice) can stamp timestamps,
+/// device and array ids without threading them through every signature.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct FlightCursor {
+    /// Simulated time of the surgery site, ns grid.
+    pub t_ns: u64,
+    /// Device the surgery happens on.
+    pub device: Option<u64>,
+    /// Array being extracted from / spliced into.
+    pub array: Option<u64>,
+}
+
+/// Ambient description of the segment currently being trained, set by the
+/// scheduler around `backend.train` so the `ScopeMonitor` can timestamp
+/// mid-segment faults on the same ns grid.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimSegment {
+    /// Segment start on the ns grid.
+    pub base_ns: u64,
+    /// Integer step duration on the ns grid.
+    pub per_step_ns: u64,
+    /// Global step index at segment start.
+    pub base_step: u64,
+    /// Device running the segment.
+    pub device: u64,
+    /// Array id running the segment.
+    pub array: u64,
+}
+
+impl SimSegment {
+    /// Timestamp of the *end* of global step `gstep` (a fault observed
+    /// after step `gstep`'s backward lands at that step's end).
+    pub fn step_end_ns(&self, gstep: u64) -> u64 {
+        self.base_ns + (gstep + 1).saturating_sub(self.base_step) * self.per_step_ns
+    }
+}
+
+/// Shared spill target: one JSONL file per trace session, shared by every
+/// experiment scope's [`FlightLog`]. The first write truncates any stale
+/// journal from a previous run; later writes append.
+#[derive(Debug)]
+pub struct SpillState {
+    path: PathBuf,
+    started: bool,
+}
+
+impl SpillState {
+    /// New spill target at `path`; nothing touches disk until a write.
+    pub fn new(path: PathBuf) -> Rc<RefCell<SpillState>> {
+        Rc::new(RefCell::new(SpillState {
+            path,
+            started: false,
+        }))
+    }
+
+    /// The journal path.
+    pub fn path(&self) -> &PathBuf {
+        &self.path
+    }
+
+    fn append(&mut self, lines: &[JournalLine]) -> std::io::Result<usize> {
+        if let Some(parent) = self.path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        let mut file = if self.started {
+            std::fs::OpenOptions::new().append(true).open(&self.path)?
+        } else {
+            self.started = true;
+            std::fs::File::create(&self.path)?
+        };
+        let mut buf = String::new();
+        for line in lines {
+            buf.push_str(&serde_json::to_string(line).expect("flight serialization is infallible"));
+            buf.push('\n');
+        }
+        file.write_all(buf.as_bytes())?;
+        Ok(lines.len())
+    }
+}
+
+/// Bounded append-only event ring for one experiment scope. Assigns
+/// per-trial contiguous `seq`, clamps per-trial timestamps monotone (the
+/// f64 heap time and the integer grid can disagree by a nanosecond), and
+/// either spills the oldest half to the shared JSONL journal on overflow
+/// or drops it (counted) when no spill target is configured.
+#[derive(Debug, Clone, Default)]
+pub struct FlightLog {
+    events: VecDeque<FlightEvent>,
+    capacity: usize,
+    next_seq: HashMap<u64, u64>,
+    last_ns: HashMap<u64, u64>,
+    spill: Option<(Rc<RefCell<SpillState>>, String)>,
+    spilled: u64,
+    dropped: u64,
+}
+
+impl FlightLog {
+    /// Empty log with the default capacity.
+    pub fn new() -> FlightLog {
+        FlightLog::with_capacity(DEFAULT_FLIGHT_CAPACITY)
+    }
+
+    /// Empty log with an explicit ring capacity (tests).
+    pub fn with_capacity(capacity: usize) -> FlightLog {
+        FlightLog {
+            events: VecDeque::new(),
+            capacity: capacity.max(2),
+            next_seq: HashMap::new(),
+            last_ns: HashMap::new(),
+            spill: None,
+            spilled: 0,
+            dropped: 0,
+        }
+    }
+
+    /// Configure the shared spill target; `exp` tags this log's journal
+    /// lines with its experiment scope name.
+    pub fn set_spill(&mut self, state: Rc<RefCell<SpillState>>, exp: &str) {
+        self.spill = Some((state, exp.to_string()));
+    }
+
+    /// Append one event, assigning `seq` and clamping `t_ns` monotone
+    /// within the trial.
+    #[allow(clippy::too_many_arguments)]
+    pub fn record(
+        &mut self,
+        trial: u64,
+        t_ns: u64,
+        kind: FlightKind,
+        device: Option<u64>,
+        array: Option<u64>,
+        lane: Option<u64>,
+        detail: String,
+    ) {
+        let seq_slot = self.next_seq.entry(trial).or_insert(0);
+        let seq = *seq_slot;
+        *seq_slot += 1;
+        // Per-trial monotone clamp: the f64 event-heap time and the
+        // integer segment grid can disagree by a nanosecond at rung
+        // boundaries. Fleet events are exempt — a DeviceRelease is
+        // recorded at its (future) end time before the next DeviceBind's
+        // earlier start, and carries no state machine to protect.
+        let t_ns = if trial == FLEET_TRIAL {
+            t_ns
+        } else {
+            let last = self.last_ns.entry(trial).or_insert(0);
+            let t = t_ns.max(*last);
+            *last = t;
+            t
+        };
+        if self.events.len() >= self.capacity {
+            self.overflow();
+        }
+        self.events.push_back(FlightEvent {
+            trial,
+            seq,
+            t_ns,
+            kind,
+            device,
+            array,
+            lane,
+            detail,
+        });
+    }
+
+    fn overflow(&mut self) {
+        let drain = (self.capacity / 2).max(1);
+        let batch: Vec<FlightEvent> = self.events.drain(..drain.min(self.events.len())).collect();
+        match &self.spill {
+            Some((state, exp)) => {
+                let lines: Vec<JournalLine> = batch
+                    .into_iter()
+                    .map(|event| JournalLine {
+                        exp: exp.clone(),
+                        event,
+                    })
+                    .collect();
+                match state.borrow_mut().append(&lines) {
+                    Ok(n) => self.spilled += n as u64,
+                    Err(_) => self.dropped += lines.len() as u64,
+                }
+            }
+            None => self.dropped += batch.len() as u64,
+        }
+    }
+
+    /// Events currently held in memory (spilled prefix lives on disk).
+    pub fn events(&self) -> impl Iterator<Item = &FlightEvent> {
+        self.events.iter()
+    }
+
+    /// Snapshot of the in-memory tail as a `Vec`.
+    pub fn snapshot(&self) -> Vec<FlightEvent> {
+        self.events.iter().cloned().collect()
+    }
+
+    /// Last `n` events (the post-mortem window for fault details).
+    pub fn tail(&self, n: usize) -> Vec<FlightEvent> {
+        let skip = self.events.len().saturating_sub(n);
+        self.events.iter().skip(skip).cloned().collect()
+    }
+
+    /// Number of in-memory events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when no events are held in memory.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Events spilled to the journal so far.
+    pub fn spilled(&self) -> u64 {
+        self.spilled
+    }
+
+    /// Events dropped on overflow with no spill target.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Flush the in-memory tail to the shared spill target as journal
+    /// lines (called once at trace finish). Returns lines written.
+    pub fn flush(&mut self) -> std::io::Result<usize> {
+        let Some((state, exp)) = self.spill.clone() else {
+            return Ok(0);
+        };
+        let lines: Vec<JournalLine> = self
+            .events
+            .iter()
+            .map(|event| JournalLine {
+                exp: exp.clone(),
+                event: event.clone(),
+            })
+            .collect();
+        let n = state.borrow_mut().append(&lines)?;
+        self.spilled += n as u64;
+        Ok(n)
+    }
+}
+
+/// Cached-handle recorder, the flight analogue of `SchedStats`: resolves
+/// `Profiler::current()` once at construction so the disabled path is a
+/// single branch on a cached `None` — no thread-local lookup, no detail
+/// formatting.
+#[derive(Debug, Clone, Default)]
+pub struct FlightRecorder {
+    profiler: Option<Profiler>,
+}
+
+impl FlightRecorder {
+    /// Capture the currently-installed profiler (if any).
+    pub fn new() -> FlightRecorder {
+        FlightRecorder {
+            profiler: Profiler::current(),
+        }
+    }
+
+    /// True when events actually land somewhere.
+    pub fn enabled(&self) -> bool {
+        self.profiler.is_some()
+    }
+
+    /// Record with an empty detail string.
+    pub fn record(
+        &self,
+        trial: u64,
+        t_ns: u64,
+        kind: FlightKind,
+        device: Option<u64>,
+        array: Option<u64>,
+        lane: Option<u64>,
+    ) {
+        if let Some(p) = &self.profiler {
+            p.flight_event(trial, t_ns, kind, device, array, lane, String::new());
+        }
+    }
+
+    /// Record with a lazily-built detail string: the closure only runs
+    /// when a profiler is installed.
+    #[allow(clippy::too_many_arguments)]
+    pub fn record_with(
+        &self,
+        trial: u64,
+        t_ns: u64,
+        kind: FlightKind,
+        device: Option<u64>,
+        array: Option<u64>,
+        lane: Option<u64>,
+        detail: impl FnOnce() -> String,
+    ) {
+        if let Some(p) = &self.profiler {
+            p.flight_event(trial, t_ns, kind, device, array, lane, detail());
+        }
+    }
+}
+
+/// Per-trial SLO decomposition derived from a well-formed event sequence.
+/// The four buckets partition `[submit_ns, terminal_ns]`, so
+/// `queue + compute + surgery + quarantine == e2e` holds bit-exactly in
+/// integer arithmetic.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TrialSlo {
+    /// Trial id.
+    pub trial: u64,
+    /// Submit timestamp (start of end-to-end latency).
+    pub submit_ns: u64,
+    /// Terminal timestamp (evict or complete).
+    pub terminal_ns: u64,
+    /// Time spent submitted/queued waiting for a lane.
+    pub queue_ns: u64,
+    /// Time spent running rung segments.
+    pub compute_ns: u64,
+    /// Time spent extracted, waiting in the repack buffer.
+    pub surgery_ns: u64,
+    /// Time spent quarantined after a sentinel fault.
+    pub quarantine_ns: u64,
+    /// Terminal kind (always `Evict` or `Complete`).
+    pub outcome: FlightKind,
+    /// True when at least one sentinel fault fired.
+    pub faulted: bool,
+}
+
+impl TrialSlo {
+    /// End-to-end latency from submit to terminal.
+    pub fn e2e_ns(&self) -> u64 {
+        self.terminal_ns - self.submit_ns
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum TrialPhase {
+    Submitted,
+    Queued,
+    Running,
+    Buffered,
+    Quarantined,
+    Done,
+}
+
+/// Validate one trial's event sequence (sorted by `seq`) against the
+/// lifecycle state machine and derive its SLO decomposition. Errors name
+/// the offending event so the proptest failure output is actionable.
+pub fn derive_slo(events: &[FlightEvent]) -> Result<TrialSlo, String> {
+    let first = events.first().ok_or("empty event sequence")?;
+    let trial = first.trial;
+    if first.kind != FlightKind::Submit {
+        return Err(format!(
+            "trial {trial}: first event is {:?}, expected Submit",
+            first.kind
+        ));
+    }
+    let mut slo = TrialSlo {
+        trial,
+        submit_ns: first.t_ns,
+        terminal_ns: first.t_ns,
+        queue_ns: 0,
+        compute_ns: 0,
+        surgery_ns: 0,
+        quarantine_ns: 0,
+        outcome: FlightKind::Submit,
+        faulted: false,
+    };
+    let mut phase = TrialPhase::Submitted;
+    let mut last_ns = first.t_ns;
+    for (i, e) in events.iter().enumerate() {
+        if e.trial != trial {
+            return Err(format!(
+                "trial {trial}: foreign trial {} in sequence",
+                e.trial
+            ));
+        }
+        if e.seq != i as u64 {
+            return Err(format!(
+                "trial {trial}: seq {} at position {i}, expected contiguous from 0",
+                e.seq
+            ));
+        }
+        if i == 0 {
+            continue;
+        }
+        if e.t_ns < last_ns {
+            return Err(format!(
+                "trial {trial}: time went backwards at seq {} ({} < {last_ns})",
+                e.seq, e.t_ns
+            ));
+        }
+        let dt = e.t_ns - last_ns;
+        match phase {
+            TrialPhase::Submitted | TrialPhase::Queued => slo.queue_ns += dt,
+            TrialPhase::Running => slo.compute_ns += dt,
+            TrialPhase::Buffered => slo.surgery_ns += dt,
+            TrialPhase::Quarantined => slo.quarantine_ns += dt,
+            TrialPhase::Done => {
+                return Err(format!(
+                    "trial {trial}: event {:?} after terminal at seq {}",
+                    e.kind, e.seq
+                ))
+            }
+        }
+        last_ns = e.t_ns;
+        phase = step_phase(phase, e.kind)
+            .ok_or_else(|| format!("trial {trial}: illegal {:?} in phase {phase:?}", e.kind))?;
+        if e.kind == FlightKind::Fault {
+            slo.faulted = true;
+        }
+        if e.kind.is_terminal() {
+            slo.outcome = e.kind;
+            slo.terminal_ns = e.t_ns;
+        }
+    }
+    if phase != TrialPhase::Done {
+        return Err(format!(
+            "trial {trial}: no terminal event (ended in {phase:?})"
+        ));
+    }
+    Ok(slo)
+}
+
+/// Which SLO bucket a span of a trial's timeline is attributed to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SloBucket {
+    /// Submitted or queued, waiting for a lane.
+    Queue,
+    /// Running a rung segment.
+    Compute,
+    /// Extracted, waiting in the repack buffer.
+    Surgery,
+    /// Quarantined after a sentinel fault.
+    Quarantine,
+}
+
+impl SloBucket {
+    /// One-character glyph for ASCII Gantt rows.
+    pub fn glyph(&self) -> char {
+        match self {
+            SloBucket::Queue => '.',
+            SloBucket::Compute => '#',
+            SloBucket::Surgery => 's',
+            SloBucket::Quarantine => '!',
+        }
+    }
+
+    /// Human label for tables and critical-path chains.
+    pub fn label(&self) -> &'static str {
+        match self {
+            SloBucket::Queue => "queue",
+            SloBucket::Compute => "compute",
+            SloBucket::Surgery => "surgery",
+            SloBucket::Quarantine => "quarantine",
+        }
+    }
+}
+
+/// Contiguous `[from_ns, to_ns)` spans of one trial's validated sequence,
+/// labeled with the bucket their duration is attributed to. Adjacent spans
+/// of the same bucket are merged and zero-length spans skipped, so the
+/// span durations sum exactly to the trial's end-to-end latency. The
+/// renderers behind `flight_report`'s Gantt and critical-path views.
+///
+/// # Errors
+///
+/// Rejects malformed sequences with the same diagnostics as [`derive_slo`].
+pub fn bucket_intervals(events: &[FlightEvent]) -> Result<Vec<(u64, u64, SloBucket)>, String> {
+    derive_slo(events)?;
+    let mut out: Vec<(u64, u64, SloBucket)> = Vec::new();
+    let mut phase = TrialPhase::Submitted;
+    let mut last_ns = events[0].t_ns;
+    for e in events.iter().skip(1) {
+        let bucket = match phase {
+            TrialPhase::Submitted | TrialPhase::Queued => SloBucket::Queue,
+            TrialPhase::Running => SloBucket::Compute,
+            TrialPhase::Buffered => SloBucket::Surgery,
+            TrialPhase::Quarantined => SloBucket::Quarantine,
+            TrialPhase::Done => unreachable!("validated: no events after terminal"),
+        };
+        if e.t_ns > last_ns {
+            match out.last_mut() {
+                Some(last) if last.2 == bucket && last.1 == last_ns => last.1 = e.t_ns,
+                _ => out.push((last_ns, e.t_ns, bucket)),
+            }
+        }
+        last_ns = e.t_ns;
+        phase = step_phase(phase, e.kind).expect("validated transition");
+    }
+    Ok(out)
+}
+
+fn step_phase(phase: TrialPhase, kind: FlightKind) -> Option<TrialPhase> {
+    use FlightKind as K;
+    use TrialPhase as P;
+    match (phase, kind) {
+        (P::Submitted, K::Enqueue) => Some(P::Queued),
+        (P::Queued | P::Buffered, K::Dispatch) => Some(P::Running),
+        (P::Running, K::RungStart | K::RungEnd | K::Promote) => Some(P::Running),
+        (P::Running, K::Extract) => Some(P::Buffered),
+        (P::Buffered, K::Splice) => Some(P::Buffered),
+        (P::Running | P::Quarantined, K::Fault) => Some(P::Quarantined),
+        (P::Running | P::Quarantined, K::Evict) => Some(P::Done),
+        (P::Running | P::Buffered, K::Complete) => Some(P::Done),
+        _ => None,
+    }
+}
+
+/// Group a journal by trial (skipping [`FLEET_TRIAL`]), sorted by `seq`.
+pub fn group_by_trial(events: &[FlightEvent]) -> Vec<(u64, Vec<FlightEvent>)> {
+    let mut map: std::collections::BTreeMap<u64, Vec<FlightEvent>> =
+        std::collections::BTreeMap::new();
+    for e in events {
+        if e.trial == FLEET_TRIAL {
+            continue;
+        }
+        map.entry(e.trial).or_default().push(e.clone());
+    }
+    let mut out: Vec<(u64, Vec<FlightEvent>)> = map.into_iter().collect();
+    for (_, seq) in &mut out {
+        seq.sort_by_key(|e| e.seq);
+    }
+    out
+}
+
+/// Lenient derivation: SLOs for every trial whose sequence validates,
+/// silently skipping malformed/truncated ones (e.g. ring overflow).
+pub fn derive_all(events: &[FlightEvent]) -> Vec<TrialSlo> {
+    group_by_trial(events)
+        .iter()
+        .filter_map(|(_, seq)| derive_slo(seq).ok())
+        .collect()
+}
+
+/// Strict derivation: every trial must validate, or the first error is
+/// returned (the conservation law the proptest gates).
+pub fn derive_all_strict(events: &[FlightEvent]) -> Result<Vec<TrialSlo>, String> {
+    group_by_trial(events)
+        .iter()
+        .map(|(_, seq)| derive_slo(seq))
+        .collect()
+}
+
+/// Exact nearest-rank quantile over unsorted values (deterministic, unlike
+/// the log-bucket `HistogramSummary` estimate; used for golden-gated
+/// numbers). `q` in [0, 1].
+pub fn nearest_rank(values: &[f64], q: f64) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.total_cmp(b));
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(trial: u64, seq: u64, t_ns: u64, kind: FlightKind) -> FlightEvent {
+        FlightEvent {
+            trial,
+            seq,
+            t_ns,
+            kind,
+            device: None,
+            array: None,
+            lane: None,
+            detail: String::new(),
+        }
+    }
+
+    fn happy_path() -> Vec<FlightEvent> {
+        use FlightKind as K;
+        vec![
+            ev(7, 0, 100, K::Submit),
+            ev(7, 1, 100, K::Enqueue),
+            ev(7, 2, 250, K::Dispatch),
+            ev(7, 3, 250, K::RungStart),
+            ev(7, 4, 450, K::RungEnd),
+            ev(7, 5, 450, K::Promote),
+            ev(7, 6, 450, K::Extract),
+            ev(7, 7, 600, K::Splice),
+            ev(7, 8, 600, K::Dispatch),
+            ev(7, 9, 600, K::RungStart),
+            ev(7, 10, 900, K::RungEnd),
+            ev(7, 11, 900, K::Complete),
+        ]
+    }
+
+    #[test]
+    fn decomposition_sums_exactly_to_e2e() {
+        let slo = derive_slo(&happy_path()).expect("well-formed");
+        assert_eq!(slo.queue_ns, 150);
+        assert_eq!(slo.compute_ns, 500);
+        assert_eq!(slo.surgery_ns, 150);
+        assert_eq!(slo.quarantine_ns, 0);
+        assert_eq!(slo.outcome, FlightKind::Complete);
+        assert!(!slo.faulted);
+        assert_eq!(
+            slo.queue_ns + slo.compute_ns + slo.surgery_ns + slo.quarantine_ns,
+            slo.e2e_ns()
+        );
+    }
+
+    #[test]
+    fn fault_routes_time_to_quarantine() {
+        use FlightKind as K;
+        let events = vec![
+            ev(3, 0, 0, K::Submit),
+            ev(3, 1, 0, K::Enqueue),
+            ev(3, 2, 10, K::Dispatch),
+            ev(3, 3, 10, K::RungStart),
+            ev(3, 4, 14, K::Fault),
+            ev(3, 5, 20, K::Evict),
+        ];
+        let slo = derive_slo(&events).expect("well-formed");
+        assert_eq!(slo.queue_ns, 10);
+        assert_eq!(slo.compute_ns, 4);
+        assert_eq!(slo.quarantine_ns, 6);
+        assert!(slo.faulted);
+        assert_eq!(slo.outcome, FlightKind::Evict);
+    }
+
+    #[test]
+    fn malformed_sequences_are_rejected() {
+        use FlightKind as K;
+        // Missing terminal.
+        let mut e = happy_path();
+        e.pop();
+        assert!(derive_slo(&e).is_err());
+        // Event after terminal.
+        let mut e = happy_path();
+        e.push(ev(7, 12, 950, K::RungStart));
+        assert!(derive_slo(&e).is_err());
+        // Seq gap.
+        let mut e = happy_path();
+        e[4].seq = 9;
+        assert!(derive_slo(&e).is_err());
+        // Dispatch while already running.
+        let mut e = happy_path();
+        e[4] = ev(7, 4, 450, K::Dispatch);
+        assert!(derive_slo(&e).is_err());
+        // Time going backwards.
+        let mut e = happy_path();
+        e[4].t_ns = 10;
+        assert!(derive_slo(&e).is_err());
+        // Not starting with Submit.
+        let e = vec![ev(1, 0, 0, K::Enqueue)];
+        assert!(derive_slo(&e).is_err());
+    }
+
+    #[test]
+    fn log_assigns_seq_and_clamps_time_per_trial() {
+        let mut log = FlightLog::new();
+        log.record(1, 50, FlightKind::Submit, None, None, None, String::new());
+        log.record(2, 10, FlightKind::Submit, None, None, None, String::new());
+        // 49 < 50: clamp to the trial's last timestamp, not a panic.
+        log.record(1, 49, FlightKind::Enqueue, None, None, None, String::new());
+        let events = log.snapshot();
+        assert_eq!(events[0].seq, 0);
+        assert_eq!(events[1].seq, 0);
+        assert_eq!(events[2].seq, 1);
+        assert_eq!(events[2].t_ns, 50);
+    }
+
+    #[test]
+    fn ring_overflow_without_spill_drops_oldest_half() {
+        let mut log = FlightLog::with_capacity(4);
+        for i in 0..6 {
+            log.record(i, i, FlightKind::Submit, None, None, None, String::new());
+        }
+        assert!(log.len() <= 4);
+        assert_eq!(log.dropped(), 2);
+        assert_eq!(log.spilled(), 0);
+        // The newest events survive.
+        assert_eq!(log.snapshot().last().unwrap().trial, 5);
+    }
+
+    #[test]
+    fn spill_writes_journal_lines_and_flush_appends_tail() {
+        let dir = std::env::temp_dir().join(format!("hfta_flight_{}", std::process::id()));
+        let path = dir.join("spill.flight.jsonl");
+        let state = SpillState::new(path.clone());
+        let mut log = FlightLog::with_capacity(4);
+        log.set_spill(state, "unit");
+        for i in 0..6 {
+            log.record(i, i, FlightKind::Submit, None, None, None, String::new());
+        }
+        assert_eq!(log.dropped(), 0);
+        assert_eq!(log.spilled(), 2);
+        log.flush().expect("flush tail");
+        let text = std::fs::read_to_string(&path).expect("journal exists");
+        let lines: Vec<JournalLine> = text
+            .lines()
+            .map(|l| serde_json::from_str(l).expect("journal line"))
+            .collect();
+        assert_eq!(lines.len(), 6);
+        assert!(lines.iter().all(|l| l.exp == "unit"));
+        assert_eq!(lines[0].event.trial, 0);
+        assert_eq!(lines[5].event.trial, 5);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn fleet_trial_round_trips_through_json() {
+        let e = ev(FLEET_TRIAL, 0, 123, FlightKind::DeviceBind);
+        let json = serde_json::to_string(&e).unwrap();
+        let back: FlightEvent = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.trial, FLEET_TRIAL);
+        assert_eq!(back, e);
+    }
+
+    #[test]
+    fn bucket_intervals_merge_and_sum_to_e2e() {
+        let events = happy_path();
+        let slo = derive_slo(&events).unwrap();
+        let spans = bucket_intervals(&events).unwrap();
+        assert_eq!(
+            spans,
+            vec![
+                (100, 250, SloBucket::Queue),
+                (250, 450, SloBucket::Compute),
+                (450, 600, SloBucket::Surgery),
+                (600, 900, SloBucket::Compute),
+            ]
+        );
+        let total: u64 = spans.iter().map(|(a, b, _)| b - a).sum();
+        assert_eq!(total, slo.e2e_ns());
+        let compute: u64 = spans
+            .iter()
+            .filter(|(_, _, k)| *k == SloBucket::Compute)
+            .map(|(a, b, _)| b - a)
+            .sum();
+        assert_eq!(compute, slo.compute_ns);
+    }
+
+    #[test]
+    fn nearest_rank_quantiles() {
+        let v = vec![4.0, 1.0, 3.0, 2.0];
+        assert_eq!(nearest_rank(&v, 0.5), 2.0);
+        assert_eq!(nearest_rank(&v, 0.99), 4.0);
+        assert_eq!(nearest_rank(&[], 0.5), 0.0);
+    }
+
+    #[test]
+    fn recorder_disabled_is_inert() {
+        assert!(Profiler::current().is_none());
+        let rec = FlightRecorder::new();
+        assert!(!rec.enabled());
+        rec.record_with(1, 0, FlightKind::Submit, None, None, None, || {
+            panic!("detail closure must not run when disabled")
+        });
+    }
+}

@@ -17,6 +17,11 @@
 //!   param-norm, update-ratio, tagged `(run, model, metric)`) and
 //!   divergence [`SentinelEvent`]s, recorded via [`Profiler::scalar`] /
 //!   [`Profiler::sentinel`] and embedded in every [`ExperimentReport`].
+//! * [`flight`] — hfta-flight: the causal trial-lifecycle journal
+//!   ([`FlightEvent`], recorded via [`FlightRecorder`]/[`Profiler::flight_event`]
+//!   on an integer-ns simulated-time grid) plus the per-trial SLO
+//!   decomposition ([`TrialSlo`]) whose queue/compute/surgery/quarantine
+//!   buckets sum bit-exactly to end-to-end latency.
 //! * [`report`] — serializable [`RunReport`] written next to each trace by
 //!   the bench bins (`--trace <dir>`).
 //!
@@ -25,6 +30,7 @@
 //! so kernel streams render at simulated microseconds; wall-clock code uses
 //! [`Profiler::span`] guards.
 
+pub mod flight;
 pub mod metrics;
 pub mod profiler;
 pub mod report;
@@ -32,6 +38,10 @@ pub mod sched;
 pub mod scope;
 pub mod trace;
 
+pub use flight::{
+    FlightCursor, FlightEvent, FlightKind, FlightLog, FlightRecorder, JournalLine, SimSegment,
+    SloBucket, TraceCtx, TrialSlo, FLEET_TRIAL,
+};
 pub use metrics::{CounterSample, HistogramSummary, MetricsRegistry};
 pub use profiler::{
     ExperimentGuard, InstallGuard, LaneId, OpCost, OpSpanGuard, Profiler, SpanGuard,

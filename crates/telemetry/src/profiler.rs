@@ -14,6 +14,9 @@ use std::collections::HashMap;
 use std::rc::Rc;
 use std::time::Instant;
 
+use crate::flight::{
+    self, FlightCursor, FlightEvent, FlightKind, FlightLog, SimSegment, SpillState,
+};
 use crate::metrics::MetricsRegistry;
 use crate::report::{CounterSeries, ExperimentReport, OpAgg, RunReport, SeriesPoint, StepMetric};
 use crate::scope::{ScopeLog, SentinelEvent};
@@ -81,6 +84,8 @@ struct ExperimentAcc {
     ops: Vec<OpAgg>,
     /// Name → index into `ops`, so the hot path folds a sample in O(1).
     op_index: HashMap<String, usize>,
+    /// hfta-flight: the trial-lifecycle event journal for this scope.
+    flight: FlightLog,
 }
 
 impl ExperimentAcc {
@@ -95,6 +100,7 @@ impl ExperimentAcc {
             scope: ScopeLog::new(),
             ops: Vec::new(),
             op_index: HashMap::new(),
+            flight: FlightLog::new(),
         }
     }
 
@@ -122,6 +128,8 @@ impl ExperimentAcc {
     }
 
     fn into_report(self) -> ExperimentReport {
+        let flight_events = self.flight.snapshot();
+        let trial_slo = flight::derive_all(&flight_events);
         ExperimentReport {
             name: self.name,
             wall_ms: self.wall_ms,
@@ -138,6 +146,8 @@ impl ExperimentAcc {
             scalars: self.scope.streams().to_vec(),
             sentinels: self.scope.sentinels().to_vec(),
             ops: self.ops,
+            flight: flight_events,
+            trial_slo,
         }
     }
 }
@@ -150,6 +160,12 @@ struct Shared {
     experiments: RefCell<Vec<ExperimentAcc>>,
     /// Index into `experiments` that metric recording targets.
     current: Cell<usize>,
+    /// hfta-flight: shared JSONL spill target under `--trace`.
+    flight_spill: RefCell<Option<Rc<RefCell<SpillState>>>>,
+    /// Ambient surgery placement (time/device/array) set by the scheduler.
+    flight_cursor: Cell<FlightCursor>,
+    /// Ambient description of the segment currently training.
+    sim_segment: Cell<Option<SimSegment>>,
 }
 
 /// The telemetry sink: records spans, counters, step metrics, and renders
@@ -181,6 +197,9 @@ impl Profiler {
                 events: RefCell::new(Vec::new()),
                 experiments: RefCell::new(vec![ExperimentAcc::new(name)]),
                 current: Cell::new(0),
+                flight_spill: RefCell::new(None),
+                flight_cursor: Cell::new(FlightCursor::default()),
+                sim_segment: Cell::new(None),
             }),
         }
     }
@@ -439,12 +458,105 @@ impl Profiler {
     pub fn experiment(&self, name: impl Into<String>) -> ExperimentGuard {
         let mut experiments = self.shared.experiments.borrow_mut();
         let prev = self.shared.current.get();
-        experiments.push(ExperimentAcc::new(name.into()));
+        let mut acc = ExperimentAcc::new(name.into());
+        if let Some(state) = self.shared.flight_spill.borrow().as_ref() {
+            acc.flight.set_spill(state.clone(), &acc.name);
+        }
+        experiments.push(acc);
         self.shared.current.set(experiments.len() - 1);
         ExperimentGuard {
             profiler: self.clone(),
             prev,
         }
+    }
+
+    // -- hfta-flight: trial-lifecycle journal --------------------------------
+
+    /// Appends one flight event to the current experiment scope's journal.
+    #[allow(clippy::too_many_arguments)]
+    pub fn flight_event(
+        &self,
+        trial: u64,
+        t_ns: u64,
+        kind: FlightKind,
+        device: Option<u64>,
+        array: Option<u64>,
+        lane: Option<u64>,
+        detail: String,
+    ) {
+        let mut experiments = self.shared.experiments.borrow_mut();
+        let idx = self.shared.current.get();
+        experiments[idx]
+            .flight
+            .record(trial, t_ns, kind, device, array, lane, detail);
+    }
+
+    /// Snapshot of the current experiment scope's in-memory journal.
+    pub fn flight_events(&self) -> Vec<FlightEvent> {
+        let experiments = self.shared.experiments.borrow();
+        experiments[self.shared.current.get()].flight.snapshot()
+    }
+
+    /// Last `n` journal events of the current scope (fault post-mortems).
+    pub fn flight_tail(&self, n: usize) -> Vec<FlightEvent> {
+        let experiments = self.shared.experiments.borrow();
+        experiments[self.shared.current.get()].flight.tail(n)
+    }
+
+    /// Configures the shared JSONL spill target for every experiment
+    /// scope, existing and future (called by `--trace` session setup).
+    /// Nothing touches disk until the first overflow or flush.
+    pub fn set_flight_spill(&self, path: std::path::PathBuf) {
+        let state = SpillState::new(path);
+        let mut experiments = self.shared.experiments.borrow_mut();
+        for acc in experiments.iter_mut() {
+            let name = acc.name.clone();
+            acc.flight.set_spill(state.clone(), &name);
+        }
+        *self.shared.flight_spill.borrow_mut() = Some(state);
+    }
+
+    /// Flushes every scope's in-memory journal tail to the spill target
+    /// (the spilled prefix is already on disk). Returns lines written; a
+    /// no-op returning 0 when no spill target was configured.
+    pub fn flush_flight_journal(&self) -> std::io::Result<usize> {
+        let mut experiments = self.shared.experiments.borrow_mut();
+        let mut total = 0;
+        for acc in experiments.iter_mut() {
+            total += acc.flight.flush()?;
+        }
+        Ok(total)
+    }
+
+    /// Total journal events currently held in memory across all scopes.
+    pub fn flight_event_count(&self) -> usize {
+        self.shared
+            .experiments
+            .borrow()
+            .iter()
+            .map(|a| a.flight.len())
+            .sum()
+    }
+
+    /// Sets the ambient surgery cursor (scheduler, around extract/splice).
+    pub fn set_flight_cursor(&self, cursor: FlightCursor) {
+        self.shared.flight_cursor.set(cursor);
+    }
+
+    /// The ambient surgery cursor.
+    pub fn flight_cursor(&self) -> FlightCursor {
+        self.shared.flight_cursor.get()
+    }
+
+    /// Sets/clears the ambient segment description (scheduler, around
+    /// `backend.train`) so mid-segment faults can be timestamped.
+    pub fn set_sim_segment(&self, seg: Option<SimSegment>) {
+        self.shared.sim_segment.set(seg);
+    }
+
+    /// The ambient segment description, if a segment is training.
+    pub fn sim_segment(&self) -> Option<SimSegment> {
+        self.shared.sim_segment.get()
     }
 
     // -- output -------------------------------------------------------------
@@ -496,6 +608,7 @@ fn clone_acc(acc: &ExperimentAcc) -> ExperimentAcc {
         scope: acc.scope.clone(),
         ops: acc.ops.clone(),
         op_index: acc.op_index.clone(),
+        flight: acc.flight.clone(),
     }
 }
 
@@ -737,6 +850,70 @@ mod tests {
         assert!(report.experiments[0].op("root_op").is_some());
         assert!(report.experiments[0].op("scoped_op").is_none());
         assert!(report.experiment("fig8").unwrap().op("scoped_op").is_some());
+    }
+
+    #[test]
+    fn flight_events_land_in_current_experiment_and_report() {
+        let p = Profiler::new("run");
+        {
+            let _e = p.experiment("elastic");
+            p.flight_event(1, 0, FlightKind::Submit, None, None, None, String::new());
+            p.flight_event(1, 0, FlightKind::Enqueue, None, None, None, String::new());
+            p.flight_event(
+                1,
+                5,
+                FlightKind::Dispatch,
+                Some(0),
+                Some(0),
+                Some(0),
+                String::new(),
+            );
+            p.flight_event(
+                1,
+                9,
+                FlightKind::Complete,
+                Some(0),
+                Some(0),
+                Some(0),
+                String::new(),
+            );
+            assert_eq!(p.flight_tail(2).len(), 2);
+            assert_eq!(p.flight_tail(2)[0].kind, FlightKind::Dispatch);
+        }
+        let report = p.report();
+        assert!(report.experiments[0].flight.is_empty());
+        let exp = report.experiment("elastic").unwrap();
+        assert_eq!(exp.flight.len(), 4);
+        assert_eq!(exp.trial_slo.len(), 1);
+        let slo = &exp.trial_slo[0];
+        assert_eq!(slo.queue_ns, 5);
+        assert_eq!(slo.compute_ns, 4);
+        assert_eq!(slo.e2e_ns(), 9);
+    }
+
+    #[test]
+    fn ambient_flight_cursor_and_segment_round_trip() {
+        let p = Profiler::new("run");
+        assert_eq!(p.flight_cursor(), FlightCursor::default());
+        assert!(p.sim_segment().is_none());
+        p.set_flight_cursor(FlightCursor {
+            t_ns: 42,
+            device: Some(1),
+            array: Some(3),
+        });
+        p.set_sim_segment(Some(SimSegment {
+            base_ns: 100,
+            per_step_ns: 10,
+            base_step: 4,
+            device: 1,
+            array: 3,
+        }));
+        assert_eq!(p.flight_cursor().t_ns, 42);
+        let seg = p.sim_segment().unwrap();
+        assert_eq!(seg.step_end_ns(4), 110);
+        assert_eq!(seg.step_end_ns(6), 130);
+        p.set_sim_segment(None);
+        assert!(p.sim_segment().is_none());
     }
 
     #[test]

@@ -6,6 +6,7 @@
 //! totals, histogram summaries, and counter time-series (e.g. the simulated
 //! `nvidia-smi` utilization the paper plots in Figure 11).
 
+use crate::flight::{FlightEvent, TrialSlo};
 use crate::metrics::{CounterSample, HistogramSummary};
 use crate::scope::{ScalarStream, SentinelEvent};
 use serde::{Deserialize, Serialize};
@@ -108,6 +109,11 @@ pub struct ExperimentReport {
     /// Per-op-kind aggregated cost samples (hfta-probe). Empty for reports
     /// written before op sampling existed.
     pub ops: Vec<OpAgg>,
+    /// Trial-lifecycle journal tail (hfta-flight). Empty for reports
+    /// written before flight tracing existed.
+    pub flight: Vec<FlightEvent>,
+    /// Per-trial SLO decomposition derived from `flight` (hfta-flight).
+    pub trial_slo: Vec<TrialSlo>,
 }
 
 impl Deserialize for ExperimentReport {
@@ -124,6 +130,14 @@ impl Deserialize for ExperimentReport {
             sentinels: Deserialize::deserialize(serde::field(v, "sentinels")?)?,
             ops: match v.get("ops") {
                 Some(o) => Deserialize::deserialize(o)?,
+                None => Vec::new(),
+            },
+            flight: match v.get("flight") {
+                Some(f) => Deserialize::deserialize(f)?,
+                None => Vec::new(),
+            },
+            trial_slo: match v.get("trial_slo") {
+                Some(s) => Deserialize::deserialize(s)?,
                 None => Vec::new(),
             },
         })
@@ -244,6 +258,27 @@ mod tests {
                     bytes: 2e8,
                     ns: 1e9,
                 }],
+                flight: vec![crate::flight::FlightEvent {
+                    trial: 7,
+                    seq: 0,
+                    t_ns: 1_000,
+                    kind: crate::flight::FlightKind::Submit,
+                    device: None,
+                    array: Some(2),
+                    lane: Some(0),
+                    detail: "rung 0".into(),
+                }],
+                trial_slo: vec![TrialSlo {
+                    trial: 7,
+                    submit_ns: 1_000,
+                    terminal_ns: 5_000,
+                    queue_ns: 1_000,
+                    compute_ns: 2_500,
+                    surgery_ns: 400,
+                    quarantine_ns: 100,
+                    outcome: crate::flight::FlightKind::Complete,
+                    faulted: false,
+                }],
             }],
         };
         let json = serde_json::to_string_pretty(&report).unwrap();
@@ -274,5 +309,7 @@ mod tests {
         }"#;
         let back: RunReport = serde_json::from_str(json).unwrap();
         assert!(back.experiments[0].ops.is_empty());
+        assert!(back.experiments[0].flight.is_empty());
+        assert!(back.experiments[0].trial_slo.is_empty());
     }
 }
