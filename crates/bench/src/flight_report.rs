@@ -478,9 +478,11 @@ pub fn snapshot_at(events: &[FlightEvent], now_ns: u64) -> FleetSnapshot {
     for kind in last_kind.values() {
         use FlightKind as K;
         match kind {
-            K::Submit | K::Enqueue => snap.queue_depth += 1,
-            K::Dispatch | K::RungStart | K::RungEnd | K::Promote | K::Fault => snap.running += 1,
-            K::Extract | K::Splice => snap.buffered += 1,
+            K::Submit | K::Enqueue | K::Restore => snap.queue_depth += 1,
+            K::Dispatch | K::RungStart | K::RungEnd | K::Promote | K::Fault | K::Preempt => {
+                snap.running += 1
+            }
+            K::Extract | K::Splice | K::Checkpoint => snap.buffered += 1,
             K::Evict | K::Complete => snap.done += 1,
             K::DeviceBind | K::DeviceRelease => {}
         }

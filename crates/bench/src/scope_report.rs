@@ -328,6 +328,8 @@ pub const SCOPE_OVERHEAD_BUDGET_PCT: f64 = 5.0;
 /// `cfg.max_regress_pct.unwrap_or(10.0)` percent. `BENCH_mem.json`
 /// records (keyed by `model`/`b`) gate on `peak_bytes`, `savings_ratio`
 /// and `steady_fresh_allocs` — see [`DiffCfg::max_mem_regress_pct`].
+/// `BENCH_serve.json` records (keyed by `policy`) gate on p50/p99 queue
+/// wait (may not grow) and fleet occupancy (may not shrink).
 ///
 /// Format skew is tolerated in both directions: records lacking the newer
 /// optional fields (`backend`, `threads`, `bytes_per_iter`) still diff by
@@ -429,6 +431,7 @@ pub fn diff_bench(base: &Value, cand: &Value, cfg: &DiffCfg) -> DiffOutcome {
         }
     }
     diff_mem_records(base, cand, cfg, &mut out);
+    diff_serve_records(base, cand, cfg, &mut out);
     out
 }
 
@@ -508,6 +511,93 @@ fn diff_mem_records(base: &Value, cand: &Value, cfg: &DiffCfg, out: &mut DiffOut
                 "{}: {} steady-state fresh allocations (must be 0)",
                 b.key, c.steady_fresh_allocs
             ));
+        }
+    }
+}
+
+/// One parsed `BENCH_serve.json` record: the per-policy serving SLOs.
+struct ServeFields {
+    key: String,
+    queue_wait_p50_us: f64,
+    queue_wait_p99_us: f64,
+    occupancy: f64,
+}
+
+fn serve_records(v: &Value) -> Vec<ServeFields> {
+    let Some(Value::Array(items)) = v.get("records") else {
+        return Vec::new();
+    };
+    items
+        .iter()
+        .filter_map(|r| {
+            // Serve records are the ones carrying queue-latency SLOs.
+            let policy = match r.get("policy")? {
+                Value::Str(s) => s.clone(),
+                _ => return None,
+            };
+            Some(ServeFields {
+                key: format!("serve:{policy}"),
+                queue_wait_p50_us: as_f64(r.get("queue_wait_p50_us")?)?,
+                queue_wait_p99_us: as_f64(r.get("queue_wait_p99_us")?)?,
+                occupancy: as_f64(r.get("occupancy")?)?,
+            })
+        })
+        .collect()
+}
+
+/// Gates the serving records of a bench diff: per-policy p50/p99 queue
+/// wait may not grow, and fleet occupancy may not shrink, by more than
+/// `cfg.max_regress_pct.unwrap_or(10.0)` percent. Records without the
+/// serve fields (kernel or memory records) are skipped.
+fn diff_serve_records(base: &Value, cand: &Value, cfg: &DiffCfg, out: &mut DiffOutcome) {
+    let pct = cfg.max_regress_pct.unwrap_or(10.0);
+    let cand_recs = serve_records(cand);
+    let base_recs = serve_records(base);
+    // Higher is worse for queue latency.
+    let gate_grow = |out: &mut DiffOutcome, what: String, b: f64, c: f64| {
+        if b <= 0.0 {
+            return;
+        }
+        let change = (c - b) / b * 100.0;
+        if change > pct {
+            out.regress(format!(
+                "{what}: {c:.1} is {change:.1}% above baseline {b:.1} (budget {pct}%)"
+            ));
+        } else {
+            out.note(format!("{what}: {c:.1} vs {b:.1} ({change:+.1}%)"));
+        }
+    };
+    for b in base_recs {
+        let Some(c) = cand_recs.iter().find(|c| c.key == b.key) else {
+            out.regress(format!("{}: record missing from candidate", b.key));
+            continue;
+        };
+        gate_grow(
+            out,
+            format!("{} queue_wait_p50_us", b.key),
+            b.queue_wait_p50_us,
+            c.queue_wait_p50_us,
+        );
+        gate_grow(
+            out,
+            format!("{} queue_wait_p99_us", b.key),
+            b.queue_wait_p99_us,
+            c.queue_wait_p99_us,
+        );
+        // Lower is worse for occupancy.
+        if b.occupancy > 0.0 {
+            let change = (c.occupancy - b.occupancy) / b.occupancy * 100.0;
+            if change < -pct {
+                out.regress(format!(
+                    "{} occupancy: {:.3} is {:.1}% below baseline {:.3} (budget {pct}%)",
+                    b.key, c.occupancy, -change, b.occupancy
+                ));
+            } else {
+                out.note(format!(
+                    "{} occupancy: {:.3} vs {:.3} ({change:+.1}%)",
+                    b.key, c.occupancy, b.occupancy
+                ));
+            }
         }
     }
 }
@@ -808,6 +898,79 @@ mod tests {
         let out = diff_bench(&kernels, &bench_json(100.0, 2.0), &DiffCfg::default());
         assert!(!out.regressed(), "{:?}", out.regressions);
         assert!(!out.lines.iter().any(|l| l.contains("mem:")));
+    }
+
+    fn serve_json(p50: f64, p99: f64, occ: f64) -> Value {
+        let text = format!(
+            r#"{{"records": [
+                 {{"policy": "static", "queue_wait_p50_us": 900.0,
+                   "queue_wait_p99_us": 4000.0, "occupancy": 0.50}},
+                 {{"policy": "fair-share", "queue_wait_p50_us": {p50},
+                   "queue_wait_p99_us": {p99}, "occupancy": {occ}}}]}}"#
+        );
+        serde_json::from_str(&text).unwrap()
+    }
+
+    #[test]
+    fn serve_diff_gates_queue_latency_growth_and_occupancy_drop() {
+        let base = serve_json(500.0, 2000.0, 0.60);
+        // Identical: clean, with informational lines for all three gauges.
+        let out = diff_bench(&base, &serve_json(500.0, 2000.0, 0.60), &DiffCfg::default());
+        assert!(!out.regressed(), "{:?}", out.regressions);
+        assert!(out
+            .lines
+            .iter()
+            .any(|l| l.contains("serve:fair-share queue_wait_p99_us")));
+        assert!(out
+            .lines
+            .iter()
+            .any(|l| l.contains("serve:static occupancy")));
+        // 25% p99 growth: over the default 10% budget.
+        let out = diff_bench(&base, &serve_json(500.0, 2500.0, 0.60), &DiffCfg::default());
+        assert!(out.regressed());
+        assert!(out.regressions[0].contains("queue_wait_p99_us"));
+        // p50 gates too.
+        let out = diff_bench(&base, &serve_json(600.0, 2000.0, 0.60), &DiffCfg::default());
+        assert!(out.regressed());
+        assert!(out.regressions[0].contains("queue_wait_p50_us"));
+        // 5% growth passes by default but fails a 2% budget.
+        assert!(
+            !diff_bench(&base, &serve_json(500.0, 2100.0, 0.60), &DiffCfg::default()).regressed()
+        );
+        let tight = DiffCfg {
+            max_regress_pct: Some(2.0),
+            ..DiffCfg::default()
+        };
+        assert!(diff_bench(&base, &serve_json(500.0, 2100.0, 0.60), &tight).regressed());
+        // Occupancy dropping 20% regresses; improving latency never does.
+        let out = diff_bench(&base, &serve_json(500.0, 2000.0, 0.48), &DiffCfg::default());
+        assert!(out.regressed());
+        assert!(out.regressions[0].contains("occupancy"));
+        assert!(
+            !diff_bench(&base, &serve_json(300.0, 1000.0, 0.80), &DiffCfg::default()).regressed()
+        );
+    }
+
+    #[test]
+    fn serve_diff_flags_missing_policy_and_skips_other_records() {
+        let base = serve_json(500.0, 2000.0, 0.60);
+        let static_only: Value = serde_json::from_str(
+            r#"{"records": [{"policy": "static", "queue_wait_p50_us": 900.0,
+                 "queue_wait_p99_us": 4000.0, "occupancy": 0.50}]}"#,
+        )
+        .unwrap();
+        let out = diff_bench(&base, &static_only, &DiffCfg::default());
+        assert!(out
+            .regressions
+            .iter()
+            .any(|r| r.contains("serve:fair-share") && r.contains("missing")));
+        // Kernel and memory bench files have no serve fields: stay silent.
+        let out = diff_bench(
+            &mem_json(300000.0, 1.33, 0.0),
+            &mem_json(300000.0, 1.33, 0.0),
+            &DiffCfg::default(),
+        );
+        assert!(!out.lines.iter().any(|l| l.contains("serve:")));
     }
 
     #[test]

@@ -125,6 +125,64 @@ pub fn normalize_arrivals(arrivals: &[SweepArrival], span_s: f64) -> Vec<f64> {
         .collect()
 }
 
+/// Open-loop arrival configuration for [`normalize_arrivals_open`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OpenLoopCfg {
+    /// Fraction of bursts kept, in `[0, 1]` (values above 1 keep all).
+    /// Scales the offered arrival *rate* without compressing the span.
+    pub rate_scale: f64,
+    /// Seed for the per-burst thinning coin.
+    pub seed: u64,
+}
+
+/// SplitMix64-style avalanche, the repo's standard counter-mode hash.
+fn mix(a: u64, b: u64) -> u64 {
+    let mut x = a ^ b.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Open-loop variant of [`normalize_arrivals`]: the burst times are mapped
+/// onto `[0, span_s]` exactly as the closed-loop rescale does, then the
+/// arrival *rate* is scaled by Poisson-style thinning — each burst is kept
+/// independently with probability `rate_scale`, decided by a deterministic
+/// per-index hash coin, which preserves the bursty spacing structure
+/// instead of compressing it. Returns `(index, arrival_s)` pairs into
+/// `arrivals`, in the original (time-sorted) order, so the caller can
+/// recover the kept bursts' sizes and owners.
+///
+/// Unlike a closed-loop stream, the kept arrival instants never depend on
+/// service progress: a slow policy faces the same offered load as a fast
+/// one, which is what makes queue-latency percentiles comparable across
+/// policies.
+///
+/// # Panics
+///
+/// Panics if `span_s` is negative, or `rate_scale` is negative or NaN.
+pub fn normalize_arrivals_open(
+    arrivals: &[SweepArrival],
+    span_s: f64,
+    cfg: &OpenLoopCfg,
+) -> Vec<(usize, f64)> {
+    assert!(
+        cfg.rate_scale >= 0.0,
+        "rate_scale must be a non-negative number"
+    );
+    let times = normalize_arrivals(arrivals, span_s);
+    times
+        .into_iter()
+        .enumerate()
+        .filter(|(i, _)| {
+            // 53-bit uniform in [0, 1) from the hash, exact in f64.
+            let u = (mix(cfg.seed, *i as u64) >> 11) as f64 / (1u64 << 53) as f64;
+            u < cfg.rate_scale
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -170,6 +228,52 @@ mod tests {
     fn recovery_is_deterministic() {
         let jobs = generate(&TraceCfg::small(), 7);
         assert_eq!(sweep_arrivals(&jobs, 120, 4), sweep_arrivals(&jobs, 120, 4));
+    }
+
+    #[test]
+    fn open_loop_thinning_is_a_deterministic_subsequence() {
+        let mk = |submit_s| SweepArrival {
+            submit_s,
+            user: "u".into(),
+            stem: "s".into(),
+            trials: 8,
+        };
+        let arrivals: Vec<SweepArrival> = (0..64).map(|i| mk(1000 + 100 * i)).collect();
+        let closed = normalize_arrivals(&arrivals, 2.0);
+        let cfg = OpenLoopCfg {
+            rate_scale: 0.5,
+            seed: 42,
+        };
+        let kept = normalize_arrivals_open(&arrivals, 2.0, &cfg);
+        assert_eq!(kept, normalize_arrivals_open(&arrivals, 2.0, &cfg));
+        // A real thinning: some but not all survive at rate 0.5.
+        assert!(!kept.is_empty() && kept.len() < arrivals.len());
+        // Kept times are the closed-loop times at the kept indices.
+        for (i, t) in &kept {
+            assert_eq!(*t, closed[*i]);
+        }
+        // Extremes.
+        assert_eq!(
+            normalize_arrivals_open(
+                &arrivals,
+                2.0,
+                &OpenLoopCfg {
+                    rate_scale: 1.0,
+                    seed: 1
+                }
+            )
+            .len(),
+            arrivals.len()
+        );
+        assert!(normalize_arrivals_open(
+            &arrivals,
+            2.0,
+            &OpenLoopCfg {
+                rate_scale: 0.0,
+                seed: 1
+            }
+        )
+        .is_empty());
     }
 
     #[test]

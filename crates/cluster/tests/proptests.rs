@@ -1,6 +1,10 @@
-//! Property-based tests of the Levenshtein metric and the classifier.
+//! Property-based tests of the Levenshtein metric, the classifier, and
+//! the open-loop arrival thinning.
 
 use hfta_cluster::levenshtein::{distance, similarity};
+use hfta_cluster::replay::{
+    normalize_arrivals, normalize_arrivals_open, OpenLoopCfg, SweepArrival,
+};
 use hfta_cluster::{classify, trace};
 use proptest::prelude::*;
 
@@ -57,6 +61,40 @@ proptest! {
         let b = classify::Breakdown::from_assignments(&jobs, &c1);
         let total: f64 = b.rows().iter().map(|r| r.2).sum();
         prop_assert!((total - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn open_loop_thinning_preserves_ordering_and_bounds(
+        gaps in prop::collection::vec(0u64..5_000, 0..80),
+        span_s in 0.0f64..100.0,
+        rate in 0.0f64..1.5,
+        seed in any::<u64>(),
+    ) {
+        // Arrivals with non-decreasing submit times, as sweep_arrivals
+        // guarantees.
+        let mut t = 0u64;
+        let arrivals: Vec<SweepArrival> = gaps.iter().map(|g| {
+            t += g;
+            SweepArrival { submit_s: t, user: "u".into(), stem: "s".into(), trials: 8 }
+        }).collect();
+        let closed = normalize_arrivals(&arrivals, span_s);
+        let cfg = OpenLoopCfg { rate_scale: rate, seed };
+        let kept = normalize_arrivals_open(&arrivals, span_s, &cfg);
+
+        // Deterministic under the same seed.
+        prop_assert_eq!(&kept, &normalize_arrivals_open(&arrivals, span_s, &cfg));
+        // Indices strictly increase: thinning never reorders bursts.
+        prop_assert!(kept.windows(2).all(|w| w[0].0 < w[1].0));
+        // Arrival instants stay non-decreasing and inside [0, span].
+        prop_assert!(kept.windows(2).all(|w| w[0].1 <= w[1].1));
+        prop_assert!(kept.iter().all(|&(_, s)| (0.0..=span_s).contains(&s)));
+        // Thinning only drops bursts; kept instants match the closed-loop
+        // rescale exactly (the spacing structure is preserved, not scaled).
+        prop_assert!(kept.iter().all(|&(i, s)| s == closed[i]));
+        // Rate >= 1 is the identity thinning.
+        if rate >= 1.0 {
+            prop_assert_eq!(kept.len(), arrivals.len());
+        }
     }
 
     #[test]

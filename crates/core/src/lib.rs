@@ -22,6 +22,9 @@
 //! * [`surgery`] — lane surgery: extract a model's parameter and
 //!   optimizer-state lanes and splice lanes into another array,
 //!   bit-identically (the mechanism behind `hfta-sched`'s re-packing);
+//! * [`snapshot`] — versioned on-disk lane snapshots (params + optimizer
+//!   state + step counter), the persistence layer behind `hfta-serve`'s
+//!   crash-safe checkpoint/restore;
 //! * [`tuner`] — a hyper-parameter tuning driver that packs sweep
 //!   candidates into fused arrays (the paper's §6 integration target).
 //!
@@ -63,6 +66,7 @@ pub mod ops;
 pub mod optim;
 pub mod rules;
 pub mod scope;
+pub mod snapshot;
 pub mod surgery;
 pub mod tuner;
 

@@ -36,7 +36,7 @@ fn mix(a: u64, b: u64) -> u64 {
 }
 
 /// Hyper-parameters of one linear-classifier trial.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct LinearTrialCfg {
     /// Learning rate (the swept hyper-parameter).
     pub lr: f32,

@@ -644,22 +644,12 @@ pub fn run<B: ArrayBackend>(
     // quarantine decomposition from the journal and feed the fleet-wide
     // latency histograms. Purely observational — scheduling decisions and
     // training math are already fixed by this point.
-    let mut queue_waits_us: Vec<f64> = Vec::new();
-    let mut e2e_us: Vec<f64> = Vec::new();
-    let mut sums_us = [0.0f64; 4];
+    let mut rollup = flight::SloRollup::default();
     if let Some(p) = &engine.profiler {
-        let events = p.flight_events();
-        for slo in flight::derive_all(&events) {
-            let q = slo.queue_ns as f64 / 1e3;
-            let e = slo.e2e_ns() as f64 / 1e3;
-            queue_waits_us.push(q);
-            e2e_us.push(e);
-            sums_us[0] += q;
-            sums_us[1] += slo.compute_ns as f64 / 1e3;
-            sums_us[2] += slo.surgery_ns as f64 / 1e3;
-            sums_us[3] += slo.quarantine_ns as f64 / 1e3;
-            p.observe("flight/queue_wait_us", q);
-            p.observe("flight/e2e_latency_us", e);
+        rollup = flight::SloRollup::from_events(&p.flight_events());
+        for (q, e) in rollup.queue_waits_us.iter().zip(&rollup.e2e_us) {
+            p.observe("flight/queue_wait_us", *q);
+            p.observe("flight/e2e_latency_us", *e);
         }
     }
     let statuses = engine.statuses;
@@ -681,14 +671,14 @@ pub fn run<B: ArrayBackend>(
             repacks: engine.repacks,
             lanes_moved: engine.lanes_moved,
             max_width: engine.max_width,
-            queue_wait_p50_us: flight::nearest_rank(&queue_waits_us, 0.50),
-            queue_wait_p99_us: flight::nearest_rank(&queue_waits_us, 0.99),
-            e2e_latency_p50_us: flight::nearest_rank(&e2e_us, 0.50),
-            e2e_latency_p99_us: flight::nearest_rank(&e2e_us, 0.99),
-            queue_us: sums_us[0],
-            compute_us: sums_us[1],
-            surgery_us: sums_us[2],
-            quarantine_us: sums_us[3],
+            queue_wait_p50_us: rollup.queue_wait_us(0.50),
+            queue_wait_p99_us: rollup.queue_wait_us(0.99),
+            e2e_latency_p50_us: rollup.e2e_latency_us(0.50),
+            e2e_latency_p99_us: rollup.e2e_latency_us(0.99),
+            queue_us: rollup.queue_us,
+            compute_us: rollup.compute_us,
+            surgery_us: rollup.surgery_us,
+            quarantine_us: rollup.quarantine_us,
         },
         final_states,
         statuses,

@@ -1,0 +1,162 @@
+//! Command-line client for the in-process tuning service.
+//!
+//! Spawns a service over a simulated heterogeneous fleet, submits a
+//! scripted set of tenant sweeps through the async API, polls status,
+//! optionally cancels a sweep mid-flight, and prints the final
+//! per-tenant outcome table.
+//!
+//! Usage: serve_cli [--tenants N] [--trials N] [--cancel SWEEP]
+//!                  [--policy static|fair-share] [--ckpt-dir DIR]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use hfta_sched::asha::RungPolicy;
+use hfta_sched::linear::{LinearBackend, LinearTrialCfg};
+use hfta_serve::engine::{ServeCfg, SweepSpec};
+use hfta_serve::{AdmitPolicy, ServeHandle};
+use hfta_sim::{DeviceFleet, DeviceSpec};
+
+const USAGE: &str = "usage: serve_cli [--tenants N] [--trials N] [--cancel SWEEP] \
+                     [--policy static|fair-share] [--ckpt-dir DIR]";
+
+struct Args {
+    tenants: usize,
+    trials: usize,
+    cancel: Option<u64>,
+    policy: AdmitPolicy,
+    ckpt_dir: Option<PathBuf>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        tenants: 3,
+        trials: 8,
+        cancel: None,
+        policy: AdmitPolicy::FairShare,
+        ckpt_dir: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or(format!("{name} needs a value"));
+        match flag.as_str() {
+            "--tenants" => {
+                args.tenants = value("--tenants")?.parse().map_err(|e| format!("{e}"))?
+            }
+            "--trials" => args.trials = value("--trials")?.parse().map_err(|e| format!("{e}"))?,
+            "--cancel" => {
+                args.cancel = Some(value("--cancel")?.parse().map_err(|e| format!("{e}"))?)
+            }
+            "--policy" => {
+                args.policy = match value("--policy")?.as_str() {
+                    "static" => AdmitPolicy::Static,
+                    "fair-share" => AdmitPolicy::FairShare,
+                    other => return Err(format!("unknown policy {other:?}")),
+                }
+            }
+            "--ckpt-dir" => args.ckpt_dir = Some(PathBuf::from(value("--ckpt-dir")?)),
+            "--help" | "-h" => return Err(String::new()),
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            if !msg.is_empty() {
+                eprintln!("error: {msg}");
+            }
+            eprintln!("{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let fleet = DeviceFleet::heterogeneous(
+        &[
+            (DeviceSpec::v100(), 2),
+            (DeviceSpec::rtx6000(), 1),
+            (DeviceSpec::a100(), 1),
+        ],
+        false,
+    );
+    let cfg = ServeCfg {
+        policy: args.policy,
+        rung: RungPolicy {
+            base_steps: 2,
+            eta: 2,
+            rungs: 3,
+        },
+        width_cap: 8,
+        checkpoint_dir: args.ckpt_dir,
+    };
+    println!(
+        "serve_cli: policy {} over {} devices",
+        args.policy.name(),
+        fleet.len()
+    );
+
+    let handle = ServeHandle::spawn(LinearBackend::default(), fleet, cfg);
+    for u in 0..args.tenants {
+        // Later tenants get higher priority so fair-share preemption has
+        // something to do on a saturated fleet.
+        let spec = SweepSpec {
+            tenant: format!("tenant-{u}"),
+            priority: (u + 1) as f64,
+            configs: (0..args.trials)
+                .map(|k| LinearTrialCfg {
+                    lr: 0.004 * (1.0 + (k % 12) as f32),
+                    poison_at: (k % 9 == 4).then_some(1),
+                })
+                .collect(),
+        };
+        let sweep = handle.submit(spec);
+        println!(
+            "submitted sweep {sweep} for tenant-{u} ({} trials)",
+            args.trials
+        );
+    }
+    if let Some(sweep) = args.cancel {
+        handle.cancel(sweep);
+        println!("cancelled sweep {sweep}");
+    }
+    for s in handle.status() {
+        println!(
+            "status: sweep {} trials {} queued {} running {} buffered {} done {}",
+            s.sweep,
+            s.trials,
+            s.queued,
+            s.running,
+            s.buffered,
+            s.finished + s.stopped + s.killed + s.cancelled
+        );
+    }
+
+    let run = match handle.shutdown() {
+        Ok(run) => run,
+        Err(e) => {
+            eprintln!("service failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let r = &run.report;
+    println!(
+        "done: {} sweeps, {} trials -> {} finished / {} stopped / {} killed / {} cancelled",
+        r.sweeps, r.trials, r.finished, r.stopped, r.killed, r.cancelled
+    );
+    println!(
+        "fleet: makespan {:.4}s occupancy {:.3} arrays {} preemptions {} checkpoints {}",
+        r.makespan_s, r.occupancy, r.arrays_built, r.preemptions, r.checkpoints
+    );
+    for o in run.outcomes.iter().filter(|o| o.has_loss).take(8) {
+        println!(
+            "  trial {:>3} ({}) loss {:.6}",
+            o.trial,
+            o.tenant,
+            f32::from_bits(o.loss_bits)
+        );
+    }
+    ExitCode::SUCCESS
+}

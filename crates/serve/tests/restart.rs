@@ -1,0 +1,181 @@
+//! Kill-and-restart bit-identity: a service killed mid-soak and
+//! recovered from its checkpoint directory must settle every trial with
+//! exactly the same terminal status and final loss bits as an
+//! uninterrupted run of the same command stream.
+//!
+//! This holds because per-trial trajectories depend only on
+//! `(trial id, global step)` — never on device, array width, or
+//! scheduling order — and rung decisions are synchronous barriers
+//! ranked by `(score, trial id)` alone. The restart changes *when* and
+//! *where* lanes train (in-flight segments at the crash retrain from
+//! their last snapshot), but not what they compute.
+
+use std::fs;
+use std::path::PathBuf;
+
+use hfta_sched::asha::RungPolicy;
+use hfta_sched::linear::{LinearBackend, LinearTrialCfg};
+use hfta_serve::engine::{ServeCfg, ServeCmd, ServeEngine, ServeRun, SweepSpec};
+use hfta_serve::AdmitPolicy;
+use hfta_sim::{DeviceFleet, DeviceSpec};
+
+fn fleet() -> DeviceFleet {
+    DeviceFleet::heterogeneous(&[(DeviceSpec::v100(), 1), (DeviceSpec::a100(), 1)], false)
+}
+
+fn cfg(policy: AdmitPolicy, dir: Option<PathBuf>) -> ServeCfg {
+    ServeCfg {
+        policy,
+        rung: RungPolicy {
+            base_steps: 2,
+            eta: 2,
+            rungs: 3,
+        },
+        width_cap: 6,
+        checkpoint_dir: dir,
+    }
+}
+
+fn sweep(tenant: &str, priority: f64, n: usize, salt: usize) -> SweepSpec<LinearTrialCfg> {
+    SweepSpec {
+        tenant: tenant.to_string(),
+        priority,
+        configs: (0..n)
+            .map(|k| LinearTrialCfg {
+                lr: 0.004 * (1.0 + ((k + salt) % 12) as f32),
+                poison_at: ((k + salt) % 9 == 4).then_some(1),
+            })
+            .collect(),
+    }
+}
+
+/// A stream that saturates the two-device fleet with big low-priority
+/// sweeps, then lands high-priority arrivals that trigger preemption.
+fn commands() -> Vec<(f64, ServeCmd<LinearTrialCfg>)> {
+    vec![
+        (0.0, ServeCmd::Submit(sweep("batch-a", 1.0, 12, 0))),
+        (0.0002, ServeCmd::Submit(sweep("batch-b", 1.0, 10, 3))),
+        (0.0010, ServeCmd::Submit(sweep("urgent-a", 4.0, 4, 7))),
+        (0.0018, ServeCmd::Submit(sweep("urgent-b", 8.0, 4, 11))),
+        (0.0026, ServeCmd::Submit(sweep("batch-c", 2.0, 8, 5))),
+    ]
+}
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("hfta-serve-restart-{tag}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Uninterrupted run; returns the result and its batch count.
+fn run_full(policy: AdmitPolicy) -> (ServeRun, u64) {
+    let mut eng = ServeEngine::new(
+        LinearBackend::default(),
+        fleet(),
+        cfg(policy, None),
+        commands(),
+    )
+    .unwrap();
+    eng.drain().unwrap();
+    let batches = eng.batches();
+    (eng.finish(), batches)
+}
+
+/// Run that is killed after `crash_after` batches, then recovered from
+/// its journal and drained.
+fn run_with_crash(policy: AdmitPolicy, tag: &str, crash_after: u64) -> ServeRun {
+    let dir = tmpdir(tag);
+    {
+        let mut eng = ServeEngine::new(
+            LinearBackend::default(),
+            fleet(),
+            cfg(policy, Some(dir.clone())),
+            commands(),
+        )
+        .unwrap();
+        for _ in 0..crash_after {
+            if !eng.step().unwrap() {
+                break;
+            }
+        }
+        // Hard kill: the engine (with every booked in-flight segment)
+        // is dropped on the floor; only journal + snapshots survive.
+    }
+    let mut eng = ServeEngine::recover(
+        LinearBackend::default(),
+        fleet(),
+        cfg(policy, Some(dir.clone())),
+        commands(),
+    )
+    .unwrap();
+    eng.drain().unwrap();
+    let run = eng.finish();
+    let _ = fs::remove_dir_all(&dir);
+    run
+}
+
+#[test]
+fn fair_share_restart_is_bit_identical_mid_soak() {
+    let (full, batches) = run_full(AdmitPolicy::FairShare);
+    assert!(
+        full.report.preemptions > 0,
+        "stream should exercise priority preemption"
+    );
+    assert!(batches > 4, "need room to crash mid-run, got {batches}");
+    let restarted = run_with_crash(AdmitPolicy::FairShare, "fair", batches / 2);
+    assert!(
+        restarted.report.restores > 0,
+        "recovery should restore lanes from snapshots"
+    );
+    assert!(restarted.report.checkpoints > 0);
+    assert_eq!(
+        full.outcomes, restarted.outcomes,
+        "statuses and final loss bits must survive the restart bit-identically"
+    );
+}
+
+#[test]
+fn restart_at_every_early_batch_converges_to_the_same_outcomes() {
+    // Crashing at different points must never change outcomes: probe a
+    // few crash sites including "before anything ran" and "almost done".
+    let (full, batches) = run_full(AdmitPolicy::FairShare);
+    for crash_after in [0, 1, batches / 4, (3 * batches) / 4, batches] {
+        let restarted = run_with_crash(
+            AdmitPolicy::FairShare,
+            &format!("site{crash_after}"),
+            crash_after,
+        );
+        assert_eq!(
+            full.outcomes, restarted.outcomes,
+            "crash after {crash_after} batches changed the outcome"
+        );
+    }
+}
+
+#[test]
+fn static_policy_restart_is_bit_identical() {
+    let (full, batches) = run_full(AdmitPolicy::Static);
+    assert!(batches > 4);
+    let restarted = run_with_crash(AdmitPolicy::Static, "static", batches / 2);
+    assert_eq!(full.outcomes, restarted.outcomes);
+}
+
+#[test]
+fn preempted_lanes_resume_on_any_device_bit_identically() {
+    // The same stream on a fleet with the device order swapped: trial
+    // trajectories (hence outcomes) must not change even though every
+    // placement decision does.
+    let (full, _) = run_full(AdmitPolicy::FairShare);
+    let swapped =
+        DeviceFleet::heterogeneous(&[(DeviceSpec::a100(), 1), (DeviceSpec::v100(), 1)], false);
+    let mut eng = ServeEngine::new(
+        LinearBackend::default(),
+        swapped,
+        cfg(AdmitPolicy::FairShare, None),
+        commands(),
+    )
+    .unwrap();
+    eng.drain().unwrap();
+    let other = eng.finish();
+    assert_eq!(full.outcomes, other.outcomes);
+}

@@ -157,6 +157,30 @@ impl DeviceFleet {
         Self::new((0..count).map(|_| GpuSim::new(spec.clone(), amp)).collect())
     }
 
+    /// A heterogeneous fleet from `(spec, count)` device classes, in class
+    /// order: `[(v100, 2), (a100, 1)]` yields devices `V100#0, V100#1,
+    /// A100#2`. The class mix is what gives preemptive lane migration
+    /// something to exploit — a trial extracted from a saturated slow class
+    /// can resume bit-identically on a fast one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the classes sum to zero devices.
+    pub fn heterogeneous(classes: &[(DeviceSpec, usize)], amp: bool) -> Self {
+        Self::new(
+            classes
+                .iter()
+                .flat_map(|(spec, count)| (0..*count).map(|_| GpuSim::new(spec.clone(), amp)))
+                .collect(),
+        )
+    }
+
+    /// The device-class (spec) name of device `id`, without the fleet
+    /// index: `"V100"` for `"V100#3"`.
+    pub fn device_class(&self, id: usize) -> &str {
+        &self.devices[id].sim.device().name
+    }
+
     /// A fleet from explicit per-device simulators.
     ///
     /// # Panics
@@ -551,6 +575,29 @@ mod tests {
             fleet.max_fused_width_with(0, &base, 8, WidthMode::Measured(&huge)),
             0
         );
+    }
+
+    #[test]
+    fn heterogeneous_fleet_orders_classes_and_scales_speed() {
+        let fleet = DeviceFleet::heterogeneous(
+            &[
+                (DeviceSpec::v100(), 2),
+                (DeviceSpec::rtx6000(), 1),
+                (DeviceSpec::a100(), 1),
+            ],
+            false,
+        );
+        assert_eq!(fleet.len(), 4);
+        assert_eq!(fleet.name(0), "V100#0");
+        assert_eq!(fleet.name(1), "V100#1");
+        assert_eq!(fleet.name(2), "RTX6000#2");
+        assert_eq!(fleet.name(3), "A100#3");
+        assert_eq!(fleet.device_class(1), "V100");
+        assert_eq!(fleet.device_class(3), "A100");
+        // The faster class runs the same fused step faster.
+        let v100 = fleet.step_time_s(0, &job(), 4, SharingPolicy::Hfta);
+        let a100 = fleet.step_time_s(3, &job(), 4, SharingPolicy::Hfta);
+        assert!(a100 < v100, "A100 step {a100} not below V100 {v100}");
     }
 
     #[test]

@@ -64,6 +64,13 @@ pub enum FlightKind {
     DeviceBind,
     /// Fleet-level: a device finished a segment (trial = [`FLEET_TRIAL`]).
     DeviceRelease,
+    /// A higher-priority tenant preempted this trial's running segment.
+    Preempt,
+    /// The trial's lane state was persisted to a crash-safe snapshot.
+    Checkpoint,
+    /// The trial's state was restored from a snapshot after a service
+    /// restart (or re-queued fresh when no snapshot existed yet).
+    Restore,
 }
 
 impl FlightKind {
@@ -83,6 +90,9 @@ impl FlightKind {
             FlightKind::Fault => "fault",
             FlightKind::DeviceBind => "device-bind",
             FlightKind::DeviceRelease => "device-release",
+            FlightKind::Preempt => "preempt",
+            FlightKind::Checkpoint => "checkpoint",
+            FlightKind::Restore => "restore",
         }
     }
 
@@ -635,10 +645,21 @@ fn step_phase(phase: TrialPhase, kind: FlightKind) -> Option<TrialPhase> {
         (P::Submitted, K::Enqueue) => Some(P::Queued),
         (P::Queued | P::Buffered, K::Dispatch) => Some(P::Running),
         (P::Running, K::RungStart | K::RungEnd | K::Promote) => Some(P::Running),
+        // Preempt is announced while still running; the Extract that
+        // follows moves the trial into the surgery buffer.
+        (P::Running, K::Preempt) => Some(P::Running),
         (P::Running, K::Extract) => Some(P::Buffered),
-        (P::Buffered, K::Splice) => Some(P::Buffered),
+        // Barrier-time events on buffered (extracted) state: snapshotting,
+        // re-splicing, and cohort promotion all keep the trial buffered.
+        (P::Buffered, K::Splice | K::Checkpoint | K::Promote) => Some(P::Buffered),
+        // Restore after a service restart: a trial with a snapshot resumes
+        // buffered; a trial that never reached a checkpoint re-queues fresh.
+        (P::Running | P::Buffered, K::Restore) => Some(P::Buffered),
+        (P::Queued, K::Restore) => Some(P::Queued),
         (P::Running | P::Quarantined, K::Fault) => Some(P::Quarantined),
-        (P::Running | P::Quarantined, K::Evict) => Some(P::Done),
+        // Evict also terminates queued/buffered trials (tenant cancel,
+        // cohort-barrier early stop).
+        (P::Running | P::Quarantined | P::Queued | P::Buffered, K::Evict) => Some(P::Done),
         (P::Running | P::Buffered, K::Complete) => Some(P::Done),
         _ => None,
     }
@@ -690,6 +711,63 @@ pub fn nearest_rank(values: &[f64], q: f64) -> f64 {
     sorted.sort_by(|a, b| a.total_cmp(b));
     let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
     sorted[rank - 1]
+}
+
+/// End-of-run SLO fold shared by the schedulers (`hfta-sched`, `hfta-serve`):
+/// derives every valid trial SLO from a journal and accumulates the
+/// queue-wait/e2e latency populations plus the four bucket sums, all in
+/// bit-exact simulated microseconds.
+#[derive(Debug, Clone, Default)]
+pub struct SloRollup {
+    /// Every validated trial SLO, in trial-id order.
+    pub slos: Vec<TrialSlo>,
+    /// Per-trial queue-wait (queue bucket) in simulated microseconds.
+    pub queue_waits_us: Vec<f64>,
+    /// Per-trial end-to-end latency in simulated microseconds.
+    pub e2e_us: Vec<f64>,
+    /// Sum of the queue bucket across trials, microseconds.
+    pub queue_us: f64,
+    /// Sum of the compute bucket across trials, microseconds.
+    pub compute_us: f64,
+    /// Sum of the surgery bucket across trials, microseconds.
+    pub surgery_us: f64,
+    /// Sum of the quarantine bucket across trials, microseconds.
+    pub quarantine_us: f64,
+}
+
+impl SloRollup {
+    /// Lenient fold over a raw journal (skips malformed sequences, like
+    /// [`derive_all`]).
+    pub fn from_events(events: &[FlightEvent]) -> Self {
+        Self::from_slos(derive_all(events))
+    }
+
+    /// Fold pre-derived SLOs.
+    pub fn from_slos(slos: Vec<TrialSlo>) -> Self {
+        let mut out = SloRollup {
+            slos,
+            ..SloRollup::default()
+        };
+        for s in &out.slos {
+            out.queue_waits_us.push(s.queue_ns as f64 / 1e3);
+            out.e2e_us.push(s.e2e_ns() as f64 / 1e3);
+            out.queue_us += s.queue_ns as f64 / 1e3;
+            out.compute_us += s.compute_ns as f64 / 1e3;
+            out.surgery_us += s.surgery_ns as f64 / 1e3;
+            out.quarantine_us += s.quarantine_ns as f64 / 1e3;
+        }
+        out
+    }
+
+    /// Nearest-rank quantile of the queue-wait population, microseconds.
+    pub fn queue_wait_us(&self, q: f64) -> f64 {
+        nearest_rank(&self.queue_waits_us, q)
+    }
+
+    /// Nearest-rank quantile of the e2e latency population, microseconds.
+    pub fn e2e_latency_us(&self, q: f64) -> f64 {
+        nearest_rank(&self.e2e_us, q)
+    }
 }
 
 #[cfg(test)]
@@ -759,6 +837,117 @@ mod tests {
         assert_eq!(slo.quarantine_ns, 6);
         assert!(slo.faulted);
         assert_eq!(slo.outcome, FlightKind::Evict);
+    }
+
+    #[test]
+    fn preempt_checkpoint_restore_route_time_to_surgery() {
+        use FlightKind as K;
+        // A trial preempted mid-segment, checkpointed, then restored after
+        // a service restart and finished elsewhere. Buffered time (between
+        // Extract and the re-Dispatch), including the restart gap, lands in
+        // the surgery bucket; the decomposition still telescopes to e2e.
+        let events = vec![
+            ev(11, 0, 0, K::Submit),
+            ev(11, 1, 0, K::Enqueue),
+            ev(11, 2, 100, K::Dispatch),
+            ev(11, 3, 100, K::RungStart),
+            ev(11, 4, 160, K::Preempt),
+            ev(11, 5, 160, K::Extract),
+            ev(11, 6, 160, K::Checkpoint),
+            // ...service killed and restarted here...
+            ev(11, 7, 400, K::Restore),
+            ev(11, 8, 500, K::Dispatch),
+            ev(11, 9, 500, K::RungStart),
+            ev(11, 10, 700, K::RungEnd),
+            ev(11, 11, 700, K::Complete),
+        ];
+        let slo = derive_slo(&events).expect("well-formed");
+        assert_eq!(slo.queue_ns, 100);
+        assert_eq!(slo.compute_ns, 260);
+        assert_eq!(slo.surgery_ns, 340);
+        assert_eq!(slo.quarantine_ns, 0);
+        assert_eq!(slo.outcome, FlightKind::Complete);
+        assert_eq!(
+            slo.queue_ns + slo.compute_ns + slo.surgery_ns + slo.quarantine_ns,
+            slo.e2e_ns()
+        );
+    }
+
+    #[test]
+    fn barrier_promote_and_evict_work_on_buffered_trials() {
+        use FlightKind as K;
+        // Cohort-barrier lifecycle: extracted at the rung boundary,
+        // checkpointed, promoted while buffered, then early-stopped from
+        // the buffer at the next barrier.
+        let events = vec![
+            ev(21, 0, 0, K::Submit),
+            ev(21, 1, 0, K::Enqueue),
+            ev(21, 2, 10, K::Dispatch),
+            ev(21, 3, 10, K::RungStart),
+            ev(21, 4, 30, K::RungEnd),
+            ev(21, 5, 30, K::Extract),
+            ev(21, 6, 30, K::Checkpoint),
+            ev(21, 7, 50, K::Promote),
+            ev(21, 8, 90, K::Evict),
+        ];
+        let slo = derive_slo(&events).expect("well-formed");
+        assert_eq!(slo.surgery_ns, 60);
+        assert_eq!(slo.outcome, FlightKind::Evict);
+    }
+
+    #[test]
+    fn cancel_evicts_straight_from_queue() {
+        use FlightKind as K;
+        let events = vec![
+            ev(31, 0, 0, K::Submit),
+            ev(31, 1, 0, K::Enqueue),
+            ev(31, 2, 40, K::Evict),
+        ];
+        let slo = derive_slo(&events).expect("well-formed");
+        assert_eq!(slo.queue_ns, 40);
+        assert_eq!(slo.outcome, FlightKind::Evict);
+    }
+
+    #[test]
+    fn queued_restore_keeps_trial_queued() {
+        use FlightKind as K;
+        // A trial that never reached a checkpoint re-queues fresh on
+        // restart; time keeps accruing to the queue bucket.
+        let events = vec![
+            ev(41, 0, 0, K::Submit),
+            ev(41, 1, 0, K::Enqueue),
+            ev(41, 2, 100, K::Restore),
+            ev(41, 3, 150, K::Dispatch),
+            ev(41, 4, 150, K::RungStart),
+            ev(41, 5, 180, K::RungEnd),
+            ev(41, 6, 180, K::Complete),
+        ];
+        let slo = derive_slo(&events).expect("well-formed");
+        assert_eq!(slo.queue_ns, 150);
+        assert_eq!(slo.compute_ns, 30);
+    }
+
+    #[test]
+    fn rollup_matches_manual_fold() {
+        let mut events = happy_path();
+        events.extend([
+            ev(8, 0, 0, FlightKind::Submit),
+            ev(8, 1, 0, FlightKind::Enqueue),
+            ev(8, 2, 2_000, FlightKind::Dispatch),
+            ev(8, 3, 2_000, FlightKind::RungStart),
+            ev(8, 4, 3_000, FlightKind::RungEnd),
+            ev(8, 5, 3_000, FlightKind::Complete),
+        ]);
+        let rollup = SloRollup::from_events(&events);
+        assert_eq!(rollup.slos.len(), 2);
+        assert_eq!(rollup.queue_waits_us.len(), 2);
+        // Trial 7 queued 150ns = 0.15us, trial 8 queued 2000ns = 2us.
+        assert_eq!(rollup.queue_wait_us(0.50), 0.15);
+        assert_eq!(rollup.queue_wait_us(0.99), 2.0);
+        assert_eq!(rollup.queue_us, 2.15);
+        assert_eq!(rollup.compute_us, 0.5 + 1.0);
+        assert_eq!(rollup.surgery_us, 0.15);
+        assert_eq!(rollup.quarantine_us, 0.0);
     }
 
     #[test]
