@@ -149,6 +149,7 @@ fn command_stream(n: usize, span_s: f64) -> Vec<(f64, ServeCmd<LinearTrialCfg>)>
                 9..=12 => 2.0,
                 _ => 1.0,
             },
+            archs: Vec::new(),
             configs: (0..take)
                 .map(|k| LinearTrialCfg {
                     // The burst's swept grid, kept in a stable range.

@@ -1,0 +1,45 @@
+//! Renders the fusion-plan block timeline from a `--trace` directory.
+//!
+//! ```text
+//! plan_report <trace-dir>
+//! ```
+//!
+//! `bench_plan --trace <dir>` serializes the planner's [`FusionPlan`] to
+//! `<dir>/plan.json`; this binary reads it back and prints the per-lane
+//! ASCII timeline (`hfta_plan::render_timeline`): fused spans as `████`,
+//! serial spans as `────`, plus a block legend. CI tees the rendering
+//! into the uploaded plan-trace artifact so a PR's fusion shape is
+//! reviewable without re-running the bench.
+
+use std::process::ExitCode;
+
+use hfta_bench::cli::usage_exit;
+use hfta_plan::FusionPlan;
+
+const USAGE: &str = "plan_report <trace-dir>";
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let dir = match (args.next(), args.next()) {
+        (Some(d), None) => std::path::PathBuf::from(d),
+        (None, _) => usage_exit(USAGE, "missing trace directory"),
+        (Some(_), Some(extra)) => usage_exit(USAGE, &format!("unexpected argument: {extra}")),
+    };
+    let path = dir.join("plan.json");
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: cannot read {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    let plan: FusionPlan = match serde_json::from_str(&text) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("error: {} is not a fusion plan: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    print!("{}", hfta_plan::render_timeline(&plan));
+    ExitCode::SUCCESS
+}

@@ -330,6 +330,9 @@ pub const SCOPE_OVERHEAD_BUDGET_PCT: f64 = 5.0;
 /// and `steady_fresh_allocs` — see [`DiffCfg::max_mem_regress_pct`].
 /// `BENCH_serve.json` records (keyed by `policy`) gate on p50/p99 queue
 /// wait (may not grow) and fleet occupancy (may not shrink).
+/// `BENCH_plan.json` records (keyed by `plan`) gate on the simulated
+/// per-plan step time, the partial-fusion speedup headline, the fused
+/// fraction, and the bit-identity flag — see [`diff_plan_records`].
 ///
 /// Format skew is tolerated in both directions: records lacking the newer
 /// optional fields (`backend`, `threads`, `bytes_per_iter`) still diff by
@@ -432,6 +435,7 @@ pub fn diff_bench(base: &Value, cand: &Value, cfg: &DiffCfg) -> DiffOutcome {
     }
     diff_mem_records(base, cand, cfg, &mut out);
     diff_serve_records(base, cand, cfg, &mut out);
+    diff_plan_records(base, cand, cfg, &mut out);
     out
 }
 
@@ -598,6 +602,110 @@ fn diff_serve_records(base: &Value, cand: &Value, cfg: &DiffCfg, out: &mut DiffO
                     b.key, c.occupancy, b.occupancy
                 ));
             }
+        }
+    }
+}
+
+/// One parsed `BENCH_plan.json` record: per-execution-plan simulated cost.
+struct PlanFields {
+    key: String,
+    sim_step_us: f64,
+}
+
+fn plan_records(v: &Value) -> Vec<PlanFields> {
+    let Some(Value::Array(items)) = v.get("records") else {
+        return Vec::new();
+    };
+    items
+        .iter()
+        .filter_map(|r| {
+            // Plan records are the ones carrying per-plan simulated costs.
+            let plan = match r.get("plan")? {
+                Value::Str(s) => s.clone(),
+                _ => return None,
+            };
+            Some(PlanFields {
+                key: format!("plan:{plan}"),
+                sim_step_us: as_f64(r.get("sim_step_us")?)?,
+            })
+        })
+        .collect()
+}
+
+/// Gates the fusion-planner records of a bench diff: per-plan simulated
+/// step time (`sim_step_us`) may not grow, and the headline
+/// `partial_fusion_speedup` may not drop, by more than
+/// `cfg.max_regress_pct.unwrap_or(10.0)` percent. Both are priced on the
+/// deterministic device model, so they are machine-independent; the
+/// wall-clock columns (`wall_ms`, `steps_per_s`) are informational and
+/// never gate. `fused_fraction` is pure planner output and must not
+/// shrink at all, and a candidate reporting `bit_identical: false`
+/// always regresses (planned execution must match serial bit-for-bit).
+/// Records without the plan fields (kernel/mem/serve records) are
+/// skipped.
+fn diff_plan_records(base: &Value, cand: &Value, cfg: &DiffCfg, out: &mut DiffOutcome) {
+    let pct = cfg.max_regress_pct.unwrap_or(10.0);
+    let cand_recs = plan_records(cand);
+    for b in plan_records(base) {
+        let Some(c) = cand_recs.iter().find(|c| c.key == b.key) else {
+            out.regress(format!("{}: record missing from candidate", b.key));
+            continue;
+        };
+        // Higher is worse for simulated step time.
+        if b.sim_step_us > 0.0 {
+            let change = (c.sim_step_us - b.sim_step_us) / b.sim_step_us * 100.0;
+            if change > pct {
+                out.regress(format!(
+                    "{} sim_step_us: {:.1} is {change:.1}% above baseline {:.1} (budget {pct}%)",
+                    b.key, c.sim_step_us, b.sim_step_us
+                ));
+            } else {
+                out.note(format!(
+                    "{} sim_step_us: {:.1} vs {:.1} ({change:+.1}%)",
+                    b.key, c.sim_step_us, b.sim_step_us
+                ));
+            }
+        }
+    }
+    if let (Some(b), Some(c)) = (
+        base.get("partial_fusion_speedup").and_then(as_f64),
+        cand.get("partial_fusion_speedup").and_then(as_f64),
+    ) {
+        if b > 0.0 {
+            let change = (c - b) / b * 100.0;
+            if change < -pct {
+                out.regress(format!(
+                    "partial_fusion_speedup: {c:.3} is {:.1}% below baseline {b:.3} (budget {pct}%)",
+                    -change
+                ));
+            } else {
+                out.note(format!(
+                    "partial_fusion_speedup: {c:.3} vs {b:.3} ({change:+.1}%)"
+                ));
+            }
+        }
+    }
+    if let (Some(b), Some(c)) = (
+        base.get("fused_fraction").and_then(as_f64),
+        cand.get("fused_fraction").and_then(as_f64),
+    ) {
+        // Deterministic planner output: any shrink means the planner now
+        // fuses less of the same sweep.
+        if c < b - 1e-12 {
+            out.regress(format!(
+                "fused_fraction: {c:.4} shrank from baseline {b:.4} (planner fuses less)"
+            ));
+        } else {
+            out.note(format!("fused_fraction: {c:.4} vs {b:.4}"));
+        }
+    }
+    if let Some(Value::Bool(ok)) = cand.get("bit_identical") {
+        if *ok {
+            out.note("bit_identical: true".to_string());
+        } else {
+            out.regress(
+                "bit_identical: false (planned execution diverged from serial)".to_string(),
+            );
         }
     }
 }
@@ -971,6 +1079,121 @@ mod tests {
             &DiffCfg::default(),
         );
         assert!(!out.lines.iter().any(|l| l.contains("serve:")));
+    }
+
+    fn plan_json(fused_us: f64, speedup: f64, fraction: f64, bit_identical: bool) -> Value {
+        let text = format!(
+            r#"{{"records": [
+                 {{"plan": "serial", "sim_step_us": 34607.5, "wall_ms": 100.0,
+                   "steps_per_s": 10.0}},
+                 {{"plan": "partial-fusion", "sim_step_us": {fused_us},
+                   "wall_ms": 90.0, "steps_per_s": 11.0}}],
+                 "partial_fusion_speedup": {speedup},
+                 "fused_fraction": {fraction},
+                 "bit_identical": {bit_identical}}}"#
+        );
+        serde_json::from_str(&text).unwrap()
+    }
+
+    #[test]
+    fn plan_diff_gates_sim_step_growth_and_speedup_drop() {
+        let base = plan_json(12417.7, 2.79, 0.824, true);
+        // Identical: clean, with informational lines for every gauge.
+        let out = diff_bench(
+            &base,
+            &plan_json(12417.7, 2.79, 0.824, true),
+            &DiffCfg::default(),
+        );
+        assert!(!out.regressed(), "{:?}", out.regressions);
+        assert!(out
+            .lines
+            .iter()
+            .any(|l| l.contains("plan:partial-fusion sim_step_us")));
+        assert!(out.lines.iter().any(|l| l.contains("fused_fraction")));
+        // 20% simulated-step growth: over the default 10% budget.
+        let out = diff_bench(
+            &base,
+            &plan_json(14901.2, 2.79, 0.824, true),
+            &DiffCfg::default(),
+        );
+        assert!(out.regressed());
+        assert!(out.regressions[0].contains("sim_step_us"));
+        // 5% growth passes by default but fails a 2% budget.
+        assert!(!diff_bench(
+            &base,
+            &plan_json(13038.6, 2.79, 0.824, true),
+            &DiffCfg::default()
+        )
+        .regressed());
+        let tight = DiffCfg {
+            max_regress_pct: Some(2.0),
+            ..DiffCfg::default()
+        };
+        assert!(diff_bench(&base, &plan_json(13038.6, 2.79, 0.824, true), &tight).regressed());
+        // Speedup dropping 15% regresses; a faster plan never does.
+        let out = diff_bench(
+            &base,
+            &plan_json(12417.7, 2.37, 0.824, true),
+            &DiffCfg::default(),
+        );
+        assert!(out.regressed());
+        assert!(out.regressions[0].contains("partial_fusion_speedup"));
+        assert!(!diff_bench(
+            &base,
+            &plan_json(11000.0, 3.10, 0.824, true),
+            &DiffCfg::default()
+        )
+        .regressed());
+    }
+
+    #[test]
+    fn plan_diff_fused_fraction_and_bit_identity_gates_are_absolute() {
+        let base = plan_json(12417.7, 2.79, 0.824, true);
+        // Any fused-fraction shrink regresses, however small.
+        let out = diff_bench(
+            &base,
+            &plan_json(12417.7, 2.79, 0.823, true),
+            &DiffCfg::default(),
+        );
+        assert!(out.regressed());
+        assert!(out.regressions[0].contains("fused_fraction"));
+        // Growing is fine.
+        assert!(!diff_bench(
+            &base,
+            &plan_json(12417.7, 2.79, 0.900, true),
+            &DiffCfg::default()
+        )
+        .regressed());
+        // A candidate that lost bit-identity always regresses.
+        let out = diff_bench(
+            &base,
+            &plan_json(12417.7, 2.79, 0.824, false),
+            &DiffCfg::default(),
+        );
+        assert!(out.regressed());
+        assert!(out.regressions[0].contains("bit_identical"));
+    }
+
+    #[test]
+    fn plan_diff_flags_missing_plan_and_skips_other_records() {
+        let base = plan_json(12417.7, 2.79, 0.824, true);
+        let serial_only: Value = serde_json::from_str(
+            r#"{"records": [{"plan": "serial", "sim_step_us": 34607.5,
+                 "wall_ms": 100.0, "steps_per_s": 10.0}]}"#,
+        )
+        .unwrap();
+        let out = diff_bench(&base, &serial_only, &DiffCfg::default());
+        assert!(out
+            .regressions
+            .iter()
+            .any(|r| r.contains("plan:partial-fusion") && r.contains("missing")));
+        // Kernel, memory and serve bench files have no plan fields: silent.
+        let out = diff_bench(
+            &serve_json(500.0, 2000.0, 0.60),
+            &serve_json(500.0, 2000.0, 0.60),
+            &DiffCfg::default(),
+        );
+        assert!(!out.lines.iter().any(|l| l.contains("plan:")));
     }
 
     #[test]

@@ -64,6 +64,7 @@ pub mod format;
 pub mod loss;
 pub mod ops;
 pub mod optim;
+pub mod planned;
 pub mod rules;
 pub mod scope;
 pub mod snapshot;

@@ -1,0 +1,957 @@
+//! Planned (partially fused) execution: run an `hfta-plan`
+//! [`FusionPlan`] over the existing fused-op machinery.
+//!
+//! A [`PlannedArray`] materializes each plan block at its own width —
+//! fused blocks as width-`k` fused operators, serial blocks as width-1
+//! fused operators — and runs them all on **one tape**, stitching per-lane
+//! activations into block-fused activations with differentiable
+//! `concat`/`narrow` at block boundaries. Because every fused operator
+//! computes each lane independently of the array width and of lane
+//! position (the width-independence the quarantine tests prove), and
+//! concat/narrow are bit-preserving copies, a planned run is
+//! **bit-identical per lane** to the all-serial plan over the same
+//! graphs — and a fully homogeneous plan is bit-identical to the
+//! hand-fused [`crate::array::ModelArray`] path built from the same
+//! per-lane models.
+//!
+//! Parameter initialization is keyed to `(lane seed, op index in lane)`:
+//! each lane's serial layers are constructed first, in program order,
+//! from that lane's own RNG, and blocks are then assembled with the
+//! `from_models` fusers. The plan's shape therefore never influences
+//! initial parameter bits.
+//!
+//! The [`PlannedOptimizer`] is the partially fused optimizer: one fused
+//! optimizer per parameter-carrying block, with per-block hyper-parameter
+//! vectors projected through the block's lane map. Lane surgery
+//! ([`PlannedOptimizer::extract_lane`] / [`PlannedOptimizer::splice_lanes`])
+//! reuses [`crate::surgery`] per block and concatenates the per-block
+//! segments in plan order — which is each lane's own program order — so
+//! extracted [`LaneState`]s are interchangeable with width-1 arrays of
+//! the same program and round-trip through [`crate::snapshot`]
+//! checkpoints unchanged.
+
+use hfta_nn::layers::{
+    BatchNorm, Conv1d, Conv2d, Conv2dCfg, ConvTranspose2d, LeakyRelu, Linear, LinearCfg, MaxPool2d,
+    Relu, Tanh,
+};
+use hfta_nn::{Module, Tape, Var};
+use hfta_plan::{FusionPlan, ModelGraph, OpKind, OpSpec};
+use hfta_tensor::{Rng, Tensor};
+
+use crate::error::{FusionError, Result};
+use crate::format::{array_to_conv, conv_to_array};
+use crate::loss::{fused_cross_entropy, Reduction};
+use crate::ops::{
+    FusedBatchNorm, FusedConv1d, FusedConv2d, FusedConvTranspose2d, FusedLeakyRelu, FusedLinear,
+    FusedMaxPool2d, FusedModule, FusedParameter, FusedRelu, FusedTanh,
+};
+use crate::optim::{FusedAdam, FusedOptimizer, FusedSgd, PerModel};
+use crate::surgery::{self, LaneState};
+
+/// One lane's serial layer, pre-fusion. Construction order (per lane, in
+/// program order, from the lane's own RNG) fixes the parameter bits.
+enum SerialLayer {
+    Conv2d(Conv2d),
+    ConvTranspose2d(ConvTranspose2d),
+    Conv1d(Conv1d),
+    BatchNorm(BatchNorm),
+    Relu,
+    LeakyRelu,
+    Tanh,
+    MaxPool2d,
+    Flatten,
+    Linear(Linear),
+}
+
+impl SerialLayer {
+    fn build(spec: &OpSpec, rng: &mut Rng) -> Result<SerialLayer> {
+        let conv_cfg = |s: &OpSpec| {
+            Conv2dCfg::new(s.c_in, s.c_out, s.kernel)
+                .stride(s.stride)
+                .padding(s.padding)
+                .groups(s.groups)
+                .bias(s.bias)
+        };
+        Ok(match spec.kind {
+            OpKind::Conv2d => SerialLayer::Conv2d(Conv2d::new(conv_cfg(spec), rng)),
+            OpKind::ConvTranspose2d => {
+                SerialLayer::ConvTranspose2d(ConvTranspose2d::new(conv_cfg(spec), rng))
+            }
+            OpKind::Conv1d => SerialLayer::Conv1d(Conv1d::new(
+                spec.c_in,
+                spec.c_out,
+                spec.kernel,
+                spec.stride,
+                spec.padding,
+                spec.groups.max(1),
+                rng,
+            )),
+            OpKind::BatchNorm => SerialLayer::BatchNorm(BatchNorm::new(spec.c_in)),
+            OpKind::Relu => SerialLayer::Relu,
+            OpKind::LeakyRelu => SerialLayer::LeakyRelu,
+            OpKind::Tanh => SerialLayer::Tanh,
+            OpKind::MaxPool2d => SerialLayer::MaxPool2d,
+            OpKind::Flatten => SerialLayer::Flatten,
+            OpKind::Linear => SerialLayer::Linear(Linear::new(
+                LinearCfg::new(spec.c_in, spec.c_out).bias(spec.bias),
+                rng,
+            )),
+            OpKind::GlobalMaxPool | OpKind::ResidualAdd => {
+                return Err(FusionError::StructureMismatch {
+                    detail: format!(
+                        "{:?} is plannable but not executable by PlannedArray",
+                        spec.kind
+                    ),
+                })
+            }
+        })
+    }
+}
+
+/// One fused op of one block, at that block's width.
+enum ExecOp {
+    Conv2d(FusedConv2d),
+    ConvTranspose2d(FusedConvTranspose2d),
+    Conv1d(FusedConv1d),
+    BatchNorm(FusedBatchNorm),
+    Relu(FusedRelu),
+    LeakyRelu(FusedLeakyRelu),
+    Tanh(FusedTanh),
+    MaxPool2d(FusedMaxPool2d),
+    Flatten,
+    Linear(FusedLinear),
+}
+
+macro_rules! collect_layers {
+    ($models:expr, $variant:ident, $kind:expr) => {{
+        let mut out = Vec::with_capacity($models.len());
+        for m in $models {
+            match m {
+                SerialLayer::$variant(inner) => out.push(inner),
+                _ => {
+                    return Err(FusionError::StructureMismatch {
+                        detail: format!("plan block mixes op kinds at a {} slot", $kind),
+                    })
+                }
+            }
+        }
+        out
+    }};
+}
+
+impl ExecOp {
+    /// Fuses one op slot across the block's lanes. `models` holds each
+    /// participating lane's serial layer for this slot, in lane order.
+    fn fuse(models: Vec<SerialLayer>, spec: &OpSpec) -> Result<ExecOp> {
+        let b = models.len();
+        Ok(match spec.kind {
+            OpKind::Conv2d => ExecOp::Conv2d(FusedConv2d::from_models(&collect_layers!(
+                models, Conv2d, "Conv2d"
+            ))?),
+            OpKind::ConvTranspose2d => ExecOp::ConvTranspose2d(FusedConvTranspose2d::from_models(
+                &collect_layers!(models, ConvTranspose2d, "ConvTranspose2d"),
+            )?),
+            OpKind::Conv1d => ExecOp::Conv1d(FusedConv1d::from_models(&collect_layers!(
+                models, Conv1d, "Conv1d"
+            ))?),
+            OpKind::BatchNorm => ExecOp::BatchNorm(FusedBatchNorm::from_models(&collect_layers!(
+                models,
+                BatchNorm,
+                "BatchNorm"
+            ))?),
+            OpKind::Relu => ExecOp::Relu(FusedRelu::new(b, Relu)),
+            OpKind::LeakyRelu => {
+                ExecOp::LeakyRelu(FusedLeakyRelu::new(b, LeakyRelu::new(spec.slope())))
+            }
+            OpKind::Tanh => ExecOp::Tanh(FusedTanh::new(b, Tanh)),
+            OpKind::MaxPool2d => {
+                ExecOp::MaxPool2d(FusedMaxPool2d::new(b, MaxPool2d::new(spec.kernel)))
+            }
+            OpKind::Flatten => ExecOp::Flatten,
+            OpKind::Linear => ExecOp::Linear(FusedLinear::from_models(&collect_layers!(
+                models, Linear, "Linear"
+            ))?),
+            OpKind::GlobalMaxPool | OpKind::ResidualAdd => {
+                return Err(FusionError::StructureMismatch {
+                    detail: format!("{:?} cannot execute in a PlannedArray", spec.kind),
+                })
+            }
+        })
+    }
+
+    /// Applies the op to a block-fused activation. Conv-format ops see
+    /// `[N, B*C, ...]`; `Flatten` collapses to `[N, B*F]`; `Linear` hops
+    /// through array format and back so the block boundary stays on the
+    /// channel axis.
+    fn forward(&self, x: &Var, b: usize) -> Var {
+        match self {
+            ExecOp::Conv2d(m) => m.forward(x),
+            ExecOp::ConvTranspose2d(m) => m.forward(x),
+            ExecOp::Conv1d(m) => m.forward(x),
+            ExecOp::BatchNorm(m) => m.forward(x),
+            ExecOp::Relu(m) => m.forward(x),
+            ExecOp::LeakyRelu(m) => m.forward(x),
+            ExecOp::Tanh(m) => m.forward(x),
+            ExecOp::MaxPool2d(m) => m.forward(x),
+            ExecOp::Flatten => {
+                let dims = x.dims();
+                let n = dims[0];
+                let rest: usize = dims[1..].iter().product();
+                x.reshape(&[n, rest])
+            }
+            ExecOp::Linear(m) => array_to_conv(&m.forward(&conv_to_array(x, b))),
+        }
+    }
+
+    fn fused_parameters(&self) -> Vec<FusedParameter> {
+        match self {
+            ExecOp::Conv2d(m) => m.fused_parameters(),
+            ExecOp::ConvTranspose2d(m) => m.fused_parameters(),
+            ExecOp::Conv1d(m) => m.fused_parameters(),
+            ExecOp::BatchNorm(m) => m.fused_parameters(),
+            ExecOp::Linear(m) => m.fused_parameters(),
+            _ => Vec::new(),
+        }
+    }
+
+    fn set_training(&self, training: bool) {
+        match self {
+            ExecOp::Conv2d(m) => m.set_training(training),
+            ExecOp::ConvTranspose2d(m) => m.set_training(training),
+            ExecOp::Conv1d(m) => m.set_training(training),
+            ExecOp::BatchNorm(m) => m.set_training(training),
+            ExecOp::Relu(m) => m.set_training(training),
+            ExecOp::LeakyRelu(m) => m.set_training(training),
+            ExecOp::Tanh(m) => m.set_training(training),
+            ExecOp::MaxPool2d(m) => m.set_training(training),
+            ExecOp::Flatten => {}
+            ExecOp::Linear(m) => m.set_training(training),
+        }
+    }
+}
+
+/// One materialized plan block: its lane map and fused ops at the
+/// block's width.
+struct ExecBlock {
+    lanes: Vec<usize>,
+    ops: Vec<ExecOp>,
+    params: Vec<FusedParameter>,
+}
+
+impl ExecBlock {
+    fn lane_index(&self, lane: usize) -> Option<usize> {
+        self.lanes.iter().position(|&l| l == lane)
+    }
+}
+
+/// A partially fused model array executing a [`FusionPlan`].
+pub struct PlannedArray {
+    plan: FusionPlan,
+    blocks: Vec<ExecBlock>,
+}
+
+impl PlannedArray {
+    /// Materializes `plan` over `graphs`: builds each lane's serial
+    /// layers in program order from `seeds[lane]`, then fuses each block
+    /// at its own width with the `from_models` fusers.
+    ///
+    /// # Errors
+    ///
+    /// Structure errors when the plan does not cover the graphs, an op is
+    /// not executable ([`hfta_plan::OpKind::GlobalMaxPool`] /
+    /// [`hfta_plan::OpKind::ResidualAdd`]), or fusion shape checks fail.
+    pub fn build(graphs: &[ModelGraph], plan: &FusionPlan, seeds: &[u64]) -> Result<PlannedArray> {
+        if graphs.is_empty() {
+            return Err(FusionError::Empty);
+        }
+        if plan.lanes != graphs.len() || seeds.len() != graphs.len() {
+            return Err(FusionError::StructureMismatch {
+                detail: format!(
+                    "plan covers {} lanes, got {} graphs and {} seeds",
+                    plan.lanes,
+                    graphs.len(),
+                    seeds.len()
+                ),
+            });
+        }
+        for (l, g) in graphs.iter().enumerate() {
+            if plan.lane_ops[l] != g.ops.len() {
+                return Err(FusionError::StructureMismatch {
+                    detail: format!(
+                        "plan expects {} ops in lane {l}, graph {:?} has {}",
+                        plan.lane_ops[l],
+                        g.name,
+                        g.ops.len()
+                    ),
+                });
+            }
+        }
+
+        // Per-lane serial layers, keyed to (lane seed, op index in lane).
+        let mut lane_layers: Vec<Vec<Option<SerialLayer>>> = Vec::with_capacity(graphs.len());
+        for (l, g) in graphs.iter().enumerate() {
+            let mut rng = Rng::seed_from(seeds[l]);
+            let mut layers = Vec::with_capacity(g.ops.len());
+            for op in &g.ops {
+                layers.push(Some(SerialLayer::build(op, &mut rng)?));
+            }
+            lane_layers.push(layers);
+        }
+
+        let mut blocks = Vec::with_capacity(plan.blocks.len());
+        for pb in &plan.blocks {
+            let mut ops = Vec::with_capacity(pb.ops.len());
+            for (oi, spec) in pb.ops.iter().enumerate() {
+                let mut models = Vec::with_capacity(pb.lanes.len());
+                for (&l, &s) in pb.lanes.iter().zip(&pb.starts) {
+                    let slot = lane_layers[l][s + oi].take().ok_or_else(|| {
+                        FusionError::StructureMismatch {
+                            detail: format!("plan covers lane {l} op {} twice", s + oi),
+                        }
+                    })?;
+                    models.push(slot);
+                }
+                ops.push(ExecOp::fuse(models, spec)?);
+            }
+            let params = ops.iter().flat_map(ExecOp::fused_parameters).collect();
+            blocks.push(ExecBlock {
+                lanes: pb.lanes.clone(),
+                ops,
+                params,
+            });
+        }
+        if lane_layers.iter().flatten().any(Option::is_some) {
+            return Err(FusionError::StructureMismatch {
+                detail: "plan does not cover every op of every lane".into(),
+            });
+        }
+        Ok(PlannedArray {
+            plan: plan.clone(),
+            blocks,
+        })
+    }
+
+    /// Number of lanes (trials) in the array.
+    pub fn lanes(&self) -> usize {
+        self.plan.lanes
+    }
+
+    /// The plan this array executes.
+    pub fn plan(&self) -> &FusionPlan {
+        &self.plan
+    }
+
+    /// Every block's fused parameters, in plan order.
+    pub fn fused_parameters(&self) -> Vec<FusedParameter> {
+        self.blocks.iter().flat_map(|b| b.params.clone()).collect()
+    }
+
+    /// Number of parameter tensors owned by lane `lane` across blocks.
+    pub fn lane_param_count(&self, lane: usize) -> usize {
+        self.blocks
+            .iter()
+            .filter(|b| b.lane_index(lane).is_some())
+            .map(|b| b.params.len())
+            .sum()
+    }
+
+    /// Switches training/eval mode on every block.
+    pub fn set_training(&self, training: bool) {
+        for b in &self.blocks {
+            for op in &b.ops {
+                op.set_training(training);
+            }
+        }
+    }
+
+    /// Runs the plan: per-lane inputs in, per-lane outputs out, all on
+    /// one tape. Fused blocks gather their lanes' activations with a
+    /// channel-axis concat and scatter them back with narrows; serial
+    /// blocks run width-1 on the lane's own activation.
+    ///
+    /// # Errors
+    ///
+    /// Returns a structure error when the input count or batch sizes
+    /// disagree with the plan.
+    pub fn forward(&self, inputs: &[Tensor]) -> Result<(Tape, Vec<Var>)> {
+        if inputs.len() != self.lanes() {
+            return Err(FusionError::StructureMismatch {
+                detail: format!("{} inputs for {} lanes", inputs.len(), self.lanes()),
+            });
+        }
+        let n = inputs[0].dim(0);
+        if inputs.iter().any(|t| t.dim(0) != n) {
+            return Err(FusionError::StructureMismatch {
+                detail: "lanes disagree on batch size".into(),
+            });
+        }
+        let tape = Tape::new();
+        let mut acts: Vec<Option<Var>> =
+            inputs.iter().map(|t| Some(tape.leaf(t.clone()))).collect();
+        for block in &self.blocks {
+            let b = block.lanes.len();
+            let mut x = if b == 1 {
+                acts[block.lanes[0]].take().expect("lane activation live")
+            } else {
+                let gathered: Vec<Var> = block
+                    .lanes
+                    .iter()
+                    .map(|&l| acts[l].take().expect("lane activation live"))
+                    .collect();
+                let refs: Vec<&Var> = gathered.iter().collect();
+                Var::concat(&refs, 1)
+            };
+            for op in &block.ops {
+                x = op.forward(&x, b);
+            }
+            if b == 1 {
+                acts[block.lanes[0]] = Some(x);
+            } else {
+                let c = x.dim(1) / b;
+                for (j, &l) in block.lanes.iter().enumerate() {
+                    acts[l] = Some(x.narrow(1, j * c, c));
+                }
+            }
+        }
+        let outs = acts
+            .into_iter()
+            .map(|a| a.expect("every lane produced an output"))
+            .collect();
+        Ok((tape, outs))
+    }
+}
+
+/// Per-lane mean cross-entropy losses and their sum, formulated
+/// identically for planned and serial runs: each lane's logits `[N, C]`
+/// are lifted to a width-1 array-format `[1, N, C]` fused loss. The sum
+/// backpropagates gradient 1.0 into every lane's loss — exactly what a
+/// per-lane serial backward sees — so summing keeps per-lane gradients
+/// bit-identical while using one tape.
+pub fn per_lane_ce(outputs: &[Var], targets: &[Vec<usize>]) -> (Vec<f32>, Var) {
+    assert_eq!(outputs.len(), targets.len(), "one target set per lane");
+    let mut total: Option<Var> = None;
+    let mut losses = Vec::with_capacity(outputs.len());
+    for (out, t) in outputs.iter().zip(targets) {
+        let dims = out.dims();
+        assert_eq!(dims.len(), 2, "per-lane logits must be [N, C]");
+        let lifted = out.reshape(&[1, dims[0], dims[1]]);
+        let loss = fused_cross_entropy(&lifted, t, Reduction::Mean);
+        losses.push(loss.value().to_vec()[0]);
+        total = Some(match total {
+            Some(acc) => acc.add(&loss),
+            None => loss,
+        });
+    }
+    (losses, total.expect("at least one lane"))
+}
+
+/// The partially fused optimizer: one fused optimizer per
+/// parameter-carrying block, hyper-parameters projected through each
+/// block's lane map.
+pub struct PlannedOptimizer {
+    /// One entry per array block; `None` for parameter-less blocks.
+    opts: Vec<Option<Box<dyn FusedOptimizer>>>,
+    lane_sets: Vec<Vec<usize>>,
+    lanes: usize,
+    quarantined: Vec<bool>,
+}
+
+impl PlannedOptimizer {
+    fn build(
+        array: &PlannedArray,
+        lr: &PerModel,
+        make: impl Fn(Vec<FusedParameter>, PerModel) -> Result<Box<dyn FusedOptimizer>>,
+    ) -> Result<PlannedOptimizer> {
+        lr.check_b(array.lanes())?;
+        let mut opts = Vec::with_capacity(array.blocks.len());
+        for block in &array.blocks {
+            if block.params.is_empty() {
+                opts.push(None);
+                continue;
+            }
+            let block_lr = PerModel::new(block.lanes.iter().map(|&l| lr.get(l)).collect());
+            opts.push(Some(make(block.params.clone(), block_lr)?));
+        }
+        Ok(PlannedOptimizer {
+            opts,
+            lane_sets: array.blocks.iter().map(|b| b.lanes.clone()).collect(),
+            lanes: array.lanes(),
+            quarantined: vec![false; array.lanes()],
+        })
+    }
+
+    /// Per-block SGD (optionally with momentum) over per-lane rates.
+    ///
+    /// # Errors
+    ///
+    /// Propagates hyper-parameter/width mismatches from the block
+    /// optimizers.
+    pub fn sgd(array: &PlannedArray, lr: &PerModel, momentum: f32) -> Result<PlannedOptimizer> {
+        PlannedOptimizer::build(array, lr, |params, block_lr| {
+            Ok(Box::new(FusedSgd::new(params, block_lr, momentum)?))
+        })
+    }
+
+    /// Per-block Adam over per-lane rates.
+    ///
+    /// # Errors
+    ///
+    /// Propagates hyper-parameter/width mismatches from the block
+    /// optimizers.
+    pub fn adam(array: &PlannedArray, lr: &PerModel) -> Result<PlannedOptimizer> {
+        PlannedOptimizer::build(array, lr, |params, block_lr| {
+            Ok(Box::new(FusedAdam::new(params, block_lr)?))
+        })
+    }
+
+    /// Applies one update on every block.
+    pub fn step(&mut self) {
+        for opt in self.opts.iter_mut().flatten() {
+            opt.step();
+        }
+    }
+
+    /// Zeroes every block's gradients.
+    pub fn zero_grad(&mut self) {
+        for opt in self.opts.iter_mut().flatten() {
+            opt.zero_grad();
+        }
+    }
+
+    /// Quarantines global lane `lane` in every block containing it: the
+    /// lane's gradients and optimizer state are zeroed now and re-masked
+    /// each step, while every other lane — fused alongside it or serial
+    /// elsewhere — continues bit-identically.
+    pub fn quarantine(&mut self, lane: usize) {
+        assert!(lane < self.lanes, "lane {lane} out of range");
+        self.quarantined[lane] = true;
+        for (opt, lanes) in self.opts.iter_mut().zip(&self.lane_sets) {
+            if let (Some(opt), Some(j)) = (opt.as_mut(), lanes.iter().position(|&l| l == lane)) {
+                opt.quarantine(j);
+            }
+        }
+    }
+
+    /// Which global lanes are quarantined.
+    pub fn quarantined(&self) -> &[bool] {
+        &self.quarantined
+    }
+
+    /// The shared optimizer step counter (asserted equal across blocks).
+    pub fn step_count(&self) -> u64 {
+        let mut counts = self.opts.iter().flatten().map(|o| o.step_count());
+        let first = counts.next().unwrap_or(0);
+        debug_assert!(
+            self.opts.iter().flatten().all(|o| o.step_count() == first),
+            "planned blocks disagree on step count"
+        );
+        first
+    }
+
+    /// Restores the shared step counter on every block.
+    pub fn set_step_count(&mut self, t: u64) {
+        for opt in self.opts.iter_mut().flatten() {
+            opt.set_step_count(t);
+        }
+    }
+
+    /// Extracts global lane `lane`'s complete training state: per-block
+    /// [`surgery::extract_lane`] segments concatenated in plan order —
+    /// each lane's own program order — so the result is interchangeable
+    /// with a width-1 array's lane state and snapshot-compatible.
+    pub fn extract_lane(&self, array: &PlannedArray, lane: usize) -> LaneState {
+        assert!(lane < self.lanes, "lane {lane} out of range");
+        let mut params = Vec::new();
+        let mut opt_state = Vec::new();
+        for (block, opt) in array.blocks.iter().zip(&self.opts) {
+            let Some(j) = block.lane_index(lane) else {
+                continue;
+            };
+            if block.params.is_empty() {
+                continue;
+            }
+            let opt = opt.as_ref().expect("parameter blocks have optimizers");
+            let seg = surgery::extract_lane(&block.params, opt.as_ref(), j);
+            params.extend(seg.params);
+            opt_state.extend(seg.opt_state);
+        }
+        LaneState {
+            params,
+            opt_state,
+            step_count: self.step_count(),
+            ctx: None,
+        }
+    }
+
+    /// Writes one extracted lane state into global lane `lane`,
+    /// splitting it back into per-block segments. Does not touch the
+    /// step counter (see [`PlannedOptimizer::splice_lanes`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the state's parameter count disagrees with the lane's
+    /// program.
+    pub fn write_lane(&mut self, array: &PlannedArray, lane: usize, state: &LaneState) {
+        assert!(lane < self.lanes, "lane {lane} out of range");
+        assert_eq!(
+            state.params.len(),
+            array.lane_param_count(lane),
+            "lane state does not match lane {lane}'s program"
+        );
+        let mut off = 0;
+        for (block, opt) in array.blocks.iter().zip(self.opts.iter_mut()) {
+            let Some(j) = block.lane_index(lane) else {
+                continue;
+            };
+            if block.params.is_empty() {
+                continue;
+            }
+            let count = block.params.len();
+            let seg = LaneState {
+                params: state.params[off..off + count].to_vec(),
+                opt_state: state.opt_state[off..off + count].to_vec(),
+                step_count: state.step_count,
+                ctx: state.ctx,
+            };
+            let opt = opt.as_mut().expect("parameter blocks have optimizers");
+            surgery::write_lane(&block.params, opt.as_mut(), j, &seg);
+            off += count;
+        }
+    }
+
+    /// Splices one extracted state per lane into the array (lane `i`
+    /// receives `lanes[i]`) and restores the shared step counter —
+    /// the planned counterpart of [`surgery::splice_lanes`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on width or step-count disagreement.
+    pub fn splice_lanes(&mut self, array: &PlannedArray, lanes: &[LaneState]) {
+        assert_eq!(
+            lanes.len(),
+            self.lanes,
+            "need exactly one lane state per lane"
+        );
+        let t = lanes[0].step_count;
+        assert!(
+            lanes.iter().all(|l| l.step_count == t),
+            "spliced lanes disagree on the optimizer step count"
+        );
+        for (i, state) in lanes.iter().enumerate() {
+            self.write_lane(array, i, state);
+        }
+        self.set_step_count(t);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::array::ModelArray;
+    use hfta_nn::layers::{Conv2dCfg, LinearCfg};
+    use hfta_nn::Parameter;
+    use hfta_tensor::{Rng, Tensor};
+
+    const INPUT: [usize; 3] = [2, 6, 6];
+    const CLASSES: usize = 4;
+    const FEATURES: usize = 3 * 6 * 6;
+
+    fn base_ops() -> Vec<OpSpec> {
+        vec![
+            OpSpec::conv2d(Conv2dCfg::new(2, 3, 3).stride(1).padding(1).bias(false)),
+            OpSpec::leaky_relu(0.2),
+            OpSpec::flatten(),
+            OpSpec::linear(LinearCfg::new(FEATURES, CLASSES)),
+        ]
+    }
+
+    /// Base arch with a shape-preserving refinement block after the
+    /// first activation — fusible prefix and suffix, serial middle.
+    fn variant_ops() -> Vec<OpSpec> {
+        let mut ops = base_ops();
+        ops.insert(
+            2,
+            OpSpec::conv2d(Conv2dCfg::new(3, 3, 3).stride(1).padding(1).bias(false)),
+        );
+        ops.insert(3, OpSpec::relu());
+        ops
+    }
+
+    fn mixed_graphs() -> Vec<ModelGraph> {
+        vec![
+            ModelGraph::new("base0", INPUT.to_vec(), base_ops()),
+            ModelGraph::new("variant1", INPUT.to_vec(), variant_ops()),
+            ModelGraph::new("base2", INPUT.to_vec(), base_ops()),
+            ModelGraph::new("variant3", INPUT.to_vec(), variant_ops()),
+        ]
+    }
+
+    fn seeds(lanes: usize) -> Vec<u64> {
+        (0..lanes as u64).map(|l| 100 + l).collect()
+    }
+
+    fn lrs(lanes: usize) -> PerModel {
+        PerModel::new((0..lanes).map(|l| 0.05 + 0.01 * l as f32).collect())
+    }
+
+    fn data(lanes: usize, n: usize) -> (Vec<Tensor>, Vec<Vec<usize>>) {
+        let mut rng = Rng::seed_from(42);
+        let inputs = (0..lanes)
+            .map(|_| rng.randn([n, INPUT[0], INPUT[1], INPUT[2]]))
+            .collect();
+        let targets = (0..lanes)
+            .map(|_| (0..n).map(|_| rng.below(CLASSES)).collect())
+            .collect();
+        (inputs, targets)
+    }
+
+    fn bits(t: &Tensor) -> Vec<u32> {
+        t.to_vec().iter().map(|v| v.to_bits()).collect()
+    }
+
+    fn assert_lane_state_eq(a: &LaneState, b: &LaneState, what: &str) {
+        assert_eq!(a.params.len(), b.params.len(), "{what}: param count");
+        for (pi, (x, y)) in a.params.iter().zip(&b.params).enumerate() {
+            assert_eq!(bits(x), bits(y), "{what}: param {pi} bits");
+        }
+        assert_eq!(a.opt_state.len(), b.opt_state.len(), "{what}: state count");
+        for (pi, (xs, ys)) in a.opt_state.iter().zip(&b.opt_state).enumerate() {
+            assert_eq!(xs.len(), ys.len(), "{what}: param {pi} slot count");
+            for (si, (x, y)) in xs.iter().zip(ys).enumerate() {
+                assert_eq!(bits(x), bits(y), "{what}: param {pi} slot {si} bits");
+            }
+        }
+        assert_eq!(a.step_count, b.step_count, "{what}: step count");
+    }
+
+    /// Trains `plan` over `graphs` for `steps` and returns the per-step
+    /// per-lane loss bits plus every lane's final extracted state.
+    fn run(
+        graphs: &[ModelGraph],
+        plan: &FusionPlan,
+        adam: bool,
+        steps: usize,
+        quarantine: Option<usize>,
+    ) -> (Vec<Vec<u32>>, Vec<LaneState>) {
+        let array = PlannedArray::build(graphs, plan, &seeds(graphs.len())).unwrap();
+        let lr = lrs(graphs.len());
+        let mut opt = if adam {
+            PlannedOptimizer::adam(&array, &lr).unwrap()
+        } else {
+            PlannedOptimizer::sgd(&array, &lr, 0.9).unwrap()
+        };
+        if let Some(lane) = quarantine {
+            opt.quarantine(lane);
+        }
+        let (inputs, targets) = data(graphs.len(), 2);
+        let mut loss_bits = Vec::new();
+        for _ in 0..steps {
+            let (_tape, outs) = array.forward(&inputs).unwrap();
+            let (losses, total) = per_lane_ce(&outs, &targets);
+            total.backward();
+            opt.step();
+            opt.zero_grad();
+            loss_bits.push(losses.iter().map(|l| l.to_bits()).collect());
+        }
+        let states = (0..graphs.len())
+            .map(|l| opt.extract_lane(&array, l))
+            .collect();
+        (loss_bits, states)
+    }
+
+    #[test]
+    fn mixed_plan_is_bit_identical_to_serial_plan_sgd() {
+        let graphs = mixed_graphs();
+        let fused = FusionPlan::plan(&graphs).unwrap();
+        assert!(fused.fused_fraction() > 0.5, "prefix+suffix should fuse");
+        let serial = FusionPlan::serial(&graphs).unwrap();
+        let (fl, fs) = run(&graphs, &fused, false, 3, None);
+        let (sl, ss) = run(&graphs, &serial, false, 3, None);
+        assert_eq!(fl, sl, "per-step per-lane loss bits");
+        for (lane, (a, b)) in fs.iter().zip(&ss).enumerate() {
+            assert_lane_state_eq(a, b, &format!("lane {lane}"));
+        }
+    }
+
+    #[test]
+    fn mixed_plan_is_bit_identical_to_serial_plan_adam() {
+        let graphs = mixed_graphs();
+        let fused = FusionPlan::plan(&graphs).unwrap();
+        let serial = FusionPlan::serial(&graphs).unwrap();
+        let (fl, fs) = run(&graphs, &fused, true, 3, None);
+        let (sl, ss) = run(&graphs, &serial, true, 3, None);
+        assert_eq!(fl, sl, "per-step per-lane loss bits");
+        for (lane, (a, b)) in fs.iter().zip(&ss).enumerate() {
+            assert_lane_state_eq(a, b, &format!("lane {lane}"));
+        }
+    }
+
+    /// The hand-fused `ModelArray` path for the base arch, built from the
+    /// same per-lane serial layers the planner path constructs.
+    struct Chain {
+        conv: FusedConv2d,
+        act: FusedLeakyRelu,
+        fc: FusedLinear,
+        b: usize,
+    }
+
+    impl Module for Chain {
+        fn forward(&self, x: &Var) -> Var {
+            let x = self.act.forward(&self.conv.forward(x));
+            let dims = x.dims();
+            let flat = x.reshape(&[dims[0], dims[1..].iter().product()]);
+            array_to_conv(&self.fc.forward(&conv_to_array(&flat, self.b)))
+        }
+
+        fn parameters(&self) -> Vec<Parameter> {
+            let mut p = self.conv.parameters();
+            p.extend(self.fc.parameters());
+            p
+        }
+    }
+
+    impl FusedModule for Chain {
+        fn b(&self) -> usize {
+            self.b
+        }
+
+        fn fused_parameters(&self) -> Vec<FusedParameter> {
+            let mut p = self.conv.fused_parameters();
+            p.extend(self.fc.fused_parameters());
+            p
+        }
+    }
+
+    #[test]
+    fn homogeneous_plan_is_bit_identical_to_model_array() {
+        let lanes = 3;
+        let graphs: Vec<ModelGraph> = (0..lanes)
+            .map(|l| ModelGraph::new(format!("m{l}"), INPUT.to_vec(), base_ops()))
+            .collect();
+        let plan = FusionPlan::plan(&graphs).unwrap();
+        assert_eq!(plan.blocks.len(), 1, "homogeneous set is one fused block");
+        assert_eq!(plan.fused_fraction(), 1.0);
+        let (pl, ps) = run(&graphs, &plan, false, 3, None);
+
+        // Hand-fused reference: identical per-lane layers from the same
+        // (seed, op index) stream, fused with the same from_models path.
+        let mut convs = Vec::new();
+        let mut fcs = Vec::new();
+        for seed in seeds(lanes) {
+            let mut rng = Rng::seed_from(seed);
+            convs.push(Conv2d::new(
+                Conv2dCfg::new(2, 3, 3).stride(1).padding(1).bias(false),
+                &mut rng,
+            ));
+            fcs.push(Linear::new(LinearCfg::new(FEATURES, CLASSES), &mut rng));
+        }
+        let chain = Chain {
+            conv: FusedConv2d::from_models(&convs).unwrap(),
+            act: FusedLeakyRelu::new(lanes, LeakyRelu::new(0.2)),
+            fc: FusedLinear::from_models(&fcs).unwrap(),
+            b: lanes,
+        };
+        let array = ModelArray::new(chain);
+        let params = array.fused_parameters();
+        let mut opt = FusedSgd::new(params.clone(), lrs(lanes), 0.9).unwrap();
+        let (inputs, targets) = data(lanes, 2);
+        for (step, expect) in pl.iter().enumerate().take(3) {
+            let (_tape, out) = array.forward_conv(&inputs).unwrap();
+            let per_lane: Vec<Var> = (0..lanes)
+                .map(|l| out.narrow(1, l * CLASSES, CLASSES))
+                .collect();
+            let (losses, total) = per_lane_ce(&per_lane, &targets);
+            total.backward();
+            opt.step();
+            opt.zero_grad();
+            let loss_bits: Vec<u32> = losses.iter().map(|l| l.to_bits()).collect();
+            assert_eq!(*expect, loss_bits, "step {step} loss bits");
+        }
+        for (lane, expect) in ps.iter().enumerate() {
+            let reference = surgery::extract_lane(&params, &opt, lane);
+            assert_lane_state_eq(expect, &reference, &format!("lane {lane}"));
+        }
+    }
+
+    #[test]
+    fn quarantine_freezes_lane_and_leaves_others_bit_identical() {
+        let graphs = mixed_graphs();
+        let plan = FusionPlan::plan(&graphs).unwrap();
+        // Lane 1 participates in fused prefix/suffix blocks and the
+        // sub-width variant block.
+        let initial = {
+            let array = PlannedArray::build(&graphs, &plan, &seeds(graphs.len())).unwrap();
+            let opt = PlannedOptimizer::sgd(&array, &lrs(graphs.len()), 0.9).unwrap();
+            opt.extract_lane(&array, 1)
+        };
+        let (_, clean) = run(&graphs, &plan, false, 3, None);
+        let (_, isolated) = run(&graphs, &plan, false, 3, Some(1));
+        for lane in [0, 2, 3] {
+            assert_lane_state_eq(
+                &clean[lane],
+                &isolated[lane],
+                &format!("unquarantined lane {lane}"),
+            );
+        }
+        for (pi, (frozen, init)) in isolated[1].params.iter().zip(&initial.params).enumerate() {
+            assert_eq!(bits(frozen), bits(init), "quarantined lane param {pi}");
+        }
+    }
+
+    #[test]
+    fn build_rejects_unexecutable_ops_and_mismatched_plans() {
+        let g = vec![ModelGraph::new(
+            "pn",
+            vec![3, 8],
+            vec![OpSpec::conv1d(3, 4, 1, 1, 0), OpSpec::global_max_pool()],
+        )];
+        let plan = FusionPlan::plan(&g).unwrap();
+        let Err(err) = PlannedArray::build(&g, &plan, &[1]) else {
+            panic!("GlobalMaxPool must not execute");
+        };
+        assert!(
+            matches!(err, FusionError::StructureMismatch { .. }),
+            "{err}"
+        );
+
+        let graphs = mixed_graphs();
+        let plan = FusionPlan::plan(&graphs).unwrap();
+        // Wrong seed count.
+        assert!(PlannedArray::build(&graphs, &plan, &[1, 2]).is_err());
+        // Plan/graph disagreement.
+        let other = FusionPlan::plan(&graphs[..2.min(graphs.len())]).unwrap();
+        assert!(PlannedArray::build(&graphs, &other, &seeds(graphs.len())).is_err());
+    }
+
+    #[test]
+    fn extract_write_round_trip_through_mixed_blocks() {
+        let graphs = mixed_graphs();
+        let plan = FusionPlan::plan(&graphs).unwrap();
+        let array = PlannedArray::build(&graphs, &plan, &seeds(graphs.len())).unwrap();
+        let lr = lrs(graphs.len());
+        let mut opt = PlannedOptimizer::sgd(&array, &lr, 0.9).unwrap();
+        let (inputs, targets) = data(graphs.len(), 2);
+        for _ in 0..2 {
+            let (_tape, outs) = array.forward(&inputs).unwrap();
+            let (_, total) = per_lane_ce(&outs, &targets);
+            total.backward();
+            opt.step();
+            opt.zero_grad();
+        }
+        let before: Vec<LaneState> = (0..graphs.len())
+            .map(|l| opt.extract_lane(&array, l))
+            .collect();
+        // Splicing every lane's own state back is a no-op, bitwise.
+        opt.splice_lanes(&array, &before);
+        for (lane, b) in before.iter().enumerate() {
+            let after = opt.extract_lane(&array, lane);
+            assert_lane_state_eq(b, &after, &format!("lane {lane} round trip"));
+        }
+        // Swapping the two base-arch lanes' states swaps their params.
+        let mut swapped = before.clone();
+        swapped.swap(0, 2);
+        opt.splice_lanes(&array, &swapped);
+        let lane0 = opt.extract_lane(&array, 0);
+        assert_lane_state_eq(&lane0, &before[2], "lane 0 carries lane 2's state");
+    }
+}

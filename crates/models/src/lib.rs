@@ -16,7 +16,9 @@
 
 pub mod alexnet;
 pub mod dcgan;
+pub mod graphs;
 pub mod lower;
+pub mod lower_plan;
 pub mod pointnet;
 pub mod resnet;
 pub mod traces;
@@ -24,6 +26,11 @@ pub mod workloads;
 
 pub use alexnet::{AlexNet, AlexNetCfg, FusedAlexNet};
 pub use dcgan::{DcganCfg, Discriminator, FusedDiscriminator, FusedGenerator, Generator};
+pub use graphs::{
+    discriminator_graph, discriminator_variant_graph, generator_graph, pointnet_cls_graph,
+    resnet_graph,
+};
+pub use lower_plan::{lower_graph, lower_op, planned_step_time_s, serial_step_time_s, PlanSimCfg};
 pub use pointnet::{
     FusedPointNetCls, FusedPointNetSeg, FusedStn3d, PointNetCfg, PointNetCls, PointNetSeg, Stn3d,
 };

@@ -1,0 +1,549 @@
+//! The lightweight graph IR the planner matches on.
+//!
+//! A [`ModelGraph`] is one lane's program: an input shape plus a
+//! topologically ordered list of [`OpSpec`] nodes. Edges are implicit —
+//! each op consumes its predecessor's activation — except for the
+//! explicit skip links carried by [`OpKind::ResidualAdd`] markers, which
+//! is all the structure the paper's benchmark architectures (DCGAN,
+//! PointNet, ResNet-ish) need.
+//!
+//! Every op records its full geometry (channels, kernel, stride, padding,
+//! groups, bias), so *node equality is the isomorphism test*: two ops
+//! fuse horizontally exactly when their specs are equal **and** their
+//! activation entry shapes (propagated from the graph input by
+//! [`ModelGraph::shapes`]) are equal. The planner matches on
+//! [`ModelGraph::tokens`] — `(spec, entry shape)` pairs — which makes
+//! shape-unsafe fusions unrepresentable by construction.
+
+use hfta_nn::layers::{Conv2dCfg, LinearCfg};
+use serde::{Deserialize, Serialize};
+
+/// Operator kind discriminator. Geometry lives in the flat [`OpSpec`]
+/// record (the vendored serde derives only handle unit enums).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OpKind {
+    /// 2-D convolution (`[C,H,W] -> [C',H',W']`).
+    Conv2d,
+    /// 2-D transposed convolution.
+    ConvTranspose2d,
+    /// 1-D convolution (`[C,L] -> [C',L']`).
+    Conv1d,
+    /// Batch normalization over the leading channel axis.
+    BatchNorm,
+    /// Rectified linear unit.
+    Relu,
+    /// Leaky rectified linear unit (slope in [`OpSpec::slope_bits`]).
+    LeakyRelu,
+    /// Hyperbolic tangent.
+    Tanh,
+    /// 2-D max pooling with stride = kernel.
+    MaxPool2d,
+    /// Collapse all activation axes into one feature axis.
+    Flatten,
+    /// Fully connected layer (`[F] -> [F']`).
+    Linear,
+    /// Global max over the trailing (point/sequence) axis
+    /// (`[C,P] -> [C]`, PointNet's symmetric function). Plannable but
+    /// not executable by `PlannedArray`.
+    GlobalMaxPool,
+    /// Residual skip marker: adds the activation from [`OpSpec::skip`]
+    /// ops earlier. Plannable but not executable by `PlannedArray`.
+    ResidualAdd,
+}
+
+/// One operator node: kind plus flat geometry. Unused fields are zeroed
+/// by the constructors so derived equality/hashing is well defined.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct OpSpec {
+    /// Operator kind.
+    pub kind: OpKind,
+    /// Input channels / features (also BatchNorm's channel count).
+    pub c_in: usize,
+    /// Output channels / features.
+    pub c_out: usize,
+    /// Square kernel size (convs, max pool).
+    pub kernel: usize,
+    /// Stride (convs).
+    pub stride: usize,
+    /// Padding (convs).
+    pub padding: usize,
+    /// Convolution groups.
+    pub groups: usize,
+    /// Whether the op carries a bias parameter.
+    pub bias: bool,
+    /// LeakyRelu negative slope as `f32::to_bits` (exact equality).
+    pub slope_bits: u32,
+    /// `ResidualAdd` skip distance in ops.
+    pub skip: usize,
+}
+
+impl OpSpec {
+    fn blank(kind: OpKind) -> OpSpec {
+        OpSpec {
+            kind,
+            c_in: 0,
+            c_out: 0,
+            kernel: 0,
+            stride: 0,
+            padding: 0,
+            groups: 0,
+            bias: false,
+            slope_bits: 0,
+            skip: 0,
+        }
+    }
+
+    /// 2-D convolution from an `hfta-nn` layer config.
+    pub fn conv2d(cfg: Conv2dCfg) -> OpSpec {
+        OpSpec {
+            c_in: cfg.in_channels,
+            c_out: cfg.out_channels,
+            kernel: cfg.kernel,
+            stride: cfg.stride,
+            padding: cfg.padding,
+            groups: cfg.groups,
+            bias: cfg.bias,
+            ..OpSpec::blank(OpKind::Conv2d)
+        }
+    }
+
+    /// 2-D transposed convolution from an `hfta-nn` layer config.
+    pub fn conv_transpose2d(cfg: Conv2dCfg) -> OpSpec {
+        OpSpec {
+            kind: OpKind::ConvTranspose2d,
+            ..OpSpec::conv2d(cfg)
+        }
+    }
+
+    /// 1-D convolution.
+    pub fn conv1d(
+        c_in: usize,
+        c_out: usize,
+        kernel: usize,
+        stride: usize,
+        padding: usize,
+    ) -> OpSpec {
+        OpSpec {
+            c_in,
+            c_out,
+            kernel,
+            stride,
+            padding,
+            groups: 1,
+            bias: true,
+            ..OpSpec::blank(OpKind::Conv1d)
+        }
+    }
+
+    /// Batch normalization over `channels`.
+    pub fn batch_norm(channels: usize) -> OpSpec {
+        OpSpec {
+            c_in: channels,
+            c_out: channels,
+            ..OpSpec::blank(OpKind::BatchNorm)
+        }
+    }
+
+    /// ReLU activation.
+    pub fn relu() -> OpSpec {
+        OpSpec::blank(OpKind::Relu)
+    }
+
+    /// LeakyReLU activation with the given negative slope.
+    pub fn leaky_relu(slope: f32) -> OpSpec {
+        OpSpec {
+            slope_bits: slope.to_bits(),
+            ..OpSpec::blank(OpKind::LeakyRelu)
+        }
+    }
+
+    /// Tanh activation.
+    pub fn tanh() -> OpSpec {
+        OpSpec::blank(OpKind::Tanh)
+    }
+
+    /// 2-D max pooling (stride = kernel).
+    pub fn max_pool2d(kernel: usize) -> OpSpec {
+        OpSpec {
+            kernel,
+            ..OpSpec::blank(OpKind::MaxPool2d)
+        }
+    }
+
+    /// Flatten to a single feature axis.
+    pub fn flatten() -> OpSpec {
+        OpSpec::blank(OpKind::Flatten)
+    }
+
+    /// Fully connected layer from an `hfta-nn` layer config.
+    pub fn linear(cfg: LinearCfg) -> OpSpec {
+        OpSpec {
+            c_in: cfg.in_features,
+            c_out: cfg.out_features,
+            bias: cfg.bias,
+            ..OpSpec::blank(OpKind::Linear)
+        }
+    }
+
+    /// Global max over the trailing axis (PointNet's symmetric function).
+    pub fn global_max_pool() -> OpSpec {
+        OpSpec::blank(OpKind::GlobalMaxPool)
+    }
+
+    /// Residual skip marker adding the activation from `skip` ops back.
+    pub fn residual_add(skip: usize) -> OpSpec {
+        OpSpec {
+            skip,
+            ..OpSpec::blank(OpKind::ResidualAdd)
+        }
+    }
+
+    /// LeakyReLU negative slope.
+    pub fn slope(&self) -> f32 {
+        f32::from_bits(self.slope_bits)
+    }
+
+    /// Short human label for timelines and legends.
+    pub fn label(&self) -> String {
+        match self.kind {
+            OpKind::Conv2d => format!(
+                "conv{k}x{k} {}->{} s{}",
+                self.c_in,
+                self.c_out,
+                self.stride,
+                k = self.kernel
+            ),
+            OpKind::ConvTranspose2d => format!(
+                "convT{k}x{k} {}->{} s{}",
+                self.c_in,
+                self.c_out,
+                self.stride,
+                k = self.kernel
+            ),
+            OpKind::Conv1d => format!("conv1d {}->{}", self.c_in, self.c_out),
+            OpKind::BatchNorm => format!("bn{}", self.c_in),
+            OpKind::Relu => "relu".into(),
+            OpKind::LeakyRelu => format!("lrelu{:.2}", self.slope()),
+            OpKind::Tanh => "tanh".into(),
+            OpKind::MaxPool2d => format!("pool{}", self.kernel),
+            OpKind::Flatten => "flat".into(),
+            OpKind::Linear => format!("fc {}->{}", self.c_in, self.c_out),
+            OpKind::GlobalMaxPool => "gmax".into(),
+            OpKind::ResidualAdd => format!("res+{}", self.skip),
+        }
+    }
+
+    /// Propagates an activation shape (without the batch axis) through
+    /// this op. `ResidualAdd` is identity here; its skip-shape agreement
+    /// is checked by [`ModelGraph::shapes`], which sees the history.
+    pub fn out_shape(&self, input: &[usize]) -> Result<Vec<usize>, String> {
+        let conv_axis = |len: usize, k: usize, s: usize, p: usize| -> Result<usize, String> {
+            let padded = len + 2 * p;
+            if padded < k {
+                return Err(format!("axis {len} too small for kernel {k} padding {p}"));
+            }
+            Ok((padded - k) / s + 1)
+        };
+        match self.kind {
+            OpKind::Conv2d => {
+                let [c, h, w] = *shape3(input, "Conv2d")?;
+                check_channels(c, self.c_in, "Conv2d")?;
+                Ok(vec![
+                    self.c_out,
+                    conv_axis(h, self.kernel, self.stride, self.padding)?,
+                    conv_axis(w, self.kernel, self.stride, self.padding)?,
+                ])
+            }
+            OpKind::ConvTranspose2d => {
+                let [c, h, w] = *shape3(input, "ConvTranspose2d")?;
+                check_channels(c, self.c_in, "ConvTranspose2d")?;
+                let up = |len: usize| -> Result<usize, String> {
+                    ((len - 1) * self.stride + self.kernel)
+                        .checked_sub(2 * self.padding)
+                        .filter(|&v| v > 0)
+                        .ok_or_else(|| format!("ConvTranspose2d collapses axis {len}"))
+                };
+                Ok(vec![self.c_out, up(h)?, up(w)?])
+            }
+            OpKind::Conv1d => {
+                let [c, l] = *shape2(input, "Conv1d")?;
+                check_channels(c, self.c_in, "Conv1d")?;
+                Ok(vec![
+                    self.c_out,
+                    conv_axis(l, self.kernel, self.stride, self.padding)?,
+                ])
+            }
+            OpKind::BatchNorm => {
+                check_channels(
+                    *input.first().ok_or("BatchNorm on scalar activation")?,
+                    self.c_in,
+                    "BatchNorm",
+                )?;
+                Ok(input.to_vec())
+            }
+            OpKind::Relu | OpKind::LeakyRelu | OpKind::Tanh | OpKind::ResidualAdd => {
+                Ok(input.to_vec())
+            }
+            OpKind::MaxPool2d => {
+                let [c, h, w] = *shape3(input, "MaxPool2d")?;
+                if h < self.kernel || w < self.kernel {
+                    return Err(format!("MaxPool2d kernel {} exceeds {h}x{w}", self.kernel));
+                }
+                Ok(vec![c, h / self.kernel, w / self.kernel])
+            }
+            OpKind::Flatten => Ok(vec![input.iter().product()]),
+            OpKind::Linear => {
+                let [f] = *shape1(input, "Linear")?;
+                check_channels(f, self.c_in, "Linear")?;
+                Ok(vec![self.c_out])
+            }
+            OpKind::GlobalMaxPool => {
+                let [c, _p] = *shape2(input, "GlobalMaxPool")?;
+                Ok(vec![c])
+            }
+        }
+    }
+}
+
+fn shape1<'a>(s: &'a [usize], op: &str) -> Result<&'a [usize; 1], String> {
+    s.try_into()
+        .map_err(|_| format!("{op} expects a 1-D activation, got {s:?}"))
+}
+
+fn shape2<'a>(s: &'a [usize], op: &str) -> Result<&'a [usize; 2], String> {
+    s.try_into()
+        .map_err(|_| format!("{op} expects a 2-D activation, got {s:?}"))
+}
+
+fn shape3<'a>(s: &'a [usize], op: &str) -> Result<&'a [usize; 3], String> {
+    s.try_into()
+        .map_err(|_| format!("{op} expects a 3-D activation, got {s:?}"))
+}
+
+fn check_channels(found: usize, want: usize, op: &str) -> Result<(), String> {
+    if found == want {
+        Ok(())
+    } else {
+        Err(format!("{op} expects {want} input channels, got {found}"))
+    }
+}
+
+/// Planner errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlanError {
+    /// No graphs were supplied.
+    Empty,
+    /// Shape propagation failed at op `op` of graph `graph`.
+    Shape {
+        /// Graph name.
+        graph: String,
+        /// Op index within the graph.
+        op: usize,
+        /// What went wrong.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for PlanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlanError::Empty => write!(f, "cannot plan an empty model set"),
+            PlanError::Shape { graph, op, detail } => {
+                write!(f, "graph {graph:?} op {op}: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
+
+/// One matching token: an op plus the activation shape entering it.
+/// Two lanes' ops fuse exactly when their tokens are equal.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Token {
+    /// The op.
+    pub op: OpSpec,
+    /// Activation shape (batch axis excluded) entering the op.
+    pub entry: Vec<usize>,
+}
+
+/// One lane's program: a named op chain plus its input shape.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelGraph {
+    /// Architecture name (reports and error messages).
+    pub name: String,
+    /// Input activation shape, batch axis excluded (e.g. `[3, 16, 16]`).
+    pub input: Vec<usize>,
+    /// Ops in topological order.
+    pub ops: Vec<OpSpec>,
+}
+
+impl ModelGraph {
+    /// Builds a graph, without validating shapes (call [`Self::shapes`]).
+    pub fn new(name: impl Into<String>, input: Vec<usize>, ops: Vec<OpSpec>) -> ModelGraph {
+        ModelGraph {
+            name: name.into(),
+            input,
+            ops,
+        }
+    }
+
+    /// Activation shapes at every op boundary: `shapes()[i]` enters op
+    /// `i`, `shapes()[ops.len()]` is the output. Validates channel
+    /// agreement, axis arithmetic, and residual skip-shape agreement.
+    pub fn shapes(&self) -> Result<Vec<Vec<usize>>, PlanError> {
+        let mut shapes = vec![self.input.clone()];
+        for (i, op) in self.ops.iter().enumerate() {
+            let err = |detail: String| PlanError::Shape {
+                graph: self.name.clone(),
+                op: i,
+                detail,
+            };
+            if op.kind == OpKind::ResidualAdd {
+                let from = i
+                    .checked_sub(op.skip)
+                    .ok_or_else(|| err(format!("residual skip {} exits the graph", op.skip)))?;
+                if shapes[from] != shapes[i] {
+                    return Err(err(format!(
+                        "residual shapes disagree: {:?} vs {:?}",
+                        shapes[from], shapes[i]
+                    )));
+                }
+            }
+            let next = op.out_shape(&shapes[i]).map_err(err)?;
+            shapes.push(next);
+        }
+        Ok(shapes)
+    }
+
+    /// The matching tokens: one `(op, entry shape)` pair per op.
+    pub fn tokens(&self) -> Result<Vec<Token>, PlanError> {
+        let shapes = self.shapes()?;
+        Ok(self
+            .ops
+            .iter()
+            .zip(&shapes)
+            .map(|(op, entry)| Token {
+                op: op.clone(),
+                entry: entry.clone(),
+            })
+            .collect())
+    }
+
+    /// Stable 64-bit architecture signature (FNV-1a over the serialized
+    /// graph): lanes with equal signatures run the same program.
+    pub fn signature(&self) -> u64 {
+        let json = serde_json::to_string(self).expect("graph serializes");
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for byte in json.as_bytes() {
+            h ^= u64::from(*byte);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chain() -> ModelGraph {
+        ModelGraph::new(
+            "toy",
+            vec![3, 8, 8],
+            vec![
+                OpSpec::conv2d(Conv2dCfg::new(3, 4, 4).stride(2).padding(1).bias(false)),
+                OpSpec::leaky_relu(0.2),
+                OpSpec::flatten(),
+                OpSpec::linear(LinearCfg::new(4 * 4 * 4, 2)),
+            ],
+        )
+    }
+
+    #[test]
+    fn shapes_propagate_through_conv_flatten_linear() {
+        let shapes = chain().shapes().unwrap();
+        assert_eq!(
+            shapes,
+            vec![
+                vec![3, 8, 8],
+                vec![4, 4, 4],
+                vec![4, 4, 4],
+                vec![64],
+                vec![2]
+            ]
+        );
+    }
+
+    #[test]
+    fn channel_mismatch_is_reported_with_op_index() {
+        let mut g = chain();
+        g.ops[0] = OpSpec::conv2d(Conv2dCfg::new(5, 4, 4).stride(2).padding(1));
+        match g.shapes() {
+            Err(PlanError::Shape { op: 0, detail, .. }) => {
+                assert!(detail.contains("5"), "{detail}")
+            }
+            other => panic!("expected shape error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn linear_feature_mismatch_rejected() {
+        let mut g = chain();
+        g.ops[3] = OpSpec::linear(LinearCfg::new(63, 2));
+        assert!(matches!(g.shapes(), Err(PlanError::Shape { op: 3, .. })));
+    }
+
+    #[test]
+    fn residual_checks_skip_shape_agreement() {
+        let g = ModelGraph::new(
+            "res",
+            vec![4, 8, 8],
+            vec![
+                OpSpec::conv2d(Conv2dCfg::new(4, 4, 3).stride(1).padding(1)),
+                OpSpec::relu(),
+                OpSpec::residual_add(2),
+            ],
+        );
+        assert!(g.shapes().is_ok());
+        let bad = ModelGraph::new(
+            "res-bad",
+            vec![4, 8, 8],
+            vec![
+                OpSpec::conv2d(Conv2dCfg::new(4, 8, 3).stride(1).padding(1)),
+                OpSpec::residual_add(1),
+            ],
+        );
+        assert!(matches!(bad.shapes(), Err(PlanError::Shape { op: 1, .. })));
+    }
+
+    #[test]
+    fn tokens_carry_entry_shapes_and_signatures_distinguish_archs() {
+        let g = chain();
+        let toks = g.tokens().unwrap();
+        assert_eq!(toks.len(), 4);
+        assert_eq!(toks[2].entry, vec![4, 4, 4]);
+        let mut other = chain();
+        other.ops.insert(2, OpSpec::relu());
+        assert_ne!(g.signature(), other.signature());
+        assert_eq!(g.signature(), chain().signature());
+    }
+
+    #[test]
+    fn pointnet_style_ops_propagate() {
+        let g = ModelGraph::new(
+            "pn",
+            vec![3, 32],
+            vec![
+                OpSpec::conv1d(3, 16, 1, 1, 0),
+                OpSpec::batch_norm(16),
+                OpSpec::relu(),
+                OpSpec::global_max_pool(),
+                OpSpec::linear(LinearCfg::new(16, 4)),
+            ],
+        );
+        let shapes = g.shapes().unwrap();
+        assert_eq!(shapes.last().unwrap(), &vec![4]);
+        assert_eq!(shapes[4], vec![16]);
+    }
+}

@@ -1,0 +1,88 @@
+//! ASCII rendering of a [`FusionPlan`]: a per-lane block timeline plus a
+//! block legend, the view `plan_report` serves from a `--trace` dir.
+
+use crate::planner::{Block, FusionPlan};
+
+/// Renders the plan as a lane-by-block timeline. Fused (width ≥ 2) spans
+/// draw as `████`, serial spans as `────`, blanks where a lane does not
+/// participate. A legend lists every block's lanes and op summary.
+pub fn render_timeline(plan: &FusionPlan) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "fusion plan: {} lanes, {} blocks, {:.1}% of lane-ops fused (max width {})\n\n",
+        plan.lanes,
+        plan.blocks.len(),
+        plan.fused_fraction() * 100.0,
+        plan.max_fused_width(),
+    ));
+    out.push_str("          ");
+    for bi in 0..plan.blocks.len() {
+        out.push_str(&format!("{:<5}", format!("B{bi}")));
+    }
+    out.push('\n');
+    for lane in 0..plan.lanes {
+        out.push_str(&format!("lane {lane:<4} "));
+        for b in &plan.blocks {
+            out.push_str(match (b.lane_index(lane).is_some(), b.is_fused()) {
+                (true, true) => "████ ",
+                (true, false) => "──── ",
+                (false, _) => "     ",
+            });
+        }
+        out.push('\n');
+    }
+    out.push('\n');
+    for (bi, b) in plan.blocks.iter().enumerate() {
+        out.push_str(&format!(
+            "B{bi}: {} x{} lanes {:?}  {}\n",
+            if b.is_fused() { "fused " } else { "serial" },
+            b.width(),
+            b.lanes,
+            summarize_ops(b),
+        ));
+    }
+    out
+}
+
+fn summarize_ops(b: &Block) -> String {
+    const SHOWN: usize = 4;
+    let labels: Vec<String> = b.ops.iter().take(SHOWN).map(|o| o.label()).collect();
+    if b.ops.len() > SHOWN {
+        format!("{} (+{} more)", labels.join(" | "), b.ops.len() - SHOWN)
+    } else {
+        labels.join(" | ")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{ModelGraph, OpSpec};
+    use hfta_nn::layers::Conv2dCfg;
+
+    #[test]
+    fn timeline_shows_fused_and_serial_spans() {
+        let base = vec![
+            OpSpec::conv2d(Conv2dCfg::new(3, 4, 4).stride(2).padding(1).bias(false)),
+            OpSpec::relu(),
+        ];
+        let mut variant = base.clone();
+        variant.push(OpSpec::conv2d(
+            Conv2dCfg::new(4, 4, 3).stride(1).padding(1).bias(false),
+        ));
+        let graphs = vec![
+            ModelGraph::new("a", vec![3, 8, 8], base),
+            ModelGraph::new("b", vec![3, 8, 8], variant),
+        ];
+        let plan = FusionPlan::plan(&graphs).unwrap();
+        let text = render_timeline(&plan);
+        assert!(text.contains("2 lanes"), "{text}");
+        assert!(text.contains("████"), "{text}");
+        assert!(text.contains("────"), "{text}");
+        assert!(text.contains("conv4x4 3->4 s2"), "{text}");
+        // Every block appears in the legend.
+        for bi in 0..plan.blocks.len() {
+            assert!(text.contains(&format!("B{bi}:")), "{text}");
+        }
+    }
+}

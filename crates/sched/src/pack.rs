@@ -1,0 +1,109 @@
+//! Fusibility-aware packing: before dispatching a fresh array, the
+//! scheduler can ask the auto-fusion planner how much of a candidate
+//! lane set actually fuses, and trim the pack when tail lanes would ride
+//! along mostly serial.
+//!
+//! Backends opt in by implementing
+//! [`crate::ArrayBackend::lane_graph`]; the default (`None`) keeps the
+//! legacy width selection, so existing backends and their golden
+//! schedules are unchanged. Homogeneous sweeps always fuse fully and are
+//! likewise unchanged — the planner reports fraction 1.0 at every prefix
+//! and the cap wins.
+
+use hfta_plan::{FusionPlan, ModelGraph};
+
+/// The planner's verdict on a candidate pack.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PackDecision {
+    /// How many leading candidates to fuse into the fresh array.
+    pub lanes: usize,
+    /// Fraction of the chosen pack's lane-ops that run fused.
+    pub fused_fraction: f64,
+}
+
+/// Chooses how many of the queued `graphs` (in arrival order, already
+/// truncated to the device's width cap) to pack into one array.
+///
+/// Maximizes the *effective fused width* `k * fused_fraction(prefix_k)`
+/// — the planner's estimate of how many lanes' worth of work actually
+/// shares kernels. Ties break toward the narrower pack: a tail lane that
+/// adds no fused work is better dispatched alongside its own kind in the
+/// next array. A fully homogeneous queue always packs to the cap (the
+/// score strictly grows with width); a queue whose tail switches
+/// architecture packs the fusible head.
+///
+/// Invalid graphs (shape errors) fall back to a width-1 decision rather
+/// than panicking mid-schedule.
+pub fn plan_pack(graphs: &[ModelGraph]) -> PackDecision {
+    assert!(!graphs.is_empty(), "plan_pack needs at least one candidate");
+    let mut best = PackDecision {
+        lanes: 1,
+        fused_fraction: 1.0,
+    };
+    let mut best_score = f64::MIN;
+    for k in 1..=graphs.len() {
+        let Ok(plan) = FusionPlan::plan(&graphs[..k]) else {
+            break;
+        };
+        let fraction = plan.fused_fraction();
+        let score = k as f64 * fraction;
+        if score > best_score {
+            best_score = score;
+            best = PackDecision {
+                lanes: k,
+                fused_fraction: fraction,
+            };
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hfta_nn::layers::{Conv2dCfg, LinearCfg};
+    use hfta_plan::OpSpec;
+
+    fn arch(channels: usize) -> ModelGraph {
+        ModelGraph::new(
+            format!("c{channels}"),
+            vec![2, 4, 4],
+            vec![
+                OpSpec::conv2d(
+                    Conv2dCfg::new(2, channels, 3)
+                        .stride(1)
+                        .padding(1)
+                        .bias(false),
+                ),
+                OpSpec::relu(),
+                OpSpec::flatten(),
+                OpSpec::linear(LinearCfg::new(channels * 16, 3)),
+            ],
+        )
+    }
+
+    #[test]
+    fn homogeneous_queue_packs_to_cap() {
+        let graphs = vec![arch(4), arch(4), arch(4)];
+        let d = plan_pack(&graphs);
+        assert_eq!(d.lanes, 3);
+        assert_eq!(d.fused_fraction, 1.0);
+    }
+
+    #[test]
+    fn arch_switch_packs_the_fusible_head() {
+        // Three isomorphic lanes then one disjoint arch: packing all 4
+        // scores 4 * (12/16) = 3.0, tying the head's 3 * 1.0 — the tie
+        // breaks toward the fully fused head.
+        let graphs = vec![arch(4), arch(4), arch(4), arch(5)];
+        let d = plan_pack(&graphs);
+        assert_eq!(d.lanes, 3, "{d:?}");
+        assert_eq!(d.fused_fraction, 1.0);
+    }
+
+    #[test]
+    fn single_candidate_is_width_one() {
+        let d = plan_pack(&[arch(2)]);
+        assert_eq!(d.lanes, 1);
+    }
+}

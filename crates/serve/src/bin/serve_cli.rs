@@ -7,10 +7,17 @@
 //!
 //! Usage: serve_cli [--tenants N] [--trials N] [--cancel SWEEP]
 //!                  [--policy static|fair-share] [--ckpt-dir DIR]
+//!                  [--mixed-arch]
+//!
+//! `--mixed-arch` demonstrates planner-gated admission: it submits a
+//! deliberately unfusible two-architecture sweep, prints the typed
+//! `ServeError` the service replies with, and exits non-zero.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+use hfta_nn::layers::{Conv2dCfg, LinearCfg};
+use hfta_plan::{ModelGraph, OpSpec};
 use hfta_sched::asha::RungPolicy;
 use hfta_sched::linear::{LinearBackend, LinearTrialCfg};
 use hfta_serve::engine::{ServeCfg, SweepSpec};
@@ -18,7 +25,7 @@ use hfta_serve::{AdmitPolicy, ServeHandle};
 use hfta_sim::{DeviceFleet, DeviceSpec};
 
 const USAGE: &str = "usage: serve_cli [--tenants N] [--trials N] [--cancel SWEEP] \
-                     [--policy static|fair-share] [--ckpt-dir DIR]";
+                     [--policy static|fair-share] [--ckpt-dir DIR] [--mixed-arch]";
 
 struct Args {
     tenants: usize,
@@ -26,6 +33,7 @@ struct Args {
     cancel: Option<u64>,
     policy: AdmitPolicy,
     ckpt_dir: Option<PathBuf>,
+    mixed_arch: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -35,6 +43,7 @@ fn parse_args() -> Result<Args, String> {
         cancel: None,
         policy: AdmitPolicy::FairShare,
         ckpt_dir: None,
+        mixed_arch: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -55,6 +64,7 @@ fn parse_args() -> Result<Args, String> {
                 }
             }
             "--ckpt-dir" => args.ckpt_dir = Some(PathBuf::from(value("--ckpt-dir")?)),
+            "--mixed-arch" => args.mixed_arch = true,
             "--help" | "-h" => return Err(String::new()),
             other => return Err(format!("unknown flag {other:?}")),
         }
@@ -99,6 +109,52 @@ fn main() -> ExitCode {
     );
 
     let handle = ServeHandle::spawn(LinearBackend::default(), fleet, cfg);
+    if args.mixed_arch {
+        // Two model graphs with no isomorphic same-shaped structure: the
+        // planner fuses nothing, so admission must reject the sweep with
+        // a typed error rather than degrade to all-serial execution.
+        let spec = SweepSpec {
+            tenant: "mixed".into(),
+            priority: 1.0,
+            configs: vec![
+                LinearTrialCfg {
+                    lr: 0.01,
+                    poison_at: None,
+                },
+                LinearTrialCfg {
+                    lr: 0.02,
+                    poison_at: None,
+                },
+            ],
+            archs: vec![
+                ModelGraph::new(
+                    "convnet",
+                    vec![2, 4, 4],
+                    vec![
+                        OpSpec::conv2d(Conv2dCfg::new(2, 3, 3).stride(1).padding(1).bias(false)),
+                        OpSpec::relu(),
+                    ],
+                ),
+                ModelGraph::new(
+                    "mlp",
+                    vec![8],
+                    vec![OpSpec::linear(LinearCfg::new(8, 4)), OpSpec::tanh()],
+                ),
+            ],
+        };
+        return match handle.submit(spec) {
+            Err(e) => {
+                eprintln!("admission rejected: {e}");
+                let _ = handle.shutdown();
+                ExitCode::FAILURE
+            }
+            Ok(sweep) => {
+                eprintln!("error: unfusible sweep {sweep} was admitted");
+                let _ = handle.shutdown();
+                ExitCode::SUCCESS
+            }
+        };
+    }
     for u in 0..args.tenants {
         // Later tenants get higher priority so fair-share preemption has
         // something to do on a saturated fleet.
@@ -111,8 +167,16 @@ fn main() -> ExitCode {
                     poison_at: (k % 9 == 4).then_some(1),
                 })
                 .collect(),
+            archs: Vec::new(),
         };
-        let sweep = handle.submit(spec);
+        let sweep = match handle.submit(spec) {
+            Ok(id) => id,
+            Err(e) => {
+                eprintln!("submission rejected: {e}");
+                let _ = handle.shutdown();
+                return ExitCode::FAILURE;
+            }
+        };
         println!(
             "submitted sweep {sweep} for tenant-{u} ({} trials)",
             args.trials

@@ -72,6 +72,49 @@ pub struct SweepSpec<C> {
     pub priority: f64,
     /// One hyper-parameter configuration per trial.
     pub configs: Vec<C>,
+    /// Optional per-trial model graphs for mixed-architecture sweeps:
+    /// empty means every trial trains the backend's (single) model, as
+    /// before; non-empty must pair one graph with each config, and the
+    /// sweep is admitted only if the auto-fusion planner finds fusible
+    /// structure across the set (see [`crate::ServeError::Unfusible`]).
+    pub archs: Vec<hfta_plan::ModelGraph>,
+}
+
+impl<C> SweepSpec<C> {
+    /// Admission validation: trial count, graph pairing, and — for
+    /// mixed-architecture sweeps — planner fusibility.
+    pub fn validate(&self) -> Result<(), crate::ServeError> {
+        use crate::ServeError;
+        if self.configs.is_empty() {
+            return Err(ServeError::EmptySweep {
+                tenant: self.tenant.clone(),
+            });
+        }
+        if self.archs.is_empty() {
+            return Ok(());
+        }
+        if self.archs.len() != self.configs.len() {
+            return Err(ServeError::ArchCountMismatch {
+                tenant: self.tenant.clone(),
+                archs: self.archs.len(),
+                configs: self.configs.len(),
+            });
+        }
+        let plan = hfta_plan::FusionPlan::plan(&self.archs).map_err(|e| ServeError::Unfusible {
+            tenant: self.tenant.clone(),
+            detail: e.to_string(),
+        })?;
+        if self.archs.len() > 1 && plan.fused_fraction() == 0.0 {
+            return Err(ServeError::Unfusible {
+                tenant: self.tenant.clone(),
+                detail: format!(
+                    "planner fused 0% of lane-ops across {} model graphs",
+                    self.archs.len()
+                ),
+            });
+        }
+        Ok(())
+    }
 }
 
 /// A command on the service's submission queue.
@@ -400,7 +443,8 @@ impl<B: ArrayBackend> ServeEngine<B> {
         for (t, cmd) in commands {
             assert!(t >= prev, "command timestamps must be non-decreasing");
             prev = t;
-            if matches!(cmd, ServeCmd::Submit(_)) {
+            if let ServeCmd::Submit(spec) = &cmd {
+                spec.validate().map_err(io::Error::from)?;
                 eng.pending_submits += 1;
             }
             let idx = eng.commands.len();
@@ -501,13 +545,20 @@ impl<B: ArrayBackend> ServeEngine<B> {
 
     /// Enqueues a live submission at the current simulated time and
     /// returns the sweep id it will be admitted under.
-    pub fn submit(&mut self, spec: SweepSpec<B::Config>) -> u64 {
+    ///
+    /// # Errors
+    ///
+    /// Rejects the sweep before it reaches the queue when it has no
+    /// trials, pairs graphs and configs unevenly, or — for
+    /// mixed-architecture sweeps — the planner finds nothing to fuse.
+    pub fn submit(&mut self, spec: SweepSpec<B::Config>) -> Result<u64, crate::ServeError> {
+        spec.validate()?;
         let id = self.sweeps.len() as u64 + self.pending_submits;
         self.pending_submits += 1;
         let idx = self.commands.len();
         self.commands.push(Some(ServeCmd::Submit(spec)));
         self.push_event(self.now_s, 1, EventKind::Command(idx));
-        id
+        Ok(id)
     }
 
     /// Enqueues a live cancellation at the current simulated time.
@@ -1622,5 +1673,71 @@ impl<B: ArrayBackend> ServeEngine<B> {
             quarantine_us: rollup.quarantine_us,
         };
         ServeRun { report, outcomes }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ServeError;
+    use hfta_nn::layers::{Conv2dCfg, LinearCfg};
+    use hfta_plan::{ModelGraph, OpSpec};
+
+    fn convnet(c: usize) -> ModelGraph {
+        ModelGraph::new(
+            format!("conv{c}"),
+            vec![2, 4, 4],
+            vec![
+                OpSpec::conv2d(Conv2dCfg::new(2, c, 3).stride(1).padding(1).bias(false)),
+                OpSpec::relu(),
+            ],
+        )
+    }
+
+    fn mlp() -> ModelGraph {
+        ModelGraph::new(
+            "mlp",
+            vec![8],
+            vec![OpSpec::linear(LinearCfg::new(8, 4)), OpSpec::tanh()],
+        )
+    }
+
+    fn spec(configs: usize, archs: Vec<ModelGraph>) -> SweepSpec<u32> {
+        SweepSpec {
+            tenant: "t".into(),
+            priority: 1.0,
+            configs: (0..configs as u32).collect(),
+            archs,
+        }
+    }
+
+    #[test]
+    fn homogeneous_and_graphless_sweeps_are_admitted() {
+        spec(2, Vec::new()).validate().unwrap();
+        spec(2, vec![convnet(3), convnet(3)]).validate().unwrap();
+        // Partially fusible mixed sets are admitted too.
+        spec(3, vec![convnet(3), convnet(3), mlp()])
+            .validate()
+            .unwrap();
+    }
+
+    #[test]
+    fn admission_rejects_bad_sweeps_with_typed_errors() {
+        assert!(matches!(
+            spec(0, Vec::new()).validate(),
+            Err(ServeError::EmptySweep { .. })
+        ));
+        assert!(matches!(
+            spec(2, vec![convnet(3)]).validate(),
+            Err(ServeError::ArchCountMismatch {
+                archs: 1,
+                configs: 2,
+                ..
+            })
+        ));
+        // Nothing fuses across a convnet and an MLP.
+        let err = spec(2, vec![convnet(3), mlp()]).validate().unwrap_err();
+        assert!(matches!(err, ServeError::Unfusible { .. }), "{err}");
+        assert!(err.to_string().contains("0%"), "{err}");
     }
 }

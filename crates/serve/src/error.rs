@@ -1,0 +1,63 @@
+//! Typed submission errors, surfaced by [`crate::ServeEngine::submit`]
+//! and [`crate::ServeHandle::submit`] so callers (and `serve_cli` exit
+//! codes) can react to rejected sweeps without string matching.
+
+use std::fmt;
+
+/// Why a sweep submission was rejected at admission.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeError {
+    /// A sweep was submitted with no trials.
+    EmptySweep {
+        /// Tenant that submitted the sweep.
+        tenant: String,
+    },
+    /// `archs` was non-empty but did not pair one graph with each config.
+    ArchCountMismatch {
+        /// Tenant that submitted the sweep.
+        tenant: String,
+        /// Number of model graphs supplied.
+        archs: usize,
+        /// Number of trial configurations supplied.
+        configs: usize,
+    },
+    /// The auto-fusion planner found no fusible structure across the
+    /// sweep's model set (or a graph failed shape checking), so running
+    /// it as an array would degrade to all-serial execution.
+    Unfusible {
+        /// Tenant that submitted the sweep.
+        tenant: String,
+        /// Planner detail: the offending graph or the zero-fusion plan.
+        detail: String,
+    },
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::EmptySweep { tenant } => {
+                write!(f, "tenant {tenant:?}: a sweep needs at least one trial")
+            }
+            ServeError::ArchCountMismatch {
+                tenant,
+                archs,
+                configs,
+            } => write!(
+                f,
+                "tenant {tenant:?}: {archs} model graphs for {configs} trial configs \
+                 (supply one graph per trial, or none for a homogeneous sweep)"
+            ),
+            ServeError::Unfusible { tenant, detail } => {
+                write!(f, "tenant {tenant:?}: sweep is not fusible: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<ServeError> for std::io::Error {
+    fn from(e: ServeError) -> Self {
+        std::io::Error::new(std::io::ErrorKind::InvalidInput, e.to_string())
+    }
+}

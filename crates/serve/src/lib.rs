@@ -24,9 +24,11 @@
 pub mod admission;
 pub mod checkpoint;
 pub mod engine;
+pub mod error;
 pub mod service;
 
 pub use admission::AdmitPolicy;
 pub use checkpoint::CheckpointStore;
 pub use engine::{ServeCfg, ServeCmd, ServeEngine, ServeReport, ServeRun, SweepSpec, TrialState};
+pub use error::ServeError;
 pub use service::{ServeHandle, SweepStatus};

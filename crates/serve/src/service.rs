@@ -48,7 +48,7 @@ pub struct SweepStatus {
 enum Request<C> {
     Submit {
         spec: SweepSpec<C>,
-        reply: mpsc::Sender<u64>,
+        reply: mpsc::Sender<Result<u64, crate::ServeError>>,
     },
     Status {
         reply: mpsc::Sender<Vec<SweepStatus>>,
@@ -97,8 +97,7 @@ impl<C: Send + 'static> ServeHandle<C> {
                 };
                 match req {
                     Some(Request::Submit { spec, reply }) => {
-                        let id = engine.submit(spec);
-                        let _ = reply.send(id);
+                        let _ = reply.send(engine.submit(spec));
                     }
                     Some(Request::Status { reply }) => {
                         let _ = reply.send(status_of(&engine));
@@ -129,8 +128,10 @@ impl<C: Send + 'static> ServeHandle<C> {
         }
     }
 
-    /// Submits a sweep; returns its sweep id.
-    pub fn submit(&self, spec: SweepSpec<C>) -> u64 {
+    /// Submits a sweep; returns its sweep id, or the typed admission
+    /// error when the engine rejects it (empty sweep, uneven graph
+    /// pairing, or an unfusible mixed-architecture model set).
+    pub fn submit(&self, spec: SweepSpec<C>) -> Result<u64, crate::ServeError> {
         let (reply, rx) = mpsc::channel();
         self.tx
             .send(Request::Submit { spec, reply })
@@ -231,6 +232,7 @@ mod tests {
                     poison_at: None,
                 })
                 .collect(),
+            archs: Vec::new(),
         }
     }
 
@@ -249,8 +251,8 @@ mod tests {
             checkpoint_dir: None,
         };
         let handle = ServeHandle::spawn(backend, fleet, cfg);
-        let a = handle.submit(sweep("alice", 1.0, 4));
-        let b = handle.submit(sweep("bob", 2.0, 4));
+        let a = handle.submit(sweep("alice", 1.0, 4)).unwrap();
+        let b = handle.submit(sweep("bob", 2.0, 4)).unwrap();
         assert_eq!(a, 0);
         assert_eq!(b, 1);
         handle.cancel(b);

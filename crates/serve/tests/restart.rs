@@ -46,6 +46,7 @@ fn sweep(tenant: &str, priority: f64, n: usize, salt: usize) -> SweepSpec<Linear
                 poison_at: ((k + salt) % 9 == 4).then_some(1),
             })
             .collect(),
+        archs: Vec::new(),
     }
 }
 

@@ -1,0 +1,51 @@
+//! End-to-end exit-code contract of `serve_cli`'s planner-gated
+//! admission: an unfusible mixed-architecture sweep is rejected with a
+//! typed error and a non-zero exit, while the normal path stays zero.
+
+use std::process::Command;
+
+#[test]
+fn mixed_arch_submission_exits_nonzero_with_typed_error() {
+    let out = Command::new(env!("CARGO_BIN_EXE_serve_cli"))
+        .arg("--mixed-arch")
+        .output()
+        .expect("serve_cli runs");
+    assert!(
+        !out.status.success(),
+        "unfusible sweep must fail: stdout={} stderr={}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr),
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("not fusible"),
+        "stderr carries the typed ServeError message: {stderr}"
+    );
+    assert!(
+        stderr.contains("mixed"),
+        "stderr names the rejected tenant: {stderr}"
+    );
+}
+
+#[test]
+fn homogeneous_submission_still_exits_zero() {
+    let out = Command::new(env!("CARGO_BIN_EXE_serve_cli"))
+        .args(["--tenants", "1", "--trials", "2"])
+        .output()
+        .expect("serve_cli runs");
+    assert!(
+        out.status.success(),
+        "stdout={} stderr={}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr),
+    );
+}
+
+#[test]
+fn usage_error_still_exits_two() {
+    let out = Command::new(env!("CARGO_BIN_EXE_serve_cli"))
+        .arg("--bogus")
+        .output()
+        .expect("serve_cli runs");
+    assert_eq!(out.status.code(), Some(2));
+}
